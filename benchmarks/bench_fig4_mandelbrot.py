@@ -1,0 +1,41 @@
+"""E1 — Fig. 4: Mandelbrot scalability, dOpenCL vs MPI+OpenCL.
+
+Paper claims checked:
+* both versions scale well from 2 to 16 devices;
+* dOpenCL introduces only a moderate, roughly fixed overhead;
+* the overhead sits in initialization and data transfer, not execution.
+"""
+
+import pytest
+
+from repro.bench.figures import fig4_mandelbrot
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_mandelbrot_scalability(benchmark, record_saver):
+    record = benchmark.pedantic(fig4_mandelbrot, rounds=1, iterations=1)
+    record_saver(record)
+
+    mpi = {r["devices"]: r for r in record.select(variant="MPI+OpenCL")}
+    dcl = {r["devices"]: r for r in record.select(variant="dOpenCL")}
+
+    # Both versions scale well: 2 -> 16 devices gives > 5x.
+    for rows in (mpi, dcl):
+        assert rows[2]["total"] / rows[16]["total"] > 5.0
+
+    for n in (2, 4, 8, 16):
+        # Execution segments match: same kernels on the same devices.
+        assert dcl[n]["exec"] == pytest.approx(mpi[n]["exec"], rel=0.05)
+        # dOpenCL costs more overall...
+        assert dcl[n]["total"] > mpi[n]["total"]
+        # ...but the overhead is moderate (well under 10% of the runtime).
+        assert dcl[n]["total"] < mpi[n]["total"] * 1.10
+        # A substantial part of the overhead sits in init + transfer (the
+        # rest is call-forwarding round trips inside the exec segment).
+        overhead = dcl[n]["total"] - mpi[n]["total"]
+        non_exec = (dcl[n]["init"] - mpi[n]["init"]) + (dcl[n]["transfer"] - mpi[n]["transfer"])
+        assert non_exec > 0.3 * overhead
+
+    # The overhead is roughly fixed (does not scale with device count).
+    overheads = [dcl[n]["total"] - mpi[n]["total"] for n in (2, 4, 8, 16)]
+    assert max(overheads) < 0.2  # seconds, against ~2-17 s totals

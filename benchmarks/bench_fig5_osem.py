@@ -1,0 +1,32 @@
+"""E2 — Fig. 5: list-mode OSEM mean iteration runtime.
+
+Paper claims checked:
+* offloading to the remote GPU server through dOpenCL beats the local
+  low-end GPU by ~3.75x (15.7 s vs 4.2 s in the paper);
+* the trade-off vs running natively on the server is the data-transfer
+  cost per iteration.
+"""
+
+import pytest
+
+from repro.bench.figures import fig5_osem
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_osem_offload(benchmark, record_saver):
+    record = benchmark.pedantic(fig5_osem, rounds=1, iterations=1)
+    record_saver(record)
+
+    rows = {r["configuration"].split(" using ")[1].split(" (")[0]: r for r in record.rows}
+    local = record.rows[0]["mean_iteration"]
+    offload = record.rows[1]["mean_iteration"]
+    native = record.rows[2]["mean_iteration"]
+
+    # The local low-end GPU is the slowest by far (paper: 15.7 s).
+    assert local > 10.0
+    # dOpenCL offload speedup ~3.75x (we accept 3x-5x).
+    assert 3.0 < local / offload < 5.0
+    # Server-native is fastest; the gap to dOpenCL is the transfer tax.
+    assert native < offload
+    transfer_tax = offload - native
+    assert 0.5 < transfer_tax < 4.0  # paper: ~2.2 s/iteration

@@ -1,0 +1,39 @@
+"""E3 — Fig. 6: the device manager under 1-4 concurrent clients.
+
+Paper claims checked:
+* with the device manager, execution time stays flat as clients are
+  scheduled onto different GPUs;
+* the device manager adds only a small, constant initialization overhead;
+* without it, all clients land on one device: runs take up to ~4x longer
+  and their runtimes differ considerably between instances.
+"""
+
+import pytest
+
+from repro.bench.figures import fig6_device_manager
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_device_manager(benchmark, record_saver):
+    record = benchmark.pedantic(fig6_device_manager, rounds=1, iterations=1)
+    record_saver(record)
+
+    with_dm = {r["clients"]: r for r in record.select(devmgr="with")}
+    without = {r["clients"]: r for r in record.select(devmgr="without")}
+
+    # Execution time flat with the DM (different GPUs per client).
+    execs = [with_dm[n]["exec"] for n in (1, 2, 3, 4)]
+    assert max(execs) / min(execs) < 1.05
+
+    # DM overhead for a single client is small and constant.
+    assert abs(with_dm[1]["total"] - without[1]["total"]) < 0.1
+
+    # Init grows with client count (more management objects per server).
+    assert with_dm[4]["init"] > with_dm[1]["init"]
+
+    # Without the DM, contention piles up on one device...
+    assert without[4]["exec"] > 1.5 * with_dm[4]["exec"]
+    # ...the slowest instance runs 2-4x longer than a managed run...
+    assert 2.0 < without[4]["max_total"] / with_dm[4]["total"] < 5.0
+    # ...and instance runtimes differ considerably (paper's observation).
+    assert without[4]["spread"] > 4 * with_dm[4]["spread"] or without[4]["spread"] > 1.0

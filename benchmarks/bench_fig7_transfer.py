@@ -1,0 +1,28 @@
+"""E4 — Fig. 7: 1024 MB over Gigabit Ethernet vs PCI Express.
+
+Paper claims checked:
+* writing over the network is ~50x slower than over PCIe;
+* reading is only ~4.5x slower (device readback is slow anyway — the
+  paper measured reads up to 15x slower than writes on the device path).
+"""
+
+import pytest
+
+from repro.bench.figures import fig7_transfer
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_gige_vs_pcie(benchmark, record_saver):
+    record = benchmark.pedantic(fig7_transfer, rounds=1, iterations=1)
+    record_saver(record)
+
+    pcie = record.select(path="PCI Express")[0]
+    gige = record.select(path="Gigabit Ethernet")[0]
+
+    write_ratio = gige["write"] / pcie["write"]
+    read_ratio = gige["read"] / pcie["read"]
+    assert 40 < write_ratio < 60  # paper: "up to 50 times slower"
+    assert 3.5 < read_ratio < 5.5  # paper: "about 4.5 times slower"
+
+    # The PCIe read/write asymmetry itself (paper: up to 15x).
+    assert 10 < pcie["read"] / pcie["write"] < 20

@@ -1,0 +1,35 @@
+"""E5 — Fig. 8: dOpenCL transfer efficiency vs the iperf reference line.
+
+Paper claims checked:
+* efficiency grows monotonically with transfer size;
+* large transfers approach the iperf effective bandwidth (~86% of the
+  theoretical 125 MB/s) without exceeding it — "the overhead introduced
+  by dOpenCL itself is quite small".
+"""
+
+import pytest
+
+from repro.bench.figures import fig8_efficiency
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_transfer_efficiency(benchmark, record_saver):
+    record = benchmark.pedantic(fig8_efficiency, rounds=1, iterations=1)
+    record_saver(record)
+
+    write_effs = record.column("write_efficiency")
+    iperf = record.rows[0]["iperf_efficiency"]
+
+    # iperf measures ~85% of the theoretical rate (the paper's 86% line).
+    assert iperf == pytest.approx(0.85, abs=0.02)
+
+    # Monotone non-decreasing efficiency with size.
+    for a, b in zip(write_effs, write_effs[1:]):
+        assert b >= a - 1e-9
+
+    # Large transfers come within a few percent of iperf, never above it.
+    assert write_effs[-1] > iperf - 0.05
+    assert all(e <= iperf + 1e-9 for e in write_effs)
+
+    # Small transfers pay proportionally more protocol overhead.
+    assert write_effs[0] < write_effs[-1]

@@ -1,0 +1,18 @@
+"""Shared fixtures for the figure-reproduction benchmarks."""
+
+import pytest
+
+
+@pytest.fixture
+def record_saver():
+    """Save an ExperimentRecord and echo its table to stdout."""
+    from repro.bench.harness import format_table, save_record
+
+    def _save(record):
+        path = save_record(record)
+        print()
+        print(format_table(record))
+        print(f"[saved to {path}]")
+        return record
+
+    return _save

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""The Fig. 4 scenario in miniature: Mandelbrot on an Infiniband cluster.
+
+Renders the same fractal with the MPI+OpenCL port and with dOpenCL on
+2/4/8 CPU-node clusters and prints the stacked init/execution/transfer
+timing split. The two images are asserted identical pixel-for-pixel.
+
+Run:  python examples/mandelbrot_cluster.py
+"""
+
+import numpy as np
+
+from repro.apps.mandelbrot import (
+    mandelbrot_reference,
+    render_dopencl,
+    render_mpi_opencl,
+)
+from repro.bench.figures import FIG4_CONFIG as CONFIG
+from repro.bench.figures import FIG4_LINK, FIG4_WORKLOAD_SCALE
+from repro.hw.cluster import make_ib_cpu_cluster
+from repro.testbed import deploy_dopencl
+
+
+def ascii_preview(image, cols=72, rows=24):
+    """Terminal rendering of the fractal."""
+    h, w = image.shape
+    chars = " .:-=+*#%@"
+    ys = (np.arange(rows) * h) // rows
+    xs = (np.arange(cols) * w) // cols
+    sampled = image[np.ix_(ys, xs)].astype(float) / image.max()
+    return "\n".join("".join(chars[int(v * (len(chars) - 1))] for v in row) for row in sampled)
+
+
+def main():
+    reference = mandelbrot_reference(CONFIG)
+    print(ascii_preview(reference))
+    print(f"\n{'devices':>8} {'variant':>12} {'init':>9} {'exec':>9} {'transfer':>9} {'total':>9}")
+    for n in (2, 4, 8):
+        cluster = make_ib_cpu_cluster(n, link=FIG4_LINK)
+        mpi = render_mpi_opencl(
+            cluster.network, cluster.servers, CONFIG, workload_scale=FIG4_WORKLOAD_SCALE
+        )
+        assert np.array_equal(mpi.image, reference)
+        deployment = deploy_dopencl(
+            make_ib_cpu_cluster(n, link=FIG4_LINK), workload_scale=FIG4_WORKLOAD_SCALE
+        )
+        dcl = render_dopencl(deployment.api, CONFIG)
+        assert np.array_equal(dcl.image, reference)
+        for label, r in (("MPI+OpenCL", mpi), ("dOpenCL", dcl)):
+            t = r.timings
+            print(f"{n:>8} {label:>12} {t.initialization:>9.4f} {t.execution:>9.4f} "
+                  f"{t.transfer:>9.4f} {t.total:>9.4f}")
+    print("\nBoth versions produce identical images; dOpenCL needed no code changes,")
+    print("only a server list file (paper Listing 2).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Application studies from the paper's evaluation (Section V)."""
+
+from repro.apps.mandelbrot import (
+    MandelbrotConfig,
+    MandelbrotResult,
+    mandelbrot_reference,
+    render_dopencl,
+    render_mpi_opencl,
+    render_native,
+)
+
+__all__ = [
+    "MandelbrotConfig",
+    "MandelbrotResult",
+    "mandelbrot_reference",
+    "render_dopencl",
+    "render_mpi_opencl",
+    "render_native",
+]

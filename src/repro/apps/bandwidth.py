@@ -1,0 +1,65 @@
+"""The data-transfer test application (Section V-D).
+
+"a simple OpenCL application that transfers an arbitrary amount of data
+from the host to a device and vice versa" — used for Fig. 7 (GigE vs PCIe
+for 1024 MB) and Fig. 8 (transfer efficiency vs chunk size against the
+iperf reference line).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.ocl.constants import CL_DEVICE_TYPE_ALL, CL_MEM_READ_WRITE
+
+
+@dataclass(frozen=True)
+class TransferSample:
+    nbytes: int
+    write_seconds: float
+    read_seconds: float
+
+    def write_bandwidth(self) -> float:
+        return self.nbytes / self.write_seconds
+
+    def read_bandwidth(self) -> float:
+        return self.nbytes / self.read_seconds
+
+    def write_efficiency(self, theoretical_bandwidth: float) -> float:
+        return self.write_bandwidth() / theoretical_bandwidth
+
+    def read_efficiency(self, theoretical_bandwidth: float) -> float:
+        return self.read_bandwidth() / theoretical_bandwidth
+
+
+def measure_transfers(
+    cl,
+    sizes: Sequence[int],
+    device_type: int = CL_DEVICE_TYPE_ALL,
+    device_index: int = 0,
+) -> List[TransferSample]:
+    """Write then read ``sizes`` bytes to/from the first device; returns
+    per-size timings (the Section V-D measurement loop)."""
+    platform = cl.clGetPlatformIDs()[0]
+    device = cl.clGetDeviceIDs(platform, device_type)[device_index]
+    ctx = cl.clCreateContext([device])
+    queue = cl.clCreateCommandQueue(ctx, device)
+    samples: List[TransferSample] = []
+    for nbytes in sizes:
+        buf = cl.clCreateBuffer(ctx, CL_MEM_READ_WRITE, int(nbytes))
+        data = np.zeros(int(nbytes), dtype=np.uint8)
+        t0 = cl.now
+        cl.clEnqueueWriteBuffer(queue, buf, True, 0, data)
+        t1 = cl.now
+        cl.clEnqueueReadBuffer(queue, buf, blocking=True)
+        t2 = cl.now
+        samples.append(TransferSample(nbytes=int(nbytes), write_seconds=t1 - t0, read_seconds=t2 - t1))
+        cl.clReleaseMemObject(buf)
+    return samples
+
+
+#: The Fig. 8 sweep: 1 MB to 1024 MB in powers of two.
+FIG8_SIZES = tuple((1 << 20) * (2**k) for k in range(11))

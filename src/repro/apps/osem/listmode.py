@@ -1,0 +1,95 @@
+"""Synthetic list-mode event generation.
+
+Each event is a line of response (LOR): the chord of the detector ring
+through the (unknown) emission point.  Events are sampled exactly as a
+scanner would record them: emission positions drawn from the activity
+distribution, directions isotropic, endpoints on the detector circle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Detector ring radius (the FOV is the [-1,1]^2 square inside it).
+DETECTOR_RADIUS = 1.5
+
+
+@dataclass
+class ListModeEvents:
+    """LOR endpoints, in detector coordinates (float32, SoA layout)."""
+
+    x1: np.ndarray
+    y1: np.ndarray
+    x2: np.ndarray
+    y2: np.ndarray
+
+    @property
+    def count(self) -> int:
+        return self.x1.shape[0]
+
+    @property
+    def nbytes(self) -> int:
+        return self.x1.nbytes * 4
+
+    def subset(self, index: int, n_subsets: int) -> "ListModeEvents":
+        """Ordered-subset slice (round-robin, like time-ordered list-mode
+        data split into temporal interleaves)."""
+        sl = slice(index, None, n_subsets)
+        return ListModeEvents(self.x1[sl], self.y1[sl], self.x2[sl], self.y2[sl])
+
+    def chunk(self, index: int, n_chunks: int) -> "ListModeEvents":
+        """Contiguous chunk for one device."""
+        n = self.count
+        lo = index * n // n_chunks
+        hi = (index + 1) * n // n_chunks
+        return ListModeEvents(self.x1[lo:hi], self.y1[lo:hi], self.x2[lo:hi], self.y2[lo:hi])
+
+
+def normalization_lors(n_lors: int, seed: int = 12345) -> ListModeEvents:
+    """Uniformly distributed chords of the detector ring (a normalization
+    / blank scan).  Backprojecting 1 over these yields the geometric
+    sensitivity image the OSEM update divides by."""
+    rng = np.random.default_rng(seed)
+    theta = rng.random(n_lors) * np.pi
+    offset = (rng.random(n_lors) * 2.0 - 1.0) * DETECTOR_RADIUS
+    dx, dy = np.cos(theta), np.sin(theta)
+    ox, oy = -dy * offset, dx * offset  # closest point to the centre
+    half = np.sqrt(np.maximum(DETECTOR_RADIUS**2 - offset**2, 0.0))
+    return ListModeEvents(
+        x1=(ox - dx * half).astype(np.float32),
+        y1=(oy - dy * half).astype(np.float32),
+        x2=(ox + dx * half).astype(np.float32),
+        y2=(oy + dy * half).astype(np.float32),
+    )
+
+
+def generate_events(phantom: np.ndarray, n_events: int, seed: int = 0) -> ListModeEvents:
+    """Sample ``n_events`` LORs from an activity phantom."""
+    rng = np.random.default_rng(seed)
+    n = phantom.shape[0]
+    probabilities = phantom.astype(np.float64).ravel()
+    total = probabilities.sum()
+    if total <= 0:
+        raise ValueError("phantom has no activity")
+    probabilities /= total
+    pixels = rng.choice(n * n, size=n_events, p=probabilities)
+    iy, ix = np.divmod(pixels, n)
+    # jitter inside the chosen pixel, mapped to [-1, 1]
+    px = (ix + rng.random(n_events)) / n * 2.0 - 1.0
+    py = (iy + rng.random(n_events)) / n * 2.0 - 1.0
+    theta = rng.random(n_events) * np.pi
+    dx, dy = np.cos(theta), np.sin(theta)
+    # Intersections of p + t*d with the detector circle |q| = R:
+    # t^2 + 2 t (p.d) + |p|^2 - R^2 = 0
+    pd = px * dx + py * dy
+    disc = np.sqrt(pd**2 - (px**2 + py**2 - DETECTOR_RADIUS**2))
+    t1 = -pd - disc
+    t2 = -pd + disc
+    return ListModeEvents(
+        x1=(px + t1 * dx).astype(np.float32),
+        y1=(py + t1 * dy).astype(np.float32),
+        x2=(px + t2 * dx).astype(np.float32),
+        y2=(py + t2 * dy).astype(np.float32),
+    )

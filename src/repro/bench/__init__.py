@@ -1,0 +1,5 @@
+"""Benchmark harness: experiment runners for every figure in Section V."""
+
+from repro.bench.harness import ExperimentRecord, format_table, save_record
+
+__all__ = ["ExperimentRecord", "format_table", "save_record"]

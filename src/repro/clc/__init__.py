@@ -1,0 +1,40 @@
+"""An OpenCL C (subset) compiler with two backends.
+
+OpenCL programs are *source strings compiled at runtime per device* — the
+mechanism dOpenCL forwards over the network (``clCreateProgramWithSource``
+is explicitly called out in Section III-B as a bulk-data transfer).  This
+package provides that mechanism for the pure-Python runtime:
+
+* :func:`compile_program` — front end: preprocessor, lexer, recursive
+  descent parser, semantic analysis (C-style typing/promotions).
+* :mod:`repro.clc.codegen` — the production backend: SPMD-on-SIMD
+  vectorised NumPy code with mask-based divergence (ispc-style).
+* :mod:`repro.clc.interp` — a per-work-item reference interpreter used for
+  differential testing of the vector backend.
+* :mod:`repro.clc.runtime` — NDRange dispatch, argument binding, local
+  memory, and operation accounting for the device cost model.
+
+Supported language subset: scalar types (``char`` … ``double``), global /
+local / constant / private pointers, full expression grammar (including
+ternary and compound assignment), ``if``/``while``/``for``/``do``,
+``break``/``continue``/``return``, user-defined helper functions, the
+work-item builtins, common math builtins, and global-memory atomics.
+Vector types, images and structs are not implemented (the paper's
+applications do not need them; the runtime reports clean build errors).
+"""
+
+from repro.clc.errors import CLCompileError, CLCRuntimeError
+from repro.clc.driver import CompiledKernel, CompiledProgram, compile_program
+from repro.clc.runtime import ExecutionStats, LocalMemory, NDRange, execute_kernel
+
+__all__ = [
+    "CLCompileError",
+    "CLCRuntimeError",
+    "CompiledKernel",
+    "CompiledProgram",
+    "ExecutionStats",
+    "LocalMemory",
+    "NDRange",
+    "compile_program",
+    "execute_kernel",
+]

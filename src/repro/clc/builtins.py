@@ -1,0 +1,279 @@
+"""Builtin function registry: work-item queries, math, atomics, sync.
+
+Each builtin resolves to a :class:`BuiltinCall` descriptor carrying the
+result type, the types the arguments must be cast to, the implementation
+key (shared between the vector backend and the interpreter through
+:data:`NUMPY_IMPLS`), and a cost weight for the op-accounting model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.clc.errors import CLCompileError
+from repro.clc.types import (
+    DOUBLE,
+    FLOAT,
+    INT,
+    PointerType,
+    ScalarType,
+    SIZE_T,
+    UINT,
+    VOID,
+    integer_promote,
+    usual_arithmetic_conversions,
+)
+
+
+@dataclass(frozen=True)
+class BuiltinCall:
+    """A resolved builtin invocation."""
+
+    kind: str  # "workitem" | "math" | "atomic" | "barrier" | "convert"
+    name: str
+    result_type: object
+    arg_types: Sequence[object]  # types arguments must be cast to
+    impl: str  # key into NUMPY_IMPLS (for kind == "math")
+    weight: float  # cost-model weight per active lane
+
+
+_MATH_1 = {
+    # name -> (impl key, weight)
+    "sqrt": ("sqrt", 4.0),
+    "rsqrt": ("rsqrt", 4.0),
+    "exp": ("exp", 8.0),
+    "exp2": ("exp2", 8.0),
+    "exp10": ("exp10", 8.0),
+    "log": ("log", 8.0),
+    "log2": ("log2", 8.0),
+    "log10": ("log10", 8.0),
+    "sin": ("sin", 8.0),
+    "cos": ("cos", 8.0),
+    "tan": ("tan", 8.0),
+    "asin": ("asin", 8.0),
+    "acos": ("acos", 8.0),
+    "atan": ("atan", 8.0),
+    "sinh": ("sinh", 8.0),
+    "cosh": ("cosh", 8.0),
+    "tanh": ("tanh", 8.0),
+    "fabs": ("fabs", 1.0),
+    "floor": ("floor", 1.0),
+    "ceil": ("ceil", 1.0),
+    "round": ("round", 1.0),
+    "trunc": ("trunc", 1.0),
+    "sign": ("sign", 1.0),
+}
+
+_MATH_2 = {
+    "pow": ("pow", 12.0),
+    "powr": ("pow", 12.0),
+    "atan2": ("atan2", 10.0),
+    "fmod": ("fmod", 4.0),
+    "fmin": ("fmin", 1.0),
+    "fmax": ("fmax", 1.0),
+    "hypot": ("hypot", 6.0),
+    "copysign": ("copysign", 1.0),
+    "step": ("step", 1.0),
+}
+
+_MATH_3 = {
+    "fma": ("fma", 1.0),
+    "mad": ("fma", 1.0),
+    "mix": ("mix", 2.0),
+    "smoothstep": ("smoothstep", 4.0),
+}
+
+_WORKITEM = {
+    "get_global_id": 1,
+    "get_local_id": 1,
+    "get_group_id": 1,
+    "get_global_size": 1,
+    "get_local_size": 1,
+    "get_num_groups": 1,
+    "get_global_offset": 1,
+    "get_work_dim": 0,
+}
+
+_ATOMIC_2 = {"atomic_add", "atomic_sub", "atomic_min", "atomic_max", "atomic_xchg",
+             "atomic_and", "atomic_or", "atomic_xor"}
+_ATOMIC_1 = {"atomic_inc", "atomic_dec"}
+_ATOMIC_3 = {"atomic_cmpxchg"}
+
+_SYNC = {"barrier": 1, "mem_fence": 1, "read_mem_fence": 1, "write_mem_fence": 1}
+
+
+def is_builtin(name: str) -> bool:
+    if name.startswith("atom_"):  # OpenCL 1.0 spelling
+        name = "atomic_" + name[len("atom_") :]
+    if name.startswith("native_") or name.startswith("half_"):
+        name = name.split("_", 1)[1]
+    return (
+        name in _MATH_1
+        or name in _MATH_2
+        or name in _MATH_3
+        or name in _WORKITEM
+        or name in _ATOMIC_1
+        or name in _ATOMIC_2
+        or name in _ATOMIC_3
+        or name in _SYNC
+        or name in ("min", "max", "clamp", "abs")
+    )
+
+
+def _float_result(arg_types: List[object], name: str, node) -> ScalarType:
+    """Pick float or double for a float-generic builtin."""
+    result = FLOAT
+    for t in arg_types:
+        if not isinstance(t, ScalarType):
+            raise CLCompileError(f"{name}: scalar argument expected, got {t}", node.line, node.col)
+        if t is DOUBLE:
+            result = DOUBLE
+    return result
+
+
+def resolve_builtin(name: str, arg_types: List[object], node) -> Optional[BuiltinCall]:
+    """Resolve ``name(arg_types...)``; returns None if not a builtin."""
+    canonical = name
+    if canonical.startswith("atom_"):
+        canonical = "atomic_" + canonical[len("atom_") :]
+    if canonical.startswith("native_") or canonical.startswith("half_"):
+        stripped = canonical.split("_", 1)[1]
+        if stripped in _MATH_1 or stripped in _MATH_2:
+            canonical = stripped
+
+    def need(n: int) -> None:
+        if len(arg_types) != n:
+            raise CLCompileError(
+                f"{name} expects {n} argument(s), got {len(arg_types)}", node.line, node.col
+            )
+
+    if canonical in _WORKITEM:
+        need(_WORKITEM[canonical])
+        return BuiltinCall("workitem", canonical, SIZE_T if canonical != "get_work_dim" else UINT,
+                           [UINT] * _WORKITEM[canonical], canonical, 1.0)
+
+    if canonical in _SYNC:
+        need(1)
+        return BuiltinCall("barrier", canonical, VOID, [UINT], canonical, 1.0)
+
+    if canonical in _MATH_1:
+        need(1)
+        impl, weight = _MATH_1[canonical]
+        res = _float_result(arg_types, name, node)
+        return BuiltinCall("math", canonical, res, [res], impl, weight)
+
+    if canonical in _MATH_2:
+        need(2)
+        impl, weight = _MATH_2[canonical]
+        res = _float_result(arg_types, name, node)
+        return BuiltinCall("math", canonical, res, [res, res], impl, weight)
+
+    if canonical in _MATH_3:
+        need(3)
+        impl, weight = _MATH_3[canonical]
+        res = _float_result(arg_types, name, node)
+        return BuiltinCall("math", canonical, res, [res] * 3, impl, weight)
+
+    if canonical in ("min", "max"):
+        need(2)
+        a, b = arg_types
+        if not (isinstance(a, ScalarType) and isinstance(b, ScalarType)):
+            raise CLCompileError(f"{name}: scalar arguments expected", node.line, node.col)
+        res = usual_arithmetic_conversions(a, b)
+        impl = "fmin" if canonical == "min" else "fmax"
+        return BuiltinCall("math", canonical, res, [res, res], impl, 1.0)
+
+    if canonical == "clamp":
+        need(3)
+        for t in arg_types:
+            if not isinstance(t, ScalarType):
+                raise CLCompileError("clamp: scalar arguments expected", node.line, node.col)
+        res = arg_types[0]
+        if any(t.is_float for t in arg_types):
+            res = _float_result(list(arg_types), name, node)
+        else:
+            res = integer_promote(res)
+        return BuiltinCall("math", canonical, res, [res] * 3, "clamp", 1.0)
+
+    if canonical == "abs":
+        need(1)
+        t = arg_types[0]
+        if not isinstance(t, ScalarType):
+            raise CLCompileError("abs: scalar argument expected", node.line, node.col)
+        res = integer_promote(t) if t.is_integer else t
+        return BuiltinCall("math", canonical, res, [res], "fabs", 1.0)
+
+    if canonical in _ATOMIC_1 | _ATOMIC_2 | _ATOMIC_3:
+        n_args = 1 if canonical in _ATOMIC_1 else (2 if canonical in _ATOMIC_2 else 3)
+        need(n_args)
+        ptr = arg_types[0]
+        if not isinstance(ptr, PointerType) or ptr.address_space == "constant":
+            raise CLCompileError(
+                f"{name}: first argument must be a writable pointer", node.line, node.col
+            )
+        elem = ptr.pointee
+        if elem.is_float and canonical not in ("atomic_add", "atomic_xchg", "atomic_cmpxchg"):
+            raise CLCompileError(
+                f"{name} on float is not supported (cl_repro_float_atomics covers "
+                "atomic_add/atomic_xchg/atomic_cmpxchg only)",
+                node.line,
+                node.col,
+            )
+        casts: List[object] = [ptr] + [elem] * (n_args - 1)
+        return BuiltinCall("atomic", canonical, elem, casts, canonical, 4.0)
+
+    return None
+
+
+def _step(edge, x):
+    return np.where(x < edge, x.dtype.type(0) if hasattr(x, "dtype") else 0.0, 1).astype(
+        np.result_type(edge, x)
+    )
+
+
+def _smoothstep(e0, e1, x):
+    t = np.clip((x - e0) / (e1 - e0), 0.0, 1.0)
+    return (t * t * (3.0 - 2.0 * t)).astype(np.result_type(e0, e1, x))
+
+
+#: impl key -> numpy callable (works for both array lanes and scalars).
+NUMPY_IMPLS: Dict[str, Callable] = {
+    "sqrt": np.sqrt,
+    "rsqrt": lambda x: 1.0 / np.sqrt(x),
+    "exp": np.exp,
+    "exp2": np.exp2,
+    "exp10": lambda x: np.exp(x * np.asarray(x).dtype.type(2.302585092994046)),
+    "log": np.log,
+    "log2": np.log2,
+    "log10": np.log10,
+    "sin": np.sin,
+    "cos": np.cos,
+    "tan": np.tan,
+    "asin": np.arcsin,
+    "acos": np.arccos,
+    "atan": np.arctan,
+    "sinh": np.sinh,
+    "cosh": np.cosh,
+    "tanh": np.tanh,
+    "fabs": np.abs,
+    "floor": np.floor,
+    "ceil": np.ceil,
+    "round": np.round,
+    "trunc": np.trunc,
+    "sign": np.sign,
+    "pow": np.power,
+    "atan2": np.arctan2,
+    "fmod": np.fmod,
+    "fmin": np.minimum,
+    "fmax": np.maximum,
+    "hypot": np.hypot,
+    "copysign": np.copysign,
+    "step": _step,
+    "fma": lambda a, b, c: a * b + c,
+    "mix": lambda a, b, t: a + (b - a) * t,
+    "smoothstep": _smoothstep,
+    "clamp": lambda x, lo, hi: np.clip(x, lo, hi),
+}

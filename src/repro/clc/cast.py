@@ -1,0 +1,206 @@
+"""AST node definitions for the OpenCL C subset (``cast`` = C AST).
+
+Expression nodes grow a ``.type`` attribute during semantic analysis;
+variable references grow a ``.symbol`` binding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.clc.types import PointerType, ScalarType
+
+
+@dataclass
+class Node:
+    line: int = field(default=0, kw_only=True)
+    col: int = field(default=0, kw_only=True)
+
+
+# ----------------------------------------------------------------------
+# expressions
+# ----------------------------------------------------------------------
+@dataclass
+class Expr(Node):
+    pass
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int
+    explicit_type: Optional[ScalarType] = None
+
+
+@dataclass
+class FloatLiteral(Expr):
+    value: float
+    explicit_type: Optional[ScalarType] = None
+
+
+@dataclass
+class BoolLiteral(Expr):
+    value: bool
+
+
+@dataclass
+class VarRef(Expr):
+    name: str
+
+
+@dataclass
+class UnaryOp(Expr):
+    op: str  # "-" "+" "!" "~" "++" "--" (prefix)
+    operand: Expr
+
+
+@dataclass
+class PostfixOp(Expr):
+    op: str  # "++" "--"
+    operand: Expr
+
+
+@dataclass
+class BinaryOp(Expr):
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass
+class Assign(Expr):
+    op: str  # "=", "+=", ...
+    target: Expr  # VarRef or Index
+    value: Expr
+
+
+@dataclass
+class Index(Expr):
+    base: Expr
+    index: Expr
+
+
+@dataclass
+class Call(Expr):
+    name: str
+    args: List[Expr]
+
+
+@dataclass
+class Cast(Expr):
+    target_type: object  # ScalarType
+    expr: Expr
+
+
+@dataclass
+class Ternary(Expr):
+    cond: Expr
+    then: Expr
+    els: Expr
+
+
+@dataclass
+class ImplicitCast(Expr):
+    """Inserted by sema to realise C conversion rules in the backends."""
+
+    target_type: ScalarType
+    expr: Expr
+
+
+# ----------------------------------------------------------------------
+# statements
+# ----------------------------------------------------------------------
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class VarDecl(Node):
+    name: str
+    var_type: object  # ScalarType or PointerType
+    init: Optional[Expr] = None
+    address_space: str = "private"
+    array_size: Optional[int] = None  # fixed-size array declaration
+    is_const: bool = False
+
+
+@dataclass
+class DeclStmt(Stmt):
+    decls: List[VarDecl] = field(default_factory=list)
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None
+
+
+@dataclass
+class Block(Stmt):
+    stmts: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr = None
+    then: Block = None
+    els: Optional[Block] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr = None
+    body: Block = None
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Block = None
+    cond: Expr = None
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt] = None  # DeclStmt or ExprStmt
+    cond: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: Block = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+# ----------------------------------------------------------------------
+# top level
+# ----------------------------------------------------------------------
+@dataclass
+class ParamDecl(Node):
+    name: str
+    param_type: object  # ScalarType or PointerType
+    is_const: bool = False
+
+
+@dataclass
+class FuncDef(Node):
+    name: str
+    return_type: object  # ScalarType or VoidType
+    params: List[ParamDecl] = field(default_factory=list)
+    body: Block = None
+    is_kernel: bool = False
+
+
+@dataclass
+class Program(Node):
+    functions: List[FuncDef] = field(default_factory=list)

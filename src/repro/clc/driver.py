@@ -1,0 +1,101 @@
+"""Compiler driver: source + options -> compiled kernels."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.clc.codegen import compile_module
+from repro.clc.errors import CLCompileError
+from repro.clc.parser import parse
+from repro.clc.preprocess import preprocess
+from repro.clc.sema import AnalyzedProgram, FunctionInfo, analyze
+
+#: Macros every OpenCL C translation unit sees.
+PREDEFINED_MACROS = {
+    "__OPENCL_VERSION__": "110",
+    "CL_VERSION_1_0": "100",
+    "CL_VERSION_1_1": "110",
+    "CLK_LOCAL_MEM_FENCE": "1",
+    "CLK_GLOBAL_MEM_FENCE": "2",
+    "M_PI": "3.141592653589793",
+    "M_PI_F": "3.1415927f",
+    "M_E_F": "2.7182817f",
+    "FLT_MAX": "3.402823466e+38f",
+    "FLT_MIN": "1.175494351e-38f",
+    "FLT_EPSILON": "1.192092896e-07f",
+    "MAXFLOAT": "3.402823466e+38f",
+    "INT_MAX": "2147483647",
+    "INT_MIN": "(-2147483647 - 1)",
+    "UINT_MAX": "4294967295u",
+}
+
+
+@dataclass
+class CompiledKernel:
+    """One ``__kernel`` function ready for dispatch."""
+
+    name: str
+    info: FunctionInfo
+    vector_fn: Callable
+    program: "CompiledProgram" = field(repr=False, default=None)
+
+    @property
+    def num_args(self) -> int:
+        return len(self.info.param_symbols)
+
+    @property
+    def arg_kinds(self):
+        return self.info.arg_kinds
+
+
+@dataclass
+class CompiledProgram:
+    """A built OpenCL C program."""
+
+    source: str
+    options: str
+    analyzed: AnalyzedProgram = field(repr=False, default=None)
+    kernels: Dict[str, CompiledKernel] = field(default_factory=dict)
+    python_source: str = field(repr=False, default="")
+    build_log: str = ""
+
+    def kernel(self, name: str) -> CompiledKernel:
+        try:
+            return self.kernels[name]
+        except KeyError:
+            raise CLCompileError(f"no kernel named {name!r} in program") from None
+
+
+def compile_program(source: str, options: str = "") -> CompiledProgram:
+    """Compile OpenCL C source; raises :class:`CLCompileError` on failure.
+
+    The OpenCL runtime layer converts failures into
+    ``CL_BUILD_PROGRAM_FAILURE`` with the exception text as the build log.
+    """
+    prelude_defs = "".join(
+        f"#define {name} {value}\n" for name, value in PREDEFINED_MACROS.items()
+    )
+    # Prepend predefined macros, then compensate line numbers by stripping
+    # the prelude's newlines after preprocessing (the preprocessor keeps
+    # line structure stable).
+    expanded = preprocess(prelude_defs + source, options)
+    expanded = "\n".join(expanded.split("\n")[len(PREDEFINED_MACROS) :])
+    program_ast = parse(expanded)
+    analyzed = analyze(program_ast)
+    namespace = compile_module(analyzed)
+    program = CompiledProgram(
+        source=source,
+        options=options,
+        analyzed=analyzed,
+        python_source=namespace["__clc_source__"],
+        build_log="",
+    )
+    for name, info in analyzed.kernels.items():
+        program.kernels[name] = CompiledKernel(
+            name=name,
+            info=info,
+            vector_fn=namespace[f"_fn_{name}"],
+            program=program,
+        )
+    return program

@@ -1,0 +1,23 @@
+"""Compiler and kernel-execution errors."""
+
+from __future__ import annotations
+
+
+class CLCompileError(Exception):
+    """A front-end error (lexing, parsing, or semantic analysis).
+
+    Carries source position so the OpenCL runtime can produce a build log
+    (``clGetProgramBuildInfo``) pointing at the offending line.
+    """
+
+    def __init__(self, message: str, line: int = 0, col: int = 0) -> None:
+        self.message = message
+        self.line = line
+        self.col = col
+        where = f"{line}:{col}: " if line else ""
+        super().__init__(f"{where}{message}")
+
+
+class CLCRuntimeError(Exception):
+    """A kernel execution error (out-of-bounds access, bad argument
+    binding, unbound local memory, ...)."""

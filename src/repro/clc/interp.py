@@ -1,0 +1,438 @@
+"""Reference interpreter: one work-item at a time, tree-walking.
+
+Deliberately simple and obviously correct — the differential-testing
+oracle for the vector backend.  Atomics get exact serialised semantics
+here (the vector backend documents weaker return-value ordering).
+Barriers are not supported (sequential per-item execution cannot satisfy
+them); differential tests use barrier-free kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.clc import cast as A
+from repro.clc.builtins import NUMPY_IMPLS
+from repro.clc.errors import CLCRuntimeError
+from repro.clc.runtime import ExecutionStats, LocalMemory, NDRange
+from repro.clc.sema import FunctionInfo, Symbol
+from repro.clc.types import PointerType, ScalarType
+
+
+class _BreakEx(Exception):
+    pass
+
+
+class _ContinueEx(Exception):
+    pass
+
+
+class _ReturnEx(Exception):
+    def __init__(self, value) -> None:
+        self.value = value
+
+
+class _ElementPtr:
+    """Value of ``&buf[i]`` — only consumed by atomics."""
+
+    __slots__ = ("array", "index")
+
+    def __init__(self, array: np.ndarray, index: int) -> None:
+        self.array = array
+        self.index = index
+
+
+class Interpreter:
+    def __init__(self, kernel, nd: NDRange, bound_args: Sequence[object]) -> None:
+        self.kernel = kernel
+        self.analyzed = kernel.program.analyzed
+        self.nd = nd
+        self.bound_args = list(bound_args)
+        self.stats = ExecutionStats()
+        # current work-item coordinates
+        self._group_coords: List[int] = [0] * nd.work_dim
+        self._local_coords: List[int] = [0] * nd.work_dim
+        self._group_locals: Dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def run(self) -> ExecutionStats:
+        nd = self.nd
+        info: FunctionInfo = self.kernel.info
+        with np.errstate(all="ignore"):
+            for group_lin in range(nd.total_groups):
+                rest = group_lin
+                for d in range(nd.work_dim):
+                    self._group_coords[d] = rest % nd.num_groups[d]
+                    rest //= nd.num_groups[d]
+                self._group_locals = {}
+                group_args = []
+                for sym, val in zip(info.param_symbols, self.bound_args):
+                    if isinstance(val, LocalMemory):
+                        elems = val.nbytes // sym.type.pointee.size
+                        group_args.append(
+                            np.zeros(elems, dtype=sym.type.pointee.np_dtype)
+                        )
+                    else:
+                        group_args.append(val)
+                for local_lin in range(nd.group_size):
+                    rest = local_lin
+                    for d in range(nd.work_dim):
+                        self._local_coords[d] = rest % nd.local_size[d]
+                        rest //= nd.local_size[d]
+                    self._call_function(info, group_args)
+                    self.stats.work_items += 1
+        self.stats.chunks = nd.total_groups
+        return self.stats
+
+    # ------------------------------------------------------------------
+    def _call_function(self, info: FunctionInfo, args: Sequence[object]):
+        env: Dict[str, object] = {}
+        for sym, val in zip(info.param_symbols, args):
+            env[sym.slot] = val
+        try:
+            self._exec_block(info.node.body, env)
+        except _ReturnEx as ret:
+            return ret.value
+        return None
+
+    # -- statements ---------------------------------------------------------
+    def _exec_block(self, block: A.Block, env: Dict[str, object]) -> None:
+        for stmt in block.stmts:
+            self._exec_stmt(stmt, env)
+
+    def _exec_stmt(self, stmt: A.Stmt, env: Dict[str, object]) -> None:
+        if isinstance(stmt, A.Block):
+            self._exec_block(stmt, env)
+        elif isinstance(stmt, A.DeclStmt):
+            for decl in stmt.decls:
+                self._exec_decl(decl, env)
+        elif isinstance(stmt, A.ExprStmt):
+            self._eval(stmt.expr, env)
+        elif isinstance(stmt, A.If):
+            if self._eval(stmt.cond, env):
+                self._exec_block(stmt.then, env)
+            elif stmt.els is not None:
+                self._exec_block(stmt.els, env)
+        elif isinstance(stmt, A.While):
+            while self._eval(stmt.cond, env):
+                try:
+                    self._exec_block(stmt.body, env)
+                except _BreakEx:
+                    break
+                except _ContinueEx:
+                    continue
+        elif isinstance(stmt, A.DoWhile):
+            while True:
+                try:
+                    self._exec_block(stmt.body, env)
+                except _BreakEx:
+                    break
+                except _ContinueEx:
+                    pass
+                if not self._eval(stmt.cond, env):
+                    break
+        elif isinstance(stmt, A.For):
+            if stmt.init is not None:
+                self._exec_stmt(stmt.init, env)
+            while stmt.cond is None or self._eval(stmt.cond, env):
+                try:
+                    self._exec_block(stmt.body, env)
+                except _BreakEx:
+                    break
+                except _ContinueEx:
+                    pass
+                if stmt.step is not None:
+                    self._eval(stmt.step, env)
+        elif isinstance(stmt, A.Break):
+            raise _BreakEx()
+        elif isinstance(stmt, A.Continue):
+            raise _ContinueEx()
+        elif isinstance(stmt, A.Return):
+            value = self._eval(stmt.value, env) if stmt.value is not None else None
+            raise _ReturnEx(value)
+        else:  # pragma: no cover
+            raise CLCRuntimeError(f"interp: unhandled statement {type(stmt).__name__}")
+
+    def _exec_decl(self, decl: A.VarDecl, env: Dict[str, object]) -> None:
+        sym: Symbol = decl.symbol
+        if sym.kind == "array":
+            elem = sym.type.pointee
+            if sym.address_space == "local":
+                arr = self._group_locals.get(sym.slot)
+                if arr is None:
+                    arr = np.zeros(sym.array_size, dtype=elem.np_dtype)
+                    self._group_locals[sym.slot] = arr
+                env[sym.slot] = arr
+            else:
+                env[sym.slot] = np.zeros(sym.array_size, dtype=elem.np_dtype)
+            return
+        if decl.init is not None:
+            env[sym.slot] = self._eval(decl.init, env)
+        elif isinstance(sym.type, ScalarType):
+            env[sym.slot] = sym.type.np_dtype.type(0)
+
+    # -- expressions -----------------------------------------------------------
+    def _eval(self, expr: A.Expr, env: Dict[str, object]):
+        self.stats.ops += 1
+        if isinstance(expr, A.IntLiteral):
+            return expr.type.np_dtype.type(expr.value)
+        if isinstance(expr, A.FloatLiteral):
+            return expr.type.np_dtype.type(expr.value)
+        if isinstance(expr, A.BoolLiteral):
+            return np.bool_(expr.value)
+        if isinstance(expr, A.VarRef):
+            return env[expr.symbol.slot]
+        if isinstance(expr, (A.Cast, A.ImplicitCast)):
+            val = self._eval(expr.expr, env)
+            return expr.target_type.np_dtype.type(val)
+        if isinstance(expr, A.UnaryOp):
+            return self._eval_unary(expr, env)
+        if isinstance(expr, A.PostfixOp):
+            old = self._read_lvalue(expr.operand, env)
+            delta = expr.type.np_dtype.type(1)
+            new = old + delta if expr.op == "++" else old - delta
+            self._write_lvalue(expr.operand, expr.type.np_dtype.type(new), env)
+            return old
+        if isinstance(expr, A.BinaryOp):
+            return self._eval_binary(expr, env)
+        if isinstance(expr, A.Assign):
+            return self._eval_assign(expr, env)
+        if isinstance(expr, A.Index):
+            base = env[expr.base.symbol.slot]
+            idx = int(self._eval(expr.index, env))
+            self._bounds(idx, base.shape[0], "load")
+            return base[idx]
+        if isinstance(expr, A.Ternary):
+            if self._eval(expr.cond, env):
+                return self._eval(expr.then, env)
+            return self._eval(expr.els, env)
+        if isinstance(expr, A.Call):
+            return self._eval_call(expr, env)
+        raise CLCRuntimeError(f"interp: unhandled expression {type(expr).__name__}")  # pragma: no cover
+
+    def _bounds(self, idx: int, size: int, what: str) -> None:
+        if not 0 <= idx < size:
+            raise CLCRuntimeError(f"out-of-bounds {what}: index {idx} not in [0, {size})")
+
+    def _eval_unary(self, expr: A.UnaryOp, env):
+        if expr.op in ("++", "--"):
+            old = self._read_lvalue(expr.operand, env)
+            delta = expr.type.np_dtype.type(1)
+            new = old + delta if expr.op == "++" else old - delta
+            new = expr.type.np_dtype.type(new)
+            self._write_lvalue(expr.operand, new, env)
+            return new
+        if expr.op == "&":
+            index_expr: A.Index = expr.operand
+            base = env[index_expr.base.symbol.slot]
+            idx = int(self._eval(index_expr.index, env))
+            self._bounds(idx, base.shape[0], "address-of")
+            return _ElementPtr(base, idx)
+        val = self._eval(expr.operand, env)
+        if expr.op == "-":
+            return expr.type.np_dtype.type(-val)
+        if expr.op == "+":
+            return val
+        if expr.op == "!":
+            return np.bool_(not bool(val))
+        if expr.op == "~":
+            return expr.type.np_dtype.type(~val)
+        raise CLCRuntimeError(f"interp: unary {expr.op!r}")  # pragma: no cover
+
+    @staticmethod
+    def _c_idiv(a, b, dtype):
+        if int(b) == 0:
+            return dtype.type(0)  # UB in C; match the vector backend's guard
+        q = abs(int(a)) // abs(int(b))
+        if (int(a) < 0) != (int(b) < 0):
+            q = -q
+        return dtype.type(q)
+
+    @staticmethod
+    def _c_imod(a, b, dtype):
+        if int(b) == 0:
+            return dtype.type(0)
+        r = abs(int(a)) % abs(int(b))
+        if int(a) < 0:
+            r = -r
+        return dtype.type(r)
+
+    def _apply_binop(self, op: str, a, b, result_type):
+        if op == "+":
+            return result_type.np_dtype.type(a + b)
+        if op == "-":
+            return result_type.np_dtype.type(a - b)
+        if op == "*":
+            return result_type.np_dtype.type(a * b)
+        if op == "/":
+            if result_type.is_float:
+                with np.errstate(all="ignore"):
+                    return result_type.np_dtype.type(np.divide(a, b))
+            return self._c_idiv(a, b, result_type.np_dtype)
+        if op == "%":
+            return self._c_imod(a, b, result_type.np_dtype)
+        if op == "<<":
+            width = result_type.size * 8
+            return result_type.np_dtype.type(np.left_shift(a, int(b) & (width - 1)))
+        if op == ">>":
+            width = result_type.size * 8
+            return result_type.np_dtype.type(np.right_shift(a, int(b) & (width - 1)))
+        if op == "&":
+            return result_type.np_dtype.type(a & b)
+        if op == "|":
+            return result_type.np_dtype.type(a | b)
+        if op == "^":
+            return result_type.np_dtype.type(a ^ b)
+        raise CLCRuntimeError(f"interp: binary {op!r}")  # pragma: no cover
+
+    def _eval_binary(self, expr: A.BinaryOp, env):
+        op = expr.op
+        if op == ",":
+            self._eval(expr.lhs, env)
+            return self._eval(expr.rhs, env)
+        if op == "&&":
+            return np.bool_(bool(self._eval(expr.lhs, env)) and bool(self._eval(expr.rhs, env)))
+        if op == "||":
+            return np.bool_(bool(self._eval(expr.lhs, env)) or bool(self._eval(expr.rhs, env)))
+        a = self._eval(expr.lhs, env)
+        b = self._eval(expr.rhs, env)
+        if op in ("==", "!=", "<", ">", "<=", ">="):
+            result = {
+                "==": a == b,
+                "!=": a != b,
+                "<": a < b,
+                ">": a > b,
+                "<=": a <= b,
+                ">=": a >= b,
+            }[op]
+            return np.bool_(result)
+        return self._apply_binop(op, a, b, expr.type)
+
+    def _read_lvalue(self, target: A.Expr, env):
+        if isinstance(target, A.VarRef):
+            return env[target.symbol.slot]
+        base = env[target.base.symbol.slot]
+        idx = int(self._eval(target.index, env))
+        self._bounds(idx, base.shape[0], "load")
+        return base[idx]
+
+    def _write_lvalue(self, target: A.Expr, value, env) -> None:
+        if isinstance(target, A.VarRef):
+            env[target.symbol.slot] = value
+            return
+        base = env[target.base.symbol.slot]
+        idx = int(self._eval(target.index, env))
+        self._bounds(idx, base.shape[0], "store")
+        base[idx] = value
+
+    def _eval_assign(self, expr: A.Assign, env):
+        value = self._eval(expr.value, env)
+        target_t: ScalarType = expr.target.type
+        if expr.op == "=":
+            result = target_t.np_dtype.type(value)
+        else:
+            cur = self._read_lvalue(expr.target, env)
+            common: ScalarType = expr.common_type
+            cur_c = common.np_dtype.type(cur)
+            interim = self._apply_binop(expr.op[:-1], cur_c, value, common)
+            result = target_t.np_dtype.type(interim)
+        self._write_lvalue(expr.target, result, env)
+        return result
+
+    def _eval_call(self, expr: A.Call, env):
+        if getattr(expr, "convert_type", None) is not None:
+            val = self._eval(expr.args[0], env)
+            return expr.convert_type.np_dtype.type(val)
+        builtin = getattr(expr, "builtin", None)
+        if builtin is not None:
+            if builtin.kind == "workitem":
+                return self._workitem(builtin.name, expr, env)
+            if builtin.kind == "barrier":
+                raise CLCRuntimeError(
+                    "barrier() is not supported by the reference interpreter "
+                    "(sequential execution); use the vector backend"
+                )
+            if builtin.kind == "math":
+                args = [self._eval(a, env) for a in expr.args]
+                result = NUMPY_IMPLS[builtin.impl](*args)
+                if isinstance(builtin.result_type, ScalarType):
+                    return builtin.result_type.np_dtype.type(result)
+                return result
+            if builtin.kind == "atomic":
+                return self._atomic(builtin.name, expr, env)
+            raise CLCRuntimeError(f"interp: builtin kind {builtin.kind!r}")  # pragma: no cover
+        info: FunctionInfo = expr.func
+        args = [self._eval(a, env) for a in expr.args]
+        return self._call_function(info, args)
+
+    def _workitem(self, name: str, expr: A.Call, env):
+        nd = self.nd
+        if name == "get_work_dim":
+            return np.uint32(nd.work_dim)
+        d = int(self._eval(expr.args[0], env))
+        in_range = 0 <= d < nd.work_dim
+        if name == "get_global_id":
+            if not in_range:
+                return np.uint64(0)
+            return np.uint64(
+                self._group_coords[d] * nd.local_size[d]
+                + self._local_coords[d]
+                + nd.global_offset[d]
+            )
+        if name == "get_local_id":
+            return np.uint64(self._local_coords[d] if in_range else 0)
+        if name == "get_group_id":
+            return np.uint64(self._group_coords[d] if in_range else 0)
+        if name == "get_global_size":
+            return np.uint64(nd.global_size[d] if in_range else 1)
+        if name == "get_local_size":
+            return np.uint64(nd.local_size[d] if in_range else 1)
+        if name == "get_num_groups":
+            return np.uint64(nd.num_groups[d] if in_range else 1)
+        if name == "get_global_offset":
+            return np.uint64(nd.global_offset[d] if in_range else 0)
+        raise CLCRuntimeError(f"interp: workitem fn {name!r}")  # pragma: no cover
+
+    def _atomic(self, name: str, expr: A.Call, env):
+        ptr = self._eval(expr.args[0], env)
+        if isinstance(ptr, _ElementPtr):
+            arr, idx = ptr.array, ptr.index
+        elif isinstance(ptr, np.ndarray):
+            arr, idx = ptr, 0
+        else:
+            raise CLCRuntimeError(f"{name}: bad pointer argument")
+        vals = [self._eval(a, env) for a in expr.args[1:]]
+        old = arr[idx]
+        dt = arr.dtype.type
+        if name == "atomic_add":
+            arr[idx] = dt(old + vals[0])
+        elif name == "atomic_sub":
+            arr[idx] = dt(old - vals[0])
+        elif name == "atomic_min":
+            arr[idx] = min(old, dt(vals[0]))
+        elif name == "atomic_max":
+            arr[idx] = max(old, dt(vals[0]))
+        elif name == "atomic_and":
+            arr[idx] = dt(old & vals[0])
+        elif name == "atomic_or":
+            arr[idx] = dt(old | vals[0])
+        elif name == "atomic_xor":
+            arr[idx] = dt(old ^ vals[0])
+        elif name == "atomic_inc":
+            arr[idx] = dt(old + 1)
+        elif name == "atomic_dec":
+            arr[idx] = dt(old - 1)
+        elif name == "atomic_xchg":
+            arr[idx] = dt(vals[0])
+        elif name == "atomic_cmpxchg":
+            if old == vals[0]:
+                arr[idx] = dt(vals[1])
+        else:  # pragma: no cover
+            raise CLCRuntimeError(f"interp: atomic {name!r}")
+        return old
+
+
+def execute_interp(kernel, nd: NDRange, bound_args: Sequence[object]) -> ExecutionStats:
+    return Interpreter(kernel, nd, bound_args).run()

@@ -1,0 +1,99 @@
+"""Tokenizer for the OpenCL C subset."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.clc.errors import CLCompileError
+
+KEYWORDS = frozenset(
+    """
+    void bool char uchar short ushort int uint long ulong float double size_t
+    ptrdiff_t unsigned signed const volatile restrict
+    if else while for do break continue return
+    __kernel kernel __global global __local local __constant constant
+    __private private struct typedef sizeof true false
+    """.split()
+)
+
+#: Multi-character operators, longest first so maximal munch works.
+OPERATORS = [
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--", "->",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+    "?", ":", ",", ";", "(", ")", "{", "}", "[", "]", ".",
+]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<float>
+        (?:\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|\d+[eE][+-]?\d+)
+        [fF]?
+      | \d+\.[fF]
+      | \d+[fF]          # 1f
+    )
+  | (?P<hex>0[xX][0-9a-fA-F]+[uUlL]*)
+  | (?P<int>\d+[uUlL]*)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<ws>[ \t\r]+)
+  | (?P<nl>\n)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "ident" | "keyword" | "int" | "float" | "op" | "eof"
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.col})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize preprocessed source; raises :class:`CLCompileError` on
+    unknown characters."""
+    tokens: List[Token] = []
+    line, col = 1, 1
+    i, n = 0, len(source)
+    while i < n:
+        m = _TOKEN_RE.match(source, i)
+        if m:
+            text = m.group(0)
+            kind = m.lastgroup
+            if kind == "nl":
+                line += 1
+                col = 1
+                i = m.end()
+                continue
+            if kind == "ws":
+                col += len(text)
+                i = m.end()
+                continue
+            if kind == "ident":
+                tok_kind = "keyword" if text in KEYWORDS else "ident"
+                tokens.append(Token(tok_kind, text, line, col))
+            elif kind in ("int", "hex"):
+                tokens.append(Token("int", text, line, col))
+            elif kind == "float":
+                tokens.append(Token("float", text, line, col))
+            col += len(text)
+            i = m.end()
+            continue
+        # operators — maximal munch
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line, col))
+                col += len(op)
+                i += len(op)
+                break
+        else:
+            raise CLCompileError(f"unexpected character {source[i]!r}", line, col)
+    tokens.append(Token("eof", "", line, col))
+    return tokens

@@ -1,0 +1,502 @@
+"""Recursive descent parser for the OpenCL C subset."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.clc import cast as A
+from repro.clc.errors import CLCompileError
+from repro.clc.lexer import Token, tokenize
+from repro.clc.types import (
+    ADDRESS_SPACES,
+    FLOAT,
+    DOUBLE,
+    PointerType,
+    SCALAR_TYPES,
+    ScalarType,
+    VOID,
+    type_from_literal_suffix,
+)
+
+_TYPE_START_KEYWORDS = frozenset(SCALAR_TYPES) | {
+    "void",
+    "signed",
+    "const",
+    "volatile",
+    "restrict",
+    "__global",
+    "global",
+    "__local",
+    "local",
+    "__constant",
+    "constant",
+    "__private",
+    "private",
+}
+
+_ASSIGN_OPS = frozenset(["=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="])
+
+
+class Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing ---------------------------------------------------
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def peek(self, ahead: int = 1) -> Token:
+        return self.tokens[min(self.pos + ahead, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        tok = self.cur
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def expect(self, text: str) -> Token:
+        if self.cur.text != text or self.cur.kind == "eof":
+            raise CLCompileError(
+                f"expected {text!r}, found {self.cur.text or 'end of input'!r}",
+                self.cur.line,
+                self.cur.col,
+            )
+        return self.advance()
+
+    def accept(self, text: str) -> Optional[Token]:
+        if self.cur.kind != "eof" and self.cur.text == text:
+            return self.advance()
+        return None
+
+    def error(self, message: str) -> CLCompileError:
+        return CLCompileError(message, self.cur.line, self.cur.col)
+
+    # -- types ------------------------------------------------------------
+    def at_type(self) -> bool:
+        t = self.cur
+        return t.kind == "keyword" and t.text in _TYPE_START_KEYWORDS
+
+    def parse_qualified_type(self) -> Tuple[object, str, bool]:
+        """Parse qualifiers + base type (+ optional ``*``).
+
+        Returns ``(type, address_space, is_const)``.
+        """
+        address_space = "private"
+        explicit_space = False
+        is_const = False
+        base: Optional[object] = None
+        while True:
+            t = self.cur
+            if t.kind != "keyword":
+                break
+            text = t.text.lstrip("_")
+            if text in ADDRESS_SPACES and (t.text.startswith("__") or t.text in ADDRESS_SPACES):
+                address_space = text
+                explicit_space = True
+                self.advance()
+            elif t.text == "const":
+                is_const = True
+                self.advance()
+            elif t.text in ("volatile", "restrict", "signed"):
+                self.advance()
+            elif t.text == "void":
+                self.advance()
+                base = VOID
+                break
+            elif t.text == "unsigned":
+                self.advance()
+                if self.cur.kind == "keyword" and self.cur.text in ("char", "short", "int", "long"):
+                    base = SCALAR_TYPES["unsigned " + self.advance().text]
+                else:
+                    base = SCALAR_TYPES["unsigned"]
+                break
+            elif t.text in SCALAR_TYPES:
+                base = SCALAR_TYPES[self.advance().text]
+                break
+            else:
+                break
+        if base is None:
+            raise self.error(f"expected a type, found {self.cur.text!r}")
+        # trailing qualifiers (e.g. "float const")
+        while self.cur.kind == "keyword" and self.cur.text in ("const", "volatile", "restrict"):
+            if self.cur.text == "const":
+                is_const = True
+            self.advance()
+        if self.accept("*"):
+            if base is VOID:
+                raise self.error("void* is not supported")
+            # "restrict"/"const" after the star
+            while self.cur.kind == "keyword" and self.cur.text in ("const", "volatile", "restrict"):
+                self.advance()
+            if address_space == "private" and not explicit_space:
+                # A pointer with no explicit space defaults to global in our
+                # subset (kernels in the wild always annotate; be lenient).
+                address_space = "global"
+            return PointerType(base, address_space), address_space, is_const
+        return base, address_space, is_const
+
+    # -- top level ----------------------------------------------------------
+    def parse_program(self) -> A.Program:
+        functions: List[A.FuncDef] = []
+        while self.cur.kind != "eof":
+            functions.append(self.parse_function())
+        return A.Program(functions=functions)
+
+    def parse_function(self) -> A.FuncDef:
+        line, col = self.cur.line, self.cur.col
+        is_kernel = False
+        while self.cur.kind == "keyword" and self.cur.text in ("__kernel", "kernel"):
+            is_kernel = True
+            self.advance()
+        if self.cur.kind == "keyword" and self.cur.text in ("struct", "typedef"):
+            raise self.error(f"{self.cur.text!r} is not supported in this subset")
+        ret_type, _space, _const = self.parse_qualified_type()
+        if isinstance(ret_type, PointerType):
+            raise self.error("pointer return types are not supported")
+        name_tok = self.cur
+        if name_tok.kind != "ident":
+            raise self.error(f"expected function name, found {name_tok.text!r}")
+        self.advance()
+        self.expect("(")
+        params: List[A.ParamDecl] = []
+        if not self.accept(")"):
+            while True:
+                if self.cur.kind == "keyword" and self.cur.text == "void" and self.peek().text == ")":
+                    self.advance()
+                    break
+                params.append(self.parse_param())
+                if not self.accept(","):
+                    break
+            self.expect(")")
+        body = self.parse_block()
+        return A.FuncDef(
+            name=name_tok.text,
+            return_type=ret_type,
+            params=params,
+            body=body,
+            is_kernel=is_kernel,
+            line=line,
+            col=col,
+        )
+
+    def parse_param(self) -> A.ParamDecl:
+        line, col = self.cur.line, self.cur.col
+        ptype, _space, is_const = self.parse_qualified_type()
+        if ptype is VOID:
+            raise self.error("void parameter")
+        name = ""
+        if self.cur.kind == "ident":
+            name = self.advance().text
+        return A.ParamDecl(name=name, param_type=ptype, is_const=is_const, line=line, col=col)
+
+    # -- statements ---------------------------------------------------------
+    def parse_block(self) -> A.Block:
+        line, col = self.cur.line, self.cur.col
+        self.expect("{")
+        stmts: List[A.Stmt] = []
+        while not self.accept("}"):
+            if self.cur.kind == "eof":
+                raise self.error("unexpected end of input inside block")
+            stmts.append(self.parse_statement())
+        return A.Block(stmts=stmts, line=line, col=col)
+
+    def parse_statement(self) -> A.Stmt:
+        t = self.cur
+        if t.text == "{":
+            return self.parse_block()
+        if t.kind == "keyword":
+            if t.text in ("struct", "typedef"):
+                raise self.error(f"{t.text!r} is not supported in this subset")
+            if t.text == "if":
+                return self.parse_if()
+            if t.text == "while":
+                return self.parse_while()
+            if t.text == "do":
+                return self.parse_do_while()
+            if t.text == "for":
+                return self.parse_for()
+            if t.text == "break":
+                self.advance()
+                self.expect(";")
+                return A.Break(line=t.line, col=t.col)
+            if t.text == "continue":
+                self.advance()
+                self.expect(";")
+                return A.Continue(line=t.line, col=t.col)
+            if t.text == "return":
+                self.advance()
+                value = None if self.cur.text == ";" else self.parse_expr()
+                self.expect(";")
+                return A.Return(value=value, line=t.line, col=t.col)
+            if self.at_type():
+                decl = self.parse_declaration()
+                self.expect(";")
+                return decl
+        if self.accept(";"):
+            return A.Block(stmts=[], line=t.line, col=t.col)
+        expr = self.parse_expr()
+        self.expect(";")
+        return A.ExprStmt(expr=expr, line=t.line, col=t.col)
+
+    def parse_declaration(self) -> A.DeclStmt:
+        line, col = self.cur.line, self.cur.col
+        base_type, space, is_const = self.parse_qualified_type()
+        if base_type is VOID:
+            raise self.error("cannot declare a void variable")
+        decls: List[A.VarDecl] = []
+        while True:
+            name_tok = self.cur
+            if name_tok.kind != "ident":
+                raise self.error(f"expected variable name, found {name_tok.text!r}")
+            self.advance()
+            array_size: Optional[int] = None
+            if self.accept("["):
+                size_tok = self.cur
+                if size_tok.kind != "int":
+                    raise self.error("array size must be an integer literal")
+                self.advance()
+                array_size = int(size_tok.text.rstrip("uUlL"), 0)
+                if array_size <= 0:
+                    raise CLCompileError("array size must be positive", size_tok.line, size_tok.col)
+                self.expect("]")
+            init: Optional[A.Expr] = None
+            if self.accept("="):
+                if self.cur.text == "{":
+                    raise self.error("initialiser lists are not supported")
+                init = self.parse_assignment()
+            decls.append(
+                A.VarDecl(
+                    name=name_tok.text,
+                    var_type=base_type,
+                    init=init,
+                    address_space=space,
+                    array_size=array_size,
+                    is_const=is_const,
+                    line=name_tok.line,
+                    col=name_tok.col,
+                )
+            )
+            if not self.accept(","):
+                break
+        return A.DeclStmt(decls=decls, line=line, col=col)
+
+    def parse_if(self) -> A.If:
+        tok = self.expect("if")
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        then = self._statement_as_block()
+        els = None
+        if self.accept("else"):
+            els = self._statement_as_block()
+        return A.If(cond=cond, then=then, els=els, line=tok.line, col=tok.col)
+
+    def _statement_as_block(self) -> A.Block:
+        stmt = self.parse_statement()
+        if isinstance(stmt, A.Block):
+            return stmt
+        return A.Block(stmts=[stmt], line=stmt.line, col=stmt.col)
+
+    def parse_while(self) -> A.While:
+        tok = self.expect("while")
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        body = self._statement_as_block()
+        return A.While(cond=cond, body=body, line=tok.line, col=tok.col)
+
+    def parse_do_while(self) -> A.DoWhile:
+        tok = self.expect("do")
+        body = self._statement_as_block()
+        self.expect("while")
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        self.expect(";")
+        return A.DoWhile(body=body, cond=cond, line=tok.line, col=tok.col)
+
+    def parse_for(self) -> A.For:
+        tok = self.expect("for")
+        self.expect("(")
+        init: Optional[A.Stmt] = None
+        if not self.accept(";"):
+            if self.at_type():
+                init = self.parse_declaration()
+            else:
+                init = A.ExprStmt(expr=self.parse_expr(), line=self.cur.line, col=self.cur.col)
+            self.expect(";")
+        cond = None
+        if not self.accept(";"):
+            cond = self.parse_expr()
+            self.expect(";")
+        step = None
+        if self.cur.text != ")":
+            step = self.parse_expr()
+        self.expect(")")
+        body = self._statement_as_block()
+        return A.For(init=init, cond=cond, step=step, body=body, line=tok.line, col=tok.col)
+
+    # -- expressions ----------------------------------------------------------
+    # Precedence climbing with the C precedence table.
+    _BINARY_PRECEDENCE = {
+        "||": 1,
+        "&&": 2,
+        "|": 3,
+        "^": 4,
+        "&": 5,
+        "==": 6,
+        "!=": 6,
+        "<": 7,
+        ">": 7,
+        "<=": 7,
+        ">=": 7,
+        "<<": 8,
+        ">>": 8,
+        "+": 9,
+        "-": 9,
+        "*": 10,
+        "/": 10,
+        "%": 10,
+    }
+
+    def parse_expr(self) -> A.Expr:
+        expr = self.parse_assignment()
+        while self.accept(","):
+            rhs = self.parse_assignment()
+            expr = A.BinaryOp(op=",", lhs=expr, rhs=rhs, line=rhs.line, col=rhs.col)
+        return expr
+
+    def parse_assignment(self) -> A.Expr:
+        lhs = self.parse_ternary()
+        if self.cur.kind == "op" and self.cur.text in _ASSIGN_OPS:
+            op_tok = self.advance()
+            rhs = self.parse_assignment()  # right associative
+            if not isinstance(lhs, (A.VarRef, A.Index)):
+                raise CLCompileError("assignment target must be a variable or element", op_tok.line, op_tok.col)
+            return A.Assign(op=op_tok.text, target=lhs, value=rhs, line=op_tok.line, col=op_tok.col)
+        return lhs
+
+    def parse_ternary(self) -> A.Expr:
+        cond = self.parse_binary(1)
+        if self.accept("?"):
+            then = self.parse_assignment()
+            self.expect(":")
+            els = self.parse_assignment()
+            return A.Ternary(cond=cond, then=then, els=els, line=cond.line, col=cond.col)
+        return cond
+
+    def parse_binary(self, min_prec: int) -> A.Expr:
+        lhs = self.parse_unary()
+        while True:
+            t = self.cur
+            prec = self._BINARY_PRECEDENCE.get(t.text) if t.kind == "op" else None
+            if prec is None or prec < min_prec:
+                return lhs
+            self.advance()
+            rhs = self.parse_binary(prec + 1)
+            lhs = A.BinaryOp(op=t.text, lhs=lhs, rhs=rhs, line=t.line, col=t.col)
+
+    def parse_unary(self) -> A.Expr:
+        t = self.cur
+        if t.kind == "op" and t.text in ("-", "+", "!", "~", "&"):
+            self.advance()
+            operand = self.parse_unary()
+            return A.UnaryOp(op=t.text, operand=operand, line=t.line, col=t.col)
+        if t.kind == "op" and t.text in ("++", "--"):
+            self.advance()
+            operand = self.parse_unary()
+            return A.UnaryOp(op=t.text, operand=operand, line=t.line, col=t.col)
+        if t.text == "(" and self._is_cast_ahead():
+            self.advance()
+            target, _space, _const = self.parse_qualified_type()
+            if isinstance(target, PointerType) or target is VOID:
+                raise CLCompileError("only scalar casts are supported", t.line, t.col)
+            self.expect(")")
+            operand = self.parse_unary()
+            return A.Cast(target_type=target, expr=operand, line=t.line, col=t.col)
+        return self.parse_postfix()
+
+    def _is_cast_ahead(self) -> bool:
+        """Lookahead: '(' followed by a type keyword."""
+        nxt = self.peek()
+        return nxt.kind == "keyword" and nxt.text in _TYPE_START_KEYWORDS
+
+    def parse_postfix(self) -> A.Expr:
+        expr = self.parse_primary()
+        while True:
+            t = self.cur
+            if t.text == "[":
+                self.advance()
+                index = self.parse_expr()
+                self.expect("]")
+                expr = A.Index(base=expr, index=index, line=t.line, col=t.col)
+            elif t.kind == "op" and t.text in ("++", "--"):
+                self.advance()
+                expr = A.PostfixOp(op=t.text, operand=expr, line=t.line, col=t.col)
+            elif t.text == ".":
+                raise CLCompileError("member access is not supported (no structs/vectors)", t.line, t.col)
+            else:
+                return expr
+
+    def parse_primary(self) -> A.Expr:
+        t = self.cur
+        if t.kind == "int":
+            self.advance()
+            explicit = type_from_literal_suffix(t.text)
+            return A.IntLiteral(
+                value=int(t.text.rstrip("uUlL"), 0), explicit_type=explicit, line=t.line, col=t.col
+            )
+        if t.kind == "float":
+            self.advance()
+            text = t.text
+            is_single = text[-1] in "fF"
+            if is_single:
+                text = text[:-1]
+            return A.FloatLiteral(
+                value=float(text),
+                explicit_type=FLOAT if is_single else DOUBLE,
+                line=t.line,
+                col=t.col,
+            )
+        if t.kind == "keyword" and t.text in ("true", "false"):
+            self.advance()
+            return A.BoolLiteral(value=(t.text == "true"), line=t.line, col=t.col)
+        if t.kind == "keyword" and t.text == "sizeof":
+            self.advance()
+            self.expect("(")
+            target, _space, _const = self.parse_qualified_type()
+            self.expect(")")
+            if isinstance(target, PointerType):
+                size = 8  # pointers are 64-bit in this substrate
+            elif target is VOID:
+                raise CLCompileError("sizeof(void) is invalid", t.line, t.col)
+            else:
+                size = target.size
+            from repro.clc.types import SIZE_T
+
+            return A.IntLiteral(value=size, explicit_type=SIZE_T, line=t.line, col=t.col)
+        if t.kind == "ident":
+            self.advance()
+            if self.cur.text == "(":
+                self.advance()
+                args: List[A.Expr] = []
+                if not self.accept(")"):
+                    while True:
+                        args.append(self.parse_assignment())
+                        if not self.accept(","):
+                            break
+                    self.expect(")")
+                return A.Call(name=t.text, args=args, line=t.line, col=t.col)
+            return A.VarRef(name=t.text, line=t.line, col=t.col)
+        if self.accept("("):
+            expr = self.parse_expr()
+            self.expect(")")
+            return expr
+        raise self.error(f"unexpected token {t.text!r} in expression")
+
+
+def parse(source: str) -> A.Program:
+    """Parse preprocessed source into an AST."""
+    return Parser(tokenize(source)).parse_program()

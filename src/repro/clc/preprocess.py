@@ -1,0 +1,163 @@
+"""A minimal OpenCL C preprocessor.
+
+Supports what the paper-era kernels actually use:
+
+* ``//`` and ``/* ... */`` comments (stripped, newlines preserved so that
+  diagnostics keep their line numbers),
+* object-like ``#define NAME replacement`` macros,
+* ``-D NAME`` / ``-D NAME=value`` build options (``clBuildProgram``),
+* ``#ifdef`` / ``#ifndef`` / ``#else`` / ``#endif`` conditionals,
+* ``#undef``.
+
+Function-like macros and ``#include`` are rejected with a clean compile
+error (no host filesystem in a distributed build — the same restriction
+real dOpenCL daemons face when sources are shipped over the wire).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from repro.clc.errors import CLCompileError
+
+_IDENT = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+def parse_build_options(options: str) -> Dict[str, str]:
+    """Extract ``-D`` macro definitions from a build options string."""
+    macros: Dict[str, str] = {}
+    tokens = options.split()
+    i = 0
+    while i < len(tokens):
+        tok = tokens[i]
+        if tok == "-D":
+            i += 1
+            if i >= len(tokens):
+                raise CLCompileError("build options: -D needs an argument")
+            definition = tokens[i]
+        elif tok.startswith("-D"):
+            definition = tok[2:]
+        elif tok.startswith("-cl-") or tok in ("-w", "-Werror"):
+            i += 1
+            continue  # recognised-but-ignored optimisation flags
+        elif tok.startswith("-I"):
+            raise CLCompileError("build options: -I include paths are not supported")
+        else:
+            raise CLCompileError(f"build options: unknown option {tok!r}")
+        name, eq, value = definition.partition("=")
+        if not _IDENT.fullmatch(name):
+            raise CLCompileError(f"build options: bad macro name {name!r}")
+        macros[name] = value if eq else "1"
+        i += 1
+    return macros
+
+
+def strip_comments(source: str) -> str:
+    """Remove comments, preserving line structure."""
+    out: List[str] = []
+    i, n = 0, len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "/" and i + 1 < n and source[i + 1] == "/":
+            while i < n and source[i] != "\n":
+                i += 1
+        elif ch == "/" and i + 1 < n and source[i + 1] == "*":
+            end = source.find("*/", i + 2)
+            if end < 0:
+                line = source.count("\n", 0, i) + 1
+                raise CLCompileError("unterminated block comment", line)
+            out.append("\n" * source.count("\n", i, end))
+            i = end + 2
+            continue
+        else:
+            out.append(ch)
+            i += 1
+            continue
+    return "".join(out)
+
+
+def preprocess(source: str, options: str = "") -> str:
+    """Run the preprocessor; returns expanded source with stable line count."""
+    macros = parse_build_options(options)
+    text = strip_comments(source)
+    lines = text.split("\n")
+    out_lines: List[str] = []
+    # Stack of (taken_now, any_branch_taken) for conditional nesting.
+    cond_stack: List[Tuple[bool, bool]] = []
+
+    def active() -> bool:
+        return all(taken for taken, _ in cond_stack)
+
+    for lineno, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if stripped.startswith("#"):
+            directive = stripped[1:].strip()
+            out_lines.append("")  # keep line numbering stable
+            if directive.startswith("define"):
+                if not active():
+                    continue
+                body = directive[len("define") :].strip()
+                m = _IDENT.match(body)
+                if not m:
+                    raise CLCompileError("malformed #define", lineno)
+                name = m.group(0)
+                rest = body[m.end() :]
+                if rest.startswith("("):
+                    raise CLCompileError(
+                        f"function-like macro {name!r} is not supported", lineno
+                    )
+                macros[name] = rest.strip()
+            elif directive.startswith("undef"):
+                if not active():
+                    continue
+                name = directive[len("undef") :].strip()
+                macros.pop(name, None)
+            elif directive.startswith("ifdef"):
+                name = directive[len("ifdef") :].strip()
+                taken = active() and name in macros
+                cond_stack.append((taken, taken))
+            elif directive.startswith("ifndef"):
+                name = directive[len("ifndef") :].strip()
+                taken = active() and name not in macros
+                cond_stack.append((taken, taken))
+            elif directive.startswith("else"):
+                if not cond_stack:
+                    raise CLCompileError("#else without #ifdef", lineno)
+                _, was_taken = cond_stack[-1]
+                parent_active = all(t for t, _ in cond_stack[:-1])
+                taken = parent_active and not was_taken
+                cond_stack[-1] = (taken, was_taken or taken)
+            elif directive.startswith("endif"):
+                if not cond_stack:
+                    raise CLCompileError("#endif without #ifdef", lineno)
+                cond_stack.pop()
+            elif directive.startswith("include"):
+                raise CLCompileError("#include is not supported", lineno)
+            elif directive.startswith("pragma"):
+                pass  # e.g. OPENCL EXTENSION — accepted and ignored
+            else:
+                raise CLCompileError(f"unknown directive #{directive.split()[0]}", lineno)
+            continue
+        if not active():
+            out_lines.append("")
+            continue
+        out_lines.append(_expand(line, macros))
+    if cond_stack:
+        raise CLCompileError("unterminated #ifdef", len(lines))
+    return "\n".join(out_lines)
+
+
+def _expand(line: str, macros: Dict[str, str], depth: int = 0) -> str:
+    if depth > 16:
+        raise CLCompileError("macro expansion too deep (recursive #define?)")
+    if not macros:
+        return line
+
+    def sub(match: re.Match) -> str:
+        name = match.group(0)
+        if name in macros:
+            return _expand(macros[name], {k: v for k, v in macros.items() if k != name}, depth + 1)
+        return name
+
+    return _IDENT.sub(sub, line)

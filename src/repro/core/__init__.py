@@ -1,0 +1,28 @@
+"""dOpenCL — the paper's primary contribution.
+
+A distributed *meta-implementation* of OpenCL: the client driver
+(:mod:`repro.core.client`) intercepts flat ``cl*`` API calls and forwards
+them over the network to daemons (:mod:`repro.core.daemon`) that replay
+them against each server's native OpenCL runtime (:mod:`repro.ocl`).
+
+Subpackages map onto the paper's sections:
+
+* :mod:`repro.core.protocol` — request/response/notification message types
+  (Section III-B message-based and stream-based communication);
+* :mod:`repro.core.daemon` — per-server daemon with object registry and
+  managed mode (Sections III-B, IV-A);
+* :mod:`repro.core.client` — client driver: the dOpenCL platform, simple
+  and compound stubs, connection management and the ``*WWU`` API
+  extensions (Sections III-B through III-E);
+* :mod:`repro.core.coherence` — the directory-based MSI protocol for
+  memory objects, plus the Section III-F MOSI/server-to-server extension;
+* :mod:`repro.core.devmgr` — the central device manager with leases and
+  scheduling strategies (Section IV).
+"""
+
+from repro.core.client.api import DOpenCLAPI
+from repro.core.client.driver import DOpenCLDriver
+from repro.core.daemon.daemon import Daemon
+from repro.core.devmgr.manager import DeviceManager
+
+__all__ = ["DOpenCLAPI", "DOpenCLDriver", "Daemon", "DeviceManager"]

@@ -1,0 +1,8 @@
+"""The dOpenCL client driver (client side)."""
+
+from repro.core.client.driver import DOpenCLDriver
+from repro.core.client.api import DOpenCLAPI
+from repro.core.client.connection import parse_server_list, ServerConnection
+from repro.core.client import stubs
+
+__all__ = ["DOpenCLAPI", "DOpenCLDriver", "ServerConnection", "parse_server_list", "stubs"]

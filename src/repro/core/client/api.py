@@ -1,0 +1,608 @@
+"""The flat OpenCL API implemented by the dOpenCL client driver.
+
+Exposes exactly the same method surface as
+:class:`repro.ocl.api.NativeAPI`, so an application written against that
+surface runs on dOpenCL *unmodified* — the paper's headline property
+("dOpenCL allows running existing OpenCL applications in a heterogeneous
+distributed environment without any modifications").
+
+Paper-parity limitations are honoured: images, samplers, buffer mapping
+and event profiling raise ``CL_INVALID_OPERATION`` (Section III-B lists
+them as unimplemented in dOpenCL).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.clc import LocalMemory
+from repro.core.client.driver import DOpenCLDriver
+from repro.core.client.stubs import (
+    BufferStub,
+    ContextStub,
+    EventStub,
+    KernelStub,
+    ProgramStub,
+    QueueStub,
+    RemoteDevice,
+    ServerHandle,
+    UserEventStub,
+)
+from repro.core.protocol import messages as P
+from repro.ocl.api import API_CALL_OVERHEAD
+from repro.ocl.constants import (
+    CL_COMMAND_NDRANGE_KERNEL,
+    CL_COMMAND_READ_BUFFER,
+    CL_COMMAND_WRITE_BUFFER,
+    CL_COMPLETE,
+    CL_DEVICE_TYPE_ALL,
+    CL_MEM_COPY_HOST_PTR,
+    CL_MEM_READ_WRITE,
+    CL_MEM_USE_HOST_PTR,
+    ErrorCode,
+)
+from repro.ocl.errors import CLError, require
+
+
+class DOpenCLAPI:
+    """Flat ``cl*`` API over a :class:`DOpenCLDriver`."""
+
+    LocalMemory = LocalMemory
+
+    def __init__(self, driver: DOpenCLDriver) -> None:
+        self.driver = driver
+        self.clock = driver.clock
+
+    # ------------------------------------------------------------------
+    def _tick(self) -> float:
+        return self.clock.advance_by(API_CALL_OVERHEAD)
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    # -- platform / device ------------------------------------------------
+    def clGetPlatformIDs(self) -> List[object]:
+        self._tick()
+        return [self.driver.platform]
+
+    def clGetPlatformInfo(self, platform, key: str) -> object:
+        self._tick()
+        return platform.get_info(key)
+
+    def clGetDeviceIDs(self, platform, device_type: int = CL_DEVICE_TYPE_ALL) -> List[RemoteDevice]:
+        self._tick()
+        # Automatic connection happens here — "during the application's
+        # initialization phase, when it obtains the list of available
+        # devices" (Section III-C).
+        self.driver.ensure_connected()
+        return platform.get_devices(device_type)
+
+    def clGetDeviceInfo(self, device: RemoteDevice, key: str) -> object:
+        self._tick()
+        return device.get_info(key)  # answered from the client-side cache
+
+    # -- dOpenCL API extension (paper Listing 1) ----------------------------
+    def clConnectServerWWU(self, address: str) -> ServerHandle:
+        self._tick()
+        return self.driver.connect_server(address)
+
+    def clDisconnectServerWWU(self, server: ServerHandle) -> None:
+        self._tick()
+        self.driver.disconnect_server(server)
+
+    def clGetServerInfoWWU(self, server: ServerHandle, key: str) -> object:
+        self._tick()
+        return self.driver.server_info(server, key)
+
+    # -- context --------------------------------------------------------------
+    def clCreateContext(self, devices: Sequence[RemoteDevice]) -> ContextStub:
+        self._tick()
+        require(len(devices) > 0, ErrorCode.CL_INVALID_VALUE, "context needs devices")
+        for dev in devices:
+            if not isinstance(dev, RemoteDevice):
+                raise CLError(ErrorCode.CL_INVALID_DEVICE, f"not a dOpenCL device: {dev!r}")
+            if not dev.available:
+                raise CLError(ErrorCode.CL_DEVICE_NOT_AVAILABLE, dev.name)
+        context = ContextStub(self.driver, self.driver.new_id(), list(devices))
+        self.driver.fanout(
+            context.unique_servers,
+            lambda conn: P.CreateContextRequest(
+                context_id=context.id,
+                device_ids=[d.remote_id for d in context.server_devices[conn.name]],
+            ),
+        )
+        return context
+
+    def clRetainContext(self, context: ContextStub) -> None:
+        context.retain()
+
+    def clReleaseContext(self, context: ContextStub) -> None:
+        context.release()
+        if context.refcount <= 0:
+            self.driver.fanout(
+                context.unique_servers,
+                lambda conn: P.ReleaseContextRequest(context_id=context.id),
+            )
+
+    # -- command queue ------------------------------------------------------------
+    def clCreateCommandQueue(self, context: ContextStub, device: RemoteDevice, properties: int = 0) -> QueueStub:
+        self._tick()
+        if device not in context.devices:
+            raise CLError(ErrorCode.CL_INVALID_DEVICE, "device not in context")
+        queue = QueueStub(context, self.driver.new_id(), device, properties)
+        conn = device.server
+        outcome = self.driver.fanout(
+            [conn],
+            lambda c: P.CreateQueueRequest(
+                queue_id=queue.id,
+                context_id=context.id,
+                device_id=device.remote_id,
+                properties=properties,
+            ),
+        )
+        return queue
+
+    def clRetainCommandQueue(self, queue: QueueStub) -> None:
+        queue.retain()
+
+    def clReleaseCommandQueue(self, queue: QueueStub) -> None:
+        queue.release()
+        if queue.refcount <= 0:
+            self.driver.fanout([queue.server], lambda c: P.ReleaseQueueRequest(queue_id=queue.id))
+
+    def clFinish(self, queue: QueueStub) -> None:
+        self._tick()
+        self.driver.fanout([queue.server], lambda c: P.FinishRequest(queue_id=queue.id))
+
+    def clFlush(self, queue: QueueStub) -> None:
+        self._tick()
+        self.driver.fanout([queue.server], lambda c: P.FlushRequest(queue_id=queue.id))
+
+    # -- memory ---------------------------------------------------------------------
+    def clCreateBuffer(
+        self,
+        context: ContextStub,
+        flags: int,
+        size: int,
+        host_data: Optional[np.ndarray] = None,
+    ) -> BufferStub:
+        self._tick()
+        require(size > 0, ErrorCode.CL_INVALID_BUFFER_SIZE, f"size must be positive, got {size}")
+        if flags & (CL_MEM_COPY_HOST_PTR | CL_MEM_USE_HOST_PTR):
+            require(host_data is not None, ErrorCode.CL_INVALID_HOST_PTR, "flags require host data")
+        elif host_data is not None:
+            raise CLError(
+                ErrorCode.CL_INVALID_HOST_PTR,
+                "host data passed without CL_MEM_COPY_HOST_PTR/CL_MEM_USE_HOST_PTR",
+            )
+        buffer = BufferStub(
+            context,
+            self.driver.new_id(),
+            flags or CL_MEM_READ_WRITE,
+            size,
+            protocol=self.driver.coherence_protocol,
+        )
+        if host_data is not None:
+            raw = np.ascontiguousarray(host_data).view(np.uint8).ravel()
+            require(
+                raw.size == size,
+                ErrorCode.CL_INVALID_HOST_PTR,
+                f"host data is {raw.size} bytes, buffer is {size}",
+            )
+            buffer.data[:] = raw
+        # Remote copies are plain allocations: host-pointer flags stay
+        # client-side (the data reaches servers through coherence uploads).
+        remote_flags = buffer.flags & ~(CL_MEM_COPY_HOST_PTR | CL_MEM_USE_HOST_PTR)
+        self.driver.fanout(
+            context.unique_servers,
+            lambda conn: P.CreateBufferRequest(
+                buffer_id=buffer.id, context_id=context.id, flags=remote_flags, size=size
+            ),
+        )
+        return buffer
+
+    def clRetainMemObject(self, buffer: BufferStub) -> None:
+        buffer.retain()
+
+    def clReleaseMemObject(self, buffer: BufferStub) -> None:
+        buffer.release()
+        if buffer.released:
+            self.driver.fanout(
+                buffer.context.unique_servers,
+                lambda conn: P.ReleaseBufferRequest(buffer_id=buffer.id),
+            )
+
+    def clEnqueueWriteBuffer(
+        self,
+        queue: QueueStub,
+        buffer: BufferStub,
+        blocking: bool,
+        offset: int,
+        data: np.ndarray,
+        wait_for: Optional[Sequence[EventStub]] = None,
+    ) -> EventStub:
+        t = self._tick()
+        self._check_queue_buffer(queue, buffer)
+        raw = np.ascontiguousarray(data).view(np.uint8).ravel()
+        partial = offset != 0 or raw.size != buffer.size
+        if partial and not buffer.coherence.is_valid("client"):
+            # Read-modify-write: fetch a valid copy before a partial update.
+            plan = buffer.coherence.acquire_read("client")
+            self.driver.run_transfer_plan(buffer, plan, queue)
+        buffer.write_host(offset, raw)
+        event = self.driver.new_event_stub(queue.context, queue.server.name, CL_COMMAND_WRITE_BUFFER)
+        self._upload_with_event(buffer, queue, event, wait_for)
+        # The application's host pointer is transient: after the upload the
+        # *server's* copy is the modified one and the client stub (like all
+        # other copies) is invalid — which is why a subsequent read streams
+        # the data back over the network (the Fig. 7 measurement).
+        buffer.coherence.mark_modified(queue.server.name)
+        if blocking and event.resolved:
+            self.clock.advance_to(event.completion_arrival)
+        return event
+
+    def _upload_with_event(
+        self,
+        buffer: BufferStub,
+        queue: QueueStub,
+        event: EventStub,
+        wait_for: Optional[Sequence[EventStub]],
+    ) -> None:
+        init = P.BufferDataUpload(
+            buffer_id=buffer.id,
+            queue_id=queue.id,
+            event_id=event.id,
+            offset=0,
+            nbytes=buffer.size,
+            wait_event_ids=[e.id for e in (wait_for or [])],
+        )
+        outcome, arrival = self.driver.gcf.send_bulk(
+            queue.server.daemon.gcf, init, buffer.data.tobytes(), buffer.size, self.clock.now
+        )
+        self.driver.check(outcome.response)
+        self.clock.advance_to(arrival)
+
+    def clEnqueueReadBuffer(
+        self,
+        queue: QueueStub,
+        buffer: BufferStub,
+        blocking: bool = True,
+        offset: int = 0,
+        nbytes: Optional[int] = None,
+        wait_for: Optional[Sequence[EventStub]] = None,
+    ):
+        """Returns ``(data, event)``.
+
+        Per the MSI protocol: only touches the network when the client's
+        copy is invalid (then it downloads the whole object from the
+        modified owner)."""
+        t = self._tick()
+        self._check_queue_buffer(queue, buffer)
+        if wait_for:
+            for ev in wait_for:
+                self.clock.advance_to(ev.wait(self.clock.now))
+        if nbytes is None:
+            nbytes = buffer.size - offset
+        event = EventStub(queue.context, self.driver.new_id(), queue.server.name, CL_COMMAND_READ_BUFFER)
+        self.driver._events[event.id] = event
+        plan = buffer.coherence.acquire_read("client")
+        if plan:
+            self.driver.run_transfer_plan(buffer, plan, queue)
+        event.mark_complete(self.clock.now, self.clock.now)
+        data = buffer.read_host(offset, nbytes)
+        return data, event
+
+    def clEnqueueCopyBuffer(
+        self,
+        queue: QueueStub,
+        src: BufferStub,
+        dst: BufferStub,
+        src_offset: int = 0,
+        dst_offset: int = 0,
+        nbytes: Optional[int] = None,
+        wait_for: Optional[Sequence[EventStub]] = None,
+    ) -> EventStub:
+        t = self._tick()
+        self._check_queue_buffer(queue, src)
+        self._check_queue_buffer(queue, dst)
+        if nbytes is None:
+            nbytes = src.size - src_offset
+        # Client-mediated copy: validate the client's copy of src, update
+        # dst on the client, push dst to the queue's server.
+        plan = src.coherence.acquire_read("client")
+        self.driver.run_transfer_plan(src, plan, queue)
+        if not dst.coherence.is_valid("client") and (dst_offset != 0 or nbytes != dst.size):
+            self.driver.run_transfer_plan(dst, dst.coherence.acquire_read("client"), queue)
+        dst.write_host(dst_offset, src.read_host(src_offset, nbytes))
+        event = self.driver.new_event_stub(queue.context, queue.server.name, CL_COMMAND_WRITE_BUFFER)
+        self._upload_with_event(dst, queue, event, wait_for)
+        dst.coherence.mark_modified(queue.server.name)
+        return event
+
+    def _check_queue_buffer(self, queue: QueueStub, buffer: BufferStub) -> None:
+        if not isinstance(buffer, BufferStub):
+            raise CLError(ErrorCode.CL_INVALID_MEM_OBJECT, f"not a buffer: {buffer!r}")
+        if buffer.context is not queue.context:
+            raise CLError(ErrorCode.CL_INVALID_MEM_OBJECT, "buffer from another context")
+        if buffer.released:
+            raise CLError(ErrorCode.CL_INVALID_MEM_OBJECT, "buffer was released")
+
+    # -- unimplemented in dOpenCL (Section III-B parity) ----------------------------
+    def clCreateImage2D(self, *args, **kwargs):
+        raise CLError(
+            ErrorCode.CL_INVALID_OPERATION,
+            "images are not implemented in dOpenCL (Section III-B)",
+        )
+
+    clCreateImage3D = clCreateImage2D
+
+    def clCreateSampler(self, *args, **kwargs):
+        raise CLError(
+            ErrorCode.CL_INVALID_OPERATION,
+            "samplers are not implemented in dOpenCL (Section III-B)",
+        )
+
+    def clEnqueueMapBuffer(self, *args, **kwargs):
+        raise CLError(
+            ErrorCode.CL_INVALID_OPERATION,
+            "buffer mapping is not implemented in dOpenCL (Section III-B)",
+        )
+
+    def clGetEventProfilingInfo(self, event, param):
+        raise CLError(
+            ErrorCode.CL_INVALID_OPERATION,
+            "event profiling is not implemented in dOpenCL (Section III-B)",
+        )
+
+    # -- program / kernel --------------------------------------------------------------
+    def clCreateProgramWithSource(self, context: ContextStub, source: str) -> ProgramStub:
+        self._tick()
+        require(bool(source.strip()), ErrorCode.CL_INVALID_VALUE, "empty program source")
+        program = ProgramStub(context, self.driver.new_id(), source)
+        # "the implementation of some OpenCL functions, e.g., for uploading
+        # a program to a device (clCreateProgramWithSource), includes bulk
+        # data transfers" (Section III-B).
+        payload = source.encode("utf-8")
+        t = self.clock.now
+        latest = t
+        for conn in context.unique_servers:
+            init = P.CreateProgramRequest(
+                program_id=program.id, context_id=context.id, source_bytes=len(payload)
+            )
+            outcome, arrival = self.driver.gcf.send_bulk(
+                conn.daemon.gcf, init, payload, len(payload), t
+            )
+            self.driver.check(outcome.response)
+            latest = max(latest, arrival)
+        self.clock.advance_to(latest)
+        return program
+
+    def clBuildProgram(self, program: ProgramStub, options: str = "") -> None:
+        self._tick()
+        program.options = options
+        outcomes = {}
+        t = self.clock.now
+        latest = t
+        failures = []
+        for conn in program.context.unique_servers:
+            outcome = self.driver.gcf.request(
+                conn.daemon.gcf, P.BuildProgramRequest(program_id=program.id, options=options), t
+            )
+            outcomes[conn.name] = outcome
+            latest = max(latest, outcome.reply_arrival)
+        self.clock.advance_to(latest)
+        for name, outcome in outcomes.items():
+            resp = outcome.response
+            program.build_logs[name] = resp.log
+            if resp.error:
+                failures.append((name, resp))
+        if failures:
+            program.build_status = "ERROR"
+            raise CLError(
+                ErrorCode.CL_BUILD_PROGRAM_FAILURE,
+                "; ".join(f"[{name}] {resp.detail or resp.log}" for name, resp in failures),
+            )
+        program.build_status = "SUCCESS"
+
+    def clGetProgramBuildInfo(self, program: ProgramStub, device, key: str) -> object:
+        self._tick()
+        return program.build_info(key)
+
+    def clRetainProgram(self, program: ProgramStub) -> None:
+        program.retain()
+
+    def clReleaseProgram(self, program: ProgramStub) -> None:
+        program.release()
+        if program.refcount <= 0:
+            self.driver.fanout(
+                program.context.unique_servers,
+                lambda conn: P.ReleaseProgramRequest(program_id=program.id),
+            )
+
+    def clCreateKernel(self, program: ProgramStub, name: str) -> KernelStub:
+        self._tick()
+        if program.build_status != "SUCCESS":
+            raise CLError(
+                ErrorCode.CL_INVALID_PROGRAM_EXECUTABLE,
+                "program has not been built successfully",
+            )
+        kernel_id = self.driver.new_id()
+        outcomes = self.driver.fanout(
+            program.context.unique_servers,
+            lambda conn: P.CreateKernelRequest(kernel_id=kernel_id, program_id=program.id, name=name),
+        )
+        first = next(iter(outcomes.values())).response
+        return KernelStub(
+            program,
+            kernel_id,
+            name,
+            num_args=first.num_args,
+            arg_kinds=first.arg_kinds or [],
+            arg_types=first.arg_types or [],
+            writable_buffer_args=first.writable_buffer_args or [],
+        )
+
+    def clCreateKernelsInProgram(self, program: ProgramStub) -> List[KernelStub]:
+        raise CLError(
+            ErrorCode.CL_INVALID_OPERATION,
+            "clCreateKernelsInProgram is not forwarded; create kernels by name",
+        )
+
+    def clSetKernelArg(self, kernel: KernelStub, index: int, value: object) -> None:
+        self._tick()
+        require(
+            0 <= index < kernel.num_args,
+            ErrorCode.CL_INVALID_ARG_INDEX,
+            f"kernel {kernel.name!r} has {kernel.num_args} args, got index {index}",
+        )
+        kind = kernel.arg_kinds[index]
+        if kind == "buffer":
+            if not isinstance(value, BufferStub):
+                raise CLError(
+                    ErrorCode.CL_INVALID_ARG_VALUE,
+                    f"argument {index} of {kernel.name!r} must be a Buffer",
+                )
+            if value.context is not kernel.context:
+                raise CLError(ErrorCode.CL_INVALID_MEM_OBJECT, "buffer from another context")
+            msg_kwargs = dict(kind="buffer", buffer_id=value.id)
+        elif kind == "local":
+            if not isinstance(value, LocalMemory):
+                raise CLError(
+                    ErrorCode.CL_INVALID_ARG_VALUE,
+                    f"argument {index} of {kernel.name!r} is __local; pass LocalMemory(nbytes)",
+                )
+            msg_kwargs = dict(kind="local", local_nbytes=value.nbytes)
+        else:
+            if isinstance(value, (BufferStub, LocalMemory)):
+                raise CLError(
+                    ErrorCode.CL_INVALID_ARG_VALUE,
+                    f"argument {index} of {kernel.name!r} is a scalar",
+                )
+            wire_value = value
+            if isinstance(value, (np.integer, np.bool_)):
+                wire_value = int(value)
+            elif isinstance(value, np.floating):
+                wire_value = float(value)
+            msg_kwargs = dict(kind="value", value=wire_value)
+        kernel.args[index] = value
+        kernel.args_set[index] = True
+        self.driver.fanout(
+            kernel.context.unique_servers,
+            lambda conn: P.SetKernelArgRequest(kernel_id=kernel.id, index=index, **msg_kwargs),
+        )
+
+    def clRetainKernel(self, kernel: KernelStub) -> None:
+        kernel.retain()
+
+    def clReleaseKernel(self, kernel: KernelStub) -> None:
+        kernel.release()
+        if kernel.refcount <= 0:
+            self.driver.fanout(
+                kernel.context.unique_servers,
+                lambda conn: P.ReleaseKernelRequest(kernel_id=kernel.id),
+            )
+
+    def clEnqueueNDRangeKernel(
+        self,
+        queue: QueueStub,
+        kernel: KernelStub,
+        global_size: Sequence[int],
+        local_size: Optional[Sequence[int]] = None,
+        global_offset: Optional[Sequence[int]] = None,
+        wait_for: Optional[Sequence[EventStub]] = None,
+    ) -> EventStub:
+        t = self._tick()
+        if kernel.context is not queue.context:
+            raise CLError(ErrorCode.CL_INVALID_KERNEL, "kernel from another context")
+        if not all(kernel.args_set):
+            missing = kernel.args_set.index(False)
+            raise CLError(
+                ErrorCode.CL_INVALID_KERNEL_ARGS,
+                f"argument {missing} of {kernel.name!r} is not set",
+            )
+        server = queue.server
+        # Memory consistency (Section III-D): "When a server is about to
+        # execute a command, it requires a valid copy of each memory object
+        # that will be read" — the client runs the MSI plan per buffer arg.
+        for buffer in kernel.buffer_args():
+            plan = buffer.coherence.acquire_read(server.name)
+            self.driver.run_transfer_plan(buffer, plan, queue)
+        event = self.driver.new_event_stub(queue.context, server.name, CL_COMMAND_NDRANGE_KERNEL)
+        outcome = self.driver.gcf.request(
+            server.daemon.gcf,
+            P.EnqueueKernelRequest(
+                queue_id=queue.id,
+                kernel_id=kernel.id,
+                event_id=event.id,
+                global_size=[int(g) for g in global_size],
+                local_size=[int(v) for v in local_size] if local_size else [],
+                global_offset=[int(v) for v in global_offset] if global_offset else [],
+                wait_event_ids=[e.id for e in (wait_for or [])],
+            ),
+            self.clock.now,
+        )
+        self.clock.advance_to(outcome.reply_arrival)
+        self.driver.check(outcome.response)
+        # The kernel (may have) modified its writable buffer arguments:
+        # that server's copies become Modified, everything else Invalid.
+        for index in kernel.writable_buffer_args:
+            value = kernel.args[index]
+            if isinstance(value, BufferStub):
+                value.coherence.mark_modified(server.name)
+        return event
+
+    # -- events -------------------------------------------------------------------------
+    def clWaitForEvents(self, events: Sequence[EventStub]) -> None:
+        t = self._tick()
+        if not events:
+            raise CLError(ErrorCode.CL_INVALID_VALUE, "empty event list")
+        for ev in events:
+            self.clock.advance_to(ev.wait(self.clock.now))
+
+    def clGetEventInfo(self, event: EventStub, key: str = "STATUS") -> object:
+        self._tick()
+        if key == "STATUS":
+            return event.status
+        if key == "COMMAND_TYPE":
+            return event.command_type
+        raise CLError(ErrorCode.CL_INVALID_VALUE, f"unknown event info key {key!r}")
+
+    def clSetEventCallback(self, event: EventStub, callback, status: int = CL_COMPLETE) -> None:
+        self._tick()
+        if status != CL_COMPLETE:
+            raise CLError(ErrorCode.CL_INVALID_VALUE, "only CL_COMPLETE callbacks supported")
+        if event.resolved:
+            callback(event, CL_COMPLETE, event.completion_arrival)
+        else:
+            raise CLError(
+                ErrorCode.CL_INVALID_OPERATION,
+                "deferred client-side callbacks are not supported by this driver",
+            )
+
+    def clCreateUserEvent(self, context: ContextStub) -> UserEventStub:
+        self._tick()
+        return self.driver.new_user_event_stub(context)
+
+    def clSetUserEventStatus(self, event: UserEventStub, status: int) -> None:
+        t = self._tick()
+        if not isinstance(event, UserEventStub):
+            raise CLError(ErrorCode.CL_INVALID_EVENT, "not a user event")
+        if event.resolved:
+            raise CLError(ErrorCode.CL_INVALID_OPERATION, "user event status already set")
+        self.driver.fanout(
+            event.context.unique_servers,
+            lambda conn: P.SetUserEventStatusRequest(event_id=event.id, status=status),
+        )
+        event.mark_complete(t, self.clock.now)
+
+    def clRetainEvent(self, event: EventStub) -> None:
+        event.retain()
+
+    def clReleaseEvent(self, event: EventStub) -> None:
+        event.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<DOpenCLAPI {self.driver!r}>"

@@ -1,0 +1,80 @@
+"""Server connection management and the server list configuration file.
+
+Paper Listing 2: a plain-text file in the application's execution
+directory, one server per line (host name or IP, optional ``:port``),
+``#`` comments.  "During the application's initialization phase ... the
+client driver automatically connects to the servers specified in the
+configuration file" (Section III-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.ocl.constants import ErrorCode
+from repro.ocl.errors import CLError
+
+
+def parse_server_list(text: str) -> List[str]:
+    """Parse a Listing-2 style configuration file into server addresses."""
+    servers: List[str] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if " " in line or "\t" in line:
+            raise CLError(
+                ErrorCode.CL_INVALID_VALUE,
+                f"server list line {lineno}: one server per line, got {line!r}",
+            )
+        servers.append(line)
+    return servers
+
+
+def address_host(address: str) -> str:
+    """Strip the optional ``:port`` from a server address."""
+    return address.rsplit(":", 1)[0] if ":" in address else address
+
+
+@dataclass
+class ServerConnection:
+    """One live connection from the client driver to a daemon."""
+
+    name: str
+    daemon: object  # repro.core.daemon.Daemon
+    connected_at: float
+    devices: List[object] = field(default_factory=list)  # RemoteDevice stubs
+    connected: bool = True
+
+    @property
+    def gcf(self):
+        return self.daemon.gcf
+
+
+class DaemonDirectory:
+    """Name -> daemon resolution (the simulation's DNS)."""
+
+    def __init__(self, daemons: Optional[Dict[str, object]] = None) -> None:
+        self._daemons: Dict[str, object] = dict(daemons or {})
+
+    @staticmethod
+    def of(daemons) -> "DaemonDirectory":
+        """Build from a list of daemons (keyed by daemon name)."""
+        return DaemonDirectory({d.name: d for d in daemons})
+
+    def add(self, daemon) -> None:
+        self._daemons[daemon.name] = daemon
+
+    def resolve(self, address: str):
+        host = address_host(address)
+        daemon = self._daemons.get(host)
+        if daemon is None:
+            raise CLError(
+                ErrorCode.CL_CONNECTION_ERROR_WWU,
+                f"cannot resolve server {address!r}",
+            )
+        return daemon
+
+    def __contains__(self, address: str) -> bool:
+        return address_host(address) in self._daemons

@@ -1,0 +1,385 @@
+"""The dOpenCL client driver.
+
+"The main task of the client driver is to intercept calls to OpenCL API
+functions and redirect them to daemons that own the management objects
+which the functions refer to" (Section III-B).
+
+This class owns: the connection set (config file, ``clConnectServerWWU``,
+device-manager assignment), the unique-ID allocator for stubs, the
+fan-out machinery for compound-stub call replication, the execution of
+coherence-protocol transfer plans, and the event-consistency protocol
+(original event + user-event replicas + completion notifications).
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.client.connection import (
+    DaemonDirectory,
+    ServerConnection,
+    address_host,
+    parse_server_list,
+)
+from repro.core.client.platform import DOpenCLPlatform
+from repro.core.client.stubs import (
+    BufferStub,
+    ContextStub,
+    EventStub,
+    KernelStub,
+    ProgramStub,
+    QueueStub,
+    RemoteDevice,
+    ServerHandle,
+    UserEventStub,
+)
+from repro.core.coherence.directory import CLIENT, Transfer
+from repro.core.devmgr.config import parse_devmgr_config
+from repro.core.protocol import messages as P
+from repro.hw.node import Host
+from repro.net.gcf import GCFProcess, RequestOutcome
+from repro.net.link import ConnectionRefused
+from repro.net.network import Network
+from repro.ocl.constants import CL_COMPLETE, CL_DEVICE_TYPE_ALL, ErrorCode
+from repro.ocl.errors import CLError
+from repro.sim.clock import VirtualClock
+
+
+class DOpenCLDriver:
+    """Client driver instance for one application."""
+
+    def __init__(
+        self,
+        host: Host,
+        network: Network,
+        directory: Optional[DaemonDirectory] = None,
+        clock: Optional[VirtualClock] = None,
+        config_text: Optional[str] = None,
+        devmgr_config_text: Optional[str] = None,
+        device_manager: Optional[object] = None,
+        coherence_protocol: str = "msi",
+        name: Optional[str] = None,
+    ) -> None:
+        self.host = host
+        self.network = network
+        self.directory = directory or DaemonDirectory()
+        self.clock = clock if clock is not None else VirtualClock(name=f"{host.name}.app")
+        self.gcf = GCFProcess(name or f"client@{host.name}", host, network)
+        self.platform = DOpenCLPlatform(self)
+        self.config_text = config_text
+        self.devmgr_config_text = devmgr_config_text
+        self.device_manager = device_manager
+        self.coherence_protocol = coherence_protocol
+        self._connections: Dict[str, ServerConnection] = {}
+        self._ids = count(1)
+        self._events: Dict[int, EventStub] = {}
+        self._auto_connected = False
+        self.auth_id: Optional[str] = None
+        self._install_notification_handlers()
+
+    # ------------------------------------------------------------------
+    # ids / bookkeeping
+    # ------------------------------------------------------------------
+    def new_id(self) -> int:
+        return next(self._ids)
+
+    def connections(self) -> List[ServerConnection]:
+        return [c for c in self._connections.values() if c.connected]
+
+    def connection(self, name: str) -> ServerConnection:
+        conn = self._connections.get(name)
+        if conn is None or not conn.connected:
+            raise CLError(ErrorCode.CL_INVALID_SERVER_WWU, f"not connected to {name!r}")
+        return conn
+
+    @staticmethod
+    def check(response) -> object:
+        """Raise a faithful CLError if a daemon response reports one."""
+        error = getattr(response, "error", 0)
+        if error:
+            raise CLError(ErrorCode(error), getattr(response, "detail", ""))
+        return response
+
+    # ------------------------------------------------------------------
+    # connection management (Section III-C + IV-B)
+    # ------------------------------------------------------------------
+    def ensure_connected(self) -> None:
+        """Automatic connection on first device query (initialisation
+        phase): config-file servers plus device-manager assignment."""
+        if self._auto_connected:
+            return
+        self._auto_connected = True
+        if self.devmgr_config_text is not None:
+            self._request_assignment()
+        if self.config_text is not None:
+            for address in parse_server_list(self.config_text):
+                self.connect_server(address)
+
+    def connect_server(self, address: str, auth_id: Optional[str] = None) -> ServerHandle:
+        """``clConnectServerWWU``: handshake + device list fetch."""
+        daemon = self.directory.resolve(address)
+        name = address_host(address)
+        existing = self._connections.get(name)
+        if existing is not None and existing.connected:
+            return ServerHandle(existing)
+        payload = {"auth_id": auth_id} if auth_id is not None else None
+        try:
+            t = self.gcf.connect(daemon.gcf, self.clock.now, payload=payload)
+        except ConnectionRefused as exc:
+            raise CLError(ErrorCode.CL_CONNECTION_ERROR_WWU, str(exc)) from exc
+        self.clock.advance_to(t)
+        outcome = self.gcf.request(
+            daemon.gcf, P.ListDevicesRequest(device_type=CL_DEVICE_TYPE_ALL), self.clock.now
+        )
+        self.clock.advance_to(outcome.reply_arrival)
+        resp = self.check(outcome.response)
+        conn = ServerConnection(name=name, daemon=daemon, connected_at=t)
+        conn.devices = [
+            RemoteDevice(self.platform, conn, device_id, info)
+            for device_id, info in zip(resp.device_ids, resp.infos)
+        ]
+        # Wire server-to-server peer links (Section III-F).
+        for other in self._connections.values():
+            if other.connected and other.daemon is not daemon:
+                daemon.peer_daemons[other.daemon.name] = other.daemon
+                other.daemon.peer_daemons[daemon.name] = daemon
+        self._connections[name] = conn
+        return ServerHandle(conn)
+
+    def disconnect_server(self, handle: ServerHandle) -> None:
+        """``clDisconnectServerWWU``: devices become unavailable."""
+        conn = handle.connection
+        if not conn.connected:
+            raise CLError(ErrorCode.CL_INVALID_SERVER_WWU, f"{conn.name!r} already disconnected")
+        t = self.gcf.disconnect(conn.daemon.gcf, self.clock.now)
+        self.clock.advance_to(t)
+        conn.connected = False
+        for dev in conn.devices:
+            dev.available = False
+
+    def server_info(self, handle: ServerHandle, key: str) -> object:
+        """``clGetServerInfoWWU``."""
+        outcome = self.gcf.request(
+            handle.connection.daemon.gcf, P.ServerInfoRequest(), self.clock.now
+        )
+        self.clock.advance_to(outcome.reply_arrival)
+        info = self.check(outcome.response).info
+        if key not in info:
+            raise CLError(ErrorCode.CL_INVALID_VALUE, f"unknown server info key {key!r}")
+        return info[key]
+
+    def _request_assignment(self) -> None:
+        """Section IV-B: send the XML config's assignment request to the
+        device manager, then connect to the assigned servers with the
+        lease's authentication ID."""
+        devmgr_address, requirements = parse_devmgr_config(self.devmgr_config_text)
+        manager = self.device_manager
+        if manager is None:
+            raise CLError(
+                ErrorCode.CL_CONNECTION_ERROR_WWU,
+                f"no device manager reachable at {devmgr_address!r}",
+            )
+        outcome = self.gcf.request(
+            manager.gcf,
+            P.AssignmentRequest(requirements=[r.to_wire() for r in requirements]),
+            self.clock.now,
+        )
+        self.clock.advance_to(outcome.reply_arrival)
+        resp = self.check(outcome.response)
+        self.auth_id = resp.auth_id
+        for server_name in resp.server_names or []:
+            self.connect_server(server_name, auth_id=self.auth_id)
+
+    def release_lease(self) -> None:
+        """Return the lease when the application finishes (Section IV-C)."""
+        if self.auth_id is None or self.device_manager is None:
+            return
+        outcome = self.gcf.request(
+            self.device_manager.gcf, P.LeaseReleaseRequest(auth_id=self.auth_id), self.clock.now
+        )
+        self.clock.advance_to(outcome.reply_arrival)
+        self.auth_id = None
+
+    # ------------------------------------------------------------------
+    # fan-out (compound stub call replication)
+    # ------------------------------------------------------------------
+    def fanout(self, servers: Sequence[ServerConnection], make_msg) -> Dict[str, RequestOutcome]:
+        """Send one request per server at the same client time and wait
+        for all responses (GCF communicates asynchronously, Section
+        III-B: "the client never waits for a communication operation to
+        complete before it proceeds")."""
+        t = self.clock.now
+        outcomes: Dict[str, RequestOutcome] = {}
+        latest = t
+        for conn in servers:
+            if not conn.connected:
+                raise CLError(
+                    ErrorCode.CL_INVALID_SERVER_WWU,
+                    f"server {conn.name!r} was disconnected; objects on it are gone",
+                )
+            outcome = self.gcf.request(conn.daemon.gcf, make_msg(conn), t)
+            outcomes[conn.name] = outcome
+            latest = max(latest, outcome.reply_arrival)
+        self.clock.advance_to(latest)
+        for outcome in outcomes.values():
+            self.check(outcome.response)
+        return outcomes
+
+    # ------------------------------------------------------------------
+    # event consistency (Section III-D)
+    # ------------------------------------------------------------------
+    def _install_notification_handlers(self) -> None:
+        @self.gcf.on_notification(P.EventCompleteNotification)
+        def on_event_complete(msg: P.EventCompleteNotification, arrival: float, sender: GCFProcess):
+            stub = self._events.get(msg.event_id)
+            if stub is None:
+                return
+            stub.mark_complete(msg.completed_at, arrival)
+            # With the Section III-F extension the owning daemon already
+            # broadcast the status to its peers — skip the client relay.
+            owner = self._connections.get(stub.owner_server) if stub.owner_server else None
+            if owner is not None and getattr(owner.daemon, "direct_event_broadcast", False):
+                return
+            # Replicate the status to the user-event replicas on all other
+            # servers of the context.
+            for conn in stub.context.unique_servers:
+                if conn.name == stub.owner_server or not conn.connected:
+                    continue
+                self.gcf.request(
+                    conn.daemon.gcf,
+                    P.SetUserEventStatusRequest(event_id=msg.event_id, status=CL_COMPLETE),
+                    arrival,
+                )
+
+    def new_event_stub(self, context: ContextStub, owner_server: Optional[str], command_type: int) -> EventStub:
+        """Create an event stub and its user-event replicas on every
+        non-owning server of the context."""
+        stub = EventStub(context, self.new_id(), owner_server, command_type)
+        self._events[stub.id] = stub
+        replicas = [c for c in context.unique_servers if c.name != owner_server and c.connected]
+        if replicas:
+            self.fanout(
+                replicas,
+                lambda conn: P.CreateUserEventRequest(event_id=stub.id, context_id=context.id),
+            )
+        return stub
+
+    def new_user_event_stub(self, context: ContextStub) -> UserEventStub:
+        stub = UserEventStub(context, self.new_id())
+        self._events[stub.id] = stub
+        if context.unique_servers:
+            self.fanout(
+                context.unique_servers,
+                lambda conn: P.CreateUserEventRequest(event_id=stub.id, context_id=context.id),
+            )
+        return stub
+
+    # ------------------------------------------------------------------
+    # coherence transfer execution (Section III-D / III-F)
+    # ------------------------------------------------------------------
+    def internal_queue(self, context: ContextStub, server_name: str) -> QueueStub:
+        """Hidden per-(context, server) queue used for protocol transfers
+        when the application has no queue on the owning server."""
+        queue = context._internal_queues.get(server_name)
+        if queue is not None:
+            return queue
+        devices = context.server_devices[server_name]
+        conn = self.connection(server_name)
+        stub_id = self.new_id()
+        outcome = self.gcf.request(
+            conn.daemon.gcf,
+            P.CreateQueueRequest(
+                queue_id=stub_id,
+                context_id=context.id,
+                device_id=devices[0].remote_id,
+                properties=0,
+            ),
+            self.clock.now,
+        )
+        self.clock.advance_to(outcome.reply_arrival)
+        self.check(outcome.response)
+        queue = QueueStub(context, stub_id, devices[0], 0)
+        context._internal_queues[server_name] = queue
+        return queue
+
+    def run_transfer_plan(
+        self,
+        buffer: BufferStub,
+        plan: Sequence[Transfer],
+        preferred_queue: Optional[QueueStub] = None,
+    ) -> None:
+        """Execute a coherence plan: move whole-object copies between the
+        client and servers (MSI) or directly between servers (MOSI)."""
+        for transfer in plan:
+            if transfer.src == CLIENT:
+                self._upload_to_server(buffer, transfer.dst, preferred_queue)
+            elif transfer.dst == CLIENT:
+                self._download_from_server(buffer, transfer.src, preferred_queue)
+            else:
+                self._server_to_server(buffer, transfer.src, transfer.dst)
+
+    def _queue_on(self, buffer: BufferStub, server_name: str, preferred: Optional[QueueStub]) -> QueueStub:
+        if preferred is not None and preferred.server.name == server_name:
+            return preferred
+        return self.internal_queue(buffer.context, server_name)
+
+    def _upload_to_server(self, buffer: BufferStub, server_name: str, preferred: Optional[QueueStub]) -> None:
+        conn = self.connection(server_name)
+        queue = self._queue_on(buffer, server_name, preferred)
+        event_id = self.new_id()
+        stub = EventStub(buffer.context, event_id, server_name, 0)
+        self._events[event_id] = stub
+        init = P.BufferDataUpload(
+            buffer_id=buffer.id,
+            queue_id=queue.id,
+            event_id=event_id,
+            offset=0,
+            nbytes=buffer.size,
+            wait_event_ids=[],
+        )
+        outcome, arrival = self.gcf.send_bulk(
+            conn.daemon.gcf, init, buffer.data.tobytes(), buffer.size, self.clock.now
+        )
+        self.check(outcome.response)
+        self.clock.advance_to(arrival)
+
+    def _download_from_server(self, buffer: BufferStub, server_name: str, preferred: Optional[QueueStub]) -> None:
+        conn = self.connection(server_name)
+        queue = self._queue_on(buffer, server_name, preferred)
+        event_id = self.new_id()
+        stub = EventStub(buffer.context, event_id, server_name, 0)
+        self._events[event_id] = stub
+        request = P.BufferDataDownload(
+            buffer_id=buffer.id,
+            queue_id=queue.id,
+            event_id=event_id,
+            offset=0,
+            nbytes=buffer.size,
+            wait_event_ids=[],
+        )
+        response, payload, arrival = self.gcf.fetch_bulk(conn.daemon.gcf, request, self.clock.now)
+        self.check(response)
+        buffer.data[:] = np.frombuffer(payload, dtype=np.uint8)
+        self.clock.advance_to(arrival)
+
+    def _server_to_server(self, buffer: BufferStub, src_name: str, dst_name: str) -> None:
+        """Section III-F: direct daemon-to-daemon synchronisation."""
+        src = self.connection(src_name)
+        outcome = self.gcf.request(
+            src.daemon.gcf,
+            P.BufferPeerTransferRequest(
+                buffer_id=buffer.id, peer_name=dst_name, nbytes=buffer.size
+            ),
+            self.clock.now,
+        )
+        self.clock.advance_to(outcome.reply_arrival)
+        self.check(outcome.response)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<DOpenCLDriver host={self.host.name!r} "
+            f"servers={[c.name for c in self.connections()]} t={self.clock.now:.6f}>"
+        )

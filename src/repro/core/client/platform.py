@@ -1,0 +1,63 @@
+"""The uniform dOpenCL platform (Section III-E).
+
+"The client driver introduces a platform called dOpenCL.  This uniform
+platform is associated with all devices from all servers, such that they
+can be mixed in one context. ... all platform information is provided by
+the client driver and does not require communication with a server."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.ocl.constants import (
+    CL_DEVICE_TYPE_ALL,
+    CL_DEVICE_TYPE_DEFAULT,
+    ErrorCode,
+)
+from repro.ocl.errors import CLError
+
+
+class DOpenCLPlatform:
+    """A self-contained platform merging every connected server's devices."""
+
+    def __init__(self, driver) -> None:
+        self.driver = driver
+        self.name = "dOpenCL"
+        self.vendor = "University of Muenster (reproduction)"
+        self.version = "OpenCL 1.1 dOpenCL-repro"
+
+    def get_devices(self, device_type: int = CL_DEVICE_TYPE_ALL) -> List[object]:
+        """Merged device list across all connected servers (Section III-C:
+        "obtains the list of available devices and merges them into a
+        single list")."""
+        merged = []
+        for conn in self.driver.connections():
+            merged.extend(d for d in conn.devices if d.available)
+        if device_type == CL_DEVICE_TYPE_ALL:
+            found = merged
+        elif device_type == CL_DEVICE_TYPE_DEFAULT:
+            found = merged[:1]
+        else:
+            found = [d for d in merged if d.type_bits & device_type]
+        if not found:
+            raise CLError(ErrorCode.CL_DEVICE_NOT_FOUND)
+        return found
+
+    def info(self) -> Dict[str, object]:
+        return {
+            "NAME": self.name,
+            "VENDOR": self.vendor,
+            "VERSION": self.version,
+            "PROFILE": "FULL_PROFILE",
+            "EXTENSIONS": "cl_wwu_dcl cl_wwu_collective cl_khr_icd",
+        }
+
+    def get_info(self, key: str) -> object:
+        info = self.info()
+        if key not in info:
+            raise CLError(ErrorCode.CL_INVALID_VALUE, f"unknown platform info key {key!r}")
+        return info[key]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<DOpenCLPlatform servers={[c.name for c in self.driver.connections()]}>"

@@ -1,0 +1,322 @@
+"""Client-side stubs for remote OpenCL objects.
+
+"Stubs enable an OpenCL application to control remote objects such that
+these do not have to be transferred to the client" (Section III-D).
+Simple stubs (devices, command queues) map one-to-one onto a remote
+object; *compound* stubs (contexts, programs, kernels, memory objects)
+keep one client handle consistent with one remote object per server.
+
+Stubs expose the attribute shapes the ICD loader and applications expect
+(``.platform``, ``.context``, ``.program``), so unmodified application
+code works against them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.coherence.directory import MOSIDirectory, MSIDirectory
+from repro.ocl.constants import CL_COMMAND_USER, CL_COMPLETE, CL_QUEUED, ErrorCode
+from repro.ocl.errors import CLError
+
+
+class RemoteDevice:
+    """Simple stub for a device on a server.
+
+    All info was shipped at connect time, so ``get_info`` never touches
+    the network ("most information on other OpenCL management objects is
+    immutable and provided to the client driver during object creation",
+    Section III-B).
+    """
+
+    def __init__(self, platform, server, remote_id: int, info: Dict[str, object]) -> None:
+        self.platform = platform
+        self.server = server
+        self.remote_id = remote_id
+        self._info = dict(info)
+        self.available = True
+
+    @property
+    def name(self) -> str:
+        return str(self._info.get("NAME", "?"))
+
+    @property
+    def type_bits(self) -> int:
+        return int(self._info.get("TYPE", 0))
+
+    def info(self) -> Dict[str, object]:
+        out = dict(self._info)
+        out["AVAILABLE"] = self.available
+        return out
+
+    def get_info(self, key: str) -> object:
+        info = self.info()
+        if key not in info:
+            raise CLError(ErrorCode.CL_INVALID_VALUE, f"unknown device info key {key!r}")
+        return info[key]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RemoteDevice {self.name!r} on {self.server.name!r} id={self.remote_id}>"
+
+
+class ContextStub:
+    """Compound stub: one remote context per involved server.
+
+    "The contexts on a particular server are only associated with the
+    devices that are hosted by that server, while the context represented
+    by the compound stub is associated with all devices" (Section III-D).
+    """
+
+    def __init__(self, driver, stub_id: int, devices: List[RemoteDevice]) -> None:
+        self.driver = driver
+        self.id = stub_id
+        self.devices = list(devices)
+        self.platform = driver.platform
+        # server name -> devices of this context on that server
+        self.server_devices: Dict[str, List[RemoteDevice]] = {}
+        for dev in devices:
+            self.server_devices.setdefault(dev.server.name, []).append(dev)
+        self.servers = [dev.server for dev in devices]
+        seen = set()
+        self.unique_servers = []
+        for dev in devices:
+            if dev.server.name not in seen:
+                seen.add(dev.server.name)
+                self.unique_servers.append(dev.server)
+        # Hidden per-server queues used by the coherence protocol for
+        # transfers when the app has no queue on the owning server.
+        self._internal_queues: Dict[str, "QueueStub"] = {}
+        self.refcount = 1
+
+    @property
+    def server_names(self) -> List[str]:
+        return [s.name for s in self.unique_servers]
+
+    def retain(self) -> None:
+        self.refcount += 1
+
+    def release(self) -> None:
+        self.refcount -= 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ContextStub #{self.id} servers={self.server_names}>"
+
+
+class QueueStub:
+    """Simple stub: a command queue on exactly one server."""
+
+    def __init__(self, context: ContextStub, stub_id: int, device: RemoteDevice, properties: int) -> None:
+        self.context = context
+        self.id = stub_id
+        self.device = device
+        self.server = device.server
+        self.properties = properties
+        self.refcount = 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<QueueStub #{self.id} on {self.server.name!r}>"
+
+
+class BufferStub:
+    """Compound stub with coherence state (Section III-D).
+
+    Holds the client's copy of the data plus the MSI/MOSI directory over
+    {client} ∪ servers of the context.
+    """
+
+    def __init__(
+        self,
+        context: ContextStub,
+        stub_id: int,
+        flags: int,
+        size: int,
+        protocol: str = "msi",
+    ) -> None:
+        self.context = context
+        self.id = stub_id
+        self.flags = flags
+        self.size = int(size)
+        self.data = np.zeros(self.size, dtype=np.uint8)
+        directory_cls = {"msi": MSIDirectory, "mosi": MOSIDirectory}.get(protocol)
+        if directory_cls is None:
+            raise CLError(ErrorCode.CL_INVALID_VALUE, f"unknown coherence protocol {protocol!r}")
+        self.coherence = directory_cls(context.server_names)
+        self.refcount = 1
+        self.released = False
+
+    def write_host(self, offset: int, raw: np.ndarray) -> None:
+        if self.released:
+            raise CLError(ErrorCode.CL_INVALID_MEM_OBJECT, "buffer was released")
+        if offset < 0 or offset + raw.size > self.size:
+            raise CLError(
+                ErrorCode.CL_INVALID_VALUE,
+                f"range [{offset}, {offset + raw.size}) outside buffer of {self.size} bytes",
+            )
+        self.data[offset : offset + raw.size] = raw
+
+    def read_host(self, offset: int, nbytes: int) -> np.ndarray:
+        if self.released:
+            raise CLError(ErrorCode.CL_INVALID_MEM_OBJECT, "buffer was released")
+        if offset < 0 or nbytes < 0 or offset + nbytes > self.size:
+            raise CLError(
+                ErrorCode.CL_INVALID_VALUE,
+                f"range [{offset}, {offset + nbytes}) outside buffer of {self.size} bytes",
+            )
+        return self.data[offset : offset + nbytes].copy()
+
+    def retain(self) -> None:
+        self.refcount += 1
+
+    def release(self) -> None:
+        self.refcount -= 1
+        if self.refcount <= 0:
+            self.released = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BufferStub #{self.id} {self.size}B {self.coherence!r}>"
+
+
+class ProgramStub:
+    """Compound stub: program replicated to every server of the context."""
+
+    def __init__(self, context: ContextStub, stub_id: int, source: str) -> None:
+        self.context = context
+        self.id = stub_id
+        self.source = source
+        self.options = ""
+        self.build_status: str = "NONE"
+        self.build_logs: Dict[str, str] = {}
+        self.refcount = 1
+
+    def build_info(self, key: str) -> object:
+        if key == "STATUS":
+            return self.build_status
+        if key == "LOG":
+            return "\n".join(
+                f"[{server}] {log}" for server, log in self.build_logs.items() if log
+            )
+        if key == "OPTIONS":
+            return self.options
+        raise CLError(ErrorCode.CL_INVALID_VALUE, f"unknown build info key {key!r}")
+
+    def retain(self) -> None:
+        self.refcount += 1
+
+    def release(self) -> None:
+        self.refcount -= 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ProgramStub #{self.id} status={self.build_status}>"
+
+
+class KernelStub:
+    """Compound stub: kernel replicated everywhere; argument metadata
+    cached client-side from the first server's response."""
+
+    def __init__(
+        self,
+        program: ProgramStub,
+        stub_id: int,
+        name: str,
+        num_args: int,
+        arg_kinds: List[str],
+        arg_types: List[str],
+        writable_buffer_args: List[int],
+    ) -> None:
+        self.program = program
+        self.context = program.context
+        self.id = stub_id
+        self.name = name
+        self.num_args = num_args
+        self.arg_kinds = list(arg_kinds)
+        self.arg_types = list(arg_types)
+        self.writable_buffer_args = set(writable_buffer_args)
+        self.args: List[object] = [None] * num_args
+        self.args_set: List[bool] = [False] * num_args
+        self.refcount = 1
+
+    def buffer_args(self) -> List[BufferStub]:
+        return [a for a in self.args if isinstance(a, BufferStub)]
+
+    def retain(self) -> None:
+        self.refcount += 1
+
+    def release(self) -> None:
+        self.refcount -= 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<KernelStub #{self.id} {self.name!r}>"
+
+
+class EventStub:
+    """Client-side handle for a remote event.
+
+    The *original* event lives on ``owner_server``; every other server of
+    the context got a user-event replica with the same ID.  When the
+    daemon's completion callback arrives, the client records the arrival
+    time and replicates the status (Section III-D).
+    """
+
+    def __init__(self, context: ContextStub, stub_id: int, owner_server: Optional[str], command_type: int) -> None:
+        self.context = context
+        self.id = stub_id
+        self.owner_server = owner_server
+        self.command_type = command_type
+        #: Virtual time the completion became known on the client.
+        self.completion_arrival: Optional[float] = None
+        #: Completion time on the owning server (from the notification).
+        self.completed_at: Optional[float] = None
+        self.refcount = 1
+
+    @property
+    def resolved(self) -> bool:
+        return self.completion_arrival is not None
+
+    @property
+    def status(self) -> int:
+        return CL_COMPLETE if self.resolved else CL_QUEUED
+
+    def mark_complete(self, completed_at: float, arrival: float) -> None:
+        self.completed_at = completed_at
+        self.completion_arrival = arrival
+
+    def wait(self, t: float) -> float:
+        if not self.resolved:
+            raise CLError(
+                ErrorCode.CL_INVALID_EVENT_WAIT_LIST,
+                "deadlock: waiting on an event that can never complete",
+            )
+        return max(t, self.completion_arrival)
+
+    def retain(self) -> None:
+        self.refcount += 1
+
+    def release(self) -> None:
+        self.refcount -= 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"done@{self.completion_arrival:.6f}" if self.resolved else "pending"
+        return f"<EventStub #{self.id} owner={self.owner_server!r} {state}>"
+
+
+class UserEventStub(EventStub):
+    """``clCreateUserEvent`` through dOpenCL: replicas on all servers."""
+
+    def __init__(self, context: ContextStub, stub_id: int) -> None:
+        super().__init__(context, stub_id, owner_server=None, command_type=CL_COMMAND_USER)
+
+
+class ServerHandle:
+    """The ``cl_server_WWU`` object returned by ``clConnectServerWWU``."""
+
+    def __init__(self, connection) -> None:
+        self.connection = connection
+
+    @property
+    def name(self) -> str:
+        return self.connection.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ServerHandle {self.name!r}>"

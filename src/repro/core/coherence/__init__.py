@@ -1,0 +1,11 @@
+"""Memory-object coherence protocols (Section III-D / III-F)."""
+
+from repro.core.coherence.directory import (
+    CoherenceError,
+    MOSIDirectory,
+    MSIDirectory,
+    State,
+    Transfer,
+)
+
+__all__ = ["CoherenceError", "MOSIDirectory", "MSIDirectory", "State", "Transfer"]

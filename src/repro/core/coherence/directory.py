@@ -1,0 +1,186 @@
+"""Directory-based coherence for dOpenCL memory objects.
+
+The paper (Section III-D): *"we use a directory-based implementation of
+the MSI (Modified, Shared, Invalid) coherence protocol.  The remote memory
+objects are viewed as cached versions (copies) of the client's memory
+object stub ... For each memory object stub, the client maintains a status
+(initially 'shared') and a list of servers (the directory) which own a
+valid remote memory object"*.
+
+These classes are *pure protocol state machines*: an acquire returns a
+plan of :class:`Transfer` actions for the client driver to execute (data
+movement + virtual-time charging).  In MSI every transfer is
+client-mediated ("copying means to upload data", servers never exchange
+buffers directly); :class:`MOSIDirectory` implements the Section III-F
+extension where servers synchronise "by exchanging their data directly",
+adding the Owned state.
+
+Invariants (property-tested):
+
+* at most one party is Modified/Owned;
+* Modified implies every other party is Invalid;
+* at least one party holds a valid copy (the data never vanishes);
+* executing the returned plan leaves the requested party valid.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List
+
+CLIENT = "client"
+
+
+class State(str, enum.Enum):
+    MODIFIED = "M"
+    OWNED = "O"  # MOSI only
+    SHARED = "S"
+    INVALID = "I"
+
+
+class CoherenceError(RuntimeError):
+    """A protocol invariant was violated (always a bug, never user error)."""
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One data movement the driver must perform: ``src`` holds a valid
+    copy, ``dst`` receives one."""
+
+    src: str
+    dst: str
+    reason: str
+
+
+class MSIDirectory:
+    """Client-mediated MSI directory for one memory object."""
+
+    #: Set of states considered valid (readable).
+    VALID = (State.MODIFIED, State.SHARED)
+
+    def __init__(self, servers: List[str]) -> None:
+        if CLIENT in servers:
+            raise CoherenceError(f"{CLIENT!r} is a reserved party name")
+        self.state: Dict[str, State] = {CLIENT: State.SHARED}
+        for name in servers:
+            self.state[name] = State.INVALID
+        self._check()
+
+    # -- queries -------------------------------------------------------
+    @property
+    def parties(self) -> List[str]:
+        return list(self.state)
+
+    @property
+    def servers(self) -> List[str]:
+        return [p for p in self.state if p != CLIENT]
+
+    def directory(self) -> List[str]:
+        """Servers holding a valid copy (the paper's per-stub server list)."""
+        return [p for p in self.servers if self.state[p] in self.VALID]
+
+    def is_valid(self, party: str) -> bool:
+        return self.state[self._known(party)] in self.VALID
+
+    def _known(self, party: str) -> str:
+        if party not in self.state:
+            raise CoherenceError(f"unknown party {party!r}")
+        return party
+
+    def _holders(self) -> List[str]:
+        return [p for p, s in self.state.items() if s in self.VALID]
+
+    def _pick_owner(self) -> str:
+        holders = self._holders()
+        if not holders:
+            raise CoherenceError("no valid copy exists anywhere")
+        for p in holders:
+            if self.state[p] in (State.MODIFIED, State.OWNED):
+                return p
+        return holders[0]
+
+    # -- operations -------------------------------------------------------
+    def acquire_read(self, party: str) -> List[Transfer]:
+        """Make ``party`` hold a valid copy; returns the transfer plan.
+
+        MSI routes everything through the client: a server miss first
+        revalidates the client's copy (download from the owner), then
+        uploads from the client.
+        """
+        party = self._known(party)
+        plan: List[Transfer] = []
+        if self.is_valid(party):
+            return plan
+        if party == CLIENT:
+            owner = self._pick_owner()
+            plan.append(Transfer(owner, CLIENT, "client read miss"))
+            self._demote(owner)
+            self.state[CLIENT] = State.SHARED
+        else:
+            if not self.is_valid(CLIENT):
+                owner = self._pick_owner()
+                plan.append(Transfer(owner, CLIENT, "revalidate client copy"))
+                self._demote(owner)
+                self.state[CLIENT] = State.SHARED
+            plan.append(Transfer(CLIENT, party, "server read miss"))
+            self._demote(CLIENT)  # a Modified client copy is now shared
+            self.state[party] = State.SHARED
+        self._check()
+        return plan
+
+    def _demote(self, owner: str) -> None:
+        if self.state[owner] in (State.MODIFIED, State.OWNED):
+            self.state[owner] = State.SHARED
+
+    def mark_modified(self, party: str) -> None:
+        """``party`` wrote the object: it becomes Modified, everyone else
+        Invalid (kernel wrote a buffer / host overwrote the stub)."""
+        party = self._known(party)
+        for p in self.state:
+            self.state[p] = State.MODIFIED if p == party else State.INVALID
+        self._check()
+
+    def host_overwrite(self) -> None:
+        """``clEnqueueWriteBuffer``: the client's copy becomes the only
+        valid one (no fetch needed — the host supplies all the data)."""
+        self.mark_modified(CLIENT)
+
+    # -- invariants ------------------------------------------------------
+    def _check(self) -> None:
+        exclusive = [p for p, s in self.state.items() if s in (State.MODIFIED, State.OWNED)]
+        if len(exclusive) > 1:
+            raise CoherenceError(f"multiple exclusive holders: {exclusive}")
+        for p, s in self.state.items():
+            if s == State.MODIFIED:
+                others = [q for q in self.state if q != p and self.state[q] != State.INVALID]
+                if others:
+                    raise CoherenceError(f"{p} is Modified but {others} are not Invalid")
+        if not self._holders():
+            raise CoherenceError("no valid copy exists anywhere")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{p}={s.value}" for p, s in self.state.items())
+        return f"<{type(self).__name__} {inner}>"
+
+
+class MOSIDirectory(MSIDirectory):
+    """Section III-F extension: server-to-server transfer with an Owned
+    state — "memory objects on different servers can be synchronized by
+    exchanging their data directly"."""
+
+    VALID = (State.MODIFIED, State.OWNED, State.SHARED)
+
+    def acquire_read(self, party: str) -> List[Transfer]:
+        party = self._known(party)
+        plan: List[Transfer] = []
+        if self.is_valid(party):
+            return plan
+        owner = self._pick_owner()
+        plan.append(Transfer(owner, party, "direct transfer"))
+        if self.state[owner] == State.MODIFIED:
+            # The previous modifier keeps ownership (dirty sharing).
+            self.state[owner] = State.OWNED if owner != CLIENT else State.SHARED
+        self.state[party] = State.SHARED
+        self._check()
+        return plan

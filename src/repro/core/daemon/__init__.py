@@ -1,0 +1,6 @@
+"""The dOpenCL daemon (server side)."""
+
+from repro.core.daemon.daemon import Daemon
+from repro.core.daemon.registry import Registry
+
+__all__ = ["Daemon", "Registry"]

@@ -1,0 +1,507 @@
+"""The dOpenCL daemon.
+
+"The daemons continuously accept incoming function calls from the client
+driver and forward them to their server's OpenCL implementation"
+(Section III-B).  Every handler looks up client-assigned IDs in the
+registry, replays the call against the native runtime (:mod:`repro.ocl`),
+and answers with a response message; command events get a completion
+callback that sends an :class:`EventCompleteNotification` back to the
+client (the event-consistency protocol of Section III-D).
+
+In *managed mode* (Section IV-A) the daemon registers its devices with the
+central device manager, accepts connections only with a valid
+authentication ID, and filters the device list to the devices assigned to
+that client's lease.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from repro.core.protocol import messages as P
+from repro.hw.node import Host
+from repro.net.gcf import GCFProcess
+from repro.net.link import ConnectionRefused
+from repro.net.network import Network
+from repro.ocl.constants import CL_DEVICE_TYPE_ALL, ErrorCode
+from repro.ocl.context import Context
+from repro.ocl.errors import CLError
+from repro.ocl.event import Event, UserEvent
+from repro.ocl.kernel import Kernel
+from repro.ocl.memory import Buffer
+from repro.ocl.platform import Platform
+from repro.ocl.program import Program
+from repro.ocl.queue import CommandQueue
+from repro.clc import LocalMemory
+from repro.core.daemon.registry import Registry
+from repro.clc.types import PointerType
+
+
+class Daemon:
+    """One dOpenCL daemon on one server host."""
+
+    def __init__(
+        self,
+        host: Host,
+        network: Network,
+        name: Optional[str] = None,
+        device_manager: Optional[object] = None,
+    ) -> None:
+        self.host = host
+        self.network = network
+        self.gcf = GCFProcess(name or host.name, host, network)
+        # Accepting a client costs real session setup on the server (GCF
+        # process objects, per-client state) — part of the init overhead
+        # the paper attributes to message-based communication (Fig. 4).
+        self.gcf.connect_setup_duration = 2e-3
+        self.platform = Platform(host)
+        self.registry = Registry()
+        self.device_manager = device_manager
+        self.managed = device_manager is not None
+        #: auth id -> device indexes assigned by the device manager.
+        self.auth_devices: Dict[str, Set[int]] = {}
+        #: connected client process name -> auth id (managed mode).
+        self.client_auth: Dict[str, str] = {}
+        #: Benchmark rescaling knob, applied to queues created here.
+        self.workload_scale = 1.0
+        #: Peer daemons by name, for server-to-server transfers
+        #: (Section III-F).  Wired by the client driver on connect.
+        self.peer_daemons: Dict[str, "Daemon"] = {}
+        #: Section III-F extension: when True, this daemon broadcasts event
+        #: completions directly to the peer daemons holding the user-event
+        #: replicas ("event status can be broadcasted directly by the
+        #: server that owns the original event") instead of relying on the
+        #: client to relay them.
+        self.direct_event_broadcast = False
+        self._install_handlers()
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.gcf.name
+
+    def start(self, t: float = 0.0) -> float:
+        """Register with the device manager when in managed mode; returns
+        the time startup completes."""
+        if not self.managed:
+            return t
+        ids = list(range(len(self.platform.devices)))
+        infos = [self._encode_info(d.info()) for d in self.platform.devices]
+        outcome = self.gcf.request(
+            self.device_manager.gcf, P.RegisterDaemonRequest(device_ids=ids, infos=infos), t
+        )
+        return outcome.reply_arrival
+
+    @staticmethod
+    def _encode_info(info: Dict[str, object]) -> Dict[str, object]:
+        return {k: (bool(v) if isinstance(v, bool) else v) for k, v in info.items()}
+
+    # ------------------------------------------------------------------
+    # registry helpers
+    # ------------------------------------------------------------------
+    def _ctx(self, client: str, obj_id: int) -> Context:
+        return self.registry.get(client, obj_id, Context)
+
+    def _queue(self, client: str, obj_id: int) -> CommandQueue:
+        return self.registry.get(client, obj_id, CommandQueue)
+
+    def _events(self, client: str, ids: Optional[List[int]]) -> List[Event]:
+        return [self.registry.get(client, i, Event) for i in (ids or [])]
+
+    def _visible_device_ids(self, client: str) -> List[int]:
+        if not self.managed:
+            return list(range(len(self.platform.devices)))
+        auth = self.client_auth.get(client)
+        return sorted(self.auth_devices.get(auth, set()))
+
+    # ------------------------------------------------------------------
+    # handler installation
+    # ------------------------------------------------------------------
+    def _install_handlers(self) -> None:
+        gcf = self.gcf
+
+        @gcf.on_connect
+        def on_connect(client_name: str, payload, t: float) -> None:
+            if self.managed:
+                auth = (payload or {}).get("auth_id") if isinstance(payload, dict) else None
+                if auth is None or auth not in self.auth_devices:
+                    raise ConnectionRefused(
+                        f"daemon {self.name!r} is in managed mode; "
+                        f"connection requires a valid authentication ID"
+                    )
+                self.client_auth[client_name] = auth
+
+        @gcf.on_disconnect
+        def on_disconnect(client_name: str, t: float) -> None:
+            # Abnormal-termination reclamation (Section IV-C): report the
+            # invalidated auth ID so the device manager frees the devices.
+            auth = self.client_auth.pop(client_name, None)
+            for _obj_id, obj in self.registry.drop_client(client_name):
+                if isinstance(obj, Buffer):
+                    obj.release()
+            if auth is not None and self.device_manager is not None:
+                self.auth_devices.pop(auth, None)
+                self.gcf.notify(
+                    self.device_manager.gcf, P.ClientLostNotification(auth_id=auth), t
+                )
+
+        # -- discovery ---------------------------------------------------
+        @gcf.on_request(P.ListDevicesRequest)
+        def list_devices(msg: P.ListDevicesRequest, t: float, sender: GCFProcess):
+            visible = self._visible_device_ids(sender.name)
+            ids, infos = [], []
+            for i in visible:
+                device = self.platform.devices[i]
+                if msg.device_type != CL_DEVICE_TYPE_ALL and not (
+                    device.type_bits & msg.device_type
+                ):
+                    continue
+                ids.append(i)
+                infos.append(self._encode_info(device.info()))
+            return P.ListDevicesResponse(device_ids=ids, infos=infos), t
+
+        @gcf.on_request(P.ServerInfoRequest)
+        def server_info(msg: P.ServerInfoRequest, t: float, sender: GCFProcess):
+            return (
+                P.ServerInfoResponse(
+                    info={
+                        "NAME": self.name,
+                        "HOST": self.host.name,
+                        "NUM_DEVICES": len(self.platform.devices),
+                        "MANAGED": self.managed,
+                        "PLATFORM": self.platform.name,
+                    }
+                ),
+                t,
+            )
+
+        # -- contexts / queues ---------------------------------------------
+        @gcf.on_request(P.CreateContextRequest)
+        def create_context(msg: P.CreateContextRequest, t: float, sender: GCFProcess):
+            try:
+                visible = set(self._visible_device_ids(sender.name))
+                for i in msg.device_ids:
+                    if i not in visible:
+                        raise CLError(
+                            ErrorCode.CL_DEVICE_NOT_ASSIGNED_WWU,
+                            f"device {i} is not assigned to this client",
+                        )
+                devices = [self.platform.devices[i] for i in msg.device_ids]
+                self.registry.put(sender.name, msg.context_id, Context(devices))
+                return P.Ack(), t
+            except CLError as exc:
+                return P.Ack(error=exc.code.value, detail=exc.message), t
+
+        @gcf.on_request(P.ReleaseContextRequest)
+        def release_context(msg, t, sender):
+            try:
+                self.registry.pop(sender.name, msg.context_id)
+                return P.Ack(), t
+            except CLError as exc:
+                return P.Ack(error=exc.code.value, detail=exc.message), t
+
+        @gcf.on_request(P.CreateQueueRequest)
+        def create_queue(msg: P.CreateQueueRequest, t: float, sender: GCFProcess):
+            try:
+                ctx = self._ctx(sender.name, msg.context_id)
+                device = self.platform.devices[msg.device_id]
+                queue = CommandQueue(ctx, device, msg.properties)
+                queue.workload_scale = self.workload_scale
+                self.registry.put(sender.name, msg.queue_id, queue)
+                return P.Ack(), t
+            except CLError as exc:
+                return P.Ack(error=exc.code.value, detail=exc.message), t
+
+        @gcf.on_request(P.ReleaseQueueRequest)
+        def release_queue(msg, t, sender):
+            try:
+                self.registry.pop(sender.name, msg.queue_id)
+                return P.Ack(), t
+            except CLError as exc:
+                return P.Ack(error=exc.code.value, detail=exc.message), t
+
+        @gcf.on_request(P.FinishRequest)
+        def finish(msg: P.FinishRequest, t: float, sender: GCFProcess):
+            try:
+                queue = self._queue(sender.name, msg.queue_id)
+                return P.Ack(), queue.finish(t)
+            except CLError as exc:
+                return P.Ack(error=exc.code.value, detail=exc.message), t
+
+        @gcf.on_request(P.FlushRequest)
+        def flush(msg: P.FlushRequest, t: float, sender: GCFProcess):
+            return P.Ack(), t
+
+        # -- buffers --------------------------------------------------------
+        @gcf.on_request(P.CreateBufferRequest)
+        def create_buffer(msg: P.CreateBufferRequest, t: float, sender: GCFProcess):
+            try:
+                ctx = self._ctx(sender.name, msg.context_id)
+                self.registry.put(sender.name, msg.buffer_id, Buffer(ctx, msg.flags, msg.size))
+                return P.Ack(), t
+            except CLError as exc:
+                return P.Ack(error=exc.code.value, detail=exc.message), t
+
+        @gcf.on_request(P.ReleaseBufferRequest)
+        def release_buffer(msg, t, sender):
+            try:
+                obj = self.registry.pop(sender.name, msg.buffer_id)
+                if isinstance(obj, Buffer):
+                    obj.release()
+                return P.Ack(), t
+            except CLError as exc:
+                return P.Ack(error=exc.code.value, detail=exc.message), t
+
+        @gcf.on_request(P.BufferDataUpload)
+        def upload_init(msg: P.BufferDataUpload, t: float, sender: GCFProcess):
+            try:
+                self.registry.get(sender.name, msg.buffer_id, Buffer)
+                self._queue(sender.name, msg.queue_id)
+                return P.BufferDataResponse(nbytes=msg.nbytes), t
+            except CLError as exc:
+                return P.BufferDataResponse(error=exc.code.value, detail=exc.message), t
+
+        @gcf.on_bulk_sink(P.BufferDataUpload)
+        def upload_sink(msg: P.BufferDataUpload, payload, arrival: float, sender: GCFProcess):
+            buffer = self.registry.get(sender.name, msg.buffer_id, Buffer)
+            queue = self._queue(sender.name, msg.queue_id)
+            wait = self._events(sender.name, msg.wait_event_ids)
+            event = queue.enqueue_write_buffer(
+                buffer, np.frombuffer(payload, dtype=np.uint8), arrival, msg.offset, wait
+            )
+            self.registry.put(sender.name, msg.event_id, event)
+            self._arm_completion_callback(event, msg.event_id, sender)
+
+        @gcf.on_bulk_source(P.BufferDataDownload)
+        def download_source(msg: P.BufferDataDownload, t: float, sender: GCFProcess):
+            try:
+                buffer = self.registry.get(sender.name, msg.buffer_id, Buffer)
+                queue = self._queue(sender.name, msg.queue_id)
+                wait = self._events(sender.name, msg.wait_event_ids)
+                nbytes = msg.nbytes if msg.nbytes > 0 else buffer.size - msg.offset
+                data, event = queue.enqueue_read_buffer(buffer, t, msg.offset, nbytes, wait)
+                self.registry.put(sender.name, msg.event_id, event)
+                self._arm_completion_callback(event, msg.event_id, sender)
+                if not event.resolved:
+                    raise CLError(
+                        ErrorCode.CL_INVALID_OPERATION,
+                        "download gated on an incomplete user event",
+                    )
+                return P.BufferDataResponse(nbytes=nbytes), event.end, data.tobytes(), nbytes
+            except CLError as exc:
+                return (
+                    P.BufferDataResponse(error=exc.code.value, detail=exc.message),
+                    t,
+                    b"",
+                    0,
+                )
+
+        @gcf.on_request(P.BufferPeerTransferRequest)
+        def peer_transfer(msg: P.BufferPeerTransferRequest, t: float, sender: GCFProcess):
+            # Section III-F server-to-server synchronisation (MOSI): this
+            # server pushes its buffer copy straight to a peer daemon,
+            # bypassing the client.
+            try:
+                buffer = self.registry.get(sender.name, msg.buffer_id, Buffer)
+                peer = self.peer_daemons.get(msg.peer_name)
+                if peer is None:
+                    raise CLError(
+                        ErrorCode.CL_INVALID_SERVER_WWU,
+                        f"daemon {self.name!r} has no peer {msg.peer_name!r}",
+                    )
+                arrival = self.network.transfer(
+                    self.host, peer.host, t, msg.nbytes, tag="s2s-buffer"
+                )
+                peer_buffer = peer.registry.get(sender.name, msg.buffer_id, Buffer)
+                peer_buffer.write(0, buffer.array)
+                return P.Ack(), arrival
+            except CLError as exc:
+                return P.Ack(error=exc.code.value, detail=exc.message), t
+
+        # -- programs / kernels ----------------------------------------------
+        @gcf.on_request(P.CreateProgramRequest)
+        def create_program_init(msg: P.CreateProgramRequest, t: float, sender: GCFProcess):
+            try:
+                self._ctx(sender.name, msg.context_id)
+                return P.Ack(), t
+            except CLError as exc:
+                return P.Ack(error=exc.code.value, detail=exc.message), t
+
+        @gcf.on_bulk_sink(P.CreateProgramRequest)
+        def create_program_sink(msg: P.CreateProgramRequest, payload, arrival: float, sender: GCFProcess):
+            ctx = self._ctx(sender.name, msg.context_id)
+            source = payload.decode("utf-8") if isinstance(payload, bytes) else str(payload)
+            self.registry.put(sender.name, msg.program_id, Program(ctx, source))
+
+        @gcf.on_request(P.BuildProgramRequest)
+        def build_program(msg: P.BuildProgramRequest, t: float, sender: GCFProcess):
+            try:
+                program = self.registry.get(sender.name, msg.program_id, Program)
+            except CLError as exc:
+                return P.BuildProgramResponse(error=exc.code.value, detail=exc.message), t
+            try:
+                done = program.build(msg.options, t)
+                return P.BuildProgramResponse(status="SUCCESS", log=""), done
+            except CLError as exc:
+                from repro.ocl.program import build_duration
+
+                return (
+                    P.BuildProgramResponse(
+                        status="ERROR",
+                        log=program.build_log,
+                        error=exc.code.value,
+                        detail=exc.message,
+                    ),
+                    t + build_duration(program.source),
+                )
+
+        @gcf.on_request(P.ReleaseProgramRequest)
+        def release_program(msg, t, sender):
+            try:
+                self.registry.pop(sender.name, msg.program_id)
+                return P.Ack(), t
+            except CLError as exc:
+                return P.Ack(error=exc.code.value, detail=exc.message), t
+
+        @gcf.on_request(P.CreateKernelRequest)
+        def create_kernel(msg: P.CreateKernelRequest, t: float, sender: GCFProcess):
+            try:
+                program = self.registry.get(sender.name, msg.program_id, Program)
+                kernel = Kernel(program, msg.name)
+                self.registry.put(sender.name, msg.kernel_id, kernel)
+                writable = []
+                for i, sym in enumerate(kernel.compiled.info.param_symbols):
+                    if (
+                        isinstance(sym.type, PointerType)
+                        and sym.type.address_space == "global"
+                        and not sym.is_const
+                    ):
+                        writable.append(i)
+                return (
+                    P.CreateKernelResponse(
+                        num_args=kernel.num_args,
+                        arg_kinds=list(kernel.compiled.arg_kinds),
+                        arg_types=[
+                            str(sym.type) for sym in kernel.compiled.info.param_symbols
+                        ],
+                        writable_buffer_args=writable,
+                    ),
+                    t,
+                )
+            except CLError as exc:
+                return P.CreateKernelResponse(error=exc.code.value, detail=exc.message), t
+
+        @gcf.on_request(P.SetKernelArgRequest)
+        def set_kernel_arg(msg: P.SetKernelArgRequest, t: float, sender: GCFProcess):
+            try:
+                kernel = self.registry.get(sender.name, msg.kernel_id, Kernel)
+                if msg.kind == "buffer":
+                    value = self.registry.get(sender.name, msg.buffer_id, Buffer)
+                elif msg.kind == "local":
+                    value = LocalMemory(msg.local_nbytes)
+                else:
+                    value = msg.value
+                kernel.set_arg(msg.index, value)
+                return P.Ack(), t
+            except CLError as exc:
+                return P.Ack(error=exc.code.value, detail=exc.message), t
+
+        @gcf.on_request(P.ReleaseKernelRequest)
+        def release_kernel(msg, t, sender):
+            try:
+                self.registry.pop(sender.name, msg.kernel_id)
+                return P.Ack(), t
+            except CLError as exc:
+                return P.Ack(error=exc.code.value, detail=exc.message), t
+
+        @gcf.on_request(P.EnqueueKernelRequest)
+        def enqueue_kernel(msg: P.EnqueueKernelRequest, t: float, sender: GCFProcess):
+            try:
+                queue = self._queue(sender.name, msg.queue_id)
+                kernel = self.registry.get(sender.name, msg.kernel_id, Kernel)
+                wait = self._events(sender.name, msg.wait_event_ids)
+                event = queue.enqueue_nd_range_kernel(
+                    kernel,
+                    msg.global_size,
+                    t,
+                    local_size=msg.local_size or None,
+                    global_offset=msg.global_offset or None,
+                    wait_for=wait,
+                )
+                self.registry.put(sender.name, msg.event_id, event)
+                self._arm_completion_callback(event, msg.event_id, sender)
+                return P.EnqueueKernelResponse(), t
+            except CLError as exc:
+                return P.EnqueueKernelResponse(error=exc.code.value, detail=exc.message), t
+
+        # -- events ------------------------------------------------------------
+        @gcf.on_request(P.CreateUserEventRequest)
+        def create_user_event(msg: P.CreateUserEventRequest, t: float, sender: GCFProcess):
+            try:
+                ctx = self._ctx(sender.name, msg.context_id)
+                self.registry.put(sender.name, msg.event_id, UserEvent(ctx, t))
+                return P.Ack(), t
+            except CLError as exc:
+                return P.Ack(error=exc.code.value, detail=exc.message), t
+
+        @gcf.on_request(P.SetUserEventStatusRequest)
+        def set_user_event_status(msg: P.SetUserEventStatusRequest, t: float, sender: GCFProcess):
+            try:
+                event = self.registry.get(sender.name, msg.event_id, UserEvent)
+                event.set_status(msg.status, t)
+                return P.Ack(), t
+            except CLError as exc:
+                return P.Ack(error=exc.code.value, detail=exc.message), t
+
+        @gcf.on_request(P.ReleaseEventRequest)
+        def release_event(msg, t, sender):
+            try:
+                self.registry.pop(sender.name, msg.event_id)
+                return P.Ack(), t
+            except CLError as exc:
+                return P.Ack(error=exc.code.value, detail=exc.message), t
+
+        # -- device manager ------------------------------------------------------
+        @gcf.on_notification(P.LeaseAssignNotification)
+        def lease_assign(msg: P.LeaseAssignNotification, t: float, sender: GCFProcess):
+            self.auth_devices[msg.auth_id] = set(msg.device_ids)
+
+        @gcf.on_notification(P.LeaseRevokeNotification)
+        def lease_revoke(msg: P.LeaseRevokeNotification, t: float, sender: GCFProcess):
+            self.auth_devices.pop(msg.auth_id, None)
+            stale = [c for c, a in self.client_auth.items() if a == msg.auth_id]
+            for client in stale:
+                del self.client_auth[client]
+
+    # ------------------------------------------------------------------
+    def _arm_completion_callback(self, event: Event, event_id: int, client: GCFProcess) -> None:
+        """clSetEventCallback on the original event: notify the client on
+        completion so it can replicate the status to user-event replicas
+        on other servers (Section III-D).  With
+        :attr:`direct_event_broadcast` the owning daemon additionally
+        pushes the status straight to its peers (Section III-F)."""
+
+        def on_complete(_event, status, t_complete):
+            self.gcf.notify(
+                client,
+                P.EventCompleteNotification(
+                    event_id=event_id, status=status, completed_at=t_complete
+                ),
+                t_complete,
+            )
+            if self.direct_event_broadcast:
+                for peer in self.peer_daemons.values():
+                    replica = peer.registry._objects.get(client.name, {}).get(event_id)
+                    if isinstance(replica, UserEvent) and not replica.resolved:
+                        arrival = self.network.transfer(
+                            self.host, peer.host, t_complete, 96, tag="s2s-event"
+                        )
+                        replica.set_status(0, arrival)
+
+        event.set_callback(on_complete)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "managed" if self.managed else "open"
+        return f"<Daemon {self.name!r} ({mode}) devices={len(self.platform.devices)}>"

@@ -1,0 +1,74 @@
+"""Object registry: client-assigned IDs -> native OpenCL objects.
+
+Each connected client has its own ID namespace (IDs are allocated by that
+client's driver).  "On the server, the daemon replaces these IDs by the
+associated remote objects and calls the corresponding function of its
+standard OpenCL implementation" (Section III-D).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple, Type, TypeVar
+
+from repro.ocl.constants import ErrorCode
+from repro.ocl.errors import CLError
+
+T = TypeVar("T")
+
+_KIND_ERRORS = {
+    "Context": ErrorCode.CL_INVALID_CONTEXT,
+    "CommandQueue": ErrorCode.CL_INVALID_COMMAND_QUEUE,
+    "Buffer": ErrorCode.CL_INVALID_MEM_OBJECT,
+    "Program": ErrorCode.CL_INVALID_PROGRAM,
+    "Kernel": ErrorCode.CL_INVALID_KERNEL,
+    "Event": ErrorCode.CL_INVALID_EVENT,
+    "UserEvent": ErrorCode.CL_INVALID_EVENT,
+}
+
+
+class Registry:
+    """Per-client ID -> object mapping."""
+
+    def __init__(self) -> None:
+        self._objects: Dict[str, Dict[int, object]] = {}
+
+    def client_names(self) -> Iterator[str]:
+        return iter(self._objects)
+
+    def put(self, client: str, obj_id: int, obj: object) -> object:
+        table = self._objects.setdefault(client, {})
+        if obj_id in table:
+            raise CLError(
+                ErrorCode.CL_INVALID_VALUE,
+                f"duplicate object ID {obj_id} for client {client!r}",
+            )
+        table[obj_id] = obj
+        return obj
+
+    def get(self, client: str, obj_id: int, expected: Optional[Type[T]] = None) -> T:
+        table = self._objects.get(client, {})
+        obj = table.get(obj_id)
+        if obj is None:
+            code = _KIND_ERRORS.get(expected.__name__, ErrorCode.CL_INVALID_VALUE) if expected else ErrorCode.CL_INVALID_VALUE
+            raise CLError(code, f"no object with ID {obj_id} for client {client!r}")
+        if expected is not None and not isinstance(obj, expected):
+            raise CLError(
+                _KIND_ERRORS.get(expected.__name__, ErrorCode.CL_INVALID_VALUE),
+                f"object {obj_id} is a {type(obj).__name__}, expected {expected.__name__}",
+            )
+        return obj
+
+    def pop(self, client: str, obj_id: int) -> object:
+        table = self._objects.get(client, {})
+        obj = table.pop(obj_id, None)
+        if obj is None:
+            raise CLError(ErrorCode.CL_INVALID_VALUE, f"no object with ID {obj_id}")
+        return obj
+
+    def drop_client(self, client: str) -> Iterator[Tuple[int, object]]:
+        """Remove and yield all of a client's objects (disconnect cleanup)."""
+        table = self._objects.pop(client, {})
+        return iter(table.items())
+
+    def count(self, client: str) -> int:
+        return len(self._objects.get(client, {}))

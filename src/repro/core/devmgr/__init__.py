@@ -1,0 +1,27 @@
+"""The central device manager (Section IV)."""
+
+from repro.core.devmgr.config import DeviceRequirement, parse_devmgr_config
+from repro.core.devmgr.lease import FreeDevice, Lease
+from repro.core.devmgr.manager import DeviceManager
+from repro.core.devmgr.scheduling import (
+    BestFit,
+    FirstFit,
+    RoundRobin,
+    SchedulingStrategy,
+    device_matches,
+    make_strategy,
+)
+
+__all__ = [
+    "BestFit",
+    "DeviceManager",
+    "DeviceRequirement",
+    "FirstFit",
+    "FreeDevice",
+    "Lease",
+    "RoundRobin",
+    "SchedulingStrategy",
+    "device_matches",
+    "make_strategy",
+    "parse_devmgr_config",
+]

@@ -1,0 +1,80 @@
+"""XML configuration for automatic device requests (paper Listing 3).
+
+Example (two Intel dual-core CPUs and one GPU from the device manager at
+``devmngr.example.com``)::
+
+    <devmngr>devmngr.example.com</devmngr>
+    <devices>
+      <device count="2">
+        <attribute name="TYPE">CPU</attribute>
+        <attribute name="VENDOR">Intel</attribute>
+        <attribute name="MAX_COMPUTE_UNITS">2</attribute>
+      </device>
+      <device>
+        <attribute name="TYPE">GPU</attribute>
+      </device>
+    </devices>
+
+Eligible attributes are "all properties which can be requested using the
+OpenCL API function clGetDeviceInfo"; numeric attributes are minimums.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.ocl.constants import ErrorCode
+from repro.ocl.errors import CLError
+
+
+@dataclass
+class DeviceRequirement:
+    """One ``<device>`` element: ``count`` devices with these attributes."""
+
+    count: int = 1
+    attributes: Dict[str, str] = field(default_factory=dict)
+
+    def to_wire(self) -> Dict[str, object]:
+        return {"count": self.count, "attributes": dict(self.attributes)}
+
+    @staticmethod
+    def from_wire(data: Dict[str, object]) -> "DeviceRequirement":
+        return DeviceRequirement(
+            count=int(data.get("count", 1)),
+            attributes=dict(data.get("attributes", {})),
+        )
+
+
+def parse_devmgr_config(xml_text: str) -> Tuple[str, List[DeviceRequirement]]:
+    """Parse a Listing-3 config; returns (manager address, requirements).
+
+    The paper's snippet has two top-level elements, so we wrap it in a
+    synthetic root before parsing.
+    """
+    try:
+        root = ET.fromstring(f"<config>{xml_text}</config>")
+    except ET.ParseError as exc:
+        raise CLError(ErrorCode.CL_INVALID_VALUE, f"malformed device manager config: {exc}") from exc
+    devmngr = root.find("devmngr")
+    if devmngr is None or not (devmngr.text or "").strip():
+        raise CLError(ErrorCode.CL_INVALID_VALUE, "config is missing <devmngr> address")
+    address = devmngr.text.strip()
+    requirements: List[DeviceRequirement] = []
+    devices = root.find("devices")
+    if devices is not None:
+        for element in devices.findall("device"):
+            count = int(element.get("count", "1"))
+            if count < 1:
+                raise CLError(ErrorCode.CL_INVALID_VALUE, f"bad device count {count}")
+            attributes: Dict[str, str] = {}
+            for attr in element.findall("attribute"):
+                name = attr.get("name")
+                if not name:
+                    raise CLError(ErrorCode.CL_INVALID_VALUE, "attribute without a name")
+                attributes[name] = (attr.text or "").strip()
+            requirements.append(DeviceRequirement(count=count, attributes=attributes))
+    if not requirements:
+        raise CLError(ErrorCode.CL_INVALID_VALUE, "config requests no devices")
+    return address, requirements

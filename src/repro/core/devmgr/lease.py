@@ -1,0 +1,46 @@
+"""Leases: the device manager's unit of assignment (Section IV-C).
+
+"A lease comprises a unique authentication ID, a set of devices, and a
+set of servers which own these devices."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class FreeDevice:
+    """One assignable device in the manager's inventory."""
+
+    server_name: str
+    device_id: int
+    info: Dict[str, object]
+
+    @property
+    def key(self) -> tuple:
+        return (self.server_name, self.device_id)
+
+
+@dataclass
+class Lease:
+    auth_id: str
+    devices: List[FreeDevice] = field(default_factory=list)
+
+    @property
+    def server_names(self) -> List[str]:
+        """The lease's server set, "computed from the device set, such
+        that it comprises all servers that own at least one of the
+        devices" (Section IV-C)."""
+        seen, names = set(), []
+        for dev in self.devices:
+            if dev.server_name not in seen:
+                seen.add(dev.server_name)
+                names.append(dev.server_name)
+        return names
+
+    def devices_on(self, server_name: str) -> List[int]:
+        """Per-server device subset ("the intersection of the server's
+        device list and the lease's device set", Fig. 3)."""
+        return [d.device_id for d in self.devices if d.server_name == server_name]

@@ -1,0 +1,158 @@
+"""The central device manager process (Section IV).
+
+"The device manager is either installed on one of the servers or on a
+dedicated node ... it ensures that each device is only used by one
+application at a time."  It keeps two device sets — free and assigned —
+and hands out *leases* (auth ID + device set + server set).  Managed-mode
+daemons register their devices at startup; assignment requests match
+device properties against the free set via a scheduling strategy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.devmgr.config import DeviceRequirement
+from repro.core.devmgr.lease import FreeDevice, Lease
+from repro.core.devmgr.scheduling import SchedulingStrategy, make_strategy
+from repro.core.protocol import messages as P
+from repro.hw.node import Host
+from repro.net.gcf import GCFProcess
+from repro.net.network import Network
+from repro.ocl.constants import ErrorCode
+
+
+class DeviceManager:
+    """The network-accessible device manager."""
+
+    def __init__(
+        self,
+        host: Host,
+        network: Network,
+        name: str = "devmgr",
+        strategy: str = "round_robin",
+    ) -> None:
+        self.host = host
+        self.network = network
+        self.gcf = GCFProcess(name, host, network)
+        self.strategy: SchedulingStrategy = make_strategy(strategy)
+        self.free: List[FreeDevice] = []
+        self.leases: Dict[str, Lease] = {}
+        #: daemon name -> daemon GCF endpoint (filled at registration)
+        self.daemons: Dict[str, GCFProcess] = {}
+        self._auth_counter = 0
+        self._install_handlers()
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.gcf.name
+
+    def assigned_count(self) -> int:
+        return sum(len(lease.devices) for lease in self.leases.values())
+
+    def server_load(self) -> Dict[str, int]:
+        load: Dict[str, int] = {}
+        for lease in self.leases.values():
+            for dev in lease.devices:
+                load[dev.server_name] = load.get(dev.server_name, 0) + 1
+        return load
+
+    def _new_auth_id(self) -> str:
+        self._auth_counter += 1
+        return f"auth-{self._auth_counter:08d}"
+
+    # ------------------------------------------------------------------
+    def _install_handlers(self) -> None:
+        gcf = self.gcf
+
+        @gcf.on_request(P.RegisterDaemonRequest)
+        def register_daemon(msg: P.RegisterDaemonRequest, t: float, sender: GCFProcess):
+            self.daemons[sender.name] = sender
+            for device_id, info in zip(msg.device_ids, msg.infos):
+                free = FreeDevice(server_name=sender.name, device_id=device_id, info=info)
+                if all(f.key != free.key for f in self.free):
+                    self.free.append(free)
+            return P.Ack(), t
+
+        @gcf.on_request(P.AssignmentRequest)
+        def assign(msg: P.AssignmentRequest, t: float, sender: GCFProcess):
+            requirements = [DeviceRequirement.from_wire(r) for r in msg.requirements]
+            picked: List[FreeDevice] = []
+            pool = list(self.free)
+            load = self.server_load()
+            for requirement in requirements:
+                for _ in range(requirement.count):
+                    choice = self.strategy.select(pool, requirement, load)
+                    if choice is None:
+                        # "An error code is sent to the client if the device
+                        # manager was not able to find an appropriate device"
+                        return (
+                            P.AssignmentResponse(
+                                error=ErrorCode.CL_DEVICE_NOT_FOUND.value,
+                                detail=f"no free device matches {requirement.attributes}",
+                            ),
+                            t,
+                        )
+                    picked.append(choice)
+                    pool.remove(choice)
+                    load[choice.server_name] = load.get(choice.server_name, 0) + 1
+            lease = Lease(auth_id=self._new_auth_id(), devices=picked)
+            for dev in picked:
+                self.free.remove(dev)
+            self.leases[lease.auth_id] = lease
+            # 3b: send each involved daemon its subset of the device set.
+            done = t
+            for server_name in lease.server_names:
+                daemon_gcf = self.daemons.get(server_name)
+                if daemon_gcf is not None:
+                    arrival = self.gcf.notify(
+                        daemon_gcf,
+                        P.LeaseAssignNotification(
+                            auth_id=lease.auth_id,
+                            device_ids=lease.devices_on(server_name),
+                        ),
+                        t,
+                    )
+                    done = max(done, arrival)
+            # 3a: the client gets the auth ID and the lease's server set.
+            return (
+                P.AssignmentResponse(auth_id=lease.auth_id, server_names=lease.server_names),
+                done,
+            )
+
+        @gcf.on_request(P.LeaseReleaseRequest)
+        def release(msg: P.LeaseReleaseRequest, t: float, sender: GCFProcess):
+            ok = self._release_lease(msg.auth_id, t)
+            if not ok:
+                return (
+                    P.Ack(
+                        error=ErrorCode.CL_INVALID_VALUE.value,
+                        detail=f"unknown lease {msg.auth_id!r}",
+                    ),
+                    t,
+                )
+            return P.Ack(), t
+
+        @gcf.on_notification(P.ClientLostNotification)
+        def client_lost(msg: P.ClientLostNotification, t: float, sender: GCFProcess):
+            # Abnormal termination (Section IV-C): the daemon reports the
+            # invalidated auth ID; devices return to the free set.
+            self._release_lease(msg.auth_id, t)
+
+    def _release_lease(self, auth_id: str, t: float) -> bool:
+        lease = self.leases.pop(auth_id, None)
+        if lease is None:
+            return False
+        for server_name in lease.server_names:
+            daemon_gcf = self.daemons.get(server_name)
+            if daemon_gcf is not None:
+                self.gcf.notify(daemon_gcf, P.LeaseRevokeNotification(auth_id=auth_id), t)
+        self.free.extend(lease.devices)
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<DeviceManager {self.name!r} free={len(self.free)} "
+            f"leases={len(self.leases)} strategy={self.strategy.name}>"
+        )

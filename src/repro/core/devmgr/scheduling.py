@@ -1,0 +1,133 @@
+"""Device-matching and scheduling strategies for the device manager.
+
+The paper says the manager "employs sophisticated scheduling strategies
+to share devices among multiple applications"; three are provided:
+
+* :class:`FirstFit` — first matching free device in registration order;
+* :class:`RoundRobin` — prefer the matching device on the least-loaded
+  server (spreads concurrent applications across servers/devices — the
+  behaviour behind Fig. 6's flat execution times);
+* :class:`BestFit` — the matching device with the least excess capability
+  over the request (keeps big devices free for big requests).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional
+
+from repro.core.devmgr.config import DeviceRequirement
+from repro.core.devmgr.lease import FreeDevice
+from repro.ocl.constants import (
+    CL_DEVICE_TYPE_ACCELERATOR,
+    CL_DEVICE_TYPE_ALL,
+    CL_DEVICE_TYPE_CPU,
+    CL_DEVICE_TYPE_GPU,
+)
+
+_TYPE_NAMES = {
+    "CPU": CL_DEVICE_TYPE_CPU,
+    "GPU": CL_DEVICE_TYPE_GPU,
+    "ACCELERATOR": CL_DEVICE_TYPE_ACCELERATOR,
+    "ALL": CL_DEVICE_TYPE_ALL,
+}
+
+_NUMERIC_MINIMUMS = (
+    "MAX_COMPUTE_UNITS",
+    "MAX_CLOCK_FREQUENCY",
+    "GLOBAL_MEM_SIZE",
+    "LOCAL_MEM_SIZE",
+    "MAX_MEM_ALLOC_SIZE",
+    "MAX_WORK_GROUP_SIZE",
+)
+
+
+def device_matches(info: Dict[str, object], attributes: Dict[str, str]) -> bool:
+    """Does a device's info dict satisfy a requirement's attributes?
+
+    ``TYPE`` matches by device-type bit, ``VENDOR``/``NAME`` by
+    case-insensitive substring, numeric attributes as minimums.
+    """
+    for name, wanted in attributes.items():
+        if name == "TYPE":
+            bits = _TYPE_NAMES.get(wanted.upper())
+            if bits is None:
+                return False
+            if not (int(info.get("TYPE", 0)) & bits):
+                return False
+        elif name in ("VENDOR", "NAME"):
+            if wanted.lower() not in str(info.get(name, "")).lower():
+                return False
+        elif name in _NUMERIC_MINIMUMS:
+            if int(info.get(name, 0)) < int(wanted):
+                return False
+        else:
+            # Unknown attribute: exact string comparison.
+            if str(info.get(name, "")) != wanted:
+                return False
+    return True
+
+
+class SchedulingStrategy(ABC):
+    """Picks one free device satisfying a requirement (or ``None``)."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def select(
+        self,
+        free: List[FreeDevice],
+        requirement: DeviceRequirement,
+        server_load: Dict[str, int],
+    ) -> Optional[FreeDevice]:
+        """``server_load`` maps server name -> currently leased devices."""
+
+
+class FirstFit(SchedulingStrategy):
+    name = "first_fit"
+
+    def select(self, free, requirement, server_load):
+        for dev in free:
+            if device_matches(dev.info, requirement.attributes):
+                return dev
+        return None
+
+
+class RoundRobin(SchedulingStrategy):
+    name = "round_robin"
+
+    def select(self, free, requirement, server_load):
+        candidates = [d for d in free if device_matches(d.info, requirement.attributes)]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda d: (server_load.get(d.server_name, 0),))
+
+
+class BestFit(SchedulingStrategy):
+    name = "best_fit"
+
+    def select(self, free, requirement, server_load):
+        candidates = [d for d in free if device_matches(d.info, requirement.attributes)]
+        if not candidates:
+            return None
+
+        def excess(dev: FreeDevice) -> float:
+            total = 0.0
+            for key in _NUMERIC_MINIMUMS:
+                wanted = requirement.attributes.get(key)
+                if wanted is not None:
+                    have = float(int(dev.info.get(key, 0)))
+                    total += max(0.0, have - float(int(wanted))) / max(float(int(wanted)), 1.0)
+            return total
+
+        return min(candidates, key=excess)
+
+
+_STRATEGIES = {cls.name: cls for cls in (FirstFit, RoundRobin, BestFit)}
+
+
+def make_strategy(name: str) -> SchedulingStrategy:
+    cls = _STRATEGIES.get(name)
+    if cls is None:
+        raise ValueError(f"unknown scheduling strategy {name!r}; know {sorted(_STRATEGIES)}")
+    return cls()

@@ -1,0 +1,3 @@
+"""dOpenCL wire protocol message types."""
+
+from repro.core.protocol.messages import *  # noqa: F401,F403

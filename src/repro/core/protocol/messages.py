@@ -1,0 +1,314 @@
+"""Request/response/notification messages for every forwarded CL call.
+
+Every payload field is wire-codec encodable (the sizes the network model
+charges are measured from real encodings).  Management objects are always
+referred to by the *client-assigned unique ID* — the essence of the
+paper's stub design: "Stubs are created by the client driver and assigned
+a unique ID which corresponds to a remote object" (Section III-D).
+
+Responses carry ``error`` (an OpenCL error code, 0 on success) and
+``detail`` so the client driver can re-raise a faithful ``CLError``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.net.messages import Notification, Request, Response, message_type
+
+
+# ----------------------------------------------------------------------
+# generic
+# ----------------------------------------------------------------------
+@message_type
+class Ack(Response):
+    error: int = 0
+    detail: str = ""
+
+
+# ----------------------------------------------------------------------
+# connection & discovery (Section III-C)
+# ----------------------------------------------------------------------
+@message_type
+class ListDevicesRequest(Request):
+    device_type: int
+
+
+@message_type
+class ListDevicesResponse(Response):
+    device_ids: List[int]
+    infos: List[Dict[str, object]]
+    error: int = 0
+    detail: str = ""
+
+
+@message_type
+class ServerInfoRequest(Request):
+    pass
+
+
+@message_type
+class ServerInfoResponse(Response):
+    info: Dict[str, object]
+    error: int = 0
+    detail: str = ""
+
+
+# ----------------------------------------------------------------------
+# contexts / queues (compound and simple stubs, Section III-D)
+# ----------------------------------------------------------------------
+@message_type
+class CreateContextRequest(Request):
+    context_id: int
+    device_ids: List[int]
+
+
+@message_type
+class ReleaseContextRequest(Request):
+    context_id: int
+
+
+@message_type
+class CreateQueueRequest(Request):
+    queue_id: int
+    context_id: int
+    device_id: int
+    properties: int = 0
+
+
+@message_type
+class ReleaseQueueRequest(Request):
+    queue_id: int
+
+
+@message_type
+class FinishRequest(Request):
+    queue_id: int
+
+
+@message_type
+class FlushRequest(Request):
+    queue_id: int
+
+
+# ----------------------------------------------------------------------
+# memory objects (Section III-D, coherence)
+# ----------------------------------------------------------------------
+@message_type
+class CreateBufferRequest(Request):
+    buffer_id: int
+    context_id: int
+    flags: int
+    size: int
+
+
+@message_type
+class ReleaseBufferRequest(Request):
+    buffer_id: int
+
+
+@message_type
+class BufferDataUpload(Request):
+    """Init message for a client->server buffer stream (upload path)."""
+
+    buffer_id: int
+    queue_id: int
+    event_id: int
+    offset: int
+    nbytes: int
+    wait_event_ids: List[int]
+
+
+@message_type
+class BufferDataDownload(Request):
+    """Request for a server->client buffer stream (download path)."""
+
+    buffer_id: int
+    queue_id: int
+    event_id: int
+    offset: int
+    nbytes: int
+    wait_event_ids: List[int]
+
+
+@message_type
+class BufferDataResponse(Response):
+    nbytes: int = 0
+    error: int = 0
+    detail: str = ""
+
+
+@message_type
+class BufferPeerTransferRequest(Request):
+    """Server-to-server buffer synchronisation (Section III-F extension)."""
+
+    buffer_id: int
+    peer_name: str
+    nbytes: int
+
+
+# ----------------------------------------------------------------------
+# programs / kernels
+# ----------------------------------------------------------------------
+@message_type
+class CreateProgramRequest(Request):
+    """Init message for the program-source stream
+    (``clCreateProgramWithSource`` is a bulk transfer, Section III-B)."""
+
+    program_id: int
+    context_id: int
+    source_bytes: int
+
+
+@message_type
+class BuildProgramRequest(Request):
+    program_id: int
+    options: str = ""
+
+
+@message_type
+class BuildProgramResponse(Response):
+    status: str = "SUCCESS"
+    log: str = ""
+    error: int = 0
+    detail: str = ""
+
+
+@message_type
+class ReleaseProgramRequest(Request):
+    program_id: int
+
+
+@message_type
+class CreateKernelRequest(Request):
+    kernel_id: int
+    program_id: int
+    name: str
+
+
+@message_type
+class CreateKernelResponse(Response):
+    num_args: int = 0
+    arg_kinds: List[str] = None
+    arg_types: List[str] = None
+    writable_buffer_args: List[int] = None
+    error: int = 0
+    detail: str = ""
+
+
+@message_type
+class SetKernelArgRequest(Request):
+    kernel_id: int
+    index: int
+    kind: str  # "buffer" | "local" | "value"
+    buffer_id: int = 0
+    local_nbytes: int = 0
+    value: object = None
+
+
+@message_type
+class ReleaseKernelRequest(Request):
+    kernel_id: int
+
+
+@message_type
+class EnqueueKernelRequest(Request):
+    queue_id: int
+    kernel_id: int
+    event_id: int
+    global_size: List[int]
+    local_size: List[int] = None  # empty/None -> implementation choice
+    global_offset: List[int] = None
+    wait_event_ids: List[int] = None
+
+
+@message_type
+class EnqueueKernelResponse(Response):
+    error: int = 0
+    detail: str = ""
+
+
+# ----------------------------------------------------------------------
+# events (Section III-D consistency protocol)
+# ----------------------------------------------------------------------
+@message_type
+class CreateUserEventRequest(Request):
+    event_id: int
+    context_id: int
+
+
+@message_type
+class SetUserEventStatusRequest(Request):
+    event_id: int
+    status: int
+
+
+@message_type
+class ReleaseEventRequest(Request):
+    event_id: int
+
+
+@message_type
+class EventCompleteNotification(Notification):
+    """Sent by the daemon owning the original event when its status
+    changes to CL_COMPLETE (registered via ``clSetEventCallback``)."""
+
+    event_id: int
+    status: int
+    completed_at: float
+
+
+# ----------------------------------------------------------------------
+# device manager (Section IV)
+# ----------------------------------------------------------------------
+@message_type
+class RegisterDaemonRequest(Request):
+    """Daemon -> device manager, sent when starting in managed mode."""
+
+    device_ids: List[int]
+    infos: List[Dict[str, object]]
+
+
+@message_type
+class AssignmentRequest(Request):
+    """Client driver -> device manager: the XML config's device list."""
+
+    requirements: List[Dict[str, object]]
+
+
+@message_type
+class AssignmentResponse(Response):
+    auth_id: str = ""
+    server_names: List[str] = None
+    error: int = 0
+    detail: str = ""
+
+
+@message_type
+class LeaseAssignNotification(Notification):
+    """Device manager -> daemon: associate devices with an auth ID."""
+
+    auth_id: str
+    device_ids: List[int]
+
+
+@message_type
+class LeaseReleaseRequest(Request):
+    """Client driver -> device manager: application finished."""
+
+    auth_id: str
+
+
+@message_type
+class LeaseRevokeNotification(Notification):
+    """Device manager -> daemon: discard an auth ID."""
+
+    auth_id: str
+
+
+@message_type
+class ClientLostNotification(Notification):
+    """Daemon -> device manager: a client disconnected without releasing
+    its lease (abnormal termination, Section IV-C)."""
+
+    auth_id: str

@@ -1,0 +1,79 @@
+"""Hardware models: devices, buses, hosts and testbed catalogues.
+
+The catalogue in :mod:`repro.hw.specs` mirrors the three testbeds of the
+paper's evaluation (Section V):
+
+* an Infiniband cluster of dual-hexa-core Intel Westmere nodes whose CPUs
+  appear as a single OpenCL CPU device (AMD APP SDK),
+* a desktop PC with a low-end NVIDIA NVS 3100M GPU,
+* a GPU server with a quad-core Xeon E5520 and an NVIDIA Tesla S1070
+  (4 GPUs), attached to the desktop over Gigabit Ethernet.
+
+Simulated time is charged through :class:`repro.sim.Timeline` resources:
+each compute device, PCIe bus and NIC owns one.
+"""
+
+from repro.hw.specs import (
+    DeviceSpec,
+    DeviceType,
+    HostSpec,
+    LinkSpec,
+    PCIeSpec,
+    GIGABIT_ETHERNET,
+    INFINIBAND_QDR,
+    NVS_3100M,
+    PCIE_GEN2_X16,
+    TESLA_C1060,
+    WESTMERE_NODE_CPU,
+    XEON_E5520,
+    DESKTOP_PC,
+    GPU_SERVER,
+    WESTMERE_NODE,
+)
+from repro.hw.device import ComputeDevice
+from repro.hw.pcie import PCIeBus
+from repro.hw.node import Host
+
+_CLUSTER_NAMES = (
+    "Cluster",
+    "make_desktop_and_gpu_server",
+    "make_host",
+    "make_ib_cpu_cluster",
+    "make_multi_client_gpu_server",
+)
+
+
+def __getattr__(name):
+    # Cluster builders depend on repro.net; import lazily to avoid a
+    # hw <-> net import cycle (net.frames needs hw.specs).
+    if name in _CLUSTER_NAMES:
+        from repro.hw import cluster as _cluster
+
+        return getattr(_cluster, name)
+    raise AttributeError(f"module 'repro.hw' has no attribute {name!r}")
+
+__all__ = [
+    "Cluster",
+    "ComputeDevice",
+    "DESKTOP_PC",
+    "DeviceSpec",
+    "DeviceType",
+    "GIGABIT_ETHERNET",
+    "GPU_SERVER",
+    "Host",
+    "HostSpec",
+    "INFINIBAND_QDR",
+    "LinkSpec",
+    "NVS_3100M",
+    "PCIE_GEN2_X16",
+    "PCIeBus",
+    "PCIeSpec",
+    "TESLA_C1060",
+    "WESTMERE_NODE",
+    "WESTMERE_NODE_CPU",
+    "XEON_E5520",
+    "make_desktop_and_gpu_server",
+    "make_host",
+    "make_ib_cpu_cluster",
+    "make_multi_client_gpu_server",
+]

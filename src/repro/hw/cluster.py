@@ -1,0 +1,72 @@
+"""Testbed builders for the paper's three experimental setups."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.hw.node import Host
+from repro.hw.specs import (
+    DESKTOP_PC,
+    GIGABIT_ETHERNET,
+    GPU_SERVER,
+    HostSpec,
+    INFINIBAND_QDR,
+    LinkSpec,
+    WESTMERE_NODE,
+)
+from repro.net.network import Network
+
+
+@dataclass
+class Cluster:
+    """A network plus a distinguished client host and server hosts."""
+
+    network: Network
+    client: Host
+    servers: List[Host] = field(default_factory=list)
+    extra_clients: List[Host] = field(default_factory=list)
+
+    @property
+    def hosts(self) -> List[Host]:
+        return [self.client, *self.extra_clients, *self.servers]
+
+
+def make_host(spec: HostSpec, name: Optional[str] = None) -> Host:
+    return Host(spec, name=name)
+
+
+def make_ib_cpu_cluster(
+    n_servers: int,
+    link: LinkSpec = INFINIBAND_QDR,
+    node_spec: HostSpec = WESTMERE_NODE,
+) -> Cluster:
+    """The Section V-A Mandelbrot testbed: ``n_servers`` Westmere nodes on
+    Infiniband plus a head node acting as the client."""
+    net = Network(link, name="ib-cluster")
+    client = net.add_host(Host(node_spec, name="head"))
+    servers = [net.add_host(Host(node_spec, name=f"node{i:02d}")) for i in range(n_servers)]
+    return Cluster(network=net, client=client, servers=servers)
+
+
+def make_desktop_and_gpu_server(link: LinkSpec = GIGABIT_ETHERNET) -> Cluster:
+    """The Section V-B OSEM testbed: a desktop PC with a low-end GPU and a
+    4-GPU Tesla server, connected by Gigabit Ethernet."""
+    net = Network(link, name="office-net")
+    desktop = net.add_host(Host(DESKTOP_PC, name="desktop"))
+    server = net.add_host(Host(GPU_SERVER, name="gpuserver"))
+    return Cluster(network=net, client=desktop, servers=[server])
+
+
+def make_multi_client_gpu_server(
+    n_clients: int,
+    link: LinkSpec = GIGABIT_ETHERNET,
+) -> Cluster:
+    """The Section V-C device-manager testbed: up to four desktop PCs
+    sharing one GPU server over Gigabit Ethernet."""
+    if n_clients < 1:
+        raise ValueError("need at least one client")
+    net = Network(link, name="office-net")
+    clients = [net.add_host(Host(DESKTOP_PC, name=f"desktop{i}")) for i in range(n_clients)]
+    server = net.add_host(Host(GPU_SERVER, name="gpuserver"))
+    return Cluster(network=net, client=clients[0], servers=[server], extra_clients=clients[1:])

@@ -1,0 +1,78 @@
+"""Compute-device timing model.
+
+A :class:`ComputeDevice` pairs a :class:`~repro.hw.specs.DeviceSpec` with a
+:class:`~repro.sim.Timeline`.  Kernel executions and on-device buffer
+operations are charged to the timeline; command queues (in
+:mod:`repro.ocl.queue`) serialise through it, which is what produces the
+interleaving effects of the paper's Section V-C "without device manager"
+experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hw.specs import DeviceSpec
+from repro.sim.timeline import Interval, Timeline
+
+
+class ComputeDevice:
+    """One simulated OpenCL device installed in a host.
+
+    Parameters
+    ----------
+    spec:
+        Static description of the device.
+    index:
+        Position among the host's devices (used for naming only).
+    host:
+        Back-reference to the owning :class:`~repro.hw.node.Host`
+        (set by the host constructor).
+    """
+
+    def __init__(self, spec: DeviceSpec, index: int = 0, host: Optional[object] = None) -> None:
+        self.spec = spec
+        self.index = index
+        self.host = host
+        self.timeline = Timeline(name=f"{spec.name}#{index}")
+        self.allocated_bytes = 0
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def compute_duration(self, ops: float) -> float:
+        """Simulated seconds to execute ``ops`` abstract operations."""
+        if ops < 0:
+            raise ValueError(f"negative op count {ops}")
+        return self.spec.launch_overhead + ops / self.spec.ops_per_second
+
+    def execute(self, ready: float, ops: float, tag: object = None) -> Interval:
+        """Charge a kernel execution; returns the busy interval."""
+        return self.timeline.allocate(ready, self.compute_duration(ops), tag)
+
+    def occupy(self, ready: float, duration: float, tag: object = None) -> Interval:
+        """Charge an arbitrary on-device duration (e.g. a buffer fill)."""
+        return self.timeline.allocate(ready, duration, tag)
+
+    # -- memory accounting ------------------------------------------------
+    def allocate_mem(self, nbytes: int) -> None:
+        """Track a device allocation; raises MemoryError when the device
+        global memory would be exceeded (maps to CL_MEM_OBJECT_ALLOCATION_FAILURE)."""
+        if nbytes > self.spec.max_alloc:
+            raise MemoryError(
+                f"allocation of {nbytes} bytes exceeds CL_DEVICE_MAX_MEM_ALLOC_SIZE "
+                f"({self.spec.max_alloc}) on {self.name}"
+            )
+        if self.allocated_bytes + nbytes > self.spec.global_mem:
+            raise MemoryError(
+                f"device {self.name} out of global memory "
+                f"({self.allocated_bytes}+{nbytes} > {self.spec.global_mem})"
+            )
+        self.allocated_bytes += nbytes
+
+    def free_mem(self, nbytes: int) -> None:
+        self.allocated_bytes = max(0, self.allocated_bytes - nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ComputeDevice {self.name!r}#{self.index}>"

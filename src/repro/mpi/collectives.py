@@ -1,0 +1,103 @@
+"""Collective operations built on point-to-point messaging.
+
+Broadcast uses a binomial tree (log2 rounds, like production MPIs of the
+paper's era); gather/scatter are linear at the root — which is exactly
+why a many-to-one result gather serialises on the root's NIC.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.mpi.comm import Communicator, MPIError
+
+
+def bcast(comm: Communicator, obj: Any, root: int = 0):
+    """Binomial-tree broadcast (the classic MPICH algorithm); every rank
+    returns the object."""
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return obj
+    rel = (rank - root) % size
+    mask = 1
+    while mask < size:
+        if rel & mask:
+            src = ((rel - mask) + root) % size
+            obj = yield from comm.recv(source=src, tag=91)
+            break
+        mask <<= 1
+    mask >>= 1
+    while mask > 0:
+        if rel + mask < size:
+            dst = ((rel + mask) + root) % size
+            yield from comm.send(obj, dst, tag=91)
+        mask >>= 1
+    return obj
+
+
+def gather(comm: Communicator, obj: Any, root: int = 0):
+    """Linear gather; returns the list at the root, None elsewhere."""
+    size, rank = comm.size, comm.rank
+    if rank == root:
+        out: List[Any] = [None] * size
+        out[root] = obj
+        for src in range(size):
+            if src == root:
+                continue
+            out[src] = yield from comm.recv(source=src, tag=92)
+        return out
+    yield from comm.send(obj, root, tag=92)
+    return None
+
+
+def scatter(comm: Communicator, objs: Optional[List[Any]], root: int = 0):
+    """Linear scatter; every rank returns its element."""
+    size, rank = comm.size, comm.rank
+    if rank == root:
+        if objs is None or len(objs) != size:
+            raise MPIError(f"scatter needs exactly {size} items at the root")
+        for dst in range(size):
+            if dst != root:
+                yield from comm.send(objs[dst], dst, tag=93)
+        return objs[root]
+    item = yield from comm.recv(source=root, tag=93)
+    return item
+
+
+def reduce(comm: Communicator, obj: Any, op: Callable[[Any, Any], Any], root: int = 0):
+    """Gather + fold at the root (rank order, deterministic)."""
+    values = yield from gather(comm, obj, root)
+    if comm.rank != root:
+        return None
+    acc = values[0]
+    for v in values[1:]:
+        acc = op(acc, v)
+    return acc
+
+
+def allreduce(comm: Communicator, obj: Any, op: Callable[[Any, Any], Any]):
+    total = yield from reduce(comm, obj, op, root=0)
+    total = yield from bcast(comm, total, root=0)
+    return total
+
+
+def allgather(comm: Communicator, obj: Any):
+    values = yield from gather(comm, obj, root=0)
+    values = yield from bcast(comm, values, root=0)
+    return values
+
+
+def barrier(comm: Communicator):
+    """Gather + broadcast of a token."""
+    yield from gather(comm, None, root=0)
+    yield from bcast(comm, None, root=0)
+
+
+# Attach as methods for an mpi4py-ish call style.
+Communicator.bcast = lambda self, obj, root=0: bcast(self, obj, root)
+Communicator.gather = lambda self, obj, root=0: gather(self, obj, root)
+Communicator.scatter = lambda self, objs, root=0: scatter(self, objs, root)
+Communicator.reduce = lambda self, obj, op, root=0: reduce(self, obj, op, root)
+Communicator.allreduce = lambda self, obj, op: allreduce(self, obj, op)
+Communicator.allgather = lambda self, obj: allgather(self, obj)
+Communicator.barrier = lambda self: barrier(self)

@@ -1,0 +1,154 @@
+"""Point-to-point communication and the communicator object."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.hw.node import Host
+from repro.net.codec import CodecError, encoded_size
+from repro.net.frames import transfer_duration
+from repro.net.network import Network
+from repro.sim.channel import Channel
+from repro.sim.process import Environment
+
+#: Per-message software overhead (matching, envelope processing).
+MPI_OVERHEAD = 3e-6
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+class MPIError(RuntimeError):
+    pass
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Bytes on the wire for a message payload."""
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj)
+    try:
+        return encoded_size(obj)
+    except CodecError:
+        # Unencodable Python object: approximate with repr length (the
+        # mini-MPI allows arbitrary objects like pickles would).
+        return len(repr(obj).encode())
+
+
+class World:
+    """Shared state of one SPMD run: hosts, channels, environment."""
+
+    def __init__(self, env: Environment, network: Network, hosts: list) -> None:
+        if not hosts:
+            raise MPIError("world needs at least one rank")
+        self.env = env
+        self.network = network
+        self.hosts = hosts
+        self.size = len(hosts)
+        # one FIFO per (src, dst) pair
+        self.channels: Dict[Tuple[int, int], Channel] = {}
+        for src in range(self.size):
+            for dst in range(self.size):
+                if src != dst:
+                    self.channels[(src, dst)] = Channel(env, name=f"{src}->{dst}")
+        self.barrier_round = 0
+
+    def comm(self, rank: int) -> "Communicator":
+        return Communicator(self, rank)
+
+
+class Communicator:
+    """Per-rank communicator (COMM_WORLD semantics)."""
+
+    def __init__(self, world: World, rank: int) -> None:
+        self.world = world
+        self.rank = rank
+
+    @property
+    def env(self) -> Environment:
+        return self.world.env
+
+    @property
+    def size(self) -> int:
+        return self.world.size
+
+    @property
+    def host(self) -> Host:
+        return self.world.hosts[self.rank]
+
+    def Get_rank(self) -> int:
+        return self.rank
+
+    def Get_size(self) -> int:
+        return self.size
+
+    # ------------------------------------------------------------------
+    # point-to-point
+    # ------------------------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0):
+        """Blocking standard-mode send (returns once the message left the
+        sender's NIC)."""
+        if not 0 <= dest < self.size:
+            raise MPIError(f"bad destination rank {dest}")
+        if dest == self.rank:
+            raise MPIError("send to self would deadlock a blocking pair")
+        env = self.env
+        nbytes = payload_nbytes(obj)
+        spec = self.world.network.spec
+        src_host, dst_host = self.host, self.world.hosts[dest]
+        if src_host is dst_host:
+            # co-located ranks: shared-memory copy
+            yield env.timeout(MPI_OVERHEAD + nbytes / 8e9)
+            yield self.world.channels[(self.rank, dest)].put((env.now, obj, nbytes, tag, self.rank))
+            return
+        tx = src_host.nic.send(env.now, nbytes, tag=f"mpi:{self.rank}->{dest}")
+        yield env.timeout(max(0.0, tx.end - env.now) + MPI_OVERHEAD)
+        arrival_earliest = tx.start + spec.latency
+        yield self.world.channels[(self.rank, dest)].put(
+            (arrival_earliest, obj, nbytes, tag, self.rank)
+        )
+
+    def recv(self, source: int, tag: int = ANY_TAG):
+        """Blocking receive; returns the payload object.
+
+        Charges the receiver NIC (serialising concurrent arrivals — the
+        effect that makes a many-to-one gather root-bound)."""
+        if not 0 <= source < self.size:
+            raise MPIError(f"bad source rank {source}")
+        env = self.env
+        item = yield self.world.channels[(source, self.rank)].get()
+        earliest, obj, nbytes, msg_tag, src_rank = item
+        if tag != ANY_TAG and msg_tag != tag:
+            raise MPIError(f"tag mismatch: wanted {tag}, got {msg_tag}")
+        src_host, dst_host = self.world.hosts[src_rank], self.host
+        if src_host is dst_host:
+            if earliest > env.now:
+                yield env.timeout(earliest - env.now)
+            return obj
+        rx = dst_host.nic.receive(max(env.now, earliest), nbytes, tag=f"mpi:{src_rank}->{self.rank}")
+        if rx.end > env.now:
+            yield env.timeout(rx.end - env.now)
+        return obj
+
+    def sendrecv(self, obj: Any, dest: int, source: int, tag: int = 0):
+        yield from self.send(obj, dest, tag)
+        result = yield from self.recv(source, tag)
+        return result
+
+    # ------------------------------------------------------------------
+    # OpenCL clock bridging
+    # ------------------------------------------------------------------
+    def sync_clock(self, api) -> Any:
+        """Bridge a per-rank OpenCL API clock with the SPMD environment.
+
+        Call after a batch of OpenCL work: advances simulated time by the
+        OpenCL time consumed; afterwards the two clocks agree."""
+        env = self.env
+        if api.clock.now > env.now:
+            yield env.timeout(api.clock.now - env.now)
+        else:
+            api.clock.advance_to(env.now)
+        return env.now

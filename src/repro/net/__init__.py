@@ -1,0 +1,50 @@
+"""Simulated network + communication framework.
+
+The stack, bottom-up:
+
+* :mod:`repro.net.frames` — wire-time arithmetic for a link technology.
+* :mod:`repro.net.nic` / :mod:`repro.net.link` — per-host full-duplex NIC
+  timelines; shared-NIC contention is what produces the growing transfer
+  times in the paper's Fig. 6.
+* :mod:`repro.net.network` — host registry and host-to-host transfers.
+* :mod:`repro.net.codec` — tagged binary wire codec (message sizes are
+  *measured from real encodings*, not guessed).
+* :mod:`repro.net.messages` — message base classes and the type registry.
+* :mod:`repro.net.gcf` — the Generic Communication Framework look-alike the
+  paper builds on ([15], [16]): process objects, request/response
+  (message-based communication) and bulk data streams (stream-based
+  communication).
+* :mod:`repro.net.iperf` — the bandwidth measurement tool used for the
+  Fig. 8 reference line.
+"""
+
+from repro.net.codec import CodecError, decode, encode, encoded_size
+from repro.net.frames import transfer_duration
+from repro.net.link import NetworkError
+from repro.net.messages import Message, Notification, Request, Response, message_type
+from repro.net.network import Network
+from repro.net.nic import NIC
+from repro.net.gcf import GCFProcess, RequestOutcome
+from repro.net.streams import StreamResult
+from repro.net.iperf import IperfResult, run_iperf
+
+__all__ = [
+    "CodecError",
+    "GCFProcess",
+    "IperfResult",
+    "Message",
+    "NIC",
+    "Network",
+    "NetworkError",
+    "Notification",
+    "Request",
+    "RequestOutcome",
+    "Response",
+    "StreamResult",
+    "decode",
+    "encode",
+    "encoded_size",
+    "message_type",
+    "run_iperf",
+    "transfer_duration",
+]

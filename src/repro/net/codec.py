@@ -1,0 +1,165 @@
+"""Tagged binary wire codec.
+
+Messages in the reproduction are *actually serialised* so that the network
+cost model charges measured sizes rather than guesses, and so that the
+daemon genuinely cannot share Python object state with the client driver
+(the property that forces the stub/compound-stub design of the paper).
+
+Supported value types: ``None``, ``bool``, ``int`` (64-bit signed),
+``float`` (IEEE double), ``str``, ``bytes``, ``list``/``tuple`` (encoded
+identically), ``dict`` with ``str`` keys, and 1-D ``numpy.ndarray`` of a
+simple dtype.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Tuple
+
+import numpy as np
+
+_TAG_NONE = 0x00
+_TAG_FALSE = 0x01
+_TAG_TRUE = 0x02
+_TAG_INT = 0x03
+_TAG_FLOAT = 0x04
+_TAG_STR = 0x05
+_TAG_BYTES = 0x06
+_TAG_LIST = 0x07
+_TAG_DICT = 0x08
+_TAG_NDARRAY = 0x09
+
+
+class CodecError(ValueError):
+    """Unencodable value or malformed wire data."""
+
+
+def encode(value: Any) -> bytes:
+    """Encode ``value`` into the tagged binary format."""
+    out = bytearray()
+    _encode_into(value, out)
+    return bytes(out)
+
+
+def encoded_size(value: Any) -> int:
+    """Size in bytes of ``encode(value)`` (by encoding it)."""
+    return len(encode(value))
+
+
+def _encode_into(value: Any, out: bytearray) -> None:
+    if value is None:
+        out.append(_TAG_NONE)
+    elif value is True:
+        out.append(_TAG_TRUE)
+    elif value is False:
+        out.append(_TAG_FALSE)
+    elif isinstance(value, (int, np.integer)):
+        out.append(_TAG_INT)
+        try:
+            out += struct.pack("<q", int(value))
+        except struct.error as exc:
+            raise CodecError(f"integer out of 64-bit range: {value}") from exc
+    elif isinstance(value, (float, np.floating)):
+        out.append(_TAG_FLOAT)
+        out += struct.pack("<d", float(value))
+    elif isinstance(value, str):
+        data = value.encode("utf-8")
+        out.append(_TAG_STR)
+        out += struct.pack("<I", len(data))
+        out += data
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        data = bytes(value)
+        out.append(_TAG_BYTES)
+        out += struct.pack("<I", len(data))
+        out += data
+    elif isinstance(value, (list, tuple)):
+        out.append(_TAG_LIST)
+        out += struct.pack("<I", len(value))
+        for item in value:
+            _encode_into(item, out)
+    elif isinstance(value, dict):
+        out.append(_TAG_DICT)
+        out += struct.pack("<I", len(value))
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise CodecError(f"dict keys must be str, got {type(key).__name__}")
+            _encode_into(key, out)
+            _encode_into(item, out)
+    elif isinstance(value, np.ndarray):
+        if value.ndim != 1:
+            raise CodecError(f"only 1-D arrays are encodable, got shape {value.shape}")
+        dtype_name = value.dtype.str
+        raw = np.ascontiguousarray(value).tobytes()
+        out.append(_TAG_NDARRAY)
+        _encode_into(dtype_name, out)
+        out += struct.pack("<I", len(raw))
+        out += raw
+    else:
+        raise CodecError(f"cannot encode value of type {type(value).__name__}")
+
+
+def decode(data: bytes) -> Any:
+    """Decode one value; raises :class:`CodecError` on trailing bytes."""
+    value, offset = _decode_from(data, 0)
+    if offset != len(data):
+        raise CodecError(f"{len(data) - offset} trailing bytes after value")
+    return value
+
+
+def _decode_from(data: bytes, offset: int) -> Tuple[Any, int]:
+    if offset >= len(data):
+        raise CodecError("truncated data: missing tag")
+    tag = data[offset]
+    offset += 1
+    if tag == _TAG_NONE:
+        return None, offset
+    if tag == _TAG_TRUE:
+        return True, offset
+    if tag == _TAG_FALSE:
+        return False, offset
+    if tag == _TAG_INT:
+        _check(data, offset, 8)
+        return struct.unpack_from("<q", data, offset)[0], offset + 8
+    if tag == _TAG_FLOAT:
+        _check(data, offset, 8)
+        return struct.unpack_from("<d", data, offset)[0], offset + 8
+    if tag == _TAG_STR:
+        n, offset = _read_len(data, offset)
+        _check(data, offset, n)
+        return data[offset : offset + n].decode("utf-8"), offset + n
+    if tag == _TAG_BYTES:
+        n, offset = _read_len(data, offset)
+        _check(data, offset, n)
+        return bytes(data[offset : offset + n]), offset + n
+    if tag == _TAG_LIST:
+        n, offset = _read_len(data, offset)
+        items = []
+        for _ in range(n):
+            item, offset = _decode_from(data, offset)
+            items.append(item)
+        return items, offset
+    if tag == _TAG_DICT:
+        n, offset = _read_len(data, offset)
+        result = {}
+        for _ in range(n):
+            key, offset = _decode_from(data, offset)
+            val, offset = _decode_from(data, offset)
+            result[key] = val
+        return result, offset
+    if tag == _TAG_NDARRAY:
+        dtype_name, offset = _decode_from(data, offset)
+        n, offset = _read_len(data, offset)
+        _check(data, offset, n)
+        arr = np.frombuffer(data[offset : offset + n], dtype=np.dtype(dtype_name)).copy()
+        return arr, offset + n
+    raise CodecError(f"unknown tag byte 0x{tag:02x} at offset {offset - 1}")
+
+
+def _read_len(data: bytes, offset: int) -> Tuple[int, int]:
+    _check(data, offset, 4)
+    return struct.unpack_from("<I", data, offset)[0], offset + 4
+
+
+def _check(data: bytes, offset: int, need: int) -> None:
+    if offset + need > len(data):
+        raise CodecError(f"truncated data: need {need} bytes at offset {offset}")

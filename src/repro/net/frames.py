@@ -1,0 +1,37 @@
+"""Wire-time arithmetic for a link technology.
+
+All payloads are carried in MTU-sized frames; a transfer's wire time is the
+serialisation time of its frames at the link's *effective* bandwidth
+(theoretical bandwidth x protocol efficiency).  Sub-frame payloads still pay
+for a minimum frame, which is what bends the small-message end of the
+paper's Fig. 8 efficiency curve.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.hw.specs import LinkSpec
+
+#: Bytes of a minimum Ethernet-class frame on the wire.
+MIN_FRAME_PAYLOAD = 64
+
+
+def frame_count(spec: LinkSpec, nbytes: int) -> int:
+    """Number of frames needed for ``nbytes`` of payload."""
+    if nbytes <= 0:
+        return 1
+    return max(1, math.ceil(nbytes / spec.mtu))
+
+
+def transfer_duration(spec: LinkSpec, nbytes: int) -> float:
+    """Serialisation time (no propagation latency) for ``nbytes``."""
+    if nbytes < 0:
+        raise ValueError(f"negative transfer size {nbytes}")
+    wire_bytes = max(nbytes, MIN_FRAME_PAYLOAD)
+    return wire_bytes / spec.effective_bandwidth
+
+
+def one_way_time(spec: LinkSpec, nbytes: int) -> float:
+    """Latency + serialisation time for a single message."""
+    return spec.latency + transfer_duration(spec, nbytes)

@@ -1,0 +1,257 @@
+"""A Generic Communication Framework (GCF) look-alike.
+
+The paper implements dOpenCL's communication on GCF, a part of the
+Real-Time Framework [15], [16]: *"client and servers are represented by
+process objects; processes exchange messages ... Additionally, we
+implemented bidirectional data streams ... to exchange large quantities of
+binary data"*.
+
+:class:`GCFProcess` is such a process object.  It lives on a
+:class:`~repro.hw.node.Host`, owns a CPU timeline for request decoding and
+dispatch, and supports the paper's two communication patterns:
+
+* **message-based** — :meth:`GCFProcess.request` (synchronous
+  request/response round trip) and :meth:`GCFProcess.notify` (asynchronous
+  one-way notification);
+* **stream-based** — :meth:`GCFProcess.stream` (an initialising
+  request/response exchange followed by the raw bulk payload, exactly the
+  sequence described in Section III-B).
+
+Messages are really serialised; their measured byte counts drive the
+network cost model.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type
+
+from repro.hw.node import Host
+from repro.net.link import ConnectionRefused, NetworkError
+from repro.net.messages import Message, Notification, Request, Response
+from repro.net.network import Network
+from repro.net.streams import StreamResult
+from repro.sim.timeline import Timeline
+
+#: A request handler receives ``(message, t_start, sender)`` and returns
+#: ``(response_message, t_done)``.
+RequestHandler = Callable[[Message, float, "GCFProcess"], Tuple[Response, float]]
+#: A notification handler receives ``(message, arrival_time, sender)``.
+NotificationHandler = Callable[[Message, float, "GCFProcess"], None]
+
+
+class RequestOutcome:
+    """Timing breakdown of one request/response round trip."""
+
+    __slots__ = ("response", "sent_at", "request_arrival", "handled_at", "reply_arrival")
+
+    def __init__(
+        self,
+        response: Response,
+        sent_at: float,
+        request_arrival: float,
+        handled_at: float,
+        reply_arrival: float,
+    ) -> None:
+        self.response = response
+        self.sent_at = sent_at
+        self.request_arrival = request_arrival
+        self.handled_at = handled_at
+        self.reply_arrival = reply_arrival
+
+    @property
+    def round_trip(self) -> float:
+        return self.reply_arrival - self.sent_at
+
+
+class GCFProcess:
+    """A named communicating process on a host."""
+
+    def __init__(self, name: str, host: Host, network: Network) -> None:
+        self.name = name
+        self.host = host
+        self.network = network
+        self.cpu = Timeline(name=f"{name}.cpu")
+        self._request_handlers: Dict[Type[Message], RequestHandler] = {}
+        self._notification_handlers: Dict[Type[Message], NotificationHandler] = {}
+        self._bulk_sink_handlers: Dict[Type[Message], Callable] = {}
+        self._bulk_source_handlers: Dict[Type[Message], Callable] = {}
+        self._connect_handler: Optional[Callable[[str, Any, float], None]] = None
+        self._disconnect_handler: Optional[Callable[[str, float], None]] = None
+        #: Extra server-side work per accepted connection (session setup,
+        #: worker spawn).  Daemons set this; plain processes keep 0.
+        self.connect_setup_duration = 0.0
+        self.peers: Dict[str, "GCFProcess"] = {}
+        # Log of (arrival_time, sender, message) for introspection/tests.
+        self.notification_log: List[Tuple[float, str, Message]] = []
+
+    # ------------------------------------------------------------------
+    # handler registration (server side)
+    # ------------------------------------------------------------------
+    def on_request(self, msg_cls: Type[Message]) -> Callable[[RequestHandler], RequestHandler]:
+        def register(fn: RequestHandler) -> RequestHandler:
+            self._request_handlers[msg_cls] = fn
+            return fn
+
+        return register
+
+    def on_notification(self, msg_cls: Type[Message]) -> Callable[[NotificationHandler], NotificationHandler]:
+        def register(fn: NotificationHandler) -> NotificationHandler:
+            self._notification_handlers[msg_cls] = fn
+            return fn
+
+        return register
+
+    def on_bulk_sink(self, msg_cls: Type[Message]):
+        """Register a receiver for pushed bulk data: the handler gets
+        ``(init_msg, payload, arrival_time, sender)`` after the raw stream
+        lands (Section III-B upload path)."""
+
+        def register(fn):
+            self._bulk_sink_handlers[msg_cls] = fn
+            return fn
+
+        return register
+
+    def on_bulk_source(self, msg_cls: Type[Message]):
+        """Register a provider for pulled bulk data: the handler gets
+        ``(request_msg, t_start, sender)`` and returns
+        ``(response, t_done, payload, nbytes)`` (download path)."""
+
+        def register(fn):
+            self._bulk_source_handlers[msg_cls] = fn
+            return fn
+
+        return register
+
+    def on_connect(self, fn: Callable[[str, Any, float], None]) -> Callable[[str, Any, float], None]:
+        self._connect_handler = fn
+        return fn
+
+    def on_disconnect(self, fn: Callable[[str, float], None]) -> Callable[[str, float], None]:
+        self._disconnect_handler = fn
+        return fn
+
+    # ------------------------------------------------------------------
+    # connection management (client side)
+    # ------------------------------------------------------------------
+    def connect(self, target: "GCFProcess", t: float, payload: Any = None) -> float:
+        """Handshake with ``target``; returns the time the connection is
+        established on the caller side.  The target's connect handler may
+        raise :class:`ConnectionRefused` (e.g. invalid auth ID)."""
+        arrival = self.network.transfer(self.host, target.host, t, 128)
+        setup = target.host.spec.request_overhead + target.connect_setup_duration
+        iv = target.cpu.allocate(arrival, setup, "connect")
+        if target._connect_handler is not None:
+            target._connect_handler(self.name, payload, iv.end)  # may raise
+        back = self.network.transfer(target.host, self.host, iv.end, 128)
+        self.peers[target.name] = target
+        target.peers[self.name] = self
+        return back
+
+    def disconnect(self, target: "GCFProcess", t: float) -> float:
+        """Tear down; the target's disconnect handler observes it."""
+        if target.name not in self.peers:
+            raise NetworkError(f"{self.name!r} is not connected to {target.name!r}")
+        arrival = self.network.transfer(self.host, target.host, t, 128)
+        if target._disconnect_handler is not None:
+            target._disconnect_handler(self.name, arrival)
+        del self.peers[target.name]
+        target.peers.pop(self.name, None)
+        return arrival
+
+    # ------------------------------------------------------------------
+    # message-based communication
+    # ------------------------------------------------------------------
+    def request(self, target: "GCFProcess", msg: Request, t: float) -> RequestOutcome:
+        """Synchronous request/response round trip."""
+        handler = target._request_handlers.get(type(msg))
+        if handler is None:
+            raise NetworkError(
+                f"process {target.name!r} has no handler for {type(msg).__name__}"
+            )
+        arrival = self.network.transfer(self.host, target.host, t, msg.wire_size, tag=type(msg).__name__)
+        iv = target.cpu.allocate(arrival, target.host.spec.request_overhead, type(msg).__name__)
+        response, t_done = handler(msg, iv.end, self)
+        if t_done < iv.end:
+            raise NetworkError(
+                f"handler for {type(msg).__name__} returned t_done={t_done} < start={iv.end}"
+            )
+        reply_arrival = self.network.transfer(
+            target.host, self.host, t_done, response.wire_size, tag=type(response).__name__
+        )
+        return RequestOutcome(response, t, arrival, t_done, reply_arrival)
+
+    def notify(self, target: "GCFProcess", msg: Notification, t: float) -> float:
+        """One-way asynchronous notification; returns delivery time."""
+        arrival = self.network.transfer(self.host, target.host, t, msg.wire_size, tag=type(msg).__name__)
+        target.notification_log.append((arrival, self.name, msg))
+        handler = target._notification_handlers.get(type(msg))
+        if handler is not None:
+            handler(msg, arrival, self)
+        return arrival
+
+    # ------------------------------------------------------------------
+    # stream-based communication
+    # ------------------------------------------------------------------
+    def stream(
+        self,
+        target: "GCFProcess",
+        nbytes: int,
+        t: float,
+        init: Optional[Request] = None,
+        tag: object = None,
+    ) -> StreamResult:
+        """Bulk data transfer: an initialising request/response exchange
+        followed by the raw payload (Section III-B).  Returns timing."""
+        if init is not None:
+            outcome = self.request(target, init, t)
+            start = outcome.reply_arrival
+        else:
+            # Stream channel already set up: only a half handshake.
+            start = self.network.transfer(self.host, target.host, t, 96, tag="stream-init")
+        arrival = self.network.transfer(self.host, target.host, start, nbytes, tag=tag or "stream")
+        return StreamResult(requested_at=t, started_at=start, arrival=arrival, nbytes=nbytes)
+
+    def send_bulk(
+        self,
+        target: "GCFProcess",
+        init: Request,
+        payload: Any,
+        nbytes: int,
+        t: float,
+    ) -> Tuple[RequestOutcome, float]:
+        """Stream-based upload: initialising request/response exchange,
+        then the raw payload.  The target's bulk-sink handler receives the
+        payload at stream arrival.  Returns ``(init_outcome, arrival)``.
+        """
+        sink = target._bulk_sink_handlers.get(type(init))
+        if sink is None:
+            raise NetworkError(
+                f"process {target.name!r} has no bulk sink for {type(init).__name__}"
+            )
+        outcome = self.request(target, init, t)
+        arrival = self.network.transfer(
+            self.host, target.host, outcome.reply_arrival, nbytes, tag=f"bulk:{type(init).__name__}"
+        )
+        sink(init, payload, arrival, self)
+        return outcome, arrival
+
+    def fetch_bulk(self, target: "GCFProcess", request: Request, t: float) -> Tuple[Response, Any, float]:
+        """Stream-based download: request, then the raw payload streams
+        back.  Returns ``(response, payload, arrival)``."""
+        source = target._bulk_source_handlers.get(type(request))
+        if source is None:
+            raise NetworkError(
+                f"process {target.name!r} has no bulk source for {type(request).__name__}"
+            )
+        arrival = self.network.transfer(self.host, target.host, t, request.wire_size)
+        iv = target.cpu.allocate(arrival, target.host.spec.request_overhead, type(request).__name__)
+        response, t_done, payload, nbytes = source(request, iv.end, self)
+        reply_arrival = self.network.transfer(target.host, self.host, t_done, response.wire_size)
+        data_arrival = self.network.transfer(
+            target.host, self.host, reply_arrival, nbytes, tag=f"bulk:{type(request).__name__}"
+        )
+        return response, payload, data_arrival
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<GCFProcess {self.name!r} on {self.host.name!r}>"

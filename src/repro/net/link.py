@@ -1,0 +1,15 @@
+"""Network-layer errors."""
+
+
+class NetworkError(RuntimeError):
+    """Base class for simulated network failures (unknown host, send on a
+    disconnected endpoint, ...)."""
+
+
+class HostUnreachable(NetworkError):
+    """The destination host is not attached to the network."""
+
+
+class ConnectionRefused(NetworkError):
+    """The destination process rejected the connection (e.g. an invalid
+    authentication ID in managed mode)."""

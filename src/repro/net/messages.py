@@ -1,0 +1,76 @@
+"""Message base classes and the wire-type registry.
+
+A message class declares its payload fields as a dataclass; the registry
+assigns each class a stable wire name.  ``to_wire`` produces real bytes via
+:mod:`repro.net.codec` — the byte count (plus the protocol header) is what
+the network model charges for message-based communication.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, ClassVar, Dict, Type, TypeVar
+
+from repro.net.codec import CodecError, decode, encode
+
+#: Fixed per-message protocol overhead (framing, transport headers, GCF
+#: message envelope) in bytes.
+MESSAGE_HEADER_BYTES = 64
+
+_REGISTRY: Dict[str, Type["Message"]] = {}
+
+M = TypeVar("M", bound="Message")
+
+
+def message_type(cls: Type[M]) -> Type[M]:
+    """Class decorator: make ``cls`` a dataclass and register its wire name."""
+    cls = dataclasses.dataclass(cls)
+    wire_name = cls.__name__
+    if wire_name in _REGISTRY and _REGISTRY[wire_name] is not cls:
+        raise ValueError(f"duplicate message type {wire_name!r}")
+    _REGISTRY[wire_name] = cls
+    return cls
+
+
+def registered_types() -> Dict[str, Type["Message"]]:
+    return dict(_REGISTRY)
+
+
+class Message:
+    """Base class for all wire messages."""
+
+    def to_payload(self) -> Dict[str, Any]:
+        if not dataclasses.is_dataclass(self):
+            raise TypeError(f"{type(self).__name__} is not a @message_type dataclass")
+        return dataclasses.asdict(self)
+
+    def to_wire(self) -> bytes:
+        return encode([type(self).__name__, self.to_payload()])
+
+    @property
+    def wire_size(self) -> int:
+        """Bytes on the wire including the protocol header."""
+        return len(self.to_wire()) + MESSAGE_HEADER_BYTES
+
+    @staticmethod
+    def from_wire(data: bytes) -> "Message":
+        decoded = decode(data)
+        if not (isinstance(decoded, list) and len(decoded) == 2):
+            raise CodecError("malformed message envelope")
+        wire_name, payload = decoded
+        cls = _REGISTRY.get(wire_name)
+        if cls is None:
+            raise CodecError(f"unknown message type {wire_name!r}")
+        return cls(**payload)
+
+
+class Request(Message):
+    """A message that expects a :class:`Response`."""
+
+
+class Response(Message):
+    """Reply to a :class:`Request`."""
+
+
+class Notification(Message):
+    """One-way asynchronous message (e.g. an event status update)."""

@@ -1,0 +1,63 @@
+"""Host registry and host-to-host transfer timing.
+
+A :class:`Network` is a single switched segment: every attached host gets a
+NIC and any host can reach any other.  A transfer charges the sender's
+transmit timeline, propagates with the link latency, and charges the
+receiver's receive timeline; the returned arrival time is when the last
+byte is available at the destination.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.hw.node import Host
+from repro.hw.specs import LinkSpec
+from repro.net.link import HostUnreachable
+from repro.net.nic import NIC
+
+
+class Network:
+    """A switched network segment with uniform link technology."""
+
+    def __init__(self, spec: LinkSpec, name: str = "net") -> None:
+        self.spec = spec
+        self.name = name
+        self.hosts: Dict[str, Host] = {}
+
+    def add_host(self, host: Host) -> Host:
+        """Attach ``host``; creates and installs its NIC."""
+        if host.name in self.hosts:
+            raise ValueError(f"duplicate host name {host.name!r}")
+        host.nic = NIC(host.name, self.spec)
+        self.hosts[host.name] = host
+        return host
+
+    def host(self, name: str) -> Host:
+        try:
+            return self.hosts[name]
+        except KeyError:
+            raise HostUnreachable(f"no host {name!r} on network {self.name!r}") from None
+
+    def _nic(self, host: Host) -> NIC:
+        if host.nic is None or host.name not in self.hosts:
+            raise HostUnreachable(f"host {host.name!r} is not attached to {self.name!r}")
+        return host.nic
+
+    def transfer(self, src: Host, dst: Host, ready: float, nbytes: int, tag: object = None) -> float:
+        """Move ``nbytes`` from ``src`` to ``dst``; returns arrival time.
+
+        Loopback (src is dst) is charged as a host-internal copy.
+        """
+        if src is dst:
+            return ready + nbytes / 8e9
+        src_nic, dst_nic = self._nic(src), self._nic(dst)
+        tx = src_nic.send(ready, nbytes, tag)
+        rx = dst_nic.receive(tx.start + self.spec.latency, nbytes, tag)
+        return rx.end
+
+    def one_way_latency(self) -> float:
+        return self.spec.latency
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Network {self.name!r} ({self.spec.name}) hosts={list(self.hosts)}>"

@@ -1,0 +1,34 @@
+"""Per-host network interface with full-duplex timelines.
+
+The transmit and receive sides are independent resources (full duplex);
+either side serialises its own transfers.  Four clients writing to one
+server all queue on the server NIC's receive timeline — the contention that
+grows the data-transfer segment in the paper's Fig. 6.
+"""
+
+from __future__ import annotations
+
+from repro.hw.specs import LinkSpec
+from repro.net.frames import transfer_duration
+from repro.sim.timeline import Interval, Timeline
+
+
+class NIC:
+    """A host's attachment to the network."""
+
+    def __init__(self, host_name: str, spec: LinkSpec) -> None:
+        self.host_name = host_name
+        self.spec = spec
+        self.tx = Timeline(name=f"{host_name}.nic.tx")
+        self.rx = Timeline(name=f"{host_name}.nic.rx")
+
+    def send(self, ready: float, nbytes: int, tag: object = None) -> Interval:
+        """Charge the transmit side; returns the busy interval."""
+        return self.tx.allocate(ready, transfer_duration(self.spec, nbytes), tag)
+
+    def receive(self, ready: float, nbytes: int, tag: object = None) -> Interval:
+        """Charge the receive side; returns the busy interval."""
+        return self.rx.allocate(ready, transfer_duration(self.spec, nbytes), tag)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<NIC {self.host_name!r} {self.spec.name}>"

@@ -1,0 +1,35 @@
+"""Stream-based bulk data transfer results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StreamResult:
+    """Timing of one bulk transfer.
+
+    ``requested_at`` — when the sender initiated the stream;
+    ``started_at`` — when the raw payload began flowing (after the
+    initialising request/response exchange);
+    ``arrival`` — when the last byte reached the destination.
+    """
+
+    requested_at: float
+    started_at: float
+    arrival: float
+    nbytes: int
+
+    @property
+    def total_time(self) -> float:
+        return self.arrival - self.requested_at
+
+    @property
+    def payload_time(self) -> float:
+        return self.arrival - self.started_at
+
+    @property
+    def effective_bandwidth(self) -> float:
+        if self.total_time <= 0.0:
+            return float("inf")
+        return self.nbytes / self.total_time

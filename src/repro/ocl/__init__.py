@@ -1,0 +1,70 @@
+"""A pure-Python OpenCL 1.1 runtime (the simulated "vendor" implementation).
+
+This is the implementation installed on every simulated node — the thing
+the dOpenCL daemon forwards API calls *to* (the paper calls dOpenCL a
+"meta-implementation" for exactly this reason).  It implements the OpenCL
+object model — platforms, devices, contexts, command queues, buffers,
+programs, kernels, events (including user events and callbacks) — with:
+
+* real kernel execution through :mod:`repro.clc` (results are correct and
+  testable), and
+* virtual-time command scheduling on the owning device's timeline
+  (queue serialisation, PCIe transfer costs, launch overheads).
+
+:class:`repro.ocl.api.NativeAPI` exposes the C-style flat ``cl*`` API that
+applications program against; the dOpenCL client driver exposes the same
+surface, which is what makes applications "unmodified" when they switch
+(the paper's headline property).
+"""
+
+from repro.ocl.constants import (
+    CL_COMPLETE,
+    CL_DEVICE_TYPE_ALL,
+    CL_DEVICE_TYPE_CPU,
+    CL_DEVICE_TYPE_GPU,
+    CL_MEM_COPY_HOST_PTR,
+    CL_MEM_READ_ONLY,
+    CL_MEM_READ_WRITE,
+    CL_MEM_WRITE_ONLY,
+    CL_QUEUED,
+    CL_RUNNING,
+    CL_SUBMITTED,
+    ErrorCode,
+)
+from repro.ocl.errors import CLError
+from repro.ocl.platform import Device, Platform
+from repro.ocl.context import Context
+from repro.ocl.memory import Buffer
+from repro.ocl.event import Event, UserEvent
+from repro.ocl.queue import CommandQueue
+from repro.ocl.program import Program
+from repro.ocl.kernel import Kernel
+from repro.ocl.api import NativeAPI
+from repro.ocl.icd import ICDLoader
+
+__all__ = [
+    "Buffer",
+    "CLError",
+    "CL_COMPLETE",
+    "CL_DEVICE_TYPE_ALL",
+    "CL_DEVICE_TYPE_CPU",
+    "CL_DEVICE_TYPE_GPU",
+    "CL_MEM_COPY_HOST_PTR",
+    "CL_MEM_READ_ONLY",
+    "CL_MEM_READ_WRITE",
+    "CL_MEM_WRITE_ONLY",
+    "CL_QUEUED",
+    "CL_RUNNING",
+    "CL_SUBMITTED",
+    "CommandQueue",
+    "Context",
+    "Device",
+    "ErrorCode",
+    "Event",
+    "ICDLoader",
+    "Kernel",
+    "NativeAPI",
+    "Platform",
+    "Program",
+    "UserEvent",
+]

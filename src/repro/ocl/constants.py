@@ -1,0 +1,116 @@
+"""OpenCL constants and error codes (mirroring CL/cl.h values)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class ErrorCode(enum.IntEnum):
+    """Error/return codes; values match the OpenCL 1.1 headers."""
+
+    CL_SUCCESS = 0
+    CL_DEVICE_NOT_FOUND = -1
+    CL_DEVICE_NOT_AVAILABLE = -2
+    CL_COMPILER_NOT_AVAILABLE = -3
+    CL_MEM_OBJECT_ALLOCATION_FAILURE = -4
+    CL_OUT_OF_RESOURCES = -5
+    CL_OUT_OF_HOST_MEMORY = -6
+    CL_PROFILING_INFO_NOT_AVAILABLE = -7
+    CL_MEM_COPY_OVERLAP = -8
+    CL_BUILD_PROGRAM_FAILURE = -11
+    CL_MAP_FAILURE = -12
+    CL_INVALID_VALUE = -30
+    CL_INVALID_DEVICE_TYPE = -31
+    CL_INVALID_PLATFORM = -32
+    CL_INVALID_DEVICE = -33
+    CL_INVALID_CONTEXT = -34
+    CL_INVALID_QUEUE_PROPERTIES = -35
+    CL_INVALID_COMMAND_QUEUE = -36
+    CL_INVALID_HOST_PTR = -37
+    CL_INVALID_MEM_OBJECT = -38
+    CL_INVALID_IMAGE_FORMAT_DESCRIPTOR = -39
+    CL_INVALID_IMAGE_SIZE = -40
+    CL_INVALID_SAMPLER = -41
+    CL_INVALID_BINARY = -42
+    CL_INVALID_BUILD_OPTIONS = -43
+    CL_INVALID_PROGRAM = -44
+    CL_INVALID_PROGRAM_EXECUTABLE = -45
+    CL_INVALID_KERNEL_NAME = -46
+    CL_INVALID_KERNEL_DEFINITION = -47
+    CL_INVALID_KERNEL = -48
+    CL_INVALID_ARG_INDEX = -49
+    CL_INVALID_ARG_VALUE = -50
+    CL_INVALID_ARG_SIZE = -51
+    CL_INVALID_KERNEL_ARGS = -52
+    CL_INVALID_WORK_DIMENSION = -53
+    CL_INVALID_WORK_GROUP_SIZE = -54
+    CL_INVALID_WORK_ITEM_SIZE = -55
+    CL_INVALID_GLOBAL_OFFSET = -56
+    CL_INVALID_EVENT_WAIT_LIST = -57
+    CL_INVALID_EVENT = -58
+    CL_INVALID_OPERATION = -59
+    CL_INVALID_GL_OBJECT = -60
+    CL_INVALID_BUFFER_SIZE = -61
+    CL_INVALID_MIP_LEVEL = -62
+    CL_INVALID_GLOBAL_WORK_SIZE = -63
+    # dOpenCL extension errors (Section III-C / IV)
+    CL_CONNECTION_ERROR_WWU = -1001
+    CL_INVALID_SERVER_WWU = -1002
+    CL_DEVICE_NOT_ASSIGNED_WWU = -1003
+
+
+# -- device types (bitfield) ------------------------------------------------
+CL_DEVICE_TYPE_DEFAULT = 1 << 0
+CL_DEVICE_TYPE_CPU = 1 << 1
+CL_DEVICE_TYPE_GPU = 1 << 2
+CL_DEVICE_TYPE_ACCELERATOR = 1 << 3
+CL_DEVICE_TYPE_ALL = 0xFFFFFFFF
+
+# -- memory flags (bitfield) ----------------------------------------------
+CL_MEM_READ_WRITE = 1 << 0
+CL_MEM_WRITE_ONLY = 1 << 1
+CL_MEM_READ_ONLY = 1 << 2
+CL_MEM_USE_HOST_PTR = 1 << 3
+CL_MEM_ALLOC_HOST_PTR = 1 << 4
+CL_MEM_COPY_HOST_PTR = 1 << 5
+
+# -- command queue properties ------------------------------------------------
+CL_QUEUE_OUT_OF_ORDER_EXEC_MODE_ENABLE = 1 << 0
+CL_QUEUE_PROFILING_ENABLE = 1 << 1
+
+# -- event command execution status -------------------------------------------
+CL_COMPLETE = 0
+CL_RUNNING = 1
+CL_SUBMITTED = 2
+CL_QUEUED = 3
+
+# -- command types (subset) ---------------------------------------------------
+CL_COMMAND_NDRANGE_KERNEL = 0x11F0
+CL_COMMAND_READ_BUFFER = 0x11F3
+CL_COMMAND_WRITE_BUFFER = 0x11F4
+CL_COMMAND_COPY_BUFFER = 0x11F5
+CL_COMMAND_MARKER = 0x11FE
+CL_COMMAND_BARRIER = 0x1205
+CL_COMMAND_USER = 0x1204
+
+# -- profiling info ------------------------------------------------------------
+CL_PROFILING_COMMAND_QUEUED = 0x1280
+CL_PROFILING_COMMAND_SUBMIT = 0x1281
+CL_PROFILING_COMMAND_START = 0x1282
+CL_PROFILING_COMMAND_END = 0x1283
+
+# -- device info keys (string-keyed in this runtime for clarity) ---------------
+DEVICE_INFO_KEYS = (
+    "TYPE",
+    "NAME",
+    "VENDOR",
+    "MAX_COMPUTE_UNITS",
+    "MAX_CLOCK_FREQUENCY",
+    "GLOBAL_MEM_SIZE",
+    "LOCAL_MEM_SIZE",
+    "MAX_MEM_ALLOC_SIZE",
+    "MAX_WORK_GROUP_SIZE",
+    "VERSION",
+    "DRIVER_VERSION",
+    "AVAILABLE",
+)

@@ -1,0 +1,53 @@
+"""Contexts: a set of devices sharing management objects."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.ocl.constants import ErrorCode
+from repro.ocl.errors import CLError, require
+from repro.ocl.platform import Device, Platform
+
+
+class Context:
+    """``clCreateContext`` result.
+
+    In this native runtime all devices of a context live on one host (one
+    vendor platform) — exactly the limitation that forces dOpenCL to build
+    *compound* contexts out of per-server native contexts (Section III-D).
+    """
+
+    def __init__(self, devices: Sequence[Device]) -> None:
+        require(len(devices) > 0, ErrorCode.CL_INVALID_VALUE, "context needs devices")
+        platforms = {d.platform for d in devices}
+        if len(platforms) != 1:
+            raise CLError(
+                ErrorCode.CL_INVALID_DEVICE,
+                "all devices of a context must belong to one platform",
+            )
+        hosts = {d.host for d in devices}
+        if len(hosts) != 1:
+            raise CLError(
+                ErrorCode.CL_INVALID_DEVICE,
+                "a native context cannot span hosts (this is what dOpenCL adds)",
+            )
+        self.devices: List[Device] = list(devices)
+        self.platform: Platform = next(iter(platforms))
+        self.host = next(iter(hosts))
+        self.refcount = 1
+        self.released = False
+
+    def check_device(self, device: Device) -> None:
+        if device not in self.devices:
+            raise CLError(ErrorCode.CL_INVALID_DEVICE, "device not in context")
+
+    def retain(self) -> None:
+        self.refcount += 1
+
+    def release(self) -> None:
+        self.refcount -= 1
+        if self.refcount <= 0:
+            self.released = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Context host={self.host.name!r} devices={len(self.devices)}>"

@@ -1,0 +1,21 @@
+"""OpenCL error exception."""
+
+from __future__ import annotations
+
+from repro.ocl.constants import ErrorCode
+
+
+class CLError(Exception):
+    """Raised where the C API would return a negative error code."""
+
+    def __init__(self, code: ErrorCode, message: str = "") -> None:
+        self.code = ErrorCode(code)
+        self.message = message
+        detail = f": {message}" if message else ""
+        super().__init__(f"{self.code.name} ({self.code.value}){detail}")
+
+
+def require(condition: bool, code: ErrorCode, message: str = "") -> None:
+    """Validation helper: raise :class:`CLError` unless ``condition``."""
+    if not condition:
+        raise CLError(code, message)

@@ -1,0 +1,138 @@
+"""Events: command completion, dependencies, callbacks, profiling.
+
+Commands execute *data-eagerly* (NumPy effects happen at enqueue, in
+program order) but their *timing* resolves lazily: an event's start/end
+are computed once every dependency has resolved, allocating device or bus
+time on the owning resource's timeline.  This makes user-event-gated
+commands (the mechanism dOpenCL's event-consistency protocol relies on,
+Section III-D) work naturally.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.ocl.constants import (
+    CL_COMPLETE,
+    CL_COMMAND_USER,
+    CL_QUEUED,
+    CL_SUBMITTED,
+    CL_PROFILING_COMMAND_END,
+    CL_PROFILING_COMMAND_QUEUED,
+    CL_PROFILING_COMMAND_START,
+    CL_PROFILING_COMMAND_SUBMIT,
+    ErrorCode,
+)
+from repro.ocl.errors import CLError
+
+#: Event callback: fn(event, status, time)
+EventCallback = Callable[["Event", int, float], None]
+
+
+class Event:
+    """A command event with virtual-time stamps."""
+
+    def __init__(self, context, command_type: int, queued_at: float) -> None:
+        self.context = context
+        self.command_type = command_type
+        self.queued_at = queued_at
+        self.submitted_at = queued_at
+        self.start: Optional[float] = None
+        self.end: Optional[float] = None
+        self._callbacks: List[EventCallback] = []
+        self._dependents: List[Callable[[], None]] = []
+        self.refcount = 1
+
+    # ------------------------------------------------------------------
+    @property
+    def resolved(self) -> bool:
+        return self.end is not None
+
+    @property
+    def status(self) -> int:
+        return CL_COMPLETE if self.resolved else CL_QUEUED
+
+    def _mark_resolved(self, start: float, end: float) -> None:
+        if self.resolved:
+            raise CLError(ErrorCode.CL_INVALID_EVENT, "event resolved twice")
+        self.start = start
+        self.end = end
+        for cb in self._callbacks:
+            cb(self, CL_COMPLETE, end)
+        self._callbacks.clear()
+        dependents, self._dependents = self._dependents, []
+        for kick in dependents:
+            kick()
+
+    def on_resolve(self, kick: Callable[[], None]) -> None:
+        """Internal: notify when this event resolves (queue machinery)."""
+        if self.resolved:
+            kick()
+        else:
+            self._dependents.append(kick)
+
+    # -- public API ------------------------------------------------------
+    def set_callback(self, callback: EventCallback, status: int = CL_COMPLETE) -> None:
+        """``clSetEventCallback`` (CL_COMPLETE only, like the paper uses)."""
+        if status != CL_COMPLETE:
+            raise CLError(ErrorCode.CL_INVALID_VALUE, "only CL_COMPLETE callbacks supported")
+        if self.resolved:
+            callback(self, CL_COMPLETE, self.end)
+        else:
+            self._callbacks.append(callback)
+
+    def wait(self, t: float) -> float:
+        """Block until complete; returns the (virtual) resume time."""
+        if not self.resolved:
+            raise CLError(
+                ErrorCode.CL_INVALID_EVENT_WAIT_LIST,
+                "deadlock: waiting on an event that can never complete "
+                "(incomplete user event dependency?)",
+            )
+        return max(t, self.end)
+
+    def profiling_info(self, param: int) -> float:
+        if not self.resolved:
+            raise CLError(ErrorCode.CL_PROFILING_INFO_NOT_AVAILABLE)
+        values = {
+            CL_PROFILING_COMMAND_QUEUED: self.queued_at,
+            CL_PROFILING_COMMAND_SUBMIT: self.submitted_at,
+            CL_PROFILING_COMMAND_START: self.start,
+            CL_PROFILING_COMMAND_END: self.end,
+        }
+        if param not in values:
+            raise CLError(ErrorCode.CL_INVALID_VALUE, f"bad profiling param {param}")
+        return values[param]
+
+    def retain(self) -> None:
+        self.refcount += 1
+
+    def release(self) -> None:
+        self.refcount -= 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"done@{self.end:.6f}" if self.resolved else "pending"
+        return f"<Event cmd=0x{self.command_type:x} {state}>"
+
+
+class UserEvent(Event):
+    """``clCreateUserEvent`` — completed explicitly by the application (or,
+    in dOpenCL, by the client driver when the original event completes)."""
+
+    def __init__(self, context, created_at: float) -> None:
+        super().__init__(context, CL_COMMAND_USER, created_at)
+        self._user_status = CL_SUBMITTED
+
+    @property
+    def status(self) -> int:
+        return CL_COMPLETE if self.resolved else self._user_status
+
+    def set_status(self, status: int, t: float) -> None:
+        """``clSetUserEventStatus``; only CL_COMPLETE (or negative) once."""
+        if self.resolved:
+            raise CLError(
+                ErrorCode.CL_INVALID_OPERATION, "user event status already set"
+            )
+        if status != CL_COMPLETE and status >= 0:
+            raise CLError(ErrorCode.CL_INVALID_VALUE, "status must be CL_COMPLETE or negative")
+        self._mark_resolved(t, t)

@@ -1,0 +1,137 @@
+"""ICD loader emulation: several OpenCL implementations side by side.
+
+The OpenCL Installable Client Driver mechanism lets one application see
+platforms from multiple vendors at once.  The paper leans on it
+(Section III-B): the dOpenCL client driver "is compatible with the ICD
+loader", so applications can combine remote dOpenCL devices with local
+devices from the native implementation.
+
+:class:`ICDLoader` exposes the same flat API surface and routes each call
+to the provider that owns the object being operated on.  Providers must
+share one :class:`~repro.sim.clock.VirtualClock` (one application thread,
+one timeline).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.ocl.constants import CL_DEVICE_TYPE_ALL, ErrorCode
+from repro.ocl.errors import CLError
+
+_DELEGATED = [
+    "clGetPlatformInfo",
+    "clGetDeviceIDs",
+    "clGetDeviceInfo",
+    "clRetainContext",
+    "clReleaseContext",
+    "clCreateCommandQueue",
+    "clRetainCommandQueue",
+    "clReleaseCommandQueue",
+    "clFinish",
+    "clFlush",
+    "clCreateBuffer",
+    "clRetainMemObject",
+    "clReleaseMemObject",
+    "clEnqueueWriteBuffer",
+    "clEnqueueReadBuffer",
+    "clEnqueueCopyBuffer",
+    "clCreateProgramWithSource",
+    "clBuildProgram",
+    "clGetProgramBuildInfo",
+    "clRetainProgram",
+    "clReleaseProgram",
+    "clCreateKernel",
+    "clCreateKernelsInProgram",
+    "clSetKernelArg",
+    "clRetainKernel",
+    "clReleaseKernel",
+    "clEnqueueNDRangeKernel",
+    "clGetEventInfo",
+    "clGetEventProfilingInfo",
+    "clSetEventCallback",
+    "clCreateUserEvent",
+    "clSetUserEventStatus",
+    "clRetainEvent",
+    "clReleaseEvent",
+]
+
+
+class ICDLoader:
+    """Multiplexes several API providers behind one flat API."""
+
+    def __init__(self, providers: Sequence[object]) -> None:
+        if not providers:
+            raise CLError(ErrorCode.CL_INVALID_PLATFORM, "no ICD providers")
+        clocks = {id(getattr(p, "clock")) for p in providers}
+        if len(clocks) != 1:
+            raise CLError(
+                ErrorCode.CL_INVALID_VALUE,
+                "all ICD providers must share one VirtualClock",
+            )
+        self.providers = list(providers)
+        self.clock = providers[0].clock
+        self._platform_owner: Dict[int, object] = {}
+        for provider in self.providers:
+            for platform in provider.clGetPlatformIDs():
+                self._platform_owner[id(platform)] = provider
+        for name in _DELEGATED:
+            setattr(self, name, self._make_delegate(name))
+
+    # ------------------------------------------------------------------
+    def clGetPlatformIDs(self) -> List[object]:
+        out: List[object] = []
+        for provider in self.providers:
+            out.extend(provider.clGetPlatformIDs())
+        return out
+
+    def clCreateContext(self, devices: Sequence[object]):
+        provider = self._owner_of_platform(devices[0].platform)
+        for dev in devices[1:]:
+            if self._owner_of_platform(dev.platform) is not provider:
+                raise CLError(
+                    ErrorCode.CL_INVALID_DEVICE,
+                    "cannot mix devices from different ICD providers in one context",
+                )
+        return provider.clCreateContext(devices)
+
+    def clWaitForEvents(self, events: Sequence[object]) -> None:
+        # Events may come from different providers; wait on each.
+        for ev in events:
+            self._owner_of(ev).clWaitForEvents([ev])
+
+    # ------------------------------------------------------------------
+    def _owner_of_platform(self, platform: object):
+        provider = self._platform_owner.get(id(platform))
+        if provider is None:
+            raise CLError(ErrorCode.CL_INVALID_PLATFORM, f"unknown platform {platform!r}")
+        return provider
+
+    def _owner_of(self, obj: object):
+        """Resolve the provider owning an API object (duck-typed)."""
+        if id(obj) in self._platform_owner:  # the object IS a platform
+            return self._platform_owner[id(obj)]
+        platform = getattr(obj, "platform", None)
+        if platform is not None and id(platform) in self._platform_owner:
+            return self._platform_owner[id(platform)]
+        context = getattr(obj, "context", None)
+        if context is None:
+            program = getattr(obj, "program", None)
+            if program is not None:
+                context = program.context
+        if context is not None:
+            platform = getattr(context, "platform", None)
+            if platform is not None and id(platform) in self._platform_owner:
+                return self._platform_owner[id(platform)]
+        raise CLError(ErrorCode.CL_INVALID_VALUE, f"cannot route {obj!r} to a provider")
+
+    def _make_delegate(self, name: str):
+        def delegate(obj, *args, **kwargs):
+            return getattr(self._owner_of(obj), name)(obj, *args, **kwargs)
+
+        delegate.__name__ = name
+        return delegate
+
+    @property
+    def now(self) -> float:
+        return self.clock.now

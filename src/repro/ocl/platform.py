@@ -1,0 +1,115 @@
+"""Platform and device objects."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.hw.device import ComputeDevice
+from repro.hw.node import Host
+from repro.hw.specs import DeviceType
+from repro.ocl.constants import (
+    CL_DEVICE_TYPE_ACCELERATOR,
+    CL_DEVICE_TYPE_ALL,
+    CL_DEVICE_TYPE_CPU,
+    CL_DEVICE_TYPE_DEFAULT,
+    CL_DEVICE_TYPE_GPU,
+    ErrorCode,
+)
+from repro.ocl.errors import CLError
+
+
+def device_type_bits(dt: DeviceType) -> int:
+    return {
+        DeviceType.CPU: CL_DEVICE_TYPE_CPU,
+        DeviceType.GPU: CL_DEVICE_TYPE_GPU,
+        DeviceType.ACCELERATOR: CL_DEVICE_TYPE_ACCELERATOR,
+    }.get(dt, CL_DEVICE_TYPE_DEFAULT)
+
+
+class Device:
+    """An OpenCL device: wraps a hardware :class:`ComputeDevice`."""
+
+    def __init__(self, platform: "Platform", hw_device: ComputeDevice) -> None:
+        self.platform = platform
+        self.hw = hw_device
+        self.available = True
+
+    @property
+    def host(self) -> Host:
+        return self.hw.host
+
+    @property
+    def name(self) -> str:
+        return self.hw.spec.name
+
+    @property
+    def type_bits(self) -> int:
+        return device_type_bits(self.hw.spec.device_type)
+
+    def info(self) -> Dict[str, object]:
+        """All device info values (``clGetDeviceInfo``)."""
+        spec = self.hw.spec
+        return {
+            "TYPE": self.type_bits,
+            "NAME": spec.name,
+            "VENDOR": spec.vendor,
+            "MAX_COMPUTE_UNITS": spec.compute_units,
+            "MAX_CLOCK_FREQUENCY": spec.clock_mhz,
+            "GLOBAL_MEM_SIZE": spec.global_mem,
+            "LOCAL_MEM_SIZE": spec.local_mem,
+            "MAX_MEM_ALLOC_SIZE": spec.max_alloc,
+            "MAX_WORK_GROUP_SIZE": spec.max_work_group_size,
+            "VERSION": spec.version,
+            "DRIVER_VERSION": spec.driver_version,
+            "AVAILABLE": self.available,
+        }
+
+    def get_info(self, key: str) -> object:
+        info = self.info()
+        if key not in info:
+            raise CLError(ErrorCode.CL_INVALID_VALUE, f"unknown device info key {key!r}")
+        return info[key]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Device {self.name!r} on {self.host.name if self.host else '?'}>"
+
+
+class Platform:
+    """One vendor OpenCL platform on one host."""
+
+    def __init__(self, host: Host, name: str = "repro-ocl", vendor: str = "repro") -> None:
+        self.host = host
+        self.name = name
+        self.vendor = vendor
+        self.version = "OpenCL 1.1 repro"
+        self.devices: List[Device] = [Device(self, d) for d in host.devices]
+
+    def get_devices(self, device_type: int = CL_DEVICE_TYPE_ALL) -> List[Device]:
+        """``clGetDeviceIDs``; raises CL_DEVICE_NOT_FOUND when empty."""
+        if device_type == CL_DEVICE_TYPE_ALL:
+            found = list(self.devices)
+        elif device_type == CL_DEVICE_TYPE_DEFAULT:
+            found = self.devices[:1]
+        else:
+            found = [d for d in self.devices if d.type_bits & device_type]
+        if not found:
+            raise CLError(ErrorCode.CL_DEVICE_NOT_FOUND)
+        return found
+
+    def info(self) -> Dict[str, object]:
+        return {
+            "NAME": self.name,
+            "VENDOR": self.vendor,
+            "VERSION": self.version,
+            "PROFILE": "FULL_PROFILE",
+            "EXTENSIONS": "cl_khr_icd cl_repro_float_atomics",
+        }
+
+    def get_info(self, key: str) -> object:
+        info = self.info()
+        if key not in info:
+            raise CLError(ErrorCode.CL_INVALID_VALUE, f"unknown platform info key {key!r}")
+        return info[key]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Platform {self.name!r} on {self.host.name!r}>"

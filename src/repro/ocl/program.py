@@ -1,0 +1,84 @@
+"""Program objects: runtime compilation of OpenCL C source."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.clc import CLCompileError, compile_program
+from repro.clc.driver import CompiledProgram
+from repro.ocl.constants import ErrorCode
+from repro.ocl.context import Context
+from repro.ocl.errors import CLError, require
+
+#: Build cost model: fixed front-end cost plus per-source-byte cost,
+#: charged on the building host's CPU.
+BUILD_BASE_SECONDS = 0.030
+BUILD_PER_BYTE_SECONDS = 4e-6
+
+
+def build_duration(source: str) -> float:
+    return BUILD_BASE_SECONDS + BUILD_PER_BYTE_SECONDS * len(source)
+
+
+class Program:
+    """``clCreateProgramWithSource`` result."""
+
+    def __init__(self, context: Context, source: str) -> None:
+        require(bool(source.strip()), ErrorCode.CL_INVALID_VALUE, "empty program source")
+        self.context = context
+        self.source = source
+        self.options = ""
+        self.compiled: Optional[CompiledProgram] = None
+        self.build_status: str = "NONE"  # NONE | SUCCESS | ERROR
+        self.build_log: str = ""
+        self.refcount = 1
+
+    def build(self, options: str = "", t: float = 0.0) -> float:
+        """``clBuildProgram``; returns build completion time.
+
+        On failure raises ``CL_BUILD_PROGRAM_FAILURE`` and records the
+        compiler diagnostics for ``clGetProgramBuildInfo``.
+        """
+        self.options = options
+        duration = build_duration(self.source)
+        done = t + duration
+        try:
+            self.compiled = compile_program(self.source, options)
+        except CLCompileError as exc:
+            self.build_status = "ERROR"
+            self.build_log = str(exc)
+            raise CLError(ErrorCode.CL_BUILD_PROGRAM_FAILURE, self.build_log) from exc
+        self.build_status = "SUCCESS"
+        self.build_log = ""
+        return done
+
+    def build_info(self, key: str) -> object:
+        values: Dict[str, object] = {
+            "STATUS": self.build_status,
+            "LOG": self.build_log,
+            "OPTIONS": self.options,
+        }
+        if key not in values:
+            raise CLError(ErrorCode.CL_INVALID_VALUE, f"unknown build info key {key!r}")
+        return values[key]
+
+    def require_built(self) -> CompiledProgram:
+        if self.compiled is None:
+            raise CLError(
+                ErrorCode.CL_INVALID_PROGRAM_EXECUTABLE,
+                "program has not been built successfully",
+            )
+        return self.compiled
+
+    @property
+    def kernel_names(self):
+        return sorted(self.require_built().kernels)
+
+    def retain(self) -> None:
+        self.refcount += 1
+
+    def release(self) -> None:
+        self.refcount -= 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Program {len(self.source)}B status={self.build_status}>"

@@ -1,0 +1,40 @@
+"""Deterministic virtual-time simulation kernel.
+
+This package provides the two timing models the reproduction is built on:
+
+* **Client-driven timestamping** (:mod:`repro.sim.clock`,
+  :mod:`repro.sim.timeline`): every logical entity (an application thread, a
+  daemon, a device, a NIC) owns a clock and/or an interval timeline.  API
+  calls advance clocks; shared resources serialise work through first-fit
+  interval allocation, which makes contention results independent of the
+  *real* execution order of the simulated clients.
+
+* **Generator-based processes** (:mod:`repro.sim.process`,
+  :mod:`repro.sim.channel`): a miniature SimPy-style discrete-event engine
+  used where genuinely concurrent control flow is required (the SPMD
+  mini-MPI baseline).
+
+Both models share one unit of time: seconds, as ``float``.
+"""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.errors import SimulationError, ProcessKilled
+from repro.sim.eventqueue import EventQueue
+from repro.sim.timeline import Interval, Timeline
+from repro.sim.process import Environment, Process, SimEvent, Timeout
+from repro.sim.channel import Channel, ChannelClosed
+
+__all__ = [
+    "Channel",
+    "ChannelClosed",
+    "Environment",
+    "EventQueue",
+    "Interval",
+    "Process",
+    "ProcessKilled",
+    "SimEvent",
+    "SimulationError",
+    "Timeline",
+    "Timeout",
+    "VirtualClock",
+]

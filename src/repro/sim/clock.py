@@ -1,0 +1,62 @@
+"""Per-entity virtual clocks.
+
+A :class:`VirtualClock` is a monotonically non-decreasing marker of simulated
+seconds.  The client-driven layers of the reproduction (the dOpenCL client
+driver, the daemons) each own one; synchronous interactions combine clocks
+with ``advance_to(max(...))`` exactly the way message timestamps combine in a
+Lamport-style model.
+"""
+
+from __future__ import annotations
+
+from repro.sim.errors import ClockError
+
+
+class VirtualClock:
+    """A monotonic virtual clock measured in seconds.
+
+    Parameters
+    ----------
+    start:
+        Initial time.  Defaults to 0.0.
+    name:
+        Optional label used in ``repr`` and error messages.
+    """
+
+    __slots__ = ("_now", "name")
+
+    def __init__(self, start: float = 0.0, name: str = "") -> None:
+        if start < 0.0:
+            raise ClockError(f"clock {name!r} cannot start at negative time {start}")
+        self._now = float(start)
+        self.name = name
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance_by(self, delta: float) -> float:
+        """Move the clock forward by ``delta`` seconds and return the new time."""
+        if delta < 0.0:
+            raise ClockError(f"clock {self.name!r}: negative advance {delta}")
+        self._now += delta
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Move the clock forward to absolute time ``t``.
+
+        Times in the past are ignored (the clock never moves backwards); this
+        is the ``max`` combine used when a reply arrives that was produced
+        before the local clock's current time.
+        """
+        if t > self._now:
+            self._now = float(t)
+        return self._now
+
+    def copy(self) -> "VirtualClock":
+        return VirtualClock(self._now, self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = f" {self.name!r}" if self.name else ""
+        return f"<VirtualClock{label} now={self._now:.9f}>"

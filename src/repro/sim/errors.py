@@ -1,0 +1,23 @@
+"""Exception types raised by the simulation kernel."""
+
+
+class SimulationError(RuntimeError):
+    """Base class for all virtual-time simulation errors."""
+
+
+class ClockError(SimulationError):
+    """An operation would move a :class:`~repro.sim.clock.VirtualClock`
+    backwards in time."""
+
+
+class TimelineError(SimulationError):
+    """An interval reservation conflicts with existing reservations."""
+
+
+class ProcessKilled(SimulationError):
+    """Raised inside a process generator when it is forcibly interrupted."""
+
+
+class DeadlockError(SimulationError):
+    """The process environment ran out of events while processes are still
+    waiting — a genuine deadlock in the simulated program."""

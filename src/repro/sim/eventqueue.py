@@ -1,0 +1,47 @@
+"""A deterministic discrete-event priority queue.
+
+Events are ordered by ``(time, sequence)`` so that simultaneous events fire
+in insertion order — the property that makes whole-simulation runs
+bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class EventQueue:
+    """Min-heap of ``(time, seq, payload)`` entries with stable ordering."""
+
+    __slots__ = ("_heap", "_seq")
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Any]] = []
+        self._seq = count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, time: float, payload: Any) -> None:
+        heapq.heappush(self._heap, (time, next(self._seq), payload))
+
+    def pop(self) -> Tuple[float, Any]:
+        time, _, payload = heapq.heappop(self._heap)
+        return time, payload
+
+    def peek_time(self) -> Optional[float]:
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def drain_until(self, t: float) -> List[Tuple[float, Any]]:
+        """Pop every entry with time ``<= t`` in order."""
+        out = []
+        while self._heap and self._heap[0][0] <= t:
+            out.append(self.pop())
+        return out

@@ -1,0 +1,154 @@
+"""Interval timelines: serially-reusable simulated resources.
+
+A :class:`Timeline` models a resource that can do one thing at a time — a
+compute device, a NIC, a PCIe bus.  Work is placed onto the timeline with
+:meth:`Timeline.allocate`, which finds the *first* gap of the requested
+duration at or after the requester's ready time (first-fit).
+
+First-fit gap allocation makes contention modelling independent of the real
+execution order of simulated clients: if client B is simulated *after*
+client A but issues work at an earlier virtual time, B's work lands in the
+gap before A's reservations, exactly as a FIFO hardware queue ordered by
+arrival time would behave.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.sim.errors import TimelineError
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed-open busy interval ``[start, end)`` on a timeline."""
+
+    start: float
+    end: float
+    tag: object = None
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def overlaps(self, other: "Interval") -> bool:
+        return self.start < other.end and other.start < self.end
+
+
+class Timeline:
+    """A serially-reusable resource with first-fit interval allocation.
+
+    Parameters
+    ----------
+    name:
+        Label for diagnostics.
+    epsilon:
+        Durations below ``epsilon`` are treated as instantaneous and do not
+        reserve capacity.
+    """
+
+    __slots__ = ("name", "epsilon", "_starts", "_intervals")
+
+    def __init__(self, name: str = "", epsilon: float = 1e-15) -> None:
+        self.name = name
+        self.epsilon = epsilon
+        self._starts: List[float] = []
+        self._intervals: List[Interval] = []
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self._intervals)
+
+    @property
+    def busy_until(self) -> float:
+        """The end of the last reservation (0.0 when empty)."""
+        if not self._intervals:
+            return 0.0
+        return self._intervals[-1].end
+
+    def busy_time(self, window_start: float = 0.0, window_end: Optional[float] = None) -> float:
+        """Total reserved time overlapping ``[window_start, window_end)``."""
+        if window_end is None:
+            window_end = self.busy_until
+        total = 0.0
+        for iv in self._intervals:
+            lo = max(iv.start, window_start)
+            hi = min(iv.end, window_end)
+            if hi > lo:
+                total += hi - lo
+        return total
+
+    def utilization(self, window_start: float, window_end: float) -> float:
+        """Fraction of ``[window_start, window_end)`` that is reserved."""
+        span = window_end - window_start
+        if span <= 0.0:
+            return 0.0
+        return self.busy_time(window_start, window_end) / span
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+    def next_free(self, ready: float, duration: float) -> float:
+        """Earliest start time ``>= ready`` with a free gap of ``duration``."""
+        if duration < 0.0:
+            raise TimelineError(f"timeline {self.name!r}: negative duration {duration}")
+        start = ready
+        idx = bisect.bisect_left(self._starts, ready)
+        # The previous interval may still cover `ready`.
+        if idx > 0 and self._intervals[idx - 1].end > start:
+            start = self._intervals[idx - 1].end
+            idx_scan = idx
+        else:
+            idx_scan = idx
+        for i in range(idx_scan, len(self._intervals)):
+            iv = self._intervals[i]
+            if iv.start - start >= duration:
+                return start
+            if iv.end > start:
+                start = iv.end
+        return start
+
+    def allocate(self, ready: float, duration: float, tag: object = None) -> Interval:
+        """Reserve the first free gap of ``duration`` at or after ``ready``.
+
+        Returns the reserved :class:`Interval`.  Instantaneous work
+        (``duration < epsilon``) is not recorded but still returns an
+        interval positioned after any reservation covering ``ready``.
+        """
+        start = self.next_free(ready, duration)
+        iv = Interval(start, start + duration, tag)
+        if duration >= self.epsilon:
+            pos = bisect.bisect_left(self._starts, iv.start)
+            self._starts.insert(pos, iv.start)
+            self._intervals.insert(pos, iv)
+        return iv
+
+    def reserve(self, start: float, end: float, tag: object = None) -> Interval:
+        """Reserve an exact interval; raises :class:`TimelineError` on
+        conflict with an existing reservation."""
+        if end < start:
+            raise TimelineError(f"timeline {self.name!r}: end {end} < start {start}")
+        iv = Interval(start, end, tag)
+        pos = bisect.bisect_left(self._starts, start)
+        if pos > 0 and self._intervals[pos - 1].overlaps(iv):
+            raise TimelineError(f"timeline {self.name!r}: {iv} overlaps {self._intervals[pos - 1]}")
+        if pos < len(self._intervals) and self._intervals[pos].overlaps(iv):
+            raise TimelineError(f"timeline {self.name!r}: {iv} overlaps {self._intervals[pos]}")
+        if iv.duration >= self.epsilon:
+            self._starts.insert(pos, iv.start)
+            self._intervals.insert(pos, iv)
+        return iv
+
+    def clear(self) -> None:
+        self._starts.clear()
+        self._intervals.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Timeline {self.name!r} n={len(self._intervals)} busy_until={self.busy_until:.9f}>"

@@ -1,0 +1,114 @@
+"""Deployment helpers: assemble clusters, daemons, drivers and managers.
+
+Used by the examples, the integration tests and the benchmark harness to
+stand up the paper's three testbeds with one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.client.api import DOpenCLAPI
+from repro.core.client.connection import DaemonDirectory
+from repro.core.client.driver import DOpenCLDriver
+from repro.core.daemon.daemon import Daemon
+from repro.core.devmgr.manager import DeviceManager
+from repro.hw.cluster import Cluster
+from repro.hw.node import Host
+from repro.ocl.api import NativeAPI
+from repro.sim.clock import VirtualClock
+
+
+@dataclass
+class Deployment:
+    """A running dOpenCL installation on a cluster."""
+
+    cluster: Cluster
+    daemons: List[Daemon]
+    directory: DaemonDirectory
+    device_manager: Optional[DeviceManager] = None
+    drivers: List[DOpenCLDriver] = field(default_factory=list)
+    apis: List[DOpenCLAPI] = field(default_factory=list)
+
+    @property
+    def api(self) -> DOpenCLAPI:
+        return self.apis[0]
+
+    @property
+    def driver(self) -> DOpenCLDriver:
+        return self.drivers[0]
+
+    def daemon_on(self, host_name: str) -> Daemon:
+        for daemon in self.daemons:
+            if daemon.host.name == host_name:
+                return daemon
+        raise KeyError(host_name)
+
+
+def server_config_text(cluster: Cluster) -> str:
+    """A paper-Listing-2 style server list for all cluster servers."""
+    lines = ["# dOpenCL server list (generated)"]
+    lines.extend(server.name for server in cluster.servers)
+    return "\n".join(lines)
+
+
+def deploy_dopencl(
+    cluster: Cluster,
+    coherence_protocol: str = "msi",
+    managed: bool = False,
+    devmgr_strategy: str = "round_robin",
+    devmgr_config_texts: Optional[List[str]] = None,
+    workload_scale: float = 1.0,
+    n_clients: int = 1,
+) -> Deployment:
+    """Install daemons on every server and client drivers on the client
+    host(s).
+
+    With ``managed=True`` a device manager is placed on the first server
+    host, daemons start in managed mode, and each client driver gets the
+    corresponding entry of ``devmgr_config_texts`` (paper Listing 3)
+    instead of a server list.
+    """
+    manager = None
+    if managed:
+        manager = DeviceManager(
+            cluster.servers[0], cluster.network, strategy=devmgr_strategy
+        )
+    daemons = []
+    for server in cluster.servers:
+        daemon = Daemon(server, cluster.network, device_manager=manager)
+        daemon.workload_scale = workload_scale
+        daemon.start(0.0)
+        daemons.append(daemon)
+    directory = DaemonDirectory.of(daemons)
+    deployment = Deployment(
+        cluster=cluster, daemons=daemons, directory=directory, device_manager=manager
+    )
+    client_hosts = [cluster.client, *cluster.extra_clients][:n_clients]
+    if len(client_hosts) < n_clients:
+        raise ValueError(f"cluster has only {len(client_hosts)} client hosts, need {n_clients}")
+    for i, host in enumerate(client_hosts):
+        kwargs = {}
+        if managed:
+            kwargs["devmgr_config_text"] = (devmgr_config_texts or [])[i]
+            kwargs["device_manager"] = manager
+        else:
+            kwargs["config_text"] = server_config_text(cluster)
+        driver = DOpenCLDriver(
+            host,
+            cluster.network,
+            directory=directory,
+            coherence_protocol=coherence_protocol,
+            **kwargs,
+        )
+        deployment.drivers.append(driver)
+        deployment.apis.append(DOpenCLAPI(driver))
+    return deployment
+
+
+def native_api_on(host: Host, workload_scale: float = 1.0, clock: Optional[VirtualClock] = None) -> NativeAPI:
+    """A native (single-node) OpenCL installation on ``host``."""
+    api = NativeAPI(host, clock=clock)
+    api.workload_scale = workload_scale
+    return api

@@ -1,0 +1,5 @@
+"""Operator utilities for inspecting simulated deployments."""
+
+from repro.tools.clinfo import clinfo_text
+
+__all__ = ["clinfo_text"]

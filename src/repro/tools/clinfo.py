@@ -1,0 +1,68 @@
+"""A ``clinfo``-style inspector for any flat ``cl*`` API object.
+
+Prints platforms and devices with their key properties — the first thing
+a user runs against a new OpenCL installation.  Works identically against
+the native runtime, a dOpenCL deployment, or an ICD loader that combines
+them (everything that exposes the flat API surface).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ocl.constants import (
+    CL_DEVICE_TYPE_ACCELERATOR,
+    CL_DEVICE_TYPE_ALL,
+    CL_DEVICE_TYPE_CPU,
+    CL_DEVICE_TYPE_GPU,
+)
+from repro.ocl.errors import CLError
+
+_TYPE_NAMES = {
+    CL_DEVICE_TYPE_CPU: "CPU",
+    CL_DEVICE_TYPE_GPU: "GPU",
+    CL_DEVICE_TYPE_ACCELERATOR: "ACCELERATOR",
+}
+
+
+def _fmt_bytes(n: int) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024 or unit == "GiB":
+            return f"{n:.0f} {unit}" if unit == "B" else f"{n / 1.0:.0f} {unit}"
+        n /= 1024
+    return f"{n} B"  # pragma: no cover
+
+
+def clinfo_text(cl) -> str:
+    """Render platform/device info for an API object."""
+    lines: List[str] = []
+    platforms = cl.clGetPlatformIDs()
+    lines.append(f"Number of platforms: {len(platforms)}")
+    for platform in platforms:
+        lines.append("")
+        lines.append(f"Platform Name:    {cl.clGetPlatformInfo(platform, 'NAME')}")
+        lines.append(f"Platform Vendor:  {cl.clGetPlatformInfo(platform, 'VENDOR')}")
+        lines.append(f"Platform Version: {cl.clGetPlatformInfo(platform, 'VERSION')}")
+        try:
+            devices = cl.clGetDeviceIDs(platform, CL_DEVICE_TYPE_ALL)
+        except CLError:
+            lines.append("  (no devices)")
+            continue
+        lines.append(f"  Number of devices: {len(devices)}")
+        for i, dev in enumerate(devices):
+            type_bits = cl.clGetDeviceInfo(dev, "TYPE")
+            type_name = _TYPE_NAMES.get(type_bits, f"0x{type_bits:x}")
+            lines.append(f"  Device #{i}: {cl.clGetDeviceInfo(dev, 'NAME')}")
+            lines.append(f"    Type:            {type_name}")
+            lines.append(f"    Vendor:          {cl.clGetDeviceInfo(dev, 'VENDOR')}")
+            lines.append(f"    Compute units:   {cl.clGetDeviceInfo(dev, 'MAX_COMPUTE_UNITS')}")
+            lines.append(f"    Clock:           {cl.clGetDeviceInfo(dev, 'MAX_CLOCK_FREQUENCY')} MHz")
+            lines.append(f"    Global memory:   {_fmt_bytes(cl.clGetDeviceInfo(dev, 'GLOBAL_MEM_SIZE'))}")
+            lines.append(f"    Local memory:    {_fmt_bytes(cl.clGetDeviceInfo(dev, 'LOCAL_MEM_SIZE'))}")
+            lines.append(f"    Max alloc:       {_fmt_bytes(cl.clGetDeviceInfo(dev, 'MAX_MEM_ALLOC_SIZE'))}")
+            lines.append(f"    Max work-group:  {cl.clGetDeviceInfo(dev, 'MAX_WORK_GROUP_SIZE')}")
+            lines.append(f"    Available:       {cl.clGetDeviceInfo(dev, 'AVAILABLE')}")
+            server = getattr(dev, "server", None)
+            if server is not None:
+                lines.append(f"    dOpenCL server:  {server.name}")
+    return "\n".join(lines)

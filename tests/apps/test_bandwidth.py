@@ -1,0 +1,50 @@
+"""Bandwidth application tests: the Section V-D effects."""
+
+import numpy as np
+import pytest
+
+from repro.apps.bandwidth import FIG8_SIZES, measure_transfers
+from repro.hw import GIGABIT_ETHERNET, PCIE_GEN2_X16
+from repro.hw.cluster import make_desktop_and_gpu_server
+from repro.ocl import CL_DEVICE_TYPE_GPU
+from repro.testbed import deploy_dopencl, native_api_on
+
+
+def test_fig8_sizes_span_1mb_to_1gb():
+    assert FIG8_SIZES[0] == 1 << 20
+    assert FIG8_SIZES[-1] == 1 << 30
+    assert len(FIG8_SIZES) == 11
+
+
+def test_native_pcie_asymmetry():
+    """On the server itself, reads are ~15x slower than writes."""
+    api = native_api_on(make_desktop_and_gpu_server().servers[0])
+    (sample,) = measure_transfers(api, [64 << 20], device_type=CL_DEVICE_TYPE_GPU)
+    ratio = sample.read_seconds / sample.write_seconds
+    assert 10 < ratio < 20
+
+
+def test_dopencl_transfer_slower_than_native():
+    cluster = make_desktop_and_gpu_server()
+    deployment = deploy_dopencl(cluster)
+    (remote,) = measure_transfers(deployment.api, [32 << 20], device_type=CL_DEVICE_TYPE_GPU)
+    native = native_api_on(make_desktop_and_gpu_server().servers[0])
+    (local,) = measure_transfers(native, [32 << 20], device_type=CL_DEVICE_TYPE_GPU)
+    assert remote.write_seconds > local.write_seconds
+    assert remote.read_seconds > local.read_seconds
+    # Write path is network-dominated: ~50x (GigE vs PCIe write).
+    assert 20 < remote.write_seconds / local.write_seconds < 80
+    # Read path: device readback is already slow, network adds ~4.5x.
+    assert 2 < remote.read_seconds / local.read_seconds < 8
+
+
+def test_dopencl_efficiency_rises_with_size():
+    """Fig. 8: efficiency grows with chunk size toward the iperf line."""
+    cluster = make_desktop_and_gpu_server()
+    deployment = deploy_dopencl(cluster)
+    sizes = [1 << 20, 16 << 20, 256 << 20]
+    samples = measure_transfers(deployment.api, sizes, device_type=CL_DEVICE_TYPE_GPU)
+    effs = [s.write_efficiency(GIGABIT_ETHERNET.bandwidth) for s in samples]
+    assert effs[0] < effs[1] < effs[2]
+    # Large transfers approach but do not exceed the iperf efficiency.
+    assert 0.7 < effs[-1] <= 0.86

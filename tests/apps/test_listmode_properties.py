@@ -1,0 +1,66 @@
+"""Property tests for list-mode event generation and subsetting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.osem import disk_phantom, generate_events
+from repro.apps.osem.listmode import DETECTOR_RADIUS, normalization_lors
+
+
+@given(
+    n_events=st.integers(min_value=1, max_value=500),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=40, deadline=None)
+def test_all_endpoints_on_ring(n_events, seed):
+    events = generate_events(disk_phantom(16), n_events, seed=seed)
+    for xs, ys in ((events.x1, events.y1), (events.x2, events.y2)):
+        np.testing.assert_allclose(np.hypot(xs, ys), DETECTOR_RADIUS, rtol=1e-3)
+
+
+@given(
+    n_events=st.integers(min_value=1, max_value=300),
+    n_subsets=st.integers(min_value=1, max_value=8),
+    n_chunks=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=60, deadline=None)
+def test_partitioning_is_exact(n_events, n_subsets, n_chunks):
+    events = generate_events(disk_phantom(8), n_events, seed=0)
+    subsets = [events.subset(i, n_subsets) for i in range(n_subsets)]
+    assert sum(s.count for s in subsets) == n_events
+    # subsets are balanced within 1
+    sizes = [s.count for s in subsets]
+    assert max(sizes) - min(sizes) <= 1
+    chunks = [events.chunk(i, n_chunks) for i in range(n_chunks)]
+    assert sum(c.count for c in chunks) == n_events
+
+
+def test_generation_is_deterministic():
+    a = generate_events(disk_phantom(16), 100, seed=42)
+    b = generate_events(disk_phantom(16), 100, seed=42)
+    np.testing.assert_array_equal(a.x1, b.x1)
+    np.testing.assert_array_equal(a.y2, b.y2)
+    c = generate_events(disk_phantom(16), 100, seed=43)
+    assert not np.array_equal(a.x1, c.x1)
+
+
+def test_empty_phantom_rejected():
+    with pytest.raises(ValueError):
+        generate_events(np.zeros((8, 8), dtype=np.float32), 10)
+
+
+def test_normalization_lors_cover_fov_uniformly():
+    norm = normalization_lors(20000, seed=1)
+    # Chord midpoint offsets |r| are uniform in [0, R]: the mean distance
+    # of the closest point to the centre should be ~R/2.
+    mx = (norm.x1 + norm.x2) / 2
+    my = (norm.y1 + norm.y2) / 2
+    mean_offset = np.hypot(mx, my).mean()
+    assert mean_offset == pytest.approx(DETECTOR_RADIUS / 2, rel=0.05)
+
+
+def test_nbytes_accounting():
+    events = generate_events(disk_phantom(8), 250, seed=0)
+    assert events.nbytes == 250 * 4 * 4  # four float32 arrays

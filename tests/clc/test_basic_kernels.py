@@ -1,0 +1,119 @@
+import numpy as np
+import pytest
+
+from repro.clc import compile_program, execute_kernel
+
+VECADD = """
+__kernel void vadd(__global const float *a, __global const float *b,
+                   __global float *c, const int n)
+{
+    int i = get_global_id(0);
+    if (i < n) {
+        c[i] = a[i] + b[i];
+    }
+}
+"""
+
+MANDEL = """
+__kernel void mandelbrot(__global int *output, const int width, const int height,
+                         const float x0, const float y0, const float dx, const float dy,
+                         const int max_iter)
+{
+    int gx = (int)get_global_id(0);
+    int gy = (int)get_global_id(1);
+    if (gx >= width || gy >= height) return;
+    float cr = x0 + gx * dx;
+    float ci = y0 + gy * dy;
+    float zr = 0.0f;
+    float zi = 0.0f;
+    int iter = 0;
+    while (iter < max_iter && zr * zr + zi * zi <= 4.0f) {
+        float t = zr * zr - zi * zi + cr;
+        zi = 2.0f * zr * zi + ci;
+        zr = t;
+        iter++;
+    }
+    output[gy * width + gx] = iter;
+}
+"""
+
+
+def mandel_ref(width, height, x0, y0, dx, dy, max_iter):
+    out = np.zeros((height, width), dtype=np.int32)
+    for gy in range(height):
+        for gx in range(width):
+            cr = np.float32(x0 + gx * np.float32(dx))
+            ci = np.float32(y0 + gy * np.float32(dy))
+            zr = zi = np.float32(0)
+            it = 0
+            while it < max_iter and zr * zr + zi * zi <= np.float32(4.0):
+                zr, zi = zr * zr - zi * zi + cr, np.float32(2.0) * zr * zi + ci
+                it += 1
+            out[gy, gx] = it
+    return out.ravel()
+
+
+def test_vector_add():
+    prog = compile_program(VECADD)
+    n = 1000
+    rng = np.random.default_rng(0)
+    a = rng.random(n, dtype=np.float32)
+    b = rng.random(n, dtype=np.float32)
+    c = np.zeros(n, dtype=np.float32)
+    stats = execute_kernel(prog.kernel("vadd"), (1024,), [a, b, c, n])
+    np.testing.assert_array_equal(c, a + b)
+    assert stats.work_items == 1024
+    assert stats.ops > 0
+
+
+def test_vector_add_interp_matches():
+    prog = compile_program(VECADD)
+    n = 40
+    rng = np.random.default_rng(1)
+    a = rng.random(n, dtype=np.float32)
+    b = rng.random(n, dtype=np.float32)
+    c1 = np.zeros(n, dtype=np.float32)
+    c2 = np.zeros(n, dtype=np.float32)
+    execute_kernel(prog.kernel("vadd"), (n,), [a, b, c1, n], backend="vector")
+    execute_kernel(prog.kernel("vadd"), (n,), [a, b, c2, n], backend="interp")
+    np.testing.assert_array_equal(c1, c2)
+
+
+def test_mandelbrot_matches_reference():
+    prog = compile_program(MANDEL)
+    w, h, iters = 16, 12, 50
+    out = np.zeros(w * h, dtype=np.int32)
+    execute_kernel(
+        prog.kernel("mandelbrot"),
+        (w, h),
+        [out, w, h, np.float32(-2.0), np.float32(-1.0), np.float32(3.0 / w), np.float32(2.0 / h), iters],
+    )
+    expected = mandel_ref(w, h, np.float32(-2.0), np.float32(-1.0), np.float32(3.0 / w), np.float32(2.0 / h), iters)
+    np.testing.assert_array_equal(out, expected)
+
+
+def test_mandelbrot_vector_vs_interp():
+    prog = compile_program(MANDEL)
+    w, h, iters = 8, 6, 30
+    args = lambda out: [out, w, h, np.float32(-2.0), np.float32(-1.0), np.float32(3.0 / w), np.float32(2.0 / h), iters]
+    o1 = np.zeros(w * h, dtype=np.int32)
+    o2 = np.zeros(w * h, dtype=np.int32)
+    execute_kernel(prog.kernel("mandelbrot"), (w, h), args(o1), backend="vector")
+    execute_kernel(prog.kernel("mandelbrot"), (w, h), args(o2), backend="interp")
+    np.testing.assert_array_equal(o1, o2)
+
+
+def test_ops_scale_with_iterations():
+    prog = compile_program(MANDEL)
+    w, h = 16, 16
+
+    def run(iters):
+        out = np.zeros(w * h, dtype=np.int32)
+        return execute_kernel(
+            prog.kernel("mandelbrot"),
+            (w, h),
+            [out, w, h, np.float32(-2.0), np.float32(-1.0), np.float32(3.0 / w), np.float32(2.0 / h), iters],
+        ).ops
+
+    # Higher iteration caps mean more algorithmic density (paper V-A).
+    assert run(200) > run(20) > run(2)

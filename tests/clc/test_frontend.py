@@ -1,0 +1,357 @@
+"""Front-end coverage: preprocessor, lexer, parser and sema diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.clc import CLCompileError, compile_program, execute_kernel
+from repro.clc.lexer import tokenize
+from repro.clc.preprocess import parse_build_options, preprocess, strip_comments
+
+
+# ----------------------------------------------------------------------
+# preprocessor
+# ----------------------------------------------------------------------
+def test_line_comments_stripped():
+    assert strip_comments("int x; // comment\nint y;") == "int x; \nint y;"
+
+
+def test_block_comments_preserve_lines():
+    src = "a /* one\ntwo\nthree */ b"
+    out = strip_comments(src)
+    assert out.count("\n") == 2
+    assert "one" not in out
+
+
+def test_unterminated_block_comment():
+    with pytest.raises(CLCompileError, match="unterminated"):
+        strip_comments("int x; /* oops")
+
+
+def test_define_expansion():
+    out = preprocess("#define N 16\nint x = N;")
+    assert "int x = 16;" in out
+
+
+def test_define_chains():
+    out = preprocess("#define A B\n#define B 42\nint x = A;")
+    assert "int x = 42;" in out
+
+
+def test_build_option_defines():
+    out = preprocess("int x = WIDTH;", options="-D WIDTH=640")
+    assert "int x = 640;" in out
+
+
+def test_build_option_flag_define_defaults_to_1():
+    out = preprocess("#ifdef FAST\nint x = 1;\n#else\nint x = 2;\n#endif", options="-DFAST")
+    assert "int x = 1;" in out
+    assert "int x = 2;" not in out
+
+
+def test_ifndef_else():
+    out = preprocess("#ifndef A\nint x = 1;\n#else\nint x = 2;\n#endif")
+    assert "int x = 1;" in out
+
+
+def test_nested_conditionals():
+    src = "#define A 1\n#ifdef A\n#ifdef B\nint x=1;\n#else\nint x=2;\n#endif\n#endif"
+    out = preprocess(src)
+    assert "int x=2;" in out
+
+
+def test_unterminated_ifdef():
+    with pytest.raises(CLCompileError, match="unterminated"):
+        preprocess("#ifdef A\nint x;")
+
+
+def test_else_without_if():
+    with pytest.raises(CLCompileError, match="#else"):
+        preprocess("#else")
+
+
+def test_include_rejected():
+    with pytest.raises(CLCompileError, match="#include"):
+        preprocess('#include "foo.h"')
+
+
+def test_function_like_macro_rejected():
+    with pytest.raises(CLCompileError, match="function-like"):
+        preprocess("#define SQ(x) ((x)*(x))")
+
+
+def test_pragma_ignored():
+    out = preprocess("#pragma OPENCL EXTENSION cl_khr_fp64 : enable\nint x;")
+    assert "int x;" in out
+
+
+def test_undef():
+    out = preprocess("#define A 1\n#undef A\n#ifdef A\nint x=1;\n#endif\nint y;")
+    assert "int x=1;" not in out
+
+
+def test_unknown_build_option_rejected():
+    with pytest.raises(CLCompileError, match="unknown option"):
+        parse_build_options("--frobnicate")
+
+
+def test_cl_opt_options_accepted():
+    assert parse_build_options("-cl-fast-relaxed-math -D X=2") == {"X": "2"}
+
+
+def test_macro_line_numbers_stable():
+    # An error after defines should point at the right source line.
+    src = "#define A 1\n\n\nfloat f(float x) { return x  @; }"
+    with pytest.raises(CLCompileError) as err:
+        compile_program(src)
+    assert err.value.line == 4
+
+
+# ----------------------------------------------------------------------
+# lexer
+# ----------------------------------------------------------------------
+def test_tokenize_numbers():
+    toks = tokenize("1 2.5f 0x1F 3e4 10u 7ul .5f")
+    kinds = [(t.kind, t.text) for t in toks[:-1]]
+    assert kinds == [
+        ("int", "1"),
+        ("float", "2.5f"),
+        ("int", "0x1F"),
+        ("float", "3e4"),
+        ("int", "10u"),
+        ("int", "7ul"),
+        ("float", ".5f"),
+    ]
+
+
+def test_tokenize_operators_maximal_munch():
+    toks = tokenize("a<<=b>>c<=d")
+    ops = [t.text for t in toks if t.kind == "op"]
+    assert ops == ["<<=", ">>", "<="]
+
+
+def test_tokenize_bad_character():
+    with pytest.raises(CLCompileError, match="unexpected character"):
+        tokenize("int x = `;")
+
+
+def test_token_positions():
+    toks = tokenize("a\n  b")
+    assert (toks[0].line, toks[0].col) == (1, 1)
+    assert (toks[1].line, toks[1].col) == (2, 3)
+
+
+# ----------------------------------------------------------------------
+# parser / sema diagnostics
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "source, pattern",
+    [
+        ("__kernel int k() { return 1; }", "must return void"),
+        ("__kernel void k(__global float *x) { undeclared_var = 1; }", "undeclared"),
+        ("__kernel void k() { int x; int x; }", "redeclaration"),
+        ("__kernel void k() { break; }", "break outside"),
+        ("__kernel void k() { continue; }", "continue outside"),
+        ("void f() {} void f() {} __kernel void k() {}", "redefinition"),
+        ("float sqrt(float x) { return x; } __kernel void k() {}", "builtin"),
+        ("__kernel void k(__global float *x) { x = x; }", "reassign pointers"),
+        ("__kernel void k() { float x = 1.0f % 2.0f; }", "fmod"),
+        ("__kernel void k() { int x = 1.5f << 2; }", "integer"),
+        ("__kernel void k(__constant float *c) { c[0] = 1.0f; }", "__constant"),
+        ("__kernel void k() { const int x = 1; x = 2; }", "const"),
+        ("__kernel void k() { int a[3]; a = 0; }", "array"),
+        ("__kernel void k() { return 5; }", "void function"),
+        ("int f() { return; } __kernel void k() {}", "needs a return value"),
+        ("__kernel void k() { int x = missing_fn(1); }", "undefined function"),
+        ("__kernel void k() { int x = get_global_id(0, 1); }", "expects 1"),
+        ("__kernel void k(__private float *p) {}", "private pointer"),
+        ("__kernel void k() { struct Foo f; }", "not supported"),
+        ("__kernel void k() { int x = sizeof(void); }", "sizeof"),
+        ("__kernel void k(__global float4 *v) {}", "expected"),
+        ("__kernel void k() { int x = (1).y; }", "member access"),
+        ("__kernel void k(__global int *p) { int x = p + 1; }", "pointer arithmetic"),
+        ("__kernel void k() { int a[0]; }", "positive"),
+        ("__kernel void k() { 5 = 6; }", "assignment target"),
+        ("__kernel void k(__global int *b) { atomic_add(b[0], 1); }", "pointer"),
+    ],
+)
+def test_compile_errors(source, pattern):
+    with pytest.raises(CLCompileError, match=pattern):
+        compile_program(source)
+
+
+def test_error_carries_position():
+    src = "__kernel void k() {\n  int x = ;\n}"
+    with pytest.raises(CLCompileError) as err:
+        compile_program(src)
+    assert err.value.line == 2
+
+
+def test_missing_kernel_lookup():
+    prog = compile_program("__kernel void a() {}")
+    with pytest.raises(CLCompileError, match="no kernel"):
+        prog.kernel("b")
+
+
+def test_helper_functions_are_not_kernels():
+    prog = compile_program("int helper(int x) { return x; } __kernel void k() {}")
+    assert set(prog.kernels) == {"k"}
+    assert set(prog.analyzed.functions) == {"helper", "k"}
+
+
+# ----------------------------------------------------------------------
+# typing semantics
+# ----------------------------------------------------------------------
+def test_integer_division_truncates_toward_zero():
+    src = """
+    __kernel void div(__global int *out) {
+        out[0] = -7 / 2;
+        out[1] = 7 / -2;
+        out[2] = -7 % 2;
+        out[3] = 7 % -2;
+        out[4] = 7 / 0;
+    }
+    """
+    prog = compile_program(src)
+    for backend in ("vector", "interp"):
+        out = np.zeros(5, dtype=np.int32)
+        execute_kernel(prog.kernel("div"), (1,), [out], backend=backend)
+        np.testing.assert_array_equal(out, [-3, -3, -1, 1, 0])
+
+
+def test_float_int_promotion():
+    src = """
+    __kernel void promo(__global float *out) {
+        int i = 3;
+        out[0] = i / 2;        // int division, then converted: 1.0
+        out[1] = i / 2.0f;     // float division: 1.5
+        out[2] = (float)i / 2; // float division: 1.5
+    }
+    """
+    prog = compile_program(src)
+    out = np.zeros(3, dtype=np.float32)
+    execute_kernel(prog.kernel("promo"), (1,), [out])
+    np.testing.assert_allclose(out, [1.0, 1.5, 1.5])
+
+
+def test_unsigned_wraparound():
+    src = """
+    __kernel void wrap(__global uint *out) {
+        uint x = 0u;
+        x -= 1u;
+        out[0] = x;
+        uchar c = (uchar)255;
+        c += (uchar)1;
+        out[1] = (uint)c;
+    }
+    """
+    prog = compile_program(src)
+    for backend in ("vector", "interp"):
+        out = np.zeros(2, dtype=np.uint32)
+        execute_kernel(prog.kernel("wrap"), (1,), [out], backend=backend)
+        assert out[0] == 0xFFFFFFFF
+        assert out[1] == 0
+
+
+def test_float32_precision_is_single():
+    src = """
+    __kernel void prec(__global float *out) {
+        float big = 16777216.0f;   // 2^24
+        out[0] = big + 1.0f;       // unrepresentable in fp32
+    }
+    """
+    prog = compile_program(src)
+    out = np.zeros(1, dtype=np.float32)
+    execute_kernel(prog.kernel("prec"), (1,), [out])
+    assert out[0] == np.float32(16777216.0)  # fp32 swallows the +1
+
+
+def test_convert_functions():
+    src = """
+    __kernel void conv(__global int *iout, __global float *fout) {
+        float x = 3.9f;
+        iout[0] = convert_int(x);
+        fout[0] = convert_float(7);
+        iout[1] = convert_uchar_sat(300);
+    }
+    """
+    prog = compile_program(src)
+    iout = np.zeros(2, dtype=np.int32)
+    fout = np.zeros(1, dtype=np.float32)
+    execute_kernel(prog.kernel("conv"), (1,), [iout, fout])
+    assert iout[0] == 3
+    assert fout[0] == 7.0
+
+
+def test_comparison_yields_int_semantics():
+    src = """
+    __kernel void cmp(__global int *out) {
+        int a = 5;
+        out[0] = (a > 3) + (a > 10);  // 1 + 0
+        out[1] = !(a > 3);
+        out[2] = (a > 3) * 7;
+    }
+    """
+    prog = compile_program(src)
+    for backend in ("vector", "interp"):
+        out = np.zeros(3, dtype=np.int32)
+        execute_kernel(prog.kernel("cmp"), (1,), [out], backend=backend)
+        np.testing.assert_array_equal(out, [1, 0, 7])
+
+
+def test_hex_literals_and_shifts():
+    src = """
+    __kernel void bits(__global uint *out) {
+        uint x = 0xFF00u;
+        out[0] = x >> 8;
+        out[1] = (x | 0x00FFu) & 0x0F0Fu;
+        out[2] = 1u << 31;
+    }
+    """
+    prog = compile_program(src)
+    out = np.zeros(3, dtype=np.uint32)
+    execute_kernel(prog.kernel("bits"), (1,), [out])
+    np.testing.assert_array_equal(out, [0xFF, 0x0F0F, 0x80000000])
+
+
+def test_multiple_declarators():
+    src = """
+    __kernel void multi(__global int *out) {
+        int a = 1, b = 2, c = a + b;
+        out[0] = c;
+    }
+    """
+    prog = compile_program(src)
+    out = np.zeros(1, dtype=np.int32)
+    execute_kernel(prog.kernel("multi"), (1,), [out])
+    assert out[0] == 3
+
+
+def test_sizeof():
+    src = """
+    __kernel void sz(__global int *out) {
+        out[0] = (int)sizeof(char);
+        out[1] = (int)sizeof(int);
+        out[2] = (int)sizeof(float);
+        out[3] = (int)sizeof(double);
+        out[4] = (int)sizeof(unsigned long);
+        out[5] = (int)sizeof(__global float*);
+    }
+    """
+    prog = compile_program(src)
+    out = np.zeros(6, dtype=np.int32)
+    execute_kernel(prog.kernel("sz"), (1,), [out])
+    np.testing.assert_array_equal(out, [1, 4, 4, 8, 8, 8])
+
+
+def test_predefined_macros():
+    src = """
+    __kernel void pre(__global float *out) {
+        out[0] = M_PI_F;
+        out[1] = (float)__OPENCL_VERSION__;
+    }
+    """
+    prog = compile_program(src)
+    out = np.zeros(2, dtype=np.float32)
+    execute_kernel(prog.kernel("pre"), (1,), [out])
+    assert out[0] == pytest.approx(np.pi, rel=1e-6)
+    assert out[1] == 110.0

@@ -1,0 +1,188 @@
+"""NDRange validation, argument binding, work-item ID coverage."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clc import CLCRuntimeError, LocalMemory, compile_program, execute_kernel
+from repro.clc.runtime import ExecContext, NDRange
+
+IDS = """
+__kernel void ids(__global int *gx, __global int *lx, __global int *grp,
+                  __global int *sizes)
+{
+    int i = (int)get_global_id(0) + (int)get_global_id(1) * (int)get_global_size(0);
+    gx[i] = (int)get_global_id(0);
+    lx[i] = (int)get_local_id(0);
+    grp[i] = (int)get_group_id(0);
+    if (i == 0) {
+        sizes[0] = (int)get_global_size(0);
+        sizes[1] = (int)get_local_size(0);
+        sizes[2] = (int)get_num_groups(0);
+        sizes[3] = (int)get_work_dim();
+        sizes[4] = (int)get_global_offset(0);
+    }
+}
+"""
+
+
+# ----------------------------------------------------------------------
+# NDRange validation
+# ----------------------------------------------------------------------
+def test_ndrange_basic():
+    nd = NDRange.create((64, 8), (8, 4))
+    assert nd.total_work_items == 512
+    assert nd.group_size == 32
+    assert nd.num_groups == (8, 2)
+    assert nd.total_groups == 16
+
+
+def test_ndrange_default_local_size_divides():
+    for g in (1, 7, 64, 100, 1000, 1024, 999):
+        nd = NDRange.create((g,))
+        assert g % nd.local_size[0] == 0
+        assert nd.local_size[0] <= 256
+
+
+def test_ndrange_rejects_bad_dimensions():
+    with pytest.raises(CLCRuntimeError):
+        NDRange.create(())
+    with pytest.raises(CLCRuntimeError):
+        NDRange.create((1, 1, 1, 1))
+    with pytest.raises(CLCRuntimeError):
+        NDRange.create((0,))
+    with pytest.raises(CLCRuntimeError):
+        NDRange.create((8,), (3,))  # does not divide
+    with pytest.raises(CLCRuntimeError):
+        NDRange.create((8,), (8, 1))  # dim mismatch
+    with pytest.raises(CLCRuntimeError):
+        NDRange.create((8,), (0,))
+
+
+@given(
+    g=st.integers(min_value=1, max_value=4096),
+    chunk=st.sampled_from([1, 3, 16, 128]),
+)
+@settings(max_examples=60, deadline=None)
+def test_global_ids_cover_range_exactly_once(g, chunk):
+    """Across all chunks, each global ID appears exactly once."""
+    nd = NDRange.create((g,))
+    seen = []
+    groups_per_chunk = max(1, chunk)
+    start = 0
+    while start < nd.total_groups:
+        count = min(groups_per_chunk, nd.total_groups - start)
+        ctx = ExecContext(nd, start, count)
+        seen.extend(ctx.get_global_id(0).tolist())
+        start += count
+    assert sorted(seen) == list(range(g))
+
+
+def test_ids_kernel_2d():
+    prog = compile_program(IDS)
+    w, h, lw = 16, 4, 8
+    n = w * h
+    gx = np.zeros(n, dtype=np.int32)
+    lx = np.zeros(n, dtype=np.int32)
+    grp = np.zeros(n, dtype=np.int32)
+    sizes = np.zeros(5, dtype=np.int32)
+    execute_kernel(prog.kernel("ids"), (w, h), [gx, lx, grp, sizes], local_size=(lw, 1))
+    np.testing.assert_array_equal(sizes, [w, lw, w // lw, 2, 0])
+    np.testing.assert_array_equal(gx.reshape(h, w)[0], np.arange(w))
+    np.testing.assert_array_equal(lx.reshape(h, w)[0], np.arange(w) % lw)
+    np.testing.assert_array_equal(grp.reshape(h, w)[0], np.arange(w) // lw)
+
+
+def test_global_offset():
+    src = """
+    __kernel void off(__global int *out, const int base) {
+        int i = (int)get_global_id(0);
+        out[i - base] = i;
+    }
+    """
+    prog = compile_program(src)
+    out = np.zeros(16, dtype=np.int32)
+    execute_kernel(prog.kernel("off"), (16,), [out, 100], global_offset=(100,))
+    np.testing.assert_array_equal(out, np.arange(100, 116))
+
+
+def test_out_of_range_dim_defaults():
+    src = """
+    __kernel void d(__global int *out) {
+        out[get_global_id(0)] = (int)get_global_id(2) + (int)get_global_size(2)
+                              + (int)get_local_size(2) + (int)get_num_groups(2);
+    }
+    """
+    prog = compile_program(src)
+    out = np.zeros(4, dtype=np.int32)
+    execute_kernel(prog.kernel("d"), (4,), [out])
+    np.testing.assert_array_equal(out, [3, 3, 3, 3])  # 0 + 1 + 1 + 1
+
+
+# ----------------------------------------------------------------------
+# argument binding
+# ----------------------------------------------------------------------
+VADD = """
+__kernel void vadd(__global const float *a, __global float *b, const int n,
+                   __local float *scratch)
+{
+    int i = (int)get_global_id(0);
+    if (i < n) b[i] = a[i] + 1.0f;
+}
+"""
+
+
+@pytest.fixture
+def vadd_kernel():
+    return compile_program(VADD).kernel("vadd")
+
+
+def test_wrong_arg_count(vadd_kernel):
+    a = np.zeros(4, dtype=np.float32)
+    with pytest.raises(CLCRuntimeError, match="expects 4"):
+        execute_kernel(vadd_kernel, (4,), [a, a, 4])
+
+
+def test_wrong_dtype_rejected(vadd_kernel):
+    a = np.zeros(4, dtype=np.float64)
+    b = np.zeros(4, dtype=np.float32)
+    with pytest.raises(CLCRuntimeError, match="dtype"):
+        execute_kernel(vadd_kernel, (4,), [a, b, 4, LocalMemory(16)])
+
+
+def test_non_array_buffer_rejected(vadd_kernel):
+    b = np.zeros(4, dtype=np.float32)
+    with pytest.raises(CLCRuntimeError, match="1-D ndarray"):
+        execute_kernel(vadd_kernel, (4,), [[1, 2, 3], b, 4, LocalMemory(16)])
+
+
+def test_local_requires_localmemory(vadd_kernel):
+    a = np.zeros(4, dtype=np.float32)
+    with pytest.raises(CLCRuntimeError, match="LocalMemory"):
+        execute_kernel(vadd_kernel, (4,), [a, a, 4, a])
+
+
+def test_scalar_conversion_failure(vadd_kernel):
+    a = np.zeros(4, dtype=np.float32)
+    with pytest.raises(CLCRuntimeError, match="cannot convert"):
+        execute_kernel(vadd_kernel, (4,), [a, a, "not-a-number", LocalMemory(16)])
+
+
+def test_local_memory_too_small(vadd_kernel):
+    a = np.zeros(4, dtype=np.float32)
+    with pytest.raises(CLCRuntimeError, match="less"):
+        execute_kernel(vadd_kernel, (4,), [a, a, 4, LocalMemory(2)])
+
+
+def test_localmemory_validates_size():
+    with pytest.raises(CLCRuntimeError):
+        LocalMemory(0)
+    with pytest.raises(CLCRuntimeError):
+        LocalMemory(-8)
+
+
+def test_unknown_backend_rejected(vadd_kernel):
+    a = np.zeros(4, dtype=np.float32)
+    with pytest.raises(CLCRuntimeError, match="backend"):
+        execute_kernel(vadd_kernel, (4,), [a, a, 4, LocalMemory(16)], backend="jit")

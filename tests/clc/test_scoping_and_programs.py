@@ -1,0 +1,175 @@
+"""Scoping, shadowing, multi-kernel programs, helper-function sharing."""
+
+import numpy as np
+import pytest
+
+from repro.clc import CLCompileError, compile_program, execute_kernel
+
+
+def run(src, kernel, gsize, args, backend="vector", local_size=None):
+    prog = compile_program(src)
+    execute_kernel(prog.kernel(kernel), gsize, args, backend=backend, local_size=local_size)
+    return prog
+
+
+def test_variable_shadowing_in_nested_scopes():
+    src = """
+    __kernel void sh(__global int *out) {
+        int gid = (int)get_global_id(0);
+        int x = 1;
+        {
+            int x = 10;
+            if (gid > 2) {
+                int x = 100;
+                out[gid] = x;
+            } else {
+                out[gid] = x;
+            }
+        }
+        out[gid] += x;  // outer x again
+    }
+    """
+    for backend in ("vector", "interp"):
+        out = np.zeros(6, dtype=np.int32)
+        run(src, "sh", (6,), [out], backend=backend)
+        np.testing.assert_array_equal(out, [11, 11, 11, 101, 101, 101])
+
+
+def test_for_loop_variable_scoped_to_loop():
+    src = """
+    __kernel void scope(__global int *out) {
+        int acc = 0;
+        for (int i = 0; i < 3; i++) acc += i;
+        for (int i = 10; i < 13; i++) acc += i;  // fresh i: fine
+        out[get_global_id(0)] = acc;
+    }
+    """
+    out = np.zeros(2, dtype=np.int32)
+    run(src, "scope", (2,), [out])
+    np.testing.assert_array_equal(out, [36, 36])
+
+
+def test_loop_variable_not_visible_after_loop():
+    src = """
+    __kernel void leak(__global int *out) {
+        for (int i = 0; i < 3; i++) {}
+        out[0] = i;
+    }
+    """
+    with pytest.raises(CLCompileError, match="undeclared"):
+        compile_program(src)
+
+
+def test_multiple_kernels_share_helpers():
+    src = """
+    float twice(float v) { return v * 2.0f; }
+
+    __kernel void a(__global float *x) {
+        int i = (int)get_global_id(0);
+        x[i] = twice(x[i]);
+    }
+    __kernel void b(__global float *x) {
+        int i = (int)get_global_id(0);
+        x[i] = twice(twice(x[i]));
+    }
+    """
+    prog = compile_program(src)
+    assert sorted(prog.kernels) == ["a", "b"]
+    x = np.ones(4, dtype=np.float32)
+    execute_kernel(prog.kernel("a"), (4,), [x])
+    np.testing.assert_allclose(x, 2.0)
+    execute_kernel(prog.kernel("b"), (4,), [x])
+    np.testing.assert_allclose(x, 8.0)
+
+
+def test_forward_reference_between_functions():
+    src = """
+    int helper(int x);  // no prototypes — but definition order is free
+    """
+    src = """
+    __kernel void k(__global int *out) {
+        out[get_global_id(0)] = later(3);
+    }
+    int later(int x) { return x + 39; }
+    """
+    out = np.zeros(2, dtype=np.int32)
+    run(src, "k", (2,), [out])
+    np.testing.assert_array_equal(out, [42, 42])
+
+
+def test_comma_operator():
+    src = """
+    __kernel void c(__global int *out) {
+        int a = 1, b = 2;
+        int x = (a = 5, b = a + 1, a + b);
+        out[get_global_id(0)] = x;
+    }
+    """
+    for backend in ("vector", "interp"):
+        out = np.zeros(2, dtype=np.int32)
+        run(src, "c", (2,), [out], backend=backend)
+        np.testing.assert_array_equal(out, [11, 11])
+
+
+def test_kernel_calls_kernel():
+    """OpenCL 1.x allows calling a kernel function like a regular one."""
+    src = """
+    __kernel void inner(__global int *out) {
+        out[get_global_id(0)] += 1;
+    }
+    __kernel void outer(__global int *out) {
+        inner(out);
+        inner(out);
+    }
+    """
+    out = np.zeros(3, dtype=np.int32)
+    run(src, "outer", (3,), [out])
+    np.testing.assert_array_equal(out, [2, 2, 2])
+
+
+def test_empty_statements_and_blocks():
+    src = """
+    __kernel void e(__global int *out) {
+        ;;
+        {}
+        if (get_global_id(0) == 0) {} else {}
+        out[get_global_id(0)] = 7;
+    }
+    """
+    out = np.zeros(2, dtype=np.int32)
+    run(src, "e", (2,), [out])
+    np.testing.assert_array_equal(out, [7, 7])
+
+
+def test_deeply_nested_control_flow_matches_interp():
+    src = """
+    __kernel void deep(__global int *out) {
+        int gid = (int)get_global_id(0);
+        int acc = 0;
+        for (int i = 0; i < 4; i++) {
+            if (i % 2 == 0) {
+                for (int j = 0; j < 3; j++) {
+                    if ((i + j + gid) % 3 == 0) { acc += 1; continue; }
+                    while (acc % 5 != 0) {
+                        acc++;
+                        if (acc > 40) break;
+                    }
+                }
+            } else {
+                do { acc += 2; } while (acc % 7 != 0);
+            }
+        }
+        out[gid] = acc;
+    }
+    """
+    out_v = np.zeros(16, dtype=np.int32)
+    out_i = np.zeros(16, dtype=np.int32)
+    run(src, "deep", (16,), [out_v], backend="vector")
+    run(src, "deep", (16,), [out_i], backend="interp")
+    np.testing.assert_array_equal(out_v, out_i)
+
+
+def test_generated_python_source_is_inspectable():
+    prog = compile_program("__kernel void k(__global int *x) { x[0] = 1; }")
+    assert "_fn_k" in prog.python_source
+    assert "_rt.store_global" in prog.python_source

@@ -1,0 +1,158 @@
+"""Unit and property tests for the vector runtime helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clc import CLCRuntimeError
+from repro.clc import vecrt as rt
+
+
+class FakeCtx:
+    def __init__(self, lanes=8, group_size=4):
+        self.lanes = lanes
+        self.group_size = group_size
+        self.ops = 0.0
+        self.lane_ids = np.arange(lanes)
+        self.group_ordinal = np.arange(lanes) // group_size
+
+
+@pytest.fixture
+def ctx():
+    return FakeCtx()
+
+
+def test_ops_charged_per_active_lane(ctx):
+    a = np.ones(8, dtype=np.float32)
+    rt.add(ctx, 5, a, a)
+    assert ctx.ops == 5 * rt.W_ALU
+    rt.fdiv(ctx, 3, a, a)
+    assert ctx.ops == 5 * rt.W_ALU + 3 * rt.W_DIV
+
+
+def test_merge_broadcasts_scalars():
+    m = np.array([True, False, True])
+    out = rt.merge(m, np.int32(7), np.int32(1))
+    np.testing.assert_array_equal(out, [7, 1, 7])
+
+
+@given(
+    a=st.integers(min_value=-(2**31), max_value=2**31 - 1),
+    b=st.integers(min_value=-(2**31), max_value=2**31 - 1),
+)
+@settings(max_examples=300, deadline=None)
+def test_idiv_imod_match_c_semantics(a, b):
+    """Truncation toward zero; remainder takes the dividend's sign;
+    division by zero defined as 0 (substrate rule)."""
+    ctx = FakeCtx()
+    av = np.full(4, a, dtype=np.int64)
+    bv = np.full(4, b, dtype=np.int64)
+    with np.errstate(all="ignore"):
+        q = rt.idiv(ctx, 4, av, bv)
+        r = rt.imod(ctx, 4, av, bv)
+    if b == 0:
+        expected_q = expected_r = 0
+    else:
+        expected_q = abs(a) // abs(b) * (1 if (a < 0) == (b < 0) else -1)
+        expected_r = a - expected_q * b
+    assert q[0] == expected_q
+    assert r[0] == expected_r
+    if b != 0:
+        # C identity: (a/b)*b + a%b == a
+        assert q[0] * b + r[0] == a
+
+
+def test_shifts_mask_to_width(ctx):
+    a = np.full(4, 1, dtype=np.int32)
+    out = rt.shl(ctx, 4, a, np.full(4, 33, dtype=np.int32))  # 33 & 31 == 1
+    np.testing.assert_array_equal(out, 2)
+
+
+def test_load_global_bounds_check(ctx):
+    m = np.array([True] * 4 + [False] * 4)
+    buf = np.arange(10, dtype=np.int32)
+    idx = np.array([0, 1, 2, 3, 999, 999, 999, 999])  # OOB only on inactive lanes
+    out = rt.load_global(ctx, 4, m, buf, idx)
+    np.testing.assert_array_equal(out[:4], [0, 1, 2, 3])
+    bad = np.array([0, 1, 2, 99, 0, 0, 0, 0])
+    with pytest.raises(CLCRuntimeError, match="out-of-bounds"):
+        rt.load_global(ctx, 4, m, buf, bad)
+
+
+def test_store_global_masked(ctx):
+    m = np.array([True, False] * 4)
+    buf = np.zeros(8, dtype=np.int32)
+    rt.store_global(ctx, 4, m, buf, np.arange(8), np.full(8, 5, dtype=np.int32))
+    np.testing.assert_array_equal(buf, [5, 0, 5, 0, 5, 0, 5, 0])
+
+
+def test_local_store_uses_group_ordinal(ctx):
+    m = np.ones(8, dtype=bool)
+    arr = np.zeros((2, 4), dtype=np.float32)  # 2 groups of 4
+    idx = np.tile(np.arange(4), 2)
+    vals = np.arange(8, dtype=np.float32)
+    rt.store_local(ctx, 8, m, arr, idx, vals)
+    np.testing.assert_array_equal(arr[0], [0, 1, 2, 3])
+    np.testing.assert_array_equal(arr[1], [4, 5, 6, 7])
+
+
+def test_private_array_per_lane(ctx):
+    arr = rt.private_array(ctx, "int32", 3)
+    assert arr.shape == (8, 3)
+    m = np.ones(8, dtype=bool)
+    rt.store_private(ctx, 8, m, arr, np.zeros(8, dtype=np.int64), np.arange(8, dtype=np.int32))
+    np.testing.assert_array_equal(arr[:, 0], np.arange(8))
+    out = rt.load_private(ctx, 8, m, arr, np.zeros(8, dtype=np.int64))
+    np.testing.assert_array_equal(out, np.arange(8))
+
+
+def test_atomic_add_duplicate_indices(ctx):
+    m = np.ones(8, dtype=bool)
+    buf = np.zeros(2, dtype=np.int32)
+    idx = np.array([0, 0, 0, 1, 1, 0, 1, 0])
+    rt.atomic(ctx, 8, m, "atomic_add", "global", buf, idx, np.ones(8, dtype=np.int32))
+    np.testing.assert_array_equal(buf, [5, 3])
+
+
+def test_atomic_min_max(ctx):
+    m = np.ones(4, dtype=bool)
+    buf = np.array([100, -100], dtype=np.int32)
+    rt.atomic(ctx, 4, m, "atomic_min", "global", buf,
+              np.zeros(4, dtype=np.int64), np.array([7, 3, 9, 5], dtype=np.int32))
+    rt.atomic(ctx, 4, m, "atomic_max", "global", buf,
+              np.ones(4, dtype=np.int64), np.array([7, 3, 9, 5], dtype=np.int32))
+    assert buf[0] == 3
+    assert buf[1] == 9
+
+
+def test_atomic_inc_dec(ctx):
+    m = np.ones(6, dtype=bool)
+    buf = np.zeros(1, dtype=np.int32)
+    rt.atomic(ctx, 6, m, "atomic_inc", "global", buf, np.zeros(6, dtype=np.int64))
+    assert buf[0] == 6
+    rt.atomic(ctx, 6, m, "atomic_dec", "global", buf, np.zeros(6, dtype=np.int64))
+    assert buf[0] == 0
+
+
+def test_uniform_accepts_scalar_and_uniform_array():
+    assert rt.uniform(np.int64(3)) == 3
+    assert rt.uniform(np.full(4, 2)) == 2
+    with pytest.raises(CLCRuntimeError, match="non-uniform"):
+        rt.uniform(np.array([1, 2]))
+
+
+def test_barrier_detects_divergence():
+    ctx = FakeCtx(lanes=8, group_size=4)
+    rt.barrier(ctx, np.ones(8, dtype=bool))  # all active: fine
+    partial = np.array([True, True, False, True] + [True] * 4)
+    with pytest.raises(CLCRuntimeError, match="divergent barrier"):
+        rt.barrier(ctx, partial)
+    # A fully inactive group alongside a fully active one is fine.
+    rt.barrier(ctx, np.array([False] * 4 + [True] * 4))
+
+
+def test_cast_preserves_scalarness(ctx):
+    assert np.isscalar(rt.cast(ctx, 1, 3.5, "int32")) or rt.cast(ctx, 1, 3.5, "int32").ndim == 0
+    arr = rt.cast(ctx, 4, np.ones(4, dtype=np.float64), "float32")
+    assert arr.dtype == np.float32

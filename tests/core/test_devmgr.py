@@ -1,0 +1,300 @@
+"""Device manager tests (Section IV): leases, managed mode, scheduling,
+crash reclamation, and the WWU connection extensions."""
+
+import numpy as np
+import pytest
+
+from repro.core.devmgr import (
+    BestFit,
+    DeviceRequirement,
+    FirstFit,
+    FreeDevice,
+    RoundRobin,
+    device_matches,
+    make_strategy,
+    parse_devmgr_config,
+)
+from repro.hw.cluster import make_ib_cpu_cluster, make_multi_client_gpu_server
+from repro.ocl import CL_DEVICE_TYPE_ALL, CL_DEVICE_TYPE_GPU, CLError, ErrorCode
+from repro.testbed import deploy_dopencl
+
+LISTING3 = """
+<devmngr>devmngr.example.com</devmngr>
+<devices>
+  <device count="2">
+    <attribute name="TYPE">CPU</attribute>
+    <attribute name="VENDOR">Intel</attribute>
+    <attribute name="MAX_COMPUTE_UNITS">2</attribute>
+  </device>
+  <device>
+    <attribute name="TYPE">GPU</attribute>
+  </device>
+</devices>
+"""
+
+GPU_REQUEST = """
+<devmngr>gpuserver</devmngr>
+<devices>
+  <device>
+    <attribute name="TYPE">GPU</attribute>
+  </device>
+</devices>
+"""
+
+
+# ----------------------------------------------------------------------
+# config parsing (paper Listing 3)
+# ----------------------------------------------------------------------
+def test_parse_listing3():
+    address, requirements = parse_devmgr_config(LISTING3)
+    assert address == "devmngr.example.com"
+    assert len(requirements) == 2
+    assert requirements[0].count == 2
+    assert requirements[0].attributes["TYPE"] == "CPU"
+    assert requirements[0].attributes["MAX_COMPUTE_UNITS"] == "2"
+    assert requirements[1].count == 1
+    assert requirements[1].attributes == {"TYPE": "GPU"}
+
+
+def test_parse_rejects_missing_manager():
+    with pytest.raises(CLError):
+        parse_devmgr_config("<devices><device/></devices>")
+
+
+def test_parse_rejects_no_devices():
+    with pytest.raises(CLError):
+        parse_devmgr_config("<devmngr>x</devmngr>")
+
+
+def test_parse_rejects_malformed_xml():
+    with pytest.raises(CLError):
+        parse_devmgr_config("<devmngr>x</devmngr><devices><device>")
+
+
+def test_requirement_wire_round_trip():
+    req = DeviceRequirement(count=3, attributes={"TYPE": "GPU", "VENDOR": "NVIDIA"})
+    assert DeviceRequirement.from_wire(req.to_wire()) == req
+
+
+# ----------------------------------------------------------------------
+# matching & strategies
+# ----------------------------------------------------------------------
+def _dev(server, device_id, type_bits, vendor="NVIDIA", cu=30, mem=4 << 30):
+    return FreeDevice(
+        server_name=server,
+        device_id=device_id,
+        info={"TYPE": type_bits, "VENDOR": vendor, "NAME": "dev",
+              "MAX_COMPUTE_UNITS": cu, "GLOBAL_MEM_SIZE": mem},
+    )
+
+
+def test_device_matches():
+    info = _dev("s", 0, 4, vendor="NVIDIA", cu=30).info
+    assert device_matches(info, {"TYPE": "GPU"})
+    assert not device_matches(info, {"TYPE": "CPU"})
+    assert device_matches(info, {"VENDOR": "nvidia"})
+    assert not device_matches(info, {"VENDOR": "Intel"})
+    assert device_matches(info, {"MAX_COMPUTE_UNITS": "16"})
+    assert not device_matches(info, {"MAX_COMPUTE_UNITS": "64"})
+    assert device_matches(info, {"TYPE": "ALL"})
+    assert not device_matches(info, {"TYPE": "bogus"})
+
+
+def test_first_fit_order():
+    free = [_dev("a", 0, 4), _dev("b", 0, 4)]
+    req = DeviceRequirement(attributes={"TYPE": "GPU"})
+    assert FirstFit().select(free, req, {}) is free[0]
+
+
+def test_round_robin_prefers_least_loaded_server():
+    free = [_dev("a", 1, 4), _dev("b", 0, 4)]
+    req = DeviceRequirement(attributes={"TYPE": "GPU"})
+    pick = RoundRobin().select(free, req, {"a": 2, "b": 0})
+    assert pick.server_name == "b"
+
+
+def test_best_fit_minimises_excess():
+    free = [_dev("a", 0, 4, cu=30), _dev("b", 0, 4, cu=4)]
+    req = DeviceRequirement(attributes={"TYPE": "GPU", "MAX_COMPUTE_UNITS": "4"})
+    pick = BestFit().select(free, req, {})
+    assert pick.info["MAX_COMPUTE_UNITS"] == 4
+
+
+def test_make_strategy():
+    assert make_strategy("first_fit").name == "first_fit"
+    with pytest.raises(ValueError):
+        make_strategy("nope")
+
+
+# ----------------------------------------------------------------------
+# end-to-end managed mode
+# ----------------------------------------------------------------------
+def managed_deployment(n_clients=1):
+    cluster = make_multi_client_gpu_server(max(n_clients, 1))
+    return deploy_dopencl(
+        cluster,
+        managed=True,
+        devmgr_config_texts=[GPU_REQUEST] * n_clients,
+        n_clients=n_clients,
+    )
+
+
+def test_managed_client_sees_only_assigned_devices():
+    deployment = managed_deployment()
+    api = deployment.api
+    platform = api.clGetPlatformIDs()[0]
+    devices = api.clGetDeviceIDs(platform, CL_DEVICE_TYPE_ALL)
+    # The server has CPU + 4 GPUs, but the lease grants exactly one GPU.
+    assert len(devices) == 1
+    assert devices[0].type_bits == CL_DEVICE_TYPE_GPU
+    manager = deployment.device_manager
+    assert manager.assigned_count() == 1
+    assert len(manager.leases) == 1
+
+
+def test_four_clients_get_four_distinct_gpus():
+    deployment = managed_deployment(n_clients=4)
+    assigned = []
+    for api in deployment.apis:
+        platform = api.clGetPlatformIDs()[0]
+        devices = api.clGetDeviceIDs(platform, CL_DEVICE_TYPE_ALL)
+        assert len(devices) == 1
+        assigned.append(devices[0].remote_id)
+    # "the device manager schedules the applications to different devices"
+    assert len(set(assigned)) == 4
+
+
+def test_fifth_client_request_fails():
+    cluster = make_multi_client_gpu_server(4)
+    deployment = deploy_dopencl(
+        cluster, managed=True, devmgr_config_texts=[GPU_REQUEST] * 4, n_clients=4
+    )
+    for api in deployment.apis:
+        api.clGetDeviceIDs(api.clGetPlatformIDs()[0], CL_DEVICE_TYPE_ALL)
+    # All 4 GPUs leased; a fifth request cannot be satisfied.
+    from repro.core.client.driver import DOpenCLDriver
+    from repro.core.client.api import DOpenCLAPI
+
+    extra = DOpenCLDriver(
+        cluster.extra_clients[0],
+        cluster.network,
+        directory=deployment.directory,
+        devmgr_config_text=GPU_REQUEST,
+        device_manager=deployment.device_manager,
+        name="client-extra",
+    )
+    api5 = DOpenCLAPI(extra)
+    with pytest.raises(CLError) as err:
+        api5.clGetDeviceIDs(api5.clGetPlatformIDs()[0], CL_DEVICE_TYPE_ALL)
+    assert err.value.code == ErrorCode.CL_DEVICE_NOT_FOUND
+
+
+def test_lease_release_returns_devices():
+    deployment = managed_deployment()
+    api = deployment.api
+    api.clGetDeviceIDs(api.clGetPlatformIDs()[0], CL_DEVICE_TYPE_ALL)
+    manager = deployment.device_manager
+    free_before = len(manager.free)
+    deployment.driver.release_lease()
+    assert len(manager.free) == free_before + 1
+    assert manager.leases == {}
+    # The daemon forgot the auth ID: a new connection with it is refused.
+    daemon = deployment.daemons[0]
+    assert daemon.auth_devices == {}
+
+
+def test_unauthenticated_connection_refused_in_managed_mode():
+    deployment = managed_deployment()
+    from repro.core.client.driver import DOpenCLDriver
+
+    rogue = DOpenCLDriver(
+        deployment.cluster.client,
+        deployment.cluster.network,
+        directory=deployment.directory,
+        name="rogue",
+    )
+    with pytest.raises(CLError) as err:
+        rogue.connect_server(deployment.daemons[0].name)
+    assert err.value.code == ErrorCode.CL_CONNECTION_ERROR_WWU
+
+
+def test_crash_reclamation():
+    """Section IV-C: on abnormal disconnect the daemon reports the
+    invalidated auth ID and the manager frees the devices."""
+    deployment = managed_deployment()
+    api = deployment.api
+    api.clGetDeviceIDs(api.clGetPlatformIDs()[0], CL_DEVICE_TYPE_ALL)
+    manager = deployment.device_manager
+    assert manager.assigned_count() == 1
+    driver = deployment.driver
+    conn = driver.connections()[0]
+    # Simulate a crash: network-level disconnect without a release message.
+    driver.gcf.disconnect(conn.daemon.gcf, driver.clock.now)
+    assert manager.assigned_count() == 0
+    assert len(manager.free) == 5  # CPU + 4 GPUs back in the pool
+
+
+def test_unknown_lease_release_reports_error():
+    deployment = managed_deployment()
+    from repro.core.protocol import messages as P
+
+    outcome = deployment.driver.gcf.request(
+        deployment.device_manager.gcf, P.LeaseReleaseRequest(auth_id="bogus"), 0.0
+    )
+    assert outcome.response.error == ErrorCode.CL_INVALID_VALUE.value
+
+
+# ----------------------------------------------------------------------
+# WWU connection extension (paper Listing 1)
+# ----------------------------------------------------------------------
+def test_connect_disconnect_server_wwu():
+    cluster = make_ib_cpu_cluster(2)
+    deployment = deploy_dopencl(cluster)
+    api = deployment.api
+    platform = api.clGetPlatformIDs()[0]
+    devices = api.clGetDeviceIDs(platform, CL_DEVICE_TYPE_ALL)
+    assert len(devices) == 2
+    # Connect a server NOT in the config file at runtime.
+    from repro.core.daemon.daemon import Daemon
+    from repro.hw.node import Host
+    from repro.hw.specs import WESTMERE_NODE
+
+    extra_host = cluster.network.add_host(Host(WESTMERE_NODE, name="late-node"))
+    extra_daemon = Daemon(extra_host, cluster.network)
+    deployment.directory.add(extra_daemon)
+    handle = api.clConnectServerWWU("late-node:7079")
+    devices = api.clGetDeviceIDs(platform, CL_DEVICE_TYPE_ALL)
+    assert len(devices) == 3
+    assert api.clGetServerInfoWWU(handle, "NUM_DEVICES") == 1
+    api.clDisconnectServerWWU(handle)
+    devices = api.clGetDeviceIDs(platform, CL_DEVICE_TYPE_ALL)
+    assert len(devices) == 2  # "its devices' states become 'unavailable'"
+    with pytest.raises(CLError):
+        api.clDisconnectServerWWU(handle)
+
+
+def test_unresolvable_server_address():
+    cluster = make_ib_cpu_cluster(1)
+    deployment = deploy_dopencl(cluster)
+    with pytest.raises(CLError) as err:
+        deployment.api.clConnectServerWWU("no-such-host")
+    assert err.value.code == ErrorCode.CL_CONNECTION_ERROR_WWU
+
+
+def test_server_list_parsing():
+    from repro.core.client.connection import parse_server_list
+
+    text = """
+    # connect to server 'gpuserver.example.com'
+    gpuserver.example.com
+    # connect to server in local network
+    128.129.1.1:7079
+    """
+    assert parse_server_list(text) == ["gpuserver.example.com", "128.129.1.1:7079"]
+
+
+def test_server_list_rejects_garbage():
+    from repro.core.client.connection import parse_server_list
+
+    with pytest.raises(CLError):
+        parse_server_list("two hosts on one line")

@@ -1,0 +1,81 @@
+import pytest
+
+from repro.hw import ComputeDevice, Host, DESKTOP_PC, GPU_SERVER, NVS_3100M, TESLA_C1060, WESTMERE_NODE
+
+
+def test_compute_duration_includes_launch_overhead():
+    dev = ComputeDevice(TESLA_C1060)
+    d = dev.compute_duration(ops=TESLA_C1060.ops_per_second)  # 1 second of work
+    assert d == pytest.approx(1.0 + TESLA_C1060.launch_overhead)
+
+
+def test_negative_ops_rejected():
+    dev = ComputeDevice(TESLA_C1060)
+    with pytest.raises(ValueError):
+        dev.compute_duration(-1)
+
+
+def test_execute_serialises_on_timeline():
+    dev = ComputeDevice(TESLA_C1060)
+    a = dev.execute(0.0, TESLA_C1060.ops_per_second)
+    b = dev.execute(0.0, TESLA_C1060.ops_per_second)
+    assert b.start >= a.end
+
+
+def test_memory_accounting():
+    dev = ComputeDevice(NVS_3100M)
+    dev.allocate_mem(64 * 1024 * 1024)
+    assert dev.allocated_bytes == 64 * 1024 * 1024
+    dev.free_mem(64 * 1024 * 1024)
+    assert dev.allocated_bytes == 0
+
+
+def test_allocation_over_max_alloc_raises():
+    dev = ComputeDevice(NVS_3100M)
+    with pytest.raises(MemoryError):
+        dev.allocate_mem(NVS_3100M.max_alloc + 1)
+
+
+def test_allocation_exhausts_global_memory():
+    dev = ComputeDevice(NVS_3100M)
+    chunk = NVS_3100M.max_alloc
+    for _ in range(4):
+        dev.allocate_mem(chunk)
+    with pytest.raises(MemoryError):
+        dev.allocate_mem(chunk)
+
+
+def test_host_device_layout():
+    server = Host(GPU_SERVER)
+    assert len(server.devices) == 5  # CPU + 4 GPUs
+    assert len(server.gpu_devices) == 4
+    assert server.cpu_device.spec.device_type.name == "CPU"
+
+
+def test_gpu_transfer_uses_pcie():
+    host = Host(DESKTOP_PC)
+    gpu = host.gpu_devices[0]
+    assert host.device_needs_bus(gpu)
+    nbytes = 1 << 20
+    up = host.upload_duration(gpu, nbytes)
+    down = host.download_duration(gpu, nbytes)
+    assert down > up  # PCIe read asymmetry
+    iv = host.upload(gpu, 0.0, nbytes)
+    assert iv.end == pytest.approx(up)
+
+
+def test_cpu_transfer_bypasses_pcie():
+    host = Host(WESTMERE_NODE)
+    cpu = host.cpu_device
+    assert not host.device_needs_bus(cpu)
+    before = len(host.pcie.timeline)
+    host.upload(cpu, 0.0, 1 << 20)
+    assert len(host.pcie.timeline) == before
+
+
+def test_pcie_shared_between_gpus():
+    server = Host(GPU_SERVER)
+    g0, g1 = server.gpu_devices[:2]
+    a = server.upload(g0, 0.0, 100 << 20)
+    b = server.upload(g1, 0.0, 100 << 20)
+    assert b.start >= a.end  # one root complex

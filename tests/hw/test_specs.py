@@ -1,0 +1,75 @@
+import pytest
+
+from repro.hw import (
+    DESKTOP_PC,
+    GIGABIT_ETHERNET,
+    GPU_SERVER,
+    INFINIBAND_QDR,
+    NVS_3100M,
+    PCIE_GEN2_X16,
+    TESLA_C1060,
+    WESTMERE_NODE_CPU,
+    DeviceType,
+)
+
+
+def test_gige_effective_bandwidth_matches_paper_iperf():
+    # Paper: iperf measured ~106 MB/s, 85% of the theoretical 125 MB/s.
+    assert GIGABIT_ETHERNET.effective_bandwidth == pytest.approx(106.25e6)
+    assert GIGABIT_ETHERNET.bandwidth == 125e6
+
+
+def test_infiniband_faster_than_gige():
+    assert INFINIBAND_QDR.effective_bandwidth > 10 * GIGABIT_ETHERNET.effective_bandwidth
+    assert INFINIBAND_QDR.latency < GIGABIT_ETHERNET.latency
+
+
+def test_pcie_read_write_asymmetry():
+    # Section V-D: reads up to 15x slower than writes.
+    ratio = PCIE_GEN2_X16.write_bandwidth / PCIE_GEN2_X16.read_bandwidth
+    assert 12 < ratio < 18
+
+
+def test_paper_figure7_ratios_hold():
+    """GigE path ~50x slower than PCIe for writes, ~4.5x for reads."""
+    nbytes = 1024 * 1024 * 1024
+    gige = nbytes / GIGABIT_ETHERNET.effective_bandwidth
+    pcie_w = nbytes / PCIE_GEN2_X16.write_bandwidth
+    pcie_r = nbytes / PCIE_GEN2_X16.read_bandwidth
+    write_ratio = (gige + pcie_w) / pcie_w
+    read_ratio = (gige + pcie_r) / pcie_r
+    assert 40 < write_ratio < 60
+    assert 3.5 < read_ratio < 5.5
+
+
+def test_device_types():
+    assert WESTMERE_NODE_CPU.device_type == DeviceType.CPU
+    assert NVS_3100M.device_type == DeviceType.GPU
+    assert TESLA_C1060.device_type == DeviceType.GPU
+
+
+def test_tesla_vs_nvs_throughput_for_osem_shape():
+    # 4 Tesla GPUs together should be ~7-8x one NVS 3100M (paper Fig. 5:
+    # 15.7 s local vs ~2 s server-side execution).
+    ratio = 4 * TESLA_C1060.ops_per_second / NVS_3100M.ops_per_second
+    assert 7.0 < ratio < 9.0
+
+
+def test_max_alloc_defaults_to_quarter_of_global():
+    assert NVS_3100M.max_alloc == NVS_3100M.global_mem // 4
+
+
+def test_host_specs():
+    assert len(GPU_SERVER.gpus) == 4
+    assert DESKTOP_PC.gpus[0] is NVS_3100M
+
+
+def test_scaled_spec():
+    s = TESLA_C1060.scaled(0.5)
+    assert s.ops_per_second == pytest.approx(TESLA_C1060.ops_per_second / 2)
+    assert s.name == TESLA_C1060.name
+
+
+def test_scaled_link():
+    s = GIGABIT_ETHERNET.scaled(2.0)
+    assert s.effective_bandwidth == pytest.approx(2 * GIGABIT_ETHERNET.effective_bandwidth)

@@ -1,0 +1,72 @@
+"""End-to-end runs under the MOSI (Section III-F) coherence extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.coherence import State
+from repro.hw.cluster import make_ib_cpu_cluster
+from repro.ocl import CL_MEM_COPY_HOST_PTR, CL_MEM_READ_WRITE
+from repro.testbed import deploy_dopencl
+
+SCALE = """
+__kernel void scale(__global float *x, const float f, const int n) {
+    int i = (int)get_global_id(0);
+    if (i < n) x[i] = x[i] * f;
+}
+"""
+
+
+def ping_pong(protocol: str, rounds: int = 4):
+    deployment = deploy_dopencl(make_ib_cpu_cluster(2), coherence_protocol=protocol)
+    api = deployment.api
+    devices = api.clGetDeviceIDs(api.clGetPlatformIDs()[0])
+    ctx = api.clCreateContext(devices)
+    queues = [api.clCreateCommandQueue(ctx, d) for d in devices]
+    n = 1 << 16
+    x = np.ones(n, dtype=np.float32)
+    buf = api.clCreateBuffer(ctx, CL_MEM_READ_WRITE | CL_MEM_COPY_HOST_PTR, x.nbytes, x)
+    program = api.clCreateProgramWithSource(ctx, SCALE)
+    api.clBuildProgram(program)
+    kernel = api.clCreateKernel(program, "scale")
+    api.clSetKernelArg(kernel, 0, buf)
+    api.clSetKernelArg(kernel, 1, np.float32(2.0))
+    api.clSetKernelArg(kernel, 2, n)
+    t0 = api.now
+    for r in range(rounds):
+        queue = queues[r % 2]
+        api.clEnqueueNDRangeKernel(queue, kernel, (n,))
+        api.clFinish(queue)
+    elapsed = api.now - t0
+    data, _ = api.clEnqueueReadBuffer(queues[0], buf)
+    return deployment, buf, data.view(np.float32), elapsed
+
+
+def test_mosi_results_match_msi():
+    _, _, data_msi, _ = ping_pong("msi")
+    _, _, data_mosi, _ = ping_pong("mosi")
+    np.testing.assert_array_equal(data_msi, data_mosi)
+    np.testing.assert_allclose(data_mosi, 16.0)  # 2^4
+
+
+def test_mosi_faster_for_server_ping_pong():
+    *_, t_msi = ping_pong("msi")
+    *_, t_mosi = ping_pong("mosi")
+    assert t_mosi < t_msi
+
+
+def test_mosi_leaves_owner_state():
+    deployment, buf, _, _ = ping_pong("mosi", rounds=3)
+    states = set(buf.coherence.state.values())
+    # After a server-to-server hand-off the previous modifier holds O.
+    assert State.OWNED in states or State.MODIFIED in states
+
+
+def test_unknown_protocol_rejected():
+    from repro.ocl import CLError
+
+    deployment = deploy_dopencl(make_ib_cpu_cluster(1), coherence_protocol="mesi")
+    api = deployment.api
+    devices = api.clGetDeviceIDs(api.clGetPlatformIDs()[0])
+    ctx = api.clCreateContext(devices)
+    with pytest.raises(CLError, match="coherence protocol"):
+        api.clCreateBuffer(ctx, CL_MEM_READ_WRITE, 64)

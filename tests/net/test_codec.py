@@ -1,0 +1,125 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import CodecError, decode, encode, encoded_size
+
+
+@pytest.mark.parametrize(
+    "value",
+    [
+        None,
+        True,
+        False,
+        0,
+        -1,
+        2**62,
+        -(2**62),
+        3.14159,
+        float("inf"),
+        "",
+        "hello",
+        "üñïçødé",
+        b"",
+        b"\x00\xff" * 100,
+        [],
+        [1, 2, 3],
+        ["a", [1, [2.0, None]]],
+        {},
+        {"k": 1, "nested": {"x": [True, b"raw"]}},
+    ],
+)
+def test_round_trip(value):
+    assert decode(encode(value)) == value
+
+
+def test_tuple_decodes_as_list():
+    assert decode(encode((1, 2))) == [1, 2]
+
+
+def test_ndarray_round_trip():
+    arr = np.arange(17, dtype=np.float32)
+    out = decode(encode(arr))
+    assert isinstance(out, np.ndarray)
+    assert out.dtype == np.float32
+    np.testing.assert_array_equal(out, arr)
+
+
+def test_ndarray_int64_round_trip():
+    arr = np.array([-5, 0, 5], dtype=np.int64)
+    np.testing.assert_array_equal(decode(encode(arr)), arr)
+
+
+def test_2d_array_rejected():
+    with pytest.raises(CodecError):
+        encode(np.zeros((2, 2)))
+
+
+def test_unencodable_type_rejected():
+    with pytest.raises(CodecError):
+        encode(object())
+
+
+def test_non_str_dict_keys_rejected():
+    with pytest.raises(CodecError):
+        encode({1: "x"})
+
+
+def test_oversized_int_rejected():
+    with pytest.raises(CodecError):
+        encode(2**70)
+
+
+def test_trailing_bytes_rejected():
+    with pytest.raises(CodecError):
+        decode(encode(1) + b"\x00")
+
+
+def test_truncated_data_rejected():
+    data = encode("hello world")
+    with pytest.raises(CodecError):
+        decode(data[:-3])
+
+
+def test_unknown_tag_rejected():
+    with pytest.raises(CodecError):
+        decode(b"\xfe")
+
+
+def test_empty_input_rejected():
+    with pytest.raises(CodecError):
+        decode(b"")
+
+
+def test_encoded_size_matches():
+    v = {"a": [1, 2.0, "three"]}
+    assert encoded_size(v) == len(encode(v))
+
+
+json_like = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**63), max_value=2**63 - 1)
+    | st.floats(allow_nan=False)
+    | st.text(max_size=30)
+    | st.binary(max_size=30),
+    lambda children: st.lists(children, max_size=5)
+    | st.dictionaries(st.text(max_size=8), children, max_size=5),
+    max_leaves=20,
+)
+
+
+@given(json_like)
+@settings(max_examples=300, deadline=None)
+def test_round_trip_property(value):
+    assert decode(encode(value)) == value
+
+
+@given(st.binary(max_size=200))
+@settings(max_examples=300, deadline=None)
+def test_decode_never_crashes_on_garbage(data):
+    try:
+        decode(data)
+    except CodecError:
+        pass  # rejecting garbage is correct; crashing is not

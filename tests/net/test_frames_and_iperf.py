@@ -1,0 +1,56 @@
+"""Framing arithmetic and iperf edge cases."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import GIGABIT_ETHERNET, INFINIBAND_QDR, Host, WESTMERE_NODE
+from repro.net import Network, run_iperf, transfer_duration
+from repro.net.frames import MIN_FRAME_PAYLOAD, frame_count, one_way_time
+
+
+def test_frame_count():
+    assert frame_count(GIGABIT_ETHERNET, 0) == 1
+    assert frame_count(GIGABIT_ETHERNET, 1) == 1
+    assert frame_count(GIGABIT_ETHERNET, 1500) == 1
+    assert frame_count(GIGABIT_ETHERNET, 1501) == 2
+    assert frame_count(GIGABIT_ETHERNET, 15000) == 10
+
+
+def test_one_way_time_includes_latency():
+    t = one_way_time(GIGABIT_ETHERNET, 1 << 20)
+    assert t == pytest.approx(
+        GIGABIT_ETHERNET.latency + (1 << 20) / GIGABIT_ETHERNET.effective_bandwidth
+    )
+
+
+@given(nbytes=st.integers(min_value=0, max_value=1 << 30))
+@settings(max_examples=200, deadline=None)
+def test_transfer_duration_monotone(nbytes):
+    d1 = transfer_duration(GIGABIT_ETHERNET, nbytes)
+    d2 = transfer_duration(GIGABIT_ETHERNET, nbytes + 1)
+    assert d2 >= d1
+    assert d1 >= transfer_duration(GIGABIT_ETHERNET, MIN_FRAME_PAYLOAD) or nbytes >= MIN_FRAME_PAYLOAD
+
+
+@given(nbytes=st.integers(min_value=1, max_value=1 << 28))
+@settings(max_examples=100, deadline=None)
+def test_infiniband_always_faster_than_gige(nbytes):
+    assert transfer_duration(INFINIBAND_QDR, nbytes) < transfer_duration(GIGABIT_ETHERNET, nbytes)
+
+
+def test_iperf_on_infiniband():
+    net = Network(INFINIBAND_QDR)
+    a = net.add_host(Host(WESTMERE_NODE, name="a"))
+    b = net.add_host(Host(WESTMERE_NODE, name="b"))
+    result = run_iperf(net, a, b)
+    assert result.bandwidth == pytest.approx(INFINIBAND_QDR.effective_bandwidth, rel=0.01)
+
+
+def test_iperf_short_run_penalised_by_setup():
+    net = Network(GIGABIT_ETHERNET)
+    a = net.add_host(Host(WESTMERE_NODE, name="a"))
+    b = net.add_host(Host(WESTMERE_NODE, name="b"))
+    short = run_iperf(net, a, b, nbytes=1 << 16)
+    long = run_iperf(net, a, b, nbytes=1 << 28)
+    assert short.bandwidth < long.bandwidth

@@ -1,0 +1,157 @@
+import pytest
+
+from repro.hw import GIGABIT_ETHERNET, Host, WESTMERE_NODE
+from repro.net import GCFProcess, Network, message_type, Notification, Request, Response
+from repro.net.link import ConnectionRefused, NetworkError
+
+
+@message_type
+class PingRequest(Request):
+    payload: str
+
+
+@message_type
+class PingResponse(Response):
+    echoed: str
+
+
+@message_type
+class StatusNote(Notification):
+    status: int
+
+
+@pytest.fixture
+def pair():
+    net = Network(GIGABIT_ETHERNET)
+    ha = net.add_host(Host(WESTMERE_NODE, name="client-host"))
+    hb = net.add_host(Host(WESTMERE_NODE, name="server-host"))
+    a = GCFProcess("client", ha, net)
+    b = GCFProcess("server", hb, net)
+    return net, a, b
+
+
+def test_request_response_round_trip(pair):
+    net, a, b = pair
+
+    @b.on_request(PingRequest)
+    def handle(msg, t, sender):
+        return PingResponse(echoed=msg.payload.upper()), t + 1e-6
+
+    outcome = a.request(b, PingRequest(payload="hello"), t=0.0)
+    assert outcome.response.echoed == "HELLO"
+    assert outcome.reply_arrival > 2 * GIGABIT_ETHERNET.latency
+    assert outcome.request_arrival < outcome.handled_at < outcome.reply_arrival
+
+
+def test_request_without_handler_raises(pair):
+    _, a, b = pair
+    with pytest.raises(NetworkError):
+        a.request(b, PingRequest(payload="x"), t=0.0)
+
+
+def test_handler_cannot_travel_back_in_time(pair):
+    _, a, b = pair
+
+    @b.on_request(PingRequest)
+    def handle(msg, t, sender):
+        return PingResponse(echoed=""), t - 1.0
+
+    with pytest.raises(NetworkError):
+        a.request(b, PingRequest(payload="x"), t=0.0)
+
+
+def test_requests_serialise_on_server_cpu(pair):
+    _, a, b = pair
+
+    @b.on_request(PingRequest)
+    def handle(msg, t, sender):
+        return PingResponse(echoed=msg.payload), t + 1e-3  # 1 ms of work
+
+    o1 = a.request(b, PingRequest(payload="1"), t=0.0)
+    o2 = a.request(b, PingRequest(payload="2"), t=0.0)
+    assert o2.handled_at >= o1.handled_at  # same CPU, sequential dispatch
+
+
+def test_notification_is_one_way(pair):
+    _, a, b = pair
+    seen = []
+
+    @b.on_notification(StatusNote)
+    def handle(msg, t, sender):
+        seen.append((msg.status, t))
+
+    arrival = a.notify(b, StatusNote(status=7), t=0.0)
+    assert seen and seen[0][0] == 7
+    assert seen[0][1] == arrival
+    assert b.notification_log[0][1] == "client"
+
+
+def test_connect_disconnect(pair):
+    _, a, b = pair
+    t = a.connect(b, 0.0)
+    assert t > 0
+    assert "server" in a.peers and "client" in b.peers
+    a.disconnect(b, t)
+    assert "server" not in a.peers and "client" not in b.peers
+
+
+def test_disconnect_without_connect_raises(pair):
+    _, a, b = pair
+    with pytest.raises(NetworkError):
+        a.disconnect(b, 0.0)
+
+
+def test_connect_handler_can_refuse(pair):
+    _, a, b = pair
+
+    @b.on_connect
+    def refuse(name, payload, t):
+        raise ConnectionRefused("bad auth")
+
+    with pytest.raises(ConnectionRefused):
+        a.connect(b, 0.0)
+
+
+def test_stream_bulk_transfer(pair):
+    net, a, b = pair
+    nbytes = 100 << 20
+    result = a.stream(b, nbytes, t=0.0)
+    assert result.arrival > result.started_at > result.requested_at
+    # Large streams approach the effective bandwidth.
+    assert result.effective_bandwidth == pytest.approx(
+        GIGABIT_ETHERNET.effective_bandwidth, rel=0.05
+    )
+
+
+def test_stream_with_init_request(pair):
+    _, a, b = pair
+
+    @b.on_request(PingRequest)
+    def handle(msg, t, sender):
+        return PingResponse(echoed="ok"), t
+
+    r = a.stream(b, 1 << 20, t=0.0, init=PingRequest(payload="start"))
+    assert r.started_at > 2 * GIGABIT_ETHERNET.latency  # full init round trip
+
+
+def test_small_stream_less_efficient_than_large(pair):
+    _, a, b = pair
+    small = a.stream(b, 1 << 20, t=100.0)
+    large = a.stream(b, 512 << 20, t=200.0)
+    assert small.effective_bandwidth < large.effective_bandwidth
+
+
+def test_message_wire_round_trip():
+    from repro.net import Message
+
+    msg = PingRequest(payload="abc")
+    out = Message.from_wire(msg.to_wire())
+    assert isinstance(out, PingRequest)
+    assert out.payload == "abc"
+
+
+def test_wire_size_includes_header():
+    from repro.net.messages import MESSAGE_HEADER_BYTES
+
+    msg = PingRequest(payload="")
+    assert msg.wire_size == len(msg.to_wire()) + MESSAGE_HEADER_BYTES

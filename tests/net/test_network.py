@@ -1,0 +1,95 @@
+import pytest
+
+from repro.hw import GIGABIT_ETHERNET, Host, WESTMERE_NODE, make_multi_client_gpu_server
+from repro.net import Network, run_iperf, transfer_duration
+from repro.net.link import HostUnreachable
+
+
+def make_net(n=2):
+    net = Network(GIGABIT_ETHERNET)
+    hosts = [net.add_host(Host(WESTMERE_NODE, name=f"h{i}")) for i in range(n)]
+    return net, hosts
+
+
+def test_transfer_time_is_latency_plus_serialisation():
+    net, (a, b) = make_net()
+    nbytes = 10 << 20
+    arrival = net.transfer(a, b, 0.0, nbytes)
+    expected = GIGABIT_ETHERNET.latency + 2 * transfer_duration(GIGABIT_ETHERNET, nbytes)
+    # tx serialisation then rx serialisation offset by latency; with idle
+    # NICs rx starts right after tx start + latency, so arrival ~= latency +
+    # serialisation (rx dominates).  Allow either formulation:
+    assert arrival == pytest.approx(
+        GIGABIT_ETHERNET.latency + transfer_duration(GIGABIT_ETHERNET, nbytes), rel=0.01
+    ) or arrival <= expected
+
+
+def test_duplicate_host_rejected():
+    net, (a, b) = make_net()
+    with pytest.raises(ValueError):
+        net.add_host(Host(WESTMERE_NODE, name="h0"))
+
+
+def test_unknown_host_lookup():
+    net, _ = make_net()
+    with pytest.raises(HostUnreachable):
+        net.host("nope")
+
+
+def test_detached_host_transfer_fails():
+    net, (a, _) = make_net()
+    stray = Host(WESTMERE_NODE, name="stray")
+    with pytest.raises(HostUnreachable):
+        net.transfer(a, stray, 0.0, 100)
+
+
+def test_loopback_is_cheap():
+    net, (a, _) = make_net()
+    t = net.transfer(a, a, 0.0, 1 << 20)
+    assert t < net.transfer(a, net.host("h1"), 0.0, 1 << 20)
+
+
+def test_shared_receiver_nic_serialises():
+    """Two senders to one receiver: second transfer queues on the rx side."""
+    net = Network(GIGABIT_ETHERNET)
+    a = net.add_host(Host(WESTMERE_NODE, name="a"))
+    b = net.add_host(Host(WESTMERE_NODE, name="b"))
+    dst = net.add_host(Host(WESTMERE_NODE, name="dst"))
+    nbytes = 50 << 20
+    t1 = net.transfer(a, dst, 0.0, nbytes)
+    t2 = net.transfer(b, dst, 0.0, nbytes)
+    assert t2 >= t1 + 0.9 * transfer_duration(GIGABIT_ETHERNET, nbytes)
+
+
+def test_independent_pairs_overlap():
+    net = Network(GIGABIT_ETHERNET)
+    hosts = [net.add_host(Host(WESTMERE_NODE, name=f"h{i}")) for i in range(4)]
+    nbytes = 50 << 20
+    t1 = net.transfer(hosts[0], hosts[1], 0.0, nbytes)
+    t2 = net.transfer(hosts[2], hosts[3], 0.0, nbytes)
+    assert t2 == pytest.approx(t1)  # switched network: no shared bottleneck
+
+
+def test_iperf_measures_effective_bandwidth():
+    net, (a, b) = make_net()
+    result = run_iperf(net, a, b, nbytes=1 << 30)
+    assert result.bandwidth == pytest.approx(GIGABIT_ETHERNET.effective_bandwidth, rel=0.01)
+    # Paper: ~85% of the theoretical 125 MB/s.
+    assert result.efficiency(GIGABIT_ETHERNET.bandwidth) == pytest.approx(0.85, abs=0.02)
+
+
+def test_min_frame_for_tiny_messages():
+    assert transfer_duration(GIGABIT_ETHERNET, 1) == transfer_duration(GIGABIT_ETHERNET, 64)
+
+
+def test_negative_size_rejected():
+    with pytest.raises(ValueError):
+        transfer_duration(GIGABIT_ETHERNET, -1)
+
+
+def test_multi_client_cluster_builder():
+    cluster = make_multi_client_gpu_server(4)
+    assert len(cluster.extra_clients) == 3
+    assert len(cluster.servers) == 1
+    assert len(cluster.hosts) == 5
+    assert cluster.servers[0].nic is not None

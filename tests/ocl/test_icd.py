@@ -1,0 +1,114 @@
+"""ICD loader tests: native and dOpenCL implementations side by side.
+
+This is the paper's Section III-B scenario: "an OpenCL application can
+use dOpenCL in combination with other OpenCL implementations which give
+access to the client's devices."
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.client.api import DOpenCLAPI
+from repro.core.client.driver import DOpenCLDriver
+from repro.hw.cluster import make_desktop_and_gpu_server
+from repro.ocl import (
+    CL_DEVICE_TYPE_ALL,
+    CL_DEVICE_TYPE_GPU,
+    CL_MEM_COPY_HOST_PTR,
+    CL_MEM_READ_WRITE,
+    CLError,
+    ICDLoader,
+    NativeAPI,
+)
+from repro.testbed import deploy_dopencl
+
+SCALE = """
+__kernel void scale(__global float *x, const float f, const int n) {
+    int i = (int)get_global_id(0);
+    if (i < n) x[i] = x[i] * f;
+}
+"""
+
+
+@pytest.fixture
+def icd():
+    """Desktop with its local GPU (native) + remote GPU server (dOpenCL),
+    both behind one ICD loader sharing one clock."""
+    cluster = make_desktop_and_gpu_server()
+    deployment = deploy_dopencl(cluster)
+    dcl_api = deployment.api
+    native = NativeAPI(cluster.client, clock=dcl_api.clock)
+    return ICDLoader([native, dcl_api]), native, dcl_api
+
+
+def test_two_platforms_visible(icd):
+    loader, native, dcl = icd
+    platforms = loader.clGetPlatformIDs()
+    names = [p.name for p in platforms]
+    assert "repro-ocl" in names
+    assert "dOpenCL" in names
+
+
+def test_devices_routed_per_platform(icd):
+    loader, native, dcl = icd
+    local_platform, dcl_platform = loader.clGetPlatformIDs()
+    local_gpus = loader.clGetDeviceIDs(local_platform, CL_DEVICE_TYPE_GPU)
+    remote_gpus = loader.clGetDeviceIDs(dcl_platform, CL_DEVICE_TYPE_GPU)
+    assert len(local_gpus) == 1  # the desktop's NVS 3100M
+    assert len(remote_gpus) == 4  # the Tesla S1070 over the network
+    assert "NVS" in loader.clGetDeviceInfo(local_gpus[0], "NAME")
+    assert "Tesla" in loader.clGetDeviceInfo(remote_gpus[0], "NAME")
+
+
+def run_scale(loader, device, n=128):
+    ctx = loader.clCreateContext([device])
+    queue = loader.clCreateCommandQueue(ctx, device)
+    x = np.ones(n, dtype=np.float32)
+    buf = loader.clCreateBuffer(ctx, CL_MEM_READ_WRITE | CL_MEM_COPY_HOST_PTR, x.nbytes, x)
+    program = loader.clCreateProgramWithSource(ctx, SCALE)
+    loader.clBuildProgram(program)
+    kernel = loader.clCreateKernel(program, "scale")
+    loader.clSetKernelArg(kernel, 0, buf)
+    loader.clSetKernelArg(kernel, 1, np.float32(3.0))
+    loader.clSetKernelArg(kernel, 2, n)
+    loader.clEnqueueNDRangeKernel(queue, kernel, (n,))
+    loader.clFinish(queue)
+    data, _ = loader.clEnqueueReadBuffer(queue, buf)
+    return data.view(np.float32)
+
+
+def test_same_app_runs_on_both_providers(icd):
+    loader, native, dcl = icd
+    local_platform, dcl_platform = loader.clGetPlatformIDs()
+    local_dev = loader.clGetDeviceIDs(local_platform, CL_DEVICE_TYPE_GPU)[0]
+    remote_dev = loader.clGetDeviceIDs(dcl_platform, CL_DEVICE_TYPE_GPU)[0]
+    np.testing.assert_allclose(run_scale(loader, local_dev), 3.0)
+    np.testing.assert_allclose(run_scale(loader, remote_dev), 3.0)
+
+
+def test_mixed_provider_context_rejected(icd):
+    loader, native, dcl = icd
+    local_platform, dcl_platform = loader.clGetPlatformIDs()
+    local_dev = loader.clGetDeviceIDs(local_platform, CL_DEVICE_TYPE_ALL)[0]
+    remote_dev = loader.clGetDeviceIDs(dcl_platform, CL_DEVICE_TYPE_ALL)[0]
+    with pytest.raises(CLError):
+        loader.clCreateContext([local_dev, remote_dev])
+
+
+def test_providers_must_share_clock():
+    cluster = make_desktop_and_gpu_server()
+    deployment = deploy_dopencl(cluster)
+    native = NativeAPI(cluster.client)  # its own clock
+    with pytest.raises(CLError):
+        ICDLoader([native, deployment.api])
+
+
+def test_empty_provider_list_rejected():
+    with pytest.raises(CLError):
+        ICDLoader([])
+
+
+def test_unroutable_object_rejected(icd):
+    loader, _, _ = icd
+    with pytest.raises(CLError):
+        loader.clGetDeviceInfo(object(), "NAME")

@@ -1,0 +1,125 @@
+"""Command-queue ordering semantics: in-order, out-of-order, wait lists."""
+
+import numpy as np
+import pytest
+
+from repro.hw import GPU_SERVER, Host
+from repro.ocl import (
+    CL_DEVICE_TYPE_GPU,
+    CL_MEM_READ_WRITE,
+    CLError,
+    ErrorCode,
+    NativeAPI,
+)
+from repro.ocl.constants import (
+    CL_QUEUE_OUT_OF_ORDER_EXEC_MODE_ENABLE,
+    CL_QUEUE_PROFILING_ENABLE,
+)
+
+
+@pytest.fixture
+def api():
+    return NativeAPI(Host(GPU_SERVER))
+
+
+def _setup(api, properties=0):
+    platform = api.clGetPlatformIDs()[0]
+    dev = api.clGetDeviceIDs(platform, CL_DEVICE_TYPE_GPU)[0]
+    ctx = api.clCreateContext([dev])
+    queue = api.clCreateCommandQueue(ctx, dev, properties)
+    buf = api.clCreateBuffer(ctx, CL_MEM_READ_WRITE, 10 << 20)
+    return ctx, queue, buf
+
+
+def test_in_order_queue_chains_implicitly(api):
+    _, queue, buf = _setup(api)
+    data = np.zeros(10 << 20, dtype=np.uint8)
+    events = [api.clEnqueueWriteBuffer(queue, buf, False, 0, data) for _ in range(3)]
+    api.clFinish(queue)
+    for prev, cur in zip(events, events[1:]):
+        assert prev.end <= cur.start
+
+
+def test_out_of_order_queue_allows_overlap_on_distinct_resources(api):
+    """Out-of-order: no implicit chaining; commands on different resources
+    (PCIe write vs device kernel) may overlap."""
+    ctx, queue, buf = _setup(api, CL_QUEUE_OUT_OF_ORDER_EXEC_MODE_ENABLE)
+    program = api.clCreateProgramWithSource(
+        ctx,
+        """
+        __kernel void burn(__global float *x) {
+            int i = (int)get_global_id(0);
+            float acc = 0.0f;
+            for (int k = 0; k < 200; k++) acc += (float)k;
+            x[i] = acc;
+        }
+        """,
+    )
+    api.clBuildProgram(program)
+    kernel = api.clCreateKernel(program, "burn")
+    fbuf = api.clCreateBuffer(ctx, CL_MEM_READ_WRITE, 4096 * 4)
+    api.clSetKernelArg(kernel, 0, fbuf)
+    e_kernel = api.clEnqueueNDRangeKernel(queue, kernel, (4096,))
+    data = np.zeros(10 << 20, dtype=np.uint8)
+    e_write = api.clEnqueueWriteBuffer(queue, buf, False, 0, data)
+    # The write does not wait for the kernel (no implicit order).
+    assert e_write.start < e_kernel.end
+
+
+def test_explicit_wait_list_in_out_of_order_queue(api):
+    _, queue, buf = _setup(api, CL_QUEUE_OUT_OF_ORDER_EXEC_MODE_ENABLE)
+    data = np.zeros(1 << 20, dtype=np.uint8)
+    e1 = api.clEnqueueWriteBuffer(queue, buf, False, 0, data)
+    e2 = api.clEnqueueWriteBuffer(queue, buf, False, 0, data, wait_for=[e1])
+    api.clFinish(queue)
+    assert e2.start >= e1.end
+
+
+def test_marker_and_barrier(api):
+    _, queue, buf = _setup(api)
+    data = np.zeros(1 << 20, dtype=np.uint8)
+    e1 = api.clEnqueueWriteBuffer(queue, buf, False, 0, data)
+    marker = queue.enqueue_marker(api.now)
+    barrier = queue.enqueue_barrier(api.now)
+    assert marker.resolved and barrier.resolved
+    assert marker.start >= e1.end  # in-order marker waits for predecessors
+
+
+def test_invalid_queue_properties(api):
+    platform = api.clGetPlatformIDs()[0]
+    dev = api.clGetDeviceIDs(platform, CL_DEVICE_TYPE_GPU)[0]
+    ctx = api.clCreateContext([dev])
+    with pytest.raises(CLError) as err:
+        api.clCreateCommandQueue(ctx, dev, 1 << 7)
+    assert err.value.code == ErrorCode.CL_INVALID_QUEUE_PROPERTIES
+
+
+def test_profiling_queue_property_accepted(api):
+    platform = api.clGetPlatformIDs()[0]
+    dev = api.clGetDeviceIDs(platform, CL_DEVICE_TYPE_GPU)[0]
+    ctx = api.clCreateContext([dev])
+    queue = api.clCreateCommandQueue(ctx, dev, CL_QUEUE_PROFILING_ENABLE)
+    assert queue.in_order
+
+
+def test_wait_list_across_queues(api):
+    platform = api.clGetPlatformIDs()[0]
+    devs = api.clGetDeviceIDs(platform, CL_DEVICE_TYPE_GPU)
+    ctx = api.clCreateContext(devs[:2])
+    q0 = api.clCreateCommandQueue(ctx, devs[0])
+    q1 = api.clCreateCommandQueue(ctx, devs[1])
+    buf = api.clCreateBuffer(ctx, CL_MEM_READ_WRITE, 1 << 20)
+    data = np.zeros(1 << 20, dtype=np.uint8)
+    e0 = api.clEnqueueWriteBuffer(q0, buf, False, 0, data)
+    e1 = api.clEnqueueWriteBuffer(q1, buf, False, 0, data, wait_for=[e0])
+    api.clFinish(q1)
+    assert e1.start >= e0.end
+
+
+def test_bogus_wait_list_entry_rejected(api):
+    _, queue, buf = _setup(api)
+    with pytest.raises(CLError) as err:
+        api.clEnqueueWriteBuffer(
+            queue, buf, False, 0, np.zeros(16, dtype=np.uint8), wait_for=["nope"]
+        )
+    assert err.value.code == ErrorCode.CL_INVALID_EVENT_WAIT_LIST

@@ -1,0 +1,56 @@
+import pytest
+
+from repro.sim import VirtualClock
+from repro.sim.errors import ClockError
+
+
+def test_clock_starts_at_zero():
+    assert VirtualClock().now == 0.0
+
+
+def test_clock_custom_start():
+    assert VirtualClock(5.0).now == 5.0
+
+
+def test_negative_start_rejected():
+    with pytest.raises(ClockError):
+        VirtualClock(-1.0)
+
+
+def test_advance_by():
+    c = VirtualClock()
+    assert c.advance_by(1.5) == 1.5
+    assert c.advance_by(0.5) == 2.0
+    assert c.now == 2.0
+
+
+def test_advance_by_zero_is_noop():
+    c = VirtualClock(3.0)
+    c.advance_by(0.0)
+    assert c.now == 3.0
+
+
+def test_advance_by_negative_rejected():
+    c = VirtualClock()
+    with pytest.raises(ClockError):
+        c.advance_by(-0.1)
+
+
+def test_advance_to_forward():
+    c = VirtualClock(1.0)
+    assert c.advance_to(4.0) == 4.0
+
+
+def test_advance_to_past_is_noop():
+    c = VirtualClock(5.0)
+    assert c.advance_to(2.0) == 5.0
+    assert c.now == 5.0
+
+
+def test_copy_is_independent():
+    a = VirtualClock(1.0, name="a")
+    b = a.copy()
+    b.advance_by(1.0)
+    assert a.now == 1.0
+    assert b.now == 2.0
+    assert b.name == "a"

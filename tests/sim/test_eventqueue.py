@@ -1,0 +1,34 @@
+from repro.sim import EventQueue
+
+
+def test_orders_by_time():
+    q = EventQueue()
+    q.push(3.0, "c")
+    q.push(1.0, "a")
+    q.push(2.0, "b")
+    assert [q.pop()[1] for _ in range(3)] == ["a", "b", "c"]
+
+
+def test_stable_for_simultaneous_events():
+    q = EventQueue()
+    for i in range(10):
+        q.push(1.0, i)
+    assert [q.pop()[1] for _ in range(10)] == list(range(10))
+
+
+def test_peek_and_len():
+    q = EventQueue()
+    assert q.peek_time() is None
+    assert not q
+    q.push(5.0, "x")
+    assert q.peek_time() == 5.0
+    assert len(q) == 1
+
+
+def test_drain_until():
+    q = EventQueue()
+    for t in (0.5, 1.0, 1.5, 2.0):
+        q.push(t, t)
+    drained = q.drain_until(1.5)
+    assert [p for _, p in drained] == [0.5, 1.0, 1.5]
+    assert len(q) == 1

@@ -1,0 +1,232 @@
+import pytest
+
+from repro.sim import Channel, ChannelClosed, Environment
+from repro.sim.errors import DeadlockError, ProcessKilled, SimulationError
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    log = []
+
+    def proc():
+        yield env.timeout(1.5)
+        log.append(env.now)
+        yield env.timeout(0.5)
+        log.append(env.now)
+
+    p = env.process(proc())
+    env.run(until=p)
+    assert log == [1.5, 2.0]
+
+
+def test_process_return_value():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1.0)
+        return 42
+
+    assert env.run(until=env.process(proc())) == 42
+
+
+def test_join_another_process():
+    env = Environment()
+
+    def worker():
+        yield env.timeout(2.0)
+        return "done"
+
+    def boss():
+        w = env.process(worker())
+        result = yield w
+        return (env.now, result)
+
+    assert env.run(until=env.process(boss())) == (2.0, "done")
+
+
+def test_join_already_finished_process():
+    env = Environment()
+
+    def worker():
+        yield env.timeout(1.0)
+        return 7
+
+    def boss(w):
+        yield env.timeout(5.0)
+        v = yield w  # worker long done
+        return (env.now, v)
+
+    w = env.process(worker())
+    assert env.run(until=env.process(boss(w))) == (5.0, 7)
+
+
+def test_two_processes_interleave():
+    env = Environment()
+    log = []
+
+    def p(name, dt, n):
+        for _ in range(n):
+            yield env.timeout(dt)
+            log.append((env.now, name))
+
+    a = env.process(p("a", 1.0, 3))
+    b = env.process(p("b", 1.5, 2))
+    env.run(until=env.all_of([a, b]))
+    # At t=3.0 both fire; b scheduled its 3.0 timeout at t=1.5 (before a did
+    # at t=2.0), so b's event was enqueued first and fires first.
+    assert log == [(1.0, "a"), (1.5, "b"), (2.0, "a"), (3.0, "b"), (3.0, "a")]
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1.0)
+
+
+def test_yield_non_event_raises():
+    env = Environment()
+
+    def bad():
+        yield 17
+
+    p = env.process(bad())
+    with pytest.raises(SimulationError):
+        env.run(until=p)
+
+
+def test_process_failure_propagates_to_joiner():
+    env = Environment()
+
+    def worker():
+        yield env.timeout(1.0)
+        raise ValueError("boom")
+
+    def boss():
+        yield env.process(worker())
+
+    with pytest.raises(ValueError, match="boom"):
+        env.run(until=env.process(boss()))
+
+
+def test_interrupt():
+    env = Environment()
+    log = []
+
+    def sleeper():
+        try:
+            yield env.timeout(100.0)
+        except ProcessKilled:
+            log.append(env.now)
+
+    def killer(victim):
+        yield env.timeout(3.0)
+        victim.interrupt("enough")
+
+    v = env.process(sleeper())
+    env.process(killer(v))
+    env.run(until=v)
+    assert log == [3.0]
+
+
+def test_any_of():
+    env = Environment()
+
+    def fast():
+        yield env.timeout(1.0)
+        return "fast"
+
+    def slow():
+        yield env.timeout(9.0)
+        return "slow"
+
+    def waiter():
+        got = yield env.any_of([env.process(fast()), env.process(slow())])
+        return (env.now, got)
+
+    t, got = env.run(until=env.process(waiter()))
+    assert t == 1.0
+    assert got == ["fast"]
+
+
+def test_channel_put_get():
+    env = Environment()
+    ch = Channel(env)
+    log = []
+
+    def producer():
+        for i in range(3):
+            yield env.timeout(1.0)
+            yield ch.put(i)
+
+    def consumer():
+        for _ in range(3):
+            item = yield ch.get()
+            log.append((env.now, item))
+
+    env.process(producer())
+    c = env.process(consumer())
+    env.run(until=c)
+    assert log == [(1.0, 0), (2.0, 1), (3.0, 2)]
+
+
+def test_channel_delay_models_latency():
+    env = Environment()
+    ch = Channel(env)
+
+    def producer():
+        yield ch.put("msg", delay=2.5)
+
+    def consumer():
+        item = yield ch.get()
+        return (env.now, item)
+
+    env.process(producer())
+    assert env.run(until=env.process(consumer())) == (2.5, "msg")
+
+
+def test_channel_close_fails_getters():
+    env = Environment()
+    ch = Channel(env)
+
+    def consumer():
+        try:
+            yield ch.get()
+        except ChannelClosed:
+            return "closed"
+
+    def closer():
+        yield env.timeout(1.0)
+        ch.close()
+
+    c = env.process(consumer())
+    env.process(closer())
+    assert env.run(until=c) == "closed"
+
+
+def test_deadlock_detection():
+    env = Environment()
+    ch = Channel(env)
+
+    def starved():
+        yield ch.get()
+
+    with pytest.raises(DeadlockError):
+        env.run(until=env.process(starved()))
+
+
+def test_deterministic_ordering_same_time():
+    results = []
+    for _ in range(3):
+        env = Environment()
+        log = []
+
+        def p(name):
+            yield env.timeout(1.0)
+            log.append(name)
+
+        for name in "abcde":
+            env.process(p(name))
+        env.run()
+        results.append(tuple(log))
+    assert len(set(results)) == 1
+    assert results[0] == tuple("abcde")

@@ -1,0 +1,164 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Interval, Timeline
+from repro.sim.errors import TimelineError
+
+
+def test_allocate_on_empty():
+    tl = Timeline("dev")
+    iv = tl.allocate(ready=1.0, duration=2.0)
+    assert iv.start == 1.0
+    assert iv.end == 3.0
+    assert tl.busy_until == 3.0
+
+
+def test_allocate_back_to_back():
+    tl = Timeline()
+    a = tl.allocate(0.0, 1.0)
+    b = tl.allocate(0.0, 1.0)
+    assert a.end <= b.start
+    assert b.start == 1.0
+
+
+def test_first_fit_fills_earlier_gap():
+    tl = Timeline()
+    tl.reserve(10.0, 20.0)
+    iv = tl.allocate(ready=0.0, duration=5.0)
+    # The gap [0, 10) fits a 5-second job, even though busy_until is 20.
+    assert iv.start == 0.0
+    assert iv.end == 5.0
+
+
+def test_gap_too_small_skipped():
+    tl = Timeline()
+    tl.reserve(2.0, 10.0)
+    iv = tl.allocate(ready=0.0, duration=5.0)
+    assert iv.start == 10.0
+
+
+def test_ready_inside_existing_reservation():
+    tl = Timeline()
+    tl.reserve(0.0, 4.0)
+    iv = tl.allocate(ready=2.0, duration=1.0)
+    assert iv.start == 4.0
+
+
+def test_zero_duration_not_recorded():
+    tl = Timeline()
+    iv = tl.allocate(0.0, 0.0)
+    assert iv.duration == 0.0
+    assert len(tl) == 0
+
+
+def test_zero_duration_positioned_after_busy():
+    tl = Timeline()
+    tl.reserve(0.0, 3.0)
+    iv = tl.allocate(1.0, 0.0)
+    assert iv.start == 3.0
+
+
+def test_reserve_conflict_raises():
+    tl = Timeline()
+    tl.reserve(0.0, 5.0)
+    with pytest.raises(TimelineError):
+        tl.reserve(4.0, 6.0)
+    with pytest.raises(TimelineError):
+        tl.reserve(-1.0, 1.0)
+
+
+def test_reserve_backwards_raises():
+    tl = Timeline()
+    with pytest.raises(TimelineError):
+        tl.reserve(5.0, 4.0)
+
+
+def test_negative_duration_raises():
+    tl = Timeline()
+    with pytest.raises(TimelineError):
+        tl.allocate(0.0, -1.0)
+
+
+def test_busy_time_and_utilization():
+    tl = Timeline()
+    tl.reserve(0.0, 2.0)
+    tl.reserve(4.0, 6.0)
+    assert tl.busy_time() == pytest.approx(4.0)
+    assert tl.busy_time(1.0, 5.0) == pytest.approx(2.0)
+    assert tl.utilization(0.0, 8.0) == pytest.approx(0.5)
+    assert tl.utilization(5.0, 5.0) == 0.0
+
+
+def test_out_of_order_clients_share_fairly():
+    # Client A (simulated first) books three 1s jobs from t=0;
+    # client B (simulated later) also wants to start at t=0.
+    tl = Timeline()
+    a1 = tl.allocate(0.0, 1.0, "A")
+    a2 = tl.allocate(a1.end, 1.0, "A")
+    a3 = tl.allocate(a2.end, 1.0, "A")
+    b1 = tl.allocate(0.0, 1.0, "B")
+    # B queues after A's existing bookings (FCFS by arrival).
+    assert b1.start == a3.end
+
+
+def test_clear():
+    tl = Timeline()
+    tl.allocate(0.0, 1.0)
+    tl.clear()
+    assert len(tl) == 0
+    assert tl.busy_until == 0.0
+
+
+@given(
+    jobs=st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+            st.floats(min_value=0.001, max_value=10, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+@settings(max_examples=200, deadline=None)
+def test_allocations_never_overlap_and_respect_ready(jobs):
+    tl = Timeline()
+    got = []
+    for ready, dur in jobs:
+        iv = tl.allocate(ready, dur)
+        assert iv.start >= ready
+        assert iv.duration == pytest.approx(dur)
+        got.append(iv)
+    ordered = sorted(got, key=lambda iv: iv.start)
+    for prev, cur in zip(ordered, ordered[1:]):
+        assert prev.end <= cur.start + 1e-12
+
+
+@given(
+    jobs=st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=50, allow_nan=False),
+            st.floats(min_value=0.1, max_value=5, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_first_fit_is_earliest_feasible(jobs):
+    """No feasible earlier start exists for any allocation at the time it
+    was made (checked by re-validating against the intervals present)."""
+    tl = Timeline()
+    for ready, dur in jobs:
+        existing = list(tl)
+        iv = tl.allocate(ready, dur)
+        # candidate earlier starts: ready itself and all existing interval ends
+        candidates = [ready] + [e.end for e in existing if e.end >= ready]
+        for cand in candidates:
+            if cand >= iv.start:
+                continue
+            probe = Interval(cand, cand + dur)
+            if not any(e.overlaps(probe) for e in existing):
+                raise AssertionError(
+                    f"allocate({ready},{dur}) -> {iv.start}, but {cand} was free"
+                )

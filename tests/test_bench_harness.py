@@ -1,0 +1,71 @@
+"""Benchmark harness tests: records, tables, persistence."""
+
+import json
+import os
+
+import pytest
+
+from repro.bench.harness import ExperimentRecord, format_table, save_record
+
+
+@pytest.fixture
+def record():
+    rec = ExperimentRecord(
+        experiment="figX",
+        title="demo",
+        columns=["n", "variant", "value"],
+        notes="a note",
+    )
+    rec.add(n=1, variant="a", value=0.5)
+    rec.add(n=1, variant="b", value=1.25)
+    rec.add(n=2, variant="a", value=0.25)
+    return rec
+
+
+def test_column_and_select(record):
+    assert record.column("n") == [1, 1, 2]
+    assert record.select(variant="a") == [
+        {"n": 1, "variant": "a", "value": 0.5},
+        {"n": 2, "variant": "a", "value": 0.25},
+    ]
+    assert record.select(n=1, variant="b")[0]["value"] == 1.25
+    assert record.select(variant="zzz") == []
+
+
+def test_format_table_contains_everything(record):
+    text = format_table(record)
+    assert "figX" in text and "demo" in text
+    assert "variant" in text
+    assert "1.2500" in text
+    assert "a note" in text
+    # aligned columns: header and rows have the same width structure
+    lines = text.splitlines()
+    assert len(lines) >= 6
+
+
+def test_format_handles_extreme_floats():
+    rec = ExperimentRecord("figY", "t", ["v"])
+    rec.add(v=1234567.0)
+    rec.add(v=0.0000001)
+    rec.add(v=0.0)
+    text = format_table(rec)
+    assert "1.23e+06" in text
+    assert "1e-07" in text
+
+
+def test_save_record_round_trips(tmp_path, record):
+    path = save_record(record, directory=str(tmp_path))
+    assert os.path.exists(path)
+    with open(os.path.join(tmp_path, "figX.json")) as fh:
+        data = json.load(fh)
+    assert data["experiment"] == "figX"
+    assert data["rows"] == record.rows
+    with open(path) as fh:
+        assert "demo" in fh.read()
+
+
+def test_empty_record_renders(tmp_path):
+    rec = ExperimentRecord("figZ", "empty", ["a", "b"])
+    text = format_table(rec)
+    assert "figZ" in text
+    save_record(rec, directory=str(tmp_path))

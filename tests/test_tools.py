@@ -1,0 +1,38 @@
+"""clinfo tool tests against all three API flavours."""
+
+import pytest
+
+from repro.hw import GPU_SERVER, Host
+from repro.hw.cluster import make_desktop_and_gpu_server, make_ib_cpu_cluster
+from repro.ocl import ICDLoader, NativeAPI
+from repro.testbed import deploy_dopencl
+from repro.tools import clinfo_text
+
+
+def test_clinfo_native():
+    text = clinfo_text(NativeAPI(Host(GPU_SERVER)))
+    assert "Number of platforms: 1" in text
+    assert "repro-ocl" in text
+    assert "Tesla" in text
+    assert text.count("Device #") == 5
+    assert "4096 MiB" in text or "4 GiB" in text
+
+
+def test_clinfo_dopencl_shows_servers():
+    deployment = deploy_dopencl(make_ib_cpu_cluster(3))
+    text = clinfo_text(deployment.api)
+    assert "dOpenCL" in text
+    assert text.count("Device #") == 3
+    assert "dOpenCL server:  node00" in text
+    assert "dOpenCL server:  node02" in text
+
+
+def test_clinfo_icd_combined():
+    cluster = make_desktop_and_gpu_server()
+    deployment = deploy_dopencl(cluster)
+    native = NativeAPI(cluster.client, clock=deployment.api.clock)
+    loader = ICDLoader([native, deployment.api])
+    text = clinfo_text(loader)
+    assert "Number of platforms: 2" in text
+    assert "NVS" in text  # the desktop's own GPU via the native platform
+    assert "Tesla" in text  # the remote GPUs via dOpenCL
