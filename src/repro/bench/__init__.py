@@ -1,4 +1,7 @@
-"""Benchmark harness: experiment runners for every figure in Section V."""
+"""Benchmark harness: experiment runners for every figure in Section V,
+plus the fast call-forwarding smoke target (import :mod:`repro.bench.smoke`
+directly — it pulls in the full app/deployment stack, so it is not
+re-exported here)."""
 
 from repro.bench.harness import ExperimentRecord, format_table, save_record
 

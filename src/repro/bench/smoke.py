@@ -1,0 +1,132 @@
+"""Fast perf smoke: round-trip and wire-byte counters on a mini Fig. 4.
+
+Runs the unmodified Mandelbrot application twice through dOpenCL — once
+with the asynchronous batched forwarding pipeline disabled
+(``batch_window=0``, every forwarded call a synchronous round trip) and
+once with the default send window — on a reduced workload that completes
+in tier-1 time budget, and records both drivers'
+:class:`~repro.net.gcf.NetStats` counters.
+
+The counters are the regression tripwire for the batching pipeline: the
+batched run must need **at least 40% fewer client<->daemon round trips**
+and no more wire bytes than the synchronous run, while producing the
+identical image.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional
+
+from repro.apps.mandelbrot import MandelbrotConfig, render_dopencl
+from repro.bench.harness import ExperimentRecord
+from repro.hw.cluster import make_ib_cpu_cluster
+from repro.testbed import deploy_dopencl
+
+#: Tiny stand-in for the Fig. 4 workload (same call pattern, ~1000x less
+#: compute) so the smoke target stays inside the tier-1 time budget.
+SMOKE_CONFIG = MandelbrotConfig(width=96, height=64, max_iter=24)
+SMOKE_DEVICES = 4
+
+#: Acceptance floor: batching must remove at least this fraction of the
+#: synchronous run's round trips.
+MIN_ROUND_TRIP_REDUCTION = 0.40
+
+
+def bench_smoke(n_devices: int = SMOKE_DEVICES, config: MandelbrotConfig = SMOKE_CONFIG) -> ExperimentRecord:
+    """Run the mini Fig. 4 workload sync vs batched; returns the record.
+
+    Row per variant: the client driver's round-trip/batch/byte counters
+    plus the virtual-time total, and (on the batched row) the reduction
+    ratios against the synchronous baseline.
+    """
+    record = ExperimentRecord(
+        experiment="bench_smoke",
+        title="Call-forwarding smoke: sync vs batched round trips (mini Fig. 4)",
+        columns=[
+            "variant",
+            "round_trips",
+            "batches",
+            "batched_commands",
+            "bytes_sent",
+            "bytes_received",
+            "total_time",
+            "rt_reduction",
+            "byte_reduction",
+        ],
+        notes=(
+            f"{config.width}x{config.height}/{config.max_iter}-iter Mandelbrot on "
+            f"{n_devices} servers; acceptance: >= {MIN_ROUND_TRIP_REDUCTION:.0%} fewer "
+            "round trips with batching, bytes no worse, image identical"
+        ),
+    )
+    images = {}
+    counters: Dict[str, Dict[str, int]] = {}
+    totals: Dict[str, float] = {}
+    for variant, batch_window in (("sync", 0), ("batched", None)):
+        kwargs = {} if batch_window is None else {"batch_window": batch_window}
+        deployment = deploy_dopencl(make_ib_cpu_cluster(n_devices), **kwargs)
+        result = render_dopencl(deployment.api, config)
+        images[variant] = result.image
+        counters[variant] = deployment.driver.stats.snapshot()
+        totals[variant] = result.timings.total
+    sync, batched = counters["sync"], counters["batched"]
+    for variant in ("sync", "batched"):
+        c = counters[variant]
+        record.add(
+            variant=variant,
+            round_trips=c["round_trips"],
+            batches=c["batches"],
+            batched_commands=c["batched_commands"],
+            bytes_sent=c["bytes_sent"],
+            bytes_received=c["bytes_received"],
+            total_time=totals[variant],
+            rt_reduction=(
+                1.0 - c["round_trips"] / sync["round_trips"] if variant == "batched" else 0.0
+            ),
+            byte_reduction=(
+                1.0 - c["bytes_sent"] / sync["bytes_sent"] if variant == "batched" else 0.0
+            ),
+        )
+    if not (images["sync"] == images["batched"]).all():
+        raise AssertionError("batched forwarding changed the rendered image")
+    return record
+
+
+def assert_smoke_record(record: ExperimentRecord) -> None:
+    """The smoke gate, shared by the tier-1 test and the benchmark
+    target so the two cannot drift: batching must cut >= 40% of the
+    round trips, genuinely coalesce commands, cost no extra wire bytes,
+    and cost no virtual time beyond the deferred launch hand-off."""
+    rows = {row["variant"]: row for row in record.rows}
+    sync, batched = rows["sync"], rows["batched"]
+    assert sync["batches"] == 0  # the baseline ran genuinely unbatched
+    assert batched["round_trips"] <= (1 - MIN_ROUND_TRIP_REDUCTION) * sync["round_trips"]
+    assert batched["batches"] > 0
+    assert batched["batched_commands"] / batched["batches"] > 2.0
+    assert batched["bytes_sent"] <= sync["bytes_sent"]
+    assert batched["bytes_received"] <= sync["bytes_received"]
+    assert batched["total_time"] <= sync["total_time"] * 1.001
+
+
+def save_smoke_json(record: ExperimentRecord, directory: Optional[str] = None) -> str:
+    """Write the headline counters to ``BENCH_smoke.json`` (repo root by
+    default) for the CI driver; returns the path."""
+    if directory is None:
+        directory = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", "..", ".."))
+    rows = {row["variant"]: row for row in record.rows}
+    payload = {
+        "experiment": record.experiment,
+        "round_trips_sync": rows["sync"]["round_trips"],
+        "round_trips_batched": rows["batched"]["round_trips"],
+        "rt_reduction": rows["batched"]["rt_reduction"],
+        "bytes_sent_sync": rows["sync"]["bytes_sent"],
+        "bytes_sent_batched": rows["batched"]["bytes_sent"],
+        "byte_reduction": rows["batched"]["byte_reduction"],
+        "min_rt_reduction": MIN_ROUND_TRIP_REDUCTION,
+    }
+    path = os.path.join(directory, "BENCH_smoke.json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    return path

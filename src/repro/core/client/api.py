@@ -9,6 +9,14 @@ distributed environment without any modifications").
 Paper-parity limitations are honoured: images, samplers, buffer mapping
 and event profiling raise ``CL_INVALID_OPERATION`` (Section III-B lists
 them as unimplemented in dOpenCL).
+
+Enqueue-class calls (``clEnqueueNDRangeKernel``, ``clSetKernelArg``,
+releases, event status updates) are forwarded *asynchronously*: they join
+the driver's per-connection send windows and are coalesced into one
+``CommandBatch`` round trip per daemon at the next synchronization point
+(``clFinish``, blocking transfers, ``clWaitForEvents``) — see
+:mod:`repro.core.client.driver`.  Daemon-side errors of deferred calls
+therefore surface at the sync point, as in real asynchronous OpenCL.
 """
 
 from __future__ import annotations
@@ -41,6 +49,7 @@ from repro.ocl.constants import (
     CL_MEM_COPY_HOST_PTR,
     CL_MEM_READ_WRITE,
     CL_MEM_USE_HOST_PTR,
+    CL_MEM_WRITE_ONLY,
     ErrorCode,
 )
 from repro.ocl.errors import CLError, require
@@ -122,7 +131,7 @@ class DOpenCLAPI:
     def clReleaseContext(self, context: ContextStub) -> None:
         context.release()
         if context.refcount <= 0:
-            self.driver.fanout(
+            self.driver.fanout_deferred(
                 context.unique_servers,
                 lambda conn: P.ReleaseContextRequest(context_id=context.id),
             )
@@ -151,15 +160,22 @@ class DOpenCLAPI:
     def clReleaseCommandQueue(self, queue: QueueStub) -> None:
         queue.release()
         if queue.refcount <= 0:
-            self.driver.fanout([queue.server], lambda c: P.ReleaseQueueRequest(queue_id=queue.id))
+            self.driver.defer(queue.server, P.ReleaseQueueRequest(queue_id=queue.id))
 
     def clFinish(self, queue: QueueStub) -> None:
+        """Synchronization point: every send window drains (commands on
+        other servers may gate this queue through event wait lists)
+        before the blocking finish round trip."""
         self._tick()
+        self.driver.flush_all()
         self.driver.fanout([queue.server], lambda c: P.FinishRequest(queue_id=queue.id))
 
     def clFlush(self, queue: QueueStub) -> None:
+        """Pushes the queue's send window out; the forwarded commands are
+        guaranteed submitted, but (unlike clFinish) nothing blocks."""
         self._tick()
-        self.driver.fanout([queue.server], lambda c: P.FlushRequest(queue_id=queue.id))
+        self.driver.defer(queue.server, P.FlushRequest(queue_id=queue.id))
+        self.driver.flush_connection(queue.server)
 
     # -- memory ---------------------------------------------------------------------
     def clCreateBuffer(
@@ -192,7 +208,7 @@ class DOpenCLAPI:
                 ErrorCode.CL_INVALID_HOST_PTR,
                 f"host data is {raw.size} bytes, buffer is {size}",
             )
-            buffer.data[:] = raw
+            buffer.write_host(0, raw)  # also clears the pristine flag
         # Remote copies are plain allocations: host-pointer flags stay
         # client-side (the data reaches servers through coherence uploads).
         remote_flags = buffer.flags & ~(CL_MEM_COPY_HOST_PTR | CL_MEM_USE_HOST_PTR)
@@ -210,7 +226,7 @@ class DOpenCLAPI:
     def clReleaseMemObject(self, buffer: BufferStub) -> None:
         buffer.release()
         if buffer.released:
-            self.driver.fanout(
+            self.driver.fanout_deferred(
                 buffer.context.unique_servers,
                 lambda conn: P.ReleaseBufferRequest(buffer_id=buffer.id),
             )
@@ -259,11 +275,9 @@ class DOpenCLAPI:
             nbytes=buffer.size,
             wait_event_ids=[e.id for e in (wait_for or [])],
         )
-        outcome, arrival = self.driver.gcf.send_bulk(
-            queue.server.daemon.gcf, init, buffer.data.tobytes(), buffer.size, self.clock.now
-        )
-        self.driver.check(outcome.response)
-        self.clock.advance_to(arrival)
+        # Ordered + zero-copy: flushes the window, then streams the
+        # client-side ndarray itself (no tobytes() materialisation).
+        self.driver.send_bulk(queue.server, init, buffer.data, buffer.size)
 
     def clEnqueueReadBuffer(
         self,
@@ -281,8 +295,16 @@ class DOpenCLAPI:
         modified owner)."""
         t = self._tick()
         self._check_queue_buffer(queue, buffer)
+        if blocking:
+            # A blocking read is a sync point even when the client's copy
+            # is valid and no transfer follows: the queue's window drains
+            # (costing no virtual time — flushes never block) and any
+            # stashed deferred-command failure surfaces here.
+            self.driver.flush_connection(queue.server)
         if wait_for:
             for ev in wait_for:
+                # ev.wait drains the relevant send windows (flush hook)
+                # before resolving.
                 self.clock.advance_to(ev.wait(self.clock.now))
         if nbytes is None:
             nbytes = buffer.size - offset
@@ -366,6 +388,7 @@ class DOpenCLAPI:
         # a program to a device (clCreateProgramWithSource), includes bulk
         # data transfers" (Section III-B).
         payload = source.encode("utf-8")
+        self.driver.flush_connections(context.unique_servers)
         t = self.clock.now
         latest = t
         for conn in context.unique_servers:
@@ -384,6 +407,7 @@ class DOpenCLAPI:
         self._tick()
         program.options = options
         outcomes = {}
+        self.driver.flush_connections(program.context.unique_servers)
         t = self.clock.now
         latest = t
         failures = []
@@ -417,7 +441,7 @@ class DOpenCLAPI:
     def clReleaseProgram(self, program: ProgramStub) -> None:
         program.release()
         if program.refcount <= 0:
-            self.driver.fanout(
+            self.driver.fanout_deferred(
                 program.context.unique_servers,
                 lambda conn: P.ReleaseProgramRequest(program_id=program.id),
             )
@@ -489,7 +513,9 @@ class DOpenCLAPI:
             msg_kwargs = dict(kind="value", value=wire_value)
         kernel.args[index] = value
         kernel.args_set[index] = True
-        self.driver.fanout(
+        # Per-command traffic: replicated through the send windows, one
+        # batched round trip per daemon at the next sync point.
+        self.driver.fanout_deferred(
             kernel.context.unique_servers,
             lambda conn: P.SetKernelArgRequest(kernel_id=kernel.id, index=index, **msg_kwargs),
         )
@@ -500,7 +526,7 @@ class DOpenCLAPI:
     def clReleaseKernel(self, kernel: KernelStub) -> None:
         kernel.release()
         if kernel.refcount <= 0:
-            self.driver.fanout(
+            self.driver.fanout_deferred(
                 kernel.context.unique_servers,
                 lambda conn: P.ReleaseKernelRequest(kernel_id=kernel.id),
             )
@@ -526,13 +552,24 @@ class DOpenCLAPI:
         server = queue.server
         # Memory consistency (Section III-D): "When a server is about to
         # execute a command, it requires a valid copy of each memory object
-        # that will be read" — the client runs the MSI plan per buffer arg.
+        # *that will be read*" — the client runs the MSI plan per buffer
+        # arg.  A still-pristine CL_MEM_WRITE_ONLY buffer skips the plan:
+        # kernels never read it and every copy still holds the initial
+        # zeros, so the upload would move no information.  Once anything
+        # has written the buffer (host data, a transfer, a kernel) the
+        # plan runs, preserving contents outside partial kernel writes.
         for buffer in kernel.buffer_args():
+            if buffer.flags & CL_MEM_WRITE_ONLY and buffer.pristine:
+                continue
             plan = buffer.coherence.acquire_read(server.name)
             self.driver.run_transfer_plan(buffer, plan, queue)
         event = self.driver.new_event_stub(queue.context, server.name, CL_COMMAND_NDRANGE_KERNEL)
-        outcome = self.driver.gcf.request(
-            server.daemon.gcf,
+        # Asynchronous forwarding: the launch joins the send window and
+        # rides the next CommandBatch; daemon-side launch errors surface
+        # at the next synchronization point, and the event stub resolves
+        # from the completion notification the flushed batch triggers.
+        self.driver.defer(
+            server,
             P.EnqueueKernelRequest(
                 queue_id=queue.id,
                 kernel_id=kernel.id,
@@ -542,16 +579,16 @@ class DOpenCLAPI:
                 global_offset=[int(v) for v in global_offset] if global_offset else [],
                 wait_event_ids=[e.id for e in (wait_for or [])],
             ),
-            self.clock.now,
         )
-        self.clock.advance_to(outcome.reply_arrival)
-        self.driver.check(outcome.response)
         # The kernel (may have) modified its writable buffer arguments:
         # that server's copies become Modified, everything else Invalid.
+        # (Client-side directory state — updated eagerly; the data effect
+        # happens when the window flushes, before anything re-reads it.)
         for index in kernel.writable_buffer_args:
             value = kernel.args[index]
             if isinstance(value, BufferStub):
                 value.coherence.mark_modified(server.name)
+                value.pristine = False
         return event
 
     # -- events -------------------------------------------------------------------------
@@ -560,6 +597,8 @@ class DOpenCLAPI:
         if not events:
             raise CLError(ErrorCode.CL_INVALID_VALUE, "empty event list")
         for ev in events:
+            # Sync point: each stub's flush hook drains the send windows
+            # it depends on, then the wait resolves from the batch reply.
             self.clock.advance_to(ev.wait(self.clock.now))
 
     def clGetEventInfo(self, event: EventStub, key: str = "STATUS") -> object:
@@ -592,7 +631,7 @@ class DOpenCLAPI:
             raise CLError(ErrorCode.CL_INVALID_EVENT, "not a user event")
         if event.resolved:
             raise CLError(ErrorCode.CL_INVALID_OPERATION, "user event status already set")
-        self.driver.fanout(
+        self.driver.fanout_deferred(
             event.context.unique_servers,
             lambda conn: P.SetUserEventStatusRequest(event_id=event.id, status=status),
         )

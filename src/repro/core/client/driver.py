@@ -9,14 +9,24 @@ device-manager assignment), the unique-ID allocator for stubs, the
 fan-out machinery for compound-stub call replication, the execution of
 coherence-protocol transfer plans, and the event-consistency protocol
 (original event + user-event replicas + completion notifications).
+
+It also owns the **asynchronous command-forwarding pipeline**: enqueue-
+class requests (kernel launches, kernel-arg updates, releases, event
+status traffic) are not round-tripped one by one but appended to a
+per-connection *send window* and coalesced into a single
+``CommandBatch`` per daemon.  Windows are flushed lazily — at
+synchronization points (``clFinish``, blocking transfers, event waits),
+before any synchronous request or bulk stream to the same daemon (which
+preserves per-daemon program order), or when the window reaches
+``batch_window`` commands.  Errors reported by deferred commands surface
+as ``CLError`` at the flush point, mirroring how real OpenCL surfaces
+asynchronous failures at synchronization.
 """
 
 from __future__ import annotations
 
 from itertools import count
-from typing import Dict, List, Optional, Sequence
-
-import numpy as np
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.client.connection import (
     DaemonDirectory,
@@ -43,9 +53,14 @@ from repro.hw.node import Host
 from repro.net.gcf import GCFProcess, RequestOutcome
 from repro.net.link import ConnectionRefused
 from repro.net.network import Network
+from repro.net.streams import as_uint8_array
 from repro.ocl.constants import CL_COMPLETE, CL_DEVICE_TYPE_ALL, ErrorCode
 from repro.ocl.errors import CLError
 from repro.sim.clock import VirtualClock
+
+#: Default send-window size: a window is force-flushed once it holds this
+#: many deferred commands (sync points flush earlier).
+DEFAULT_BATCH_WINDOW = 32
 
 
 class DOpenCLDriver:
@@ -62,6 +77,7 @@ class DOpenCLDriver:
         device_manager: Optional[object] = None,
         coherence_protocol: str = "msi",
         name: Optional[str] = None,
+        batch_window: Optional[int] = DEFAULT_BATCH_WINDOW,
     ) -> None:
         self.host = host
         self.network = network
@@ -73,6 +89,15 @@ class DOpenCLDriver:
         self.devmgr_config_text = devmgr_config_text
         self.device_manager = device_manager
         self.coherence_protocol = coherence_protocol
+        #: Send-window size; 0/None disables batching (every call becomes
+        #: a synchronous round trip, the pre-pipeline behaviour).
+        self.batch_window = int(batch_window or 0)
+        self._pending: Dict[str, List[P.Request]] = {}
+        # First unreported daemon-side failure of a deferred command:
+        # (message, response, reply_arrival).  Stashed when a flush runs
+        # in a context that must not raise (e.g. inside a notification
+        # handler) and surfaced at the next client-initiated sync point.
+        self._deferred_failure: Optional[Tuple[P.Request, object, float]] = None
         self._connections: Dict[str, ServerConnection] = {}
         self._ids = count(1)
         self._events: Dict[int, EventStub] = {}
@@ -102,6 +127,181 @@ class DOpenCLDriver:
         if error:
             raise CLError(ErrorCode(error), getattr(response, "detail", ""))
         return response
+
+    @property
+    def batching_enabled(self) -> bool:
+        return self.batch_window > 0
+
+    @property
+    def stats(self):
+        """The client process's round-trip / wire-byte counters."""
+        return self.gcf.stats
+
+    # ------------------------------------------------------------------
+    # asynchronous command forwarding (send windows + lazy flush)
+    # ------------------------------------------------------------------
+    def defer(self, conn: ServerConnection, msg: P.Request) -> None:
+        """Append an enqueue-class command to ``conn``'s send window.
+
+        With batching disabled this degenerates to an immediate
+        synchronous round trip (identical outcome, eager error check)."""
+        if not conn.connected:
+            raise CLError(
+                ErrorCode.CL_INVALID_SERVER_WWU,
+                f"server {conn.name!r} was disconnected; objects on it are gone",
+            )
+        if type(msg) not in P.DEFERRABLE:
+            raise CLError(
+                ErrorCode.CL_INVALID_OPERATION,
+                f"{type(msg).__name__} cannot be forwarded asynchronously",
+            )
+        if not self.batching_enabled:
+            outcome = self.gcf.request(conn.daemon.gcf, msg, self.clock.now)
+            self.clock.advance_to(outcome.reply_arrival)
+            self.check(outcome.response)
+            return
+        window = self._pending.setdefault(conn.name, [])
+        window.append(msg)
+        if len(window) >= self.batch_window:
+            self.flush_connection(conn)
+
+    def _hoist_replica_creates(self) -> None:
+        """Push every windowed user-event replica creation out first.
+
+        Commands in a batch about to be dispatched may complete events
+        whose replicas (``CreateUserEventRequest``) still sit in send
+        windows; the completion — relayed by the client or broadcast
+        daemon-to-daemon (Section III-F) — must find those replicas
+        registered.  Hoisting a creation earlier is always safe: nothing
+        that precedes it in its own window can refer to the fresh event
+        ID.  All hoist batches go out at the same client time (the
+        asynchronous GCF multicast pattern)."""
+        hoists = []
+        for name, window in list(self._pending.items()):
+            creates = [m for m in window if isinstance(m, P.CreateUserEventRequest)]
+            if not creates:
+                continue
+            conn = self._connections.get(name)
+            if conn is None or not conn.connected:
+                continue
+            self._pending[name] = [
+                m for m in window if not isinstance(m, P.CreateUserEventRequest)
+            ]
+            hoists.append((conn, creates))
+        if not hoists:
+            return
+        t = self.clock.now
+        for conn, creates in hoists:
+            outcome = self.gcf.request_batch(conn.daemon.gcf, creates, t)
+            self._record_batch_failures(creates, outcome)
+
+    def _record_batch_failures(self, window: Sequence[P.Request], outcome) -> None:
+        """Stash the first daemon-reported failure of a dispatched batch
+        (checked per batch, as each returns, so a later transport error
+        cannot discard an earlier batch's deferred error)."""
+        if self._deferred_failure is not None:
+            return
+        for msg, response in zip(window, outcome.responses):
+            if getattr(response, "error", 0):
+                self._deferred_failure = (msg, response, outcome.reply_arrival)
+                return
+
+    def _surface_deferred_failure(self) -> None:
+        """Raise the stashed deferred-command failure, if any — called at
+        client-initiated sync points only, never from inside a
+        daemon-to-client callback."""
+        if self._deferred_failure is None:
+            return
+        msg, response, reply_arrival = self._deferred_failure
+        self._deferred_failure = None
+        self.clock.advance_to(reply_arrival)  # the client learns here
+        raise CLError(
+            ErrorCode(response.error),
+            f"deferred {type(msg).__name__} failed: {getattr(response, 'detail', '')}",
+        )
+
+    def flush_connections(
+        self, conns: Sequence[ServerConnection], raise_errors: bool = True
+    ) -> None:
+        """Dispatch the send windows of ``conns`` — one CommandBatch per
+        daemon, all sent at the same client time — then settle every
+        deferred command from the batched replies.
+
+        The flush itself is *non-blocking* in virtual time ("the client
+        never waits for a communication operation to complete before it
+        proceeds", Section III-B): the client clock advances past the
+        hand-off to the NIC only.  Ordering with respect to subsequent
+        synchronous calls is still guaranteed — the daemon's CPU timeline
+        serialises the batch before anything sent after it — and the
+        synchronous call at the sync point (finish, wait, blocking
+        transfer) is what blocks.  Deferred daemon-side errors are raised
+        here when ``raise_errors`` (the client-initiated sync points);
+        flushes triggered from notification handlers pass ``False`` and
+        the failure surfaces at the next sync point instead."""
+        targets = [c for c in conns if self._pending.get(c.name)]
+        if targets:
+            self._hoist_replica_creates()
+            batches: List[Tuple[ServerConnection, List[P.Request]]] = []
+            for conn in targets:
+                window = self._pending.get(conn.name)
+                if not window:
+                    continue  # fully hoisted
+                # Swap the window out first: completion notifications
+                # fired while a batch is dispatched may defer/flush more
+                # commands.
+                self._pending[conn.name] = []
+                batches.append((conn, window))
+            t = self.clock.now
+            for conn, window in batches:
+                outcome = self.gcf.request_batch(conn.daemon.gcf, window, t)
+                self._record_batch_failures(window, outcome)
+        if raise_errors:
+            self._surface_deferred_failure()
+
+    def flush_connection(self, conn: ServerConnection, raise_errors: bool = True) -> None:
+        """Send ``conn``'s window as one CommandBatch (plus any replica
+        hoists it requires) and settle the deferred outcomes."""
+        self.flush_connections([conn], raise_errors=raise_errors)
+
+    def flush_all(self) -> None:
+        """Flush every connection's send window (full sync point)."""
+        self.flush_connections([c for c in self._connections.values() if c.connected])
+
+    def pending_commands(self, name: Optional[str] = None) -> int:
+        """Deferred commands currently windowed (for ``name``, or all)."""
+        if name is not None:
+            return len(self._pending.get(name, ()))
+        return sum(len(w) for w in self._pending.values())
+
+    def roundtrip(self, conn: ServerConnection, msg: P.Request) -> RequestOutcome:
+        """Synchronous request to ``conn`` with ordering preserved: the
+        send window is flushed first so the daemon observes every
+        previously issued command before this one."""
+        self.flush_connection(conn)
+        outcome = self.gcf.request(conn.daemon.gcf, msg, self.clock.now)
+        self.clock.advance_to(outcome.reply_arrival)
+        self.check(outcome.response)
+        return outcome
+
+    def send_bulk(self, conn: ServerConnection, init: P.Request, payload, nbytes: int):
+        """Ordered stream-based upload (flushes the window first)."""
+        self.flush_connection(conn)
+        outcome, arrival = self.gcf.send_bulk(
+            conn.daemon.gcf, init, payload, nbytes, self.clock.now
+        )
+        self.check(outcome.response)
+        self.clock.advance_to(arrival)
+        return outcome, arrival
+
+    def fetch_bulk(self, conn: ServerConnection, request: P.Request):
+        """Ordered stream-based download (flushes the window first)."""
+        self.flush_connection(conn)
+        response, payload, arrival = self.gcf.fetch_bulk(
+            conn.daemon.gcf, request, self.clock.now
+        )
+        self.check(response)
+        self.clock.advance_to(arrival)
+        return response, payload, arrival
 
     # ------------------------------------------------------------------
     # connection management (Section III-C + IV-B)
@@ -154,19 +354,18 @@ class DOpenCLDriver:
         conn = handle.connection
         if not conn.connected:
             raise CLError(ErrorCode.CL_INVALID_SERVER_WWU, f"{conn.name!r} already disconnected")
+        self.flush_connection(conn)  # drain the window before teardown
         t = self.gcf.disconnect(conn.daemon.gcf, self.clock.now)
         self.clock.advance_to(t)
         conn.connected = False
+        self._pending.pop(conn.name, None)
         for dev in conn.devices:
             dev.available = False
 
     def server_info(self, handle: ServerHandle, key: str) -> object:
         """``clGetServerInfoWWU``."""
-        outcome = self.gcf.request(
-            handle.connection.daemon.gcf, P.ServerInfoRequest(), self.clock.now
-        )
-        self.clock.advance_to(outcome.reply_arrival)
-        info = self.check(outcome.response).info
+        outcome = self.roundtrip(handle.connection, P.ServerInfoRequest())
+        info = outcome.response.info
         if key not in info:
             raise CLError(ErrorCode.CL_INVALID_VALUE, f"unknown server info key {key!r}")
         return info[key]
@@ -197,6 +396,7 @@ class DOpenCLDriver:
         """Return the lease when the application finishes (Section IV-C)."""
         if self.auth_id is None or self.device_manager is None:
             return
+        self.flush_all()
         outcome = self.gcf.request(
             self.device_manager.gcf, P.LeaseReleaseRequest(auth_id=self.auth_id), self.clock.now
         )
@@ -210,16 +410,19 @@ class DOpenCLDriver:
         """Send one request per server at the same client time and wait
         for all responses (GCF communicates asynchronously, Section
         III-B: "the client never waits for a communication operation to
-        complete before it proceeds")."""
-        t = self.clock.now
-        outcomes: Dict[str, RequestOutcome] = {}
-        latest = t
+        complete before it proceeds").  Each server's send window is
+        flushed first so the fanned-out call stays ordered."""
         for conn in servers:
             if not conn.connected:
                 raise CLError(
                     ErrorCode.CL_INVALID_SERVER_WWU,
                     f"server {conn.name!r} was disconnected; objects on it are gone",
                 )
+        self.flush_connections(servers)
+        t = self.clock.now
+        outcomes: Dict[str, RequestOutcome] = {}
+        latest = t
+        for conn in servers:
             outcome = self.gcf.request(conn.daemon.gcf, make_msg(conn), t)
             outcomes[conn.name] = outcome
             latest = max(latest, outcome.reply_arrival)
@@ -227,6 +430,13 @@ class DOpenCLDriver:
         for outcome in outcomes.values():
             self.check(outcome.response)
         return outcomes
+
+    def fanout_deferred(self, servers: Sequence[ServerConnection], make_msg) -> None:
+        """Replicate an enqueue-class command by appending it to every
+        target server's send window (no round trips here; outcomes settle
+        at the next flush)."""
+        for conn in servers:
+            self.defer(conn, make_msg(conn))
 
     # ------------------------------------------------------------------
     # event consistency (Section III-D)
@@ -248,20 +458,41 @@ class DOpenCLDriver:
             for conn in stub.context.unique_servers:
                 if conn.name == stub.owner_server or not conn.connected:
                     continue
+                # The replica's CreateUserEventRequest may still sit in
+                # this connection's send window — flush so it exists
+                # before its status update arrives.  No raising from
+                # inside a daemon->client callback: a deferred failure
+                # stashes and surfaces at the next client sync point.
+                self.flush_connection(conn, raise_errors=False)
                 self.gcf.request(
                     conn.daemon.gcf,
                     P.SetUserEventStatusRequest(event_id=msg.event_id, status=CL_COMPLETE),
-                    arrival,
+                    max(arrival, self.clock.now),
                 )
+
+    def flush_for_event(self, stub: EventStub) -> None:
+        """Push out whatever forwarding the event's resolution depends on
+        (the wait-side half of 'event stubs resolve from batch replies')."""
+        if stub.resolved:
+            return
+        if stub.owner_server is not None:
+            conn = self._connections.get(stub.owner_server)
+            if conn is not None and conn.connected:
+                self.flush_connection(conn)
+        if not stub.resolved:
+            # Cross-server wait chains: drain everything.
+            self.flush_all()
 
     def new_event_stub(self, context: ContextStub, owner_server: Optional[str], command_type: int) -> EventStub:
         """Create an event stub and its user-event replicas on every
-        non-owning server of the context."""
+        non-owning server of the context.  Replica creation is deferred
+        into the send windows (it is enqueue-class traffic)."""
         stub = EventStub(context, self.new_id(), owner_server, command_type)
+        stub.attach_flush_hook(self.flush_for_event)
         self._events[stub.id] = stub
         replicas = [c for c in context.unique_servers if c.name != owner_server and c.connected]
         if replicas:
-            self.fanout(
+            self.fanout_deferred(
                 replicas,
                 lambda conn: P.CreateUserEventRequest(event_id=stub.id, context_id=context.id),
             )
@@ -269,9 +500,10 @@ class DOpenCLDriver:
 
     def new_user_event_stub(self, context: ContextStub) -> UserEventStub:
         stub = UserEventStub(context, self.new_id())
+        stub.attach_flush_hook(self.flush_for_event)
         self._events[stub.id] = stub
         if context.unique_servers:
-            self.fanout(
+            self.fanout_deferred(
                 context.unique_servers,
                 lambda conn: P.CreateUserEventRequest(event_id=stub.id, context_id=context.id),
             )
@@ -289,18 +521,15 @@ class DOpenCLDriver:
         devices = context.server_devices[server_name]
         conn = self.connection(server_name)
         stub_id = self.new_id()
-        outcome = self.gcf.request(
-            conn.daemon.gcf,
+        self.roundtrip(
+            conn,
             P.CreateQueueRequest(
                 queue_id=stub_id,
                 context_id=context.id,
                 device_id=devices[0].remote_id,
                 properties=0,
             ),
-            self.clock.now,
         )
-        self.clock.advance_to(outcome.reply_arrival)
-        self.check(outcome.response)
         queue = QueueStub(context, stub_id, devices[0], 0)
         context._internal_queues[server_name] = queue
         return queue
@@ -331,6 +560,7 @@ class DOpenCLDriver:
         queue = self._queue_on(buffer, server_name, preferred)
         event_id = self.new_id()
         stub = EventStub(buffer.context, event_id, server_name, 0)
+        stub.attach_flush_hook(self.flush_for_event)
         self._events[event_id] = stub
         init = P.BufferDataUpload(
             buffer_id=buffer.id,
@@ -340,17 +570,15 @@ class DOpenCLDriver:
             nbytes=buffer.size,
             wait_event_ids=[],
         )
-        outcome, arrival = self.gcf.send_bulk(
-            conn.daemon.gcf, init, buffer.data.tobytes(), buffer.size, self.clock.now
-        )
-        self.check(outcome.response)
-        self.clock.advance_to(arrival)
+        # Zero-copy: the client copy streams out as the ndarray itself.
+        self.send_bulk(conn, init, buffer.data, buffer.size)
 
     def _download_from_server(self, buffer: BufferStub, server_name: str, preferred: Optional[QueueStub]) -> None:
         conn = self.connection(server_name)
         queue = self._queue_on(buffer, server_name, preferred)
         event_id = self.new_id()
         stub = EventStub(buffer.context, event_id, server_name, 0)
+        stub.attach_flush_hook(self.flush_for_event)
         self._events[event_id] = stub
         request = P.BufferDataDownload(
             buffer_id=buffer.id,
@@ -360,23 +588,23 @@ class DOpenCLDriver:
             nbytes=buffer.size,
             wait_event_ids=[],
         )
-        response, payload, arrival = self.gcf.fetch_bulk(conn.daemon.gcf, request, self.clock.now)
-        self.check(response)
-        buffer.data[:] = np.frombuffer(payload, dtype=np.uint8)
-        self.clock.advance_to(arrival)
+        _response, payload, _arrival = self.fetch_bulk(conn, request)
+        buffer.data[:] = as_uint8_array(payload)
 
     def _server_to_server(self, buffer: BufferStub, src_name: str, dst_name: str) -> None:
         """Section III-F: direct daemon-to-daemon synchronisation."""
         src = self.connection(src_name)
-        outcome = self.gcf.request(
-            src.daemon.gcf,
+        # The destination's window may hold commands that must precede the
+        # incoming copy (buffer-state order is per-daemon).
+        dst = self._connections.get(dst_name)
+        if dst is not None and dst.connected:
+            self.flush_connection(dst)
+        self.roundtrip(
+            src,
             P.BufferPeerTransferRequest(
                 buffer_id=buffer.id, peer_name=dst_name, nbytes=buffer.size
             ),
-            self.clock.now,
         )
-        self.clock.advance_to(outcome.reply_arrival)
-        self.check(outcome.response)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -143,6 +143,10 @@ class BufferStub:
         if directory_cls is None:
             raise CLError(ErrorCode.CL_INVALID_VALUE, f"unknown coherence protocol {protocol!r}")
         self.coherence = directory_cls(context.server_names)
+        #: True while every copy (client and daemons) still holds the
+        #: initial zeros — nothing has written the buffer anywhere, so no
+        #: data movement can be needed to validate a copy.
+        self.pristine = True
         self.refcount = 1
         self.released = False
 
@@ -154,6 +158,7 @@ class BufferStub:
                 ErrorCode.CL_INVALID_VALUE,
                 f"range [{offset}, {offset + raw.size}) outside buffer of {self.size} bytes",
             )
+        self.pristine = False
         self.data[offset : offset + raw.size] = raw
 
     def read_host(self, offset: int, nbytes: int) -> np.ndarray:
@@ -257,6 +262,11 @@ class EventStub:
     the context got a user-event replica with the same ID.  When the
     daemon's completion callback arrives, the client records the arrival
     time and replicates the status (Section III-D).
+
+    With asynchronous batched forwarding the command that produces this
+    event may still sit in a send window; the driver attaches a *flush
+    hook* so that waiting on the stub first pushes the window out and the
+    stub resolves from the batch reply's completion notification.
     """
 
     def __init__(self, context: ContextStub, stub_id: int, owner_server: Optional[str], command_type: int) -> None:
@@ -268,7 +278,13 @@ class EventStub:
         self.completion_arrival: Optional[float] = None
         #: Completion time on the owning server (from the notification).
         self.completed_at: Optional[float] = None
+        #: Driver-installed callable flushing the forwarding this event's
+        #: resolution depends on (see class docstring).
+        self._flush_hook = None
         self.refcount = 1
+
+    def attach_flush_hook(self, hook) -> None:
+        self._flush_hook = hook
 
     @property
     def resolved(self) -> bool:
@@ -283,6 +299,8 @@ class EventStub:
         self.completion_arrival = arrival
 
     def wait(self, t: float) -> float:
+        if not self.resolved and self._flush_hook is not None:
+            self._flush_hook(self)  # drain send windows; may resolve us
         if not self.resolved:
             raise CLError(
                 ErrorCode.CL_INVALID_EVENT_WAIT_LIST,

@@ -14,8 +14,14 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.net.messages import Notification, Request, Response, message_type
-
+from repro.net.messages import (
+    CommandBatch,
+    CommandBatchResponse,
+    Notification,
+    Request,
+    Response,
+    message_type,
+)
 
 # ----------------------------------------------------------------------
 # generic
@@ -312,3 +318,34 @@ class ClientLostNotification(Notification):
     its lease (abnormal termination, Section IV-C)."""
 
     auth_id: str
+
+
+# ----------------------------------------------------------------------
+# asynchronous batched call forwarding
+# ----------------------------------------------------------------------
+# The batch envelope itself lives in repro.net.messages (it is a GCF
+# transport concept, not a CL one); it is re-exported here because the
+# daemon registers its dispatch handler alongside the CL handlers.
+#
+# ``DEFERRABLE`` lists the enqueue-class request types the client driver
+# may hold in a per-connection send window and coalesce into one
+# CommandBatch per daemon: commands that are fire-and-forget from the
+# application's point of view (their only response is an Ack-style error
+# report, surfaced at the next synchronization point).  Requests that
+# return data the caller needs immediately (device lists, kernel
+# metadata, bulk init exchanges) must stay synchronous.
+DEFERRABLE = frozenset(
+    {
+        SetKernelArgRequest,
+        EnqueueKernelRequest,
+        CreateUserEventRequest,
+        SetUserEventStatusRequest,
+        FlushRequest,
+        ReleaseContextRequest,
+        ReleaseQueueRequest,
+        ReleaseBufferRequest,
+        ReleaseProgramRequest,
+        ReleaseKernelRequest,
+        ReleaseEventRequest,
+    }
+)

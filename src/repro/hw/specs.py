@@ -113,6 +113,10 @@ class HostSpec:
     ram: int = 16 * GB
     # Per-request daemon/CPU processing overhead (request decode + dispatch).
     request_overhead: float = 12e-6
+    # Per-sub-command dispatch cost inside a CommandBatch: the envelope is
+    # decoded once (charged as one request_overhead), each coalesced
+    # command then only pays this smaller decode+dispatch slice.
+    batch_command_overhead: float = 2e-6
 
     def __post_init__(self) -> None:
         if self.pcie is None:

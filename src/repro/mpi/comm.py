@@ -10,6 +10,7 @@ from repro.hw.node import Host
 from repro.net.codec import CodecError, encoded_size
 from repro.net.frames import transfer_duration
 from repro.net.network import Network
+from repro.net.streams import payload_nbytes as _raw_payload_nbytes
 from repro.sim.channel import Channel
 from repro.sim.process import Environment
 
@@ -25,11 +26,17 @@ class MPIError(RuntimeError):
 
 
 def payload_nbytes(obj: Any) -> int:
-    """Bytes on the wire for a message payload."""
-    if isinstance(obj, np.ndarray):
-        return int(obj.nbytes)
-    if isinstance(obj, (bytes, bytearray)):
-        return len(obj)
+    """Bytes on the wire for a message payload.
+
+    Raw buffers (ndarray/bytes) travel unenveloped, so they are charged
+    their raw length (via :func:`repro.net.streams.payload_nbytes`, the
+    bulk-stream sizing rule); everything else is charged its codec size
+    via :func:`repro.net.codec.encoded_size`, which computes the size
+    arithmetically — nothing is materialised regardless of payload size
+    (O(1) even for ndarray/bytes leaves nested inside containers).
+    """
+    if isinstance(obj, (np.ndarray, bytes, bytearray, memoryview)):
+        return _raw_payload_nbytes(obj)
     try:
         return encoded_size(obj)
     except CodecError:

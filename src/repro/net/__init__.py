@@ -21,19 +21,31 @@ The stack, bottom-up:
 from repro.net.codec import CodecError, decode, encode, encoded_size
 from repro.net.frames import transfer_duration
 from repro.net.link import NetworkError
-from repro.net.messages import Message, Notification, Request, Response, message_type
+from repro.net.messages import (
+    CommandBatch,
+    CommandBatchResponse,
+    Message,
+    Notification,
+    Request,
+    Response,
+    message_type,
+)
 from repro.net.network import Network
 from repro.net.nic import NIC
-from repro.net.gcf import GCFProcess, RequestOutcome
-from repro.net.streams import StreamResult
+from repro.net.gcf import BatchOutcome, GCFProcess, NetStats, RequestOutcome
+from repro.net.streams import StreamResult, as_byte_view, as_uint8_array, payload_nbytes
 from repro.net.iperf import IperfResult, run_iperf
 
 __all__ = [
+    "BatchOutcome",
     "CodecError",
+    "CommandBatch",
+    "CommandBatchResponse",
     "GCFProcess",
     "IperfResult",
     "Message",
     "NIC",
+    "NetStats",
     "Network",
     "NetworkError",
     "Notification",
@@ -41,10 +53,13 @@ __all__ = [
     "RequestOutcome",
     "Response",
     "StreamResult",
+    "as_byte_view",
+    "as_uint8_array",
     "decode",
     "encode",
     "encoded_size",
     "message_type",
+    "payload_nbytes",
     "run_iperf",
     "transfer_duration",
 ]

@@ -9,12 +9,24 @@ Supported value types: ``None``, ``bool``, ``int`` (64-bit signed),
 ``float`` (IEEE double), ``str``, ``bytes``, ``list``/``tuple`` (encoded
 identically), ``dict`` with ``str`` keys, and 1-D ``numpy.ndarray`` of a
 simple dtype.
+
+The codec is zero-copy where it matters:
+
+* :func:`encoded_size` computes the exact wire size *arithmetically*,
+  without encoding — O(1) for ``bytes`` and ``ndarray`` payloads, so
+  charging a message's network cost never materialises the message;
+* :func:`encode` appends ``bytes``/``ndarray`` payloads straight into the
+  output buffer through the buffer protocol (no intermediate ``bytes``
+  copy via ``tobytes()``);
+* :func:`decode` reconstructs arrays with a single ``np.frombuffer`` from
+  the wire buffer (one copy total, for ownership) and accepts ``bytes``,
+  ``bytearray`` or ``memoryview`` input.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Any, Tuple
+from typing import Any, Tuple, Union
 
 import numpy as np
 
@@ -29,6 +41,11 @@ _TAG_LIST = 0x07
 _TAG_DICT = 0x08
 _TAG_NDARRAY = 0x09
 
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
+
+Buffer = Union[bytes, bytearray, memoryview]
+
 
 class CodecError(ValueError):
     """Unencodable value or malformed wire data."""
@@ -42,8 +59,44 @@ def encode(value: Any) -> bytes:
 
 
 def encoded_size(value: Any) -> int:
-    """Size in bytes of ``encode(value)`` (by encoding it)."""
-    return len(encode(value))
+    """Exact size in bytes of ``encode(value)``, computed arithmetically.
+
+    Never materialises the encoding: O(1) for ``bytes``-like and
+    ``ndarray`` payloads, O(n) in the number of *elements* (not payload
+    bytes) for containers.  Raises :class:`CodecError` for exactly the
+    values :func:`encode` rejects, so it can be used as a cheap
+    validity pre-check.
+    """
+    if value is None or value is True or value is False:
+        return 1
+    if isinstance(value, (int, np.integer)):
+        if not _INT64_MIN <= int(value) <= _INT64_MAX:
+            raise CodecError(f"integer out of 64-bit range: {value}")
+        return 9
+    if isinstance(value, (float, np.floating)):
+        return 9
+    if isinstance(value, str):
+        return 5 + len(value.encode("utf-8"))
+    if isinstance(value, (bytes, bytearray)):
+        return 5 + len(value)
+    if isinstance(value, memoryview):
+        return 5 + value.nbytes
+    if isinstance(value, (list, tuple)):
+        return 5 + sum(encoded_size(item) for item in value)
+    if isinstance(value, dict):
+        total = 5
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise CodecError(f"dict keys must be str, got {type(key).__name__}")
+            total += encoded_size(key) + encoded_size(item)
+        return total
+    if isinstance(value, np.ndarray):
+        if value.ndim != 1:
+            raise CodecError(f"only 1-D arrays are encodable, got shape {value.shape}")
+        if value.dtype.hasobject:
+            raise CodecError("object-dtype arrays are not encodable")
+        return 1 + encoded_size(value.dtype.str) + 4 + value.nbytes
+    raise CodecError(f"cannot encode value of type {type(value).__name__}")
 
 
 def _encode_into(value: Any, out: bytearray) -> None:
@@ -68,10 +121,14 @@ def _encode_into(value: Any, out: bytearray) -> None:
         out += struct.pack("<I", len(data))
         out += data
     elif isinstance(value, (bytes, bytearray, memoryview)):
-        data = bytes(value)
+        # The buffer-protocol append below needs C-contiguity (plain
+        # .contiguous is also true for Fortran layouts).
+        if isinstance(value, memoryview) and not value.c_contiguous:
+            value = bytes(value)
+        nbytes = value.nbytes if isinstance(value, memoryview) else len(value)
         out.append(_TAG_BYTES)
-        out += struct.pack("<I", len(data))
-        out += data
+        out += struct.pack("<I", nbytes)
+        out += value  # buffer-protocol append: no intermediate copy
     elif isinstance(value, (list, tuple)):
         out.append(_TAG_LIST)
         out += struct.pack("<I", len(value))
@@ -88,17 +145,18 @@ def _encode_into(value: Any, out: bytearray) -> None:
     elif isinstance(value, np.ndarray):
         if value.ndim != 1:
             raise CodecError(f"only 1-D arrays are encodable, got shape {value.shape}")
-        dtype_name = value.dtype.str
-        raw = np.ascontiguousarray(value).tobytes()
+        if value.dtype.hasobject:
+            raise CodecError("object-dtype arrays are not encodable")
+        arr = np.ascontiguousarray(value)
         out.append(_TAG_NDARRAY)
-        _encode_into(dtype_name, out)
-        out += struct.pack("<I", len(raw))
-        out += raw
+        _encode_into(arr.dtype.str, out)
+        out += struct.pack("<I", arr.nbytes)
+        out += memoryview(arr).cast("B")  # raw element bytes, no tobytes() copy
     else:
         raise CodecError(f"cannot encode value of type {type(value).__name__}")
 
 
-def decode(data: bytes) -> Any:
+def decode(data: Buffer) -> Any:
     """Decode one value; raises :class:`CodecError` on trailing bytes."""
     value, offset = _decode_from(data, 0)
     if offset != len(data):
@@ -106,7 +164,7 @@ def decode(data: bytes) -> Any:
     return value
 
 
-def _decode_from(data: bytes, offset: int) -> Tuple[Any, int]:
+def _decode_from(data: Buffer, offset: int) -> Tuple[Any, int]:
     if offset >= len(data):
         raise CodecError("truncated data: missing tag")
     tag = data[offset]
@@ -126,11 +184,11 @@ def _decode_from(data: bytes, offset: int) -> Tuple[Any, int]:
     if tag == _TAG_STR:
         n, offset = _read_len(data, offset)
         _check(data, offset, n)
-        return data[offset : offset + n].decode("utf-8"), offset + n
+        return str(memoryview(data)[offset : offset + n], "utf-8"), offset + n
     if tag == _TAG_BYTES:
         n, offset = _read_len(data, offset)
         _check(data, offset, n)
-        return bytes(data[offset : offset + n]), offset + n
+        return bytes(memoryview(data)[offset : offset + n]), offset + n
     if tag == _TAG_LIST:
         n, offset = _read_len(data, offset)
         items = []
@@ -150,16 +208,26 @@ def _decode_from(data: bytes, offset: int) -> Tuple[Any, int]:
         dtype_name, offset = _decode_from(data, offset)
         n, offset = _read_len(data, offset)
         _check(data, offset, n)
-        arr = np.frombuffer(data[offset : offset + n], dtype=np.dtype(dtype_name)).copy()
+        try:
+            dtype = np.dtype(dtype_name)
+        except TypeError as exc:
+            raise CodecError(f"bad dtype {dtype_name!r}") from exc
+        if dtype.hasobject:
+            raise CodecError(f"object dtype {dtype_name!r} is not wire-decodable")
+        if dtype.itemsize == 0 or n % dtype.itemsize:
+            raise CodecError(f"{n} payload bytes do not fit dtype {dtype_name!r}")
+        # Single copy: frombuffer views the wire buffer, .copy() gives the
+        # caller an owned, writable array.
+        arr = np.frombuffer(data, dtype=dtype, count=n // dtype.itemsize, offset=offset).copy()
         return arr, offset + n
     raise CodecError(f"unknown tag byte 0x{tag:02x} at offset {offset - 1}")
 
 
-def _read_len(data: bytes, offset: int) -> Tuple[int, int]:
+def _read_len(data: Buffer, offset: int) -> Tuple[int, int]:
     _check(data, offset, 4)
     return struct.unpack_from("<I", data, offset)[0], offset + 4
 
 
-def _check(data: bytes, offset: int, need: int) -> None:
+def _check(data: Buffer, offset: int, need: int) -> None:
     if offset + need > len(data):
         raise CodecError(f"truncated data: need {need} bytes at offset {offset}")

@@ -11,23 +11,35 @@ binary data"*.
 dispatch, and supports the paper's two communication patterns:
 
 * **message-based** — :meth:`GCFProcess.request` (synchronous
-  request/response round trip) and :meth:`GCFProcess.notify` (asynchronous
-  one-way notification);
+  request/response round trip), :meth:`GCFProcess.request_batch` (one
+  round trip carrying a whole send window of commands) and
+  :meth:`GCFProcess.notify` (asynchronous one-way notification);
 * **stream-based** — :meth:`GCFProcess.stream` (an initialising
   request/response exchange followed by the raw bulk payload, exactly the
   sequence described in Section III-B).
 
 Messages are really serialised; their measured byte counts drive the
-network cost model.
+network cost model.  Every process keeps a :class:`NetStats` tally of the
+round trips and wire bytes it initiated — the counters behind the
+batching benchmarks.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Tuple, Type
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple, Type
 
 from repro.hw.node import Host
+from repro.net.codec import CodecError
 from repro.net.link import ConnectionRefused, NetworkError
-from repro.net.messages import Message, Notification, Request, Response
+from repro.net.messages import (
+    CommandBatch,
+    CommandBatchResponse,
+    Message,
+    Notification,
+    Request,
+    Response,
+)
 from repro.net.network import Network
 from repro.net.streams import StreamResult
 from repro.sim.timeline import Timeline
@@ -37,6 +49,55 @@ from repro.sim.timeline import Timeline
 RequestHandler = Callable[[Message, float, "GCFProcess"], Tuple[Response, float]]
 #: A notification handler receives ``(message, arrival_time, sender)``.
 NotificationHandler = Callable[[Message, float, "GCFProcess"], None]
+
+#: Default bound on the per-process notification log.  The log is a
+#: debugging/test aid; unbounded growth made long benchmark runs
+#: accumulate memory linearly with event count.
+NOTIFICATION_LOG_LIMIT = 256
+
+
+class NetStats:
+    """Per-process tally of initiated communication.
+
+    ``round_trips`` counts synchronous client<->server exchanges (single
+    requests, command batches, and bulk fetches); a batch of N commands
+    is *one* round trip — the quantity the batching pipeline minimises.
+    """
+
+    __slots__ = (
+        "requests",
+        "batches",
+        "batched_commands",
+        "notifications",
+        "streams",
+        "bulk_sends",
+        "bulk_fetches",
+        "bytes_sent",
+        "bytes_received",
+    )
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.batches = 0
+        self.batched_commands = 0
+        self.notifications = 0
+        self.streams = 0
+        self.bulk_sends = 0
+        self.bulk_fetches = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    @property
+    def round_trips(self) -> int:
+        return self.requests + self.batches + self.bulk_fetches
+
+    def snapshot(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__} | {
+            "round_trips": self.round_trips
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<NetStats {self.snapshot()}>"
 
 
 class RequestOutcome:
@@ -63,6 +124,37 @@ class RequestOutcome:
         return self.reply_arrival - self.sent_at
 
 
+class BatchOutcome:
+    """Pipelined outcome of one :meth:`GCFProcess.request_batch` trip.
+
+    Carries the decoded per-command responses (batch order) plus the
+    timing of the single round trip all of them shared.
+    """
+
+    __slots__ = ("responses", "sent_at", "request_arrival", "handled_at", "reply_arrival")
+
+    def __init__(
+        self,
+        responses: List[Response],
+        sent_at: float,
+        request_arrival: float,
+        handled_at: float,
+        reply_arrival: float,
+    ) -> None:
+        self.responses = responses
+        self.sent_at = sent_at
+        self.request_arrival = request_arrival
+        self.handled_at = handled_at
+        self.reply_arrival = reply_arrival
+
+    @property
+    def round_trip(self) -> float:
+        return self.reply_arrival - self.sent_at
+
+    def __len__(self) -> int:
+        return len(self.responses)
+
+
 class GCFProcess:
     """A named communicating process on a host."""
 
@@ -71,6 +163,7 @@ class GCFProcess:
         self.host = host
         self.network = network
         self.cpu = Timeline(name=f"{name}.cpu")
+        self.stats = NetStats()
         self._request_handlers: Dict[Type[Message], RequestHandler] = {}
         self._notification_handlers: Dict[Type[Message], NotificationHandler] = {}
         self._bulk_sink_handlers: Dict[Type[Message], Callable] = {}
@@ -81,8 +174,16 @@ class GCFProcess:
         #: worker spawn).  Daemons set this; plain processes keep 0.
         self.connect_setup_duration = 0.0
         self.peers: Dict[str, "GCFProcess"] = {}
-        # Log of (arrival_time, sender, message) for introspection/tests.
-        self.notification_log: List[Tuple[float, str, Message]] = []
+        # Bounded log of (arrival_time, sender, message) for
+        # introspection/tests; see :meth:`set_notification_log_limit`.
+        self.notification_log: Deque[Tuple[float, str, Message]] = deque(
+            maxlen=NOTIFICATION_LOG_LIMIT
+        )
+
+    def set_notification_log_limit(self, limit: Optional[int]) -> None:
+        """Re-bound the notification log; ``None`` makes it unbounded
+        (opt-in, for tests that need the full history)."""
+        self.notification_log = deque(self.notification_log, maxlen=limit)
 
     # ------------------------------------------------------------------
     # handler registration (server side)
@@ -126,6 +227,54 @@ class GCFProcess:
     def on_connect(self, fn: Callable[[str, Any, float], None]) -> Callable[[str, Any, float], None]:
         self._connect_handler = fn
         return fn
+
+    def install_batch_dispatch(
+        self, on_error: Optional[Callable[[str], Response]] = None
+    ) -> None:
+        """Make this process accept :class:`CommandBatch` envelopes.
+
+        The installed handler decodes the envelope's sub-commands once,
+        charges the host's (cheaper) ``batch_command_overhead`` per
+        command, and replays each through the handler registered for its
+        type, in order — the server half of asynchronous batched call
+        forwarding.  ``on_error`` maps a description of an undispatchable
+        sub-command (undecodable bytes, no handler, nested batch) to the
+        Response placed in its reply slot; without it such a command
+        raises :class:`NetworkError`.
+        """
+
+        def undispatchable(detail: str) -> bytes:
+            if on_error is None:
+                raise NetworkError(f"process {self.name!r}: {detail}")
+            return on_error(detail).to_wire()
+
+        @self.on_request(CommandBatch)
+        def dispatch_batch(msg: CommandBatch, t: float, sender: "GCFProcess"):
+            per_cmd = self.host.spec.batch_command_overhead
+            results: List[bytes] = []
+            tcur = t
+            for raw in msg.commands:
+                try:
+                    sub = Message.from_wire(raw)
+                except CodecError as exc:
+                    results.append(undispatchable(f"undecodable batched command: {exc}"))
+                    continue
+                handler = self._request_handlers.get(type(sub))
+                if handler is None or isinstance(sub, CommandBatch):
+                    results.append(
+                        undispatchable(f"{type(sub).__name__} cannot be batch-forwarded")
+                    )
+                    continue
+                iv = self.cpu.allocate(tcur, per_cmd, type(sub).__name__)
+                response, t_done = handler(sub, iv.end, sender)
+                if t_done < iv.end:
+                    raise NetworkError(
+                        f"handler for {type(sub).__name__} returned "
+                        f"t_done={t_done} < start={iv.end}"
+                    )
+                tcur = t_done
+                results.append(response.to_wire())
+            return CommandBatchResponse(results=results), tcur
 
     def on_disconnect(self, fn: Callable[[str, float], None]) -> Callable[[str, float], None]:
         self._disconnect_handler = fn
@@ -179,12 +328,60 @@ class GCFProcess:
         reply_arrival = self.network.transfer(
             target.host, self.host, t_done, response.wire_size, tag=type(response).__name__
         )
+        self.stats.requests += 1
+        self.stats.bytes_sent += msg.wire_size
+        self.stats.bytes_received += response.wire_size
         return RequestOutcome(response, t, arrival, t_done, reply_arrival)
+
+    def request_batch(
+        self, target: "GCFProcess", msgs: Sequence[Request], t: float
+    ) -> BatchOutcome:
+        """Forward a whole send window in ONE round trip.
+
+        The commands are serialised into a :class:`CommandBatch` envelope
+        (one protocol header for the lot), dispatched by the target's
+        ``CommandBatch`` handler — which decodes each sub-command once and
+        charges CPU per command — and their responses come back together
+        in the single :class:`CommandBatchResponse` reply.
+        """
+        if not msgs:
+            raise ValueError("request_batch needs at least one command")
+        handler = target._request_handlers.get(CommandBatch)
+        if handler is None:
+            raise NetworkError(
+                f"process {target.name!r} does not accept command batches"
+            )
+        batch = CommandBatch(commands=[m.to_wire() for m in msgs])
+        arrival = self.network.transfer(
+            self.host, target.host, t, batch.wire_size, tag="CommandBatch"
+        )
+        iv = target.cpu.allocate(arrival, target.host.spec.request_overhead, "CommandBatch")
+        reply, t_done = handler(batch, iv.end, self)
+        if t_done < iv.end:
+            raise NetworkError(
+                f"handler for CommandBatch returned t_done={t_done} < start={iv.end}"
+            )
+        if not isinstance(reply, CommandBatchResponse) or len(reply.results) != len(msgs):
+            raise NetworkError(
+                f"process {target.name!r} answered a {len(msgs)}-command batch with "
+                f"{type(reply).__name__}"
+            )
+        reply_arrival = self.network.transfer(
+            target.host, self.host, t_done, reply.wire_size, tag="CommandBatchResponse"
+        )
+        self.stats.batches += 1
+        self.stats.batched_commands += len(msgs)
+        self.stats.bytes_sent += batch.wire_size
+        self.stats.bytes_received += reply.wire_size
+        responses = [Message.from_wire(raw) for raw in reply.results]
+        return BatchOutcome(responses, t, arrival, t_done, reply_arrival)
 
     def notify(self, target: "GCFProcess", msg: Notification, t: float) -> float:
         """One-way asynchronous notification; returns delivery time."""
         arrival = self.network.transfer(self.host, target.host, t, msg.wire_size, tag=type(msg).__name__)
         target.notification_log.append((arrival, self.name, msg))
+        self.stats.notifications += 1
+        self.stats.bytes_sent += msg.wire_size
         handler = target._notification_handlers.get(type(msg))
         if handler is not None:
             handler(msg, arrival, self)
@@ -210,6 +407,8 @@ class GCFProcess:
             # Stream channel already set up: only a half handshake.
             start = self.network.transfer(self.host, target.host, t, 96, tag="stream-init")
         arrival = self.network.transfer(self.host, target.host, start, nbytes, tag=tag or "stream")
+        self.stats.streams += 1
+        self.stats.bytes_sent += nbytes
         return StreamResult(requested_at=t, started_at=start, arrival=arrival, nbytes=nbytes)
 
     def send_bulk(
@@ -221,8 +420,10 @@ class GCFProcess:
         t: float,
     ) -> Tuple[RequestOutcome, float]:
         """Stream-based upload: initialising request/response exchange,
-        then the raw payload.  The target's bulk-sink handler receives the
-        payload at stream arrival.  Returns ``(init_outcome, arrival)``.
+        then the raw payload.  ``payload`` is handed to the target's
+        bulk-sink handler as-is (zero-copy: pass an ndarray or memoryview
+        and no intermediate byte string is materialised).  Returns
+        ``(init_outcome, arrival)``.
         """
         sink = target._bulk_sink_handlers.get(type(init))
         if sink is None:
@@ -233,12 +434,15 @@ class GCFProcess:
         arrival = self.network.transfer(
             self.host, target.host, outcome.reply_arrival, nbytes, tag=f"bulk:{type(init).__name__}"
         )
+        self.stats.bulk_sends += 1
+        self.stats.bytes_sent += nbytes
         sink(init, payload, arrival, self)
         return outcome, arrival
 
     def fetch_bulk(self, target: "GCFProcess", request: Request, t: float) -> Tuple[Response, Any, float]:
         """Stream-based download: request, then the raw payload streams
-        back.  Returns ``(response, payload, arrival)``."""
+        back.  Returns ``(response, payload, arrival)``; the payload is
+        whatever the bulk source produced (ndarray/bytes), unconverted."""
         source = target._bulk_source_handlers.get(type(request))
         if source is None:
             raise NetworkError(
@@ -251,6 +455,9 @@ class GCFProcess:
         data_arrival = self.network.transfer(
             target.host, self.host, reply_arrival, nbytes, tag=f"bulk:{type(request).__name__}"
         )
+        self.stats.bulk_fetches += 1
+        self.stats.bytes_sent += request.wire_size
+        self.stats.bytes_received += response.wire_size + nbytes
         return response, payload, data_arrival
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -1,17 +1,27 @@
-"""Message base classes and the wire-type registry.
+"""Message base classes, the wire-type registry, and the batch envelope.
 
 A message class declares its payload fields as a dataclass; the registry
 assigns each class a stable wire name.  ``to_wire`` produces real bytes via
 :mod:`repro.net.codec` — the byte count (plus the protocol header) is what
 the network model charges for message-based communication.
+
+``wire_size`` is computed arithmetically via :func:`repro.net.codec.
+encoded_size` — charging a message's cost never materialises its
+encoding (the zero-copy property; ``wire_size == len(to_wire()) +
+MESSAGE_HEADER_BYTES`` is guaranteed by the codec's size arithmetic).
+
+:class:`CommandBatch` / :class:`CommandBatchResponse` are the transport
+envelope for *asynchronous batched call forwarding*: a window of
+enqueue-class commands coalesced into one message paying one protocol
+header and one network round trip, instead of one per command.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, ClassVar, Dict, Type, TypeVar
+from typing import Any, ClassVar, Dict, List, Type, TypeVar
 
-from repro.net.codec import CodecError, decode, encode
+from repro.net.codec import CodecError, decode, encode, encoded_size
 
 #: Fixed per-message protocol overhead (framing, transport headers, GCF
 #: message envelope) in bytes.
@@ -49,8 +59,10 @@ class Message:
 
     @property
     def wire_size(self) -> int:
-        """Bytes on the wire including the protocol header."""
-        return len(self.to_wire()) + MESSAGE_HEADER_BYTES
+        """Bytes on the wire including the protocol header.
+
+        Computed without encoding the message (see module docstring)."""
+        return encoded_size([type(self).__name__, self.to_payload()]) + MESSAGE_HEADER_BYTES
 
     @staticmethod
     def from_wire(data: bytes) -> "Message":
@@ -74,3 +86,32 @@ class Response(Message):
 
 class Notification(Message):
     """One-way asynchronous message (e.g. an event status update)."""
+
+
+@message_type
+class CommandBatch(Request):
+    """A coalesced send window of forwarded commands.
+
+    ``commands`` holds each deferred command's full wire encoding (its
+    ``to_wire()`` bytes), in client program order.  The whole batch pays
+    one :data:`MESSAGE_HEADER_BYTES` header and one network round trip;
+    the receiver decodes each sub-command once and dispatches it to the
+    handler registered for its type, in order.
+    """
+
+    commands: List[bytes]
+
+
+@message_type
+class CommandBatchResponse(Response):
+    """Per-command responses of a :class:`CommandBatch`, in batch order.
+
+    ``results[i]`` is the wire encoding of the response the ``i``-th
+    sub-command's handler returned; the sender decodes them and settles
+    each deferred command's outcome (error checks, response callbacks)
+    from the single reply.
+    """
+
+    results: List[bytes]
+    error: int = 0
+    detail: str = ""

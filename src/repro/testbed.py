@@ -61,6 +61,7 @@ def deploy_dopencl(
     devmgr_config_texts: Optional[List[str]] = None,
     workload_scale: float = 1.0,
     n_clients: int = 1,
+    batch_window: Optional[int] = None,
 ) -> Deployment:
     """Install daemons on every server and client drivers on the client
     host(s).
@@ -69,6 +70,10 @@ def deploy_dopencl(
     host, daemons start in managed mode, and each client driver gets the
     corresponding entry of ``devmgr_config_texts`` (paper Listing 3)
     instead of a server list.
+
+    ``batch_window`` tunes the drivers' asynchronous call-forwarding
+    window (``None`` keeps the driver default; ``0`` disables batching so
+    every forwarded call is a synchronous round trip).
     """
     manager = None
     if managed:
@@ -90,6 +95,8 @@ def deploy_dopencl(
         raise ValueError(f"cluster has only {len(client_hosts)} client hosts, need {n_clients}")
     for i, host in enumerate(client_hosts):
         kwargs = {}
+        if batch_window is not None:
+            kwargs["batch_window"] = batch_window
         if managed:
             kwargs["devmgr_config_text"] = (devmgr_config_texts or [])[i]
             kwargs["device_manager"] = manager

@@ -244,6 +244,9 @@ def test_event_replicas_created_on_other_servers(deployment):
     api.clSetKernelArg(kernel, 1, np.float32(2.0))
     api.clSetKernelArg(kernel, 2, n)
     ev = api.clEnqueueNDRangeKernel(q0, kernel, (n,))
+    # Forwarding is asynchronous: the enqueue (and the replica creation)
+    # sit in send windows until a synchronization point.
+    api.clFinish(q0)
     other_server = devices[1].server.name
     daemon = deployment.daemon_on(other_server)
     from repro.ocl.event import UserEvent
@@ -274,6 +277,41 @@ def test_profiling_unimplemented_matches_paper(deployment):
         api.clCreateImage2D()
     with pytest.raises(CLError):
         api.clEnqueueMapBuffer()
+
+
+def test_write_only_buffer_partial_write_preserves_contents(deployment):
+    """CL_MEM_WRITE_ONLY restricts *kernel* access only: host-initialised
+    data outside a partial kernel write must survive (the pristine-skip
+    optimisation may only elide uploads of never-written buffers)."""
+    from repro.ocl import CL_MEM_WRITE_ONLY
+
+    api = deployment.api
+    platform = api.clGetPlatformIDs()[0]
+    devices = api.clGetDeviceIDs(platform, CL_DEVICE_TYPE_ALL)
+    ctx = api.clCreateContext(devices[:2])
+    queue = api.clCreateCommandQueue(ctx, devices[0])
+    n = 64
+    x = np.full(n, 3.0, dtype=np.float32)
+    buf = api.clCreateBuffer(ctx, CL_MEM_WRITE_ONLY | CL_MEM_COPY_HOST_PTR, x.nbytes, x)
+    program = api.clCreateProgramWithSource(
+        ctx,
+        """
+        __kernel void head(__global float *x, const int limit) {
+            int i = (int)get_global_id(0);
+            if (i < limit) x[i] = 7.0f;
+        }
+        """,
+    )
+    api.clBuildProgram(program)
+    kernel = api.clCreateKernel(program, "head")
+    api.clSetKernelArg(kernel, 0, buf)
+    api.clSetKernelArg(kernel, 1, 16)  # only elements [0, 16) written
+    api.clEnqueueNDRangeKernel(queue, kernel, (n,))
+    api.clFinish(queue)
+    data, _ = api.clEnqueueReadBuffer(queue, buf)
+    out = data.view(np.float32)
+    np.testing.assert_allclose(out[:16], 7.0)
+    np.testing.assert_allclose(out[16:], 3.0)  # host data preserved
 
 
 def test_dopencl_has_network_overhead_vs_native():

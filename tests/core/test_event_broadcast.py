@@ -34,6 +34,9 @@ def run_kernel_on_two_server_context(direct: bool):
     api.clSetKernelArg(kernel, 1, np.float32(2.0))
     api.clSetKernelArg(kernel, 2, n)
     event = api.clEnqueueNDRangeKernel(queue, kernel, (n,))
+    # Synchronize: forwarding is batched/asynchronous, so the launch (and
+    # the replica bookkeeping on the other server) lands at the wait.
+    api.clWaitForEvents([event])
     return deployment, api, devices, event
 
 

@@ -109,7 +109,10 @@ def test_kernel_runtime_fault_surfaces_with_cl_code():
     kernel = api.clCreateKernel(program, "oob")
     api.clSetKernelArg(kernel, 0, buf)
     with pytest.raises(CLError) as err:
+        # The launch is forwarded asynchronously; the daemon's fault
+        # comes back with the batch reply at the synchronization point.
         api.clEnqueueNDRangeKernel(queue, kernel, (4,))
+        api.clFinish(queue)
     assert err.value.code == ErrorCode.CL_OUT_OF_RESOURCES
     assert "out-of-bounds" in err.value.message
 

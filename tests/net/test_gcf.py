@@ -155,3 +155,99 @@ def test_wire_size_includes_header():
 
     msg = PingRequest(payload="")
     assert msg.wire_size == len(msg.to_wire()) + MESSAGE_HEADER_BYTES
+
+
+# ----------------------------------------------------------------------
+# batched call forwarding (CommandBatch round trips)
+# ----------------------------------------------------------------------
+def _install_ping_and_batch(b):
+    """Register a ping handler and the stock batch dispatcher."""
+
+    @b.on_request(PingRequest)
+    def handle(msg, t, sender):
+        return PingResponse(echoed=msg.payload.upper()), t + 1e-6
+
+    b.install_batch_dispatch()
+
+
+def test_request_batch_one_round_trip(pair):
+    _, a, b = pair
+    _install_ping_and_batch(b)
+    msgs = [PingRequest(payload=f"m{i}") for i in range(8)]
+    outcome = a.request_batch(b, msgs, t=0.0)
+    assert [r.echoed for r in outcome.responses] == [f"M{i}" for i in range(8)]
+    # One batch == one round trip, regardless of command count.
+    assert a.stats.round_trips == 1
+    assert a.stats.batches == 1 and a.stats.batched_commands == 8
+    assert a.stats.requests == 0
+
+
+def test_request_batch_cheaper_than_n_requests(pair):
+    net, a, b = pair
+    _install_ping_and_batch(b)
+    msgs = [PingRequest(payload=f"m{i}") for i in range(10)]
+    batch_outcome = a.request_batch(b, msgs, t=0.0)
+    single = [a.request(b, m, t=0.0) for m in msgs]
+    # Latency: one shared round trip beats the last of ten sequential ones.
+    assert batch_outcome.round_trip < sum(o.round_trip for o in single)
+    # Wire bytes: one envelope header instead of ten.
+    from repro.net.messages import CommandBatch, MESSAGE_HEADER_BYTES
+
+    batch_bytes = CommandBatch(commands=[m.to_wire() for m in msgs]).wire_size
+    assert batch_bytes < sum(m.wire_size for m in msgs)
+
+
+def test_request_batch_needs_batch_handler(pair):
+    _, a, b = pair
+
+    @b.on_request(PingRequest)
+    def handle(msg, t, sender):
+        return PingResponse(echoed=""), t
+
+    with pytest.raises(NetworkError, match="command batches"):
+        a.request_batch(b, [PingRequest(payload="x")], t=0.0)
+
+
+def test_request_batch_rejects_empty_window(pair):
+    _, a, b = pair
+    _install_ping_and_batch(b)
+    with pytest.raises(ValueError):
+        a.request_batch(b, [], t=0.0)
+
+
+def test_stats_track_requests_and_bytes(pair):
+    _, a, b = pair
+    _install_ping_and_batch(b)
+    a.request(b, PingRequest(payload="x"), t=0.0)
+    a.notify(b, StatusNote(status=1), t=0.0)
+    assert a.stats.requests == 1
+    assert a.stats.notifications == 1
+    assert a.stats.bytes_sent > 0 and a.stats.bytes_received > 0
+    snap = a.stats.snapshot()
+    assert snap["round_trips"] == 1
+
+
+# ----------------------------------------------------------------------
+# bounded notification log
+# ----------------------------------------------------------------------
+def test_notification_log_is_bounded(pair):
+    from repro.net.gcf import NOTIFICATION_LOG_LIMIT
+
+    _, a, b = pair
+    for i in range(NOTIFICATION_LOG_LIMIT + 50):
+        a.notify(b, StatusNote(status=i), t=float(i))
+    assert len(b.notification_log) == NOTIFICATION_LOG_LIMIT
+    # The newest entries are retained.
+    assert b.notification_log[-1][2].status == NOTIFICATION_LOG_LIMIT + 49
+
+
+def test_notification_log_limit_is_adjustable(pair):
+    _, a, b = pair
+    b.set_notification_log_limit(2)
+    for i in range(5):
+        a.notify(b, StatusNote(status=i), t=float(i))
+    assert [m.status for _, _, m in b.notification_log] == [3, 4]
+    b.set_notification_log_limit(None)  # opt back into unbounded
+    for i in range(5, 400):
+        a.notify(b, StatusNote(status=i), t=float(i))
+    assert len(b.notification_log) == 2 + 395

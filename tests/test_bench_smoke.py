@@ -1,0 +1,13 @@
+"""Tier-1 wrapper for the call-forwarding perf smoke.
+
+The figure benchmarks are too slow for the default test run; this smoke
+target is not — it runs the miniature Fig. 4 workload and applies the
+shared smoke gate, so the tier-1 suite catches regressions in round
+trips or wire bytes.
+"""
+
+from repro.bench.smoke import assert_smoke_record, bench_smoke
+
+
+def test_smoke_round_trip_and_byte_counters():
+    assert_smoke_record(bench_smoke())
