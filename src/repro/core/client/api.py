@@ -70,18 +70,22 @@ class DOpenCLAPI:
 
     @property
     def now(self) -> float:
+        """Current virtual time on the application's clock."""
         return self.clock.now
 
     # -- platform / device ------------------------------------------------
     def clGetPlatformIDs(self) -> List[object]:
+        """The single dOpenCL platform merging all connected servers."""
         self._tick()
         return [self.driver.platform]
 
     def clGetPlatformInfo(self, platform, key: str) -> object:
+        """Platform info key lookup (client-side, no network)."""
         self._tick()
         return platform.get_info(key)
 
     def clGetDeviceIDs(self, platform, device_type: int = CL_DEVICE_TYPE_ALL) -> List[RemoteDevice]:
+        """All devices of all servers; triggers automatic connection."""
         self._tick()
         # Automatic connection happens here — "during the application's
         # initialization phase, when it obtains the list of available
@@ -90,24 +94,29 @@ class DOpenCLAPI:
         return platform.get_devices(device_type)
 
     def clGetDeviceInfo(self, device: RemoteDevice, key: str) -> object:
+        """Device info from the client-side cache (Section III-B)."""
         self._tick()
         return device.get_info(key)  # answered from the client-side cache
 
     # -- dOpenCL API extension (paper Listing 1) ----------------------------
     def clConnectServerWWU(self, address: str) -> ServerHandle:
+        """Paper Listing 1: connect to an additional server at runtime."""
         self._tick()
         return self.driver.connect_server(address)
 
     def clDisconnectServerWWU(self, server: ServerHandle) -> None:
+        """Paper Listing 1: drop a server; its devices become unavailable."""
         self._tick()
         self.driver.disconnect_server(server)
 
     def clGetServerInfoWWU(self, server: ServerHandle, key: str) -> object:
+        """Paper Listing 1: query a connected server's self-description."""
         self._tick()
         return self.driver.server_info(server, key)
 
     # -- context --------------------------------------------------------------
     def clCreateContext(self, devices: Sequence[RemoteDevice]) -> ContextStub:
+        """Create a compound context stub spanning every involved server."""
         self._tick()
         require(len(devices) > 0, ErrorCode.CL_INVALID_VALUE, "context needs devices")
         for dev in devices:
@@ -116,7 +125,7 @@ class DOpenCLAPI:
             if not dev.available:
                 raise CLError(ErrorCode.CL_DEVICE_NOT_AVAILABLE, dev.name)
         context = ContextStub(self.driver, self.driver.new_id(), list(devices))
-        self.driver.fanout(
+        self.driver.fanout_eager(
             context.unique_servers,
             lambda conn: P.CreateContextRequest(
                 context_id=context.id,
@@ -126,9 +135,11 @@ class DOpenCLAPI:
         return context
 
     def clRetainContext(self, context: ContextStub) -> None:
+        """Bump the context stub's reference count."""
         context.retain()
 
     def clReleaseContext(self, context: ContextStub) -> None:
+        """Drop a reference; the last one defers the remote releases."""
         context.release()
         if context.refcount <= 0:
             self.driver.fanout_deferred(
@@ -138,12 +149,13 @@ class DOpenCLAPI:
 
     # -- command queue ------------------------------------------------------------
     def clCreateCommandQueue(self, context: ContextStub, device: RemoteDevice, properties: int = 0) -> QueueStub:
+        """Create a queue on the one server hosting ``device``."""
         self._tick()
         if device not in context.devices:
             raise CLError(ErrorCode.CL_INVALID_DEVICE, "device not in context")
         queue = QueueStub(context, self.driver.new_id(), device, properties)
         conn = device.server
-        outcome = self.driver.fanout(
+        self.driver.fanout_eager(
             [conn],
             lambda c: P.CreateQueueRequest(
                 queue_id=queue.id,
@@ -155,9 +167,11 @@ class DOpenCLAPI:
         return queue
 
     def clRetainCommandQueue(self, queue: QueueStub) -> None:
+        """Bump the queue stub's reference count."""
         queue.retain()
 
     def clReleaseCommandQueue(self, queue: QueueStub) -> None:
+        """Drop a reference; the last one defers the remote release."""
         queue.release()
         if queue.refcount <= 0:
             self.driver.defer(queue.server, P.ReleaseQueueRequest(queue_id=queue.id))
@@ -185,6 +199,7 @@ class DOpenCLAPI:
         size: int,
         host_data: Optional[np.ndarray] = None,
     ) -> BufferStub:
+        """Create a compound buffer stub plus one remote copy per server."""
         self._tick()
         require(size > 0, ErrorCode.CL_INVALID_BUFFER_SIZE, f"size must be positive, got {size}")
         if flags & (CL_MEM_COPY_HOST_PTR | CL_MEM_USE_HOST_PTR):
@@ -212,7 +227,7 @@ class DOpenCLAPI:
         # Remote copies are plain allocations: host-pointer flags stay
         # client-side (the data reaches servers through coherence uploads).
         remote_flags = buffer.flags & ~(CL_MEM_COPY_HOST_PTR | CL_MEM_USE_HOST_PTR)
-        self.driver.fanout(
+        self.driver.fanout_eager(
             context.unique_servers,
             lambda conn: P.CreateBufferRequest(
                 buffer_id=buffer.id, context_id=context.id, flags=remote_flags, size=size
@@ -221,9 +236,11 @@ class DOpenCLAPI:
         return buffer
 
     def clRetainMemObject(self, buffer: BufferStub) -> None:
+        """Bump the buffer stub's reference count."""
         buffer.retain()
 
     def clReleaseMemObject(self, buffer: BufferStub) -> None:
+        """Drop a reference; the last one defers the remote releases."""
         buffer.release()
         if buffer.released:
             self.driver.fanout_deferred(
@@ -240,6 +257,8 @@ class DOpenCLAPI:
         data: np.ndarray,
         wait_for: Optional[Sequence[EventStub]] = None,
     ) -> EventStub:
+        """Host-to-buffer write: update the client copy, stream it to the
+        queue's server, and mark that server's copy Modified."""
         t = self._tick()
         self._check_queue_buffer(queue, buffer)
         raw = np.ascontiguousarray(data).view(np.uint8).ravel()
@@ -327,6 +346,7 @@ class DOpenCLAPI:
         nbytes: Optional[int] = None,
         wait_for: Optional[Sequence[EventStub]] = None,
     ) -> EventStub:
+        """Client-mediated buffer copy (validate src, update dst, upload)."""
         t = self._tick()
         self._check_queue_buffer(queue, src)
         self._check_queue_buffer(queue, dst)
@@ -354,6 +374,7 @@ class DOpenCLAPI:
 
     # -- unimplemented in dOpenCL (Section III-B parity) ----------------------------
     def clCreateImage2D(self, *args, **kwargs):
+        """Unimplemented in dOpenCL (Section III-B parity)."""
         raise CLError(
             ErrorCode.CL_INVALID_OPERATION,
             "images are not implemented in dOpenCL (Section III-B)",
@@ -362,18 +383,21 @@ class DOpenCLAPI:
     clCreateImage3D = clCreateImage2D
 
     def clCreateSampler(self, *args, **kwargs):
+        """Unimplemented in dOpenCL (Section III-B parity)."""
         raise CLError(
             ErrorCode.CL_INVALID_OPERATION,
             "samplers are not implemented in dOpenCL (Section III-B)",
         )
 
     def clEnqueueMapBuffer(self, *args, **kwargs):
+        """Unimplemented in dOpenCL (Section III-B parity)."""
         raise CLError(
             ErrorCode.CL_INVALID_OPERATION,
             "buffer mapping is not implemented in dOpenCL (Section III-B)",
         )
 
     def clGetEventProfilingInfo(self, event, param):
+        """Unimplemented in dOpenCL (Section III-B parity)."""
         raise CLError(
             ErrorCode.CL_INVALID_OPERATION,
             "event profiling is not implemented in dOpenCL (Section III-B)",
@@ -381,6 +405,7 @@ class DOpenCLAPI:
 
     # -- program / kernel --------------------------------------------------------------
     def clCreateProgramWithSource(self, context: ContextStub, source: str) -> ProgramStub:
+        """Replicate the program source to every server (bulk stream)."""
         self._tick()
         require(bool(source.strip()), ErrorCode.CL_INVALID_VALUE, "empty program source")
         program = ProgramStub(context, self.driver.new_id(), source)
@@ -404,6 +429,7 @@ class DOpenCLAPI:
         return program
 
     def clBuildProgram(self, program: ProgramStub, options: str = "") -> None:
+        """Build on every server; failures merge into one CLError."""
         self._tick()
         program.options = options
         outcomes = {}
@@ -432,13 +458,16 @@ class DOpenCLAPI:
         program.build_status = "SUCCESS"
 
     def clGetProgramBuildInfo(self, program: ProgramStub, device, key: str) -> object:
+        """Build status/log/options from the program stub."""
         self._tick()
         return program.build_info(key)
 
     def clRetainProgram(self, program: ProgramStub) -> None:
+        """Bump the program stub's reference count."""
         program.retain()
 
     def clReleaseProgram(self, program: ProgramStub) -> None:
+        """Drop a reference; the last one defers the remote releases."""
         program.release()
         if program.refcount <= 0:
             self.driver.fanout_deferred(
@@ -447,6 +476,7 @@ class DOpenCLAPI:
             )
 
     def clCreateKernel(self, program: ProgramStub, name: str) -> KernelStub:
+        """Create the kernel on every server; metadata cached client-side."""
         self._tick()
         if program.build_status != "SUCCESS":
             raise CLError(
@@ -470,12 +500,15 @@ class DOpenCLAPI:
         )
 
     def clCreateKernelsInProgram(self, program: ProgramStub) -> List[KernelStub]:
+        """Not forwarded by dOpenCL; create kernels by name instead."""
         raise CLError(
             ErrorCode.CL_INVALID_OPERATION,
             "clCreateKernelsInProgram is not forwarded; create kernels by name",
         )
 
     def clSetKernelArg(self, kernel: KernelStub, index: int, value: object) -> None:
+        """Validate the argument client-side, then replicate the update
+        through the send windows (deferred, batched per daemon)."""
         self._tick()
         require(
             0 <= index < kernel.num_args,
@@ -521,9 +554,11 @@ class DOpenCLAPI:
         )
 
     def clRetainKernel(self, kernel: KernelStub) -> None:
+        """Bump the kernel stub's reference count."""
         kernel.retain()
 
     def clReleaseKernel(self, kernel: KernelStub) -> None:
+        """Drop a reference; the last one defers the remote releases."""
         kernel.release()
         if kernel.refcount <= 0:
             self.driver.fanout_deferred(
@@ -540,6 +575,9 @@ class DOpenCLAPI:
         global_offset: Optional[Sequence[int]] = None,
         wait_for: Optional[Sequence[EventStub]] = None,
     ) -> EventStub:
+        """Run the coherence plans for the kernel's buffer arguments
+        (uploads to the same daemon coalesce into one stream), then defer
+        the launch into the queue server's send window."""
         t = self._tick()
         if kernel.context is not queue.context:
             raise CLError(ErrorCode.CL_INVALID_KERNEL, "kernel from another context")
@@ -558,11 +596,14 @@ class DOpenCLAPI:
         # zeros, so the upload would move no information.  Once anything
         # has written the buffer (host data, a transfer, a kernel) the
         # plan runs, preserving contents outside partial kernel writes.
+        # All buffer args are planned together so uploads to the same
+        # daemon coalesce into one bulk stream (run_transfer_plans).
+        plans = []
         for buffer in kernel.buffer_args():
             if buffer.flags & CL_MEM_WRITE_ONLY and buffer.pristine:
                 continue
-            plan = buffer.coherence.acquire_read(server.name)
-            self.driver.run_transfer_plan(buffer, plan, queue)
+            plans.append((buffer, buffer.coherence.acquire_read(server.name)))
+        self.driver.run_transfer_plans(plans, queue)
         event = self.driver.new_event_stub(queue.context, server.name, CL_COMMAND_NDRANGE_KERNEL)
         # Asynchronous forwarding: the launch joins the send window and
         # rides the next CommandBatch; daemon-side launch errors surface
@@ -593,6 +634,8 @@ class DOpenCLAPI:
 
     # -- events -------------------------------------------------------------------------
     def clWaitForEvents(self, events: Sequence[EventStub]) -> None:
+        """Synchronization point: each event's flush hook drains the send
+        windows (including deferred completion relays) before resolving."""
         t = self._tick()
         if not events:
             raise CLError(ErrorCode.CL_INVALID_VALUE, "empty event list")
@@ -602,6 +645,7 @@ class DOpenCLAPI:
             self.clock.advance_to(ev.wait(self.clock.now))
 
     def clGetEventInfo(self, event: EventStub, key: str = "STATUS") -> object:
+        """STATUS / COMMAND_TYPE from the event stub."""
         self._tick()
         if key == "STATUS":
             return event.status
@@ -610,6 +654,7 @@ class DOpenCLAPI:
         raise CLError(ErrorCode.CL_INVALID_VALUE, f"unknown event info key {key!r}")
 
     def clSetEventCallback(self, event: EventStub, callback, status: int = CL_COMPLETE) -> None:
+        """CL_COMPLETE callbacks on already-resolved events only."""
         self._tick()
         if status != CL_COMPLETE:
             raise CLError(ErrorCode.CL_INVALID_VALUE, "only CL_COMPLETE callbacks supported")
@@ -622,10 +667,13 @@ class DOpenCLAPI:
             )
 
     def clCreateUserEvent(self, context: ContextStub) -> UserEventStub:
+        """User event with replicas on every server of the context."""
         self._tick()
         return self.driver.new_user_event_stub(context)
 
     def clSetUserEventStatus(self, event: UserEventStub, status: int) -> None:
+        """Complete a user event: the status fan-out rides the send
+        windows and the stub resolves immediately client-side."""
         t = self._tick()
         if not isinstance(event, UserEventStub):
             raise CLError(ErrorCode.CL_INVALID_EVENT, "not a user event")
@@ -638,9 +686,11 @@ class DOpenCLAPI:
         event.mark_complete(t, self.clock.now)
 
     def clRetainEvent(self, event: EventStub) -> None:
+        """Bump the event stub's reference count."""
         event.retain()
 
     def clReleaseEvent(self, event: EventStub) -> None:
+        """Drop a reference to the event stub."""
         event.release()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -49,6 +49,7 @@ class ServerConnection:
 
     @property
     def gcf(self):
+        """The daemon's GCF endpoint."""
         return self.daemon.gcf
 
 
@@ -64,9 +65,11 @@ class DaemonDirectory:
         return DaemonDirectory({d.name: d for d in daemons})
 
     def add(self, daemon) -> None:
+        """Register a daemon under its name."""
         self._daemons[daemon.name] = daemon
 
     def resolve(self, address: str):
+        """Daemon for a server address (host part), or CLError."""
         host = address_host(address)
         daemon = self._daemons.get(host)
         if daemon is None:

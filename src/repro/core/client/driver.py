@@ -21,6 +21,12 @@ preserves per-daemon program order), or when the window reaches
 ``batch_window`` commands.  Errors reported by deferred commands surface
 as ``CLError`` at the flush point, mirroring how real OpenCL surfaces
 asynchronous failures at synchronization.
+
+PR 2 extends the pipeline three ways (see ``docs/architecture.md``):
+event-completion relays ride the send windows instead of round-tripping
+per replica server, multiple coherence uploads to one daemon coalesce
+into a single bulk stream, and Ack-only creation fan-outs piggyback on
+the window flush they force anyway.
 """
 
 from __future__ import annotations
@@ -46,7 +52,7 @@ from repro.core.client.stubs import (
     ServerHandle,
     UserEventStub,
 )
-from repro.core.coherence.directory import CLIENT, Transfer
+from repro.core.coherence.directory import CLIENT, Transfer, split_upload_plan
 from repro.core.devmgr.config import parse_devmgr_config
 from repro.core.protocol import messages as P
 from repro.hw.node import Host
@@ -61,6 +67,13 @@ from repro.sim.clock import VirtualClock
 #: Default send-window size: a window is force-flushed once it holds this
 #: many deferred commands (sync points flush earlier).
 DEFAULT_BATCH_WINDOW = 32
+
+#: Safety bound on the :meth:`DOpenCLDriver.flush_all` drain loop: each
+#: pass dispatches every non-empty window, and dispatching can defer new
+#: commands (completion relays), so draining iterates until quiescent.
+#: Legitimate relay chains are shorter than the command count; hitting
+#: this bound means a feedback loop, which is always a bug.
+MAX_DRAIN_PASSES = 128
 
 
 class DOpenCLDriver:
@@ -78,6 +91,9 @@ class DOpenCLDriver:
         coherence_protocol: str = "msi",
         name: Optional[str] = None,
         batch_window: Optional[int] = DEFAULT_BATCH_WINDOW,
+        defer_event_relays: bool = True,
+        coalesce_uploads: bool = True,
+        batch_fanout: bool = True,
     ) -> None:
         self.host = host
         self.network = network
@@ -92,7 +108,30 @@ class DOpenCLDriver:
         #: Send-window size; 0/None disables batching (every call becomes
         #: a synchronous round trip, the pre-pipeline behaviour).
         self.batch_window = int(batch_window or 0)
+        #: When True (default) event-completion relays join the replica
+        #: servers' send windows instead of issuing one synchronous
+        #: request per replica server, and relays for events without
+        #: replicas are suppressed entirely.  False reproduces the PR-1
+        #: relay behaviour (the benchmark baseline).
+        self.defer_event_relays = bool(defer_event_relays)
+        #: When True (default) multiple coherence uploads to the same
+        #: daemon between sync points are merged into a single bulk
+        #: stream with one init header (see ``run_transfer_plans``).
+        self.coalesce_uploads = bool(coalesce_uploads)
+        #: When True (default) synchronous Ack-only creation fan-outs
+        #: piggyback on the window flush they would have forced anyway
+        #: (see :meth:`fanout_eager`); False restores one flush plus one
+        #: request per server (the PR-1 baseline).
+        self.batch_fanout = bool(batch_fanout)
         self._pending: Dict[str, List[P.Request]] = {}
+        # Nesting depth of flush_connections' dispatch loop.  While > 0,
+        # windows already swapped out (but not yet dispatched) are no
+        # longer protected by in-window program order, so defer() must
+        # not trigger overflow flushes — a mid-dispatch relay batch could
+        # otherwise overtake the swapped-out batch holding its replica's
+        # CreateUserEventRequest.  Overflowing windows drain at the
+        # enclosing drain loop / next flush point instead.
+        self._dispatch_depth = 0
         # First unreported daemon-side failure of a deferred command:
         # (message, response, reply_arrival).  Stashed when a flush runs
         # in a context that must not raise (e.g. inside a notification
@@ -109,12 +148,15 @@ class DOpenCLDriver:
     # ids / bookkeeping
     # ------------------------------------------------------------------
     def new_id(self) -> int:
+        """Allocate the next client-unique stub ID."""
         return next(self._ids)
 
     def connections(self) -> List[ServerConnection]:
+        """Every live server connection."""
         return [c for c in self._connections.values() if c.connected]
 
     def connection(self, name: str) -> ServerConnection:
+        """The live connection called ``name`` (CLError when absent)."""
         conn = self._connections.get(name)
         if conn is None or not conn.connected:
             raise CLError(ErrorCode.CL_INVALID_SERVER_WWU, f"not connected to {name!r}")
@@ -130,6 +172,7 @@ class DOpenCLDriver:
 
     @property
     def batching_enabled(self) -> bool:
+        """Whether forwarded calls ride send windows (window size > 0)."""
         return self.batch_window > 0
 
     @property
@@ -140,8 +183,25 @@ class DOpenCLDriver:
     # ------------------------------------------------------------------
     # asynchronous command forwarding (send windows + lazy flush)
     # ------------------------------------------------------------------
-    def defer(self, conn: ServerConnection, msg: P.Request) -> None:
+    def defer(self, conn: ServerConnection, msg: P.Request, raise_errors: bool = True) -> None:
         """Append an enqueue-class command to ``conn``'s send window.
+
+        **Flush-point semantics** — the window the command joins drains
+        (and any deferred daemon-side failure surfaces as ``CLError``) at
+        the earliest of:
+
+        * ``clFinish`` and ``clWaitForEvents`` / ``EventStub.wait`` (via
+          the stub flush hook) — these *drain*: they loop until every
+          window is empty, so relays deferred mid-flush also go out;
+        * any synchronous request or bulk stream to the same daemon
+          (``roundtrip`` / ``fanout`` / ``send_bulk`` / ``fetch_bulk``
+          flush first, preserving per-daemon program order);
+        * the window reaching ``batch_window`` commands.
+
+        ``raise_errors=False`` is for calls made from inside a
+        daemon-to-client callback, where raising would unwind the wrong
+        stack: failures are stashed and surface at the next
+        client-initiated sync point instead.
 
         With batching disabled this degenerates to an immediate
         synchronous round trip (identical outcome, eager error check)."""
@@ -158,12 +218,44 @@ class DOpenCLDriver:
         if not self.batching_enabled:
             outcome = self.gcf.request(conn.daemon.gcf, msg, self.clock.now)
             self.clock.advance_to(outcome.reply_arrival)
-            self.check(outcome.response)
+            if raise_errors:
+                self.check(outcome.response)
+            elif getattr(outcome.response, "error", 0) and self._deferred_failure is None:
+                self._deferred_failure = (msg, outcome.response, outcome.reply_arrival)
             return
         window = self._pending.setdefault(conn.name, [])
         window.append(msg)
-        if len(window) >= self.batch_window:
-            self.flush_connection(conn)
+        if len(window) >= self.batch_window and self._dispatch_depth == 0:
+            # Overflow flush — suppressed while a dispatch loop is live
+            # (see ``_dispatch_depth``): commands deferred mid-dispatch
+            # wait for the enclosing drain so they can never overtake a
+            # swapped-out batch they causally depend on.
+            self.flush_connection(conn, raise_errors=raise_errors)
+
+    def _needs_replica_hoist(self) -> bool:
+        """Whether replica creations must leave before any batch dispatch.
+
+        Two consumers can observe a replica *before* its own window
+        flushes:
+
+        * a daemon doing the Section III-F **direct broadcast** resolves
+          peer replicas the instant the original event completes — i.e.
+          mid-dispatch of another server's batch;
+        * the **legacy synchronous relay** (``defer_event_relays=False``)
+          round-trips the status from inside the notification handler,
+          also mid-dispatch.
+
+        Deferred relays have neither consumer: the relay joins the same
+        send window as (and therefore behind) the replica's creation, so
+        per-daemon program order makes the hoist unnecessary — and
+        skipping it saves one batch round trip per flush."""
+        if not self.defer_event_relays:
+            return True
+        return any(
+            getattr(c.daemon, "direct_event_broadcast", False)
+            for c in self._connections.values()
+            if c.connected
+        )
 
     def _hoist_replica_creates(self) -> None:
         """Push every windowed user-event replica creation out first.
@@ -175,7 +267,12 @@ class DOpenCLDriver:
         registered.  Hoisting a creation earlier is always safe: nothing
         that precedes it in its own window can refer to the fresh event
         ID.  All hoist batches go out at the same client time (the
-        asynchronous GCF multicast pattern)."""
+        asynchronous GCF multicast pattern).
+
+        Only runs when a mid-dispatch replica consumer exists (see
+        :meth:`_needs_replica_hoist`)."""
+        if not self._needs_replica_hoist():
+            return
         hoists = []
         for name, window in list(self._pending.items()):
             creates = [m for m in window if isinstance(m, P.CreateUserEventRequest)]
@@ -252,9 +349,13 @@ class DOpenCLDriver:
                 self._pending[conn.name] = []
                 batches.append((conn, window))
             t = self.clock.now
-            for conn, window in batches:
-                outcome = self.gcf.request_batch(conn.daemon.gcf, window, t)
-                self._record_batch_failures(window, outcome)
+            self._dispatch_depth += 1
+            try:
+                for conn, window in batches:
+                    outcome = self.gcf.request_batch(conn.daemon.gcf, window, t)
+                    self._record_batch_failures(window, outcome)
+            finally:
+                self._dispatch_depth -= 1
         if raise_errors:
             self._surface_deferred_failure()
 
@@ -264,8 +365,26 @@ class DOpenCLDriver:
         self.flush_connections([conn], raise_errors=raise_errors)
 
     def flush_all(self) -> None:
-        """Flush every connection's send window (full sync point)."""
-        self.flush_connections([c for c in self._connections.values() if c.connected])
+        """Drain every connection's send window (full sync point).
+
+        Dispatching a batch can *defer new commands*: a kernel completing
+        mid-batch notifies the client, whose handler appends completion
+        relays to other servers' (already swapped-out) windows.  A full
+        sync point promises that everything forwarded so far — including
+        such relays — has reached its daemon, so this loops until all
+        windows are empty (bounded by :data:`MAX_DRAIN_PASSES`)."""
+        for _ in range(MAX_DRAIN_PASSES):
+            targets = [c for c in self._connections.values() if c.connected]
+            self.flush_connections(targets, raise_errors=False)
+            if not any(self._pending.get(c.name) for c in targets):
+                break
+        else:
+            raise CLError(
+                ErrorCode.CL_INVALID_OPERATION,
+                f"send windows failed to quiesce after {MAX_DRAIN_PASSES} "
+                "flush passes (deferred-command feedback loop)",
+            )
+        self._surface_deferred_failure()
 
     def pending_commands(self, name: Optional[str] = None) -> int:
         """Deferred commands currently windowed (for ``name``, or all)."""
@@ -431,12 +550,62 @@ class DOpenCLDriver:
             self.check(outcome.response)
         return outcomes
 
+    @staticmethod
+    def _replicated(servers: Sequence[ServerConnection], make_msg) -> List[P.Request]:
+        """Build ``make_msg(conn)`` per server, collapsing field-identical
+        replications onto a single shared instance.
+
+        Sharing one instance is what makes the encode cache effective:
+        batch assembly (``Message.cached_wire``) encodes it once and
+        every further send window hits the cache."""
+        msgs = [make_msg(conn) for conn in servers]
+        if len(msgs) > 1:
+            first = msgs[0]
+            try:
+                if all(m == first for m in msgs[1:]):
+                    return [first] * len(msgs)
+            except Exception:  # array-valued fields: ambiguous equality
+                pass
+        return msgs
+
     def fanout_deferred(self, servers: Sequence[ServerConnection], make_msg) -> None:
         """Replicate an enqueue-class command by appending it to every
         target server's send window (no round trips here; outcomes settle
         at the next flush)."""
+        if not servers:
+            return
+        for conn, msg in zip(servers, self._replicated(servers, make_msg)):
+            self.defer(conn, msg)
+
+    def fanout_eager(self, servers: Sequence[ServerConnection], make_msg) -> None:
+        """Synchronous Ack-only fan-out that *piggybacks* on the window
+        flush it would have forced anyway.
+
+        A synchronous call to a daemon must flush that daemon's send
+        window first (per-daemon program order).  For creation calls
+        whose reply carries no data beyond the error report
+        (``CreateContextRequest`` / ``CreateQueueRequest`` /
+        ``CreateBufferRequest``), paying the flush *and* a separate
+        request round trip is wasteful: this appends the command to the
+        window and flushes — the command rides the tail of the very
+        ``CommandBatch`` the flush sends, and its outcome is checked
+        eagerly when the flush settles the batched replies (so errors
+        still surface at the call site, unlike truly deferred traffic).
+
+        Falls back to :meth:`fanout` when batching or ``batch_fanout``
+        is disabled."""
+        if not self.batching_enabled or not self.batch_fanout:
+            self.fanout(servers, make_msg)
+            return
         for conn in servers:
-            self.defer(conn, make_msg(conn))
+            if not conn.connected:
+                raise CLError(
+                    ErrorCode.CL_INVALID_SERVER_WWU,
+                    f"server {conn.name!r} was disconnected; objects on it are gone",
+                )
+        for conn, msg in zip(servers, self._replicated(servers, make_msg)):
+            self._pending.setdefault(conn.name, []).append(msg)
+        self.flush_connections(servers)
 
     # ------------------------------------------------------------------
     # event consistency (Section III-D)
@@ -453,16 +622,42 @@ class DOpenCLDriver:
             owner = self._connections.get(stub.owner_server) if stub.owner_server else None
             if owner is not None and getattr(owner.daemon, "direct_event_broadcast", False):
                 return
+            if self.defer_event_relays and not stub.has_replicas:
+                # No server holds a user-event replica of this event
+                # (transfer/read events are client-local): a relay would
+                # only earn an error Ack from every daemon.  Skip it.
+                self.stats.relays_suppressed += 1
+                return
             # Replicate the status to the user-event replicas on all other
             # servers of the context.
             for conn in stub.context.unique_servers:
                 if conn.name == stub.owner_server or not conn.connected:
                     continue
-                # The replica's CreateUserEventRequest may still sit in
-                # this connection's send window — flush so it exists
-                # before its status update arrives.  No raising from
-                # inside a daemon->client callback: a deferred failure
-                # stashes and surfaces at the next client sync point.
+                if self.defer_event_relays:
+                    # The relay joins the replica server's send window:
+                    # no round trip now, and program order puts it after
+                    # the replica's (possibly still windowed)
+                    # CreateUserEventRequest.  The window drains at the
+                    # next flush point; no raising from inside a
+                    # daemon->client callback, so failures stash.
+                    # min_time keeps virtual-time causality: the batch
+                    # carrying the relay may be modeled as dispatched
+                    # before this notification arrived, but the replica
+                    # must not resolve before the client learned of the
+                    # completion and one hop carried the word onward.
+                    self.defer(
+                        conn,
+                        P.SetUserEventStatusRequest(
+                            event_id=msg.event_id,
+                            status=CL_COMPLETE,
+                            min_time=arrival + self.network.one_way_latency(),
+                        ),
+                        raise_errors=False,
+                    )
+                    self.stats.relays_deferred += 1
+                    continue
+                # Legacy (PR-1) relay: flush so the replica exists, then
+                # one synchronous request per replica server.
                 self.flush_connection(conn, raise_errors=False)
                 self.gcf.request(
                     conn.daemon.gcf,
@@ -472,16 +667,24 @@ class DOpenCLDriver:
 
     def flush_for_event(self, stub: EventStub) -> None:
         """Push out whatever forwarding the event's resolution depends on
-        (the wait-side half of 'event stubs resolve from batch replies')."""
+        (the wait-side half of 'event stubs resolve from batch replies').
+
+        A wait is a full synchronization point for the event: after the
+        owner's window produces the completion, the *drain* pass flushes
+        the completion relays that deferral just appended to the replica
+        servers' windows — so when the wait returns, every user-event
+        replica has (or is ordered to receive) the status, matching the
+        pre-deferral guarantee."""
         if stub.resolved:
             return
         if stub.owner_server is not None:
             conn = self._connections.get(stub.owner_server)
             if conn is not None and conn.connected:
                 self.flush_connection(conn)
-        if not stub.resolved:
-            # Cross-server wait chains: drain everything.
-            self.flush_all()
+        # Drain: resolves cross-server wait chains when the owner flush
+        # was not enough, and pushes out any completion relays deferred
+        # while the owner's batch dispatched.
+        self.flush_all()
 
     def new_event_stub(self, context: ContextStub, owner_server: Optional[str], command_type: int) -> EventStub:
         """Create an event stub and its user-event replicas on every
@@ -492,6 +695,7 @@ class DOpenCLDriver:
         self._events[stub.id] = stub
         replicas = [c for c in context.unique_servers if c.name != owner_server and c.connected]
         if replicas:
+            stub.has_replicas = True
             self.fanout_deferred(
                 replicas,
                 lambda conn: P.CreateUserEventRequest(event_id=stub.id, context_id=context.id),
@@ -499,10 +703,13 @@ class DOpenCLDriver:
         return stub
 
     def new_user_event_stub(self, context: ContextStub) -> UserEventStub:
+        """``clCreateUserEvent``: a user-event stub with replicas on every
+        server of the context (deferred, enqueue-class traffic)."""
         stub = UserEventStub(context, self.new_id())
         stub.attach_flush_hook(self.flush_for_event)
         self._events[stub.id] = stub
         if context.unique_servers:
+            stub.has_replicas = True
             self.fanout_deferred(
                 context.unique_servers,
                 lambda conn: P.CreateUserEventRequest(event_id=stub.id, context_id=context.id),
@@ -540,8 +747,54 @@ class DOpenCLDriver:
         plan: Sequence[Transfer],
         preferred_queue: Optional[QueueStub] = None,
     ) -> None:
-        """Execute a coherence plan: move whole-object copies between the
-        client and servers (MSI) or directly between servers (MOSI)."""
+        """Execute one buffer's coherence plan: move whole-object copies
+        between the client and servers (MSI) or directly between servers
+        (MOSI)."""
+        self.run_transfer_plans([(buffer, plan)], preferred_queue)
+
+    def run_transfer_plans(
+        self,
+        items: Sequence[Tuple[BufferStub, Sequence[Transfer]]],
+        preferred_queue: Optional[QueueStub] = None,
+    ) -> None:
+        """Execute several buffers' coherence plans with window-aware
+        upload coalescing.
+
+        Non-upload transfers (downloads, server-to-server hops) execute
+        immediately in plan order; client->server uploads are grouped by
+        destination daemon (:func:`split_upload_plan` — see there for
+        why the regrouping preserves every data dependency), and a group
+        of two or more uploads to one daemon is fused into a single
+        :class:`~repro.core.protocol.messages.CoalescedBufferUpload`
+        stream: one init round trip and one raw stream instead of one
+        of each per buffer.  ``coalesce_uploads=False`` restores the
+        per-buffer streams (the PR-1 baseline)."""
+        items = [(buffer, plan) for buffer, plan in items if plan]
+        if not items:
+            return
+        if not self.coalesce_uploads:
+            for buffer, plan in items:
+                self._run_transfers_unmerged(buffer, plan, preferred_queue)
+            return
+        immediate, uploads = split_upload_plan(items)
+        for buffer, transfer in immediate:
+            if transfer.dst == CLIENT:
+                self._download_from_server(buffer, transfer.src, preferred_queue)
+            else:
+                self._server_to_server(buffer, transfer.src, transfer.dst)
+        for server_name, buffers in uploads.items():
+            if len(buffers) == 1:
+                self._upload_to_server(buffers[0], server_name, preferred_queue)
+            else:
+                self._upload_many_to_server(buffers, server_name, preferred_queue)
+
+    def _run_transfers_unmerged(
+        self,
+        buffer: BufferStub,
+        plan: Sequence[Transfer],
+        preferred_queue: Optional[QueueStub],
+    ) -> None:
+        """The pre-coalescing execution path: one stream per transfer."""
         for transfer in plan:
             if transfer.src == CLIENT:
                 self._upload_to_server(buffer, transfer.dst, preferred_queue)
@@ -555,17 +808,22 @@ class DOpenCLDriver:
             return preferred
         return self.internal_queue(buffer.context, server_name)
 
+    def _new_transfer_event(self, context: ContextStub, server_name: str) -> EventStub:
+        """A replica-less event stub tracking one internal protocol
+        transfer (upload/download) on ``server_name``."""
+        stub = EventStub(context, self.new_id(), server_name, 0)
+        stub.attach_flush_hook(self.flush_for_event)
+        self._events[stub.id] = stub
+        return stub
+
     def _upload_to_server(self, buffer: BufferStub, server_name: str, preferred: Optional[QueueStub]) -> None:
         conn = self.connection(server_name)
         queue = self._queue_on(buffer, server_name, preferred)
-        event_id = self.new_id()
-        stub = EventStub(buffer.context, event_id, server_name, 0)
-        stub.attach_flush_hook(self.flush_for_event)
-        self._events[event_id] = stub
+        stub = self._new_transfer_event(buffer.context, server_name)
         init = P.BufferDataUpload(
             buffer_id=buffer.id,
             queue_id=queue.id,
-            event_id=event_id,
+            event_id=stub.id,
             offset=0,
             nbytes=buffer.size,
             wait_event_ids=[],
@@ -573,17 +831,40 @@ class DOpenCLDriver:
         # Zero-copy: the client copy streams out as the ndarray itself.
         self.send_bulk(conn, init, buffer.data, buffer.size)
 
+    def _upload_many_to_server(
+        self,
+        buffers: Sequence[BufferStub],
+        server_name: str,
+        preferred: Optional[QueueStub],
+    ) -> None:
+        """Fuse several whole-object uploads to one daemon into a single
+        bulk stream (one init header, one raw stream, zero-copy: the
+        payload is the list of client-side ndarrays, never
+        concatenated)."""
+        conn = self.connection(server_name)
+        queue = self._queue_on(buffers[0], server_name, preferred)
+        event_ids = [
+            self._new_transfer_event(buffer.context, server_name).id for buffer in buffers
+        ]
+        total = sum(b.size for b in buffers)
+        init = P.CoalescedBufferUpload(
+            queue_id=queue.id,
+            buffer_ids=[b.id for b in buffers],
+            event_ids=event_ids,
+            nbytes_list=[b.size for b in buffers],
+        )
+        self.stats.coalesced_uploads += 1
+        self.stats.coalesced_upload_sections += len(buffers)
+        self.send_bulk(conn, init, [b.data for b in buffers], total)
+
     def _download_from_server(self, buffer: BufferStub, server_name: str, preferred: Optional[QueueStub]) -> None:
         conn = self.connection(server_name)
         queue = self._queue_on(buffer, server_name, preferred)
-        event_id = self.new_id()
-        stub = EventStub(buffer.context, event_id, server_name, 0)
-        stub.attach_flush_hook(self.flush_for_event)
-        self._events[event_id] = stub
+        stub = self._new_transfer_event(buffer.context, server_name)
         request = P.BufferDataDownload(
             buffer_id=buffer.id,
             queue_id=queue.id,
-            event_id=event_id,
+            event_id=stub.id,
             offset=0,
             nbytes=buffer.size,
             wait_event_ids=[],

@@ -45,6 +45,7 @@ class DOpenCLPlatform:
         return found
 
     def info(self) -> Dict[str, object]:
+        """The merged platform's info dict (paper's WWU extensions)."""
         return {
             "NAME": self.name,
             "VENDOR": self.vendor,
@@ -54,6 +55,7 @@ class DOpenCLPlatform:
         }
 
     def get_info(self, key: str) -> object:
+        """One ``clGetPlatformInfo`` key."""
         info = self.info()
         if key not in info:
             raise CLError(ErrorCode.CL_INVALID_VALUE, f"unknown platform info key {key!r}")

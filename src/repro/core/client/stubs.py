@@ -40,18 +40,22 @@ class RemoteDevice:
 
     @property
     def name(self) -> str:
+        """The device's advertised name."""
         return str(self._info.get("NAME", "?"))
 
     @property
     def type_bits(self) -> int:
+        """``CL_DEVICE_TYPE`` bit mask."""
         return int(self._info.get("TYPE", 0))
 
     def info(self) -> Dict[str, object]:
+        """The cached info dict plus live availability."""
         out = dict(self._info)
         out["AVAILABLE"] = self.available
         return out
 
     def get_info(self, key: str) -> object:
+        """One ``clGetDeviceInfo`` key, answered from the client cache."""
         info = self.info()
         if key not in info:
             raise CLError(ErrorCode.CL_INVALID_VALUE, f"unknown device info key {key!r}")
@@ -92,12 +96,15 @@ class ContextStub:
 
     @property
     def server_names(self) -> List[str]:
+        """Names of the context's servers, first-seen order."""
         return [s.name for s in self.unique_servers]
 
     def retain(self) -> None:
+        """``clRetainContext``."""
         self.refcount += 1
 
     def release(self) -> None:
+        """``clReleaseContext`` (remote release handled by the API)."""
         self.refcount -= 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -151,6 +158,7 @@ class BufferStub:
         self.released = False
 
     def write_host(self, offset: int, raw: np.ndarray) -> None:
+        """Overwrite ``raw.size`` bytes of the client's copy at ``offset``."""
         if self.released:
             raise CLError(ErrorCode.CL_INVALID_MEM_OBJECT, "buffer was released")
         if offset < 0 or offset + raw.size > self.size:
@@ -162,6 +170,7 @@ class BufferStub:
         self.data[offset : offset + raw.size] = raw
 
     def read_host(self, offset: int, nbytes: int) -> np.ndarray:
+        """Copy ``nbytes`` bytes out of the client's copy at ``offset``."""
         if self.released:
             raise CLError(ErrorCode.CL_INVALID_MEM_OBJECT, "buffer was released")
         if offset < 0 or nbytes < 0 or offset + nbytes > self.size:
@@ -172,9 +181,11 @@ class BufferStub:
         return self.data[offset : offset + nbytes].copy()
 
     def retain(self) -> None:
+        """``clRetainMemObject``."""
         self.refcount += 1
 
     def release(self) -> None:
+        """``clReleaseMemObject``: drops to zero -> buffer is gone."""
         self.refcount -= 1
         if self.refcount <= 0:
             self.released = True
@@ -196,6 +207,7 @@ class ProgramStub:
         self.refcount = 1
 
     def build_info(self, key: str) -> object:
+        """``clGetProgramBuildInfo``: STATUS / LOG / OPTIONS."""
         if key == "STATUS":
             return self.build_status
         if key == "LOG":
@@ -207,9 +219,11 @@ class ProgramStub:
         raise CLError(ErrorCode.CL_INVALID_VALUE, f"unknown build info key {key!r}")
 
     def retain(self) -> None:
+        """``clRetainProgram``."""
         self.refcount += 1
 
     def release(self) -> None:
+        """``clReleaseProgram`` (remote release handled by the API)."""
         self.refcount -= 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -243,12 +257,15 @@ class KernelStub:
         self.refcount = 1
 
     def buffer_args(self) -> List[BufferStub]:
+        """The currently bound buffer arguments (coherence planning)."""
         return [a for a in self.args if isinstance(a, BufferStub)]
 
     def retain(self) -> None:
+        """``clRetainKernel``."""
         self.refcount += 1
 
     def release(self) -> None:
+        """``clReleaseKernel`` (remote release handled by the API)."""
         self.refcount -= 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -278,27 +295,38 @@ class EventStub:
         self.completion_arrival: Optional[float] = None
         #: Completion time on the owning server (from the notification).
         self.completed_at: Optional[float] = None
+        #: True when user-event replicas of this event were created on
+        #: other servers (so a completion must be relayed to them); the
+        #: driver sets it.  Events without replicas — internal transfer
+        #: and read events — need (and get) no relay traffic.
+        self.has_replicas = False
         #: Driver-installed callable flushing the forwarding this event's
         #: resolution depends on (see class docstring).
         self._flush_hook = None
         self.refcount = 1
 
     def attach_flush_hook(self, hook) -> None:
+        """Install the driver's flush-on-wait callable."""
         self._flush_hook = hook
 
     @property
     def resolved(self) -> bool:
+        """Whether the completion has reached the client."""
         return self.completion_arrival is not None
 
     @property
     def status(self) -> int:
+        """``clGetEventInfo(STATUS)`` equivalent."""
         return CL_COMPLETE if self.resolved else CL_QUEUED
 
     def mark_complete(self, completed_at: float, arrival: float) -> None:
+        """Record the completion notification (driver callback)."""
         self.completed_at = completed_at
         self.completion_arrival = arrival
 
     def wait(self, t: float) -> float:
+        """Resolve the event, draining send windows via the flush hook;
+        returns the virtual time the waiter resumes."""
         if not self.resolved and self._flush_hook is not None:
             self._flush_hook(self)  # drain send windows; may resolve us
         if not self.resolved:
@@ -309,9 +337,11 @@ class EventStub:
         return max(t, self.completion_arrival)
 
     def retain(self) -> None:
+        """``clRetainEvent``."""
         self.refcount += 1
 
     def release(self) -> None:
+        """``clReleaseEvent``."""
         self.refcount -= 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -334,6 +364,7 @@ class ServerHandle:
 
     @property
     def name(self) -> str:
+        """The server's (host) name."""
         return self.connection.name
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -27,12 +27,14 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Sequence, Tuple
 
 CLIENT = "client"
 
 
 class State(str, enum.Enum):
+    """Per-party coherence state of one memory object's copy."""
+
     MODIFIED = "M"
     OWNED = "O"  # MOSI only
     SHARED = "S"
@@ -53,6 +55,47 @@ class Transfer:
     reason: str
 
 
+def split_upload_plan(
+    plans: Sequence[Tuple[object, Sequence[Transfer]]],
+) -> Tuple[List[Tuple[object, Transfer]], "Dict[str, List[object]]"]:
+    """Split per-buffer transfer plans for window-aware upload coalescing.
+
+    ``plans`` is a sequence of ``(key, plan)`` pairs — ``key`` identifies
+    the memory object (the driver passes the buffer stub), ``plan`` the
+    ordered :class:`Transfer` list its directory emitted.  Returns
+    ``(immediate, uploads)`` where ``immediate`` holds every non-upload
+    transfer (downloads and server-to-server hops, tagged with their
+    key) in original order, and ``uploads`` groups the client->server
+    uploads by destination daemon, preserving the order the plans listed
+    them in.
+
+    The split is safe because of two structural properties of the
+    MSI/MOSI planners, which this function preserves and the coalescing
+    property tests verify:
+
+    * within one object's plan, a client->server upload only ever
+      *follows* the transfers that revalidate the client's copy — so
+      executing all ``immediate`` transfers before any grouped upload
+      keeps every per-object data dependency intact;
+    * transfers of different objects are independent (each directory
+      governs exactly one object), so regrouping across objects cannot
+      reorder anything that matters.
+
+    Directory state is mutated at *planning* time (``acquire_read``),
+    never at execution time — grouping therefore leaves the directories
+    in exactly the state the unmerged execution would.
+    """
+    immediate: List[Tuple[object, Transfer]] = []
+    uploads: Dict[str, List[object]] = {}
+    for key, plan in plans:
+        for transfer in plan:
+            if transfer.src == CLIENT and transfer.dst != CLIENT:
+                uploads.setdefault(transfer.dst, []).append(key)
+            else:
+                immediate.append((key, transfer))
+    return immediate, uploads
+
+
 class MSIDirectory:
     """Client-mediated MSI directory for one memory object."""
 
@@ -70,10 +113,12 @@ class MSIDirectory:
     # -- queries -------------------------------------------------------
     @property
     def parties(self) -> List[str]:
+        """Every party tracked: the client plus the context's servers."""
         return list(self.state)
 
     @property
     def servers(self) -> List[str]:
+        """The server parties (everyone but the client)."""
         return [p for p in self.state if p != CLIENT]
 
     def directory(self) -> List[str]:
@@ -81,6 +126,7 @@ class MSIDirectory:
         return [p for p in self.servers if self.state[p] in self.VALID]
 
     def is_valid(self, party: str) -> bool:
+        """Whether ``party`` currently holds a readable copy."""
         return self.state[self._known(party)] in self.VALID
 
     def _known(self, party: str) -> str:
@@ -172,6 +218,9 @@ class MOSIDirectory(MSIDirectory):
     VALID = (State.MODIFIED, State.OWNED, State.SHARED)
 
     def acquire_read(self, party: str) -> List[Transfer]:
+        """Make ``party`` valid with a single direct hop from the owner
+        (server-to-server when both are servers), keeping dirty sharing
+        via the Owned state."""
         party = self._known(party)
         plan: List[Transfer] = []
         if self.is_valid(party):

@@ -85,6 +85,7 @@ class Daemon:
     # ------------------------------------------------------------------
     @property
     def name(self) -> str:
+        """The daemon's GCF process name."""
         return self.gcf.name
 
     def start(self, t: float = 0.0) -> float:
@@ -292,6 +293,51 @@ class Daemon:
             self.registry.put(sender.name, msg.event_id, event)
             self._arm_completion_callback(event, msg.event_id, sender)
 
+        @gcf.on_request(P.CoalescedBufferUpload)
+        def coalesced_upload_init(msg: P.CoalescedBufferUpload, t: float, sender: GCFProcess):
+            # Validate the whole section table up front so the client's
+            # single init round trip reports any stale ID before the
+            # merged payload streams.
+            try:
+                if not (
+                    len(msg.buffer_ids) == len(msg.event_ids) == len(msg.nbytes_list)
+                    and msg.buffer_ids
+                ):
+                    raise CLError(
+                        ErrorCode.CL_INVALID_VALUE,
+                        "coalesced upload needs aligned, non-empty section lists",
+                    )
+                self._queue(sender.name, msg.queue_id)
+                for buffer_id in msg.buffer_ids:
+                    self.registry.get(sender.name, buffer_id, Buffer)
+                return P.BufferDataResponse(nbytes=sum(msg.nbytes_list)), t
+            except CLError as exc:
+                return P.BufferDataResponse(error=exc.code.value, detail=exc.message), t
+
+        @gcf.on_bulk_sink(P.CoalescedBufferUpload)
+        def coalesced_upload_sink(msg: P.CoalescedBufferUpload, payload, arrival: float, sender: GCFProcess):
+            # One raw stream carrying several whole-object uploads: each
+            # section becomes an ordinary enqueued write on the same
+            # queue, in section order, with its own registered event —
+            # byte-for-byte what the unmerged per-buffer streams would
+            # have produced.  The payload arrives either as the client's
+            # list of per-section arrays (zero-copy) or as one flat
+            # concatenation (decoded stream).
+            queue = self._queue(sender.name, msg.queue_id)
+            if isinstance(payload, (list, tuple)):
+                sections = [as_uint8_array(part) for part in payload]
+            else:
+                flat = as_uint8_array(payload)
+                sections, cursor = [], 0
+                for nbytes in msg.nbytes_list:
+                    sections.append(flat[cursor : cursor + nbytes])
+                    cursor += nbytes
+            for buffer_id, event_id, data in zip(msg.buffer_ids, msg.event_ids, sections):
+                buffer = self.registry.get(sender.name, buffer_id, Buffer)
+                event = queue.enqueue_write_buffer(buffer, data, arrival, 0, [])
+                self.registry.put(sender.name, event_id, event)
+                self._arm_completion_callback(event, event_id, sender)
+
         @gcf.on_bulk_source(P.BufferDataDownload)
         def download_source(msg: P.BufferDataDownload, t: float, sender: GCFProcess):
             try:
@@ -473,7 +519,11 @@ class Daemon:
         def set_user_event_status(msg: P.SetUserEventStatusRequest, t: float, sender: GCFProcess):
             try:
                 event = self.registry.get(sender.name, msg.event_id, UserEvent)
-                event.set_status(msg.status, t)
+                # msg.min_time is the relay's causality floor: a status
+                # riding an early-dispatched batch still takes effect no
+                # sooner than the completion it reports became knowable
+                # here (see SetUserEventStatusRequest).
+                event.set_status(msg.status, max(t, msg.min_time))
                 return P.Ack(), t
             except CLError as exc:
                 return P.Ack(error=exc.code.value, detail=exc.message), t

@@ -33,9 +33,11 @@ class Registry:
         self._objects: Dict[str, Dict[int, object]] = {}
 
     def client_names(self) -> Iterator[str]:
+        """Clients that currently own registered objects."""
         return iter(self._objects)
 
     def put(self, client: str, obj_id: int, obj: object) -> object:
+        """Register ``obj`` under the client-assigned unique ID."""
         table = self._objects.setdefault(client, {})
         if obj_id in table:
             raise CLError(
@@ -46,6 +48,7 @@ class Registry:
         return obj
 
     def get(self, client: str, obj_id: int, expected: Optional[Type[T]] = None) -> T:
+        """Look an object up, optionally type-checked (faithful CLError)."""
         table = self._objects.get(client, {})
         obj = table.get(obj_id)
         if obj is None:
@@ -59,6 +62,7 @@ class Registry:
         return obj
 
     def pop(self, client: str, obj_id: int) -> object:
+        """Remove and return an object (the release handlers)."""
         table = self._objects.get(client, {})
         obj = table.pop(obj_id, None)
         if obj is None:
@@ -71,4 +75,5 @@ class Registry:
         return iter(table.items())
 
     def count(self, client: str) -> int:
+        """How many objects ``client`` currently owns."""
         return len(self._objects.get(client, {}))

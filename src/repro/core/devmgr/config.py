@@ -37,10 +37,12 @@ class DeviceRequirement:
     attributes: Dict[str, str] = field(default_factory=dict)
 
     def to_wire(self) -> Dict[str, object]:
+        """Codec-encodable form for the AssignmentRequest payload."""
         return {"count": self.count, "attributes": dict(self.attributes)}
 
     @staticmethod
     def from_wire(data: Dict[str, object]) -> "DeviceRequirement":
+        """Rebuild a requirement from its wire dict."""
         return DeviceRequirement(
             count=int(data.get("count", 1)),
             attributes=dict(data.get("attributes", {})),

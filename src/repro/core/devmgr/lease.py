@@ -20,11 +20,15 @@ class FreeDevice:
 
     @property
     def key(self) -> tuple:
+        """Stable identity: (server name, device id)."""
         return (self.server_name, self.device_id)
 
 
 @dataclass
 class Lease:
+    """Devices granted to one application under one auth ID
+    (Section IV-B)."""
+
     auth_id: str
     devices: List[FreeDevice] = field(default_factory=list)
 

@@ -46,12 +46,15 @@ class DeviceManager:
     # ------------------------------------------------------------------
     @property
     def name(self) -> str:
+        """The manager's GCF process name."""
         return self.gcf.name
 
     def assigned_count(self) -> int:
+        """Total devices currently out on leases."""
         return sum(len(lease.devices) for lease in self.leases.values())
 
     def server_load(self) -> Dict[str, int]:
+        """Server name -> number of its devices currently leased."""
         load: Dict[str, int] = {}
         for lease in self.leases.values():
             for dev in lease.devices:

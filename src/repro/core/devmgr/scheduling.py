@@ -84,9 +84,12 @@ class SchedulingStrategy(ABC):
 
 
 class FirstFit(SchedulingStrategy):
+    """Take the first matching device in inventory order."""
+
     name = "first_fit"
 
     def select(self, free, requirement, server_load):
+        """First device whose info matches the requirement."""
         for dev in free:
             if device_matches(dev.info, requirement.attributes):
                 return dev
@@ -94,9 +97,12 @@ class FirstFit(SchedulingStrategy):
 
 
 class RoundRobin(SchedulingStrategy):
+    """Spread leases evenly: pick the least-loaded matching server."""
+
     name = "round_robin"
 
     def select(self, free, requirement, server_load):
+        """Matching device on the server with the fewest leases."""
         candidates = [d for d in free if device_matches(d.info, requirement.attributes)]
         if not candidates:
             return None
@@ -104,9 +110,13 @@ class RoundRobin(SchedulingStrategy):
 
 
 class BestFit(SchedulingStrategy):
+    """Minimise wasted capability over the requirement's numeric
+    minimums."""
+
     name = "best_fit"
 
     def select(self, free, requirement, server_load):
+        """Matching device with the least excess over the minimums."""
         candidates = [d for d in free if device_matches(d.info, requirement.attributes)]
         if not candidates:
             return None
@@ -127,6 +137,7 @@ _STRATEGIES = {cls.name: cls for cls in (FirstFit, RoundRobin, BestFit)}
 
 
 def make_strategy(name: str) -> SchedulingStrategy:
+    """Instantiate a strategy by its registered name."""
     cls = _STRATEGIES.get(name)
     if cls is None:
         raise ValueError(f"unknown scheduling strategy {name!r}; know {sorted(_STRATEGIES)}")

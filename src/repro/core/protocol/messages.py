@@ -8,6 +8,11 @@ a unique ID which corresponds to a remote object" (Section III-D).
 
 Responses carry ``error`` (an OpenCL error code, 0 on success) and
 ``detail`` so the client driver can re-raise a faithful ``CLError``.
+
+The module ends with the :data:`DEFERRABLE` registry — the contract
+between the client driver's send windows and the daemon's batch
+dispatcher; see its documentation for the rules a request type must obey
+to be listed there.
 """
 
 from __future__ import annotations
@@ -28,6 +33,13 @@ from repro.net.messages import (
 # ----------------------------------------------------------------------
 @message_type
 class Ack(Response):
+    """Generic success/error reply for calls that return no data.
+
+    This is the response type of every deferrable command, which is what
+    makes the daemon-side reply cache effective: a successful batch of N
+    commands answers N byte-identical ``Ack()`` encodings.
+    """
+
     error: int = 0
     detail: str = ""
 
@@ -37,11 +49,18 @@ class Ack(Response):
 # ----------------------------------------------------------------------
 @message_type
 class ListDevicesRequest(Request):
+    """``clGetDeviceIDs`` forwarded at connect time (Section III-C)."""
+
     device_type: int
 
 
 @message_type
 class ListDevicesResponse(Response):
+    """Device IDs plus their full (immutable) info dicts.
+
+    Shipping the info eagerly is why ``clGetDeviceInfo`` never touches
+    the network afterwards (Section III-B)."""
+
     device_ids: List[int]
     infos: List[Dict[str, object]]
     error: int = 0
@@ -50,11 +69,13 @@ class ListDevicesResponse(Response):
 
 @message_type
 class ServerInfoRequest(Request):
-    pass
+    """``clGetServerInfoWWU`` (paper Listing 1)."""
 
 
 @message_type
 class ServerInfoResponse(Response):
+    """The daemon's self-description key/value map."""
+
     info: Dict[str, object]
     error: int = 0
     detail: str = ""
@@ -65,17 +86,23 @@ class ServerInfoResponse(Response):
 # ----------------------------------------------------------------------
 @message_type
 class CreateContextRequest(Request):
+    """Create this server's member of a compound context stub."""
+
     context_id: int
     device_ids: List[int]
 
 
 @message_type
 class ReleaseContextRequest(Request):
+    """Drop the server-side context object (deferrable release class)."""
+
     context_id: int
 
 
 @message_type
 class CreateQueueRequest(Request):
+    """``clCreateCommandQueue`` on the one server owning the device."""
+
     queue_id: int
     context_id: int
     device_id: int
@@ -84,16 +111,23 @@ class CreateQueueRequest(Request):
 
 @message_type
 class ReleaseQueueRequest(Request):
+    """Drop the server-side command queue (deferrable release class)."""
+
     queue_id: int
 
 
 @message_type
 class FinishRequest(Request):
+    """``clFinish``: blocks the client until the queue drains — always a
+    synchronous round trip, and therefore a flush point."""
+
     queue_id: int
 
 
 @message_type
 class FlushRequest(Request):
+    """``clFlush``: submission guarantee only, so it may ride a batch."""
+
     queue_id: int
 
 
@@ -102,6 +136,8 @@ class FlushRequest(Request):
 # ----------------------------------------------------------------------
 @message_type
 class CreateBufferRequest(Request):
+    """Allocate this server's copy of a compound buffer stub."""
+
     buffer_id: int
     context_id: int
     flags: int
@@ -110,6 +146,8 @@ class CreateBufferRequest(Request):
 
 @message_type
 class ReleaseBufferRequest(Request):
+    """Drop the server-side buffer copy (deferrable release class)."""
+
     buffer_id: int
 
 
@@ -126,6 +164,27 @@ class BufferDataUpload(Request):
 
 
 @message_type
+class CoalescedBufferUpload(Request):
+    """Init message for a *merged* client->server upload stream.
+
+    When the coherence protocol needs to validate several buffers on the
+    same daemon between two sync points (typically the buffer arguments
+    of one kernel launch), the driver fuses the per-buffer
+    ``BufferDataUpload`` streams into one: a single init round trip and
+    a single raw stream whose payload is the concatenation of the
+    sections.  ``buffer_ids[i]`` / ``event_ids[i]`` / ``nbytes_list[i]``
+    describe section ``i`` (whole-object coherence uploads, so offsets
+    are always zero); the daemon enqueues one write per section, in
+    order, on ``queue_id`` and registers each section's event.
+    """
+
+    queue_id: int
+    buffer_ids: List[int]
+    event_ids: List[int]
+    nbytes_list: List[int]
+
+
+@message_type
 class BufferDataDownload(Request):
     """Request for a server->client buffer stream (download path)."""
 
@@ -139,6 +198,8 @@ class BufferDataDownload(Request):
 
 @message_type
 class BufferDataResponse(Response):
+    """Reply to an upload/download init: acknowledged byte count."""
+
     nbytes: int = 0
     error: int = 0
     detail: str = ""
@@ -168,12 +229,17 @@ class CreateProgramRequest(Request):
 
 @message_type
 class BuildProgramRequest(Request):
+    """``clBuildProgram`` on one server (synchronous: the client needs
+    the per-server build status)."""
+
     program_id: int
     options: str = ""
 
 
 @message_type
 class BuildProgramResponse(Response):
+    """Per-server build status and log."""
+
     status: str = "SUCCESS"
     log: str = ""
     error: int = 0
@@ -182,11 +248,16 @@ class BuildProgramResponse(Response):
 
 @message_type
 class ReleaseProgramRequest(Request):
+    """Drop the server-side program (deferrable release class)."""
+
     program_id: int
 
 
 @message_type
 class CreateKernelRequest(Request):
+    """``clCreateKernel``; synchronous because the reply carries the
+    argument metadata the client caches in the kernel stub."""
+
     kernel_id: int
     program_id: int
     name: str
@@ -194,6 +265,8 @@ class CreateKernelRequest(Request):
 
 @message_type
 class CreateKernelResponse(Response):
+    """Kernel argument metadata (count, kinds, types, writable args)."""
+
     num_args: int = 0
     arg_kinds: List[str] = None
     arg_types: List[str] = None
@@ -204,6 +277,9 @@ class CreateKernelResponse(Response):
 
 @message_type
 class SetKernelArgRequest(Request):
+    """``clSetKernelArg`` replicated to every server of the context —
+    the canonical deferrable (and reply-cacheable) command."""
+
     kernel_id: int
     index: int
     kind: str  # "buffer" | "local" | "value"
@@ -214,11 +290,16 @@ class SetKernelArgRequest(Request):
 
 @message_type
 class ReleaseKernelRequest(Request):
+    """Drop the server-side kernel (deferrable release class)."""
+
     kernel_id: int
 
 
 @message_type
 class EnqueueKernelRequest(Request):
+    """``clEnqueueNDRangeKernel`` — fire-and-forget from the client's
+    point of view, so it rides the send window."""
+
     queue_id: int
     kernel_id: int
     event_id: int
@@ -230,6 +311,8 @@ class EnqueueKernelRequest(Request):
 
 @message_type
 class EnqueueKernelResponse(Response):
+    """Launch acknowledgement (errors surface at the next sync point)."""
+
     error: int = 0
     detail: str = ""
 
@@ -239,18 +322,42 @@ class EnqueueKernelResponse(Response):
 # ----------------------------------------------------------------------
 @message_type
 class CreateUserEventRequest(Request):
+    """Create a user-event replica (the consistency protocol's stand-in
+    for a remote original event, Section III-D)."""
+
     event_id: int
     context_id: int
 
 
 @message_type
 class SetUserEventStatusRequest(Request):
+    """Complete a user event / user-event replica.
+
+    Sent by the application (``clSetUserEventStatus`` fan-out) and by
+    the client driver's completion *relay* when an original event
+    finishes on its owning server.  Relays are deferrable: they join the
+    replica server's send window, where program order guarantees the
+    replica's :class:`CreateUserEventRequest` precedes them.
+
+    ``min_time`` is the causality floor: the daemon applies the status
+    no earlier than this virtual time.  A deferred relay may ride a
+    batch whose dispatch is *modeled* earlier than the completion it
+    reports (flushes are non-blocking in virtual time), so the relay
+    carries "when the client learned of the completion, plus the
+    client->server hop" and the replica can never resolve before the
+    original event did.  Application-initiated status updates leave it
+    at 0 (the status is known at call time).
+    """
+
     event_id: int
     status: int
+    min_time: float = 0.0
 
 
 @message_type
 class ReleaseEventRequest(Request):
+    """Drop the server-side event (deferrable release class)."""
+
     event_id: int
 
 
@@ -284,6 +391,8 @@ class AssignmentRequest(Request):
 
 @message_type
 class AssignmentResponse(Response):
+    """The granted lease: auth ID plus the servers to connect to."""
+
     auth_id: str = ""
     server_names: List[str] = None
     error: int = 0
@@ -326,14 +435,34 @@ class ClientLostNotification(Notification):
 # The batch envelope itself lives in repro.net.messages (it is a GCF
 # transport concept, not a CL one); it is re-exported here because the
 # daemon registers its dispatch handler alongside the CL handlers.
-#
-# ``DEFERRABLE`` lists the enqueue-class request types the client driver
-# may hold in a per-connection send window and coalesce into one
-# CommandBatch per daemon: commands that are fire-and-forget from the
-# application's point of view (their only response is an Ack-style error
-# report, surfaced at the next synchronization point).  Requests that
-# return data the caller needs immediately (device lists, kernel
-# metadata, bulk init exchanges) must stay synchronous.
+
+#: The **deferrable-request registry**: the contract between the client
+#: driver's per-connection send windows and the daemon's batch
+#: dispatcher.  A request type may be listed here only if all of the
+#: following hold:
+#:
+#: 1. **Fire-and-forget semantics.**  The application does not need the
+#:    reply to make progress — the only information a reply can carry is
+#:    an error report (an Ack-class response), which the driver is
+#:    allowed to surface later, at the next synchronization point, as a
+#:    ``CLError`` (real OpenCL reports asynchronous failures the same
+#:    way).  Requests whose replies carry data the caller consumes
+#:    immediately (device lists, kernel metadata, bulk-stream inits)
+#:    must stay synchronous.
+#: 2. **Order-insensitive across daemons, order-preserving within one.**
+#:    The daemon replays batched commands in client program order, and
+#:    the driver flushes a window before any synchronous request or bulk
+#:    stream to the same daemon — so per-daemon program order is
+#:    preserved automatically.  Nothing may *require* cross-daemon
+#:    ordering stronger than what the flush points provide.
+#: 3. **Batch-dispatchable.**  The daemon must have an ``on_request``
+#:    handler for the type (the dispatcher replays sub-commands through
+#:    the normal handler table), and the type must not itself be an
+#:    envelope (nested batches are rejected).
+#:
+#: Flush points — where windows drain and deferred errors surface — are
+#: enumerated in :meth:`repro.core.client.driver.DOpenCLDriver.defer`'s
+#: documentation and in ``docs/architecture.md``.
 DEFERRABLE = frozenset(
     {
         SetKernelArgRequest,

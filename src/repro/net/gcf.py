@@ -37,8 +37,10 @@ from repro.net.messages import (
     CommandBatchResponse,
     Message,
     Notification,
+    ReplyCache,
     Request,
     Response,
+    WireDecodeCache,
 )
 from repro.net.network import Network
 from repro.net.streams import StreamResult
@@ -59,9 +61,55 @@ NOTIFICATION_LOG_LIMIT = 256
 class NetStats:
     """Per-process tally of initiated communication.
 
-    ``round_trips`` counts synchronous client<->server exchanges (single
-    requests, command batches, and bulk fetches); a batch of N commands
-    is *one* round trip — the quantity the batching pipeline minimises.
+    Counter meanings (each is a monotonically increasing int):
+
+    ``requests``
+        Synchronous single-message request/response exchanges this
+        process initiated (``GCFProcess.request``).  One request = one
+        network round trip.
+    ``batches``
+        :class:`CommandBatch` envelopes this process dispatched
+        (``GCFProcess.request_batch``).  A batch of N commands is *one*
+        round trip — the quantity the forwarding pipeline minimises.
+    ``batched_commands``
+        Total sub-commands carried inside those batches; the coalescing
+        ratio is ``batched_commands / batches``.
+    ``notifications``
+        One-way asynchronous messages sent (``GCFProcess.notify``); they
+        cost bytes but no round trip.
+    ``streams`` / ``bulk_sends`` / ``bulk_fetches``
+        Stream-based bulk transfers: raw streams, uploads (init
+        request + pushed payload) and downloads (request + pulled
+        payload).  A bulk *fetch* blocks on the reply, so it counts as a
+        round trip; a bulk *send*'s init request is already counted in
+        ``requests``.
+    ``bytes_sent`` / ``bytes_received``
+        Wire bytes (message encodings incl. protocol headers, plus raw
+        bulk payloads) this process put on / took off the network.
+    ``encode_cache_hits``
+        Command encodings reused from :meth:`Message.cached_wire` when
+        assembling batches — a command replicated to N daemons is
+        encoded once and hits this counter N-1 times.
+    ``decode_cache_hits``
+        Wire decodings answered from the process's
+        :class:`~repro.net.messages.WireDecodeCache`: on a daemon these
+        are byte-identical sub-commands decoded once; on a client,
+        byte-identical batched replies (typically the success ``Ack``).
+    ``reply_cache_hits``
+        Daemon-side reply encodings reused from the
+        :class:`~repro.net.messages.ReplyCache` (the handler still ran;
+        only the re-encoding was skipped).
+    ``relays_deferred`` / ``relays_suppressed``
+        Client-side event-consistency traffic accounting: completion
+        relays that joined a send window instead of round-tripping, and
+        relays skipped entirely because the event has no user-event
+        replicas anywhere.
+    ``coalesced_uploads`` / ``coalesced_upload_sections``
+        Coherence uploads merged into single bulk streams, and how many
+        per-buffer sections those merged streams carried.
+
+    ``round_trips`` (a property) is ``requests + batches + bulk_fetches``:
+    every synchronous client<->server exchange the process blocked on.
     """
 
     __slots__ = (
@@ -74,24 +122,26 @@ class NetStats:
         "bulk_fetches",
         "bytes_sent",
         "bytes_received",
+        "encode_cache_hits",
+        "decode_cache_hits",
+        "reply_cache_hits",
+        "relays_deferred",
+        "relays_suppressed",
+        "coalesced_uploads",
+        "coalesced_upload_sections",
     )
 
     def __init__(self) -> None:
-        self.requests = 0
-        self.batches = 0
-        self.batched_commands = 0
-        self.notifications = 0
-        self.streams = 0
-        self.bulk_sends = 0
-        self.bulk_fetches = 0
-        self.bytes_sent = 0
-        self.bytes_received = 0
+        for name in self.__slots__:
+            setattr(self, name, 0)
 
     @property
     def round_trips(self) -> int:
+        """Synchronous exchanges initiated: requests + batches + fetches."""
         return self.requests + self.batches + self.bulk_fetches
 
     def snapshot(self) -> Dict[str, int]:
+        """All counters (plus the derived ``round_trips``) as a dict."""
         return {name: getattr(self, name) for name in self.__slots__} | {
             "round_trips": self.round_trips
         }
@@ -121,6 +171,7 @@ class RequestOutcome:
 
     @property
     def round_trip(self) -> float:
+        """Elapsed virtual time from send to reply arrival."""
         return self.reply_arrival - self.sent_at
 
 
@@ -149,6 +200,7 @@ class BatchOutcome:
 
     @property
     def round_trip(self) -> float:
+        """Elapsed virtual time the whole batch's round trip took."""
         return self.reply_arrival - self.sent_at
 
     def __len__(self) -> int:
@@ -173,6 +225,9 @@ class GCFProcess:
         #: Extra server-side work per accepted connection (session setup,
         #: worker spawn).  Daemons set this; plain processes keep 0.
         self.connect_setup_duration = 0.0
+        # Bounded byte-identical reply/command decode reuse (hit counts
+        # surface as ``stats.decode_cache_hits``); see repro.net.messages.
+        self._decode_cache = WireDecodeCache()
         self.peers: Dict[str, "GCFProcess"] = {}
         # Bounded log of (arrival_time, sender, message) for
         # introspection/tests; see :meth:`set_notification_log_limit`.
@@ -189,6 +244,8 @@ class GCFProcess:
     # handler registration (server side)
     # ------------------------------------------------------------------
     def on_request(self, msg_cls: Type[Message]) -> Callable[[RequestHandler], RequestHandler]:
+        """Decorator registering the request handler for ``msg_cls``."""
+
         def register(fn: RequestHandler) -> RequestHandler:
             self._request_handlers[msg_cls] = fn
             return fn
@@ -196,6 +253,8 @@ class GCFProcess:
         return register
 
     def on_notification(self, msg_cls: Type[Message]) -> Callable[[NotificationHandler], NotificationHandler]:
+        """Decorator registering the notification handler for ``msg_cls``."""
+
         def register(fn: NotificationHandler) -> NotificationHandler:
             self._notification_handlers[msg_cls] = fn
             return fn
@@ -225,11 +284,14 @@ class GCFProcess:
         return register
 
     def on_connect(self, fn: Callable[[str, Any, float], None]) -> Callable[[str, Any, float], None]:
+        """Register the handler observing accepted connections."""
         self._connect_handler = fn
         return fn
 
     def install_batch_dispatch(
-        self, on_error: Optional[Callable[[str], Response]] = None
+        self,
+        on_error: Optional[Callable[[str], Response]] = None,
+        reply_cache_size: int = 256,
     ) -> None:
         """Make this process accept :class:`CommandBatch` envelopes.
 
@@ -241,7 +303,25 @@ class GCFProcess:
         sub-command (undecodable bytes, no handler, nested batch) to the
         Response placed in its reply slot; without it such a command
         raises :class:`NetworkError`.
+
+        Two per-process caches remove redundant codec work without ever
+        skipping a handler (handlers have side effects and always run):
+
+        * byte-identical sub-commands — e.g. a ``SetKernelArgRequest``
+          re-sent with unchanged arguments — are decoded once through
+          the process's :class:`~repro.net.messages.WireDecodeCache`;
+        * the **reply cache** (:class:`~repro.net.messages.ReplyCache`,
+          bounded by ``reply_cache_size``) is keyed by the sub-command's
+          raw bytes (its request digest) and reuses the reply's encoding
+          whenever the handler produced a response equal to last time —
+          in steady state nearly every deferred command answers the
+          identical success ``Ack``, so replicated requests are encoded
+          once and their replies decoded from cache on the client side.
+
+        Cache hits surface as ``stats.decode_cache_hits`` and
+        ``stats.reply_cache_hits``.
         """
+        reply_cache = ReplyCache(maxsize=reply_cache_size)
 
         def undispatchable(detail: str) -> bytes:
             if on_error is None:
@@ -255,7 +335,9 @@ class GCFProcess:
             tcur = t
             for raw in msg.commands:
                 try:
-                    sub = Message.from_wire(raw)
+                    decode_hits = self._decode_cache.hits
+                    sub = self._decode_cache.decode(raw)
+                    self.stats.decode_cache_hits += self._decode_cache.hits - decode_hits
                 except CodecError as exc:
                     results.append(undispatchable(f"undecodable batched command: {exc}"))
                     continue
@@ -273,10 +355,13 @@ class GCFProcess:
                         f"t_done={t_done} < start={iv.end}"
                     )
                 tcur = t_done
-                results.append(response.to_wire())
+                reply_hits = reply_cache.hits
+                results.append(reply_cache.encode(raw, response))
+                self.stats.reply_cache_hits += reply_cache.hits - reply_hits
             return CommandBatchResponse(results=results), tcur
 
     def on_disconnect(self, fn: Callable[[str, float], None]) -> Callable[[str, float], None]:
+        """Register the handler observing peer disconnects."""
         self._disconnect_handler = fn
         return fn
 
@@ -343,6 +428,15 @@ class GCFProcess:
         ``CommandBatch`` handler — which decodes each sub-command once and
         charges CPU per command — and their responses come back together
         in the single :class:`CommandBatchResponse` reply.
+
+        Encoding is memoised per command instance
+        (:meth:`~repro.net.messages.Message.cached_wire`): a command
+        replicated into several daemons' windows as the *same* instance
+        is encoded exactly once (``stats.encode_cache_hits`` counts the
+        reuses).  Reply decoding goes through the process's
+        :class:`~repro.net.messages.WireDecodeCache`, so byte-identical
+        replies — overwhelmingly the success ``Ack`` — are decoded once
+        (``stats.decode_cache_hits``).
         """
         if not msgs:
             raise ValueError("request_batch needs at least one command")
@@ -351,7 +445,12 @@ class GCFProcess:
             raise NetworkError(
                 f"process {target.name!r} does not accept command batches"
             )
-        batch = CommandBatch(commands=[m.to_wire() for m in msgs])
+        commands = []
+        for m in msgs:
+            if "_cached_wire" in m.__dict__:
+                self.stats.encode_cache_hits += 1
+            commands.append(m.cached_wire())
+        batch = CommandBatch(commands=commands)
         arrival = self.network.transfer(
             self.host, target.host, t, batch.wire_size, tag="CommandBatch"
         )
@@ -373,7 +472,9 @@ class GCFProcess:
         self.stats.batched_commands += len(msgs)
         self.stats.bytes_sent += batch.wire_size
         self.stats.bytes_received += reply.wire_size
-        responses = [Message.from_wire(raw) for raw in reply.results]
+        decode_hits = self._decode_cache.hits
+        responses = [self._decode_cache.decode(raw) for raw in reply.results]
+        self.stats.decode_cache_hits += self._decode_cache.hits - decode_hits
         return BatchOutcome(responses, t, arrival, t_done, reply_arrival)
 
     def notify(self, target: "GCFProcess", msg: Notification, t: float) -> float:
@@ -424,6 +525,12 @@ class GCFProcess:
         bulk-sink handler as-is (zero-copy: pass an ndarray or memoryview
         and no intermediate byte string is materialised).  Returns
         ``(init_outcome, arrival)``.
+
+        When the init reply reports an error the stream is aborted: the
+        payload is never transferred and the sink never runs — the
+        receiver's up-front validation (stale IDs, malformed section
+        tables) rejects the upload before any state changes, and the
+        caller surfaces the error response.
         """
         sink = target._bulk_sink_handlers.get(type(init))
         if sink is None:
@@ -431,6 +538,8 @@ class GCFProcess:
                 f"process {target.name!r} has no bulk sink for {type(init).__name__}"
             )
         outcome = self.request(target, init, t)
+        if getattr(outcome.response, "error", 0):
+            return outcome, outcome.reply_arrival
         arrival = self.network.transfer(
             self.host, target.host, outcome.reply_arrival, nbytes, tag=f"bulk:{type(init).__name__}"
         )

@@ -16,6 +16,8 @@ from repro.net.network import Network
 
 @dataclass(frozen=True)
 class IperfResult:
+    """Outcome of one iperf-style bulk measurement."""
+
     nbytes: int
     seconds: float
 

@@ -14,12 +14,30 @@ MESSAGE_HEADER_BYTES`` is guaranteed by the codec's size arithmetic).
 envelope for *asynchronous batched call forwarding*: a window of
 enqueue-class commands coalesced into one message paying one protocol
 header and one network round trip, instead of one per command.
+
+Encoding caches
+---------------
+
+Messages submitted to the forwarding pipeline are *frozen by convention*:
+once a request has been appended to a send window (or dispatched), its
+payload fields must not be mutated.  That contract makes two caches safe:
+
+* :meth:`Message.cached_wire` memoises ``to_wire()`` per instance, so a
+  command replicated into N send windows (the same instance, deduplicated
+  by the client driver's ``fanout_deferred``) is encoded once and the
+  bytes are reused for every window;
+* :class:`WireDecodeCache` is a bounded LRU from raw wire bytes to the
+  decoded message, so byte-identical commands or replies (e.g. the
+  ubiquitous success ``Ack``) are decoded once per process.  Decoded
+  instances are shared — callers must treat them as read-only, which
+  both the daemon handlers and the client reply-settling path do.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, ClassVar, Dict, List, Type, TypeVar
+from collections import OrderedDict
+from typing import Any, Dict, List, Tuple, Type, TypeVar
 
 from repro.net.codec import CodecError, decode, encode, encoded_size
 
@@ -43,6 +61,7 @@ def message_type(cls: Type[M]) -> Type[M]:
 
 
 def registered_types() -> Dict[str, Type["Message"]]:
+    """A copy of the wire-name -> message-class registry."""
     return dict(_REGISTRY)
 
 
@@ -50,12 +69,28 @@ class Message:
     """Base class for all wire messages."""
 
     def to_payload(self) -> Dict[str, Any]:
+        """The message's payload fields as a plain (encodable) dict."""
         if not dataclasses.is_dataclass(self):
             raise TypeError(f"{type(self).__name__} is not a @message_type dataclass")
         return dataclasses.asdict(self)
 
     def to_wire(self) -> bytes:
+        """Encode the message into its wire bytes (uncached)."""
         return encode([type(self).__name__, self.to_payload()])
+
+    def cached_wire(self) -> bytes:
+        """``to_wire()`` memoised on the instance.
+
+        Valid only under the frozen-by-convention contract (module
+        docstring): the payload must not change after the first call.
+        The forwarding pipeline uses this so a command instance shared
+        across N send windows pays one encoding, not N.
+        """
+        wire = self.__dict__.get("_cached_wire")
+        if wire is None:
+            wire = self.to_wire()
+            self.__dict__["_cached_wire"] = wire
+        return wire
 
     @property
     def wire_size(self) -> int:
@@ -66,6 +101,7 @@ class Message:
 
     @staticmethod
     def from_wire(data: bytes) -> "Message":
+        """Decode wire bytes back into a fresh message instance."""
         decoded = decode(data)
         if not (isinstance(decoded, list) and len(decoded) == 2):
             raise CodecError("malformed message envelope")
@@ -74,6 +110,85 @@ class Message:
         if cls is None:
             raise CodecError(f"unknown message type {wire_name!r}")
         return cls(**payload)
+
+
+class WireDecodeCache:
+    """Bounded LRU mapping raw wire bytes -> decoded :class:`Message`.
+
+    Shared-instance semantics: a hit returns the *same* message object as
+    the first decode, so callers must not mutate what they get back (see
+    module docstring).  ``hits`` counts reused decodes — the quantity the
+    daemon reply cache and the client reply-settling path report through
+    ``NetStats.decode_cache_hits``.
+    """
+
+    def __init__(self, maxsize: int = 256) -> None:
+        self.maxsize = int(maxsize)
+        self.hits = 0
+        self._entries: "OrderedDict[bytes, Message]" = OrderedDict()
+
+    def decode(self, raw: bytes) -> "Message":
+        """Decode ``raw``, reusing (and refreshing) a cached instance."""
+        key = bytes(raw)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return cached
+        msg = Message.from_wire(raw)
+        if self.maxsize > 0:
+            self._entries[key] = msg
+            if len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+        return msg
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class ReplyCache:
+    """Bounded LRU keyed by a request's wire bytes, storing the response
+    it produced together with that response's encoding.
+
+    The daemon's batch dispatcher *always* executes the handler (handlers
+    have side effects — the cache must never skip them); the cache only
+    removes the cost of re-encoding an identical reply.  On replay, if
+    the fresh response compares equal to the cached one, the cached wire
+    bytes are reused and ``hits`` is bumped (reported through
+    ``NetStats.reply_cache_hits``); otherwise the entry is refreshed.
+    In steady state almost every deferred command answers the same
+    success ``Ack``, so hit rates are high.
+    """
+
+    def __init__(self, maxsize: int = 256) -> None:
+        self.maxsize = int(maxsize)
+        self.hits = 0
+        self._entries: "OrderedDict[bytes, Tuple[Message, bytes]]" = OrderedDict()
+
+    def encode(self, request_wire: bytes, response: "Message") -> bytes:
+        """Return ``response``'s wire bytes, reusing the cached encoding
+        when this request digest previously produced an equal response."""
+        key = bytes(request_wire)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self._entries.move_to_end(key)
+            cached_response, cached_wire = cached
+            try:
+                same = cached_response == response
+            except Exception:  # unhashable/array-valued payloads: no reuse
+                same = False
+            if same:
+                self.hits += 1
+                return cached_wire
+        wire = response.to_wire()
+        if self.maxsize > 0:
+            self._entries[key] = (response, wire)
+            if len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+        return wire
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
 
 class Request(Message):

@@ -34,6 +34,7 @@ class Network:
         return host
 
     def host(self, name: str) -> Host:
+        """Look an attached host up by name."""
         try:
             return self.hosts[name]
         except KeyError:
@@ -57,6 +58,7 @@ class Network:
         return rx.end
 
     def one_way_latency(self) -> float:
+        """The link's one-way message latency in seconds."""
         return self.spec.latency
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -59,14 +59,17 @@ class StreamResult:
 
     @property
     def total_time(self) -> float:
+        """Init exchange plus payload time."""
         return self.arrival - self.requested_at
 
     @property
     def payload_time(self) -> float:
+        """Raw-payload flow time only."""
         return self.arrival - self.started_at
 
     @property
     def effective_bandwidth(self) -> float:
+        """Bytes per second over the whole transfer."""
         if self.total_time <= 0.0:
             return float("inf")
         return self.nbytes / self.total_time

@@ -91,6 +91,12 @@ class CommandQueue:
 
         def try_resolve() -> None:
             nonlocal remaining
+            if event.resolved:
+                # Registered on several dependencies: a resolution
+                # cascade (e.g. a user event unblocking an in-order
+                # chain) may kick this command through one dependency's
+                # dependents while it still sits on another's list.
+                return
             remaining = [d for d in remaining if not d.resolved]
             if remaining:
                 return

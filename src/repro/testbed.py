@@ -62,6 +62,9 @@ def deploy_dopencl(
     workload_scale: float = 1.0,
     n_clients: int = 1,
     batch_window: Optional[int] = None,
+    defer_event_relays: bool = True,
+    coalesce_uploads: bool = True,
+    batch_fanout: bool = True,
 ) -> Deployment:
     """Install daemons on every server and client drivers on the client
     host(s).
@@ -74,6 +77,10 @@ def deploy_dopencl(
     ``batch_window`` tunes the drivers' asynchronous call-forwarding
     window (``None`` keeps the driver default; ``0`` disables batching so
     every forwarded call is a synchronous round trip).
+    ``defer_event_relays`` / ``coalesce_uploads`` / ``batch_fanout``
+    toggle the PR-2 pipeline extensions (all default on; turning all
+    off reproduces the PR-1 forwarding behaviour — the benchmark
+    baseline).
     """
     manager = None
     if managed:
@@ -94,7 +101,11 @@ def deploy_dopencl(
     if len(client_hosts) < n_clients:
         raise ValueError(f"cluster has only {len(client_hosts)} client hosts, need {n_clients}")
     for i, host in enumerate(client_hosts):
-        kwargs = {}
+        kwargs = {
+            "defer_event_relays": defer_event_relays,
+            "coalesce_uploads": coalesce_uploads,
+            "batch_fanout": batch_fanout,
+        }
         if batch_window is not None:
             kwargs["batch_window"] = batch_window
         if managed:

@@ -176,8 +176,12 @@ def test_batching_saves_round_trips_and_enqueue_latency():
     # The client is unblocked far sooner: enqueues don't round-trip.
     assert enq_batched < 0.5 * enq_sync
     # End-to-end time is device-bound here (6 kernels back to back), so
-    # batching must not cost more than the one deferred launch hand-off.
-    assert total_batched <= total_sync * 1.01
+    # batching must not cost more than the deferred launch hand-off plus
+    # the relay-drain pass at the finish.  (The unbatched baseline also
+    # benefits from relay suppression — legacy relays used to occupy the
+    # client NIC at future timestamps — so the bound is a few percent,
+    # not fractions of one.)
+    assert total_batched <= total_sync * 1.05
 
 
 def test_bulk_transfers_flush_the_window_first():
