@@ -13,6 +13,11 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+#: The repository root (three levels above this package) — the single
+#: place benchmark snapshots (``BENCH_*.json``), the results directory
+#: and the benchdiff regression checker derive their paths from.
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", "..", ".."))
+
 
 @dataclass
 class ExperimentRecord:
@@ -69,7 +74,7 @@ def format_table(record: ExperimentRecord) -> str:
 def save_record(record: ExperimentRecord, directory: Optional[str] = None) -> str:
     """Write the table (.txt) and raw rows (.json); returns the txt path."""
     if directory is None:
-        directory = os.path.join(os.path.dirname(__file__), "..", "..", "..", "benchmarks", "results")
+        directory = os.path.join(REPO_ROOT, "benchmarks", "results")
     directory = os.path.abspath(directory)
     os.makedirs(directory, exist_ok=True)
     txt_path = os.path.join(directory, f"{record.experiment}.txt")

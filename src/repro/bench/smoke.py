@@ -8,10 +8,11 @@ on a reduced workload that completes in tier-1 time budget:
   forwarded call, the pre-pipeline behaviour;
 * ``pr1`` — the PR-1 pipeline: send windows and ``CommandBatch``
   coalescing on, but event-completion relays still synchronous (one
-  request per replica server), no upload coalescing, no piggybacked
-  fan-outs;
-* ``batched`` — the full PR-2 pipeline (deferred relays, window-aware
-  upload coalescing, piggybacked Ack-only fan-outs, reply caches).
+  request per replica server), no upload coalescing, and synchronous
+  creation fan-outs;
+* ``batched`` — the full pipeline (fully deferred creation calls /
+  handle promises, dependency-tracked windows, deferred relays,
+  window-aware upload coalescing, reply caches).
 
 The workload runs on :data:`SMOKE_DEVICES` servers, so every kernel
 event has ``SMOKE_DEVICES - 1`` >= 2 user-event replicas — the
@@ -20,7 +21,9 @@ multi-server replication the relay pipeline targets.
 The counters are the regression tripwire: the batched run must cut at
 least :data:`MIN_ROUND_TRIP_REDUCTION` of the synchronous run's round
 trips **and** at least :data:`MIN_ROUND_TRIP_REDUCTION_VS_PR1` of the
-PR-1 run's, with no more wire bytes and the identical image.
+PR-1 run's, stay at or below the :data:`MAX_BATCHED_ROUND_TRIPS`
+absolute ceiling (creation calls may no longer force synchronous
+fan-outs), with no more wire bytes and the identical image.
 """
 
 from __future__ import annotations
@@ -30,7 +33,7 @@ import os
 from typing import Dict, Optional
 
 from repro.apps.mandelbrot import MandelbrotConfig, render_dopencl
-from repro.bench.harness import ExperimentRecord
+from repro.bench.harness import REPO_ROOT, ExperimentRecord
 from repro.hw.cluster import make_ib_cpu_cluster
 from repro.testbed import deploy_dopencl
 
@@ -43,16 +46,24 @@ SMOKE_DEVICES = 4
 #: synchronous run's round trips.
 MIN_ROUND_TRIP_REDUCTION = 0.40
 
-#: Acceptance floor for the PR-2 extensions: the full pipeline must
+#: Acceptance floor for the pipeline extensions: the full pipeline must
 #: remove at least this fraction of the *PR-1* run's round trips.
 MIN_ROUND_TRIP_REDUCTION_VS_PR1 = 0.25
+
+#: Absolute ceiling on the batched variant's round trips (PR 3): with
+#: creation calls fully deferred the mini Fig. 4 must stay at or below
+#: this — the pre-deferral pipeline needed 68.
+MAX_BATCHED_ROUND_TRIPS = 48
 
 #: Deployment flags per benchmark variant (see module docstring).
 VARIANTS = {
     "sync": dict(
-        batch_window=0, defer_event_relays=False, coalesce_uploads=False, batch_fanout=False
+        batch_window=0,
+        defer_event_relays=False,
+        coalesce_uploads=False,
+        defer_creations=False,
     ),
-    "pr1": dict(defer_event_relays=False, coalesce_uploads=False, batch_fanout=False),
+    "pr1": dict(defer_event_relays=False, coalesce_uploads=False, defer_creations=False),
     "batched": {},
 }
 
@@ -141,11 +152,12 @@ def assert_smoke_record(record: ExperimentRecord) -> None:
     target so the two cannot drift.
 
     The full pipeline must cut >= 40% of the synchronous run's round
-    trips and >= 25% of the PR-1 run's (deferred relays + coalescing +
-    piggybacked fan-outs are the delta), genuinely coalesce commands,
-    exercise the relay-deferral and reply-cache paths, cost no extra
-    wire bytes at any step, and cost no virtual time beyond the deferred
-    launch hand-off."""
+    trips, >= 25% of the PR-1 run's (deferred creations + relays +
+    coalescing are the delta) and stay at or below the absolute
+    :data:`MAX_BATCHED_ROUND_TRIPS` ceiling, genuinely coalesce
+    commands, exercise the relay-deferral and reply-cache paths, cost no
+    extra wire bytes at any step, and cost no virtual time beyond the
+    deferred launch hand-off."""
     rows = {row["variant"]: row for row in record.rows}
     sync, pr1, batched = rows["sync"], rows["pr1"], rows["batched"]
     assert sync["batches"] == 0  # the baseline ran genuinely unbatched
@@ -154,6 +166,8 @@ def assert_smoke_record(record: ExperimentRecord) -> None:
     assert batched["round_trips"] <= (
         1 - MIN_ROUND_TRIP_REDUCTION_VS_PR1
     ) * pr1["round_trips"]
+    # PR 3: creation calls no longer force synchronous fan-outs.
+    assert batched["round_trips"] <= MAX_BATCHED_ROUND_TRIPS
     assert batched["batches"] > 0
     assert batched["batched_commands"] / batched["batches"] > 2.0
     # The PR-2 machinery really ran: relays rode windows, useless relays
@@ -173,13 +187,13 @@ def assert_smoke_record(record: ExperimentRecord) -> None:
     assert batched["total_time"] <= pr1["total_time"] * 1.001
 
 
-def save_smoke_json(record: ExperimentRecord, directory: Optional[str] = None) -> str:
-    """Write the headline counters to ``BENCH_smoke.json`` (repo root by
-    default) for the CI driver; returns the path."""
-    if directory is None:
-        directory = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", "..", ".."))
+def smoke_payload(record: ExperimentRecord) -> dict:
+    """The headline counters of a smoke run as the flat dict committed
+    to ``BENCH_smoke.json`` — shared by :func:`save_smoke_json` and the
+    benchdiff regression checker (``repro.tools.benchdiff``), so the
+    recorded snapshot and the comparison can never drift apart."""
     rows = {row["variant"]: row for row in record.rows}
-    payload = {
+    return {
         "experiment": record.experiment,
         "n_servers": SMOKE_DEVICES,
         "round_trips_sync": rows["sync"]["round_trips"],
@@ -196,8 +210,16 @@ def save_smoke_json(record: ExperimentRecord, directory: Optional[str] = None) -
         "reply_cache_hits": rows["batched"]["reply_cache_hits"],
         "min_rt_reduction": MIN_ROUND_TRIP_REDUCTION,
         "min_rt_reduction_vs_pr1": MIN_ROUND_TRIP_REDUCTION_VS_PR1,
+        "max_batched_round_trips": MAX_BATCHED_ROUND_TRIPS,
     }
+
+
+def save_smoke_json(record: ExperimentRecord, directory: Optional[str] = None) -> str:
+    """Write the headline counters to ``BENCH_smoke.json`` (repo root by
+    default) for the CI driver; returns the path."""
+    if directory is None:
+        directory = REPO_ROOT
     path = os.path.join(directory, "BENCH_smoke.json")
     with open(path, "w") as fh:
-        json.dump(payload, fh, indent=2)
+        json.dump(smoke_payload(record), fh, indent=2)
     return path

@@ -11,12 +11,21 @@ and event profiling raise ``CL_INVALID_OPERATION`` (Section III-B lists
 them as unimplemented in dOpenCL).
 
 Enqueue-class calls (``clEnqueueNDRangeKernel``, ``clSetKernelArg``,
-releases, event status updates) are forwarded *asynchronously*: they join
-the driver's per-connection send windows and are coalesced into one
-``CommandBatch`` round trip per daemon at the next synchronization point
-(``clFinish``, blocking transfers, ``clWaitForEvents``) — see
-:mod:`repro.core.client.driver`.  Daemon-side errors of deferred calls
-therefore surface at the sync point, as in real asynchronous OpenCL.
+releases, event status updates) **and creation calls**
+(``clCreateContext`` / ``clCreateCommandQueue`` / ``clCreateBuffer`` /
+``clCreateProgramWithSource`` / ``clCreateKernel``) are forwarded
+*asynchronously*: they join the driver's per-connection send windows and
+are coalesced into one ``CommandBatch`` round trip per daemon at the
+next synchronization point — see :mod:`repro.core.client.driver`.
+Creation calls are *handle promises*: the stub (with its client-assigned
+unique ID) is returned and usable immediately; the daemon registers the
+object under that provisional ID when the batch replays, and a creation
+failure poisons the ID so dependent commands are skipped and the error
+surfaces as ``CLError`` at the next sync point touching that daemon, as
+in real asynchronous OpenCL.  Sync points are dependency-tracked:
+``clFinish`` drains every window, while ``clWaitForEvents`` and blocking
+transfers drain only the windows the awaited handle transitively
+depends on.
 """
 
 from __future__ import annotations
@@ -68,6 +77,21 @@ class DOpenCLAPI:
     def _tick(self) -> float:
         return self.clock.advance_by(API_CALL_OVERHEAD)
 
+    @staticmethod
+    def _record_command_deps(
+        queue: QueueStub, event: EventStub, wait_for: Optional[Sequence[EventStub]]
+    ) -> None:
+        """Record a forwarded command's dependency edges on its stubs:
+        the explicit wait list plus — on an in-order queue — the queue's
+        previous command (which the daemon serialises before this one).
+        Stored on the event stub so the window graph can follow the
+        chain even after the commands left their send windows."""
+        deps = [e.id for e in (wait_for or ())]
+        if queue.in_order and queue.last_event_id is not None:
+            deps.append(queue.last_event_id)
+        event.depends_on = tuple(deps)
+        queue.last_event_id = event.id
+
     @property
     def now(self) -> float:
         """Current virtual time on the application's clock."""
@@ -116,7 +140,11 @@ class DOpenCLAPI:
 
     # -- context --------------------------------------------------------------
     def clCreateContext(self, devices: Sequence[RemoteDevice]) -> ContextStub:
-        """Create a compound context stub spanning every involved server."""
+        """Create a compound context stub spanning every involved server.
+
+        A handle promise: the stub is usable immediately, the per-server
+        creations ride the send windows, and daemon-side failures
+        surface at the next sync point."""
         self._tick()
         require(len(devices) > 0, ErrorCode.CL_INVALID_VALUE, "context needs devices")
         for dev in devices:
@@ -125,7 +153,7 @@ class DOpenCLAPI:
             if not dev.available:
                 raise CLError(ErrorCode.CL_DEVICE_NOT_AVAILABLE, dev.name)
         context = ContextStub(self.driver, self.driver.new_id(), list(devices))
-        self.driver.fanout_eager(
+        self.driver.forward_creation(
             context.unique_servers,
             lambda conn: P.CreateContextRequest(
                 context_id=context.id,
@@ -149,14 +177,14 @@ class DOpenCLAPI:
 
     # -- command queue ------------------------------------------------------------
     def clCreateCommandQueue(self, context: ContextStub, device: RemoteDevice, properties: int = 0) -> QueueStub:
-        """Create a queue on the one server hosting ``device``."""
+        """Create a queue on the one server hosting ``device`` (handle
+        promise: the creation rides that server's send window)."""
         self._tick()
         if device not in context.devices:
             raise CLError(ErrorCode.CL_INVALID_DEVICE, "device not in context")
         queue = QueueStub(context, self.driver.new_id(), device, properties)
-        conn = device.server
-        self.driver.fanout_eager(
-            [conn],
+        self.driver.forward_creation(
+            [device.server],
             lambda c: P.CreateQueueRequest(
                 queue_id=queue.id,
                 context_id=context.id,
@@ -226,8 +254,11 @@ class DOpenCLAPI:
             buffer.write_host(0, raw)  # also clears the pristine flag
         # Remote copies are plain allocations: host-pointer flags stay
         # client-side (the data reaches servers through coherence uploads).
+        # A handle promise: daemon-side allocation failures (device
+        # memory exhaustion, per-device size limits) poison the
+        # provisional buffer ID and surface at the next sync point.
         remote_flags = buffer.flags & ~(CL_MEM_COPY_HOST_PTR | CL_MEM_USE_HOST_PTR)
-        self.driver.fanout_eager(
+        self.driver.forward_creation(
             context.unique_servers,
             lambda conn: P.CreateBufferRequest(
                 buffer_id=buffer.id, context_id=context.id, flags=remote_flags, size=size
@@ -286,6 +317,14 @@ class DOpenCLAPI:
         event: EventStub,
         wait_for: Optional[Sequence[EventStub]],
     ) -> None:
+        # Same dependency bookkeeping as a kernel launch: the upload is
+        # gated daemon-side on its wait list (and the queue's previous
+        # command), so the stub records the chain (for waits on the
+        # upload event) and the buffer records its pending writer (for
+        # blocking reads) — both must survive the command leaving any
+        # window.
+        self._record_command_deps(queue, event, wait_for)
+        buffer.last_write_event = event.id
         init = P.BufferDataUpload(
             buffer_id=buffer.id,
             queue_id=queue.id,
@@ -293,6 +332,7 @@ class DOpenCLAPI:
             offset=0,
             nbytes=buffer.size,
             wait_event_ids=[e.id for e in (wait_for or [])],
+            replica_servers=self.driver.replica_broadcast_targets(event),
         )
         # Ordered + zero-copy: flushes the window, then streams the
         # client-side ndarray itself (no tobytes() materialisation).
@@ -315,11 +355,18 @@ class DOpenCLAPI:
         t = self._tick()
         self._check_queue_buffer(queue, buffer)
         if blocking:
-            # A blocking read is a sync point even when the client's copy
-            # is valid and no transfer follows: the queue's window drains
-            # (costing no virtual time — flushes never block) and any
-            # stashed deferred-command failure surfaces here.
-            self.driver.flush_connection(queue.server)
+            # A blocking read is a *targeted* sync point: only the
+            # windows in the dependency closure drain — the buffer's
+            # writers (windowed or dispatched-but-pending, transitively
+            # through their wait lists) plus, on an in-order queue, the
+            # queue's own command chain (real OpenCL completes a
+            # blocking read after every prior command of that queue).
+            # Windows of causally unrelated daemons stay queued, and
+            # any stashed deferred-command failure surfaces here.
+            handles = self.driver.buffer_sync_handles(buffer)
+            if queue.in_order and queue.last_event_id is not None:
+                handles.append(queue.last_event_id)
+            self.driver.flush_for_handles(handles)
         if wait_for:
             for ev in wait_for:
                 # ev.wait drains the relevant send windows (flush hook)
@@ -405,13 +452,27 @@ class DOpenCLAPI:
 
     # -- program / kernel --------------------------------------------------------------
     def clCreateProgramWithSource(self, context: ContextStub, source: str) -> ProgramStub:
-        """Replicate the program source to every server (bulk stream)."""
+        """Replicate the program source to every server.
+
+        Deferred (the default): the source rides the send windows inline
+        (:class:`~repro.core.protocol.messages.
+        CreateProgramWithSourceRequest`), costing no round trip of its
+        own — the bytes travel in the batch the next sync point (usually
+        ``clBuildProgram``) sends anyway.  With ``defer_creations``
+        disabled the legacy bulk stream is used ("the implementation of
+        some OpenCL functions ... includes bulk data transfers", Section
+        III-B)."""
         self._tick()
         require(bool(source.strip()), ErrorCode.CL_INVALID_VALUE, "empty program source")
         program = ProgramStub(context, self.driver.new_id(), source)
-        # "the implementation of some OpenCL functions, e.g., for uploading
-        # a program to a device (clCreateProgramWithSource), includes bulk
-        # data transfers" (Section III-B).
+        if self.driver.creations_deferred:
+            self.driver.forward_creation(
+                context.unique_servers,
+                lambda conn: P.CreateProgramWithSourceRequest(
+                    program_id=program.id, context_id=context.id, source=source
+                ),
+            )
+            return program
         payload = source.encode("utf-8")
         self.driver.flush_connections(context.unique_servers)
         t = self.clock.now
@@ -429,7 +490,15 @@ class DOpenCLAPI:
         return program
 
     def clBuildProgram(self, program: ProgramStub, options: str = "") -> None:
-        """Build on every server; failures merge into one CLError."""
+        """Build on every server; failures merge into one CLError.
+
+        Synchronous (the client needs the per-server status), which also
+        makes it the sync point where any deferred program creation
+        lands: the flush below carries the windowed
+        ``CreateProgramWithSourceRequest`` ahead of the build.  The
+        build reply ships the program's kernel argument metadata, which
+        the program stub caches so ``clCreateKernel`` needs no reply
+        data of its own."""
         self._tick()
         program.options = options
         outcomes = {}
@@ -449,6 +518,8 @@ class DOpenCLAPI:
             program.build_logs[name] = resp.log
             if resp.error:
                 failures.append((name, resp))
+            elif resp.kernels:
+                program.kernel_meta = dict(resp.kernels)
         if failures:
             program.build_status = "ERROR"
             raise CLError(
@@ -476,27 +547,34 @@ class DOpenCLAPI:
             )
 
     def clCreateKernel(self, program: ProgramStub, name: str) -> KernelStub:
-        """Create the kernel on every server; metadata cached client-side."""
+        """Create the kernel on every server (handle promise).
+
+        The argument metadata arrived with the build replies
+        (``BuildProgramResponse.kernels``), so the stub is assembled
+        entirely client-side — including eager rejection of unknown
+        kernel names — and the per-server creation is fire-and-forget."""
         self._tick()
         if program.build_status != "SUCCESS":
             raise CLError(
                 ErrorCode.CL_INVALID_PROGRAM_EXECUTABLE,
                 "program has not been built successfully",
             )
+        meta = program.kernel_meta.get(name)
+        if meta is None:
+            raise CLError(ErrorCode.CL_INVALID_KERNEL_NAME, f"no kernel {name!r}")
         kernel_id = self.driver.new_id()
-        outcomes = self.driver.fanout(
+        self.driver.forward_creation(
             program.context.unique_servers,
             lambda conn: P.CreateKernelRequest(kernel_id=kernel_id, program_id=program.id, name=name),
         )
-        first = next(iter(outcomes.values())).response
         return KernelStub(
             program,
             kernel_id,
             name,
-            num_args=first.num_args,
-            arg_kinds=first.arg_kinds or [],
-            arg_types=first.arg_types or [],
-            writable_buffer_args=first.writable_buffer_args or [],
+            num_args=int(meta["num_args"]),
+            arg_kinds=list(meta.get("arg_kinds") or []),
+            arg_types=list(meta.get("arg_types") or []),
+            writable_buffer_args=list(meta.get("writable_buffer_args") or []),
         )
 
     def clCreateKernelsInProgram(self, program: ProgramStub) -> List[KernelStub]:
@@ -605,10 +683,25 @@ class DOpenCLAPI:
             plans.append((buffer, buffer.coherence.acquire_read(server.name)))
         self.driver.run_transfer_plans(plans, queue)
         event = self.driver.new_event_stub(queue.context, server.name, CL_COMMAND_NDRANGE_KERNEL)
+        # Recorded on the stubs (not just the windowed command) so the
+        # dependency closure can still follow the chain — wait list plus
+        # the in-order-queue predecessor — after the launch has been
+        # dispatched but sits pending daemon-side.
+        self._record_command_deps(queue, event, wait_for)
         # Asynchronous forwarding: the launch joins the send window and
         # rides the next CommandBatch; daemon-side launch errors surface
         # at the next synchronization point, and the event stub resolves
         # from the completion notification the flushed batch triggers.
+        # The window-graph annotation is the full data/completion shape:
+        # the launch reads its handles, wait events and buffer
+        # arguments, and *writes* its event plus the buffers the kernel
+        # may modify — which is how targeted sync points (event waits,
+        # blocking reads of an output buffer) find this command.
+        written = [
+            kernel.args[i].id
+            for i in kernel.writable_buffer_args
+            if isinstance(kernel.args[i], BufferStub)
+        ]
         self.driver.defer(
             server,
             P.EnqueueKernelRequest(
@@ -619,7 +712,14 @@ class DOpenCLAPI:
                 local_size=[int(v) for v in local_size] if local_size else [],
                 global_offset=[int(v) for v in global_offset] if global_offset else [],
                 wait_event_ids=[e.id for e in (wait_for or [])],
+                replica_servers=self.driver.replica_broadcast_targets(event),
             ),
+            reads=(
+                [queue.id, kernel.id]
+                + [e.id for e in (wait_for or [])]
+                + [b.id for b in kernel.buffer_args()]
+            ),
+            writes=[event.id] + written,
         )
         # The kernel (may have) modified its writable buffer arguments:
         # that server's copies become Modified, everything else Invalid.
@@ -630,6 +730,7 @@ class DOpenCLAPI:
             if isinstance(value, BufferStub):
                 value.coherence.mark_modified(server.name)
                 value.pristine = False
+                value.last_write_event = event.id
         return event
 
     # -- events -------------------------------------------------------------------------

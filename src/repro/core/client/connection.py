@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.core.client.windows import SendWindow
 from repro.ocl.constants import ErrorCode
 from repro.ocl.errors import CLError
 
@@ -39,13 +40,18 @@ def address_host(address: str) -> str:
 
 @dataclass
 class ServerConnection:
-    """One live connection from the client driver to a daemon."""
+    """One live connection from the client driver to a daemon.
+
+    Owns the connection's dependency-tracked send window: deferred
+    commands queue here (with their read/write handle annotations) until
+    a flush point drains them as one ``CommandBatch``."""
 
     name: str
     daemon: object  # repro.core.daemon.Daemon
     connected_at: float
     devices: List[object] = field(default_factory=list)  # RemoteDevice stubs
     connected: bool = True
+    window: SendWindow = field(default_factory=SendWindow)
 
     @property
     def gcf(self):

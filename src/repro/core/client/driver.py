@@ -12,27 +12,35 @@ coherence-protocol transfer plans, and the event-consistency protocol
 
 It also owns the **asynchronous command-forwarding pipeline**: enqueue-
 class requests (kernel launches, kernel-arg updates, releases, event
-status traffic) are not round-tripped one by one but appended to a
-per-connection *send window* and coalesced into a single
-``CommandBatch`` per daemon.  Windows are flushed lazily — at
-synchronization points (``clFinish``, blocking transfers, event waits),
-before any synchronous request or bulk stream to the same daemon (which
-preserves per-daemon program order), or when the window reaches
-``batch_window`` commands.  Errors reported by deferred commands surface
-as ``CLError`` at the flush point, mirroring how real OpenCL surfaces
-asynchronous failures at synchronization.
+status traffic) *and creation calls* (contexts, queues, buffers,
+programs, kernels — *handle promises*: the stub's client-assigned ID is
+valid before anything is sent) are not round-tripped one by one but
+appended to a per-connection *send window* and coalesced into a single
+``CommandBatch`` per daemon.  Errors reported by deferred commands
+surface as ``CLError`` at a flush point, mirroring how real OpenCL
+surfaces asynchronous failures at synchronization.
 
-PR 2 extends the pipeline three ways (see ``docs/architecture.md``):
-event-completion relays ride the send windows instead of round-tripping
-per replica server, multiple coherence uploads to one daemon coalesce
-into a single bulk stream, and Ack-only creation fan-outs piggyback on
-the window flush they force anyway.
+Windows are **dependency-tracked** (see
+:mod:`repro.core.client.windows`): each deferred command records the
+handles it reads and writes, so targeted sync points —
+``clWaitForEvents`` / ``EventStub.wait`` and blocking transfers — drain
+only the windows in the transitive dependency closure of the awaited
+handle (:meth:`DOpenCLDriver.flush_for_handles`), while ``clFinish``
+keeps its full-drain semantics (:meth:`DOpenCLDriver.flush_all`).
+Windows also flush before any synchronous request or bulk stream to the
+same daemon (which preserves per-daemon program order) and when they
+reach ``batch_window`` commands.
+
+PR 2 additions (see ``docs/architecture.md``): event-completion relays
+ride the send windows instead of round-tripping per replica server, and
+multiple coherence uploads to one daemon coalesce into a single bulk
+stream.
 """
 
 from __future__ import annotations
 
 from itertools import count
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.client.connection import (
     DaemonDirectory,
@@ -41,6 +49,7 @@ from repro.core.client.connection import (
     parse_server_list,
 )
 from repro.core.client.platform import DOpenCLPlatform
+from repro.core.client.windows import WindowCommand, closure_servers
 from repro.core.client.stubs import (
     BufferStub,
     ContextStub,
@@ -93,7 +102,7 @@ class DOpenCLDriver:
         batch_window: Optional[int] = DEFAULT_BATCH_WINDOW,
         defer_event_relays: bool = True,
         coalesce_uploads: bool = True,
-        batch_fanout: bool = True,
+        defer_creations: bool = True,
     ) -> None:
         self.host = host
         self.network = network
@@ -118,12 +127,13 @@ class DOpenCLDriver:
         #: daemon between sync points are merged into a single bulk
         #: stream with one init header (see ``run_transfer_plans``).
         self.coalesce_uploads = bool(coalesce_uploads)
-        #: When True (default) synchronous Ack-only creation fan-outs
-        #: piggyback on the window flush they would have forced anyway
-        #: (see :meth:`fanout_eager`); False restores one flush plus one
-        #: request per server (the PR-1 baseline).
-        self.batch_fanout = bool(batch_fanout)
-        self._pending: Dict[str, List[P.Request]] = {}
+        #: When True (default) creation calls are *handle promises*:
+        #: they join the send windows like any enqueue-class command and
+        #: daemon-side failures surface at the next sync point touching
+        #: that daemon.  False restores the synchronous fan-out (one
+        #: flush plus one request per server — the PR-1 baseline, with
+        #: errors checked eagerly at the call site).
+        self.defer_creations = bool(defer_creations)
         # Nesting depth of flush_connections' dispatch loop.  While > 0,
         # windows already swapped out (but not yet dispatched) are no
         # longer protected by in-window program order, so defer() must
@@ -176,6 +186,15 @@ class DOpenCLDriver:
         return self.batch_window > 0
 
     @property
+    def creations_deferred(self) -> bool:
+        """Whether creation calls currently ride the send windows as
+        handle promises — the single gate consulted by
+        :meth:`forward_creation` and the API's program-source path, so
+        the deferral decision can never diverge between creation
+        types."""
+        return self.defer_creations and self.batching_enabled
+
+    @property
     def stats(self):
         """The client process's round-trip / wire-byte counters."""
         return self.gcf.stats
@@ -183,16 +202,36 @@ class DOpenCLDriver:
     # ------------------------------------------------------------------
     # asynchronous command forwarding (send windows + lazy flush)
     # ------------------------------------------------------------------
-    def defer(self, conn: ServerConnection, msg: P.Request, raise_errors: bool = True) -> None:
-        """Append an enqueue-class command to ``conn``'s send window.
+    def defer(
+        self,
+        conn: ServerConnection,
+        msg: P.Request,
+        raise_errors: bool = True,
+        reads: Optional[Iterable[int]] = None,
+        writes: Optional[Iterable[int]] = None,
+    ) -> None:
+        """Append a deferrable command to ``conn``'s send window.
+
+        ``reads``/``writes`` annotate the command for the window graph
+        (see :mod:`repro.core.client.windows`): the handles it consumes
+        and the handles whose production — a completion, written buffer
+        data — it is.  When omitted they default to the wire-level
+        metadata (:func:`repro.core.protocol.messages.request_handles`),
+        with a command's *creations* counting as writes; call sites with
+        richer knowledge (kernel launches and their buffer arguments,
+        replica bookkeeping that produces nothing) pass explicit sets.
 
         **Flush-point semantics** — the window the command joins drains
         (and any deferred daemon-side failure surfaces as ``CLError``) at
         the earliest of:
 
-        * ``clFinish`` and ``clWaitForEvents`` / ``EventStub.wait`` (via
-          the stub flush hook) — these *drain*: they loop until every
-          window is empty, so relays deferred mid-flush also go out;
+        * ``clFinish`` — a full drain: it loops until *every* window is
+          empty, so relays deferred mid-flush also go out;
+        * ``clWaitForEvents`` / ``EventStub.wait`` / blocking transfers
+          — targeted drains: only the windows in the awaited handle's
+          transitive dependency closure flush
+          (:meth:`flush_for_handles`); causally unrelated windows stay
+          queued;
         * any synchronous request or bulk stream to the same daemon
           (``roundtrip`` / ``fanout`` / ``send_bulk`` / ``fetch_bulk``
           flush first, preserving per-daemon program order);
@@ -223,74 +262,20 @@ class DOpenCLDriver:
             elif getattr(outcome.response, "error", 0) and self._deferred_failure is None:
                 self._deferred_failure = (msg, outcome.response, outcome.reply_arrival)
             return
-        window = self._pending.setdefault(conn.name, [])
-        window.append(msg)
-        if len(window) >= self.batch_window and self._dispatch_depth == 0:
+        default_reads, creates = P.request_handles(msg)
+        conn.window.append(
+            WindowCommand(
+                msg,
+                default_reads if reads is None else reads,
+                creates if writes is None else writes,
+            )
+        )
+        if len(conn.window) >= self.batch_window and self._dispatch_depth == 0:
             # Overflow flush — suppressed while a dispatch loop is live
             # (see ``_dispatch_depth``): commands deferred mid-dispatch
             # wait for the enclosing drain so they can never overtake a
             # swapped-out batch they causally depend on.
             self.flush_connection(conn, raise_errors=raise_errors)
-
-    def _needs_replica_hoist(self) -> bool:
-        """Whether replica creations must leave before any batch dispatch.
-
-        Two consumers can observe a replica *before* its own window
-        flushes:
-
-        * a daemon doing the Section III-F **direct broadcast** resolves
-          peer replicas the instant the original event completes — i.e.
-          mid-dispatch of another server's batch;
-        * the **legacy synchronous relay** (``defer_event_relays=False``)
-          round-trips the status from inside the notification handler,
-          also mid-dispatch.
-
-        Deferred relays have neither consumer: the relay joins the same
-        send window as (and therefore behind) the replica's creation, so
-        per-daemon program order makes the hoist unnecessary — and
-        skipping it saves one batch round trip per flush."""
-        if not self.defer_event_relays:
-            return True
-        return any(
-            getattr(c.daemon, "direct_event_broadcast", False)
-            for c in self._connections.values()
-            if c.connected
-        )
-
-    def _hoist_replica_creates(self) -> None:
-        """Push every windowed user-event replica creation out first.
-
-        Commands in a batch about to be dispatched may complete events
-        whose replicas (``CreateUserEventRequest``) still sit in send
-        windows; the completion — relayed by the client or broadcast
-        daemon-to-daemon (Section III-F) — must find those replicas
-        registered.  Hoisting a creation earlier is always safe: nothing
-        that precedes it in its own window can refer to the fresh event
-        ID.  All hoist batches go out at the same client time (the
-        asynchronous GCF multicast pattern).
-
-        Only runs when a mid-dispatch replica consumer exists (see
-        :meth:`_needs_replica_hoist`)."""
-        if not self._needs_replica_hoist():
-            return
-        hoists = []
-        for name, window in list(self._pending.items()):
-            creates = [m for m in window if isinstance(m, P.CreateUserEventRequest)]
-            if not creates:
-                continue
-            conn = self._connections.get(name)
-            if conn is None or not conn.connected:
-                continue
-            self._pending[name] = [
-                m for m in window if not isinstance(m, P.CreateUserEventRequest)
-            ]
-            hoists.append((conn, creates))
-        if not hoists:
-            return
-        t = self.clock.now
-        for conn, creates in hoists:
-            outcome = self.gcf.request_batch(conn.daemon.gcf, creates, t)
-            self._record_batch_failures(creates, outcome)
 
     def _record_batch_failures(self, window: Sequence[P.Request], outcome) -> None:
         """Stash the first daemon-reported failure of a dispatched batch
@@ -312,9 +297,12 @@ class DOpenCLDriver:
         msg, response, reply_arrival = self._deferred_failure
         self._deferred_failure = None
         self.clock.advance_to(reply_arrival)  # the client learns here
+        _reads, creates = P.request_handles(msg)
+        ids = f" (handle {', '.join(map(str, sorted(creates)))})" if creates else ""
         raise CLError(
             ErrorCode(response.error),
-            f"deferred {type(msg).__name__} failed: {getattr(response, 'detail', '')}",
+            f"deferred {type(msg).__name__}{ids} failed: "
+            f"{getattr(response, 'detail', '')}",
         )
 
     def flush_connections(
@@ -335,37 +323,34 @@ class DOpenCLDriver:
         here when ``raise_errors`` (the client-initiated sync points);
         flushes triggered from notification handlers pass ``False`` and
         the failure surfaces at the next sync point instead."""
-        targets = [c for c in conns if self._pending.get(c.name)]
+        targets = [c for c in conns if c.window]
         if targets:
-            self._hoist_replica_creates()
             batches: List[Tuple[ServerConnection, List[P.Request]]] = []
             for conn in targets:
-                window = self._pending.get(conn.name)
-                if not window:
-                    continue  # fully hoisted
                 # Swap the window out first: completion notifications
                 # fired while a batch is dispatched may defer/flush more
-                # commands.
-                self._pending[conn.name] = []
-                batches.append((conn, window))
+                # commands, which must land in a fresh window.
+                commands = conn.window.swap_out()
+                batches.append((conn, [c.msg for c in commands]))
             t = self.clock.now
             self._dispatch_depth += 1
             try:
-                for conn, window in batches:
-                    outcome = self.gcf.request_batch(conn.daemon.gcf, window, t)
-                    self._record_batch_failures(window, outcome)
+                for conn, msgs in batches:
+                    outcome = self.gcf.request_batch(conn.daemon.gcf, msgs, t)
+                    self._record_batch_failures(msgs, outcome)
             finally:
                 self._dispatch_depth -= 1
         if raise_errors:
             self._surface_deferred_failure()
 
     def flush_connection(self, conn: ServerConnection, raise_errors: bool = True) -> None:
-        """Send ``conn``'s window as one CommandBatch (plus any replica
-        hoists it requires) and settle the deferred outcomes."""
+        """Send ``conn``'s window as one CommandBatch and settle the
+        deferred outcomes."""
         self.flush_connections([conn], raise_errors=raise_errors)
 
     def flush_all(self) -> None:
-        """Drain every connection's send window (full sync point).
+        """Drain every connection's send window (full sync point —
+        ``clFinish`` semantics).
 
         Dispatching a batch can *defer new commands*: a kernel completing
         mid-batch notifies the client, whose handler appends completion
@@ -376,7 +361,7 @@ class DOpenCLDriver:
         for _ in range(MAX_DRAIN_PASSES):
             targets = [c for c in self._connections.values() if c.connected]
             self.flush_connections(targets, raise_errors=False)
-            if not any(self._pending.get(c.name) for c in targets):
+            if not any(c.window for c in targets):
                 break
         else:
             raise CLError(
@@ -386,11 +371,67 @@ class DOpenCLDriver:
             )
         self._surface_deferred_failure()
 
+    def closure_connections(self, handles: Iterable[int]) -> List[ServerConnection]:
+        """The live connections in the transitive dependency closure of
+        ``handles`` (see :func:`repro.core.client.windows.
+        closure_servers` for the walk)."""
+        windows = {c.name: c.window for c in self.connections()}
+        names = closure_servers(handles, windows, self._events.get)
+        return [
+            self._connections[name]
+            for name in sorted(names)
+            if name in self._connections and self._connections[name].connected
+        ]
+
+    def flush_for_handles(self, handles: Iterable[int], raise_errors: bool = True) -> None:
+        """Targeted sync point: drain only the windows the given handles
+        transitively depend on.
+
+        Re-computes the closure each pass because draining can *extend*
+        it — flushing the owner of a cross-server wait chain delivers a
+        completion whose relay is deferred right back into a closure
+        window.  Windows outside the closure (daemons the awaited
+        handles do not depend on) are left untouched; that is the entire
+        point of the window graph.  Bounded by
+        :data:`MAX_DRAIN_PASSES`."""
+        handles = list(handles)
+        for _ in range(MAX_DRAIN_PASSES):
+            targets = [c for c in self.closure_connections(handles) if c.window]
+            if not targets:
+                break
+            self.flush_connections(targets, raise_errors=False)
+        else:
+            raise CLError(
+                ErrorCode.CL_INVALID_OPERATION,
+                f"dependency closure of {handles} failed to quiesce after "
+                f"{MAX_DRAIN_PASSES} flush passes (deferred-command feedback loop)",
+            )
+        if raise_errors:
+            self._surface_deferred_failure()
+
+    def buffer_sync_handles(self, buffer: BufferStub) -> List[int]:
+        """The closure seeds for a sync point targeting ``buffer``: its
+        own handle (windowed writers) plus the event of its last
+        windowed kernel write — the latter keeps the chain traceable
+        when that launch has already been dispatched but still sits
+        pending daemon-side on an unresolved cross-server dependency."""
+        handles = [buffer.id]
+        if buffer.last_write_event is not None:
+            handles.append(buffer.last_write_event)
+        return handles
+
     def pending_commands(self, name: Optional[str] = None) -> int:
         """Deferred commands currently windowed (for ``name``, or all)."""
         if name is not None:
-            return len(self._pending.get(name, ()))
-        return sum(len(w) for w in self._pending.values())
+            conn = self._connections.get(name)
+            return len(conn.window) if conn is not None else 0
+        return sum(len(c.window) for c in self._connections.values())
+
+    def window_messages(self, name: str) -> List[P.Request]:
+        """The requests currently windowed for connection ``name``, in
+        program order (introspection for tests and debugging)."""
+        conn = self._connections.get(name)
+        return conn.window.messages() if conn is not None else []
 
     def roundtrip(self, conn: ServerConnection, msg: P.Request) -> RequestOutcome:
         """Synchronous request to ``conn`` with ordering preserved: the
@@ -477,7 +518,7 @@ class DOpenCLDriver:
         t = self.gcf.disconnect(conn.daemon.gcf, self.clock.now)
         self.clock.advance_to(t)
         conn.connected = False
-        self._pending.pop(conn.name, None)
+        conn.window.swap_out()  # anything left can never be delivered
         for dev in conn.devices:
             dev.available = False
 
@@ -568,44 +609,46 @@ class DOpenCLDriver:
                 pass
         return msgs
 
-    def fanout_deferred(self, servers: Sequence[ServerConnection], make_msg) -> None:
-        """Replicate an enqueue-class command by appending it to every
+    def fanout_deferred(
+        self,
+        servers: Sequence[ServerConnection],
+        make_msg,
+        reads: Optional[Iterable[int]] = None,
+        writes: Optional[Iterable[int]] = None,
+    ) -> None:
+        """Replicate a deferrable command by appending it to every
         target server's send window (no round trips here; outcomes settle
-        at the next flush)."""
+        at the next flush).  ``reads``/``writes`` override the window
+        graph annotation of every replica (see :meth:`defer`)."""
         if not servers:
             return
         for conn, msg in zip(servers, self._replicated(servers, make_msg)):
-            self.defer(conn, msg)
+            self.defer(conn, msg, reads=reads, writes=writes)
 
-    def fanout_eager(self, servers: Sequence[ServerConnection], make_msg) -> None:
-        """Synchronous Ack-only fan-out that *piggybacks* on the window
-        flush it would have forced anyway.
+    def forward_creation(self, servers: Sequence[ServerConnection], make_msg) -> None:
+        """Forward a creation call as a *handle promise*: the stub's
+        client-assigned ID is already valid, so the creation rides the
+        send windows like any deferred command and a daemon-side failure
+        poisons the provisional ID, surfacing as ``CLError`` at the next
+        sync point touching that daemon.
 
-        A synchronous call to a daemon must flush that daemon's send
-        window first (per-daemon program order).  For creation calls
-        whose reply carries no data beyond the error report
-        (``CreateContextRequest`` / ``CreateQueueRequest`` /
-        ``CreateBufferRequest``), paying the flush *and* a separate
-        request round trip is wasteful: this appends the command to the
-        window and flushes — the command rides the tail of the very
-        ``CommandBatch`` the flush sends, and its outcome is checked
-        eagerly when the flush settles the batched replies (so errors
-        still surface at the call site, unlike truly deferred traffic).
+        In the window graph the creation *writes* its provisional handle
+        (the default annotation): a sync point seeded with that handle —
+        a blocking read of a still-promised buffer — must drain the
+        windows holding its creations, both to materialise the object
+        and to surface an allocation failure at the point the data is
+        consumed.  Event closures stay unaffected: the walk recurses
+        only through event handles, and user-event *replica* creations
+        (which register an event another server produces) are annotated
+        separately as writing nothing.
 
-        Falls back to :meth:`fanout` when batching or ``batch_fanout``
-        is disabled."""
-        if not self.batching_enabled or not self.batch_fanout:
+        Falls back to the synchronous fan-out (eager error check at the
+        call site) when ``defer_creations`` or batching is disabled —
+        the PR-1 baseline behaviour."""
+        if self.creations_deferred:
+            self.fanout_deferred(servers, make_msg)
+        else:
             self.fanout(servers, make_msg)
-            return
-        for conn in servers:
-            if not conn.connected:
-                raise CLError(
-                    ErrorCode.CL_INVALID_SERVER_WWU,
-                    f"server {conn.name!r} was disconnected; objects on it are gone",
-                )
-        for conn, msg in zip(servers, self._replicated(servers, make_msg)):
-            self._pending.setdefault(conn.name, []).append(msg)
-        self.flush_connections(servers)
 
     # ------------------------------------------------------------------
     # event consistency (Section III-D)
@@ -645,6 +688,9 @@ class DOpenCLDriver:
                     # before this notification arrived, but the replica
                     # must not resolve before the client learned of the
                     # completion and one hop carried the word onward.
+                    # writes=(): the relay reports a completion that
+                    # already happened; the stub is resolved, so the
+                    # window graph never needs to chase it.
                     self.defer(
                         conn,
                         P.SetUserEventStatusRequest(
@@ -653,6 +699,7 @@ class DOpenCLDriver:
                             min_time=arrival + self.network.one_way_latency(),
                         ),
                         raise_errors=False,
+                        writes=(),
                     )
                     self.stats.relays_deferred += 1
                     continue
@@ -666,25 +713,21 @@ class DOpenCLDriver:
                 )
 
     def flush_for_event(self, stub: EventStub) -> None:
-        """Push out whatever forwarding the event's resolution depends on
-        (the wait-side half of 'event stubs resolve from batch replies').
+        """Push out exactly the forwarding the event's resolution depends
+        on (the wait-side half of 'event stubs resolve from batch
+        replies').
 
-        A wait is a full synchronization point for the event: after the
-        owner's window produces the completion, the *drain* pass flushes
-        the completion relays that deferral just appended to the replica
-        servers' windows — so when the wait returns, every user-event
-        replica has (or is ordered to receive) the status, matching the
-        pre-deferral guarantee."""
+        Dependency-tracked: only the windows in the event's transitive
+        closure drain — its owner server, the windowed producers of
+        anything its producer waits on (cross-server chains), and the
+        relays those flushes defer back into closure windows.  Windows
+        of causally unrelated daemons stay queued; relays to replica
+        servers outside the closure ride those servers' next flush,
+        where per-daemon program order still puts them behind the
+        replica's creation."""
         if stub.resolved:
             return
-        if stub.owner_server is not None:
-            conn = self._connections.get(stub.owner_server)
-            if conn is not None and conn.connected:
-                self.flush_connection(conn)
-        # Drain: resolves cross-server wait chains when the owner flush
-        # was not enough, and pushes out any completion relays deferred
-        # while the owner's batch dispatched.
-        self.flush_all()
+        self.flush_for_handles([stub.id])
 
     def new_event_stub(self, context: ContextStub, owner_server: Optional[str], command_type: int) -> EventStub:
         """Create an event stub and its user-event replicas on every
@@ -696,11 +739,37 @@ class DOpenCLDriver:
         replicas = [c for c in context.unique_servers if c.name != owner_server and c.connected]
         if replicas:
             stub.has_replicas = True
+            stub.replica_servers = tuple(c.name for c in replicas)
+            # writes=(): a replica *receives* the completion (via relay)
+            # rather than producing it, so it must not appear as the
+            # event's producer in the window graph.
             self.fanout_deferred(
                 replicas,
                 lambda conn: P.CreateUserEventRequest(event_id=stub.id, context_id=context.id),
+                writes=(),
             )
         return stub
+
+    def replica_broadcast_targets(self, stub: EventStub) -> List[str]:
+        """The peer-daemon names a direct-broadcasting owner should push
+        ``stub``'s completion to — exactly the servers holding its
+        user-event replicas (recorded on the stub when the replicas were
+        created), or empty when the owner does not broadcast (Section
+        III-F) or the event has no replicas.  Carried on the
+        launch/upload message so the daemon never blankets peers outside
+        the event's context (which would waste s2s transfers and clog
+        the status-before-create buffers with entries no replica will
+        ever consume)."""
+        if stub.owner_server is None or not stub.has_replicas:
+            return []
+        conn = self._connections.get(stub.owner_server)
+        if conn is None or not getattr(conn.daemon, "direct_event_broadcast", False):
+            return []
+        return [
+            name
+            for name in stub.replica_servers
+            if name in self._connections and self._connections[name].connected
+        ]
 
     def new_user_event_stub(self, context: ContextStub) -> UserEventStub:
         """``clCreateUserEvent``: a user-event stub with replicas on every
@@ -710,9 +779,11 @@ class DOpenCLDriver:
         self._events[stub.id] = stub
         if context.unique_servers:
             stub.has_replicas = True
+            stub.replica_servers = tuple(c.name for c in context.unique_servers)
             self.fanout_deferred(
                 context.unique_servers,
                 lambda conn: P.CreateUserEventRequest(event_id=stub.id, context_id=context.id),
+                writes=(),
             )
         return stub
 
@@ -721,16 +792,19 @@ class DOpenCLDriver:
     # ------------------------------------------------------------------
     def internal_queue(self, context: ContextStub, server_name: str) -> QueueStub:
         """Hidden per-(context, server) queue used for protocol transfers
-        when the application has no queue on the owning server."""
+        when the application has no queue on the owning server.  The
+        creation is a handle promise like any other: the bulk stream
+        that needs the queue flushes the window first, so the daemon
+        registers the queue before the stream init references it."""
         queue = context._internal_queues.get(server_name)
         if queue is not None:
             return queue
         devices = context.server_devices[server_name]
         conn = self.connection(server_name)
         stub_id = self.new_id()
-        self.roundtrip(
-            conn,
-            P.CreateQueueRequest(
+        self.forward_creation(
+            [conn],
+            lambda c: P.CreateQueueRequest(
                 queue_id=stub_id,
                 context_id=context.id,
                 device_id=devices[0].remote_id,
@@ -858,6 +932,12 @@ class DOpenCLDriver:
         self.send_bulk(conn, init, [b.data for b in buffers], total)
 
     def _download_from_server(self, buffer: BufferStub, server_name: str, preferred: Optional[QueueStub]) -> None:
+        # The download is gated daemon-side on the buffer's producing
+        # command: drain the buffer's dependency closure first so a
+        # dispatched-but-pending writer (waiting on an event produced on
+        # another daemon) can complete.  The fetch below still flushes
+        # the owning server's window for program order.
+        self.flush_for_handles(self.buffer_sync_handles(buffer), raise_errors=False)
         conn = self.connection(server_name)
         queue = self._queue_on(buffer, server_name, preferred)
         stub = self._new_transfer_event(buffer.context, server_name)
@@ -874,6 +954,11 @@ class DOpenCLDriver:
 
     def _server_to_server(self, buffer: BufferStub, src_name: str, dst_name: str) -> None:
         """Section III-F: direct daemon-to-daemon synchronisation."""
+        # Like the download path: the source's copy may still be owed a
+        # write by a dispatched-but-pending command (gated on an event
+        # produced elsewhere) — drain the buffer's dependency closure so
+        # the peer copy ships the completed state.
+        self.flush_for_handles(self.buffer_sync_handles(buffer), raise_errors=False)
         src = self.connection(src_name)
         # The destination's window may hold commands that must precede the
         # incoming copy (buffer-state order is per-daemon).

@@ -18,7 +18,13 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.core.coherence.directory import MOSIDirectory, MSIDirectory
-from repro.ocl.constants import CL_COMMAND_USER, CL_COMPLETE, CL_QUEUED, ErrorCode
+from repro.ocl.constants import (
+    CL_COMMAND_USER,
+    CL_COMPLETE,
+    CL_QUEUED,
+    CL_QUEUE_OUT_OF_ORDER_EXEC_MODE_ENABLE,
+    ErrorCode,
+)
 from repro.ocl.errors import CLError
 
 
@@ -112,7 +118,13 @@ class ContextStub:
 
 
 class QueueStub:
-    """Simple stub: a command queue on exactly one server."""
+    """Simple stub: a command queue on exactly one server.
+
+    ``last_event_id`` tracks the event of the most recent forwarded
+    command on this queue: for in-order queues every command implicitly
+    depends on its predecessor, and recording the edge on the stubs
+    keeps the window graph's dependency closure complete even after the
+    predecessor left its send window."""
 
     def __init__(self, context: ContextStub, stub_id: int, device: RemoteDevice, properties: int) -> None:
         self.context = context
@@ -120,7 +132,13 @@ class QueueStub:
         self.device = device
         self.server = device.server
         self.properties = properties
+        self.last_event_id: Optional[int] = None
         self.refcount = 1
+
+    @property
+    def in_order(self) -> bool:
+        """Whether the queue executes commands in submission order."""
+        return not (self.properties & CL_QUEUE_OUT_OF_ORDER_EXEC_MODE_ENABLE)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<QueueStub #{self.id} on {self.server.name!r}>"
@@ -150,6 +168,13 @@ class BufferStub:
         if directory_cls is None:
             raise CLError(ErrorCode.CL_INVALID_VALUE, f"unknown coherence protocol {protocol!r}")
         self.coherence = directory_cls(context.server_names)
+        #: ID of the event produced by the last forwarded command that
+        #: writes this buffer — a kernel launch or a gated upload (None
+        #: before any).  Sync points that target the buffer (blocking
+        #: reads, coherence downloads) seed their dependency closure
+        #: with it, so the chain stays traceable even after the writer
+        #: left its send window.
+        self.last_write_event: Optional[int] = None
         #: True while every copy (client and daemons) still holds the
         #: initial zeros — nothing has written the buffer anywhere, so no
         #: data movement can be needed to validate a copy.
@@ -195,7 +220,12 @@ class BufferStub:
 
 
 class ProgramStub:
-    """Compound stub: program replicated to every server of the context."""
+    """Compound stub: program replicated to every server of the context.
+
+    ``kernel_meta`` caches the per-kernel argument metadata the build
+    replies ship (``BuildProgramResponse.kernels``); it is what lets
+    ``clCreateKernel`` assemble a :class:`KernelStub` without a
+    synchronous round trip (the handle-promise design)."""
 
     def __init__(self, context: ContextStub, stub_id: int, source: str) -> None:
         self.context = context
@@ -204,6 +234,7 @@ class ProgramStub:
         self.options = ""
         self.build_status: str = "NONE"
         self.build_logs: Dict[str, str] = {}
+        self.kernel_meta: Dict[str, Dict[str, object]] = {}
         self.refcount = 1
 
     def build_info(self, key: str) -> object:
@@ -300,6 +331,19 @@ class EventStub:
         #: driver sets it.  Events without replicas — internal transfer
         #: and read events — need (and get) no relay traffic.
         self.has_replicas = False
+        #: Names of the servers the driver created those replicas on
+        #: (set alongside ``has_replicas``) — the single source for the
+        #: Section III-F direct-broadcast target list, so it can never
+        #: drift from where the replicas actually live.
+        self.replica_servers: tuple = ()
+        #: IDs of the events this event's producing command waits on
+        #: (its wait list), recorded at enqueue time.  The window
+        #: graph's closure walk follows these even after the producer
+        #: has left its send window — a dispatched launch can still sit
+        #: pending daemon-side on an unresolved dependency, and the
+        #: windows of that dependency's producers must drain for this
+        #: event to ever resolve.
+        self.depends_on: tuple = ()
         #: Driver-installed callable flushing the forwarding this event's
         #: resolution depends on (see class docstring).
         self._flush_hook = None

@@ -1,0 +1,165 @@
+"""Dependency-tracked send windows (the client's window graph).
+
+PR 1 modeled each connection's send window as a flat list of deferred
+requests; every sync point drained *every* window.  This module replaces
+the flat lists with a small dependency layer: each windowed command
+records the client handle IDs it **reads** and the IDs it **writes**
+(creations and data/completion productions), so a synchronization point
+that targets one handle — ``clWaitForEvents``, a blocking transfer —
+can flush only the windows in the transitive dependency closure of that
+handle, while ``clFinish`` keeps its full-drain semantics.
+
+Two structural facts keep the graph small and the closure sound:
+
+* **Within one window, program order is dependency order.**  A command
+  can only refer to handles the application already held when it was
+  issued, and the daemon replays a batch in client program order — so
+  same-window dependencies (a launch after its kernel's creation) need
+  no edges at all: flushing a window flushes every prefix.
+* **Cross-window edges only arise through events** (a completion
+  produced on one daemon gating a command on another) and through
+  buffer data, which the coherence layer moves *eagerly* via streams
+  (every stream flushes its target window first).  The closure
+  therefore recurses only through unresolved event handles; replica
+  bookkeeping (``CreateUserEventRequest`` on non-owning servers) is
+  recorded as writing nothing, because a replica never *produces* the
+  completion — it receives it.
+
+The windows themselves live on the
+:class:`~repro.core.client.connection.ServerConnection` (one
+:class:`SendWindow` per connection); the driver owns the closure
+computation because it alone knows which handles are events and where
+their originals live.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Tuple
+
+
+class WindowCommand:
+    """One deferred request plus its dependency annotation.
+
+    ``reads`` are the client handle IDs the command consumes; ``writes``
+    are the IDs this command *produces*: a launch writes its event ID
+    and its writable buffer arguments, and a creation writes the
+    provisional handle it materialises (so a sync point seeded with a
+    promised buffer drains the windows holding its creations — and
+    surfaces their failures — before consuming the data).  User-event
+    *replica* creations and status updates write nothing: the replica
+    registers an event another server produces, and a status reports a
+    completion the client already holds, so the graph never needs to
+    chase either."""
+
+    __slots__ = ("msg", "reads", "writes")
+
+    def __init__(self, msg, reads: Iterable[int] = (), writes: Iterable[int] = ()) -> None:
+        self.msg = msg
+        self.reads: Tuple[int, ...] = tuple(reads)
+        self.writes: Tuple[int, ...] = tuple(writes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<WindowCommand {type(self.msg).__name__} "
+            f"reads={self.reads} writes={self.writes}>"
+        )
+
+
+class SendWindow:
+    """One connection's ordered window of deferred commands.
+
+    Keeps a write-handle index alongside the command list so the
+    closure walk's ``writers_of`` is a dictionary lookup instead of a
+    scan — the walk runs once per drain pass of every targeted sync
+    point, over every window."""
+
+    __slots__ = ("commands", "_writers")
+
+    def __init__(self) -> None:
+        self.commands: List[WindowCommand] = []
+        self._writers: dict = {}
+
+    def append(self, command: WindowCommand) -> None:
+        """Queue a command at the window's tail (program order)."""
+        self.commands.append(command)
+        for handle in command.writes:
+            self._writers.setdefault(handle, []).append(command)
+
+    def swap_out(self) -> List[WindowCommand]:
+        """Atomically take the current contents, leaving the window
+        empty — dispatching may defer *new* commands (completion
+        relays), which must land in a fresh window, not the batch being
+        sent."""
+        taken = self.commands
+        self.commands = []
+        self._writers = {}
+        return taken
+
+    def messages(self) -> List[object]:
+        """The windowed request messages, in program order."""
+        return [c.msg for c in self.commands]
+
+    def writers_of(self, handle_id: int) -> List[WindowCommand]:
+        """Commands in this window that produce ``handle_id``."""
+        return self._writers.get(handle_id, [])
+
+    def __len__(self) -> int:
+        return len(self.commands)
+
+    def __bool__(self) -> bool:
+        return bool(self.commands)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SendWindow {len(self.commands)} commands>"
+
+
+def closure_servers(
+    handles: Iterable[int],
+    windows,
+    event_of,
+) -> FrozenSet[str]:
+    """Server names in the transitive dependency closure of ``handles``.
+
+    ``windows`` maps server name -> :class:`SendWindow`; ``event_of``
+    maps a handle ID to the driver's event stub (or ``None`` for
+    non-event handles).  The closure walks:
+
+    * an unresolved event contributes its **owner server** (the window
+      holding — or having held — the command that will produce the
+      completion must drain for the completion to ever reach the
+      client) and recurses into its recorded wait list
+      (``EventStub.depends_on``) — this edge survives dispatch: a
+      launch already sent to its daemon can still sit pending on an
+      unresolved dependency whose producers are windowed elsewhere;
+      resolved events contribute nothing;
+    * any windowed command *writing* a closure handle contributes its
+      server, and its event-reads (an unresolved wait list) recurse —
+      the cross-daemon edges described in the module docstring.
+
+    Windows outside the returned set are causally independent of the
+    awaited handles and stay untouched — the point of the graph."""
+    servers = set()
+    seen = set()
+    stack = list(handles)
+    while stack:
+        handle = stack.pop()
+        if handle in seen:
+            continue
+        seen.add(handle)
+        stub = event_of(handle)
+        if stub is not None:
+            if getattr(stub, "resolved", False):
+                continue  # completion already known: no dependency left
+            owner = getattr(stub, "owner_server", None)
+            if owner is not None:
+                servers.add(owner)
+            for dep in getattr(stub, "depends_on", ()):
+                if dep not in seen:
+                    stack.append(dep)
+        for name, window in windows.items():
+            for cmd in window.writers_of(handle):
+                servers.add(name)
+                for read in cmd.reads:
+                    if read not in seen and event_of(read) is not None:
+                        stack.append(read)
+    return frozenset(servers)

@@ -15,6 +15,16 @@ buffers directly); :class:`MOSIDirectory` implements the Section III-F
 extension where servers synchronise "by exchanging their data directly",
 adding the Owned state.
 
+With fully deferred creation calls the buffer IDs a plan's transfers
+target are *provisional* (handle promises): the ``CreateBufferRequest``
+registering the server-side copy may still sit in that daemon's send
+window when the plan is made.  Execution stays sound because every
+transfer is a bulk stream or synchronous request, and those flush the
+destination daemon's window first — per-daemon program order lands the
+creation before the stream init that references it.  A failed creation
+poisons the ID daemon-side, so the stream init reports the original
+allocation error rather than a bare unknown-ID failure.
+
 Invariants (property-tested):
 
 * at most one party is Modified/Owned;
@@ -84,6 +94,12 @@ def split_upload_plan(
     Directory state is mutated at *planning* time (``acquire_read``),
     never at execution time — grouping therefore leaves the directories
     in exactly the state the unmerged execution would.
+
+    The buffer keys may be stubs whose server-side copies are still
+    *provisional* (their deferred ``CreateBufferRequest`` windowed);
+    the coalesced upload's init round trip flushes the destination
+    window first, so grouping never lets a stream overtake the creation
+    it depends on (see the module docstring).
     """
     immediate: List[Tuple[object, Transfer]] = []
     uploads: Dict[str, List[object]] = {}

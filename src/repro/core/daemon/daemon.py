@@ -12,7 +12,19 @@ Enqueue-class traffic additionally arrives coalesced: the client driver's
 send window lands here as one ``CommandBatch`` whose envelope is decoded
 once, after which each sub-command is charged only the (cheaper)
 per-command dispatch cost and replayed through its normal handler in
-client program order.
+client program order.  Creation calls arrive the same way (*handle
+promises*): program order guarantees a creation replays before anything
+that uses its provisional ID, and a failed creation **poisons** that ID
+in the registry — later sub-commands depending on it are answered
+positionally with the original error, without executing (the
+``guard``/``observe`` hooks of ``install_batch_dispatch``).
+
+Event statuses tolerate wire-level reordering: a
+``SetUserEventStatusRequest`` (or Section III-F direct broadcast)
+arriving before the replica's creation replays is buffered and applied
+the moment the replica registers — the daemon-side half of what lets
+replica bookkeeping stay in program order instead of being hoisted ahead
+of every flush.
 
 In *managed mode* (Section IV-A) the daemon registers its devices with the
 central device manager, accepts connections only with a valid
@@ -22,7 +34,8 @@ that client's lease.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from collections import OrderedDict
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.protocol import messages as P
 from repro.hw.node import Host
@@ -42,6 +55,18 @@ from repro.ocl.queue import CommandQueue
 from repro.clc import LocalMemory
 from repro.core.daemon.registry import Registry
 from repro.clc.types import PointerType
+
+
+#: Bound on the buffered status-before-create entries per daemon.
+#: Every buffered status has a guaranteed consumer — relays land behind
+#: the replica's creation in the same window, and direct broadcasts
+#: target exactly the replica holders (``replica_servers``) — so the
+#: buffer only holds statuses whose creations are in flight and drains
+#: at the next batch replay.  Exceeding the bound therefore means
+#: statuses are outrunning replica creations without bound, which is a
+#: feedback bug (cf. ``MAX_DRAIN_PASSES``), never backpressure — it
+#: raises instead of silently evicting an entry a replica still needs.
+PENDING_EVENT_STATUS_LIMIT = 4096
 
 
 class Daemon:
@@ -80,7 +105,54 @@ class Daemon:
         #: server that owns the original event") instead of relying on the
         #: client to relay them.
         self.direct_event_broadcast = False
+        #: (client, event_id) -> (status, time): statuses that arrived
+        #: before the replica's deferred creation replayed (relay or
+        #: broadcast overtaking a still-windowed CreateUserEventRequest);
+        #: applied — with the buffered time as causality floor — the
+        #: moment the replica registers.  Bounded (see
+        #: :data:`PENDING_EVENT_STATUS_LIMIT`): overflow is a bug, not
+        #: backpressure.
+        self._pending_event_status: "OrderedDict[Tuple[str, int], Tuple[int, float]]" = (
+            OrderedDict()
+        )
         self._install_handlers()
+
+    # ------------------------------------------------------------------
+    def deliver_event_status(self, client: str, event_id: int, status: int, t: float) -> None:
+        """Apply a user-event status now, or buffer it until the
+        replica's in-flight creation registers (see class docstring).
+        Every buffered entry has a consumer (relays share the replica's
+        window; broadcasts target replica holders; failed/poisoned
+        creations and released replicas drop their entries), so
+        exceeding :data:`PENDING_EVENT_STATUS_LIMIT` raises rather than
+        silently dropping a status a replica still needs.  Residual
+        limitation: a status arriving for an id that was registered and
+        then *released* cannot be told apart from a not-yet-created one
+        and lingers until disconnect — unreachable through the current
+        API (event releases are client-local), bounded by the limit."""
+        obj = self.registry.peek(client, event_id)
+        if isinstance(obj, UserEvent):
+            if not obj.resolved:
+                obj.set_status(status, t)
+            return
+        if obj is not None:
+            return  # registered, but not a replica: nothing to update
+        if self.registry.poison_info(client, (event_id,)) is not None:
+            return  # the replica's creation failed: no consumer, ever
+        if client not in self.gcf.peers:
+            # The client disconnected (its namespace here is gone, and
+            # IDs are never reused): no creation can ever consume the
+            # status — dropping it mirrors the disconnect cleanup.
+            return
+        self._pending_event_status.setdefault((client, event_id), (status, t))
+        if len(self._pending_event_status) > PENDING_EVENT_STATUS_LIMIT:
+            raise CLError(
+                ErrorCode.CL_INVALID_OPERATION,
+                f"daemon {self.name!r}: {len(self._pending_event_status)} event "
+                "statuses buffered ahead of their replica creations "
+                "(status-before-create feedback loop; this is a bug, not "
+                "backpressure)",
+            )
 
     # ------------------------------------------------------------------
     @property
@@ -103,6 +175,27 @@ class Daemon:
     @staticmethod
     def _encode_info(info: Dict[str, object]) -> Dict[str, object]:
         return {k: (bool(v) if isinstance(v, bool) else v) for k, v in info.items()}
+
+    @staticmethod
+    def _kernel_metadata(program: Program) -> Dict[str, Dict[str, object]]:
+        """Argument metadata for every kernel of a built program — the
+        payload of ``BuildProgramResponse.kernels`` (see there)."""
+        out: Dict[str, Dict[str, object]] = {}
+        for name, compiled in program.require_built().kernels.items():
+            writable = [
+                i
+                for i, sym in enumerate(compiled.info.param_symbols)
+                if isinstance(sym.type, PointerType)
+                and sym.type.address_space == "global"
+                and not sym.is_const
+            ]
+            out[name] = {
+                "num_args": compiled.num_args,
+                "arg_kinds": list(compiled.arg_kinds),
+                "arg_types": [str(sym.type) for sym in compiled.info.param_symbols],
+                "writable_buffer_args": writable,
+            }
+        return out
 
     # ------------------------------------------------------------------
     # registry helpers
@@ -135,10 +228,68 @@ class Daemon:
         # through its registered handler, in client program order.
         # Undispatchable sub-commands answer with a CL error Ack so the
         # client surfaces a faithful CLError at its sync point.
+        #
+        # guard/observe implement provisional-ID poisoning for deferred
+        # creations: a failed creation poisons the IDs it was promising
+        # (observe), and any later sub-command reading or extending a
+        # poisoned ID is answered with the original error positionally,
+        # without executing its handler (guard).
+        def batch_guard(sub, sender):
+            released = P.released_handle(sub)
+            if released is not None and self.registry.unpoison(sender.name, released):
+                # Disposing of a poisoned handle retires the poison
+                # entry — re-raising the (already surfaced) failure at
+                # every later sync point would make cleanup impossible.
+                # Creation-poisoned handles never materialised: the
+                # release succeeds as a no-op.  Mutation-poisoned
+                # handles (a kernel whose arg update was skipped) DO
+                # exist, so fall through and run the real release
+                # handler — skipping it would leak the object.
+                if self.registry.peek(sender.name, released) is None:
+                    return P.Ack()
+                return None
+            reads, creates = P.request_handles(sub)
+            if not reads and not creates:
+                return None
+            hit = self.registry.poison_info(sender.name, [*reads, *creates])
+            if hit is None:
+                return None
+            poisoned_id, code, poison_detail = hit
+            return P.Ack(
+                error=code,
+                detail=(
+                    f"{type(sub).__name__} skipped: depends on ID {poisoned_id}, "
+                    f"poisoned by a failed creation ({poison_detail})"
+                ),
+            )
+
+        def batch_observe(sub, response, sender):
+            error = getattr(response, "error", 0)
+            if not error:
+                return
+            if isinstance(sub, P.CreateUserEventRequest):
+                # The replica will never register (creation failed or was
+                # poison-skipped): discard any status buffered for it, or
+                # the entry would sit in the pending table forever.
+                self._pending_event_status.pop((sender.name, sub.event_id), None)
+            _reads, creates = P.request_handles(sub)
+            # A failed (or skipped) command poisons what it promised to
+            # create AND what it mutates in place: for the latter the
+            # daemon-side state no longer matches what the client
+            # believes (a skipped SetKernelArg leaves the kernel's
+            # previous binding), so nothing may execute against it.
+            tainted = creates | P.request_mutations(sub)
+            if tainted:
+                self.registry.poison(
+                    sender.name, tainted, error, getattr(response, "detail", "")
+                )
+
         gcf.install_batch_dispatch(
             on_error=lambda detail: P.Ack(
                 error=ErrorCode.CL_INVALID_OPERATION.value, detail=detail
-            )
+            ),
+            guard=batch_guard,
+            observe=batch_observe,
         )
 
         @gcf.on_connect
@@ -157,6 +308,8 @@ class Daemon:
             # Abnormal-termination reclamation (Section IV-C): report the
             # invalidated auth ID so the device manager frees the devices.
             auth = self.client_auth.pop(client_name, None)
+            for key in [k for k in self._pending_event_status if k[0] == client_name]:
+                del self._pending_event_status[key]
             for _obj_id, obj in self.registry.drop_client(client_name):
                 if isinstance(obj, Buffer):
                     obj.release()
@@ -291,7 +444,9 @@ class Daemon:
                 buffer, as_uint8_array(payload), arrival, msg.offset, wait
             )
             self.registry.put(sender.name, msg.event_id, event)
-            self._arm_completion_callback(event, msg.event_id, sender)
+            self._arm_completion_callback(
+                event, msg.event_id, sender, replica_servers=msg.replica_servers
+            )
 
         @gcf.on_request(P.CoalescedBufferUpload)
         def coalesced_upload_init(msg: P.CoalescedBufferUpload, t: float, sender: GCFProcess):
@@ -404,6 +559,20 @@ class Daemon:
                 source = str(payload)
             self.registry.put(sender.name, msg.program_id, Program(ctx, source))
 
+        @gcf.on_request(P.CreateProgramWithSourceRequest)
+        def create_program_deferred(
+            msg: P.CreateProgramWithSourceRequest, t: float, sender: GCFProcess
+        ):
+            # The deferred-creation path: the source arrived inline with
+            # the batch, so program registration is an ordinary replayed
+            # sub-command (no stream, no round trip of its own).
+            try:
+                ctx = self._ctx(sender.name, msg.context_id)
+                self.registry.put(sender.name, msg.program_id, Program(ctx, msg.source))
+                return P.Ack(), t
+            except CLError as exc:
+                return P.Ack(error=exc.code.value, detail=exc.message), t
+
         @gcf.on_request(P.BuildProgramRequest)
         def build_program(msg: P.BuildProgramRequest, t: float, sender: GCFProcess):
             try:
@@ -412,7 +581,15 @@ class Daemon:
                 return P.BuildProgramResponse(error=exc.code.value, detail=exc.message), t
             try:
                 done = program.build(msg.options, t)
-                return P.BuildProgramResponse(status="SUCCESS", log=""), done
+                # Ship every kernel's argument metadata with the build
+                # status: this is what lets clCreateKernel defer (the
+                # client fills kernel stubs from the cached table).
+                return (
+                    P.BuildProgramResponse(
+                        status="SUCCESS", log="", kernels=self._kernel_metadata(program)
+                    ),
+                    done,
+                )
             except CLError as exc:
                 from repro.ocl.program import build_duration
 
@@ -436,31 +613,14 @@ class Daemon:
 
         @gcf.on_request(P.CreateKernelRequest)
         def create_kernel(msg: P.CreateKernelRequest, t: float, sender: GCFProcess):
+            # Fire-and-forget: the metadata already travelled with the
+            # build reply, so creation answers a plain Ack.
             try:
                 program = self.registry.get(sender.name, msg.program_id, Program)
-                kernel = Kernel(program, msg.name)
-                self.registry.put(sender.name, msg.kernel_id, kernel)
-                writable = []
-                for i, sym in enumerate(kernel.compiled.info.param_symbols):
-                    if (
-                        isinstance(sym.type, PointerType)
-                        and sym.type.address_space == "global"
-                        and not sym.is_const
-                    ):
-                        writable.append(i)
-                return (
-                    P.CreateKernelResponse(
-                        num_args=kernel.num_args,
-                        arg_kinds=list(kernel.compiled.arg_kinds),
-                        arg_types=[
-                            str(sym.type) for sym in kernel.compiled.info.param_symbols
-                        ],
-                        writable_buffer_args=writable,
-                    ),
-                    t,
-                )
+                self.registry.put(sender.name, msg.kernel_id, Kernel(program, msg.name))
+                return P.Ack(), t
             except CLError as exc:
-                return P.CreateKernelResponse(error=exc.code.value, detail=exc.message), t
+                return P.Ack(error=exc.code.value, detail=exc.message), t
 
         @gcf.on_request(P.SetKernelArgRequest)
         def set_kernel_arg(msg: P.SetKernelArgRequest, t: float, sender: GCFProcess):
@@ -500,7 +660,9 @@ class Daemon:
                     wait_for=wait,
                 )
                 self.registry.put(sender.name, msg.event_id, event)
-                self._arm_completion_callback(event, msg.event_id, sender)
+                self._arm_completion_callback(
+                    event, msg.event_id, sender, replica_servers=msg.replica_servers
+                )
                 return P.EnqueueKernelResponse(), t
             except CLError as exc:
                 return P.EnqueueKernelResponse(error=exc.code.value, detail=exc.message), t
@@ -510,7 +672,15 @@ class Daemon:
         def create_user_event(msg: P.CreateUserEventRequest, t: float, sender: GCFProcess):
             try:
                 ctx = self._ctx(sender.name, msg.context_id)
-                self.registry.put(sender.name, msg.event_id, UserEvent(ctx, t))
+                event = UserEvent(ctx, t)
+                self.registry.put(sender.name, msg.event_id, event)
+                # A relay or direct broadcast may have overtaken this
+                # (deferred) creation on the wire; apply the buffered
+                # status now, with the buffered time as causality floor.
+                pending = self._pending_event_status.pop((sender.name, msg.event_id), None)
+                if pending is not None:
+                    status, t_status = pending
+                    event.set_status(status, max(t, t_status))
                 return P.Ack(), t
             except CLError as exc:
                 return P.Ack(error=exc.code.value, detail=exc.message), t
@@ -518,12 +688,17 @@ class Daemon:
         @gcf.on_request(P.SetUserEventStatusRequest)
         def set_user_event_status(msg: P.SetUserEventStatusRequest, t: float, sender: GCFProcess):
             try:
-                event = self.registry.get(sender.name, msg.event_id, UserEvent)
+                # One delivery policy for every status source (app
+                # fan-out, relay, broadcast): apply to the replica,
+                # ignore duplicates for already-resolved ones, buffer
+                # statuses whose replica creation has not replayed yet.
                 # msg.min_time is the relay's causality floor: a status
                 # riding an early-dispatched batch still takes effect no
                 # sooner than the completion it reports became knowable
                 # here (see SetUserEventStatusRequest).
-                event.set_status(msg.status, max(t, msg.min_time))
+                self.deliver_event_status(
+                    sender.name, msg.event_id, msg.status, max(t, msg.min_time)
+                )
                 return P.Ack(), t
             except CLError as exc:
                 return P.Ack(error=exc.code.value, detail=exc.message), t
@@ -532,6 +707,9 @@ class Daemon:
         def release_event(msg, t, sender):
             try:
                 self.registry.pop(sender.name, msg.event_id)
+                # A status buffered for the now-released replica has no
+                # consumer any more (client IDs are never reused).
+                self._pending_event_status.pop((sender.name, msg.event_id), None)
                 return P.Ack(), t
             except CLError as exc:
                 return P.Ack(error=exc.code.value, detail=exc.message), t
@@ -549,12 +727,27 @@ class Daemon:
                 del self.client_auth[client]
 
     # ------------------------------------------------------------------
-    def _arm_completion_callback(self, event: Event, event_id: int, client: GCFProcess) -> None:
+    def _arm_completion_callback(
+        self,
+        event: Event,
+        event_id: int,
+        client: GCFProcess,
+        replica_servers: Optional[List[str]] = None,
+    ) -> None:
         """clSetEventCallback on the original event: notify the client on
         completion so it can replicate the status to user-event replicas
-        on other servers (Section III-D).  With
-        :attr:`direct_event_broadcast` the owning daemon additionally
-        pushes the status straight to its peers (Section III-F)."""
+        on other servers (Section III-D).
+
+        With :attr:`direct_event_broadcast`, ``replica_servers`` (set by
+        the client on the launch/upload message — exactly the peers
+        holding user-event replicas of this event) receive the status
+        straight from this daemon (Section III-F).  Each target applies
+        it immediately or, if the replica's deferred creation has not
+        replayed yet, buffers it (:meth:`deliver_event_status`) — the
+        broadcast can therefore never race a windowed creation, and it
+        never touches daemons outside the event's replica set (whose
+        buffers no create would ever drain).  Internal transfer events
+        have no replicas and pass nothing."""
 
         def on_complete(_event, status, t_complete):
             self.gcf.notify(
@@ -564,14 +757,15 @@ class Daemon:
                 ),
                 t_complete,
             )
-            if self.direct_event_broadcast:
-                for peer in self.peer_daemons.values():
-                    replica = peer.registry._objects.get(client.name, {}).get(event_id)
-                    if isinstance(replica, UserEvent) and not replica.resolved:
-                        arrival = self.network.transfer(
-                            self.host, peer.host, t_complete, 96, tag="s2s-event"
-                        )
-                        replica.set_status(0, arrival)
+            if self.direct_event_broadcast and replica_servers:
+                for name in replica_servers:
+                    peer = self.peer_daemons.get(name)
+                    if peer is None:
+                        continue
+                    arrival = self.network.transfer(
+                        self.host, peer.host, t_complete, 96, tag="s2s-event"
+                    )
+                    peer.deliver_event_status(client.name, event_id, 0, arrival)
 
         event.set_callback(on_complete)
 

@@ -4,11 +4,20 @@ Each connected client has its own ID namespace (IDs are allocated by that
 client's driver).  "On the server, the daemon replaces these IDs by the
 associated remote objects and calls the corresponding function of its
 standard OpenCL implementation" (Section III-D).
+
+With fully deferred creation calls the registry also tracks **poisoned
+provisional IDs**: when a deferred creation fails (a buffer exceeding
+device memory, a queue on a dead context), the ID the client promised
+never materialises — it is recorded as poisoned, and every later command
+that reads or would extend it is rejected with the original error
+*without executing* (the daemon's batch-dispatch guard consults
+:meth:`Registry.poison_info`).  Client drivers never reuse IDs, so a
+poisoned ID stays poisoned until the client disconnects.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Tuple, Type, TypeVar
+from typing import Dict, Iterable, Iterator, Optional, Tuple, Type, TypeVar
 
 from repro.ocl.constants import ErrorCode
 from repro.ocl.errors import CLError
@@ -27,10 +36,12 @@ _KIND_ERRORS = {
 
 
 class Registry:
-    """Per-client ID -> object mapping."""
+    """Per-client ID -> object mapping (plus poisoned-ID bookkeeping)."""
 
     def __init__(self) -> None:
         self._objects: Dict[str, Dict[int, object]] = {}
+        #: client -> {poisoned id -> (error code int, detail)}.
+        self._poisoned: Dict[str, Dict[int, Tuple[int, str]]] = {}
 
     def client_names(self) -> Iterator[str]:
         """Clients that currently own registered objects."""
@@ -48,7 +59,18 @@ class Registry:
         return obj
 
     def get(self, client: str, obj_id: int, expected: Optional[Type[T]] = None) -> T:
-        """Look an object up, optionally type-checked (faithful CLError)."""
+        """Look an object up, optionally type-checked (faithful CLError).
+        A poisoned ID re-raises the failure that poisoned it — whether
+        the object never materialised (failed creation) or exists but
+        diverged from the client's picture of it (a skipped in-place
+        mutation) — so even synchronous paths (stream inits) attribute
+        the error to its cause and never execute against stale state."""
+        hit = self.poison_info(client, (obj_id,))
+        if hit is not None:
+            pid, code, detail = hit
+            raise CLError(
+                ErrorCode(code), f"ID {pid} was poisoned by a failed command: {detail}"
+            )
         table = self._objects.get(client, {})
         obj = table.get(obj_id)
         if obj is None:
@@ -61,6 +83,12 @@ class Registry:
             )
         return obj
 
+    def peek(self, client: str, obj_id: int) -> Optional[object]:
+        """The object registered under ``obj_id``, or ``None`` — no
+        error, no type check (for callers probing whether a deferred
+        creation has replayed yet)."""
+        return self._objects.get(client, {}).get(obj_id)
+
     def pop(self, client: str, obj_id: int) -> object:
         """Remove and return an object (the release handlers)."""
         table = self._objects.get(client, {})
@@ -70,9 +98,42 @@ class Registry:
         return obj
 
     def drop_client(self, client: str) -> Iterator[Tuple[int, object]]:
-        """Remove and yield all of a client's objects (disconnect cleanup)."""
+        """Remove and yield all of a client's objects (disconnect cleanup,
+        including its poisoned-ID table)."""
+        self._poisoned.pop(client, None)
         table = self._objects.pop(client, {})
         return iter(table.items())
+
+    # -- poisoned provisional IDs (deferred-creation failures) ----------
+    def poison(self, client: str, ids: Iterable[int], error: int, detail: str) -> None:
+        """Record provisional ``ids`` as poisoned by a failed creation
+        (first failure wins per ID — the earliest cause is the one worth
+        reporting)."""
+        table = self._poisoned.setdefault(client, {})
+        for obj_id in ids:
+            table.setdefault(obj_id, (int(error), detail))
+
+    def unpoison(self, client: str, obj_id: int) -> bool:
+        """Clear a poisoned ID (the client released the failed handle);
+        returns whether an entry was removed."""
+        table = self._poisoned.get(client)
+        if not table:
+            return False
+        return table.pop(obj_id, None) is not None
+
+    def poison_info(
+        self, client: str, ids: Iterable[int]
+    ) -> Optional[Tuple[int, int, str]]:
+        """``(id, error, detail)`` of the first poisoned ID among
+        ``ids``, or ``None`` — the batch-dispatch guard's query."""
+        table = self._poisoned.get(client)
+        if not table:
+            return None
+        for obj_id in ids:
+            hit = table.get(obj_id)
+            if hit is not None:
+                return obj_id, hit[0], hit[1]
+        return None
 
     def count(self, client: str) -> int:
         """How many objects ``client`` currently owns."""

@@ -12,12 +12,15 @@ Responses carry ``error`` (an OpenCL error code, 0 on success) and
 The module ends with the :data:`DEFERRABLE` registry — the contract
 between the client driver's send windows and the daemon's batch
 dispatcher; see its documentation for the rules a request type must obey
-to be listed there.
+to be listed there — and :func:`request_handles`, the shared
+handle-dependency metadata both sides of the wire consult: the client's
+window graph to compute flush closures, the daemon's batch dispatcher to
+poison commands that depend on a failed creation.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.net.messages import (
     CommandBatch,
@@ -86,7 +89,12 @@ class ServerInfoResponse(Response):
 # ----------------------------------------------------------------------
 @message_type
 class CreateContextRequest(Request):
-    """Create this server's member of a compound context stub."""
+    """Create this server's member of a compound context stub.
+
+    Deferrable (a *handle promise*): the client assigns ``context_id``
+    before anything is sent, so the call rides the send window and the
+    stub is usable immediately; a daemon-side failure poisons the
+    provisional ID and surfaces at the next sync point."""
 
     context_id: int
     device_ids: List[int]
@@ -101,7 +109,8 @@ class ReleaseContextRequest(Request):
 
 @message_type
 class CreateQueueRequest(Request):
-    """``clCreateCommandQueue`` on the one server owning the device."""
+    """``clCreateCommandQueue`` on the one server owning the device
+    (deferrable handle promise, like :class:`CreateContextRequest`)."""
 
     queue_id: int
     context_id: int
@@ -136,7 +145,10 @@ class FlushRequest(Request):
 # ----------------------------------------------------------------------
 @message_type
 class CreateBufferRequest(Request):
-    """Allocate this server's copy of a compound buffer stub."""
+    """Allocate this server's copy of a compound buffer stub
+    (deferrable handle promise; allocation failures — e.g. exceeding
+    device memory — poison the provisional ``buffer_id`` and surface at
+    the next sync point touching the daemon)."""
 
     buffer_id: int
     context_id: int
@@ -153,7 +165,13 @@ class ReleaseBufferRequest(Request):
 
 @message_type
 class BufferDataUpload(Request):
-    """Init message for a client->server buffer stream (upload path)."""
+    """Init message for a client->server buffer stream (upload path).
+
+    ``replica_servers`` names the peer daemons holding user-event
+    replicas of ``event_id`` — set only when the receiving daemon runs
+    the Section III-F direct broadcast, so it targets exactly the
+    replica holders instead of blanketing every peer.  Internal
+    coherence transfers (replica-less events) leave it empty."""
 
     buffer_id: int
     queue_id: int
@@ -161,6 +179,7 @@ class BufferDataUpload(Request):
     offset: int
     nbytes: int
     wait_event_ids: List[int]
+    replica_servers: List[str] = None
 
 
 @message_type
@@ -219,12 +238,25 @@ class BufferPeerTransferRequest(Request):
 # ----------------------------------------------------------------------
 @message_type
 class CreateProgramRequest(Request):
-    """Init message for the program-source stream
-    (``clCreateProgramWithSource`` is a bulk transfer, Section III-B)."""
+    """Init message for the program-source stream — the legacy
+    (``defer_creations=False``) path where ``clCreateProgramWithSource``
+    is a bulk transfer (Section III-B)."""
 
     program_id: int
     context_id: int
     source_bytes: int
+
+
+@message_type
+class CreateProgramWithSourceRequest(Request):
+    """Deferrable ``clCreateProgramWithSource``: the source rides the
+    send window inline instead of a dedicated bulk stream, so program
+    creation costs no round trip of its own — the bytes travel in the
+    ``CommandBatch`` the next sync point sends anyway."""
+
+    program_id: int
+    context_id: int
+    source: str
 
 
 @message_type
@@ -238,10 +270,18 @@ class BuildProgramRequest(Request):
 
 @message_type
 class BuildProgramResponse(Response):
-    """Per-server build status and log."""
+    """Per-server build status and log.
+
+    ``kernels`` maps each kernel name in the built program to its
+    argument metadata (``num_args`` / ``arg_kinds`` / ``arg_types`` /
+    ``writable_buffer_args``).  Shipping the metadata with the build
+    reply is what lets ``clCreateKernel`` become a deferrable handle
+    promise: the client fills its kernel stubs from the program stub's
+    cached table and the creation call needs no reply data."""
 
     status: str = "SUCCESS"
     log: str = ""
+    kernels: Dict[str, Dict[str, object]] = None
     error: int = 0
     detail: str = ""
 
@@ -255,24 +295,14 @@ class ReleaseProgramRequest(Request):
 
 @message_type
 class CreateKernelRequest(Request):
-    """``clCreateKernel``; synchronous because the reply carries the
-    argument metadata the client caches in the kernel stub."""
+    """``clCreateKernel`` (deferrable handle promise): the argument
+    metadata the client needs arrived with the build reply
+    (:class:`BuildProgramResponse`), so the creation itself is
+    fire-and-forget and answers a plain :class:`Ack`."""
 
     kernel_id: int
     program_id: int
     name: str
-
-
-@message_type
-class CreateKernelResponse(Response):
-    """Kernel argument metadata (count, kinds, types, writable args)."""
-
-    num_args: int = 0
-    arg_kinds: List[str] = None
-    arg_types: List[str] = None
-    writable_buffer_args: List[int] = None
-    error: int = 0
-    detail: str = ""
 
 
 @message_type
@@ -298,7 +328,11 @@ class ReleaseKernelRequest(Request):
 @message_type
 class EnqueueKernelRequest(Request):
     """``clEnqueueNDRangeKernel`` — fire-and-forget from the client's
-    point of view, so it rides the send window."""
+    point of view, so it rides the send window.
+
+    ``replica_servers`` names the peer daemons holding user-event
+    replicas of ``event_id`` (see :class:`BufferDataUpload`); only
+    populated when the owning daemon runs the direct broadcast."""
 
     queue_id: int
     kernel_id: int
@@ -307,6 +341,7 @@ class EnqueueKernelRequest(Request):
     local_size: List[int] = None  # empty/None -> implementation choice
     global_offset: List[int] = None
     wait_event_ids: List[int] = None
+    replica_servers: List[str] = None
 
 
 @message_type
@@ -463,8 +498,20 @@ class ClientLostNotification(Notification):
 #: Flush points — where windows drain and deferred errors surface — are
 #: enumerated in :meth:`repro.core.client.driver.DOpenCLDriver.defer`'s
 #: documentation and in ``docs/architecture.md``.
+#:
+#: **Creation calls are deferrable too** (handle promises): the client
+#: assigns every stub its unique ID before anything is sent, so a
+#: creation needs no reply data — the daemon registers the object under
+#: the provisional ID when the batch replays, and a failure poisons the
+#: ID (see :func:`request_handles`) so dependents are skipped and the
+#: error surfaces positionally in the batch reply.
 DEFERRABLE = frozenset(
     {
+        CreateContextRequest,
+        CreateQueueRequest,
+        CreateBufferRequest,
+        CreateProgramWithSourceRequest,
+        CreateKernelRequest,
         SetKernelArgRequest,
         EnqueueKernelRequest,
         CreateUserEventRequest,
@@ -478,3 +525,107 @@ DEFERRABLE = frozenset(
         ReleaseEventRequest,
     }
 )
+
+# ----------------------------------------------------------------------
+# handle-dependency metadata (window graph + batch poisoning)
+# ----------------------------------------------------------------------
+_EMPTY: FrozenSet[int] = frozenset()
+
+#: Per-request extractors returning ``(reads, creates)`` — the client
+#: handle IDs a request consumes and the provisional IDs it brings into
+#: existence.  Kept in one table so the two consumers can never drift.
+_HANDLE_EXTRACTORS: Dict[type, Callable[[Request], Tuple[FrozenSet[int], FrozenSet[int]]]] = {
+    CreateContextRequest: lambda m: (_EMPTY, frozenset({m.context_id})),
+    ReleaseContextRequest: lambda m: (frozenset({m.context_id}), _EMPTY),
+    CreateQueueRequest: lambda m: (frozenset({m.context_id}), frozenset({m.queue_id})),
+    ReleaseQueueRequest: lambda m: (frozenset({m.queue_id}), _EMPTY),
+    FinishRequest: lambda m: (frozenset({m.queue_id}), _EMPTY),
+    FlushRequest: lambda m: (frozenset({m.queue_id}), _EMPTY),
+    CreateBufferRequest: lambda m: (frozenset({m.context_id}), frozenset({m.buffer_id})),
+    ReleaseBufferRequest: lambda m: (frozenset({m.buffer_id}), _EMPTY),
+    CreateProgramWithSourceRequest: lambda m: (
+        frozenset({m.context_id}),
+        frozenset({m.program_id}),
+    ),
+    ReleaseProgramRequest: lambda m: (frozenset({m.program_id}), _EMPTY),
+    CreateKernelRequest: lambda m: (frozenset({m.program_id}), frozenset({m.kernel_id})),
+    ReleaseKernelRequest: lambda m: (frozenset({m.kernel_id}), _EMPTY),
+    SetKernelArgRequest: lambda m: (
+        frozenset({m.kernel_id} | ({m.buffer_id} if m.kind == "buffer" else set())),
+        _EMPTY,
+    ),
+    EnqueueKernelRequest: lambda m: (
+        frozenset({m.queue_id, m.kernel_id} | set(m.wait_event_ids or [])),
+        frozenset({m.event_id}),
+    ),
+    CreateUserEventRequest: lambda m: (
+        frozenset({m.context_id}),
+        frozenset({m.event_id}),
+    ),
+    SetUserEventStatusRequest: lambda m: (frozenset({m.event_id}), _EMPTY),
+    ReleaseEventRequest: lambda m: (frozenset({m.event_id}), _EMPTY),
+}
+
+
+#: Requests that *mutate* a handle they read: if one fails (or is
+#: skipped by the poison guard), the client's picture of that handle and
+#: the daemon's diverge — the daemon's copy keeps the previous state
+#: while the client believes the update took.  The dispatcher therefore
+#: poisons the mutated handle too, so nothing executes against the
+#: stale state (e.g. a launch running with a kernel's previous arg
+#: binding and silently writing the wrong buffer).
+_MUTATION_EXTRACTORS: Dict[type, Callable[[Request], FrozenSet[int]]] = {
+    SetKernelArgRequest: lambda m: frozenset({m.kernel_id}),
+}
+
+#: Release-class requests and the handle they dispose of.  Releasing a
+#: *poisoned* handle is the client cleaning up after a failed creation:
+#: the object never existed, so the release succeeds as a no-op and
+#: clears the poison entry (otherwise disposal would re-raise the
+#: already-surfaced creation error forever).
+_RELEASE_EXTRACTORS: Dict[type, Callable[[Request], int]] = {
+    ReleaseContextRequest: lambda m: m.context_id,
+    ReleaseQueueRequest: lambda m: m.queue_id,
+    ReleaseBufferRequest: lambda m: m.buffer_id,
+    ReleaseProgramRequest: lambda m: m.program_id,
+    ReleaseKernelRequest: lambda m: m.kernel_id,
+    ReleaseEventRequest: lambda m: m.event_id,
+}
+
+
+def request_mutations(msg: Request) -> FrozenSet[int]:
+    """The handle IDs ``msg`` mutates in place (see
+    :data:`_MUTATION_EXTRACTORS`): poisoned alongside its creations when
+    the command fails or is skipped, because client and daemon state
+    have diverged for them."""
+    extract = _MUTATION_EXTRACTORS.get(type(msg))
+    return _EMPTY if extract is None else extract(msg)
+
+
+def released_handle(msg: Request) -> Optional[int]:
+    """The handle a release-class request disposes of, or ``None`` for
+    non-release requests (see :data:`_RELEASE_EXTRACTORS`)."""
+    extract = _RELEASE_EXTRACTORS.get(type(msg))
+    return None if extract is None else extract(msg)
+
+
+def request_handles(msg: Request) -> Tuple[FrozenSet[int], FrozenSet[int]]:
+    """``(reads, creates)`` — the stub IDs ``msg`` depends on and the
+    provisional IDs it creates.
+
+    This is the shared dependency vocabulary of the forwarding pipeline:
+
+    * the **client window graph** uses it (plus driver-supplied extras,
+      e.g. a launch's buffer arguments) to compute which send windows a
+      sync point must drain;
+    * the **daemon batch dispatcher** uses it to *poison* dependents of
+      a failed creation: a command whose reads or creates intersect a
+      poisoned ID is answered with the creation's error positionally,
+      without executing its handler.
+
+    Requests outside the table (synchronous discovery/stream traffic)
+    read and create nothing the pipeline tracks."""
+    extract = _HANDLE_EXTRACTORS.get(type(msg))
+    if extract is None:
+        return _EMPTY, _EMPTY
+    return extract(msg)

@@ -74,6 +74,16 @@ class NetStats:
     ``batched_commands``
         Total sub-commands carried inside those batches; the coalescing
         ratio is ``batched_commands / batches``.
+    ``batched_commands_received``
+        Sub-commands this process *dispatched* as a batch receiver
+        (``install_batch_dispatch``); every received sub-command is
+        counted exactly once — decoded, served from a cache, poisoned
+        or undispatchable alike — so the cache counters below can be
+        audited against it (see ``tests/net/test_wire_caches.py``).
+    ``poisoned_commands``
+        Batched sub-commands short-circuited by the dispatch guard
+        (e.g. a command depending on a failed creation's provisional
+        ID): counted in ``batched_commands_received`` but never run.
     ``notifications``
         One-way asynchronous messages sent (``GCFProcess.notify``); they
         cost bytes but no round trip.
@@ -116,6 +126,8 @@ class NetStats:
         "requests",
         "batches",
         "batched_commands",
+        "batched_commands_received",
+        "poisoned_commands",
         "notifications",
         "streams",
         "bulk_sends",
@@ -292,6 +304,8 @@ class GCFProcess:
         self,
         on_error: Optional[Callable[[str], Response]] = None,
         reply_cache_size: int = 256,
+        guard: Optional[Callable[[Message, "GCFProcess"], Optional[Response]]] = None,
+        observe: Optional[Callable[[Message, Response, "GCFProcess"], None]] = None,
     ) -> None:
         """Make this process accept :class:`CommandBatch` envelopes.
 
@@ -303,6 +317,17 @@ class GCFProcess:
         sub-command (undecodable bytes, no handler, nested batch) to the
         Response placed in its reply slot; without it such a command
         raises :class:`NetworkError`.
+
+        ``guard``/``observe`` are the dispatch *interceptor* hooks the
+        daemon uses for dependency poisoning: ``guard(sub, sender)`` may
+        return a Response that short-circuits the sub-command (placed in
+        its positional reply slot without running the handler, counted in
+        ``stats.poisoned_commands``); ``observe(sub, response, sender)``
+        sees every sub-command's outcome — guarded or executed — so a
+        failed creation can poison its provisional IDs for later
+        commands.  Failures are therefore always reported *positionally*
+        in the batch reply: slot ``i`` answers for command ``i``, whether
+        it ran, was poisoned, or could not be dispatched at all.
 
         Two per-process caches remove redundant codec work without ever
         skipping a handler (handlers have side effects and always run):
@@ -317,36 +342,67 @@ class GCFProcess:
           in steady state nearly every deferred command answers the
           identical success ``Ack``, so replicated requests are encoded
           once and their replies decoded from cache on the client side.
+          Guarded and undispatchable replies go through the same cache,
+          so repeated failures account identically to repeated
+          successes.
 
-        Cache hits surface as ``stats.decode_cache_hits`` and
-        ``stats.reply_cache_hits``.
+        Every received sub-command — executed, guarded or
+        undispatchable — bumps ``stats.batched_commands_received``
+        exactly once; cache hits surface as ``stats.decode_cache_hits``
+        and ``stats.reply_cache_hits``.
         """
         reply_cache = ReplyCache(maxsize=reply_cache_size)
 
-        def undispatchable(detail: str) -> bytes:
+        def encode_reply(raw: bytes, response: Response) -> bytes:
+            reply_hits = reply_cache.hits
+            wire = reply_cache.encode(raw, response)
+            self.stats.reply_cache_hits += reply_cache.hits - reply_hits
+            return wire
+
+        def undispatchable(raw: bytes, detail: str) -> bytes:
             if on_error is None:
                 raise NetworkError(f"process {self.name!r}: {detail}")
-            return on_error(detail).to_wire()
+            return encode_reply(raw, on_error(detail))
 
         @self.on_request(CommandBatch)
         def dispatch_batch(msg: CommandBatch, t: float, sender: "GCFProcess"):
             per_cmd = self.host.spec.batch_command_overhead
             results: List[bytes] = []
             tcur = t
+            self.stats.batched_commands_received += len(msg.commands)
             for raw in msg.commands:
                 try:
                     decode_hits = self._decode_cache.hits
                     sub = self._decode_cache.decode(raw)
                     self.stats.decode_cache_hits += self._decode_cache.hits - decode_hits
                 except CodecError as exc:
-                    results.append(undispatchable(f"undecodable batched command: {exc}"))
+                    results.append(undispatchable(raw, f"undecodable batched command: {exc}"))
                     continue
                 handler = self._request_handlers.get(type(sub))
                 if handler is None or isinstance(sub, CommandBatch):
                     results.append(
-                        undispatchable(f"{type(sub).__name__} cannot be batch-forwarded")
+                        undispatchable(raw, f"{type(sub).__name__} cannot be batch-forwarded")
                     )
                     continue
+                if guard is not None:
+                    short = guard(sub, sender)
+                    if short is not None:
+                        # Skipping still costs the dispatch slice: the
+                        # daemon decoded and inspected the command to
+                        # decide not to run it.
+                        iv = self.cpu.allocate(
+                            tcur, per_cmd, f"{type(sub).__name__}:skipped"
+                        )
+                        tcur = iv.end
+                        # Success short-circuits (a no-op release of a
+                        # never-materialised handle) are not poisoned
+                        # rejections; count only error skips.
+                        if getattr(short, "error", 0):
+                            self.stats.poisoned_commands += 1
+                        if observe is not None:
+                            observe(sub, short, sender)
+                        results.append(encode_reply(raw, short))
+                        continue
                 iv = self.cpu.allocate(tcur, per_cmd, type(sub).__name__)
                 response, t_done = handler(sub, iv.end, sender)
                 if t_done < iv.end:
@@ -355,9 +411,9 @@ class GCFProcess:
                         f"t_done={t_done} < start={iv.end}"
                     )
                 tcur = t_done
-                reply_hits = reply_cache.hits
-                results.append(reply_cache.encode(raw, response))
-                self.stats.reply_cache_hits += reply_cache.hits - reply_hits
+                if observe is not None:
+                    observe(sub, response, sender)
+                results.append(encode_reply(raw, response))
             return CommandBatchResponse(results=results), tcur
 
     def on_disconnect(self, fn: Callable[[str, float], None]) -> Callable[[str, float], None]:

@@ -221,10 +221,14 @@ class CommandBatch(Request):
 class CommandBatchResponse(Response):
     """Per-command responses of a :class:`CommandBatch`, in batch order.
 
-    ``results[i]`` is the wire encoding of the response the ``i``-th
-    sub-command's handler returned; the sender decodes them and settles
+    ``results[i]`` is the wire encoding of the response answering the
+    ``i``-th sub-command — whether its handler ran, the dispatch guard
+    short-circuited it (a command poisoned by a failed creation), or it
+    could not be dispatched at all.  Failures are therefore always
+    reported *positionally*: the sender decodes the slots and settles
     each deferred command's outcome (error checks, response callbacks)
-    from the single reply.
+    from the single reply, attributing any error to the exact call that
+    caused it.
     """
 
     results: List[bytes]

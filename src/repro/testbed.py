@@ -64,7 +64,7 @@ def deploy_dopencl(
     batch_window: Optional[int] = None,
     defer_event_relays: bool = True,
     coalesce_uploads: bool = True,
-    batch_fanout: bool = True,
+    defer_creations: bool = True,
 ) -> Deployment:
     """Install daemons on every server and client drivers on the client
     host(s).
@@ -77,10 +77,11 @@ def deploy_dopencl(
     ``batch_window`` tunes the drivers' asynchronous call-forwarding
     window (``None`` keeps the driver default; ``0`` disables batching so
     every forwarded call is a synchronous round trip).
-    ``defer_event_relays`` / ``coalesce_uploads`` / ``batch_fanout``
-    toggle the PR-2 pipeline extensions (all default on; turning all
-    off reproduces the PR-1 forwarding behaviour — the benchmark
-    baseline).
+    ``defer_event_relays`` / ``coalesce_uploads`` / ``defer_creations``
+    toggle the pipeline extensions (all default on; turning all off
+    reproduces the PR-1 forwarding behaviour — the benchmark baseline:
+    synchronous creation fan-outs, synchronous relays, per-buffer
+    upload streams).
     """
     manager = None
     if managed:
@@ -104,7 +105,7 @@ def deploy_dopencl(
         kwargs = {
             "defer_event_relays": defer_event_relays,
             "coalesce_uploads": coalesce_uploads,
-            "batch_fanout": batch_fanout,
+            "defer_creations": defer_creations,
         }
         if batch_window is not None:
             kwargs["batch_window"] = batch_window

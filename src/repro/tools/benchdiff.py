@@ -1,0 +1,181 @@
+"""Benchmark regression checker: fresh smoke runs vs committed snapshots.
+
+``BENCH_smoke.json`` and ``BENCH_osem.json`` (repo root) record the
+forwarding pipeline's headline counters — round trips, wire bytes and
+cache hits per benchmark variant/iteration.  The simulation is
+deterministic, so those counters are exact properties of the code: any
+drift is a real change, not noise.  This tool re-runs the smoke
+benchmarks and *diffs* the fresh counters against the committed
+snapshots, so a change that quietly costs round trips or bytes (or
+quietly improves them without re-recording the snapshot) fails loudly
+instead of rotting the perf floor.
+
+Round-trip and cache-hit counters are compared exactly by default; byte
+counters get a small relative tolerance (codec-level changes
+legitimately move a few header bytes).  Both directions are violations:
+*worse* means a regression, *better* means the committed snapshot is
+stale and must be re-recorded
+(``PYTHONPATH=src python -m pytest benchmarks/bench_smoke.py
+benchmarks/bench_osem.py`` rewrites both).
+
+Used two ways:
+
+* tier-1: ``tests/test_bench_regression.py`` calls :func:`compare`
+  against the committed files;
+* CLI: ``PYTHONPATH=src python -m repro.tools.benchdiff`` (or
+  ``tools/benchdiff.py``) prints a report per snapshot and exits
+  non-zero on violations.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.harness import REPO_ROOT
+
+#: Compared keys -> relative tolerance.  Round trips are deterministic
+#: integers (exact); byte counts tolerate small codec-level drift.
+DEFAULT_TOLERANCES: Dict[str, float] = {
+    "round_trips_sync": 0.0,
+    "round_trips_pr1": 0.0,
+    "round_trips_batched": 0.0,
+    "bytes_sent_sync": 0.02,
+    "bytes_sent_pr1": 0.02,
+    "bytes_sent_batched": 0.02,
+}
+
+#: OSEM-snapshot keys -> relative tolerance (``BENCH_osem.json``): the
+#: reply-cache payoff counters of the repeated-arg workload.
+OSEM_TOLERANCES: Dict[str, float] = {
+    "setup_round_trips": 0.0,
+    "iteration_round_trips": 0.0,
+    "iteration_batched_commands": 0.0,
+    "iteration_reply_cache_hits": 0.0,
+    "iteration_decode_cache_hits": 0.0,
+}
+
+COMMITTED_PATH = os.path.join(REPO_ROOT, "BENCH_smoke.json")
+OSEM_COMMITTED_PATH = os.path.join(REPO_ROOT, "BENCH_osem.json")
+
+
+def load_committed(path: Optional[str] = None) -> Dict[str, object]:
+    """The committed benchmark snapshot (``BENCH_smoke.json``)."""
+    with open(path or COMMITTED_PATH) as fh:
+        return json.load(fh)
+
+
+def compare(
+    fresh: Dict[str, object],
+    committed: Dict[str, object],
+    tolerances: Optional[Dict[str, float]] = None,
+    snapshot: str = "BENCH_smoke.json",
+) -> List[str]:
+    """Diff a fresh smoke payload against the committed snapshot.
+
+    Returns human-readable violation strings (empty list = clean); each
+    names ``snapshot`` so the remedy points at the right file.  A key
+    is violated when the fresh value differs from the committed one by
+    more than ``tolerance * committed`` in *either* direction — higher
+    is a perf regression, lower is a stale snapshot (see module
+    docstring).  A compared key missing from either payload is itself a
+    violation: silently skipping it would let the floor rot."""
+    problems: List[str] = []
+    for key, tolerance in (tolerances or DEFAULT_TOLERANCES).items():
+        if key not in committed:
+            problems.append(
+                f"{key}: missing from committed {snapshot} (re-record it)"
+            )
+            continue
+        if key not in fresh:
+            problems.append(f"{key}: missing from fresh run payload")
+            continue
+        want = float(committed[key])
+        got = float(fresh[key])
+        allowed = abs(want) * tolerance
+        if abs(got - want) <= allowed:
+            continue
+        direction = "regressed" if got > want else "improved"
+        problems.append(
+            f"{key}: {direction} — fresh {got:g} vs committed {want:g} "
+            f"(tolerance ±{tolerance:.0%}); "
+            + (
+                f"fix the regression or re-record {snapshot}"
+                if got > want
+                else f"re-record {snapshot} to bank the improvement"
+            )
+        )
+    return problems
+
+
+def run_fresh() -> Dict[str, object]:
+    """Run the smoke benchmark and return its headline payload."""
+    from repro.bench.smoke import bench_smoke, smoke_payload
+
+    return smoke_payload(bench_smoke())
+
+
+def run_fresh_osem() -> Dict[str, object]:
+    """Run the OSEM benchmark and return its headline payload (the dict
+    :func:`repro.bench.osem.save_osem_json` would write)."""
+    from repro.bench.osem import bench_osem, osem_payload
+
+    return osem_payload(bench_osem())
+
+
+def format_report(
+    fresh: Dict[str, object],
+    committed: Dict[str, object],
+    problems: List[str],
+    title: str = "BENCH_smoke.json",
+    tolerances: Optional[Dict[str, float]] = None,
+) -> str:
+    """A human-readable diff table plus the verdict."""
+    lines = [f"benchdiff: fresh run vs committed {title}", ""]
+    lines.append(f"{'key':28} {'committed':>12} {'fresh':>12}")
+    for key in tolerances or DEFAULT_TOLERANCES:
+        lines.append(
+            f"{key:28} {str(committed.get(key, '?')):>12} {str(fresh.get(key, '?')):>12}"
+        )
+    lines.append("")
+    if problems:
+        lines.append("VIOLATIONS:")
+        lines.extend(f"  - {p}" for p in problems)
+    else:
+        lines.append("OK: counters match the committed snapshot.")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--committed",
+        default=COMMITTED_PATH,
+        help="path of the committed smoke snapshot (default: repo-root BENCH_smoke.json)",
+    )
+    parser.add_argument(
+        "--committed-osem",
+        default=OSEM_COMMITTED_PATH,
+        help="path of the committed OSEM snapshot (default: repo-root BENCH_osem.json)",
+    )
+    args = parser.parse_args(argv)
+    failed = False
+    for title, path, tolerances, runner in (
+        ("BENCH_smoke.json", args.committed, DEFAULT_TOLERANCES, run_fresh),
+        ("BENCH_osem.json", args.committed_osem, OSEM_TOLERANCES, run_fresh_osem),
+    ):
+        committed = load_committed(path)
+        fresh = runner()
+        problems = compare(fresh, committed, tolerances, snapshot=title)
+        print(format_report(fresh, committed, problems, title, tolerances))
+        print()
+        failed = failed or bool(problems)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI shim
+    raise SystemExit(main())

@@ -1,0 +1,26 @@
+"""Shared tier-1 fixtures.
+
+The benchmark workloads are deterministic, so the smoke/OSEM records are
+computed once per session and shared between the gate tests
+(``test_bench_smoke.py`` / ``test_bench_osem.py``) and the benchdiff
+regression tests (``test_bench_regression.py``) — running the most
+expensive workloads in the suite twice would buy nothing.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def smoke_record():
+    """One shared run of the mini Fig. 4 smoke workload."""
+    from repro.bench.smoke import bench_smoke
+
+    return bench_smoke()
+
+
+@pytest.fixture(scope="session")
+def osem_record():
+    """One shared run of the mini Fig. 5 OSEM workload."""
+    from repro.bench.osem import bench_osem
+
+    return bench_osem()

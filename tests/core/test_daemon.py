@@ -159,6 +159,87 @@ def test_release_unknown_object(setup):
     assert out.response.error == ErrorCode.CL_INVALID_VALUE.value
 
 
+def test_failed_replica_create_discards_buffered_status(setup):
+    """A status buffered ahead of its replica's creation is discarded
+    when that creation fails — otherwise the entry would sit in the
+    pending table until disconnect (the buffer's every-entry-has-a-
+    consumer invariant)."""
+    _, daemon, client = setup
+    client.connect(daemon.gcf, 0.0)  # buffering requires a live client
+    daemon.deliver_event_status("client", 99, 0, 1.0)
+    assert ("client", 99) in daemon._pending_event_status
+    # The creation fails (unknown context): the buffered status goes too.
+    client.request_batch(
+        daemon.gcf, [P.CreateUserEventRequest(event_id=99, context_id=424242)], 0.0
+    )
+    assert ("client", 99) not in daemon._pending_event_status
+
+
+def test_status_for_poisoned_replica_is_not_buffered(setup):
+    """A status arriving after the replica's creation already failed has
+    no consumer — buffering it would leak the entry until disconnect."""
+    _, daemon, client = setup
+    client.connect(daemon.gcf, 0.0)
+    client.request_batch(
+        daemon.gcf, [P.CreateUserEventRequest(event_id=55, context_id=424242)], 0.0
+    )  # fails -> event ID 55 poisoned
+    daemon.deliver_event_status("client", 55, 0, 1.0)
+    assert ("client", 55) not in daemon._pending_event_status
+
+
+def test_status_after_client_disconnect_is_not_buffered(setup):
+    """A broadcast landing after the client disconnected (its namespace
+    and poison table are gone) must be dropped, not buffered under a
+    key no creation can ever drain."""
+    _, daemon, client = setup
+    client.connect(daemon.gcf, 0.0)
+    client.disconnect(daemon.gcf, 1.0)
+    daemon.deliver_event_status("client", 77, 0, 2.0)
+    assert ("client", 77) not in daemon._pending_event_status
+
+
+def test_poison_skipped_commands_still_charge_dispatch_time(setup):
+    """The daemon decodes and inspects a guarded command before skipping
+    it, so the skip must occupy the per-command dispatch slice on the
+    CPU timeline (timing fidelity of error paths)."""
+    _, daemon, client = setup
+    client.request_batch(
+        daemon.gcf,
+        [
+            P.CreateQueueRequest(queue_id=2, context_id=777, device_id=0, properties=0),
+            P.FlushRequest(queue_id=2),  # depends on the poisoned queue
+        ],
+        0.0,
+    )
+    assert daemon.gcf.stats.poisoned_commands == 1
+    assert any("skipped" in str(iv.tag) for iv in daemon.gcf.cpu)
+
+
+def test_status_for_non_replica_object_is_not_buffered(setup):
+    """A status delivered for an ID registered as something other than a
+    user-event replica updates nothing and must not be buffered under a
+    key no creation will ever drain."""
+    _, daemon, client = setup
+    client.request(daemon.gcf, P.CreateContextRequest(context_id=7, device_ids=[0]), 0.0)
+    daemon.deliver_event_status("client", 7, 0, 1.0)
+    assert ("client", 7) not in daemon._pending_event_status
+
+
+def test_registry_poison_blocks_registered_objects_too(setup):
+    """Mutation-poisoned handles still exist in the registry, but get()
+    must re-raise the poisoning failure instead of handing out an
+    object whose daemon-side state diverged from the client's."""
+    reg = Registry()
+    reg.put("alice", 1, "stale-object")
+    reg.poison("alice", [1], ErrorCode.CL_INVALID_ARG_VALUE.value, "arg update skipped")
+    with pytest.raises(CLError) as err:
+        reg.get("alice", 1)
+    assert err.value.code == ErrorCode.CL_INVALID_ARG_VALUE
+    assert "poisoned" in err.value.message
+    reg.unpoison("alice", 1)
+    assert reg.get("alice", 1) == "stale-object"
+
+
 def test_disconnect_releases_buffers(setup):
     _, daemon, client = setup
     client.connect(daemon.gcf, 0.0)

@@ -34,9 +34,12 @@ def run_kernel_on_two_server_context(direct: bool):
     api.clSetKernelArg(kernel, 1, np.float32(2.0))
     api.clSetKernelArg(kernel, 2, n)
     event = api.clEnqueueNDRangeKernel(queue, kernel, (n,))
-    # Synchronize: forwarding is batched/asynchronous, so the launch (and
-    # the replica bookkeeping on the other server) lands at the wait.
+    # Synchronize: forwarding is batched/asynchronous, and the wait is
+    # dependency-tracked — it drains only the owner's window.  The
+    # full drain afterwards pushes the replica bookkeeping (and any
+    # deferred relay) out to the other server too.
     api.clWaitForEvents([event])
+    deployment.driver.flush_all()
     return deployment, api, devices, event
 
 

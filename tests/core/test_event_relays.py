@@ -56,16 +56,24 @@ def test_relays_ride_windows_not_round_trips():
     assert driver.stats.requests == requests_before
 
 
-def test_wait_drains_deferred_relays_to_replicas():
-    """After clWaitForEvents, the replica on every other server is
-    resolved and no relay is left sitting in a send window."""
+def test_wait_leaves_unrelated_windows_and_finish_drains_them():
+    """clWaitForEvents is dependency-tracked: it drains the owner's
+    window only, leaving the replica servers' windows (creates + the
+    freshly deferred relays) queued.  The next full sync point drains
+    them, after which every replica is resolved — program order having
+    kept each create ahead of its relay."""
     deployment, api, devices, ctx, queue, buf, kernel, n = _prepared(n_servers=3)
+    driver = deployment.driver
     event = api.clEnqueueNDRangeKernel(queue, kernel, (n,))
     api.clWaitForEvents([event])
-    assert deployment.driver.pending_commands() == 0
+    assert driver.pending_commands(devices[0].server.name) == 0
+    # The replica windows kept their traffic (creates + deferred relay).
+    assert all(driver.pending_commands(d.server.name) > 0 for d in devices[1:])
+    driver.flush_all()
+    assert driver.pending_commands() == 0
     for dev in devices[1:]:
         daemon = deployment.daemon_on(dev.server.name)
-        replica = daemon.registry.get(deployment.driver.gcf.name, event.id, UserEvent)
+        replica = daemon.registry.get(driver.gcf.name, event.id, UserEvent)
         assert replica.resolved
 
 
@@ -76,6 +84,7 @@ def test_relayed_completion_respects_causality():
     deployment, api, devices, ctx, queue, buf, kernel, n = _prepared(n_servers=3)
     event = api.clEnqueueNDRangeKernel(queue, kernel, (n,))
     api.clWaitForEvents([event])
+    deployment.driver.flush_all()  # deliver the windowed creates + relays
     for dev in devices[1:]:
         daemon = deployment.daemon_on(dev.server.name)
         replica = daemon.registry.get(deployment.driver.gcf.name, event.id, UserEvent)
@@ -97,7 +106,7 @@ def test_deferred_relay_never_races_windowed_replica_create():
     # arrives, and the relay is deferred to the other server's window —
     # which still holds this event's CreateUserEventRequest.
     driver.flush_connection(driver.connection(devices[0].server.name))
-    window = driver._pending[other.name]
+    window = driver.window_messages(other.name)
     create_pos = [i for i, m in enumerate(window)
                   if isinstance(m, P.CreateUserEventRequest) and m.event_id == event.id]
     relay_pos = [i for i, m in enumerate(window)
@@ -111,11 +120,14 @@ def test_deferred_relay_never_races_windowed_replica_create():
     assert replica.resolved
 
 
-def test_direct_broadcast_never_races_windowed_replica_create():
-    """Regression for _hoist_replica_creates: with the Section III-F
-    direct broadcast, the peer daemon resolves the replica the instant
-    the original completes — mid-dispatch of the owner's batch — so the
-    replica creation must be hoisted out of its window first."""
+def test_direct_broadcast_before_windowed_replica_create_is_buffered():
+    """With the Section III-F direct broadcast, the peer daemon learns
+    of the completion the instant the original completes — mid-dispatch
+    of the owner's batch, while the replica's CreateUserEventRequest may
+    still sit in its send window.  The status-before-create tolerance
+    (the hoisting machinery's replacement) buffers the broadcast; the
+    create applies it when it replays, no earlier than the broadcast's
+    arrival."""
     deployment, api, devices, ctx, queue, buf, kernel, n = _prepared()
     for daemon in deployment.daemons:
         daemon.direct_event_broadcast = True
@@ -127,8 +139,13 @@ def test_direct_broadcast_never_races_windowed_replica_create():
     assert driver.pending_commands(devices[1].server.name) > 0
     driver.flush_connection(driver.connection(devices[0].server.name))
     daemon = deployment.daemon_on(devices[1].server.name)
+    # No replica registered yet: the broadcast was buffered, not lost.
+    assert daemon.registry.peek(driver.gcf.name, event.id) is None
+    assert driver.pending_commands(devices[1].server.name) > 0
+    driver.flush_all()  # the create replays and applies the status
     replica = daemon.registry.get(driver.gcf.name, event.id, UserEvent)
-    assert replica.resolved  # the broadcast found a registered replica
+    assert replica.resolved
+    assert replica.end >= event.completed_at
 
 
 def test_replica_less_events_do_not_relay():

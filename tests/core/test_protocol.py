@@ -58,10 +58,16 @@ def test_all_protocol_types_registered():
         P.CreateProgramRequest(program_id=5, context_id=3, source_bytes=2000),
         P.BuildProgramRequest(program_id=5, options="-D N=4"),
         P.BuildProgramResponse(status="ERROR", log="2:1: bad", error=-11, detail="x"),
+        P.BuildProgramResponse(
+            status="SUCCESS",
+            kernels={"k": {"num_args": 3, "arg_kinds": ["buffer", "value", "local"],
+                           "arg_types": ["__global float*", "int", "__local float*"],
+                           "writable_buffer_args": [0]}},
+        ),
+        P.CreateProgramWithSourceRequest(
+            program_id=5, context_id=3, source="__kernel void k() {}"
+        ),
         P.CreateKernelRequest(kernel_id=6, program_id=5, name="k"),
-        P.CreateKernelResponse(num_args=3, arg_kinds=["buffer", "value", "local"],
-                               arg_types=["__global float*", "int", "__local float*"],
-                               writable_buffer_args=[0]),
         P.SetKernelArgRequest(kernel_id=6, index=0, kind="buffer", buffer_id=4),
         P.SetKernelArgRequest(kernel_id=6, index=1, kind="value", value=3.5),
         P.SetKernelArgRequest(kernel_id=6, index=2, kind="local", local_nbytes=256),

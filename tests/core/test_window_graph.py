@@ -1,0 +1,314 @@
+"""Dependency-tracked command windows: closure-only flushing.
+
+Covers the window-graph layer (``repro.core.client.windows`` + the
+driver's ``flush_for_handles``): a targeted sync point drains only the
+windows in the awaited handle's transitive dependency closure —
+asserted through ``NetStats`` (no batch/request reaches an unrelated
+daemon) — while ``clFinish`` keeps full-drain semantics.  Also covers
+the cross-server wait-chain closure and blocking-read closures.
+"""
+
+import numpy as np
+
+from repro.core.client.windows import SendWindow, WindowCommand, closure_servers
+from repro.core.protocol import messages as P
+from repro.hw.cluster import make_ib_cpu_cluster
+from repro.ocl import CL_MEM_COPY_HOST_PTR, CL_MEM_READ_WRITE
+from repro.testbed import deploy_dopencl
+
+SCALE = """
+__kernel void scale(__global float *x, const float f, const int n) {
+    int i = (int)get_global_id(0);
+    if (i < n) x[i] = x[i] * f;
+}
+"""
+
+
+def _deployment(n_servers=3, **kwargs):
+    deployment = deploy_dopencl(make_ib_cpu_cluster(n_servers), **kwargs)
+    api = deployment.api
+    devices = api.clGetDeviceIDs(api.clGetPlatformIDs()[0])
+    ctx = api.clCreateContext(devices)
+    program = api.clCreateProgramWithSource(ctx, SCALE)
+    api.clBuildProgram(program)
+    return deployment, api, devices, ctx, program
+
+
+def _kernel_on(api, ctx, program, device, value=2.0, n=64):
+    queue = api.clCreateCommandQueue(ctx, device)
+    x = np.ones(n, dtype=np.float32)
+    buf = api.clCreateBuffer(ctx, CL_MEM_READ_WRITE | CL_MEM_COPY_HOST_PTR, x.nbytes, x)
+    kernel = api.clCreateKernel(program, "scale")
+    api.clSetKernelArg(kernel, 0, buf)
+    api.clSetKernelArg(kernel, 1, np.float32(value))
+    api.clSetKernelArg(kernel, 2, n)
+    return queue, buf, kernel
+
+
+# ----------------------------------------------------------------------
+# unit: the closure walk
+# ----------------------------------------------------------------------
+class _FakeEvent:
+    def __init__(self, owner, resolved=False):
+        self.owner_server = owner
+        self.resolved = resolved
+
+
+def test_closure_recurses_through_unresolved_event_reads():
+    """ev1 on A waits on ev2 on B: the closure of ev1 spans both, but
+    not an unrelated window C."""
+    events = {1: _FakeEvent("A"), 2: _FakeEvent("B")}
+    wa, wb, wc = SendWindow(), SendWindow(), SendWindow()
+    wa.append(WindowCommand("launch1", reads=(10, 2), writes=(1,)))
+    wb.append(WindowCommand("launch2", reads=(11,), writes=(2,)))
+    wc.append(WindowCommand("unrelated", reads=(12,), writes=(3,)))
+    servers = closure_servers([1], {"A": wa, "B": wb, "C": wc}, events.get)
+    assert servers == frozenset({"A", "B"})
+
+
+def test_closure_skips_resolved_events():
+    events = {1: _FakeEvent("A"), 2: _FakeEvent("B", resolved=True)}
+    wa, wb = SendWindow(), SendWindow()
+    wa.append(WindowCommand("launch1", reads=(2,), writes=(1,)))
+    wb.append(WindowCommand("old-launch", reads=(), writes=(2,)))
+    servers = closure_servers([1], {"A": wa, "B": wb}, events.get)
+    assert servers == frozenset({"A"})
+
+
+def test_closure_of_buffer_handle_finds_its_writers():
+    """A non-event handle (a buffer) pulls in the windows of the
+    commands that write it, transitively through their wait lists."""
+    events = {1: _FakeEvent("A"), 2: _FakeEvent("B")}
+    wa, wb = SendWindow(), SendWindow()
+    wa.append(WindowCommand("launch1", reads=(2,), writes=(1, 50)))  # writes buffer 50
+    wb.append(WindowCommand("launch2", reads=(), writes=(2,)))
+    servers = closure_servers([50], {"A": wa, "B": wb}, events.get)
+    assert servers == frozenset({"A", "B"})
+
+
+# ----------------------------------------------------------------------
+# driver-level: targeted sync points
+# ----------------------------------------------------------------------
+def test_wait_does_not_flush_unrelated_daemons():
+    """The acceptance property: waiting on an event whose dependency
+    closure spans one daemon leaves the other daemons' windows queued
+    and sends them nothing — asserted via NetStats round trips per
+    daemon."""
+    deployment, api, devices, ctx, program = _deployment()
+    driver = deployment.driver
+    q0, b0, k0 = _kernel_on(api, ctx, program, devices[0])
+    q1, b1, k1 = _kernel_on(api, ctx, program, devices[1], value=3.0)
+    driver.flush_all()  # settle creation traffic; start from clean windows
+    ev0 = api.clEnqueueNDRangeKernel(q0, k0, (64,))
+    ev1 = api.clEnqueueNDRangeKernel(q1, k1, (64,))
+    other_names = [d.server.name for d in devices[1:]]
+    # Baseline after the enqueues (their coherence uploads flush the
+    # stream targets in program order) — the wait itself is measured.
+    before = {d.name: d.gcf.stats.batched_commands_received for d in deployment.daemons}
+    api.clWaitForEvents([ev0])
+    assert ev0.resolved and not ev1.resolved
+    # Only the owner's daemon received anything at the wait.
+    for daemon in deployment.daemons:
+        delta = daemon.gcf.stats.batched_commands_received - before[daemon.name]
+        if daemon.name == devices[0].server.name:
+            assert delta > 0
+        else:
+            assert delta == 0
+    # The unrelated windows kept their traffic (launch, replica creates).
+    assert all(driver.pending_commands(name) > 0 for name in other_names)
+
+
+def test_finish_still_drains_everything():
+    deployment, api, devices, ctx, program = _deployment()
+    driver = deployment.driver
+    q0, b0, k0 = _kernel_on(api, ctx, program, devices[0])
+    q1, b1, k1 = _kernel_on(api, ctx, program, devices[1], value=3.0)
+    ev0 = api.clEnqueueNDRangeKernel(q0, k0, (64,))
+    ev1 = api.clEnqueueNDRangeKernel(q1, k1, (64,))
+    api.clFinish(q0)  # full sync point: every window drains
+    assert driver.pending_commands() == 0
+    assert ev0.resolved and ev1.resolved
+
+
+def test_wait_follows_cross_server_dependency_chain():
+    """ev1 on B waits on ev0 on A: waiting on ev1 must flush both A and
+    B (the transitive closure) — and resolve — while an unrelated third
+    daemon's window stays queued."""
+    deployment, api, devices, ctx, program = _deployment()
+    driver = deployment.driver
+    q0, b0, k0 = _kernel_on(api, ctx, program, devices[0])
+    q1, b1, k1 = _kernel_on(api, ctx, program, devices[1], value=3.0)
+    q2, b2, k2 = _kernel_on(api, ctx, program, devices[2], value=5.0)
+    driver.flush_all()
+    ev0 = api.clEnqueueNDRangeKernel(q0, k0, (64,))
+    ev1 = api.clEnqueueNDRangeKernel(q1, k1, (64,), wait_for=[ev0])
+    api.clEnqueueNDRangeKernel(q2, k2, (64,))
+    before = deployment.daemon_on(devices[2].server.name).gcf.stats.batched_commands_received
+    api.clWaitForEvents([ev1])
+    assert ev1.resolved and ev0.resolved
+    third = deployment.daemon_on(devices[2].server.name)
+    assert third.gcf.stats.batched_commands_received == before
+    assert driver.pending_commands(devices[2].server.name) > 0
+    api.clFinish(q2)  # and the unrelated work still completes correctly
+    data, _ = api.clEnqueueReadBuffer(q2, b2)
+    np.testing.assert_allclose(data.view(np.float32), 5.0)
+
+
+def test_blocking_read_flushes_only_the_buffers_closure():
+    """A blocking read of a buffer written by a windowed launch flushes
+    that launch's daemon — not a daemon running unrelated work."""
+    deployment, api, devices, ctx, program = _deployment()
+    driver = deployment.driver
+    q0, b0, k0 = _kernel_on(api, ctx, program, devices[0])
+    q1, b1, k1 = _kernel_on(api, ctx, program, devices[1], value=3.0)
+    driver.flush_all()
+    api.clEnqueueNDRangeKernel(q0, k0, (64,))
+    api.clEnqueueNDRangeKernel(q1, k1, (64,))
+    other = devices[1].server.name
+    before = deployment.daemon_on(other).gcf.stats.batched_commands_received
+    data, _ = api.clEnqueueReadBuffer(q0, b0)
+    np.testing.assert_allclose(data.view(np.float32), 2.0)
+    assert deployment.daemon_on(other).gcf.stats.batched_commands_received == before
+    assert driver.pending_commands(other) > 0
+    # The unrelated kernel still runs to completion at its own sync.
+    data, _ = api.clEnqueueReadBuffer(q1, b1)
+    np.testing.assert_allclose(data.view(np.float32), 3.0)
+
+
+def test_wait_follows_chain_after_dependent_launch_was_dispatched():
+    """Regression: clFlush (or window overflow) can dispatch a launch
+    whose wait-list dependency is still windowed on another daemon — the
+    launch sits pending daemon-side, no longer visible in any window.
+    The closure must follow the dependency through the *event stub's*
+    recorded wait list (EventStub.depends_on), not just windowed
+    commands, or the wait raises a spurious deadlock."""
+    deployment, api, devices, ctx, program = _deployment(n_servers=2)
+    driver = deployment.driver
+    q0, b0, k0 = _kernel_on(api, ctx, program, devices[0])
+    q1, b1, k1 = _kernel_on(api, ctx, program, devices[1], value=3.0)
+    driver.flush_all()
+    ev_b = api.clEnqueueNDRangeKernel(q1, k1, (64,))       # windowed on B
+    ev_a = api.clEnqueueNDRangeKernel(q0, k0, (64,), wait_for=[ev_b])
+    api.clFlush(q0)  # dispatches launch A; it pends on B's replica
+    assert driver.pending_commands(devices[0].server.name) == 0
+    assert driver.pending_commands(devices[1].server.name) > 0
+    api.clWaitForEvents([ev_a])  # must flush B through the stub edge
+    assert ev_a.resolved and ev_b.resolved
+
+
+def test_blocking_read_follows_chain_after_writer_was_dispatched():
+    """The blocking-read variant of the same regression: the buffer's
+    writer left the window (clFlush) while gated on a cross-server
+    event; the read must drain that chain (BufferStub.last_write_event)
+    instead of failing on a daemon-side incomplete-event download."""
+    deployment, api, devices, ctx, program = _deployment(n_servers=2)
+    driver = deployment.driver
+    q0, b0, k0 = _kernel_on(api, ctx, program, devices[0])
+    q1, b1, k1 = _kernel_on(api, ctx, program, devices[1], value=3.0)
+    driver.flush_all()
+    ev_b = api.clEnqueueNDRangeKernel(q1, k1, (64,))
+    api.clEnqueueNDRangeKernel(q0, k0, (64,), wait_for=[ev_b])
+    api.clFlush(q0)  # writer of b0 dispatched, pending on ev_b
+    data, _ = api.clEnqueueReadBuffer(q0, b0)
+    np.testing.assert_allclose(data.view(np.float32), 2.0)
+
+
+def test_wait_on_gated_upload_event_follows_its_wait_list():
+    """Regression: upload events (clEnqueueWriteBuffer) must record
+    their wait list on the stub exactly like kernel launches — waiting
+    on an upload gated by a still-windowed cross-server event has to
+    flush that event's owner, not spuriously deadlock."""
+    deployment, api, devices, ctx, program = _deployment(n_servers=2)
+    driver = deployment.driver
+    q0, b0, k0 = _kernel_on(api, ctx, program, devices[0])
+    q1, b1, k1 = _kernel_on(api, ctx, program, devices[1], value=3.0)
+    driver.flush_all()
+    ev_b = api.clEnqueueNDRangeKernel(q1, k1, (64,))  # windowed on B
+    ev_up = api.clEnqueueWriteBuffer(
+        q0, b0, False, 0, np.full(64, 7.0, dtype=np.float32), wait_for=[ev_b]
+    )
+    api.clWaitForEvents([ev_up])  # closure must include B via depends_on
+    assert ev_up.resolved and ev_b.resolved
+
+
+def test_blocking_read_after_gated_upload_follows_the_chain():
+    """The read variant: the buffer's last writer is a gated *upload*
+    (not a launch); the blocking read must drain the gating event's
+    owner through BufferStub.last_write_event."""
+    deployment, api, devices, ctx, program = _deployment(n_servers=2)
+    driver = deployment.driver
+    q0, b0, k0 = _kernel_on(api, ctx, program, devices[0])
+    q1, b1, k1 = _kernel_on(api, ctx, program, devices[1], value=3.0)
+    driver.flush_all()
+    ev_b = api.clEnqueueNDRangeKernel(q1, k1, (64,))
+    api.clEnqueueWriteBuffer(
+        q0, b0, False, 0, np.full(64, 7.0, dtype=np.float32), wait_for=[ev_b]
+    )
+    data, _ = api.clEnqueueReadBuffer(q0, b0)
+    np.testing.assert_allclose(data.view(np.float32), 7.0)
+
+
+def test_blocking_read_drains_the_in_order_queue_chain():
+    """Real OpenCL completes a blocking read only after every prior
+    command of an in-order queue: the read's closure must include the
+    queue's own command chain (via ``queue.last_event_id``) even when
+    those commands touch a different buffer — while daemons outside the
+    chain still stay untouched."""
+    deployment, api, devices, ctx, program = _deployment()
+    driver = deployment.driver
+    q0, b0, k0 = _kernel_on(api, ctx, program, devices[0])
+    q1, b1, k1 = _kernel_on(api, ctx, program, devices[1], value=3.0)
+    driver.flush_all()
+    other = api.clCreateBuffer(ctx, CL_MEM_READ_WRITE | CL_MEM_COPY_HOST_PTR,
+                               64 * 4, np.ones(64, dtype=np.float32))
+    ev = api.clEnqueueNDRangeKernel(q0, k0, (64,))  # writes b0, windowed
+    api.clEnqueueNDRangeKernel(q1, k1, (64,))       # unrelated daemon
+    # Blocking read of a DIFFERENT buffer on the same in-order queue:
+    # the prior launch must have drained (and resolved) first.
+    api.clEnqueueReadBuffer(q0, other)
+    assert ev.resolved
+    assert driver.pending_commands(devices[0].server.name) == 0
+    assert driver.pending_commands(devices[1].server.name) > 0
+
+
+def test_mosi_peer_transfer_drains_the_buffers_closure():
+    """The MOSI server-to-server hop must drain a dispatched-but-pending
+    writer's cross-server chain before shipping the copy, exactly like
+    the download path — otherwise the peer receives state the writer has
+    not produced yet."""
+    deployment, api, devices, ctx, program = _deployment(coherence_protocol="mosi")
+    driver = deployment.driver
+    q0, b0, k0 = _kernel_on(api, ctx, program, devices[0])
+    q1, b1, k1 = _kernel_on(api, ctx, program, devices[1], value=3.0)
+    q2, b2, k2 = _kernel_on(api, ctx, program, devices[2], value=5.0)
+    driver.flush_all()
+    ev_c = api.clEnqueueNDRangeKernel(q2, k2, (64,))          # windowed on C
+    api.clEnqueueNDRangeKernel(q0, k0, (64,), wait_for=[ev_c])
+    api.clFlush(q0)  # b0's writer dispatched on A, pending on C's event
+    # A kernel on B reading b0 plans a direct A->B hop (MOSI): the hop
+    # must first drain C so the writer completes.
+    api.clSetKernelArg(k1, 0, b0)
+    api.clEnqueueNDRangeKernel(q1, k1, (64,))
+    api.clFinish(q1)
+    data, _ = api.clEnqueueReadBuffer(q1, b0)
+    np.testing.assert_allclose(data.view(np.float32), 6.0)  # 1 * 2 * 3
+
+
+def test_targeted_and_full_drains_agree_on_data():
+    """Window-graph flushing is a pure communication optimisation: the
+    numerical results are identical to full-drain waits."""
+
+    def run(full_drain: bool):
+        deployment, api, devices, ctx, program = _deployment()
+        q0, b0, k0 = _kernel_on(api, ctx, program, devices[0])
+        q1, b1, k1 = _kernel_on(api, ctx, program, devices[1], value=3.0)
+        ev0 = api.clEnqueueNDRangeKernel(q0, k0, (64,))
+        ev1 = api.clEnqueueNDRangeKernel(q1, k1, (64,), wait_for=[ev0])
+        if full_drain:
+            deployment.driver.flush_all()
+        api.clWaitForEvents([ev1])
+        d0, _ = api.clEnqueueReadBuffer(q0, b0)
+        d1, _ = api.clEnqueueReadBuffer(q1, b1)
+        return np.concatenate([d0.view(np.float32), d1.view(np.float32)])
+
+    np.testing.assert_array_equal(run(False), run(True))

@@ -68,18 +68,25 @@ def test_context_with_unavailable_device_rejected():
 
 
 def test_remote_device_memory_exhaustion():
+    """Buffer creation is a deferred handle promise: the allocation
+    failure surfaces as CLError at the next sync point, naming the
+    failed creation."""
     deployment = deploy_dopencl(make_desktop_and_gpu_server())
     api = deployment.api
+    driver = deployment.driver
     gpus = api.clGetDeviceIDs(api.clGetPlatformIDs()[0], CL_DEVICE_TYPE_GPU)
     ctx = api.clCreateContext(gpus[:1])
     chunk = 1 << 30  # the Tesla's max_alloc (4 GB global / 4)
     kept = [api.clCreateBuffer(ctx, CL_MEM_READ_WRITE, chunk) for _ in range(4)]
     with pytest.raises(CLError) as err:
         api.clCreateBuffer(ctx, CL_MEM_READ_WRITE, chunk)
+        driver.flush_all()  # the sync point where the failure lands
     assert err.value.code == ErrorCode.CL_MEM_OBJECT_ALLOCATION_FAILURE
+    assert "CreateBufferRequest" in err.value.message
     # Releasing one frees the device memory for a new allocation.
     api.clReleaseMemObject(kept.pop())
     buf = api.clCreateBuffer(ctx, CL_MEM_READ_WRITE, chunk)
+    driver.flush_all()  # release + create replay in program order: ok
     assert buf.size == chunk
 
 
@@ -88,9 +95,11 @@ def test_oversized_buffer_rejected_remotely():
     api = deployment.api
     gpus = api.clGetDeviceIDs(api.clGetPlatformIDs()[0], CL_DEVICE_TYPE_GPU)
     ctx = api.clCreateContext(gpus[:1])
+    api.clCreateBuffer(ctx, CL_MEM_READ_WRITE, (1 << 30) + 1)  # promise, no raise
     with pytest.raises(CLError) as err:
-        api.clCreateBuffer(ctx, CL_MEM_READ_WRITE, (1 << 30) + 1)
+        deployment.driver.flush_all()  # the deferred rejection lands here
     assert err.value.code == ErrorCode.CL_INVALID_BUFFER_SIZE
+    assert "CreateBufferRequest" in err.value.message
 
 
 def test_kernel_runtime_fault_surfaces_with_cl_code():

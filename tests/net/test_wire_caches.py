@@ -152,3 +152,85 @@ def test_client_decode_cache_dedups_identical_acks():
     hits_before = driver.stats.decode_cache_hits
     driver.flush_all()  # batches of identical Acks come back
     assert driver.stats.decode_cache_hits > hits_before
+
+
+# ----------------------------------------------------------------------
+# counter invariants (batch accounting symmetry)
+# ----------------------------------------------------------------------
+def _raw_pair():
+    """A daemon and a bare GCF client for envelope-level batch tests."""
+    from repro.core.daemon import Daemon
+    from repro.hw import Host
+    from repro.hw.specs import GIGABIT_ETHERNET, GPU_SERVER, WESTMERE_NODE
+    from repro.net import GCFProcess, Network
+
+    net = Network(GIGABIT_ETHERNET)
+    server = net.add_host(Host(GPU_SERVER, name="srv"))
+    client_host = net.add_host(Host(WESTMERE_NODE, name="cli"))
+    daemon = Daemon(server, net)
+    client = GCFProcess("client", client_host, net)
+    return daemon, client
+
+
+def test_fully_cached_batch_still_counts_every_sub_command():
+    """A batch answered entirely from the decode + reply caches bumps
+    ``batched_commands_received`` by its full length, and the cache
+    counters stay consistent with it: N sub-commands received -> N
+    decode hits and N reply hits on the repeat."""
+    daemon, client = _raw_pair()
+    cmds = [P.FlushRequest(queue_id=i) for i in range(5)]
+    client.request_batch(daemon.gcf, cmds, 0.0)
+    stats = daemon.gcf.stats
+    assert stats.batched_commands_received == 5
+    first_decode, first_reply = stats.decode_cache_hits, stats.reply_cache_hits
+    client.request_batch(daemon.gcf, cmds, 1.0)  # byte-identical repeat
+    assert stats.batched_commands_received == 10
+    assert stats.decode_cache_hits - first_decode == 5
+    assert stats.reply_cache_hits - first_reply == 5
+    # Sender-side mirror: commands sent == commands received, and the
+    # repeat's encodings all came from the per-instance cache.
+    assert client.stats.batched_commands == stats.batched_commands_received
+    assert client.stats.encode_cache_hits == 5
+
+
+def test_undispatchable_replies_account_like_normal_ones():
+    """Regression for encode/decode cache-hit asymmetry: a repeated
+    *undispatchable* sub-command (here: a nested batch) used to hit the
+    decode cache while its error reply bypassed the reply cache.  Both
+    sides must count now."""
+    from repro.net.messages import CommandBatch
+
+    daemon, client = _raw_pair()
+    nested = CommandBatch(commands=[P.FlushRequest(queue_id=1).to_wire()])
+    out1 = client.request_batch(daemon.gcf, [nested], 0.0)
+    assert out1.responses[0].error != 0  # rejected, positionally
+    reply_before = daemon.gcf.stats.reply_cache_hits
+    out2 = client.request_batch(daemon.gcf, [nested], 1.0)
+    assert out2.responses[0].error != 0
+    assert daemon.gcf.stats.reply_cache_hits == reply_before + 1
+    assert daemon.gcf.stats.batched_commands_received == 2
+
+
+def test_counter_invariants_hold_over_a_real_workload():
+    """The auditable invariants: every cache hit corresponds to a
+    received sub-command, poisoned commands are received commands, and
+    client/daemon tallies of batched traffic agree."""
+    deployment, api, devices, ctx, queue, buf, kernel, n = _prepared()
+    driver = deployment.driver
+    for f in (2.0, 3.0, 2.0):
+        api.clSetKernelArg(kernel, 1, np.float32(f))
+        api.clEnqueueNDRangeKernel(queue, kernel, (n,))
+    api.clFinish(queue)
+    data, _ = api.clEnqueueReadBuffer(queue, buf)
+    received_total = 0
+    for daemon in deployment.daemons:
+        s = daemon.gcf.stats
+        assert s.decode_cache_hits <= s.batched_commands_received
+        assert s.reply_cache_hits <= s.batched_commands_received
+        assert s.poisoned_commands <= s.batched_commands_received
+        received_total += s.batched_commands_received
+    c = driver.stats
+    assert c.encode_cache_hits <= c.batched_commands
+    # Conservation: every sub-command the client batched out was
+    # dispatched by exactly one daemon.
+    assert c.batched_commands == received_total

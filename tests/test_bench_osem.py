@@ -1,0 +1,12 @@
+"""Tier-1 wrapper for the OSEM reply-cache perf smoke.
+
+Keeps the repeated-arg cache payoff (``repro.bench.osem``) from rotting:
+the mini Fig. 5 workload must keep answering its steady-state command
+traffic from the daemon caches at constant round trips.
+"""
+
+from repro.bench.osem import assert_osem_record
+
+
+def test_osem_reply_cache_pays_off(osem_record):
+    assert_osem_record(osem_record)

@@ -6,8 +6,8 @@ shared smoke gate, so the tier-1 suite catches regressions in round
 trips or wire bytes.
 """
 
-from repro.bench.smoke import assert_smoke_record, bench_smoke
+from repro.bench.smoke import assert_smoke_record
 
 
-def test_smoke_round_trip_and_byte_counters():
-    assert_smoke_record(bench_smoke())
+def test_smoke_round_trip_and_byte_counters(smoke_record):
+    assert_smoke_record(smoke_record)

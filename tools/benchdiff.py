@@ -1,0 +1,18 @@
+#!/usr/bin/env python
+"""CLI shim for the benchmark regression checker.
+
+Equivalent to ``PYTHONPATH=src python -m repro.tools.benchdiff``; kept
+under ``tools/`` so the checker is discoverable next to the repository's
+other operational entry points.  See :mod:`repro.tools.benchdiff` for
+what is compared and why.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.tools.benchdiff import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())
