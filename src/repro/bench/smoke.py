@@ -8,15 +8,28 @@ on a reduced workload that completes in tier-1 time budget:
   forwarded call, the pre-pipeline behaviour;
 * ``pr1`` — the PR-1 pipeline: send windows and ``CommandBatch``
   coalescing on, but event-completion relays still synchronous (one
-  request per replica server), no upload coalescing, and synchronous
-  creation fan-outs;
+  request per replica server), no transfer coalescing in any direction,
+  and synchronous creation fan-outs;
 * ``batched`` — the full pipeline (fully deferred creation calls /
-  handle promises, dependency-tracked windows, deferred relays,
-  window-aware upload coalescing, reply caches).
+  handle promises, dependency-tracked windows with prefix flushing,
+  deferred relays, window-aware transfer coalescing, reply caches).
 
 The workload runs on :data:`SMOKE_DEVICES` servers, so every kernel
 event has ``SMOKE_DEVICES - 1`` >= 2 user-event replicas — the
 multi-server replication the relay pipeline targets.
+
+A second, *gathered* mini Fig. 4 then exercises the transfer directions
+the plain workload never hits (:func:`render_gathered`): every device
+renders two row-interleaved half tiles and a final gather kernel on the
+first server composes the image on-device, so validating the gather's
+remote tile arguments moves **two buffers per (remote daemon, target)
+pair** in one launch.  Under MSI that is two coherence *downloads* per
+source daemon (fused into one ``CoalescedBufferDownload`` fetch each);
+under MOSI it is two *server-to-server hops* per daemon pair (fused
+into one ``BufferPeerTransferBatch`` round trip each).  Each protocol
+runs with transfer coalescing on and off (``coalesce_transfers``), and
+the gate requires strictly fewer round trips coalesced, bytes no worse,
+and the identical image.
 
 The counters are the regression tripwire: the batched run must cut at
 least :data:`MIN_ROUND_TRIP_REDUCTION` of the synchronous run's round
@@ -32,9 +45,12 @@ import json
 import os
 from typing import Dict, Optional
 
-from repro.apps.mandelbrot import MandelbrotConfig, render_dopencl
+import numpy as np
+
+from repro.apps.mandelbrot import MANDELBROT_KERNEL, MandelbrotConfig, render_dopencl
 from repro.bench.harness import REPO_ROOT, ExperimentRecord
 from repro.hw.cluster import make_ib_cpu_cluster
+from repro.ocl.constants import CL_MEM_WRITE_ONLY
 from repro.testbed import deploy_dopencl
 
 #: Tiny stand-in for the Fig. 4 workload (same call pattern, ~1000x less
@@ -62,19 +78,115 @@ VARIANTS = {
         defer_event_relays=False,
         coalesce_uploads=False,
         defer_creations=False,
+        coalesce_transfers=False,
     ),
-    "pr1": dict(defer_event_relays=False, coalesce_uploads=False, defer_creations=False),
+    "pr1": dict(
+        defer_event_relays=False,
+        coalesce_uploads=False,
+        defer_creations=False,
+        coalesce_transfers=False,
+    ),
     "batched": {},
 }
 
+#: The gathered-workload variants: the same mini Fig. 4 composed
+#: on-device (see :func:`render_gathered`), per coherence protocol,
+#: with download/peer-transfer coalescing on and off.
+GATHER_VARIANTS = {
+    "gather_uncoalesced": dict(coherence_protocol="msi", coalesce_transfers=False),
+    "gather": dict(coherence_protocol="msi"),
+    "mosi_uncoalesced": dict(coherence_protocol="mosi", coalesce_transfers=False),
+    "mosi": dict(coherence_protocol="mosi"),
+}
+
+
+def gather_kernel_source(n_tiles: int) -> str:
+    """OpenCL C for a gather kernel composing ``n_tiles`` row-interleaved
+    tile buffers into one full image buffer (tile ``j`` holds rows
+    ``j, j + n_tiles, j + 2*n_tiles, ...``)."""
+    args = ", ".join(f"__global const int *t{j}" for j in range(n_tiles))
+    picks = "\n".join(
+        f"    if (tile == {j}) v = t{j}[local_row * width + gx];"
+        for j in range(n_tiles)
+    )
+    return f"""
+__kernel void gather(__global int *out, {args},
+                     const int width, const int height, const int n_tiles)
+{{
+    int gx = (int)get_global_id(0);
+    int gy = (int)get_global_id(1);
+    if (gx >= width || gy >= height) return;
+    int tile = gy % n_tiles;
+    int local_row = gy / n_tiles;
+    int v = 0;
+{picks}
+    out[gy * width + gx] = v;
+}}
+"""
+
+
+def render_gathered(cl, config: MandelbrotConfig) -> np.ndarray:
+    """The mini Fig. 4 with on-device composition: each device renders
+    *two* row-interleaved half tiles, then one gather kernel on the
+    first server's device assembles the full image on-device and the
+    client reads only the composed buffer.
+
+    The shape is what exercises transfer coalescing: the gather launch
+    needs every remote tile valid on its server, and with two tiles per
+    remote daemon the coherence plans move two buffers along each
+    (source daemon, target) pair between the same two sync points —
+    MSI fuses the per-source downloads, MOSI the per-pair
+    server-to-server hops."""
+    platform = cl.clGetPlatformIDs()[0]
+    devices = cl.clGetDeviceIDs(platform)
+    ctx = cl.clCreateContext(devices)
+    queues = [cl.clCreateCommandQueue(ctx, d) for d in devices]
+    n_tiles = 2 * len(devices)
+    program = cl.clCreateProgramWithSource(
+        ctx, MANDELBROT_KERNEL + gather_kernel_source(n_tiles)
+    )
+    cl.clBuildProgram(program)
+    tiles = []
+    for j in range(n_tiles):
+        rows = np.arange(j, config.height, n_tiles)
+        buf = cl.clCreateBuffer(ctx, CL_MEM_WRITE_ONLY, int(rows.size) * config.width * 4)
+        kernel = cl.clCreateKernel(program, "mandelbrot")
+        for i, value in enumerate(
+            [
+                buf,
+                config.width,
+                config.height,
+                j,
+                n_tiles,
+                np.float32(config.x0),
+                np.float32(config.y0),
+                np.float32(config.dx),
+                np.float32(config.dy),
+                config.max_iter,
+            ]
+        ):
+            cl.clSetKernelArg(kernel, i, value)
+        cl.clEnqueueNDRangeKernel(queues[j % len(devices)], kernel, (config.width, int(rows.size)))
+        tiles.append(buf)
+    out = cl.clCreateBuffer(ctx, CL_MEM_WRITE_ONLY, config.height * config.width * 4)
+    gather = cl.clCreateKernel(program, "gather")
+    for i, value in enumerate([out, *tiles, config.width, config.height, n_tiles]):
+        cl.clSetKernelArg(gather, i, value)
+    cl.clEnqueueNDRangeKernel(queues[0], gather, (config.width, config.height))
+    cl.clFinish(queues[0])
+    data, _ = cl.clEnqueueReadBuffer(queues[0], out)
+    return data.view(np.int32).reshape(config.height, config.width)
+
 
 def bench_smoke(n_devices: int = SMOKE_DEVICES, config: MandelbrotConfig = SMOKE_CONFIG) -> ExperimentRecord:
-    """Run the mini Fig. 4 workload sync vs PR-1 vs fully batched.
+    """Run the mini Fig. 4 workload sync vs PR-1 vs fully batched, plus
+    the gathered workload per coherence protocol with transfer
+    coalescing on/off.
 
     Row per variant: the client driver's round-trip/batch/byte counters,
     the virtual-time total, the reduction ratios against both baselines,
-    and the PR-2 pipeline counters (deferred/suppressed relays, the
-    daemons' aggregate reply-cache hits).
+    and the pipeline counters (deferred/suppressed relays, coalesced
+    transfers per direction, the daemons' aggregate reply-cache hits).
     """
     record = ExperimentRecord(
         experiment="bench_smoke",
@@ -95,13 +207,18 @@ def bench_smoke(n_devices: int = SMOKE_DEVICES, config: MandelbrotConfig = SMOKE
             "encode_cache_hits",
             "decode_cache_hits",
             "reply_cache_hits",
+            "coalesced_uploads",
+            "coalesced_downloads",
+            "coalesced_peer_transfers",
+            "prefix_flushes",
         ],
         notes=(
             f"{config.width}x{config.height}/{config.max_iter}-iter Mandelbrot on "
             f"{n_devices} servers ({n_devices - 1} replica servers per event); "
             f"acceptance: >= {MIN_ROUND_TRIP_REDUCTION:.0%} fewer round trips than sync "
             f"and >= {MIN_ROUND_TRIP_REDUCTION_VS_PR1:.0%} fewer than PR-1, bytes no "
-            "worse, image identical"
+            "worse, image identical; gathered MSI/MOSI variants must spend strictly "
+            "fewer round trips with transfer coalescing on than off"
         ),
     )
     images = {}
@@ -115,9 +232,16 @@ def bench_smoke(n_devices: int = SMOKE_DEVICES, config: MandelbrotConfig = SMOKE
         counters[variant] = deployment.driver.stats.snapshot()
         totals[variant] = result.timings.total
         daemon_hits[variant] = sum(d.gcf.stats.reply_cache_hits for d in deployment.daemons)
+    for variant, flags in GATHER_VARIANTS.items():
+        deployment = deploy_dopencl(make_ib_cpu_cluster(n_devices), **flags)
+        images[variant] = render_gathered(deployment.api, config)
+        counters[variant] = deployment.driver.stats.snapshot()
+        totals[variant] = deployment.api.now
+        daemon_hits[variant] = sum(d.gcf.stats.reply_cache_hits for d in deployment.daemons)
     sync, pr1 = counters["sync"], counters["pr1"]
-    for variant in VARIANTS:
+    for variant in [*VARIANTS, *GATHER_VARIANTS]:
         c = counters[variant]
+        plain = variant in VARIANTS
         record.add(
             variant=variant,
             round_trips=c["round_trips"],
@@ -127,21 +251,29 @@ def bench_smoke(n_devices: int = SMOKE_DEVICES, config: MandelbrotConfig = SMOKE
             bytes_received=c["bytes_received"],
             total_time=totals[variant],
             rt_reduction=(
-                1.0 - c["round_trips"] / sync["round_trips"] if variant != "sync" else 0.0
+                1.0 - c["round_trips"] / sync["round_trips"]
+                if plain and variant != "sync"
+                else 0.0
             ),
             rt_reduction_vs_pr1=(
                 1.0 - c["round_trips"] / pr1["round_trips"] if variant == "batched" else 0.0
             ),
             byte_reduction=(
-                1.0 - c["bytes_sent"] / sync["bytes_sent"] if variant != "sync" else 0.0
+                1.0 - c["bytes_sent"] / sync["bytes_sent"]
+                if plain and variant != "sync"
+                else 0.0
             ),
             relays_deferred=c["relays_deferred"],
             relays_suppressed=c["relays_suppressed"],
             encode_cache_hits=c["encode_cache_hits"],
             decode_cache_hits=c["decode_cache_hits"],
             reply_cache_hits=daemon_hits[variant],
+            coalesced_uploads=c["coalesced_uploads"],
+            coalesced_downloads=c["coalesced_downloads"],
+            coalesced_peer_transfers=c["coalesced_peer_transfers"],
+            prefix_flushes=c["prefix_flushes"],
         )
-    for variant in ("pr1", "batched"):
+    for variant in ("pr1", "batched", *GATHER_VARIANTS):
         if not (images["sync"] == images[variant]).all():
             raise AssertionError(f"{variant} forwarding changed the rendered image")
     return record
@@ -157,7 +289,10 @@ def assert_smoke_record(record: ExperimentRecord) -> None:
     :data:`MAX_BATCHED_ROUND_TRIPS` ceiling, genuinely coalesce
     commands, exercise the relay-deferral and reply-cache paths, cost no
     extra wire bytes at any step, and cost no virtual time beyond the
-    deferred launch hand-off."""
+    deferred launch hand-off.  The gathered variants must show
+    window-aware transfer coalescing paying in *both* remaining
+    directions: strictly fewer round trips (MSI: fused downloads;
+    MOSI: fused server-to-server batches), bytes no worse."""
     rows = {row["variant"]: row for row in record.rows}
     sync, pr1, batched = rows["sync"], rows["pr1"], rows["batched"]
     assert sync["batches"] == 0  # the baseline ran genuinely unbatched
@@ -185,6 +320,21 @@ def assert_smoke_record(record: ExperimentRecord) -> None:
     assert batched["bytes_received"] <= pr1["bytes_received"] <= sync["bytes_received"]
     assert batched["total_time"] <= sync["total_time"] * 1.001
     assert batched["total_time"] <= pr1["total_time"] * 1.001
+    # The gathered variants: download & peer-transfer coalescing pays.
+    gather, gather_u = rows["gather"], rows["gather_uncoalesced"]
+    mosi, mosi_u = rows["mosi"], rows["mosi_uncoalesced"]
+    assert gather["round_trips"] < gather_u["round_trips"]
+    assert mosi["round_trips"] < mosi_u["round_trips"]
+    assert gather["bytes_sent"] <= gather_u["bytes_sent"]
+    assert mosi["bytes_sent"] <= mosi_u["bytes_sent"]
+    # The right machinery fired per protocol — MSI's client-mediated
+    # revalidations fuse into merged downloads, MOSI's direct exchanges
+    # into peer-transfer batches — and the ablation really disabled it.
+    assert gather["coalesced_downloads"] > 0
+    assert gather_u["coalesced_downloads"] == 0
+    assert mosi["coalesced_peer_transfers"] > 0
+    assert mosi_u["coalesced_peer_transfers"] == 0
+    assert mosi["total_time"] <= mosi_u["total_time"] * 1.001
 
 
 def smoke_payload(record: ExperimentRecord) -> dict:
@@ -208,6 +358,12 @@ def smoke_payload(record: ExperimentRecord) -> dict:
         "relays_deferred": rows["batched"]["relays_deferred"],
         "relays_suppressed": rows["batched"]["relays_suppressed"],
         "reply_cache_hits": rows["batched"]["reply_cache_hits"],
+        "round_trips_gather": rows["gather"]["round_trips"],
+        "round_trips_gather_uncoalesced": rows["gather_uncoalesced"]["round_trips"],
+        "round_trips_mosi": rows["mosi"]["round_trips"],
+        "round_trips_mosi_uncoalesced": rows["mosi_uncoalesced"]["round_trips"],
+        "coalesced_downloads": rows["gather"]["coalesced_downloads"],
+        "coalesced_peer_transfers": rows["mosi"]["coalesced_peer_transfers"],
         "min_rt_reduction": MIN_ROUND_TRIP_REDUCTION,
         "min_rt_reduction_vs_pr1": MIN_ROUND_TRIP_REDUCTION_VS_PR1,
         "max_batched_round_trips": MAX_BATCHED_ROUND_TRIPS,

@@ -35,12 +35,22 @@ PR 2 additions (see ``docs/architecture.md``): event-completion relays
 ride the send windows instead of round-tripping per replica server, and
 multiple coherence uploads to one daemon coalesce into a single bulk
 stream.
+
+PR 4 extends the coalescing to the remaining transfer directions
+(:meth:`DOpenCLDriver.run_transfer_plans` via ``split_transfer_plan``):
+several coherence *downloads* from one daemon fuse into a single
+``CoalescedBufferDownload`` fetch, and several MOSI server-to-server
+hops along one (src, dst) daemon pair fuse into a single
+``BufferPeerTransferBatch`` round trip.  Targeted sync points also
+gained **prefix flushing**: they dispatch only the window prefix up to
+the awaited handles' producers (``SendWindow.split_prefix``), leaving
+causally unrelated commands queued behind them.
 """
 
 from __future__ import annotations
 
 from itertools import count
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.client.connection import (
     DaemonDirectory,
@@ -49,7 +59,7 @@ from repro.core.client.connection import (
     parse_server_list,
 )
 from repro.core.client.platform import DOpenCLPlatform
-from repro.core.client.windows import WindowCommand, closure_servers
+from repro.core.client.windows import WindowCommand, closure, closure_servers
 from repro.core.client.stubs import (
     BufferStub,
     ContextStub,
@@ -61,14 +71,14 @@ from repro.core.client.stubs import (
     ServerHandle,
     UserEventStub,
 )
-from repro.core.coherence.directory import CLIENT, Transfer, split_upload_plan
+from repro.core.coherence.directory import CLIENT, Transfer, split_transfer_plan
 from repro.core.devmgr.config import parse_devmgr_config
 from repro.core.protocol import messages as P
 from repro.hw.node import Host
 from repro.net.gcf import GCFProcess, RequestOutcome
 from repro.net.link import ConnectionRefused
 from repro.net.network import Network
-from repro.net.streams import as_uint8_array
+from repro.net.streams import as_uint8_array, split_sections
 from repro.ocl.constants import CL_COMPLETE, CL_DEVICE_TYPE_ALL, ErrorCode
 from repro.ocl.errors import CLError
 from repro.sim.clock import VirtualClock
@@ -103,6 +113,7 @@ class DOpenCLDriver:
         defer_event_relays: bool = True,
         coalesce_uploads: bool = True,
         defer_creations: bool = True,
+        coalesce_transfers: bool = True,
     ) -> None:
         self.host = host
         self.network = network
@@ -127,6 +138,15 @@ class DOpenCLDriver:
         #: daemon between sync points are merged into a single bulk
         #: stream with one init header (see ``run_transfer_plans``).
         self.coalesce_uploads = bool(coalesce_uploads)
+        #: When True (default) the *other* transfer directions coalesce
+        #: too: multiple downloads from one daemon merge into a single
+        #: ``CoalescedBufferDownload`` fetch, and multiple MOSI
+        #: server-to-server hops along one (src, dst) pair merge into a
+        #: single ``BufferPeerTransferBatch`` round trip.  False
+        #: restores one stream/request per transfer (the PR-3
+        #: behaviour, and the ablation baseline for the MOSI smoke
+        #: variant).
+        self.coalesce_transfers = bool(coalesce_transfers)
         #: When True (default) creation calls are *handle promises*:
         #: they join the send windows like any enqueue-class command and
         #: daemon-side failures surface at the next sync point touching
@@ -323,25 +343,33 @@ class DOpenCLDriver:
         here when ``raise_errors`` (the client-initiated sync points);
         flushes triggered from notification handlers pass ``False`` and
         the failure surfaces at the next sync point instead."""
-        targets = [c for c in conns if c.window]
-        if targets:
-            batches: List[Tuple[ServerConnection, List[P.Request]]] = []
-            for conn in targets:
-                # Swap the window out first: completion notifications
-                # fired while a batch is dispatched may defer/flush more
-                # commands, which must land in a fresh window.
-                commands = conn.window.swap_out()
-                batches.append((conn, [c.msg for c in commands]))
-            t = self.clock.now
-            self._dispatch_depth += 1
-            try:
-                for conn, msgs in batches:
-                    outcome = self.gcf.request_batch(conn.daemon.gcf, msgs, t)
-                    self._record_batch_failures(msgs, outcome)
-            finally:
-                self._dispatch_depth -= 1
+        # Swap every window out first: completion notifications fired
+        # while a batch is dispatched may defer/flush more commands,
+        # which must land in a fresh window.
+        batches = [(conn, conn.window.swap_out()) for conn in conns if conn.window]
+        self._dispatch_command_batches(batches)
         if raise_errors:
             self._surface_deferred_failure()
+
+    def _dispatch_command_batches(
+        self, batches: Sequence[Tuple[ServerConnection, List[WindowCommand]]]
+    ) -> None:
+        """Send each prepared command list as one CommandBatch (all at
+        the same client time) and record deferred failures.  The lists
+        must already be detached from their windows (``swap_out`` /
+        ``split_prefix``) — dispatching can defer new commands, which
+        belong in the live windows, not the batches in flight."""
+        if not batches:
+            return
+        t = self.clock.now
+        self._dispatch_depth += 1
+        try:
+            for conn, commands in batches:
+                msgs = [c.msg for c in commands]
+                outcome = self.gcf.request_batch(conn.daemon.gcf, msgs, t)
+                self._record_batch_failures(msgs, outcome)
+        finally:
+            self._dispatch_depth -= 1
 
     def flush_connection(self, conn: ServerConnection, raise_errors: bool = True) -> None:
         """Send ``conn``'s window as one CommandBatch and settle the
@@ -383,9 +411,22 @@ class DOpenCLDriver:
             if name in self._connections and self._connections[name].connected
         ]
 
-    def flush_for_handles(self, handles: Iterable[int], raise_errors: bool = True) -> None:
-        """Targeted sync point: drain only the windows the given handles
-        transitively depend on.
+    def flush_for_handles(
+        self, handles: Iterable[int], raise_errors: bool = True
+    ) -> FrozenSet[int]:
+        """Targeted sync point: drain only the *relevant prefixes* of
+        the windows the given handles transitively depend on.  Returns
+        the final pass's relevance set (every handle the closure walk
+        visited), so follow-up prefix work — a coherence fetch right
+        after the drain — can reuse it instead of recomputing the
+        closure.
+
+        Per closure window, only the prefix up to the last command
+        touching a closure handle is dispatched
+        (:meth:`~repro.core.client.windows.SendWindow.split_prefix`);
+        commands queued after the awaited handles' producers are
+        causally unrelated and stay windowed (counted in
+        ``NetStats.prefix_flushes`` when a suffix actually remains).
 
         Re-computes the closure each pass because draining can *extend*
         it — flushing the owner of a cross-server wait chain delivers a
@@ -395,11 +436,21 @@ class DOpenCLDriver:
         point of the window graph.  Bounded by
         :data:`MAX_DRAIN_PASSES`."""
         handles = list(handles)
+        seen: FrozenSet[int] = frozenset()
         for _ in range(MAX_DRAIN_PASSES):
-            targets = [c for c in self.closure_connections(handles) if c.window]
-            if not targets:
+            windows = {c.name: c.window for c in self.connections()}
+            servers, seen = closure(handles, windows, self._events.get)
+            batches: List[Tuple[ServerConnection, List[WindowCommand]]] = []
+            for name in sorted(servers):
+                conn = self._connections.get(name)
+                if conn is None or not conn.connected or not conn.window:
+                    continue
+                prefix = self._split_relevant_prefix(conn, seen)
+                if prefix:
+                    batches.append((conn, prefix))
+            if not batches:
                 break
-            self.flush_connections(targets, raise_errors=False)
+            self._dispatch_command_batches(batches)
         else:
             raise CLError(
                 ErrorCode.CL_INVALID_OPERATION,
@@ -408,6 +459,19 @@ class DOpenCLDriver:
             )
         if raise_errors:
             self._surface_deferred_failure()
+        return seen
+
+    def _split_relevant_prefix(
+        self, conn: ServerConnection, seen
+    ) -> List[WindowCommand]:
+        """Split off ``conn``'s window prefix relevant to ``seen`` (see
+        :meth:`~repro.core.client.windows.SendWindow.split_prefix`),
+        counting a ``prefix_flush`` only when a suffix actually remains
+        windowed — the single site encoding that accounting rule."""
+        prefix = conn.window.split_prefix(seen)
+        if prefix and conn.window:
+            self.stats.prefix_flushes += 1
+        return prefix
 
     def buffer_sync_handles(self, buffer: BufferStub) -> List[int]:
         """The closure seeds for a sync point targeting ``buffer``: its
@@ -832,35 +896,54 @@ class DOpenCLDriver:
         preferred_queue: Optional[QueueStub] = None,
     ) -> None:
         """Execute several buffers' coherence plans with window-aware
-        upload coalescing.
+        coalescing of every transfer direction.
 
-        Non-upload transfers (downloads, server-to-server hops) execute
-        immediately in plan order; client->server uploads are grouped by
-        destination daemon (:func:`split_upload_plan` — see there for
-        why the regrouping preserves every data dependency), and a group
-        of two or more uploads to one daemon is fused into a single
-        :class:`~repro.core.protocol.messages.CoalescedBufferUpload`
-        stream: one init round trip and one raw stream instead of one
-        of each per buffer.  ``coalesce_uploads=False`` restores the
-        per-buffer streams (the PR-1 baseline)."""
+        The plans are partitioned by :func:`split_transfer_plan` (see
+        there for why the regrouping preserves every data dependency)
+        and executed downloads-first, then server-to-server hops, then
+        uploads:
+
+        * two or more downloads from one daemon fuse into a single
+          :class:`~repro.core.protocol.messages.CoalescedBufferDownload`
+          fetch (one request round trip streaming all sections back);
+        * two or more MOSI hops along one (src, dst) daemon pair fuse
+          into a single :class:`~repro.core.protocol.messages.
+          BufferPeerTransferBatch` round trip (one direct
+          daemon-to-daemon stream for all sections);
+        * two or more uploads to one daemon fuse into a single
+          :class:`~repro.core.protocol.messages.CoalescedBufferUpload`
+          stream (one init round trip, one raw stream).
+
+        ``coalesce_uploads=False`` restores per-buffer upload streams,
+        ``coalesce_transfers=False`` per-transfer downloads and peer
+        requests; with both off the pre-coalescing immediate-order
+        execution (the PR-1 baseline) is reproduced exactly."""
         items = [(buffer, plan) for buffer, plan in items if plan]
         if not items:
             return
-        if not self.coalesce_uploads:
+        if not (self.coalesce_uploads or self.coalesce_transfers):
             for buffer, plan in items:
                 self._run_transfers_unmerged(buffer, plan, preferred_queue)
             return
-        immediate, uploads = split_upload_plan(items)
-        for buffer, transfer in immediate:
-            if transfer.dst == CLIENT:
-                self._download_from_server(buffer, transfer.src, preferred_queue)
+        downloads, peers, uploads = split_transfer_plan(items)
+        for server_name, buffers in downloads.items():
+            if self.coalesce_transfers and len(buffers) > 1:
+                self._download_many_from_server(buffers, server_name, preferred_queue)
             else:
-                self._server_to_server(buffer, transfer.src, transfer.dst)
+                for buffer in buffers:
+                    self._download_from_server(buffer, server_name, preferred_queue)
+        for (src_name, dst_name), buffers in peers.items():
+            if self.coalesce_transfers and len(buffers) > 1:
+                self._peer_transfer_many(buffers, src_name, dst_name)
+            else:
+                for buffer in buffers:
+                    self._server_to_server(buffer, src_name, dst_name)
         for server_name, buffers in uploads.items():
-            if len(buffers) == 1:
-                self._upload_to_server(buffers[0], server_name, preferred_queue)
-            else:
+            if self.coalesce_uploads and len(buffers) > 1:
                 self._upload_many_to_server(buffers, server_name, preferred_queue)
+            else:
+                for buffer in buffers:
+                    self._upload_to_server(buffer, server_name, preferred_queue)
 
     def _run_transfers_unmerged(
         self,
@@ -931,15 +1014,37 @@ class DOpenCLDriver:
         self.stats.coalesced_upload_sections += len(buffers)
         self.send_bulk(conn, init, [b.data for b in buffers], total)
 
+    def _fetch_bulk_prefixed(self, conn: ServerConnection, request: P.Request, seen):
+        """Stream-based download that flushes only ``conn``'s window
+        prefix relevant to ``seen`` (a relevance set from
+        :meth:`flush_for_handles`) instead of the whole window —
+        commands queued after the downloaded data's producers stay
+        windowed."""
+        if conn.window:
+            prefix = self._split_relevant_prefix(conn, seen)
+            if prefix:
+                self._dispatch_command_batches([(conn, prefix)])
+        response, payload, arrival = self.gcf.fetch_bulk(
+            conn.daemon.gcf, request, self.clock.now
+        )
+        self.check(response)
+        self.clock.advance_to(arrival)
+        return response, payload, arrival
+
     def _download_from_server(self, buffer: BufferStub, server_name: str, preferred: Optional[QueueStub]) -> None:
         # The download is gated daemon-side on the buffer's producing
         # command: drain the buffer's dependency closure first so a
         # dispatched-but-pending writer (waiting on an event produced on
-        # another daemon) can complete.  The fetch below still flushes
-        # the owning server's window for program order.
-        self.flush_for_handles(self.buffer_sync_handles(buffer), raise_errors=False)
+        # another daemon) can complete.  The transfer queue's handle
+        # joins the seeds so the drain covers its (possibly windowed)
+        # creation too, and the fetch then pushes out only whatever
+        # relevant prefix remains; later, unrelated commands stay
+        # windowed.
         conn = self.connection(server_name)
         queue = self._queue_on(buffer, server_name, preferred)
+        seen = self.flush_for_handles(
+            self.buffer_sync_handles(buffer) + [queue.id], raise_errors=False
+        )
         stub = self._new_transfer_event(buffer.context, server_name)
         request = P.BufferDataDownload(
             buffer_id=buffer.id,
@@ -949,8 +1054,41 @@ class DOpenCLDriver:
             nbytes=buffer.size,
             wait_event_ids=[],
         )
-        _response, payload, _arrival = self.fetch_bulk(conn, request)
+        _response, payload, _arrival = self._fetch_bulk_prefixed(conn, request, seen)
         buffer.data[:] = as_uint8_array(payload)
+
+    def _download_many_from_server(
+        self,
+        buffers: Sequence[BufferStub],
+        server_name: str,
+        preferred: Optional[QueueStub],
+    ) -> None:
+        """Fuse several whole-object downloads from one daemon into a
+        single fetch: one request round trip, one merged stream back
+        (the payload is the daemon's list of per-section arrays,
+        zero-copy, never concatenated), one registered event per
+        section — the download mirror of :meth:`_upload_many_to_server`."""
+        conn = self.connection(server_name)
+        queue = self._queue_on(buffers[0], server_name, preferred)
+        handles: List[int] = [queue.id]
+        for buffer in buffers:
+            handles.extend(self.buffer_sync_handles(buffer))
+        seen = self.flush_for_handles(handles, raise_errors=False)
+        event_ids = [
+            self._new_transfer_event(buffer.context, server_name).id for buffer in buffers
+        ]
+        request = P.CoalescedBufferDownload(
+            queue_id=queue.id,
+            buffer_ids=[b.id for b in buffers],
+            event_ids=event_ids,
+            nbytes_list=[b.size for b in buffers],
+        )
+        self.stats.coalesced_downloads += 1
+        self.stats.coalesced_download_sections += len(buffers)
+        _response, payload, _arrival = self._fetch_bulk_prefixed(conn, request, seen)
+        sections = split_sections(payload, [b.size for b in buffers])
+        for buffer, data in zip(buffers, sections):
+            buffer.data[:] = data
 
     def _server_to_server(self, buffer: BufferStub, src_name: str, dst_name: str) -> None:
         """Section III-F: direct daemon-to-daemon synchronisation."""
@@ -969,6 +1107,32 @@ class DOpenCLDriver:
             src,
             P.BufferPeerTransferRequest(
                 buffer_id=buffer.id, peer_name=dst_name, nbytes=buffer.size
+            ),
+        )
+
+    def _peer_transfer_many(
+        self, buffers: Sequence[BufferStub], src_name: str, dst_name: str
+    ) -> None:
+        """Fuse several MOSI hops along one (src, dst) daemon pair into
+        a single :class:`~repro.core.protocol.messages.
+        BufferPeerTransferBatch` round trip — the source daemon ships
+        every section to the peer in one direct exchange."""
+        handles: List[int] = []
+        for buffer in buffers:
+            handles.extend(self.buffer_sync_handles(buffer))
+        self.flush_for_handles(handles, raise_errors=False)
+        src = self.connection(src_name)
+        dst = self._connections.get(dst_name)
+        if dst is not None and dst.connected:
+            self.flush_connection(dst)
+        self.stats.coalesced_peer_transfers += 1
+        self.stats.coalesced_peer_transfer_sections += len(buffers)
+        self.roundtrip(
+            src,
+            P.BufferPeerTransferBatch(
+                peer_name=dst_name,
+                buffer_ids=[b.id for b in buffers],
+                nbytes_list=[b.size for b in buffers],
             ),
         )
 

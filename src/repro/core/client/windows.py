@@ -34,7 +34,7 @@ their originals live.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, List, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Tuple
 
 
 class WindowCommand:
@@ -95,6 +95,47 @@ class SendWindow:
         self._writers = {}
         return taken
 
+    def split_prefix(self, relevant) -> List[WindowCommand]:
+        """Take the window *prefix* a targeted sync point must dispatch:
+        everything up to — and including — the last command whose reads
+        or writes intersect ``relevant`` (a set of handle IDs, typically
+        a closure's ``seen`` set).
+
+        Commands after that point are causally independent of the
+        awaited handles (their writes are outside the closure, and they
+        report nothing the closure waits on), so they *stay windowed*
+        and ride a later flush — the prefix-flushing optimisation: a
+        blocking single-buffer read on a multi-command window drains
+        only up to the buffer's producer.  Reads count as relevance
+        because a windowed status relay (which writes nothing) must
+        still go out when its event is awaited.  Within one window,
+        program order is dependency order, so dispatching a prefix can
+        never ship a command ahead of something it depends on.
+
+        Returns ``[]`` — and leaves the window untouched — when no
+        command is relevant."""
+        last = -1
+        for i, cmd in enumerate(self.commands):
+            if any(h in relevant for h in cmd.writes) or any(
+                h in relevant for h in cmd.reads
+            ):
+                last = i
+        if last < 0:
+            return []
+        prefix = self.commands[: last + 1]
+        self.commands = self.commands[last + 1 :]
+        self._writers = {}
+        for cmd in self.commands:
+            for handle in cmd.writes:
+                self._writers.setdefault(handle, []).append(cmd)
+        return prefix
+
+    def writer_index(self) -> Dict[int, List[WindowCommand]]:
+        """The window's handle -> writing-commands index (read-only
+        view; the closure walk merges these across windows once per
+        pass instead of probing every window per handle)."""
+        return self._writers
+
     def messages(self) -> List[object]:
         """The windowed request messages, in program order."""
         return [c.msg for c in self.commands]
@@ -113,12 +154,15 @@ class SendWindow:
         return f"<SendWindow {len(self.commands)} commands>"
 
 
-def closure_servers(
+def closure(
     handles: Iterable[int],
     windows,
     event_of,
-) -> FrozenSet[str]:
-    """Server names in the transitive dependency closure of ``handles``.
+) -> Tuple[FrozenSet[str], FrozenSet[int]]:
+    """The transitive dependency closure of ``handles``: ``(servers,
+    seen)`` — the server names whose windows the closure touches, and
+    every handle ID the walk visited (the *relevance set* prefix
+    flushing feeds to :meth:`SendWindow.split_prefix`).
 
     ``windows`` maps server name -> :class:`SendWindow`; ``event_of``
     maps a handle ID to the driver's event stub (or ``None`` for
@@ -136,16 +180,31 @@ def closure_servers(
       server, and its event-reads (an unresolved wait list) recurse —
       the cross-daemon edges described in the module docstring.
 
+    The per-window writer indexes are merged into one map up front, so
+    each handle costs one dictionary lookup instead of one probe per
+    window — the walk is O(windowed writes + visited handles), not
+    O(handles × windows) (each handle enters the stack at most once:
+    membership is checked at push time).
+
     Windows outside the returned set are causally independent of the
     awaited handles and stay untouched — the point of the graph."""
+    writers: Dict[int, List[Tuple[str, WindowCommand]]] = {}
+    for name, window in windows.items():
+        for handle, cmds in window.writer_index().items():
+            writers.setdefault(handle, []).extend((name, cmd) for cmd in cmds)
     servers = set()
     seen = set()
-    stack = list(handles)
+    stack = []
+
+    def push(handle: int) -> None:
+        if handle not in seen:
+            seen.add(handle)
+            stack.append(handle)
+
+    for handle in handles:
+        push(handle)
     while stack:
         handle = stack.pop()
-        if handle in seen:
-            continue
-        seen.add(handle)
         stub = event_of(handle)
         if stub is not None:
             if getattr(stub, "resolved", False):
@@ -154,12 +213,22 @@ def closure_servers(
             if owner is not None:
                 servers.add(owner)
             for dep in getattr(stub, "depends_on", ()):
-                if dep not in seen:
-                    stack.append(dep)
-        for name, window in windows.items():
-            for cmd in window.writers_of(handle):
-                servers.add(name)
-                for read in cmd.reads:
-                    if read not in seen and event_of(read) is not None:
-                        stack.append(read)
-    return frozenset(servers)
+                push(dep)
+        for name, cmd in writers.get(handle, ()):
+            servers.add(name)
+            for read in cmd.reads:
+                if read not in seen and event_of(read) is not None:
+                    push(read)
+    return frozenset(servers), frozenset(seen)
+
+
+def closure_servers(
+    handles: Iterable[int],
+    windows,
+    event_of,
+) -> FrozenSet[str]:
+    """Server names in the transitive dependency closure of ``handles``
+    (the server half of :func:`closure`, kept for callers that do not
+    need the relevance set)."""
+    servers, _seen = closure(handles, windows, event_of)
+    return servers

@@ -65,51 +65,64 @@ class Transfer:
     reason: str
 
 
-def split_upload_plan(
+def split_transfer_plan(
     plans: Sequence[Tuple[object, Sequence[Transfer]]],
-) -> Tuple[List[Tuple[object, Transfer]], "Dict[str, List[object]]"]:
-    """Split per-buffer transfer plans for window-aware upload coalescing.
+) -> Tuple[
+    "Dict[str, List[object]]",
+    "Dict[Tuple[str, str], List[object]]",
+    "Dict[str, List[object]]",
+]:
+    """Split per-buffer transfer plans for window-aware coalescing of
+    *every* transfer direction.
 
-    ``plans`` is a sequence of ``(key, plan)`` pairs — ``key`` identifies
-    the memory object (the driver passes the buffer stub), ``plan`` the
-    ordered :class:`Transfer` list its directory emitted.  Returns
-    ``(immediate, uploads)`` where ``immediate`` holds every non-upload
-    transfer (downloads and server-to-server hops, tagged with their
-    key) in original order, and ``uploads`` groups the client->server
-    uploads by destination daemon, preserving the order the plans listed
-    them in.
+    ``plans`` is a sequence of ``(key, plan)`` pairs — ``key``
+    identifies the memory object (the driver passes the buffer stub),
+    ``plan`` the ordered :class:`Transfer` list its directory emitted.
+    Returns ``(downloads, peers, uploads)``:
 
-    The split is safe because of two structural properties of the
-    MSI/MOSI planners, which this function preserves and the coalescing
-    property tests verify:
+    * ``downloads`` groups server->client downloads by **source
+      daemon** — two buffers revalidating the client from the same
+      daemon fuse into one ``CoalescedBufferDownload`` fetch;
+    * ``peers`` groups direct server-to-server hops (the MOSI
+      Section III-F exchanges) by **(source, destination) pair** —
+      two buffers moving along the same pair fuse into one
+      ``BufferPeerTransferBatch`` round trip;
+    * ``uploads`` groups client->server uploads by **destination
+      daemon**, exactly as the original (PR-2) upload-only split did.
+
+    Each group preserves the order the plans listed its members in.
+    The categorised execution order — all downloads, then all peer
+    hops, then all uploads — preserves every per-object data
+    dependency because of the structural properties of the MSI/MOSI
+    planners (verified by the coalescing property tests):
 
     * within one object's plan, a client->server upload only ever
-      *follows* the transfers that revalidate the client's copy — so
-      executing all ``immediate`` transfers before any grouped upload
-      keeps every per-object data dependency intact;
+      *follows* the download that revalidates the client's copy — so
+      running the download phase before the upload phase keeps the
+      per-object order intact;
+    * an MSI plan never contains a server-to-server hop and a MOSI
+      plan is always a single direct hop, so no object's plan orders a
+      peer transfer against another category;
     * transfers of different objects are independent (each directory
       governs exactly one object), so regrouping across objects cannot
       reorder anything that matters.
 
     Directory state is mutated at *planning* time (``acquire_read``),
-    never at execution time — grouping therefore leaves the directories
-    in exactly the state the unmerged execution would.
-
-    The buffer keys may be stubs whose server-side copies are still
-    *provisional* (their deferred ``CreateBufferRequest`` windowed);
-    the coalesced upload's init round trip flushes the destination
-    window first, so grouping never lets a stream overtake the creation
-    it depends on (see the module docstring).
+    never at execution time — grouping therefore leaves the
+    directories in exactly the state the unmerged execution would.
     """
-    immediate: List[Tuple[object, Transfer]] = []
+    downloads: Dict[str, List[object]] = {}
+    peers: Dict[Tuple[str, str], List[object]] = {}
     uploads: Dict[str, List[object]] = {}
     for key, plan in plans:
         for transfer in plan:
             if transfer.src == CLIENT and transfer.dst != CLIENT:
                 uploads.setdefault(transfer.dst, []).append(key)
+            elif transfer.dst == CLIENT and transfer.src != CLIENT:
+                downloads.setdefault(transfer.src, []).append(key)
             else:
-                immediate.append((key, transfer))
-    return immediate, uploads
+                peers.setdefault((transfer.src, transfer.dst), []).append(key)
+    return downloads, peers, uploads
 
 
 class MSIDirectory:

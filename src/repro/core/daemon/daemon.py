@@ -42,7 +42,7 @@ from repro.hw.node import Host
 from repro.net.gcf import GCFProcess
 from repro.net.link import ConnectionRefused
 from repro.net.network import Network
-from repro.net.streams import as_uint8_array
+from repro.net.streams import as_uint8_array, split_sections
 from repro.ocl.constants import CL_DEVICE_TYPE_ALL, ErrorCode
 from repro.ocl.context import Context
 from repro.ocl.errors import CLError
@@ -57,15 +57,23 @@ from repro.core.daemon.registry import Registry
 from repro.clc.types import PointerType
 
 
-#: Bound on the buffered status-before-create entries per daemon.
+#: Bound on the buffered status-before-create entries **per client**.
 #: Every buffered status has a guaranteed consumer — relays land behind
 #: the replica's creation in the same window, and direct broadcasts
 #: target exactly the replica holders (``replica_servers``) — so the
 #: buffer only holds statuses whose creations are in flight and drains
-#: at the next batch replay.  Exceeding the bound therefore means
-#: statuses are outrunning replica creations without bound, which is a
-#: feedback bug (cf. ``MAX_DRAIN_PASSES``), never backpressure — it
-#: raises instead of silently evicting an entry a replica still needs.
+#: at the next batch replay.  Hitting the bound therefore means
+#: statuses are outrunning replica creations without bound (a feedback
+#: bug, cf. ``MAX_DRAIN_PASSES``), never backpressure.  The overflow
+#: policy must stay non-raising all the same: ``deliver_event_status``
+#: is also invoked from daemon-side event callbacks (the Section III-F
+#: direct broadcast), where an exception would unwind the owning
+#: daemon's completion machinery instead of reaching any client — so an
+#: overflowing status is *dropped and counted*
+#: (``NetStats.dropped_event_statuses``), and the request path turns
+#: the drop into an error reply the client can surface.  Bounding per
+#: client keeps one runaway client from consuming another client's
+#: budget.
 PENDING_EVENT_STATUS_LIMIT = 4096
 
 
@@ -105,54 +113,90 @@ class Daemon:
         #: server that owns the original event") instead of relying on the
         #: client to relay them.
         self.direct_event_broadcast = False
-        #: (client, event_id) -> (status, time): statuses that arrived
+        #: client -> {event_id: (status, time)}: statuses that arrived
         #: before the replica's deferred creation replayed (relay or
         #: broadcast overtaking a still-windowed CreateUserEventRequest);
         #: applied — with the buffered time as causality floor — the
-        #: moment the replica registers.  Bounded (see
-        #: :data:`PENDING_EVENT_STATUS_LIMIT`): overflow is a bug, not
-        #: backpressure.
-        self._pending_event_status: "OrderedDict[Tuple[str, int], Tuple[int, float]]" = (
-            OrderedDict()
-        )
+        #: moment the replica registers.  Bounded per client (see
+        #: :data:`PENDING_EVENT_STATUS_LIMIT`); a second status for the
+        #: same replica keeps the *later* causality floor.
+        self._pending_event_status: Dict[str, "OrderedDict[int, Tuple[int, float]]"] = {}
         self._install_handlers()
 
     # ------------------------------------------------------------------
-    def deliver_event_status(self, client: str, event_id: int, status: int, t: float) -> None:
+    def deliver_event_status(self, client: str, event_id: int, status: int, t: float) -> bool:
         """Apply a user-event status now, or buffer it until the
         replica's in-flight creation registers (see class docstring).
-        Every buffered entry has a consumer (relays share the replica's
-        window; broadcasts target replica holders; failed/poisoned
-        creations and released replicas drop their entries), so
-        exceeding :data:`PENDING_EVENT_STATUS_LIMIT` raises rather than
-        silently dropping a status a replica still needs.  Residual
-        limitation: a status arriving for an id that was registered and
-        then *released* cannot be told apart from a not-yet-created one
-        and lingers until disconnect — unreachable through the current
-        API (event releases are client-local), bounded by the limit."""
+
+        Returns ``False`` when the status had to be *dropped* because
+        ``client``'s status-before-create buffer is full
+        (:data:`PENDING_EVENT_STATUS_LIMIT`); the drop is counted in
+        ``NetStats.dropped_event_statuses``.  Callers on the request
+        path turn that into an error reply; the broadcast-callback path
+        must never raise from inside a daemon's event callback, so
+        there the counted drop is the whole policy.
+
+        Two statuses can legitimately arrive for the same replica before
+        its creation replays — a deferred relay racing a Section III-F
+        direct broadcast — and each carries its own causality floor; the
+        buffered entry keeps the *first* status value (the applied-path
+        rule: a resolved replica ignores later updates) with the
+        **maximum** of the two times, so the replica can never resolve
+        earlier than the latest constraint either source established.
+
+        Residual limitation: a status arriving for an id that was
+        registered and then *released* cannot be told apart from a
+        not-yet-created one and lingers until disconnect — unreachable
+        through the current API (event releases are client-local),
+        bounded by the per-client limit."""
         obj = self.registry.peek(client, event_id)
         if isinstance(obj, UserEvent):
             if not obj.resolved:
                 obj.set_status(status, t)
-            return
+            return True
         if obj is not None:
-            return  # registered, but not a replica: nothing to update
+            return True  # registered, but not a replica: nothing to update
         if self.registry.poison_info(client, (event_id,)) is not None:
-            return  # the replica's creation failed: no consumer, ever
+            return True  # the replica's creation failed: no consumer, ever
         if client not in self.gcf.peers:
             # The client disconnected (its namespace here is gone, and
             # IDs are never reused): no creation can ever consume the
             # status — dropping it mirrors the disconnect cleanup.
-            return
-        self._pending_event_status.setdefault((client, event_id), (status, t))
-        if len(self._pending_event_status) > PENDING_EVENT_STATUS_LIMIT:
-            raise CLError(
-                ErrorCode.CL_INVALID_OPERATION,
-                f"daemon {self.name!r}: {len(self._pending_event_status)} event "
-                "statuses buffered ahead of their replica creations "
-                "(status-before-create feedback loop; this is a bug, not "
-                "backpressure)",
-            )
+            return True
+        pending = self._pending_event_status.setdefault(client, OrderedDict())
+        buffered = pending.get(event_id)
+        if buffered is not None:
+            # Second status for the same in-flight replica: the *first*
+            # status value wins — exactly as on the applied path, where
+            # a resolved replica ignores later updates — but the entry
+            # keeps the later causality floor (discarding it would let
+            # the replica resolve before the slower of the two sources
+            # allows).
+            status_buffered, t_buffered = buffered
+            pending[event_id] = (status_buffered, max(t_buffered, t))
+            return True
+        if len(pending) >= PENDING_EVENT_STATUS_LIMIT:
+            self.gcf.stats.dropped_event_statuses += 1
+            return False
+        pending[event_id] = (status, t)
+        return True
+
+    def _pop_pending_status(self, client: str, event_id: int) -> Optional[Tuple[int, float]]:
+        """Remove and return ``client``'s buffered status for
+        ``event_id`` (``None`` when nothing is buffered); empty
+        per-client tables are discarded."""
+        pending = self._pending_event_status.get(client)
+        if pending is None:
+            return None
+        entry = pending.pop(event_id, None)
+        if not pending:
+            del self._pending_event_status[client]
+        return entry
+
+    def pending_event_statuses(self, client: str) -> int:
+        """How many statuses are buffered ahead of their replica
+        creations for ``client`` (introspection for tests/debugging)."""
+        return len(self._pending_event_status.get(client, ()))
 
     # ------------------------------------------------------------------
     @property
@@ -271,7 +315,7 @@ class Daemon:
                 # The replica will never register (creation failed or was
                 # poison-skipped): discard any status buffered for it, or
                 # the entry would sit in the pending table forever.
-                self._pending_event_status.pop((sender.name, sub.event_id), None)
+                self._pop_pending_status(sender.name, sub.event_id)
             _reads, creates = P.request_handles(sub)
             # A failed (or skipped) command poisons what it promised to
             # create AND what it mutates in place: for the latter the
@@ -308,8 +352,7 @@ class Daemon:
             # Abnormal-termination reclamation (Section IV-C): report the
             # invalidated auth ID so the device manager frees the devices.
             auth = self.client_auth.pop(client_name, None)
-            for key in [k for k in self._pending_event_status if k[0] == client_name]:
-                del self._pending_event_status[key]
+            self._pending_event_status.pop(client_name, None)
             for _obj_id, obj in self.registry.drop_client(client_name):
                 if isinstance(obj, Buffer):
                     obj.release()
@@ -479,14 +522,7 @@ class Daemon:
             # list of per-section arrays (zero-copy) or as one flat
             # concatenation (decoded stream).
             queue = self._queue(sender.name, msg.queue_id)
-            if isinstance(payload, (list, tuple)):
-                sections = [as_uint8_array(part) for part in payload]
-            else:
-                flat = as_uint8_array(payload)
-                sections, cursor = [], 0
-                for nbytes in msg.nbytes_list:
-                    sections.append(flat[cursor : cursor + nbytes])
-                    cursor += nbytes
+            sections = split_sections(payload, msg.nbytes_list)
             for buffer_id, event_id, data in zip(msg.buffer_ids, msg.event_ids, sections):
                 buffer = self.registry.get(sender.name, buffer_id, Buffer)
                 event = queue.enqueue_write_buffer(buffer, data, arrival, 0, [])
@@ -519,6 +555,59 @@ class Daemon:
                     0,
                 )
 
+        @gcf.on_bulk_source(P.CoalescedBufferDownload)
+        def coalesced_download_source(msg: P.CoalescedBufferDownload, t: float, sender: GCFProcess):
+            # One fetch round trip streaming several whole-object reads
+            # back: each section becomes an ordinary enqueued read on
+            # the same queue, in section order, with its own registered
+            # event — byte-for-byte what the unmerged per-buffer fetches
+            # would have produced.  The section *table* is validated
+            # before anything enqueues, so a stale ID rejects the merged
+            # fetch before any section applies.  A mid-loop gating
+            # failure (a read behind an unresolved user event) fails the
+            # whole fetch like the unmerged path fails that section's
+            # fetch; earlier sections' reads stay enqueued either way,
+            # and the client applies no bytes because the error raises
+            # out of the blocking call.
+            try:
+                if not (
+                    len(msg.buffer_ids) == len(msg.event_ids) == len(msg.nbytes_list)
+                    and msg.buffer_ids
+                ):
+                    raise CLError(
+                        ErrorCode.CL_INVALID_VALUE,
+                        "coalesced download needs aligned, non-empty section lists",
+                    )
+                queue = self._queue(sender.name, msg.queue_id)
+                buffers = [
+                    self.registry.get(sender.name, buffer_id, Buffer)
+                    for buffer_id in msg.buffer_ids
+                ]
+                sections, total, tcur = [], 0, t
+                for buffer, event_id, nbytes in zip(buffers, msg.event_ids, msg.nbytes_list):
+                    nbytes = nbytes if nbytes > 0 else buffer.size
+                    data, event = queue.enqueue_read_buffer(buffer, tcur, 0, nbytes, [])
+                    self.registry.put(sender.name, event_id, event)
+                    self._arm_completion_callback(event, event_id, sender)
+                    if not event.resolved:
+                        raise CLError(
+                            ErrorCode.CL_INVALID_OPERATION,
+                            "download gated on an incomplete user event",
+                        )
+                    tcur = max(tcur, event.end)
+                    total += nbytes
+                    # Zero-copy: the per-section arrays stream back as a
+                    # list, never concatenated.
+                    sections.append(data)
+                return P.BufferDataResponse(nbytes=total), tcur, sections, total
+            except CLError as exc:
+                return (
+                    P.BufferDataResponse(error=exc.code.value, detail=exc.message),
+                    t,
+                    b"",
+                    0,
+                )
+
         @gcf.on_request(P.BufferPeerTransferRequest)
         def peer_transfer(msg: P.BufferPeerTransferRequest, t: float, sender: GCFProcess):
             # Section III-F server-to-server synchronisation (MOSI): this
@@ -537,6 +626,42 @@ class Daemon:
                 )
                 peer_buffer = peer.registry.get(sender.name, msg.buffer_id, Buffer)
                 peer_buffer.write(0, buffer.array)
+                return P.Ack(), arrival
+            except CLError as exc:
+                return P.Ack(error=exc.code.value, detail=exc.message), t
+
+        @gcf.on_request(P.BufferPeerTransferBatch)
+        def peer_transfer_batch(msg: P.BufferPeerTransferBatch, t: float, sender: GCFProcess):
+            # The batched Section III-F exchange: several buffer copies
+            # move to the same peer in one direct daemon-to-daemon
+            # stream, answered by a single Ack.  The whole section table
+            # (source and destination copies) is validated before any
+            # bytes move, so a stale ID rejects the batch whole.
+            try:
+                if not (len(msg.buffer_ids) == len(msg.nbytes_list) and msg.buffer_ids):
+                    raise CLError(
+                        ErrorCode.CL_INVALID_VALUE,
+                        "batched peer transfer needs aligned, non-empty section lists",
+                    )
+                peer = self.peer_daemons.get(msg.peer_name)
+                if peer is None:
+                    raise CLError(
+                        ErrorCode.CL_INVALID_SERVER_WWU,
+                        f"daemon {self.name!r} has no peer {msg.peer_name!r}",
+                    )
+                buffers = [
+                    self.registry.get(sender.name, buffer_id, Buffer)
+                    for buffer_id in msg.buffer_ids
+                ]
+                peer_buffers = [
+                    peer.registry.get(sender.name, buffer_id, Buffer)
+                    for buffer_id in msg.buffer_ids
+                ]
+                arrival = self.network.transfer(
+                    self.host, peer.host, t, sum(msg.nbytes_list), tag="s2s-buffer"
+                )
+                for src_buffer, dst_buffer in zip(buffers, peer_buffers):
+                    dst_buffer.write(0, src_buffer.array)
                 return P.Ack(), arrival
             except CLError as exc:
                 return P.Ack(error=exc.code.value, detail=exc.message), t
@@ -677,7 +802,7 @@ class Daemon:
                 # A relay or direct broadcast may have overtaken this
                 # (deferred) creation on the wire; apply the buffered
                 # status now, with the buffered time as causality floor.
-                pending = self._pending_event_status.pop((sender.name, msg.event_id), None)
+                pending = self._pop_pending_status(sender.name, msg.event_id)
                 if pending is not None:
                     status, t_status = pending
                     event.set_status(status, max(t, t_status))
@@ -696,9 +821,26 @@ class Daemon:
                 # riding an early-dispatched batch still takes effect no
                 # sooner than the completion it reports became knowable
                 # here (see SetUserEventStatusRequest).
-                self.deliver_event_status(
+                delivered = self.deliver_event_status(
                     sender.name, msg.event_id, msg.status, max(t, msg.min_time)
                 )
+                if not delivered:
+                    # The request path's half of the overflow policy:
+                    # the status was dropped (buffer full), so the
+                    # client gets a faithful error reply instead of a
+                    # silently lost completion.
+                    return (
+                        P.Ack(
+                            error=ErrorCode.CL_OUT_OF_RESOURCES.value,
+                            detail=(
+                                f"daemon {self.name!r}: event-status buffer "
+                                f"full ({PENDING_EVENT_STATUS_LIMIT} statuses "
+                                "buffered ahead of their replica creations "
+                                "for this client)"
+                            ),
+                        ),
+                        t,
+                    )
                 return P.Ack(), t
             except CLError as exc:
                 return P.Ack(error=exc.code.value, detail=exc.message), t
@@ -709,7 +851,7 @@ class Daemon:
                 self.registry.pop(sender.name, msg.event_id)
                 # A status buffered for the now-released replica has no
                 # consumer any more (client IDs are never reused).
-                self._pending_event_status.pop((sender.name, msg.event_id), None)
+                self._pop_pending_status(sender.name, msg.event_id)
                 return P.Ack(), t
             except CLError as exc:
                 return P.Ack(error=exc.code.value, detail=exc.message), t

@@ -216,6 +216,30 @@ class BufferDataDownload(Request):
 
 
 @message_type
+class CoalescedBufferDownload(Request):
+    """Request for a *merged* server->client download stream.
+
+    The download twin of :class:`CoalescedBufferUpload`: when the
+    coherence protocol must revalidate the client's copy of several
+    buffers held by the same daemon between two sync points (typically
+    the remote buffer arguments of one kernel launch), the driver fuses
+    the per-buffer ``BufferDataDownload`` fetches into one — a single
+    request round trip whose reply streams every section back together
+    (the payload is the list of per-section arrays, zero-copy, never
+    concatenated).  ``buffer_ids[i]`` / ``event_ids[i]`` /
+    ``nbytes_list[i]`` describe section ``i`` (whole-object coherence
+    downloads, so offsets are always zero); the daemon enqueues one
+    read per section, in order, on ``queue_id`` and registers each
+    section's event — byte-for-byte what the unmerged fetches would
+    have produced."""
+
+    queue_id: int
+    buffer_ids: List[int]
+    event_ids: List[int]
+    nbytes_list: List[int]
+
+
+@message_type
 class BufferDataResponse(Response):
     """Reply to an upload/download init: acknowledged byte count."""
 
@@ -231,6 +255,24 @@ class BufferPeerTransferRequest(Request):
     buffer_id: int
     peer_name: str
     nbytes: int
+
+
+@message_type
+class BufferPeerTransferBatch(Request):
+    """Batched Section III-F server-to-server synchronisation: one
+    request makes the receiving daemon push *several* buffer copies to
+    the same peer daemon in one direct exchange.
+
+    When a MOSI plan moves two or more buffers along the same
+    ``(source, destination)`` daemon pair between sync points, the
+    driver sends this envelope instead of one
+    :class:`BufferPeerTransferRequest` per buffer: one client round
+    trip, and one daemon-to-daemon stream carrying every section
+    (``buffer_ids[i]`` / ``nbytes_list[i]``) back to back."""
+
+    peer_name: str
+    buffer_ids: List[int]
+    nbytes_list: List[int]
 
 
 # ----------------------------------------------------------------------

@@ -117,6 +117,23 @@ class NetStats:
     ``coalesced_uploads`` / ``coalesced_upload_sections``
         Coherence uploads merged into single bulk streams, and how many
         per-buffer sections those merged streams carried.
+    ``coalesced_downloads`` / ``coalesced_download_sections``
+        Coherence downloads merged into single bulk fetches (one
+        request round trip streaming several buffers back), and how
+        many per-buffer sections those merged fetches carried.
+    ``coalesced_peer_transfers`` / ``coalesced_peer_transfer_sections``
+        MOSI server-to-server exchanges batched onto one
+        ``BufferPeerTransferBatch`` round trip (same (src, dst) daemon
+        pair), and the per-buffer sections those batches carried.
+    ``prefix_flushes``
+        Targeted sync points that dispatched only a window *prefix*
+        (up to the awaited handle's producer), leaving causally
+        unrelated commands after it windowed.
+    ``dropped_event_statuses``
+        Daemon-side: early event statuses dropped because the sending
+        client's status-before-create buffer was full (the bounded
+        overflow policy — an error reply on the request path, a counted
+        drop on the broadcast-callback path).
 
     ``round_trips`` (a property) is ``requests + batches + bulk_fetches``:
     every synchronous client<->server exchange the process blocked on.
@@ -141,6 +158,12 @@ class NetStats:
         "relays_suppressed",
         "coalesced_uploads",
         "coalesced_upload_sections",
+        "coalesced_downloads",
+        "coalesced_download_sections",
+        "coalesced_peer_transfers",
+        "coalesced_peer_transfer_sections",
+        "prefix_flushes",
+        "dropped_event_statuses",
     )
 
     def __init__(self) -> None:

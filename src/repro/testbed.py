@@ -65,6 +65,7 @@ def deploy_dopencl(
     defer_event_relays: bool = True,
     coalesce_uploads: bool = True,
     defer_creations: bool = True,
+    coalesce_transfers: bool = True,
 ) -> Deployment:
     """Install daemons on every server and client drivers on the client
     host(s).
@@ -77,11 +78,11 @@ def deploy_dopencl(
     ``batch_window`` tunes the drivers' asynchronous call-forwarding
     window (``None`` keeps the driver default; ``0`` disables batching so
     every forwarded call is a synchronous round trip).
-    ``defer_event_relays`` / ``coalesce_uploads`` / ``defer_creations``
-    toggle the pipeline extensions (all default on; turning all off
-    reproduces the PR-1 forwarding behaviour — the benchmark baseline:
-    synchronous creation fan-outs, synchronous relays, per-buffer
-    upload streams).
+    ``defer_event_relays`` / ``coalesce_uploads`` / ``defer_creations`` /
+    ``coalesce_transfers`` toggle the pipeline extensions (all default
+    on; turning all off reproduces the PR-1 forwarding behaviour — the
+    benchmark baseline: synchronous creation fan-outs, synchronous
+    relays, per-transfer streams in every direction).
     """
     manager = None
     if managed:
@@ -106,6 +107,7 @@ def deploy_dopencl(
             "defer_event_relays": defer_event_relays,
             "coalesce_uploads": coalesce_uploads,
             "defer_creations": defer_creations,
+            "coalesce_transfers": coalesce_transfers,
         }
         if batch_window is not None:
             kwargs["batch_window"] = batch_window

@@ -36,11 +36,20 @@ from typing import Dict, List, Optional, Tuple
 from repro.bench.harness import REPO_ROOT
 
 #: Compared keys -> relative tolerance.  Round trips are deterministic
-#: integers (exact); byte counts tolerate small codec-level drift.
+#: integers (exact); byte counts tolerate small codec-level drift.  The
+#: ``gather``/``mosi`` keys gate the download and peer-transfer
+#: coalescing floors (the gathered mini Fig. 4, coalescing on vs off)
+#: exactly like the upload keys always gated the plain workload.
 DEFAULT_TOLERANCES: Dict[str, float] = {
     "round_trips_sync": 0.0,
     "round_trips_pr1": 0.0,
     "round_trips_batched": 0.0,
+    "round_trips_gather": 0.0,
+    "round_trips_gather_uncoalesced": 0.0,
+    "round_trips_mosi": 0.0,
+    "round_trips_mosi_uncoalesced": 0.0,
+    "coalesced_downloads": 0.0,
+    "coalesced_peer_transfers": 0.0,
     "bytes_sent_sync": 0.02,
     "bytes_sent_pr1": 0.02,
     "bytes_sent_batched": 0.02,

@@ -1,28 +1,20 @@
 """Window-aware coalescing of coherence uploads.
 
-Property tests for :func:`repro.core.coherence.directory.
-split_upload_plan` (the pure regrouping the driver applies), plus
-end-to-end invariants: merged uploads must leave every MSI/MOSI
-directory — and the data — in exactly the state the unmerged plans
-would, while spending fewer round trips.
+End-to-end invariants for the upload direction: merged uploads must
+leave every MSI/MOSI directory — and the data — in exactly the state
+the unmerged plans would, while spending fewer round trips.  The
+property tests for the pure regrouping the driver applies
+(:func:`repro.core.coherence.directory.split_transfer_plan`, which
+covers uploads alongside downloads and peer transfers) live in
+``tests/core/test_coalesced_transfers.py``.
 """
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
-from repro.core.coherence.directory import (
-    CLIENT,
-    MOSIDirectory,
-    MSIDirectory,
-    split_upload_plan,
-)
 from repro.hw.cluster import make_ib_cpu_cluster
 from repro.ocl import CL_MEM_COPY_HOST_PTR, CL_MEM_READ_WRITE
 from repro.testbed import deploy_dopencl
-
-SERVERS = ["s0", "s1", "s2"]
 
 ADD = """
 __kernel void add(__global float *out, __global const float *a,
@@ -31,92 +23,6 @@ __kernel void add(__global float *out, __global const float *a,
     if (i < n) out[i] = a[i] + b[i];
 }
 """
-
-
-# ----------------------------------------------------------------------
-# split_upload_plan properties (alongside the directory invariants)
-# ----------------------------------------------------------------------
-parties = st.sampled_from([CLIENT, *SERVERS])
-ops = st.lists(
-    st.tuples(st.sampled_from(["read", "write"]), parties), min_size=0, max_size=30
-)
-
-
-def _random_plans(directory_cls, sequences):
-    """Drive one directory per buffer through random ops; the final op
-    of each sequence plans a server read (the upload-producing shape)."""
-    plans = []
-    for key, (sequence, target) in enumerate(sequences):
-        d = directory_cls(SERVERS)
-        for op, party in sequence:
-            if op == "read":
-                d.acquire_read(party)
-            else:
-                d.acquire_read(party)
-                d.mark_modified(party)
-        plans.append((key, d.acquire_read(target)))
-    return plans
-
-
-@pytest.mark.parametrize("directory_cls", [MSIDirectory, MOSIDirectory])
-@given(
-    sequences=st.lists(
-        st.tuples(ops, st.sampled_from(SERVERS)), min_size=1, max_size=6
-    )
-)
-@settings(max_examples=200, deadline=None)
-def test_split_preserves_transfers_and_per_buffer_order(directory_cls, sequences):
-    """The regrouping is a pure partition: every planned transfer appears
-    exactly once (as an immediate step or a grouped upload), uploads are
-    grouped strictly by destination, and within one buffer's plan every
-    immediate step precedes that buffer's upload — the data dependency
-    coalesced execution relies on."""
-    plans = _random_plans(directory_cls, sequences)
-    immediate, uploads = split_upload_plan(plans)
-    # Partition: counts match.
-    n_uploads = sum(len(keys) for keys in uploads.values())
-    assert len(immediate) + n_uploads == sum(len(p) for _k, p in plans)
-    # Grouped entries really are client->dst uploads of that buffer.
-    for dst, keys in uploads.items():
-        assert dst != CLIENT
-        for key in keys:
-            plan = dict(plans)[key]
-            assert any(t.src == CLIENT and t.dst == dst for t in plan)
-    # Immediate steps carry no client->server upload.
-    for _key, transfer in immediate:
-        assert not (transfer.src == CLIENT and transfer.dst != CLIENT)
-    # Per-buffer ordering: a buffer's immediate steps all come from plan
-    # positions before its upload (MSI/MOSI plans put the upload last).
-    for key, plan in plans:
-        upload_positions = [
-            i for i, t in enumerate(plan) if t.src == CLIENT and t.dst != CLIENT
-        ]
-        other_positions = [
-            i for i, t in enumerate(plan) if not (t.src == CLIENT and t.dst != CLIENT)
-        ]
-        if upload_positions and other_positions:
-            assert max(other_positions) < min(upload_positions)
-
-
-@pytest.mark.parametrize("directory_cls", [MSIDirectory, MOSIDirectory])
-@given(
-    sequences=st.lists(
-        st.tuples(ops, st.sampled_from(SERVERS)), min_size=1, max_size=6
-    )
-)
-@settings(max_examples=100, deadline=None)
-def test_directory_state_identical_merged_or_not(directory_cls, sequences):
-    """Directory state mutates at planning time, never at execution time:
-    two directories driven through identical op sequences end in the
-    same state whether their plans are later executed merged or
-    unmerged (the split itself never touches the directory)."""
-    plans_a = _random_plans(directory_cls, sequences)
-    plans_b = _random_plans(directory_cls, sequences)
-    split_upload_plan(plans_a)  # "merged" path consults the split...
-    # ...and the "unmerged" path does not; both saw identical planning.
-    # Reconstruct the directories to compare end states.
-    # (The plans lists themselves must also be identical.)
-    assert [(k, p) for k, p in plans_a] == [(k, p) for k, p in plans_b]
 
 
 # ----------------------------------------------------------------------

@@ -167,12 +167,12 @@ def test_failed_replica_create_discards_buffered_status(setup):
     _, daemon, client = setup
     client.connect(daemon.gcf, 0.0)  # buffering requires a live client
     daemon.deliver_event_status("client", 99, 0, 1.0)
-    assert ("client", 99) in daemon._pending_event_status
+    assert daemon.pending_event_statuses("client") == 1
     # The creation fails (unknown context): the buffered status goes too.
     client.request_batch(
         daemon.gcf, [P.CreateUserEventRequest(event_id=99, context_id=424242)], 0.0
     )
-    assert ("client", 99) not in daemon._pending_event_status
+    assert daemon.pending_event_statuses("client") == 0
 
 
 def test_status_for_poisoned_replica_is_not_buffered(setup):
@@ -184,7 +184,7 @@ def test_status_for_poisoned_replica_is_not_buffered(setup):
         daemon.gcf, [P.CreateUserEventRequest(event_id=55, context_id=424242)], 0.0
     )  # fails -> event ID 55 poisoned
     daemon.deliver_event_status("client", 55, 0, 1.0)
-    assert ("client", 55) not in daemon._pending_event_status
+    assert daemon.pending_event_statuses("client") == 0
 
 
 def test_status_after_client_disconnect_is_not_buffered(setup):
@@ -195,7 +195,7 @@ def test_status_after_client_disconnect_is_not_buffered(setup):
     client.connect(daemon.gcf, 0.0)
     client.disconnect(daemon.gcf, 1.0)
     daemon.deliver_event_status("client", 77, 0, 2.0)
-    assert ("client", 77) not in daemon._pending_event_status
+    assert daemon.pending_event_statuses("client") == 0
 
 
 def test_poison_skipped_commands_still_charge_dispatch_time(setup):
@@ -222,7 +222,7 @@ def test_status_for_non_replica_object_is_not_buffered(setup):
     _, daemon, client = setup
     client.request(daemon.gcf, P.CreateContextRequest(context_id=7, device_ids=[0]), 0.0)
     daemon.deliver_event_status("client", 7, 0, 1.0)
-    assert ("client", 7) not in daemon._pending_event_status
+    assert daemon.pending_event_statuses("client") == 0
 
 
 def test_registry_poison_blocks_registered_objects_too(setup):

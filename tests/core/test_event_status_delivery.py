@@ -1,0 +1,151 @@
+"""Regression tests for the daemon's status-before-create buffer.
+
+Two PR-4 bugfixes:
+
+* a second status arriving for the same ``(client, event_id)`` before
+  the replica's creation replays — a deferred relay racing a Section
+  III-F direct broadcast — used to be silently discarded
+  (``setdefault``), losing the later causality floor; the buffer now
+  keeps the **max** of the two times;
+* the overflow check used to raise ``CLError`` from inside
+  ``deliver_event_status``, which is also invoked from the owning
+  daemon's ``on_complete`` broadcast callback — an overflow there
+  unwound the daemon's event machinery instead of reaching any client.
+  The buffer is now bounded **per client**; on the request path a full
+  buffer answers an error reply, on the callback path the status is
+  dropped and counted (``NetStats.dropped_event_statuses``).
+"""
+
+import pytest
+
+import repro.core.daemon.daemon as daemon_module
+from repro.core.daemon import Daemon
+from repro.core.protocol import messages as P
+from repro.hw import Host
+from repro.hw.specs import GIGABIT_ETHERNET, GPU_SERVER, WESTMERE_NODE
+from repro.net import GCFProcess, Network
+from repro.ocl.constants import CL_COMPLETE, ErrorCode
+from repro.ocl.event import UserEvent
+
+
+@pytest.fixture
+def setup():
+    net = Network(GIGABIT_ETHERNET)
+    server = net.add_host(Host(GPU_SERVER, name="srv"))
+    client_host = net.add_host(Host(WESTMERE_NODE, name="cli"))
+    daemon = Daemon(server, net)
+    client = GCFProcess("client", client_host, net)
+    client.connect(daemon.gcf, 0.0)  # buffering requires a live client
+    client.request(daemon.gcf, P.CreateContextRequest(context_id=1, device_ids=[0]), 0.0)
+    return net, daemon, client
+
+
+def test_racing_statuses_keep_the_later_causality_floor(setup):
+    """A deferred relay and a III-F direct broadcast can both report the
+    same completion before the replica's windowed creation replays: the
+    broadcast hands the status to ``deliver_event_status`` straight from
+    the owner's completion callback, the relay through the request
+    handler.  Whichever lands second used to be dropped whole — if the
+    second carried the *later* causality floor, the replica resolved too
+    early.  The buffered entry must keep max(floors)."""
+    _, daemon, client = setup
+    daemon.deliver_event_status("client", 99, CL_COMPLETE, 5.0)  # broadcast arrival
+    daemon.deliver_event_status("client", 99, CL_COMPLETE, 9.0)  # relay's min_time floor
+    # The replica's deferred creation finally replays (early in time).
+    client.request_batch(
+        daemon.gcf, [P.CreateUserEventRequest(event_id=99, context_id=1)], 0.0
+    )
+    replica = daemon.registry.get("client", 99, UserEvent)
+    assert replica.resolved
+    assert replica.end == 9.0  # the later floor survived the race
+
+
+def test_racing_statuses_in_either_order(setup):
+    """The max() must hold regardless of which source lands first."""
+    _, daemon, client = setup
+    daemon.deliver_event_status("client", 99, CL_COMPLETE, 9.0)
+    daemon.deliver_event_status("client", 99, CL_COMPLETE, 5.0)
+    client.request_batch(
+        daemon.gcf, [P.CreateUserEventRequest(event_id=99, context_id=1)], 0.0
+    )
+    assert daemon.registry.get("client", 99, UserEvent).end == 9.0
+
+
+def test_racing_statuses_keep_the_first_status_value(setup):
+    """The applied-path rule — a resolved replica ignores later status
+    updates — holds for buffered entries too: a later racing status with
+    a bogus value must not displace the first valid one (only its later
+    causality floor is merged), or the replica's creation would fail on
+    ``set_status`` validation when it finally replays."""
+    _, daemon, client = setup
+    daemon.deliver_event_status("client", 99, CL_COMPLETE, 5.0)
+    daemon.deliver_event_status("client", 99, 7, 9.0)  # invalid value, later floor
+    client.request_batch(
+        daemon.gcf, [P.CreateUserEventRequest(event_id=99, context_id=1)], 0.0
+    )
+    replica = daemon.registry.get("client", 99, UserEvent)
+    assert replica.resolved and replica.end == 9.0
+
+
+def _fill_buffer(daemon, client_name, monkeypatch, limit=4):
+    monkeypatch.setattr(daemon_module, "PENDING_EVENT_STATUS_LIMIT", limit)
+    for event_id in range(1000, 1000 + limit):
+        assert daemon.deliver_event_status(client_name, event_id, CL_COMPLETE, 1.0)
+    assert daemon.pending_event_statuses(client_name) == limit
+    return limit
+
+
+def test_overflow_on_the_callback_path_drops_and_counts(setup, monkeypatch):
+    """``deliver_event_status`` is invoked from the owning daemon's
+    ``on_complete`` broadcast callback; overflowing there must never
+    raise (it would unwind the daemon's event machinery) — the status is
+    dropped and counted instead."""
+    _, daemon, _client = setup
+    limit = _fill_buffer(daemon, "client", monkeypatch)
+    before = daemon.gcf.stats.dropped_event_statuses
+    delivered = daemon.deliver_event_status("client", 9999, CL_COMPLETE, 2.0)  # no raise
+    assert delivered is False
+    assert daemon.gcf.stats.dropped_event_statuses == before + 1
+    assert daemon.pending_event_statuses("client") == limit  # nothing evicted
+
+
+def test_overflow_on_the_request_path_answers_an_error_reply(setup, monkeypatch):
+    """A ``SetUserEventStatusRequest`` hitting the full buffer must
+    answer an error Ack the client can surface — and must not grow the
+    buffer past the bound (the pre-fix code inserted the entry *before*
+    checking the limit)."""
+    _, daemon, client = setup
+    limit = _fill_buffer(daemon, "client", monkeypatch)
+    out = client.request(
+        daemon.gcf, P.SetUserEventStatusRequest(event_id=9999, status=CL_COMPLETE), 2.0
+    )
+    assert out.response.error == ErrorCode.CL_OUT_OF_RESOURCES.value
+    assert "event-status buffer full" in out.response.detail
+    assert daemon.pending_event_statuses("client") == limit
+
+
+def test_overflow_bound_is_per_client(setup, monkeypatch):
+    """One runaway client filling its buffer must not consume another
+    client's budget (the pre-fix bound was daemon-global)."""
+    net, daemon, _client = setup
+    other_host = net.add_host(Host(WESTMERE_NODE, name="cli2"))
+    other = GCFProcess("client2", other_host, net)
+    other.connect(daemon.gcf, 0.0)
+    _fill_buffer(daemon, "client", monkeypatch)
+    assert daemon.deliver_event_status("client2", 1000, CL_COMPLETE, 1.0)
+    assert daemon.pending_event_statuses("client2") == 1
+    assert daemon.gcf.stats.dropped_event_statuses == 0
+
+
+def test_buffered_statuses_still_apply_after_a_drop(setup, monkeypatch):
+    """Dropping the overflowing status must leave every buffered entry
+    intact: their replica creations still consume them normally."""
+    _, daemon, client = setup
+    _fill_buffer(daemon, "client", monkeypatch)
+    daemon.deliver_event_status("client", 9999, CL_COMPLETE, 2.0)  # dropped
+    client.request_batch(
+        daemon.gcf, [P.CreateUserEventRequest(event_id=1000, context_id=1)], 0.0
+    )
+    replica = daemon.registry.get("client", 1000, UserEvent)
+    assert replica.resolved and replica.end == 1.0
+    assert daemon.pending_event_statuses("client") == 3

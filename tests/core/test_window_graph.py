@@ -13,7 +13,7 @@ import numpy as np
 from repro.core.client.windows import SendWindow, WindowCommand, closure_servers
 from repro.core.protocol import messages as P
 from repro.hw.cluster import make_ib_cpu_cluster
-from repro.ocl import CL_MEM_COPY_HOST_PTR, CL_MEM_READ_WRITE
+from repro.ocl import CL_MEM_COPY_HOST_PTR, CL_MEM_READ_WRITE, CL_MEM_WRITE_ONLY
 from repro.testbed import deploy_dopencl
 
 SCALE = """
@@ -84,6 +84,67 @@ def test_closure_of_buffer_handle_finds_its_writers():
     wb.append(WindowCommand("launch2", reads=(), writes=(2,)))
     servers = closure_servers([50], {"A": wa, "B": wb}, events.get)
     assert servers == frozenset({"A", "B"})
+
+
+def test_closure_walk_does_not_rescan_windows_per_handle(monkeypatch):
+    """Op-count regression for the O(handles x windows) walk: the old
+    closure probed every window's writer index once per visited handle
+    (including every non-event buffer handle seeded by ``cmd.reads``),
+    so a drain over H handles and W windows cost H*W probes.  The walk
+    now merges the writer indexes once per pass; per-handle work is a
+    single dictionary lookup and ``writers_of`` is never probed in the
+    hot loop."""
+    probes = {"n": 0}
+    original = SendWindow.writers_of
+
+    def counting(self, handle):
+        probes["n"] += 1
+        return original(self, handle)
+
+    monkeypatch.setattr(SendWindow, "writers_of", counting)
+    windows = {f"s{i}": SendWindow() for i in range(8)}
+    for i, window in enumerate(windows.values()):
+        window.append(WindowCommand(f"cmd{i}", reads=(), writes=(10_000 + i,)))
+    handles = list(range(500))  # non-event handles, as cmd.reads would seed
+    servers = closure_servers(handles, windows, {}.get)
+    assert servers == frozenset()
+    # Pre-fix: len(handles) * len(windows) == 4000 probes.
+    assert probes["n"] <= len(windows)
+
+
+def test_blocking_read_prefix_flushes_only_up_to_the_producer():
+    """The PR-4 acceptance property: a blocking single-buffer read on a
+    multi-command window drains only the window *prefix* up to the
+    buffer's producer — a later launch on an independent queue of the
+    same daemon stays windowed (NetStats-asserted via the driver's
+    pending-command and prefix-flush counters)."""
+    deployment, api, devices, ctx, program = _deployment(n_servers=2)
+    driver = deployment.driver
+    qa1, b1, k1 = _kernel_on(api, ctx, program, devices[0])
+    # A second, independent queue on the SAME device/daemon.  Its buffer
+    # is pristine WRITE_ONLY so the launch plans no coherence upload
+    # (an upload's bulk stream would full-flush the window).
+    qa2 = api.clCreateCommandQueue(ctx, devices[0])
+    b2 = api.clCreateBuffer(ctx, CL_MEM_WRITE_ONLY, 64 * 4)
+    k2 = api.clCreateKernel(program, "scale")
+    api.clSetKernelArg(k2, 0, b2)
+    api.clSetKernelArg(k2, 1, np.float32(5.0))
+    api.clSetKernelArg(k2, 2, 64)
+    driver.flush_all()
+    ev1 = api.clEnqueueNDRangeKernel(qa1, k1, (64,))  # the producer of b1
+    ev2 = api.clEnqueueNDRangeKernel(qa2, k2, (64,))  # after it, same window
+    assert driver.pending_commands(devices[0].server.name) == 2
+    flushes_before = driver.stats.prefix_flushes
+    data, _ = api.clEnqueueReadBuffer(qa1, b1)
+    np.testing.assert_allclose(data.view(np.float32), 2.0)
+    # The producer flushed (and resolved); the independent launch after
+    # it is still windowed, and the split was counted.
+    assert ev1.resolved and not ev2.resolved
+    assert driver.pending_commands(devices[0].server.name) == 1
+    assert driver.stats.prefix_flushes > flushes_before
+    # The suffix still runs to completion at its own sync point.
+    data, _ = api.clEnqueueReadBuffer(qa2, b2)
+    np.testing.assert_allclose(data.view(np.float32), 0.0)  # 0 * 5
 
 
 # ----------------------------------------------------------------------
@@ -267,7 +328,13 @@ def test_blocking_read_drains_the_in_order_queue_chain():
     # the prior launch must have drained (and resolved) first.
     api.clEnqueueReadBuffer(q0, other)
     assert ev.resolved
-    assert driver.pending_commands(devices[0].server.name) == 0
+    # Prefix flushing: the queue-chain launch left the window, while
+    # causally unrelated replica bookkeeping for the *other* server's
+    # event may stay queued behind it.
+    assert not any(
+        isinstance(m, P.EnqueueKernelRequest)
+        for m in driver.window_messages(devices[0].server.name)
+    )
     assert driver.pending_commands(devices[1].server.name) > 0
 
 
