@@ -31,6 +31,16 @@ runs with transfer coalescing on and off (``coalesce_transfers``), and
 the gate requires strictly fewer round trips coalesced, bytes no worse,
 and the identical image.
 
+A third, *readback* mini Fig. 4 (:func:`render_readback`) exercises the
+result-gather tail: the same tiles are composed on the **client**, each
+queue is ``clFlush``-ed (submission barriers ride the windows — zero
+round trips), and the client reads every tile back to back.  With
+``coalesce_reads`` on, the two finished tiles per daemon fuse onto one
+``CoalescedBufferDownload`` fetch, so the readback costs one round trip
+per daemon instead of one per buffer; the gate requires strictly fewer
+round trips than the ablation, bytes no worse, identical image, per
+protocol.
+
 The counters are the regression tripwire: the batched run must cut at
 least :data:`MIN_ROUND_TRIP_REDUCTION` of the synchronous run's round
 trips **and** at least :data:`MIN_ROUND_TRIP_REDUCTION_VS_PR1` of the
@@ -91,12 +101,32 @@ VARIANTS = {
 
 #: The gathered-workload variants: the same mini Fig. 4 composed
 #: on-device (see :func:`render_gathered`), per coherence protocol,
-#: with download/peer-transfer coalescing on and off.
+#: with download/peer-transfer coalescing on and off.  Read coalescing
+#: is pinned off so the pair isolates ``coalesce_transfers`` exactly
+#: (the read knob has its own ablation pair below).
 GATHER_VARIANTS = {
-    "gather_uncoalesced": dict(coherence_protocol="msi", coalesce_transfers=False),
-    "gather": dict(coherence_protocol="msi"),
-    "mosi_uncoalesced": dict(coherence_protocol="mosi", coalesce_transfers=False),
-    "mosi": dict(coherence_protocol="mosi"),
+    "gather_uncoalesced": dict(
+        coherence_protocol="msi", coalesce_transfers=False, coalesce_reads=False
+    ),
+    "gather": dict(coherence_protocol="msi", coalesce_reads=False),
+    "mosi_uncoalesced": dict(
+        coherence_protocol="mosi", coalesce_transfers=False, coalesce_reads=False
+    ),
+    "mosi": dict(coherence_protocol="mosi", coalesce_reads=False),
+}
+
+#: The gathered-*readback* variants: the mini Fig. 4 composed on the
+#: **client** (see :func:`render_readback`) — every device renders two
+#: row-interleaved tiles, each queue is ``clFlush``-ed (submission
+#: barriers ride the windows), and the client reads all tiles back to
+#: back — per coherence protocol, with read coalescing on and off.
+READBACK_VARIANTS = {
+    "readback_uncoalesced": dict(coherence_protocol="msi", coalesce_reads=False),
+    "readback": dict(coherence_protocol="msi"),
+    "readback_mosi_uncoalesced": dict(
+        coherence_protocol="mosi", coalesce_reads=False
+    ),
+    "readback_mosi": dict(coherence_protocol="mosi"),
 }
 
 
@@ -178,6 +208,60 @@ def render_gathered(cl, config: MandelbrotConfig) -> np.ndarray:
     return data.view(np.int32).reshape(config.height, config.width)
 
 
+def render_readback(cl, config: MandelbrotConfig) -> np.ndarray:
+    """The mini Fig. 4 with **client-side** composition — the readback
+    mirror of :func:`render_gathered`: each device renders two
+    row-interleaved tiles, every queue is ``clFlush``-ed (the submission
+    barriers ride the send windows, costing no round trips), and after
+    one ``clFinish`` the client reads *every tile back to back* and
+    composes the image on the host.
+
+    The back-to-back blocking reads are what exercises read
+    coalescing: with two finished tiles per daemon, the first read of a
+    daemon's tile gang-revalidates the second onto the same
+    ``CoalescedBufferDownload`` fetch, so the readback tail costs one
+    round trip per daemon instead of one per buffer — the HDArray-style
+    per-node result gather."""
+    platform = cl.clGetPlatformIDs()[0]
+    devices = cl.clGetDeviceIDs(platform)
+    ctx = cl.clCreateContext(devices)
+    queues = [cl.clCreateCommandQueue(ctx, d) for d in devices]
+    n_tiles = 2 * len(devices)
+    program = cl.clCreateProgramWithSource(ctx, MANDELBROT_KERNEL)
+    cl.clBuildProgram(program)
+    tiles, tile_rows = [], []
+    for j in range(n_tiles):
+        rows = np.arange(j, config.height, n_tiles)
+        buf = cl.clCreateBuffer(ctx, CL_MEM_WRITE_ONLY, int(rows.size) * config.width * 4)
+        kernel = cl.clCreateKernel(program, "mandelbrot")
+        for i, value in enumerate(
+            [
+                buf,
+                config.width,
+                config.height,
+                j,
+                n_tiles,
+                np.float32(config.x0),
+                np.float32(config.y0),
+                np.float32(config.dx),
+                np.float32(config.dy),
+                config.max_iter,
+            ]
+        ):
+            cl.clSetKernelArg(kernel, i, value)
+        cl.clEnqueueNDRangeKernel(queues[j % len(devices)], kernel, (config.width, int(rows.size)))
+        tiles.append(buf)
+        tile_rows.append(rows)
+    for queue in queues:
+        cl.clFlush(queue)  # submission barriers; no dispatch, no round trip
+    cl.clFinish(queues[0])
+    image = np.zeros((config.height, config.width), dtype=np.int32)
+    for buf, rows in zip(tiles, tile_rows):
+        data, _ = cl.clEnqueueReadBuffer(queues[0], buf)
+        image[rows] = data.view(np.int32).reshape(rows.size, config.width)
+    return image
+
+
 def bench_smoke(n_devices: int = SMOKE_DEVICES, config: MandelbrotConfig = SMOKE_CONFIG) -> ExperimentRecord:
     """Run the mini Fig. 4 workload sync vs PR-1 vs fully batched, plus
     the gathered workload per coherence protocol with transfer
@@ -210,6 +294,9 @@ def bench_smoke(n_devices: int = SMOKE_DEVICES, config: MandelbrotConfig = SMOKE
             "coalesced_uploads",
             "coalesced_downloads",
             "coalesced_peer_transfers",
+            "coalesced_reads",
+            "coalesced_read_sections",
+            "flush_barriers",
             "prefix_flushes",
         ],
         notes=(
@@ -218,7 +305,8 @@ def bench_smoke(n_devices: int = SMOKE_DEVICES, config: MandelbrotConfig = SMOKE
             f"acceptance: >= {MIN_ROUND_TRIP_REDUCTION:.0%} fewer round trips than sync "
             f"and >= {MIN_ROUND_TRIP_REDUCTION_VS_PR1:.0%} fewer than PR-1, bytes no "
             "worse, image identical; gathered MSI/MOSI variants must spend strictly "
-            "fewer round trips with transfer coalescing on than off"
+            "fewer round trips with transfer coalescing on than off, readback "
+            "variants strictly fewer with read coalescing on than off"
         ),
     )
     images = {}
@@ -238,8 +326,14 @@ def bench_smoke(n_devices: int = SMOKE_DEVICES, config: MandelbrotConfig = SMOKE
         counters[variant] = deployment.driver.stats.snapshot()
         totals[variant] = deployment.api.now
         daemon_hits[variant] = sum(d.gcf.stats.reply_cache_hits for d in deployment.daemons)
+    for variant, flags in READBACK_VARIANTS.items():
+        deployment = deploy_dopencl(make_ib_cpu_cluster(n_devices), **flags)
+        images[variant] = render_readback(deployment.api, config)
+        counters[variant] = deployment.driver.stats.snapshot()
+        totals[variant] = deployment.api.now
+        daemon_hits[variant] = sum(d.gcf.stats.reply_cache_hits for d in deployment.daemons)
     sync, pr1 = counters["sync"], counters["pr1"]
-    for variant in [*VARIANTS, *GATHER_VARIANTS]:
+    for variant in [*VARIANTS, *GATHER_VARIANTS, *READBACK_VARIANTS]:
         c = counters[variant]
         plain = variant in VARIANTS
         record.add(
@@ -271,9 +365,12 @@ def bench_smoke(n_devices: int = SMOKE_DEVICES, config: MandelbrotConfig = SMOKE
             coalesced_uploads=c["coalesced_uploads"],
             coalesced_downloads=c["coalesced_downloads"],
             coalesced_peer_transfers=c["coalesced_peer_transfers"],
+            coalesced_reads=c["coalesced_reads"],
+            coalesced_read_sections=c["coalesced_read_sections"],
+            flush_barriers=c["flush_barriers"],
             prefix_flushes=c["prefix_flushes"],
         )
-    for variant in ("pr1", "batched", *GATHER_VARIANTS):
+    for variant in ("pr1", "batched", *GATHER_VARIANTS, *READBACK_VARIANTS):
         if not (images["sync"] == images[variant]).all():
             raise AssertionError(f"{variant} forwarding changed the rendered image")
     return record
@@ -292,7 +389,12 @@ def assert_smoke_record(record: ExperimentRecord) -> None:
     deferred launch hand-off.  The gathered variants must show
     window-aware transfer coalescing paying in *both* remaining
     directions: strictly fewer round trips (MSI: fused downloads;
-    MOSI: fused server-to-server batches), bytes no worse."""
+    MOSI: fused server-to-server batches), bytes no worse.  The
+    readback variants must show read coalescing reclaiming the
+    readback tail per protocol: strictly fewer round trips with
+    ``coalesce_reads`` on than off, bytes no worse, ``clFlush``
+    submission barriers recorded without costing a single round
+    trip."""
     rows = {row["variant"]: row for row in record.rows}
     sync, pr1, batched = rows["sync"], rows["pr1"], rows["batched"]
     assert sync["batches"] == 0  # the baseline ran genuinely unbatched
@@ -335,6 +437,25 @@ def assert_smoke_record(record: ExperimentRecord) -> None:
     assert mosi["coalesced_peer_transfers"] > 0
     assert mosi_u["coalesced_peer_transfers"] == 0
     assert mosi["total_time"] <= mosi_u["total_time"] * 1.001
+    # The readback variants: coalesced result reads reclaim the
+    # readback tail under both protocols, and the ablation flag
+    # really disabled the gang (single fetches, no wrapped groups).
+    for on_key, off_key in (
+        ("readback", "readback_uncoalesced"),
+        ("readback_mosi", "readback_mosi_uncoalesced"),
+    ):
+        on, off = rows[on_key], rows[off_key]
+        assert on["round_trips"] < off["round_trips"]
+        assert on["bytes_sent"] <= off["bytes_sent"]
+        assert on["bytes_received"] <= off["bytes_received"]
+        assert on["coalesced_reads"] > 0
+        assert off["coalesced_reads"] == 0
+        # clFlush rode the windows in both runs: barriers recorded,
+        # and not one round trip spent on them (the batched mini
+        # Fig. 4 reads one buffer per daemon, so the whole saving
+        # between the pair is the readback fusion).
+        assert on["flush_barriers"] > 0 and off["flush_barriers"] > 0
+        assert on["total_time"] <= off["total_time"] * 1.001
 
 
 def smoke_payload(record: ExperimentRecord) -> dict:
@@ -362,8 +483,17 @@ def smoke_payload(record: ExperimentRecord) -> dict:
         "round_trips_gather_uncoalesced": rows["gather_uncoalesced"]["round_trips"],
         "round_trips_mosi": rows["mosi"]["round_trips"],
         "round_trips_mosi_uncoalesced": rows["mosi_uncoalesced"]["round_trips"],
+        "round_trips_readback": rows["readback"]["round_trips"],
+        "round_trips_readback_uncoalesced": rows["readback_uncoalesced"]["round_trips"],
+        "round_trips_readback_mosi": rows["readback_mosi"]["round_trips"],
+        "round_trips_readback_mosi_uncoalesced": rows["readback_mosi_uncoalesced"][
+            "round_trips"
+        ],
         "coalesced_downloads": rows["gather"]["coalesced_downloads"],
         "coalesced_peer_transfers": rows["mosi"]["coalesced_peer_transfers"],
+        "coalesced_reads": rows["readback"]["coalesced_reads"],
+        "coalesced_read_sections": rows["readback"]["coalesced_read_sections"],
+        "flush_barriers": rows["readback"]["flush_barriers"],
         "min_rt_reduction": MIN_ROUND_TRIP_REDUCTION,
         "min_rt_reduction_vs_pr1": MIN_ROUND_TRIP_REDUCTION_VS_PR1,
         "max_batched_round_trips": MAX_BATCHED_ROUND_TRIPS,

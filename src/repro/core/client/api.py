@@ -213,11 +213,25 @@ class DOpenCLAPI:
         self.driver.fanout([queue.server], lambda c: P.FinishRequest(queue_id=queue.id))
 
     def clFlush(self, queue: QueueStub) -> None:
-        """Pushes the queue's send window out; the forwarded commands are
-        guaranteed submitted, but (unlike clFinish) nothing blocks."""
+        """Submission guarantee without blocking: everything enqueued on
+        any queue of this daemon so far is ordered ahead of anything
+        issued later.
+
+        The flush costs no round trip of its own: the ``FlushRequest``
+        rides the send window like any deferrable command, and the
+        driver records a **submission barrier** at the window's tail
+        (:meth:`~repro.core.client.driver.DOpenCLDriver.
+        mark_flush_barrier`).  Whole-window dispatch replays in client
+        program order anyway; the barrier's teeth are in *prefix*
+        flushing, which must extend through every flushed command
+        before any synchronous traffic may bypass the window
+        (``SendWindow.barrier_floor``).  Flushes are non-blocking in
+        virtual time, so deferring the dispatch itself is
+        indistinguishable to the application — the synchronous call at
+        the next sync point is what blocks, exactly as before."""
         self._tick()
         self.driver.defer(queue.server, P.FlushRequest(queue_id=queue.id))
-        self.driver.flush_connection(queue.server)
+        self.driver.mark_flush_barrier(queue.server)
 
     # -- memory ---------------------------------------------------------------------
     def clCreateBuffer(
@@ -264,6 +278,8 @@ class DOpenCLAPI:
                 buffer_id=buffer.id, context_id=context.id, flags=remote_flags, size=size
             ),
         )
+        # Registered for the read-coalescing planner's sibling scan.
+        context.live_buffers.append(buffer)
         return buffer
 
     def clRetainMemObject(self, buffer: BufferStub) -> None:
@@ -274,6 +290,14 @@ class DOpenCLAPI:
         """Drop a reference; the last one defers the remote releases."""
         buffer.release()
         if buffer.released:
+            # Drop it from the read-coalescing candidate pool eagerly —
+            # a released stub pins its host-side data array, and the
+            # lazy prune in read_gang_candidates only runs when a gang
+            # scan happens.
+            context = buffer.context
+            context.live_buffers = [
+                b for b in context.live_buffers if not b.released
+            ]
             self.driver.fanout_deferred(
                 buffer.context.unique_servers,
                 lambda conn: P.ReleaseBufferRequest(buffer_id=buffer.id),
@@ -351,7 +375,10 @@ class DOpenCLAPI:
 
         Per the MSI protocol: only touches the network when the client's
         copy is invalid (then it downloads the whole object from the
-        modified owner)."""
+        modified owner).  A blocking read that must download also
+        gang-revalidates the sibling dirty buffers stranded on the same
+        daemon in one fused fetch (``coalesce_reads``), so back-to-back
+        result reads cost one round trip per source daemon."""
         t = self._tick()
         self._check_queue_buffer(queue, buffer)
         if blocking:
@@ -363,10 +390,10 @@ class DOpenCLAPI:
             # blocking read after every prior command of that queue).
             # Windows of causally unrelated daemons stay queued, and
             # any stashed deferred-command failure surfaces here.
-            handles = self.driver.buffer_sync_handles(buffer)
-            if queue.in_order and queue.last_event_id is not None:
-                handles.append(queue.last_event_id)
-            self.driver.flush_for_handles(handles)
+            self.driver.flush_for_handles(
+                self.driver.buffer_sync_handles(buffer)
+                + self.driver.queue_sync_handles(queue)
+            )
         if wait_for:
             for ev in wait_for:
                 # ev.wait drains the relevant send windows (flush hook)
@@ -376,9 +403,34 @@ class DOpenCLAPI:
             nbytes = buffer.size - offset
         event = EventStub(queue.context, self.driver.new_id(), queue.server.name, CL_COMMAND_READ_BUFFER)
         self.driver._events[event.id] = event
+        # Read coalescing (coalesce_reads): when this blocking read must
+        # download its buffer, the sibling dirty buffers stranded on the
+        # same daemon ride the same CoalescedBufferDownload fetch — the
+        # next back-to-back result read finds its client copy already
+        # valid, so a multi-buffer readback costs one fetch round trip
+        # per source daemon.  Candidates are picked *before* any
+        # directory mutates (client_download_source is pure) and their
+        # union dependency closure drains first — with errors raised, so
+        # a poisoned producer surfaces here and no directory records a
+        # transfer that never happened.
+        siblings: List[BufferStub] = []
+        if blocking and self.driver.coalesce_reads:
+            source = buffer.coherence.client_download_source()
+            if source is not None:
+                siblings = self.driver.read_gang_candidates(buffer, source)
+                if siblings:
+                    handles = []
+                    for sibling in siblings:
+                        handles.extend(self.driver.buffer_sync_handles(sibling))
+                    self.driver.flush_for_handles(handles)
         plan = buffer.coherence.acquire_read("client")
         if plan:
-            self.driver.run_transfer_plan(buffer, plan, queue)
+            items = [(buffer, plan)]
+            items.extend(
+                (sibling, sibling.coherence.acquire_read("client"))
+                for sibling in siblings
+            )
+            self.driver.run_transfer_plans(items, queue, read_group=bool(siblings))
         event.mark_complete(self.clock.now, self.clock.now)
         data = buffer.read_host(offset, nbytes)
         return data, event

@@ -44,7 +44,11 @@ class ServerConnection:
 
     Owns the connection's dependency-tracked send window: deferred
     commands queue here (with their read/write handle annotations) until
-    a flush point drains them as one ``CommandBatch``."""
+    a flush point drains them as one ``CommandBatch``.  The window also
+    carries the connection's ``clFlush`` submission barriers — queues
+    share one window per daemon, which is exactly why a barrier
+    recorded here orders commands of *every* queue of the daemon (the
+    multi-queue submission semantics of Section III-B)."""
 
     name: str
     daemon: object  # repro.core.daemon.Daemon

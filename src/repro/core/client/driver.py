@@ -45,6 +45,18 @@ hops along one (src, dst) daemon pair fuse into a single
 gained **prefix flushing**: they dispatch only the window prefix up to
 the awaited handles' producers (``SendWindow.split_prefix``), leaving
 causally unrelated commands queued behind them.
+
+PR 5 makes the window graph ``clFlush``-aware and coalesces *result
+reads*: ``clFlush`` records a **submission barrier** on its daemon's
+window (:meth:`DOpenCLDriver.mark_flush_barrier`) instead of
+force-dispatching it — prefix flushing then never reorders synchronous
+traffic across a flush (``SendWindow.barrier_floor``) — and a blocking
+``clEnqueueReadBuffer`` that must download its buffer gang-revalidates
+the sibling dirty buffers stranded on the same daemon
+(:meth:`DOpenCLDriver.read_gang_candidates`) in one
+``CoalescedBufferDownload`` fetch, so back-to-back result reads cost
+one round trip per source daemon (``coalesce_reads=False`` is the
+ablation flag).
 """
 
 from __future__ import annotations
@@ -114,6 +126,7 @@ class DOpenCLDriver:
         coalesce_uploads: bool = True,
         defer_creations: bool = True,
         coalesce_transfers: bool = True,
+        coalesce_reads: bool = True,
     ) -> None:
         self.host = host
         self.network = network
@@ -147,6 +160,16 @@ class DOpenCLDriver:
         #: behaviour, and the ablation baseline for the MOSI smoke
         #: variant).
         self.coalesce_transfers = bool(coalesce_transfers)
+        #: When True (default) blocking ``clEnqueueReadBuffer`` calls
+        #: coalesce their result gathers per source daemon: a read that
+        #: must download its buffer gang-revalidates the sibling dirty
+        #: buffers stranded on the same daemon in one
+        #: ``CoalescedBufferDownload`` fetch, so back-to-back result
+        #: reads cost one fetch round trip per daemon instead of one
+        #: per buffer (see :meth:`read_gang_candidates`).  False
+        #: restores one fetch per read — the ablation flag mirroring
+        #: ``coalesce_transfers``.
+        self.coalesce_reads = bool(coalesce_reads)
         #: When True (default) creation calls are *handle promises*:
         #: they join the send windows like any enqueue-class command and
         #: daemon-side failures surface at the next sync point touching
@@ -376,6 +399,20 @@ class DOpenCLDriver:
         deferred outcomes."""
         self.flush_connections([conn], raise_errors=raise_errors)
 
+    def mark_flush_barrier(self, conn: ServerConnection) -> None:
+        """Record a ``clFlush`` submission barrier on ``conn``'s send
+        window (see :meth:`~repro.core.client.windows.SendWindow.
+        mark_barrier`): everything queued for that daemon so far —
+        commands of *any* queue, including the windowed FlushRequest
+        itself — is ordered ahead of anything issued later, without
+        dispatching anything now.  The barrier constrains prefix
+        flushing (``SendWindow.barrier_floor``) so targeted sync
+        points can never overtake flushed commands with synchronous
+        traffic.  A no-op with batching disabled (every command
+        already round-tripped) or on an empty window."""
+        if self.batching_enabled and conn.window.mark_barrier():
+            self.stats.flush_barriers += 1
+
     def flush_all(self) -> None:
         """Drain every connection's send window (full sync point —
         ``clFinish`` semantics).
@@ -482,6 +519,23 @@ class DOpenCLDriver:
         handles = [buffer.id]
         if buffer.last_write_event is not None:
             handles.append(buffer.last_write_event)
+        return handles
+
+    def queue_sync_handles(self, queue: QueueStub) -> List[int]:
+        """The closure seeds for a transfer that *enqueues* on
+        ``queue``: the queue's handle (its possibly windowed creation)
+        plus — on an in-order queue — the event of its most recent
+        command.  A daemon-side read/write enqueued on an in-order
+        queue sits behind every prior command of that queue, so the
+        drain must cover the chain's unresolved gates (e.g. a deferred
+        user-event status relay still windowed) or the transfer is
+        gated on a completion that can never arrive.  Found by the
+        randomized conformance harness: a dispatched-but-pending gated
+        kernel on the transfer queue deadlocked every coherence
+        download that seeded only the buffer's own handles."""
+        handles = [queue.id]
+        if queue.in_order and queue.last_event_id is not None:
+            handles.append(queue.last_event_id)
         return handles
 
     def pending_commands(self, name: Optional[str] = None) -> int:
@@ -890,10 +944,39 @@ class DOpenCLDriver:
         (MOSI)."""
         self.run_transfer_plans([(buffer, plan)], preferred_queue)
 
+    def read_gang_candidates(
+        self, buffer: BufferStub, source: str
+    ) -> List[BufferStub]:
+        """Sibling buffers a blocking read of ``buffer`` can
+        gang-revalidate in the same fetch: live buffers of the same
+        context whose client copy would be downloaded from the same
+        ``source`` daemon (:meth:`~repro.core.coherence.directory.
+        MSIDirectory.client_download_source`) and whose last windowed
+        writer has already *resolved* — an unresolved producer may be
+        gated on an event the application controls (a pending user
+        event), and fusing it would fail the whole fetch for data the
+        caller never asked about.  Released buffers are pruned from the
+        context's registry on the way through."""
+        context = buffer.context
+        context.live_buffers = [b for b in context.live_buffers if not b.released]
+        candidates: List[BufferStub] = []
+        for sibling in context.live_buffers:
+            if sibling is buffer or sibling.size <= 0:
+                continue
+            if sibling.coherence.client_download_source() != source:
+                continue
+            if sibling.last_write_event is not None:
+                stub = self._events.get(sibling.last_write_event)
+                if stub is None or not stub.resolved:
+                    continue
+            candidates.append(sibling)
+        return candidates
+
     def run_transfer_plans(
         self,
         items: Sequence[Tuple[BufferStub, Sequence[Transfer]]],
         preferred_queue: Optional[QueueStub] = None,
+        read_group: bool = False,
     ) -> None:
         """Execute several buffers' coherence plans with window-aware
         coalescing of every transfer direction.
@@ -917,17 +1000,28 @@ class DOpenCLDriver:
         ``coalesce_uploads=False`` restores per-buffer upload streams,
         ``coalesce_transfers=False`` per-transfer downloads and peer
         requests; with both off the pre-coalescing immediate-order
-        execution (the PR-1 baseline) is reproduced exactly."""
+        execution (the PR-1 baseline) is reproduced exactly.
+
+        ``read_group=True`` marks the items as a blocking read's gang
+        (the read's own plan plus its
+        :meth:`read_gang_candidates`): download fusion then runs under
+        the ``coalesce_reads`` flag's authority even when
+        ``coalesce_transfers`` is off, and fused groups are counted in
+        ``NetStats.coalesced_reads`` / ``coalesced_read_sections`` on
+        top of the ordinary download counters."""
         items = [(buffer, plan) for buffer, plan in items if plan]
         if not items:
             return
-        if not (self.coalesce_uploads or self.coalesce_transfers):
+        if not (self.coalesce_uploads or self.coalesce_transfers or read_group):
             for buffer, plan in items:
                 self._run_transfers_unmerged(buffer, plan, preferred_queue)
             return
         downloads, peers, uploads = split_transfer_plan(items)
         for server_name, buffers in downloads.items():
-            if self.coalesce_transfers and len(buffers) > 1:
+            if (self.coalesce_transfers or read_group) and len(buffers) > 1:
+                if read_group:
+                    self.stats.coalesced_reads += 1
+                    self.stats.coalesced_read_sections += len(buffers)
                 self._download_many_from_server(buffers, server_name, preferred_queue)
             else:
                 for buffer in buffers:
@@ -1035,15 +1129,17 @@ class DOpenCLDriver:
         # The download is gated daemon-side on the buffer's producing
         # command: drain the buffer's dependency closure first so a
         # dispatched-but-pending writer (waiting on an event produced on
-        # another daemon) can complete.  The transfer queue's handle
-        # joins the seeds so the drain covers its (possibly windowed)
-        # creation too, and the fetch then pushes out only whatever
-        # relevant prefix remains; later, unrelated commands stay
-        # windowed.
+        # another daemon) can complete.  The transfer queue's handles
+        # join the seeds so the drain covers its (possibly windowed)
+        # creation *and* its in-order command chain — the daemon-side
+        # read enqueues behind every prior command of that queue — and
+        # the fetch then pushes out only whatever relevant prefix
+        # remains; later, unrelated commands stay windowed.
         conn = self.connection(server_name)
         queue = self._queue_on(buffer, server_name, preferred)
         seen = self.flush_for_handles(
-            self.buffer_sync_handles(buffer) + [queue.id], raise_errors=False
+            self.buffer_sync_handles(buffer) + self.queue_sync_handles(queue),
+            raise_errors=False,
         )
         stub = self._new_transfer_event(buffer.context, server_name)
         request = P.BufferDataDownload(
@@ -1070,7 +1166,7 @@ class DOpenCLDriver:
         section — the download mirror of :meth:`_upload_many_to_server`."""
         conn = self.connection(server_name)
         queue = self._queue_on(buffers[0], server_name, preferred)
-        handles: List[int] = [queue.id]
+        handles: List[int] = self.queue_sync_handles(queue)
         for buffer in buffers:
             handles.extend(self.buffer_sync_handles(buffer))
         seen = self.flush_for_handles(handles, raise_errors=False)

@@ -98,6 +98,11 @@ class ContextStub:
         # Hidden per-server queues used by the coherence protocol for
         # transfers when the app has no queue on the owning server.
         self._internal_queues: Dict[str, "QueueStub"] = {}
+        #: Live buffer stubs of this context, registered at creation —
+        #: the candidate pool the read-coalescing planner scans for
+        #: sibling dirty buffers to gang onto one download fetch
+        #: (released entries are pruned on each scan).
+        self.live_buffers: List["BufferStub"] = []
         self.refcount = 1
 
     @property

@@ -82,7 +82,10 @@ def split_transfer_plan(
 
     * ``downloads`` groups server->client downloads by **source
       daemon** — two buffers revalidating the client from the same
-      daemon fuse into one ``CoalescedBufferDownload`` fetch;
+      daemon fuse into one ``CoalescedBufferDownload`` fetch (both
+      the coherence misses of a kernel launch and the gang
+      revalidation of a coalesced blocking read, see
+      :meth:`MSIDirectory.client_download_source`);
     * ``peers`` groups direct server-to-server hops (the MOSI
       Section III-F exchanges) by **(source, destination) pair** —
       two buffers moving along the same pair fuse into one
@@ -157,6 +160,19 @@ class MSIDirectory:
     def is_valid(self, party: str) -> bool:
         """Whether ``party`` currently holds a readable copy."""
         return self.state[self._known(party)] in self.VALID
+
+    def client_download_source(self) -> "str | None":
+        """The server an ``acquire_read(CLIENT)`` would download from
+        *right now*, or ``None`` when the client's copy is already
+        valid.  Pure (no state change) — the read-coalescing planner's
+        candidate test: two buffers answering the same source daemon
+        here can ride one ``CoalescedBufferDownload`` fetch, and
+        grouping by this value is exactly how
+        :func:`split_transfer_plan` would group their individual
+        download plans."""
+        if self.is_valid(CLIENT):
+            return None
+        return self._pick_owner()
 
     def _known(self, party: str) -> str:
         if party not in self.state:

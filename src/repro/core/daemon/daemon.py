@@ -12,7 +12,12 @@ Enqueue-class traffic additionally arrives coalesced: the client driver's
 send window lands here as one ``CommandBatch`` whose envelope is decoded
 once, after which each sub-command is charged only the (cheaper)
 per-command dispatch cost and replayed through its normal handler in
-client program order.  Creation calls arrive the same way (*handle
+client program order.  Program-order replay is also the daemon's half of
+the ``clFlush`` contract: a windowed ``FlushRequest`` arrives *behind*
+every command the flush promised to submit (the client's send window
+never reorders across its submission barriers, even when prefix
+flushing dispatches a window partially), so by the time the flush
+handler runs, its guarantee has already been discharged.  Creation calls arrive the same way (*handle
 promises*): program order guarantees a creation replays before anything
 that uses its provisional ID, and a failed creation **poisons** that ID
 in the registry — later sub-commands depending on it are answered
@@ -447,7 +452,20 @@ class Daemon:
 
         @gcf.on_request(P.FlushRequest)
         def flush(msg: P.FlushRequest, t: float, sender: GCFProcess):
-            return P.Ack(), t
+            # The submission guarantee itself is discharged by batch
+            # replay order: the client's window put every pre-flush
+            # command (of any queue of this daemon) ahead of the
+            # FlushRequest, and sub-commands replay in program order —
+            # so by the time this runs, everything the flush promised
+            # has been submitted.  All that is left is validating the
+            # queue handle (a flush on a never-created or
+            # poison-skipped queue is a client error, not a silent
+            # no-op).
+            try:
+                self._queue(sender.name, msg.queue_id)
+                return P.Ack(), t
+            except CLError as exc:
+                return P.Ack(error=exc.code.value, detail=exc.message), t
 
         # -- buffers --------------------------------------------------------
         @gcf.on_request(P.CreateBufferRequest)

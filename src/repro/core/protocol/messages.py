@@ -135,7 +135,15 @@ class FinishRequest(Request):
 
 @message_type
 class FlushRequest(Request):
-    """``clFlush``: submission guarantee only, so it may ride a batch."""
+    """``clFlush``: submission guarantee only, so it rides the batch.
+
+    The client records a **submission barrier** on the daemon's send
+    window alongside this request: every command queued before the
+    flush (on any queue of the daemon) stays ahead of anything issued
+    later, and prefix flushing never lets synchronous traffic overtake
+    the flushed prefix (``SendWindow.barrier_floor``).  The daemon side
+    is discharged by program-order batch replay — see the flush handler
+    in :mod:`repro.core.daemon.daemon`."""
 
     queue_id: int
 

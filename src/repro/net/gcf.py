@@ -121,6 +121,20 @@ class NetStats:
         Coherence downloads merged into single bulk fetches (one
         request round trip streaming several buffers back), and how
         many per-buffer sections those merged fetches carried.
+    ``coalesced_reads`` / ``coalesced_read_sections``
+        Blocking-``clEnqueueReadBuffer`` result gathers fused per
+        source daemon: a blocking read that must download its buffer
+        gang-revalidates the sibling dirty buffers stranded on the
+        same daemon in one ``CoalescedBufferDownload`` fetch, so
+        back-to-back result reads cost one round trip per daemon.
+        Counted per fused group / per section (the group's fetch also
+        counts in ``coalesced_downloads``).
+    ``flush_barriers``
+        ``clFlush`` submission barriers recorded in send windows: the
+        flush no longer force-dispatches the window — the FlushRequest
+        rides the batch and the barrier constrains prefix flushing
+        (``SendWindow.barrier_floor``) so nothing overtakes flushed
+        commands.
     ``coalesced_peer_transfers`` / ``coalesced_peer_transfer_sections``
         MOSI server-to-server exchanges batched onto one
         ``BufferPeerTransferBatch`` round trip (same (src, dst) daemon
@@ -160,6 +174,9 @@ class NetStats:
         "coalesced_upload_sections",
         "coalesced_downloads",
         "coalesced_download_sections",
+        "coalesced_reads",
+        "coalesced_read_sections",
+        "flush_barriers",
         "coalesced_peer_transfers",
         "coalesced_peer_transfer_sections",
         "prefix_flushes",

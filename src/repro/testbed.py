@@ -66,6 +66,7 @@ def deploy_dopencl(
     coalesce_uploads: bool = True,
     defer_creations: bool = True,
     coalesce_transfers: bool = True,
+    coalesce_reads: bool = True,
 ) -> Deployment:
     """Install daemons on every server and client drivers on the client
     host(s).
@@ -79,10 +80,11 @@ def deploy_dopencl(
     window (``None`` keeps the driver default; ``0`` disables batching so
     every forwarded call is a synchronous round trip).
     ``defer_event_relays`` / ``coalesce_uploads`` / ``defer_creations`` /
-    ``coalesce_transfers`` toggle the pipeline extensions (all default
-    on; turning all off reproduces the PR-1 forwarding behaviour — the
-    benchmark baseline: synchronous creation fan-outs, synchronous
-    relays, per-transfer streams in every direction).
+    ``coalesce_transfers`` / ``coalesce_reads`` toggle the pipeline
+    extensions (all default on; turning all off reproduces the PR-1
+    forwarding behaviour — the benchmark baseline: synchronous creation
+    fan-outs, synchronous relays, per-transfer streams in every
+    direction, one fetch per blocking read).
     """
     manager = None
     if managed:
@@ -108,6 +110,7 @@ def deploy_dopencl(
             "coalesce_uploads": coalesce_uploads,
             "defer_creations": defer_creations,
             "coalesce_transfers": coalesce_transfers,
+            "coalesce_reads": coalesce_reads,
         }
         if batch_window is not None:
             kwargs["batch_window"] = batch_window

@@ -276,6 +276,173 @@ def test_rejected_coalesced_download_registers_nothing():
         assert daemon.registry.peek(client, event_id) is None
 
 
+# ----------------------------------------------------------------------
+# coalesced result reads (coalesce_reads)
+# ----------------------------------------------------------------------
+def _run_readback(protocol: str, coalesce_reads: bool):
+    """Produce two buffers on server 1 and one on server 0, finish, then
+    read all three back to back — the readback-tail shape: with
+    ``coalesce_reads`` on, the first read of a server-1 buffer
+    gang-revalidates the second onto the same fetch."""
+    deployment = deploy_dopencl(
+        make_ib_cpu_cluster(2),
+        coherence_protocol=protocol,
+        coalesce_reads=coalesce_reads,
+    )
+    api = deployment.api
+    devices = api.clGetDeviceIDs(api.clGetPlatformIDs()[0])
+    ctx = api.clCreateContext(devices)
+    q0 = api.clCreateCommandQueue(ctx, devices[0])
+    q1 = api.clCreateCommandQueue(ctx, devices[1])
+    n = 64
+    program = api.clCreateProgramWithSource(ctx, FILL)
+    api.clBuildProgram(program)
+    buffers = []
+    for queue, base in ((q1, 100.0), (q1, 5.0), (q0, 7.0)):
+        buf = api.clCreateBuffer(ctx, CL_MEM_WRITE_ONLY, 4 * n)
+        fill = api.clCreateKernel(program, "fill")
+        api.clSetKernelArg(fill, 0, buf)
+        api.clSetKernelArg(fill, 1, np.float32(base))
+        api.clSetKernelArg(fill, 2, n)
+        api.clEnqueueNDRangeKernel(queue, fill, (n,))
+        buffers.append(buf)
+    api.clFinish(q1)
+    datas = [
+        api.clEnqueueReadBuffer(q0 if i == 2 else q1, buf)[0].view(np.float32)
+        for i, buf in enumerate(buffers)
+    ]
+    return deployment, buffers, datas
+
+
+@pytest.mark.parametrize("protocol", ["msi", "mosi"])
+def test_merged_reads_match_unmerged_byte_for_byte(protocol):
+    """Merged vs unmerged back-to-back blocking reads: identical bytes,
+    identical directory state, strictly fewer round trips merged (one
+    fused fetch replaces two), bytes no worse."""
+    dep_m, bufs_m, datas_m = _run_readback(protocol, True)
+    dep_u, bufs_u, datas_u = _run_readback(protocol, False)
+    for data_m, data_u, base in zip(datas_m, datas_u, (100.0, 5.0, 7.0)):
+        np.testing.assert_array_equal(data_m, data_u)
+        np.testing.assert_allclose(data_m, base + np.arange(64))
+    for buf_m, buf_u in zip(bufs_m, bufs_u):
+        assert dict(buf_m.coherence.state) == dict(buf_u.coherence.state)
+    sm, su = dep_m.driver.stats, dep_u.driver.stats
+    assert sm.coalesced_reads == 1 and sm.coalesced_read_sections == 2
+    assert su.coalesced_reads == 0
+    assert sm.bulk_fetches == su.bulk_fetches - 1
+    assert sm.round_trips < su.round_trips
+    assert sm.bytes_sent < su.bytes_sent
+
+
+def test_single_reads_are_never_wrapped():
+    """A read with no fusable sibling ships the plain per-buffer
+    ``BufferDataDownload`` — no gang group, no section bookkeeping."""
+    deployment = deploy_dopencl(make_ib_cpu_cluster(2))
+    api = deployment.api
+    devices = api.clGetDeviceIDs(api.clGetPlatformIDs()[0])
+    ctx = api.clCreateContext(devices)
+    q1 = api.clCreateCommandQueue(ctx, devices[1])
+    n = 64
+    program = api.clCreateProgramWithSource(ctx, FILL)
+    api.clBuildProgram(program)
+    buf = api.clCreateBuffer(ctx, CL_MEM_WRITE_ONLY, 4 * n)
+    fill = api.clCreateKernel(program, "fill")
+    api.clSetKernelArg(fill, 0, buf)
+    api.clSetKernelArg(fill, 1, np.float32(3.0))
+    api.clSetKernelArg(fill, 2, n)
+    api.clEnqueueNDRangeKernel(q1, fill, (n,))
+    api.clFinish(q1)
+    data, _ = api.clEnqueueReadBuffer(q1, buf)
+    np.testing.assert_allclose(data.view(np.float32), 3.0 + np.arange(n))
+    stats = deployment.driver.stats
+    assert stats.coalesced_reads == 0 and stats.coalesced_read_sections == 0
+    assert stats.coalesced_downloads == 0  # the plain envelope shipped
+
+
+def test_cross_daemon_reads_split_per_source():
+    """Result buffers on two daemons never fuse across them: each
+    daemon's pair rides its own fetch, grouped by source exactly like
+    ``split_transfer_plan`` groups download plans."""
+    dep, bufs, _datas = _run_readback("msi", True)
+    stats = dep.driver.stats
+    # Only the two server-1 buffers fused; server 0's buffer shipped
+    # alone (a gang of one is not a gang).
+    assert stats.coalesced_reads == 1
+    assert stats.coalesced_read_sections == 2
+
+
+def test_unresolved_producers_are_not_gang_fetched():
+    """A sibling whose producer is still gated on a pending user event
+    must not ride the gang — fusing it would fail the whole fetch for
+    data the caller never asked about.  It stays dirty and is fetched
+    once its own read syncs."""
+    deployment = deploy_dopencl(make_ib_cpu_cluster(2))
+    api = deployment.api
+    driver = deployment.driver
+    devices = api.clGetDeviceIDs(api.clGetPlatformIDs()[0])
+    ctx = api.clCreateContext(devices)
+    q1a = api.clCreateCommandQueue(ctx, devices[1])
+    q1b = api.clCreateCommandQueue(ctx, devices[1])
+    n = 64
+    program = api.clCreateProgramWithSource(ctx, FILL)
+    api.clBuildProgram(program)
+
+    def fill_on(queue, base, wait_for=None):
+        buf = api.clCreateBuffer(ctx, CL_MEM_WRITE_ONLY, 4 * n)
+        fill = api.clCreateKernel(program, "fill")
+        api.clSetKernelArg(fill, 0, buf)
+        api.clSetKernelArg(fill, 1, np.float32(base))
+        api.clSetKernelArg(fill, 2, n)
+        api.clEnqueueNDRangeKernel(queue, fill, (n,), wait_for=wait_for)
+        return buf
+
+    done = fill_on(q1a, 1.0)
+    gate = api.clCreateUserEvent(ctx)
+    pending = fill_on(q1b, 9.0, wait_for=[gate])  # gated, never fuses
+    api.clWaitForEvents([driver._events[done.last_write_event]])
+    data, _ = api.clEnqueueReadBuffer(q1a, done)
+    np.testing.assert_allclose(data.view(np.float32), 1.0 + np.arange(n))
+    assert driver.stats.coalesced_reads == 0  # nothing safe to fuse
+    api.clSetUserEventStatus(gate, 0)
+    data, _ = api.clEnqueueReadBuffer(q1b, pending)
+    np.testing.assert_allclose(data.view(np.float32), 9.0 + np.arange(n))
+
+
+def test_poisoned_producer_surfaces_through_the_coalesced_read():
+    """A creation failure poisoning a sibling's producer surfaces as
+    CLError *at the coalesced read* (the read's drain is a sync point),
+    before any gang directory state mutates — not silently after stale
+    bytes were applied."""
+    from repro.ocl import CLError
+    from repro.ocl.constants import CL_MEM_READ_WRITE as RW
+
+    deployment = deploy_dopencl(make_ib_cpu_cluster(2))
+    api = deployment.api
+    devices = api.clGetDeviceIDs(api.clGetPlatformIDs()[0])
+    ctx = api.clCreateContext(devices)
+    q1 = api.clCreateCommandQueue(ctx, devices[1])
+    n = 64
+    program = api.clCreateProgramWithSource(ctx, FILL)
+    api.clBuildProgram(program)
+    good = api.clCreateBuffer(ctx, CL_MEM_WRITE_ONLY, 4 * n)
+    # Conflicting access flags pass the client checks but fail
+    # daemon-side: the provisional ID poisons, and the fill writing the
+    # bad buffer is skipped with the creation's error.
+    bad = api.clCreateBuffer(ctx, RW | CL_MEM_WRITE_ONLY, 4 * n)
+    for buf, base in ((good, 2.0), (bad, 8.0)):
+        fill = api.clCreateKernel(program, "fill")
+        api.clSetKernelArg(fill, 0, buf)
+        api.clSetKernelArg(fill, 1, np.float32(base))
+        api.clSetKernelArg(fill, 2, n)
+        api.clEnqueueNDRangeKernel(q1, fill, (n,))
+    with pytest.raises(CLError) as err:
+        api.clEnqueueReadBuffer(q1, good)
+    assert "CreateBufferRequest" in str(err.value)
+    # The sibling's directory never recorded a transfer that did not
+    # happen: its client copy is still invalid.
+    assert not bad.coherence.is_valid(CLIENT)
+
+
 def test_rejected_peer_batch_moves_nothing():
     """A peer batch naming a stale buffer ID fails whole — the valid
     section is not transferred either (all-or-nothing validation)."""

@@ -9,6 +9,8 @@ the cross-server wait-chain closure and blocking-read closures.
 """
 
 import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.client.windows import SendWindow, WindowCommand, closure_servers
 from repro.core.protocol import messages as P
@@ -148,6 +150,108 @@ def test_blocking_read_prefix_flushes_only_up_to_the_producer():
 
 
 # ----------------------------------------------------------------------
+# unit/property: clFlush submission barriers in the window
+# ----------------------------------------------------------------------
+_window_ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("cmd"),
+            st.lists(st.integers(0, 30), max_size=3),  # reads
+            st.lists(st.integers(0, 30), max_size=3),  # writes
+        ),
+        st.tuples(st.just("barrier")),
+    ),
+    max_size=25,
+)
+
+
+@given(ops=_window_ops, relevant=st.sets(st.integers(0, 30), max_size=8))
+@settings(max_examples=300, deadline=None)
+def test_split_prefix_is_program_order_and_barrier_closed(ops, relevant):
+    """The ISSUE-5 property: for random windows with interleaved clFlush
+    markers, the dispatched prefix is always a *program-order-closed,
+    barrier-closed* set — a contiguous prefix from position 0 (so no
+    command ever ships ahead of an earlier one), extending through the
+    last barrier whenever anything dispatches (so no command stays
+    windowed behind sync traffic while a barrier its daemon saw ordered
+    it first), and covering every relevant command.  The suffix keeps
+    its order and its rebased barriers."""
+    window = SendWindow()
+    commands = []
+    barrier_positions = []
+    for op in ops:
+        if op[0] == "cmd":
+            cmd = WindowCommand(f"m{len(commands)}", reads=op[1], writes=op[2])
+            window.append(cmd)
+            commands.append(cmd)
+        else:
+            if window.mark_barrier():
+                barrier_positions.append(len(commands))
+    floor = window.barrier_floor
+    assert floor == (barrier_positions[-1] if barrier_positions else 0)
+    prefix = window.split_prefix(relevant)
+    relevant_idx = [
+        i
+        for i, cmd in enumerate(commands)
+        if any(h in relevant for h in cmd.reads)
+        or any(h in relevant for h in cmd.writes)
+    ]
+    # Program-order closure: the dispatched set is a contiguous prefix.
+    assert prefix == commands[: len(prefix)]
+    if prefix:
+        # Barrier closure: nothing before a barrier the daemon saw stays
+        # windowed once anything dispatches...
+        assert len(prefix) >= floor
+        # ...and every relevant command dispatched.
+        assert all(i < len(prefix) for i in relevant_idx)
+        # Minimality: the cut is exactly the barrier floor or the last
+        # relevant command, whichever is later.
+        assert len(prefix) == max(floor, relevant_idx[-1] + 1 if relevant_idx else 0)
+    else:
+        # Nothing relevant and no pending barrier: window untouched.
+        assert not relevant_idx and floor == 0
+        assert window.commands == commands
+    # The suffix is intact, in order; a dispatch covers every recorded
+    # barrier (cut >= floor = last barrier), so none survives it.
+    assert window.commands == commands[len(prefix):]
+    if prefix:
+        assert window.barriers == ()
+    else:
+        assert list(window.barriers) == barrier_positions
+
+
+def test_mark_barrier_skips_empty_and_duplicate_positions():
+    window = SendWindow()
+    assert not window.mark_barrier()  # empty window constrains nothing
+    window.append(WindowCommand("a", writes=(1,)))
+    assert window.mark_barrier()
+    assert not window.mark_barrier()  # same position, once
+    window.append(WindowCommand("b", writes=(2,)))
+    assert window.mark_barrier()
+    assert window.barriers == (1, 2)
+    window.swap_out()
+    assert window.barriers == () and window.barrier_floor == 0
+
+
+def test_closure_recurses_through_barrier_forced_commands():
+    """Barrier edges: a window joining the closure drags the event
+    dependencies of its barrier-forced prefix along — the forced launch
+    will dispatch, so the cross-daemon producer it waits on must drain
+    with it."""
+    events = {1: _FakeEvent("A"), 2: _FakeEvent("B"), 3: _FakeEvent("A")}
+    wa, wb, wc = SendWindow(), SendWindow(), SendWindow()
+    # A's window: a launch gated on B's event, then a barrier, then the
+    # awaited producer.
+    wa.append(WindowCommand("forced", reads=(2,), writes=(3,)))
+    wa.mark_barrier()
+    wa.append(WindowCommand("producer", reads=(), writes=(1,)))
+    wb.append(WindowCommand("gate-producer", reads=(), writes=(2,)))
+    wc.append(WindowCommand("unrelated", reads=(), writes=(9,)))
+    servers = closure_servers([1], {"A": wa, "B": wb, "C": wc}, events.get)
+    assert servers == frozenset({"A", "B"})  # C stays untouched
+
+
+# ----------------------------------------------------------------------
 # driver-level: targeted sync points
 # ----------------------------------------------------------------------
 def test_wait_does_not_flush_unrelated_daemons():
@@ -237,12 +341,15 @@ def test_blocking_read_flushes_only_the_buffers_closure():
 
 
 def test_wait_follows_chain_after_dependent_launch_was_dispatched():
-    """Regression: clFlush (or window overflow) can dispatch a launch
-    whose wait-list dependency is still windowed on another daemon — the
-    launch sits pending daemon-side, no longer visible in any window.
-    The closure must follow the dependency through the *event stub's*
-    recorded wait list (EventStub.depends_on), not just windowed
-    commands, or the wait raises a spurious deadlock."""
+    """Regression: an explicit window dispatch (or window overflow) can
+    send a launch whose wait-list dependency is still windowed on
+    another daemon — the launch sits pending daemon-side, no longer
+    visible in any window.  The closure must follow the dependency
+    through the *event stub's* recorded wait list
+    (EventStub.depends_on), not just windowed commands, or the wait
+    raises a spurious deadlock.  (clFlush no longer dispatches — it
+    records a submission barrier — so the dispatch is forced through
+    the driver.)"""
     deployment, api, devices, ctx, program = _deployment(n_servers=2)
     driver = deployment.driver
     q0, b0, k0 = _kernel_on(api, ctx, program, devices[0])
@@ -250,7 +357,8 @@ def test_wait_follows_chain_after_dependent_launch_was_dispatched():
     driver.flush_all()
     ev_b = api.clEnqueueNDRangeKernel(q1, k1, (64,))       # windowed on B
     ev_a = api.clEnqueueNDRangeKernel(q0, k0, (64,), wait_for=[ev_b])
-    api.clFlush(q0)  # dispatches launch A; it pends on B's replica
+    # Dispatch launch A; it pends daemon-side on B's replica.
+    driver.flush_connection(driver.connection(devices[0].server.name))
     assert driver.pending_commands(devices[0].server.name) == 0
     assert driver.pending_commands(devices[1].server.name) > 0
     api.clWaitForEvents([ev_a])  # must flush B through the stub edge
@@ -259,17 +367,19 @@ def test_wait_follows_chain_after_dependent_launch_was_dispatched():
 
 def test_blocking_read_follows_chain_after_writer_was_dispatched():
     """The blocking-read variant of the same regression: the buffer's
-    writer left the window (clFlush) while gated on a cross-server
-    event; the read must drain that chain (BufferStub.last_write_event)
-    instead of failing on a daemon-side incomplete-event download."""
+    writer left the window (explicit dispatch) while gated on a
+    cross-server event; the read must drain that chain
+    (BufferStub.last_write_event) instead of failing on a daemon-side
+    incomplete-event download."""
     deployment, api, devices, ctx, program = _deployment(n_servers=2)
     driver = deployment.driver
     q0, b0, k0 = _kernel_on(api, ctx, program, devices[0])
     q1, b1, k1 = _kernel_on(api, ctx, program, devices[1], value=3.0)
     driver.flush_all()
     ev_b = api.clEnqueueNDRangeKernel(q1, k1, (64,))
+    # Writer of b0 dispatched, pending on ev_b.
     api.clEnqueueNDRangeKernel(q0, k0, (64,), wait_for=[ev_b])
-    api.clFlush(q0)  # writer of b0 dispatched, pending on ev_b
+    driver.flush_connection(driver.connection(devices[0].server.name))
     data, _ = api.clEnqueueReadBuffer(q0, b0)
     np.testing.assert_allclose(data.view(np.float32), 2.0)
 
@@ -351,7 +461,8 @@ def test_mosi_peer_transfer_drains_the_buffers_closure():
     driver.flush_all()
     ev_c = api.clEnqueueNDRangeKernel(q2, k2, (64,))          # windowed on C
     api.clEnqueueNDRangeKernel(q0, k0, (64,), wait_for=[ev_c])
-    api.clFlush(q0)  # b0's writer dispatched on A, pending on C's event
+    # b0's writer dispatched on A, pending on C's event.
+    driver.flush_connection(driver.connection(devices[0].server.name))
     # A kernel on B reading b0 plans a direct A->B hop (MOSI): the hop
     # must first drain C so the writer completes.
     api.clSetKernelArg(k1, 0, b0)
@@ -359,6 +470,147 @@ def test_mosi_peer_transfer_drains_the_buffers_closure():
     api.clFinish(q1)
     data, _ = api.clEnqueueReadBuffer(q1, b0)
     np.testing.assert_allclose(data.view(np.float32), 6.0)  # 1 * 2 * 3
+
+
+# ----------------------------------------------------------------------
+# driver-level: clFlush submission barriers
+# ----------------------------------------------------------------------
+def test_clflush_defers_and_records_a_barrier():
+    """clFlush costs no round trip: the FlushRequest joins the window,
+    a submission barrier is recorded, and everything dispatches with
+    the next batch — the forwarded commands were never reorderable in
+    the first place (program order), so deferring the dispatch is free.
+    """
+    deployment, api, devices, ctx, program = _deployment(n_servers=2)
+    driver = deployment.driver
+    q0, b0, k0 = _kernel_on(api, ctx, program, devices[0])
+    driver.flush_all()
+    ev = api.clEnqueueNDRangeKernel(q0, k0, (64,))
+    pending_before = driver.pending_commands(devices[0].server.name)
+    trips_before = driver.stats.round_trips
+    api.clFlush(q0)
+    assert driver.stats.round_trips == trips_before  # no dispatch at all
+    assert driver.stats.flush_barriers == 1
+    # The launch and the FlushRequest are windowed behind the barrier.
+    assert driver.pending_commands(devices[0].server.name) == pending_before + 1
+    conn = driver.connection(devices[0].server.name)
+    assert conn.window.barrier_floor == len(conn.window)
+    api.clWaitForEvents([ev])
+    assert ev.resolved
+    assert conn.window.barrier_floor == 0  # discharged with the dispatch
+
+
+def test_prefix_flush_extends_through_a_barrier_behind_the_producer():
+    """The flushed-suffix half of the barrier rule: the awaited
+    producer sits *before* a clFlush mid-window.  Without barriers the
+    prefix flush would stop at the producer and the following fetch
+    would overtake the flushed commands — the reordering clFlush
+    forbids.  With the barrier floor, everything up to the flush
+    dispatches too."""
+    deployment, api, devices, ctx, program = _deployment(n_servers=2)
+    driver = deployment.driver
+    qa1, b1, k1 = _kernel_on(api, ctx, program, devices[0])
+    qa2 = api.clCreateCommandQueue(ctx, devices[0])
+    b2 = api.clCreateBuffer(ctx, CL_MEM_WRITE_ONLY, 64 * 4)
+    k2 = api.clCreateKernel(program, "scale")
+    api.clSetKernelArg(k2, 0, b2)
+    api.clSetKernelArg(k2, 1, np.float32(5.0))
+    api.clSetKernelArg(k2, 2, 64)
+    driver.flush_all()
+    ev1 = api.clEnqueueNDRangeKernel(qa1, k1, (64,))  # the producer of b1
+    ev2 = api.clEnqueueNDRangeKernel(qa2, k2, (64,))  # independent queue
+    api.clFlush(qa2)  # barrier covers BOTH queues' commands (one daemon)
+    data, _ = api.clEnqueueReadBuffer(qa1, b1)
+    np.testing.assert_allclose(data.view(np.float32), 2.0)
+    # The independent launch was enqueued before the flush: the read's
+    # prefix must have carried it out with the producer — nothing the
+    # app flushed may still be windowed once the fetch went through.
+    assert ev1.resolved and ev2.resolved
+    assert not any(
+        isinstance(m, P.EnqueueKernelRequest)
+        for m in driver.window_messages(devices[0].server.name)
+    )
+
+
+def test_prefix_flush_with_producer_after_the_barrier_keeps_program_order():
+    """The other direction (the ISSUE-5 regression): the awaited
+    producer sits *after* a clFlush barrier mid-window — the prefix
+    flush must include the barrier's whole prefix ahead of it, so the
+    daemon observes flushed commands before the producer, in program
+    order."""
+    deployment, api, devices, ctx, program = _deployment(n_servers=2)
+    driver = deployment.driver
+    qa1, b1, k1 = _kernel_on(api, ctx, program, devices[0])
+    qa2 = api.clCreateCommandQueue(ctx, devices[0])
+    b2 = api.clCreateBuffer(ctx, CL_MEM_WRITE_ONLY, 64 * 4)
+    k2 = api.clCreateKernel(program, "scale")
+    api.clSetKernelArg(k2, 0, b2)
+    api.clSetKernelArg(k2, 1, np.float32(5.0))
+    api.clSetKernelArg(k2, 2, 64)
+    driver.flush_all()
+    ev2 = api.clEnqueueNDRangeKernel(qa2, k2, (64,))  # before the flush
+    api.clFlush(qa2)
+    ev1 = api.clEnqueueNDRangeKernel(qa1, k1, (64,))  # the producer, after
+    daemon = deployment.daemon_on(devices[0].server.name)
+    received_before = daemon.gcf.stats.batched_commands_received
+    data, _ = api.clEnqueueReadBuffer(qa1, b1)
+    np.testing.assert_allclose(data.view(np.float32), 2.0)
+    assert ev1.resolved and ev2.resolved
+    # Everything (flushed prefix + producer) reached the daemon in one
+    # program-ordered stretch; nothing of it is still windowed.
+    assert daemon.gcf.stats.batched_commands_received > received_before
+    assert driver.pending_commands(devices[0].server.name) == 0
+
+
+def test_flush_barriers_do_not_widen_unrelated_closures():
+    """A barrier on daemon B's window does not drag B into a sync point
+    whose closure only spans daemon A — barriers order commands within
+    one daemon, they are not cross-daemon edges."""
+    deployment, api, devices, ctx, program = _deployment(n_servers=2)
+    driver = deployment.driver
+    q0, b0, k0 = _kernel_on(api, ctx, program, devices[0])
+    q1, b1, k1 = _kernel_on(api, ctx, program, devices[1], value=3.0)
+    driver.flush_all()
+    ev0 = api.clEnqueueNDRangeKernel(q0, k0, (64,))
+    api.clEnqueueNDRangeKernel(q1, k1, (64,))
+    api.clFlush(q1)  # barrier on B only
+    other = devices[1].server.name
+    before = deployment.daemon_on(other).gcf.stats.batched_commands_received
+    api.clWaitForEvents([ev0])  # closure spans A only
+    assert deployment.daemon_on(other).gcf.stats.batched_commands_received == before
+    assert driver.pending_commands(other) > 0
+
+
+def test_coherence_download_drains_the_transfer_queues_pending_chain():
+    """Regression found by the conformance harness (ISSUE-5 audit): a
+    coherence download enqueues on an in-order queue, so its closure
+    must cover the queue's most recent command — which may be a
+    dispatched-but-pending launch gated on a user event whose deferred
+    status relay still sits in a window.  Seeding only the buffer's
+    handles deadlocks the fetch ('download gated on an incomplete user
+    event')."""
+    deployment, api, devices, ctx, program = _deployment(n_servers=2)
+    driver = deployment.driver
+    q0, b0, k0 = _kernel_on(api, ctx, program, devices[0])
+    driver.flush_all()
+    ev0 = api.clEnqueueNDRangeKernel(q0, k0, (64,))  # writes b0
+    gate = api.clCreateUserEvent(ctx)
+    k2 = api.clCreateKernel(program, "scale")
+    b2 = api.clCreateBuffer(ctx, CL_MEM_WRITE_ONLY, 64 * 4)
+    api.clSetKernelArg(k2, 0, b2)
+    api.clSetKernelArg(k2, 1, np.float32(5.0))
+    api.clSetKernelArg(k2, 2, 64)
+    # Gated launch on the same queue, then force-dispatch it: it now
+    # pends daemon-side on the (incomplete) user-event replica.
+    api.clEnqueueNDRangeKernel(q0, k2, (64,), wait_for=[gate])
+    driver.flush_connection(driver.connection(devices[0].server.name))
+    # Completing the gate is *deferred* — the status relay is windowed.
+    api.clSetUserEventStatus(gate, 0)
+    # A non-blocking read of b0 plans a coherence download on q0: its
+    # closure must drain the queue chain (gated launch -> user event ->
+    # windowed status relay) or the daemon rejects the gated fetch.
+    data, _ = api.clEnqueueReadBuffer(q0, b0, blocking=False)
+    np.testing.assert_allclose(data.view(np.float32), 2.0)
 
 
 def test_targeted_and_full_drains_agree_on_data():
