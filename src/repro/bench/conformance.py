@@ -28,10 +28,22 @@ ablated run never fuses, more machinery never costs more round trips).
 Any divergence is reported with the generating seed so the exact
 program can be replayed.
 
+The harness also runs **under fire**: ``--faults`` replays every program
+against deterministic fault schedules (message drops, delays, truncated
+bulk streams, link severs, daemon crashes — see
+:mod:`repro.sim.faults`) with the client's retry policy installed.  A
+*recoverable* schedule must leave every observable bit-identical to the
+fault-free run of the same configuration; an *unrecoverable* schedule
+(a crash, a permanently severed link) must fail **deterministically** —
+the same ops observe the same ``CL_DEVICE_NOT_AVAILABLE``-class errors
+on every run — and never hang (the injector's transfer budget is the
+watchdog).
+
 Runnable outside tier-1 for soak testing::
 
     PYTHONPATH=src python -m repro.bench.conformance --seeds 200
     PYTHONPATH=src python -m repro.bench.conformance --seed 1234567
+    PYTHONPATH=src python -m repro.bench.conformance --faults --seeds 50
 
 (pocl's approach: a reproducible, seed-driven conformance suite is what
 lets an OpenCL runtime refactor aggressively without regressing
@@ -45,13 +57,16 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.client.resilience import RetryPolicy
 from repro.hw.cluster import make_ib_cpu_cluster
 from repro.ocl.constants import (
     CL_MEM_COPY_HOST_PTR,
     CL_MEM_READ_WRITE,
     CL_MEM_WRITE_ONLY,
+    ErrorCode,
 )
 from repro.ocl.errors import CLError
+from repro.sim.faults import FaultAction, FaultPlan, install_fault_injector
 from repro.testbed import deploy_dopencl
 
 #: Elements per conformance buffer (float32), kept small so a tier-1
@@ -147,8 +162,8 @@ def generate_program(
     for _ in range(count):
         kind = rng.choices(
             ["kernel", "write", "read", "read_nb", "flush", "finish",
-             "user_event", "bad_create"],
-            weights=[5, 2, 2, 1, 2, 1, 2, 1],
+             "user_event", "bad_create", "churn"],
+            weights=[5, 2, 2, 1, 2, 1, 2, 1, 2],
         )[0]
         qi = rng.randrange(len(queue_devices))
         if kind == "kernel":
@@ -196,6 +211,15 @@ def generate_program(
             set_pending_events()
             ops.append(("bad_create",))
             emitted_bad_create = True
+        elif kind == "churn":
+            # Retain/release churn on short-lived scratch objects: a
+            # buffer and/or kernel is created, retained, and released to
+            # zero without ever being used — under deferred creations
+            # the remote release chases a still-windowed creation, the
+            # refcount round trip the windows must order correctly.  No
+            # data is touched, so churn is observable only through the
+            # NetStats invariants.
+            ops.append(("churn", rng.randrange(3), rng.choice(KERNELS)))
     set_pending_events()
     return {
         "seed": seed,
@@ -205,6 +229,106 @@ def generate_program(
         "buffer_inits": buffer_inits,
         "ops": ops,
     }
+
+
+def _apply_op(cl, ctx, program, queues, buffers, events, reads, errors, op_index, op) -> None:
+    """Interpret one program-spec op (shared by the fault-free and
+    faulted runners).  Mutates ``events``/``reads``/``errors`` in place.
+
+    A gate or set target referencing a user event that failed to be
+    created (possible only under an unrecoverable fault schedule, where
+    the creating op's error was recorded) is skipped — deterministically,
+    since the same creation fails on every replay of the same schedule.
+    Objects that could not be created at all (``None`` placeholders from
+    :func:`run_program_resilient`'s guarded setup) raise the
+    daemon-loss error the failed creation already recorded.
+    """
+
+    def require(obj):
+        if obj is None:
+            raise CLError(
+                ErrorCode.CL_DEVICE_NOT_AVAILABLE,
+                "object never created (daemon lost during setup)",
+            )
+        return obj
+
+    kind = op[0]
+    if kind == "kernel":
+        _, name, qi, args, scalar, gate = op
+        kernel = cl.clCreateKernel(require(program), name)
+        if name == "sum2":
+            out, a, b = args
+            cl.clSetKernelArg(kernel, 0, require(buffers[out]))
+            cl.clSetKernelArg(kernel, 1, require(buffers[a]))
+            cl.clSetKernelArg(kernel, 2, require(buffers[b]))
+            cl.clSetKernelArg(kernel, 3, BUFFER_ELEMS)
+        else:
+            cl.clSetKernelArg(kernel, 0, require(buffers[args[0]]))
+            cl.clSetKernelArg(kernel, 1, np.float32(scalar))
+            cl.clSetKernelArg(kernel, 2, BUFFER_ELEMS)
+        gate_event = events.get(gate) if gate is not None else None
+        wait_for = [gate_event] if gate_event is not None else None
+        cl.clEnqueueNDRangeKernel(
+            require(queues[qi]), kernel, (BUFFER_ELEMS,), wait_for=wait_for
+        )
+    elif kind == "write":
+        _, bi, qi, blocking, offset_elems, data = op
+        cl.clEnqueueWriteBuffer(
+            require(queues[qi]),
+            require(buffers[bi]),
+            blocking,
+            offset_elems * 4,
+            np.array(data, dtype=np.float32),
+        )
+    elif kind in ("read", "read_nb"):
+        _, bi, qi = op
+        data, _ev = cl.clEnqueueReadBuffer(
+            require(queues[qi]), require(buffers[bi]), blocking=(kind == "read")
+        )
+        reads[op_index] = data.tobytes()
+    elif kind == "flush":
+        cl.clFlush(require(queues[op[1]]))
+    elif kind == "finish":
+        cl.clFinish(require(queues[op[1]]))
+    elif kind == "user_event":
+        events[op[1]] = cl.clCreateUserEvent(ctx)
+    elif kind == "set_event":
+        event = events.get(op[1])
+        if event is not None:
+            cl.clSetUserEventStatus(event, 0)
+    elif kind == "churn":
+        _, variant, kernel_name = op
+        if variant in (0, 2):
+            scratch = cl.clCreateBuffer(ctx, CL_MEM_READ_WRITE, 4 * BUFFER_ELEMS)
+            cl.clRetainMemObject(scratch)
+            cl.clReleaseMemObject(scratch)
+            cl.clReleaseMemObject(scratch)
+        if variant in (1, 2):
+            kernel = cl.clCreateKernel(require(program), kernel_name)
+            cl.clRetainKernel(kernel)
+            cl.clReleaseKernel(kernel)
+            cl.clReleaseKernel(kernel)
+    elif kind == "bad_create":
+        # Mid-run creation failure: conflicting access flags pass
+        # the client-side checks but fail daemon-side, so the
+        # provisional handle poisons under deferred creations and
+        # the error surfaces at the forced sync — while the sync
+        # configuration raises at the call itself.  Either way the
+        # error is observed at this op and the handle is disposed
+        # of (releasing a poisoned handle retires the poison).
+        bad = None
+        try:
+            bad = cl.clCreateBuffer(
+                ctx, CL_MEM_READ_WRITE | CL_MEM_WRITE_ONLY, 4 * BUFFER_ELEMS
+            )
+        except CLError:
+            errors.append(op_index)
+        if bad is not None:
+            try:
+                cl.clFinish(require(queues[0]))
+            except CLError:
+                errors.append(op_index)
+            cl.clReleaseMemObject(bad)
 
 
 def run_program(spec: Dict[str, object], flags: Dict[str, object]) -> Dict[str, object]:
@@ -240,68 +364,7 @@ def run_program(spec: Dict[str, object], flags: Dict[str, object]) -> Dict[str, 
     reads: Dict[int, bytes] = {}
     errors: List[int] = []
     for op_index, op in enumerate(spec["ops"]):
-        kind = op[0]
-        if kind == "kernel":
-            _, name, qi, args, scalar, gate = op
-            kernel = cl.clCreateKernel(program, name)
-            if name == "sum2":
-                out, a, b = args
-                cl.clSetKernelArg(kernel, 0, buffers[out])
-                cl.clSetKernelArg(kernel, 1, buffers[a])
-                cl.clSetKernelArg(kernel, 2, buffers[b])
-                cl.clSetKernelArg(kernel, 3, BUFFER_ELEMS)
-            else:
-                cl.clSetKernelArg(kernel, 0, buffers[args[0]])
-                cl.clSetKernelArg(kernel, 1, np.float32(scalar))
-                cl.clSetKernelArg(kernel, 2, BUFFER_ELEMS)
-            wait_for = [events[gate]] if gate is not None else None
-            cl.clEnqueueNDRangeKernel(
-                queues[qi], kernel, (BUFFER_ELEMS,), wait_for=wait_for
-            )
-        elif kind == "write":
-            _, bi, qi, blocking, offset_elems, data = op
-            cl.clEnqueueWriteBuffer(
-                queues[qi],
-                buffers[bi],
-                blocking,
-                offset_elems * 4,
-                np.array(data, dtype=np.float32),
-            )
-        elif kind in ("read", "read_nb"):
-            _, bi, qi = op
-            data, _ev = cl.clEnqueueReadBuffer(
-                queues[qi], buffers[bi], blocking=(kind == "read")
-            )
-            reads[op_index] = data.tobytes()
-        elif kind == "flush":
-            cl.clFlush(queues[op[1]])
-        elif kind == "finish":
-            cl.clFinish(queues[op[1]])
-        elif kind == "user_event":
-            events[op[1]] = cl.clCreateUserEvent(ctx)
-        elif kind == "set_event":
-            cl.clSetUserEventStatus(events[op[1]], 0)
-        elif kind == "bad_create":
-            # Mid-run creation failure: conflicting access flags pass
-            # the client-side checks but fail daemon-side, so the
-            # provisional handle poisons under deferred creations and
-            # the error surfaces at the forced sync — while the sync
-            # configuration raises at the call itself.  Either way the
-            # error is observed at this op and the handle is disposed
-            # of (releasing a poisoned handle retires the poison).
-            bad = None
-            try:
-                bad = cl.clCreateBuffer(
-                    ctx, CL_MEM_READ_WRITE | CL_MEM_WRITE_ONLY, 4 * BUFFER_ELEMS
-                )
-            except CLError:
-                errors.append(op_index)
-            if bad is not None:
-                try:
-                    cl.clFinish(queues[0])
-                except CLError:
-                    errors.append(op_index)
-                cl.clReleaseMemObject(bad)
+        _apply_op(cl, ctx, program, queues, buffers, events, reads, errors, op_index, op)
     for queue in queues:
         cl.clFinish(queue)
     final: Dict[int, bytes] = {}
@@ -318,6 +381,253 @@ def run_program(spec: Dict[str, object], flags: Dict[str, object]) -> Dict[str, 
         "directories": directories,
         "errors": errors,
         "stats": deployment.driver.stats.snapshot(),
+    }
+
+
+# ----------------------------------------------------------------------
+# conformance under fire (fault schedules)
+# ----------------------------------------------------------------------
+
+#: Transfer budget for faulted runs — the no-deadlock watchdog: a retry
+#: loop that stops converging exhausts this long before tier-1's time
+#: budget and fails with ``WatchdogTimeout`` naming the livelocked edge.
+FAULT_WATCHDOG_TRANSFERS = 100_000
+
+#: Schedules whose faults the retry policy must absorb *exactly*: the
+#: faulted run has to be bit-identical to the fault-free run.
+RECOVERABLE_SCHEDULES = (
+    "drop-batch", "drop-reply", "delay-batch", "truncate-bulk", "sever-heal",
+)
+
+#: Schedules that destroy state for good: runs must fail with the same
+#: deterministic ``CL_DEVICE_NOT_AVAILABLE``-class errors every time.
+UNRECOVERABLE_SCHEDULES = ("crash", "sever-permanent")
+
+#: Error codes an unrecoverable schedule may surface (daemon-loss class).
+DAEMON_LOSS_CODES = frozenset(
+    {int(ErrorCode.CL_DEVICE_NOT_AVAILABLE), int(ErrorCode.CL_CONNECTION_ERROR_WWU)}
+)
+
+
+def fault_plan(schedule: str) -> FaultPlan:
+    """Build a fresh :class:`FaultPlan` for a named schedule.
+
+    Every schedule targets batch or bulk traffic (occurrence-counted, so
+    the same program faults the same message every run) and carries the
+    :data:`FAULT_WATCHDOG_TRANSFERS` budget.
+    """
+    actions = {
+        "drop-batch": [FaultAction("drop", nth=2, tag="CommandBatch")],
+        "drop-reply": [FaultAction("drop", nth=1, tag="CommandBatchResponse")],
+        "delay-batch": [FaultAction("delay", nth=1, tag="CommandBatch", delay=0.02)],
+        "truncate-bulk": [FaultAction("truncate", nth=1, tag_prefix="bulk:")],
+        "sever-heal": [
+            FaultAction("sever", nth=3, tag="CommandBatch", heal_after=1)
+        ],
+        "crash": [FaultAction("crash", nth=2, tag="CommandBatch")],
+        "sever-permanent": [
+            FaultAction("sever", nth=2, tag="CommandBatch", heal_after=None)
+        ],
+    }[schedule]
+    return FaultPlan(actions=actions, max_transfers=FAULT_WATCHDOG_TRANSFERS)
+
+
+def run_program_resilient(
+    spec: Dict[str, object],
+    flags: Dict[str, object],
+    plan: Optional[FaultPlan] = None,
+) -> Dict[str, object]:
+    """Interpret a program spec with the retry policy installed and (when
+    ``plan`` is given) a fault injector armed.
+
+    The injector is installed *after* deployment, so connect/discovery
+    traffic is never faulted — the schedules target the steady state,
+    which is where the resilience machinery lives.  Each daemon's
+    :meth:`~repro.core.daemon.daemon.Daemon.crash` is registered as its
+    host's crash hook.
+
+    Unlike :func:`run_program`, every op is individually guarded: a
+    ``CLError`` is recorded as ``(op_index, code)`` and interpretation
+    continues — exactly what a resilient application would observe.  The
+    final readback records ``("error", code)`` for unreadable buffers.
+    """
+    deployment = deploy_dopencl(
+        make_ib_cpu_cluster(spec["n_servers"]),
+        coherence_protocol=spec["protocol"],
+        retry_policy=RetryPolicy(),
+        **flags,
+    )
+    injector = None
+    if plan is not None:
+        injector = install_fault_injector(deployment.cluster.network, plan)
+        for daemon in deployment.daemons:
+            injector.register_crash_hook(daemon.host.name, daemon.crash)
+    cl = deployment.api
+    errors: List[object] = []
+
+    def setup(step: str, fn):
+        # A daemon lost mid-setup must not abort the run: the failed
+        # step is recorded positionally (deterministic on replay, since
+        # occurrence-counted faults hit the same step every time) and
+        # the placeholder None propagates the loss to every dependent op
+        # through _apply_op's require() guard.
+        try:
+            return fn()
+        except CLError as exc:
+            errors.append((step, int(exc.code)))
+            return None
+
+    devices = cl.clGetDeviceIDs(cl.clGetPlatformIDs()[0])
+    ctx = cl.clCreateContext(devices)
+    queues = [
+        setup(f"queue:{qi}", lambda d=d: cl.clCreateCommandQueue(ctx, devices[d]))
+        for qi, d in enumerate(spec["queue_devices"])
+    ]
+    program = setup(
+        "program", lambda: cl.clCreateProgramWithSource(ctx, PROGRAM_SOURCE)
+    )
+    if program is not None:
+        try:
+            cl.clBuildProgram(program)
+        except CLError as exc:
+            errors.append(("build", int(exc.code)))
+            program = None
+    buffers = []
+    for bi, init in enumerate(spec["buffer_inits"]):
+        data = np.array(init, dtype=np.float32)
+        buffers.append(
+            setup(
+                f"buffer:{bi}",
+                lambda data=data: cl.clCreateBuffer(
+                    ctx, CL_MEM_READ_WRITE | CL_MEM_COPY_HOST_PTR, data.nbytes, data
+                ),
+            )
+        )
+    events: Dict[int, object] = {}
+    reads: Dict[int, bytes] = {}
+    for op_index, op in enumerate(spec["ops"]):
+        try:
+            _apply_op(
+                cl, ctx, program, queues, buffers, events, reads, errors, op_index, op
+            )
+        except CLError as exc:
+            errors.append((op_index, int(exc.code)))
+    unavailable = int(ErrorCode.CL_DEVICE_NOT_AVAILABLE)
+    for qi, queue in enumerate(queues):
+        try:
+            if queue is None:
+                raise CLError(ErrorCode.CL_DEVICE_NOT_AVAILABLE, "queue never created")
+            cl.clFinish(queue)
+        except CLError as exc:
+            errors.append(("finish", qi, int(exc.code)))
+    final: Dict[int, object] = {}
+    for bi, buffer in enumerate(buffers):
+        try:
+            if buffer is None or queues[0] is None:
+                raise CLError(ErrorCode.CL_DEVICE_NOT_AVAILABLE, "never created")
+            data, _ev = cl.clEnqueueReadBuffer(queues[0], buffer)
+            final[bi] = data.tobytes()
+        except CLError as exc:
+            final[bi] = ("error", int(exc.code))
+    directories = {
+        bi: (
+            {party: state.value for party, state in buffer.coherence.state.items()}
+            if buffer is not None
+            else ("error", unavailable)
+        )
+        for bi, buffer in enumerate(buffers)
+    }
+    lost = sorted(
+        bi
+        for bi, b in enumerate(buffers)
+        if b is not None and b.coherence.data_lost
+    )
+    return {
+        "reads": reads,
+        "final": final,
+        "directories": directories,
+        "errors": errors,
+        "lost": lost,
+        "stats": deployment.driver.stats.snapshot(),
+        "injector": injector.snapshot() if injector is not None else None,
+    }
+
+
+def _semantics(outcome: Dict[str, object]) -> Dict[str, object]:
+    """The observable slice of a faulted outcome (everything but the
+    counters, which legitimately differ between runs with and without
+    faults)."""
+    return {
+        key: outcome[key] for key in ("reads", "final", "directories", "errors", "lost")
+    }
+
+
+def _check_resilience_stats(tag: str, stats: Dict[str, int]) -> None:
+    """Structural invariants of the resilience counters (audited on every
+    faulted run; the seed is in ``tag`` so violations replay)."""
+    assert stats["retries"] <= stats["timeouts"], (
+        f"{tag}: more retries than timeouts ({stats['retries']} > {stats['timeouts']})"
+    )
+    assert stats["deduped_batches"] <= stats["replayed_batches"], (
+        f"{tag}: daemons deduped more batches than the client replayed "
+        f"({stats['deduped_batches']} > {stats['replayed_batches']})"
+    )
+    for key in ("timeouts", "retries", "replayed_batches", "deduped_batches",
+                "evicted_replicas", "dead_daemons", "lost_notifications"):
+        assert stats[key] >= 0, f"{tag}: negative counter {key}"
+
+
+def run_seed_with_faults(
+    seed: int, schedule: str, config: str = "coalesced_on"
+) -> Dict[str, object]:
+    """Run one (seed, schedule) combination and assert its contract.
+
+    Recoverable schedule: the faulted run must be bit-identical (reads,
+    final contents, directory state, observed errors) to the fault-free
+    run of the same configuration.  Unrecoverable schedule: the faulted
+    run must reproduce *itself* exactly on a second run, and every error
+    it surfaces must be daemon-loss class.  Either way the resilience
+    counters are audited and the watchdog bounds the run.
+    """
+    spec = generate_program(seed)
+    flags = dict(CONFIGS[config])
+    tag = f"seed {seed} schedule {schedule}"
+    baseline = run_program_resilient(spec, flags, None)
+    faulted = run_program_resilient(spec, flags, fault_plan(schedule))
+    _check_resilience_stats(tag, faulted["stats"])
+    if schedule in RECOVERABLE_SCHEDULES:
+        assert _semantics(faulted) == _semantics(baseline), (
+            f"{tag}: recoverable fault changed observable behaviour: "
+            f"{_semantics(faulted)} vs {_semantics(baseline)}"
+        )
+        assert faulted["stats"]["dead_daemons"] == 0, (
+            f"{tag}: recoverable schedule killed a daemon"
+        )
+    else:
+        again = run_program_resilient(spec, flags, fault_plan(schedule))
+        assert _semantics(faulted) == _semantics(again), (
+            f"{tag}: unrecoverable fault is not deterministic: "
+            f"{_semantics(faulted)} vs {_semantics(again)}"
+        )
+        for entry in faulted["errors"]:
+            if isinstance(entry, tuple):
+                code = entry[-1]
+                assert code in DAEMON_LOSS_CODES, (
+                    f"{tag}: op error {entry} is not daemon-loss class"
+                )
+        for payload in faulted["final"].values():
+            if isinstance(payload, tuple):
+                assert payload[1] in DAEMON_LOSS_CODES, (
+                    f"{tag}: final readback error {payload} is not daemon-loss class"
+                )
+    return {
+        "seed": seed,
+        "schedule": schedule,
+        "config": config,
+        "fired": (faulted["injector"] or {}).get("fired_actions", 0),
+        "errors": len(faulted["errors"]),
+        "retries": faulted["stats"]["retries"],
+        "dead_daemons": faulted["stats"]["dead_daemons"],
     }
 
 
@@ -426,10 +736,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--servers", type=int, default=None, help="override the server count"
     )
+    parser.add_argument(
+        "--faults", action="store_true",
+        help="run the fault-schedule matrix (every schedule per seed) "
+        "instead of the configuration differential",
+    )
+    parser.add_argument(
+        "--schedule", default=None,
+        choices=RECOVERABLE_SCHEDULES + UNRECOVERABLE_SCHEDULES,
+        help="with --faults: run only this schedule",
+    )
     args = parser.parse_args(argv)
     seeds = [args.seed] if args.seed is not None else list(
         range(args.start, args.start + args.seeds)
     )
+    if args.faults:
+        return _main_faults(seeds, args.schedule)
     failures = 0
     for seed in seeds:
         try:
@@ -450,6 +772,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"{failures}/{len(seeds)} seeds diverged")
         return 1
     print(f"all {len(seeds)} seeds conform")
+    return 0
+
+
+def _main_faults(seeds: List[int], schedule: Optional[str]) -> int:
+    """The ``--faults`` soak loop: every (seed, schedule) combination."""
+    schedules = (
+        (schedule,) if schedule else RECOVERABLE_SCHEDULES + UNRECOVERABLE_SCHEDULES
+    )
+    failures = 0
+    combos = 0
+    for seed in seeds:
+        for name in schedules:
+            combos += 1
+            try:
+                summary = run_seed_with_faults(seed, name)
+            except AssertionError as exc:
+                failures += 1
+                print(f"seed {seed} schedule {name}: FAIL — {exc}")
+            else:
+                print(
+                    f"seed {seed} schedule {name}: ok "
+                    f"(fired={summary['fired']} retries={summary['retries']} "
+                    f"errors={summary['errors']} dead={summary['dead_daemons']})"
+                )
+    if failures:
+        print(f"{failures}/{combos} fault combinations diverged")
+        return 1
+    print(f"all {combos} fault combinations conform")
     return 0
 
 

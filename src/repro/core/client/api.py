@@ -153,6 +153,7 @@ class DOpenCLAPI:
             if not dev.available:
                 raise CLError(ErrorCode.CL_DEVICE_NOT_AVAILABLE, dev.name)
         context = ContextStub(self.driver, self.driver.new_id(), list(devices))
+        self.driver.register_context(context)
         self.driver.forward_creation(
             context.unique_servers,
             lambda conn: P.CreateContextRequest(

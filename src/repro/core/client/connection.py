@@ -56,6 +56,19 @@ class ServerConnection:
     devices: List[object] = field(default_factory=list)  # RemoteDevice stubs
     connected: bool = True
     window: SendWindow = field(default_factory=SendWindow)
+    #: True once the retry budget against this daemon was exhausted (or a
+    #: connection reset observed) and the driver declared the daemon dead:
+    #: its handles are poisoned, its replicas evicted, and no further
+    #: traffic is attempted.  ``dead_reason`` names the failure for error
+    #: messages.
+    dead: bool = False
+    dead_reason: str = ""
+    #: Replay identity: the connection epoch (bumped on reconnect) and the
+    #: next batch sequence number.  Stamped onto every ``CommandBatch``
+    #: when the driver runs with a retry policy, so the daemon can dedupe
+    #: replayed batches (see ``GCFProcess.install_batch_dispatch``).
+    epoch: int = 0
+    next_seq: int = 0
 
     @property
     def gcf(self):

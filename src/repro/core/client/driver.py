@@ -83,17 +83,19 @@ from repro.core.client.stubs import (
     ServerHandle,
     UserEventStub,
 )
+from repro.core.client.resilience import RetryPolicy, cl_error_for
 from repro.core.coherence.directory import CLIENT, Transfer, split_transfer_plan
 from repro.core.devmgr.config import parse_devmgr_config
 from repro.core.protocol import messages as P
 from repro.hw.node import Host
 from repro.net.gcf import GCFProcess, RequestOutcome
-from repro.net.link import ConnectionRefused
+from repro.net.link import ConnectionRefused, ConnectionReset
 from repro.net.network import Network
 from repro.net.streams import as_uint8_array, split_sections
 from repro.ocl.constants import CL_COMPLETE, CL_DEVICE_TYPE_ALL, ErrorCode
 from repro.ocl.errors import CLError
 from repro.sim.clock import VirtualClock
+from repro.sim.errors import CommunicationError
 
 #: Default send-window size: a window is force-flushed once it holds this
 #: many deferred commands (sync points flush earlier).
@@ -127,6 +129,7 @@ class DOpenCLDriver:
         defer_creations: bool = True,
         coalesce_transfers: bool = True,
         coalesce_reads: bool = True,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.host = host
         self.network = network
@@ -190,6 +193,18 @@ class DOpenCLDriver:
         # in a context that must not raise (e.g. inside a notification
         # handler) and surfaced at the next client-initiated sync point.
         self._deferred_failure: Optional[Tuple[P.Request, object, float]] = None
+        #: Optional :class:`~repro.core.client.resilience.RetryPolicy`.
+        #: ``None`` (the default) keeps every transport call exactly the
+        #: pre-resilience single attempt — zero overhead, zero wire
+        #: change.  With a policy, synchronous exchanges retry with
+        #: exponential backoff, batches carry a replay identity for the
+        #: daemon-side dedupe, and an exhausted budget declares the
+        #: daemon dead (see :meth:`_declare_daemon_lost`).
+        self.retry_policy = retry_policy
+        #: Every context created through this driver (registered by the
+        #: API layer) — the walk list for replica eviction on daemon
+        #: loss.
+        self.contexts: List[ContextStub] = []
         self._connections: Dict[str, ServerConnection] = {}
         self._ids = count(1)
         self._events: Dict[int, EventStub] = {}
@@ -211,9 +226,119 @@ class DOpenCLDriver:
     def connection(self, name: str) -> ServerConnection:
         """The live connection called ``name`` (CLError when absent)."""
         conn = self._connections.get(name)
+        if conn is not None and conn.dead:
+            raise CLError(
+                ErrorCode.CL_DEVICE_NOT_AVAILABLE,
+                f"daemon {name!r} is dead: {conn.dead_reason}",
+            )
         if conn is None or not conn.connected:
             raise CLError(ErrorCode.CL_INVALID_SERVER_WWU, f"not connected to {name!r}")
         return conn
+
+    def register_context(self, context: ContextStub) -> None:
+        """Record a context for the daemon-loss eviction walk (called by
+        the API layer when ``clCreateContext`` succeeds)."""
+        self.contexts.append(context)
+
+    # ------------------------------------------------------------------
+    # resilience: retries, timeouts, daemon-loss declaration
+    # ------------------------------------------------------------------
+    def _check_usable(self, conn: ServerConnection) -> None:
+        """Raise the connection's terminal error: ``CL_DEVICE_NOT_AVAILABLE``
+        for a daemon declared dead, ``CL_INVALID_SERVER_WWU`` for an
+        orderly disconnect."""
+        if conn.dead:
+            raise CLError(
+                ErrorCode.CL_DEVICE_NOT_AVAILABLE,
+                f"daemon {conn.name!r} is dead: {conn.dead_reason}",
+            )
+        if not conn.connected:
+            raise CLError(
+                ErrorCode.CL_INVALID_SERVER_WWU,
+                f"server {conn.name!r} was disconnected; objects on it are gone",
+            )
+
+    def _daemon_gone(self, conn: ServerConnection) -> bool:
+        """Cheap crash probe: a crashed daemon wiped its peer table, so
+        this client is no longer registered there.  Only consulted on
+        the resilient path (a retry policy is installed)."""
+        return self.gcf.name not in conn.daemon.gcf.peers
+
+    def _transport(self, conn: ServerConnection, attempt_fn, description: str):
+        """Run one synchronous transport exchange under the retry policy.
+
+        Without a policy this is exactly ``attempt_fn()`` — the
+        pre-resilience behaviour, including its exceptions.  With a
+        policy, a :class:`CommunicationError` charges the policy's
+        timeout penalty on the client clock (``stats.timeouts``) and the
+        exchange is re-attempted with exponential backoff
+        (``stats.retries``); a :class:`ConnectionReset` — or a crash
+        detected by :meth:`_daemon_gone` — skips the remaining budget.
+        When the budget is exhausted the daemon is declared dead and
+        ``None`` is returned; the caller's sync path surfaces the stashed
+        failure (callers inside notification handlers must not raise).
+        """
+        policy = self.retry_policy
+        if policy is None:
+            return attempt_fn()
+        if conn.dead:
+            return None
+        last_exc: Optional[BaseException] = None
+        for attempt in range(policy.max_attempts):
+            if self._daemon_gone(conn):
+                reset = ConnectionReset(
+                    f"daemon {conn.name!r} dropped the session (crash/restart)"
+                )
+                self._declare_daemon_lost(conn, last_exc or reset)
+                return None
+            try:
+                return attempt_fn()
+            except ConnectionReset as exc:
+                self._declare_daemon_lost(conn, exc)
+                return None
+            except CommunicationError as exc:
+                last_exc = exc
+                self.stats.timeouts += 1
+                self.clock.advance_by(policy.penalty(attempt))
+                if attempt + 1 < policy.max_attempts:
+                    self.stats.retries += 1
+        self._declare_daemon_lost(conn, last_exc)
+        return None
+
+    def _declare_daemon_lost(self, conn: ServerConnection, exc: BaseException) -> None:
+        """Graceful degradation after an exhausted retry budget (or a
+        connection reset): mark the connection dead, make its devices
+        unavailable, poison every unresolved event homed on the daemon,
+        evict its replicas from every buffer's coherence directory, and
+        stash a deferred failure so the loss surfaces as a
+        ``CL_DEVICE_NOT_AVAILABLE``-class error at the next sync point.
+        Never raises — it can run inside notification-handler flushes."""
+        if conn.dead:
+            return
+        code, detail = cl_error_for(exc)
+        conn.dead = True
+        conn.dead_reason = detail
+        conn.connected = False
+        conn.window.swap_out()  # anything still windowed can never be delivered
+        self.stats.dead_daemons += 1
+        for dev in conn.devices:
+            dev.available = False
+        self.gcf.peers.pop(conn.daemon.gcf.name, None)
+        conn.daemon.gcf.peers.pop(self.gcf.name, None)
+        poison = (int(code), f"daemon {conn.name!r} died: {detail}")
+        for stub in self._events.values():
+            if stub.owner_server == conn.name and not stub.resolved:
+                stub.poisoned = poison
+        for context in self.contexts:
+            for buffer in context.live_buffers:
+                if buffer.released:
+                    continue
+                self.stats.evicted_replicas += buffer.coherence.evict(
+                    conn.name, reason=f"daemon {conn.name!r} died: {detail}"
+                )
+        if self._deferred_failure is None:
+            response = P.Ack(error=int(code), detail=poison[1])
+            self._deferred_failure = (None, response, self.clock.now)
 
     @staticmethod
     def check(response) -> object:
@@ -287,11 +412,7 @@ class DOpenCLDriver:
 
         With batching disabled this degenerates to an immediate
         synchronous round trip (identical outcome, eager error check)."""
-        if not conn.connected:
-            raise CLError(
-                ErrorCode.CL_INVALID_SERVER_WWU,
-                f"server {conn.name!r} was disconnected; objects on it are gone",
-            )
+        self._check_usable(conn)
         if type(msg) not in P.DEFERRABLE:
             raise CLError(
                 ErrorCode.CL_INVALID_OPERATION,
@@ -340,6 +461,9 @@ class DOpenCLDriver:
         msg, response, reply_arrival = self._deferred_failure
         self._deferred_failure = None
         self.clock.advance_to(reply_arrival)  # the client learns here
+        if msg is None:
+            # A daemon-loss declaration (no single command to blame).
+            raise CLError(ErrorCode(response.error), getattr(response, "detail", ""))
         _reads, creates = P.request_handles(msg)
         ids = f" (handle {', '.join(map(str, sorted(creates)))})" if creates else ""
         raise CLError(
@@ -389,10 +513,52 @@ class DOpenCLDriver:
         try:
             for conn, commands in batches:
                 msgs = [c.msg for c in commands]
-                outcome = self.gcf.request_batch(conn.daemon.gcf, msgs, t)
+                if self.retry_policy is None:
+                    outcome = self.gcf.request_batch(conn.daemon.gcf, msgs, t)
+                else:
+                    outcome = self._dispatch_batch_resilient(conn, msgs)
+                    if outcome is None:
+                        continue  # daemon declared dead; failure stashed
                 self._record_batch_failures(msgs, outcome)
         finally:
             self._dispatch_depth -= 1
+
+    def _dispatch_batch_resilient(self, conn: ServerConnection, msgs: List[P.Request]):
+        """Dispatch one batch under the retry policy: stamp it with the
+        connection's replay identity (epoch, next sequence number) so
+        every re-send is byte-identical and the daemon's dispatch dedupe
+        can re-answer an already-executed replay from its cached reply.
+        Returns the :class:`~repro.net.gcf.BatchOutcome`, or ``None``
+        when the daemon was declared dead mid-dispatch."""
+        if conn.dead:
+            self._record_lost_batch(conn, msgs)
+            return None
+        seq = conn.next_seq
+        conn.next_seq += 1
+        attempts = iter(range(1_000_000))
+
+        def attempt():
+            if next(attempts) > 0:
+                self.stats.replayed_batches += 1
+            return self.gcf.request_batch(
+                conn.daemon.gcf, msgs, self.clock.now, epoch=conn.epoch, seq=seq
+            )
+
+        outcome = self._transport(conn, attempt, "CommandBatch")
+        if outcome is None:
+            self._record_lost_batch(conn, msgs)
+        return outcome
+
+    def _record_lost_batch(self, conn: ServerConnection, msgs: Sequence[P.Request]) -> None:
+        """Stash a positional failure for a batch that could never be
+        delivered (its daemon is dead): the first undeliverable command
+        is blamed, mirroring how a daemon-side error would surface."""
+        if self._deferred_failure is None and msgs:
+            response = P.Ack(
+                error=int(ErrorCode.CL_DEVICE_NOT_AVAILABLE),
+                detail=f"daemon {conn.name!r} died: {conn.dead_reason}",
+            )
+            self._deferred_failure = (msgs[0], response, self.clock.now)
 
     def flush_connection(self, conn: ServerConnection, raise_errors: bool = True) -> None:
         """Send ``conn``'s window as one CommandBatch and settle the
@@ -551,22 +717,54 @@ class DOpenCLDriver:
         conn = self._connections.get(name)
         return conn.window.messages() if conn is not None else []
 
+    def _surface_transport_loss(self, conn: ServerConnection) -> None:
+        """A sync-path transport call came back ``None`` (daemon declared
+        dead mid-exchange): surface the stashed failure — or, if an
+        earlier deferred failure already occupies the slot, the
+        connection's terminal error.  Always raises."""
+        self._surface_deferred_failure()
+        self._check_usable(conn)
+        raise CLError(  # pragma: no cover - _check_usable always raises here
+            ErrorCode.CL_DEVICE_NOT_AVAILABLE, f"daemon {conn.name!r} unreachable"
+        )
+
     def roundtrip(self, conn: ServerConnection, msg: P.Request) -> RequestOutcome:
         """Synchronous request to ``conn`` with ordering preserved: the
         send window is flushed first so the daemon observes every
-        previously issued command before this one."""
+        previously issued command before this one.  Under a retry policy
+        the exchange is re-attempted on communication faults; requests
+        routed here are idempotent on replay (validation-only inits,
+        whole-object peer writes, finish barriers)."""
         self.flush_connection(conn)
-        outcome = self.gcf.request(conn.daemon.gcf, msg, self.clock.now)
+        outcome = self._transport(
+            conn,
+            lambda: self.gcf.request(conn.daemon.gcf, msg, self.clock.now),
+            type(msg).__name__,
+        )
+        if outcome is None:
+            self._surface_transport_loss(conn)
         self.clock.advance_to(outcome.reply_arrival)
         self.check(outcome.response)
         return outcome
 
     def send_bulk(self, conn: ServerConnection, init: P.Request, payload, nbytes: int):
-        """Ordered stream-based upload (flushes the window first)."""
+        """Ordered stream-based upload (flushes the window first).
+
+        Replay-safe under the retry policy: the init handler only
+        validates (no state change), and the sink applies a whole-object
+        write, so re-running the full init + payload + sink sequence
+        after a lost leg converges to the same daemon state."""
         self.flush_connection(conn)
-        outcome, arrival = self.gcf.send_bulk(
-            conn.daemon.gcf, init, payload, nbytes, self.clock.now
+        result = self._transport(
+            conn,
+            lambda: self.gcf.send_bulk(
+                conn.daemon.gcf, init, payload, nbytes, self.clock.now
+            ),
+            type(init).__name__,
         )
+        if result is None:
+            self._surface_transport_loss(conn)
+        outcome, arrival = result
         self.check(outcome.response)
         self.clock.advance_to(arrival)
         return outcome, arrival
@@ -574,9 +772,14 @@ class DOpenCLDriver:
     def fetch_bulk(self, conn: ServerConnection, request: P.Request):
         """Ordered stream-based download (flushes the window first)."""
         self.flush_connection(conn)
-        response, payload, arrival = self.gcf.fetch_bulk(
-            conn.daemon.gcf, request, self.clock.now
+        result = self._transport(
+            conn,
+            lambda: self.gcf.fetch_bulk(conn.daemon.gcf, request, self.clock.now),
+            type(request).__name__,
         )
+        if result is None:
+            self._surface_transport_loss(conn)
+        response, payload, arrival = result
         self.check(response)
         self.clock.advance_to(arrival)
         return response, payload, arrival
@@ -691,17 +894,25 @@ class DOpenCLDriver:
         complete before it proceeds").  Each server's send window is
         flushed first so the fanned-out call stays ordered."""
         for conn in servers:
-            if not conn.connected:
-                raise CLError(
-                    ErrorCode.CL_INVALID_SERVER_WWU,
-                    f"server {conn.name!r} was disconnected; objects on it are gone",
-                )
+            self._check_usable(conn)
         self.flush_connections(servers)
         t = self.clock.now
         outcomes: Dict[str, RequestOutcome] = {}
         latest = t
         for conn in servers:
-            outcome = self.gcf.request(conn.daemon.gcf, make_msg(conn), t)
+            # Through the retry layer: fanned-out requests (finish
+            # barriers, info queries) are idempotent on replay.  The
+            # clock only moves past ``t`` when a retry charged its
+            # timeout penalty, so the happy path is byte-identical.
+            outcome = self._transport(
+                conn,
+                lambda conn=conn: self.gcf.request(
+                    conn.daemon.gcf, make_msg(conn), self.clock.now
+                ),
+                "fanout request",
+            )
+            if outcome is None:
+                self._surface_transport_loss(conn)
             outcomes[conn.name] = outcome
             latest = max(latest, outcome.reply_arrival)
         self.clock.advance_to(latest)
@@ -1108,19 +1319,32 @@ class DOpenCLDriver:
         self.stats.coalesced_upload_sections += len(buffers)
         self.send_bulk(conn, init, [b.data for b in buffers], total)
 
-    def _fetch_bulk_prefixed(self, conn: ServerConnection, request: P.Request, seen):
+    def _fetch_bulk_prefixed(self, conn: ServerConnection, make_request, seen):
         """Stream-based download that flushes only ``conn``'s window
         prefix relevant to ``seen`` (a relevance set from
         :meth:`flush_for_handles`) instead of the whole window —
         commands queued after the downloaded data's producers stay
-        windowed."""
+        windowed.
+
+        ``make_request`` builds the fetch request (and registers its
+        transfer-event stubs); it is invoked *per attempt* under the
+        retry policy because the daemon registers the request's event
+        IDs before the reply leg — replaying the same IDs after a lost
+        reply would be rejected as duplicates, so every retry fetches
+        under fresh ones."""
         if conn.window:
             prefix = self._split_relevant_prefix(conn, seen)
             if prefix:
                 self._dispatch_command_batches([(conn, prefix)])
-        response, payload, arrival = self.gcf.fetch_bulk(
-            conn.daemon.gcf, request, self.clock.now
-        )
+
+        def attempt():
+            request = make_request()
+            return self.gcf.fetch_bulk(conn.daemon.gcf, request, self.clock.now)
+
+        result = self._transport(conn, attempt, "bulk fetch")
+        if result is None:
+            self._surface_transport_loss(conn)
+        response, payload, arrival = result
         self.check(response)
         self.clock.advance_to(arrival)
         return response, payload, arrival
@@ -1141,16 +1365,29 @@ class DOpenCLDriver:
             self.buffer_sync_handles(buffer) + self.queue_sync_handles(queue),
             raise_errors=False,
         )
-        stub = self._new_transfer_event(buffer.context, server_name)
-        request = P.BufferDataDownload(
-            buffer_id=buffer.id,
-            queue_id=queue.id,
-            event_id=stub.id,
-            offset=0,
-            nbytes=buffer.size,
-            wait_event_ids=[],
-        )
-        _response, payload, _arrival = self._fetch_bulk_prefixed(conn, request, seen)
+        def make_request():
+            # Fresh transfer event per attempt: the daemon registers the
+            # event ID before streaming data back, so a retried fetch
+            # must not replay an already-registered ID.
+            stub = self._new_transfer_event(buffer.context, server_name)
+            return P.BufferDataDownload(
+                buffer_id=buffer.id,
+                queue_id=queue.id,
+                event_id=stub.id,
+                offset=0,
+                nbytes=buffer.size,
+                wait_event_ids=[],
+            )
+
+        try:
+            _response, payload, _arrival = self._fetch_bulk_prefixed(conn, make_request, seen)
+        except CLError as exc:
+            # The directory already marked the client copy valid
+            # (acquire_read is optimistic); the bytes never arrived.
+            buffer.coherence.abort_client_fetch(
+                f"download from {server_name!r} failed: {exc}"
+            )
+            raise
         buffer.data[:] = as_uint8_array(payload)
 
     def _download_many_from_server(
@@ -1170,18 +1407,29 @@ class DOpenCLDriver:
         for buffer in buffers:
             handles.extend(self.buffer_sync_handles(buffer))
         seen = self.flush_for_handles(handles, raise_errors=False)
-        event_ids = [
-            self._new_transfer_event(buffer.context, server_name).id for buffer in buffers
-        ]
-        request = P.CoalescedBufferDownload(
-            queue_id=queue.id,
-            buffer_ids=[b.id for b in buffers],
-            event_ids=event_ids,
-            nbytes_list=[b.size for b in buffers],
-        )
+        def make_request():
+            # Fresh transfer events per attempt (see _download_from_server).
+            event_ids = [
+                self._new_transfer_event(buffer.context, server_name).id
+                for buffer in buffers
+            ]
+            return P.CoalescedBufferDownload(
+                queue_id=queue.id,
+                buffer_ids=[b.id for b in buffers],
+                event_ids=event_ids,
+                nbytes_list=[b.size for b in buffers],
+            )
+
         self.stats.coalesced_downloads += 1
         self.stats.coalesced_download_sections += len(buffers)
-        _response, payload, _arrival = self._fetch_bulk_prefixed(conn, request, seen)
+        try:
+            _response, payload, _arrival = self._fetch_bulk_prefixed(conn, make_request, seen)
+        except CLError as exc:
+            for buffer in buffers:  # optimistic acquire_read: see above
+                buffer.coherence.abort_client_fetch(
+                    f"download from {server_name!r} failed: {exc}"
+                )
+            raise
         sections = split_sections(payload, [b.size for b in buffers])
         for buffer, data in zip(buffers, sections):
             buffer.data[:] = data

@@ -1,0 +1,86 @@
+"""Client-side resilience policy: timeouts, backoff, and CL error mapping.
+
+The driver treats every synchronous transport exchange (a request, a
+batch dispatch, a bulk stream) as an *attempt*.  With no
+:class:`RetryPolicy` installed (the default) an attempt is exactly the
+pre-resilience call — zero overhead, zero behaviour change.  With a
+policy, an attempt that fails with a
+:class:`~repro.sim.errors.CommunicationError` is charged the policy's
+timeout penalty on the client clock (the simulation analogue of waiting
+out a socket timeout) and retried with exponential backoff until the
+budget is exhausted; a :class:`~repro.net.link.ConnectionReset` (the
+remote process is gone) short-circuits the budget, because retrying a
+crashed daemon is pointless.
+
+This module is also the single home of the *CL error mapping rules*: how
+each communication failure surfaces to the application once resilience
+gives up (satellite of the unified error taxonomy — see
+``docs/architecture.md``, "Failure semantics").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.net.link import (
+    ConnectionRefused,
+    ConnectionReset,
+    HostUnreachable,
+)
+from repro.ocl.constants import ErrorCode
+from repro.sim.errors import CommunicationError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-request timeout/backoff budget for client transport calls.
+
+    ``timeout`` is the base penalty (simulated seconds) charged for a
+    failed attempt; attempt ``k`` (0-based) waits
+    ``timeout * backoff**k``.  ``max_attempts`` bounds the total number
+    of attempts; once exhausted the daemon is declared dead.
+    """
+
+    timeout: float = 0.05
+    backoff: float = 2.0
+    max_attempts: int = 4
+
+    def __post_init__(self) -> None:
+        if self.timeout < 0:
+            raise ValueError(f"negative timeout {self.timeout}")
+        if self.backoff < 1.0:
+            raise ValueError(f"backoff must be >= 1, got {self.backoff}")
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+
+    def penalty(self, attempt: int) -> float:
+        """Simulated seconds charged for failed attempt ``attempt`` (0-based)."""
+        return self.timeout * (self.backoff ** attempt)
+
+
+def cl_error_for(exc: BaseException) -> Tuple[int, str]:
+    """Map a communication failure to its OpenCL error code + message.
+
+    The rules (kept in one place so client, daemon and docs agree):
+
+    * :class:`ConnectionRefused` — the server rejected the session
+      (bad auth): ``CL_CONNECTION_ERROR_WWU``.
+    * :class:`HostUnreachable` — no such host on the network:
+      ``CL_CONNECTION_ERROR_WWU``.
+    * :class:`ConnectionReset` — the remote process crashed:
+      ``CL_DEVICE_NOT_AVAILABLE`` (its devices are gone).
+    * Any other :class:`CommunicationError` (drop, sever, truncation,
+      closed channel) that survived the retry budget:
+      ``CL_DEVICE_NOT_AVAILABLE`` — the devices behind the link are
+      unreachable for good.
+    """
+    if isinstance(exc, ConnectionRefused):
+        return ErrorCode.CL_CONNECTION_ERROR_WWU, f"connection refused: {exc}"
+    if isinstance(exc, HostUnreachable):
+        return ErrorCode.CL_CONNECTION_ERROR_WWU, f"host unreachable: {exc}"
+    if isinstance(exc, ConnectionReset):
+        return ErrorCode.CL_DEVICE_NOT_AVAILABLE, f"daemon crashed: {exc}"
+    if isinstance(exc, CommunicationError):
+        return ErrorCode.CL_DEVICE_NOT_AVAILABLE, f"daemon unreachable: {exc}"
+    return ErrorCode.CL_CONNECTION_ERROR_WWU, str(exc)

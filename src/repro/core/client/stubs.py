@@ -352,6 +352,11 @@ class EventStub:
         #: Driver-installed callable flushing the forwarding this event's
         #: resolution depends on (see class docstring).
         self._flush_hook = None
+        #: Set to ``(error_code, reason)`` when the daemon homing this
+        #: event was declared dead before the completion arrived: the
+        #: event can never resolve, and waiting on it raises the recorded
+        #: error instead of the generic deadlock diagnostic.
+        self.poisoned: Optional[tuple] = None
         self.refcount = 1
 
     def attach_flush_hook(self, hook) -> None:
@@ -376,9 +381,15 @@ class EventStub:
     def wait(self, t: float) -> float:
         """Resolve the event, draining send windows via the flush hook;
         returns the virtual time the waiter resumes."""
+        if not self.resolved and self.poisoned is not None:
+            code, reason = self.poisoned
+            raise CLError(ErrorCode(code), reason)
         if not self.resolved and self._flush_hook is not None:
             self._flush_hook(self)  # drain send windows; may resolve us
         if not self.resolved:
+            if self.poisoned is not None:  # the flush itself killed the owner
+                code, reason = self.poisoned
+                raise CLError(ErrorCode(code), reason)
             raise CLError(
                 ErrorCode.CL_INVALID_EVENT_WAIT_LIST,
                 "deadlock: waiting on an event that can never complete",

@@ -37,7 +37,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ocl.constants import ErrorCode
+from repro.ocl.errors import CLError
 
 CLIENT = "client"
 
@@ -140,6 +143,10 @@ class MSIDirectory:
         self.state: Dict[str, State] = {CLIENT: State.SHARED}
         for name in servers:
             self.state[name] = State.INVALID
+        #: Non-``None`` once every valid copy died with its daemon (see
+        #: :meth:`evict`): names the loss for the deterministic
+        #: ``CL_DEVICE_NOT_AVAILABLE`` raised by later acquires.
+        self.lost_reason: Optional[str] = None
         self._check()
 
     # -- queries -------------------------------------------------------
@@ -170,9 +177,38 @@ class MSIDirectory:
         grouping by this value is exactly how
         :func:`split_transfer_plan` would group their individual
         download plans."""
+        if self.data_lost:
+            # Lost objects are never gang-fetch candidates; the owning
+            # read raises deterministically through ``acquire_read``.
+            return None
         if self.is_valid(CLIENT):
             return None
         return self._pick_owner()
+
+    @property
+    def data_lost(self) -> bool:
+        """True when no valid copy survives anywhere (see :meth:`evict`)."""
+        return self.lost_reason is not None
+
+    def evict(self, party: str, reason: str = "") -> int:
+        """Discard ``party``'s replica because its daemon died.
+
+        Returns 1 when a *valid* copy was discarded (the quantity behind
+        ``NetStats.evicted_replicas``), else 0.  If the evicted copy was
+        the last valid one the object's data is gone for good: the
+        directory records ``lost_reason`` and every later acquire raises
+        ``CL_DEVICE_NOT_AVAILABLE`` deterministically — unless a party
+        later overwrites the whole object (:meth:`mark_modified`), which
+        makes the data well-defined again.  Unknown parties are a no-op
+        (the dead daemon never held this object)."""
+        if party not in self.state or party == CLIENT:
+            return 0
+        was_valid = self.state[party] in self.VALID
+        self.state[party] = State.INVALID
+        if was_valid and not self._holders():
+            self.lost_reason = reason or f"only valid copy was on {party!r}"
+        self._check()
+        return 1 if was_valid else 0
 
     def _known(self, party: str) -> str:
         if party not in self.state:
@@ -185,6 +221,11 @@ class MSIDirectory:
     def _pick_owner(self) -> str:
         holders = self._holders()
         if not holders:
+            if self.data_lost:
+                raise CLError(
+                    ErrorCode.CL_DEVICE_NOT_AVAILABLE,
+                    f"buffer data lost: {self.lost_reason}",
+                )
             raise CoherenceError("no valid copy exists anywhere")
         for p in holders:
             if self.state[p] in (State.MODIFIED, State.OWNED):
@@ -224,12 +265,31 @@ class MSIDirectory:
         if self.state[owner] in (State.MODIFIED, State.OWNED):
             self.state[owner] = State.SHARED
 
+    def abort_client_fetch(self, reason: str) -> None:
+        """Roll back an optimistic ``acquire_read(CLIENT)`` whose physical
+        download failed.
+
+        :meth:`acquire_read` marks the client Shared *before* the bytes
+        move; if the transfer then dies (daemon loss, exhausted retries)
+        the client's entry claims a copy it never received.  Re-invalidate
+        it — and if the demoted owner has meanwhile been evicted too, the
+        data is genuinely gone, so record ``lost_reason`` exactly as
+        :meth:`evict` would have."""
+        if self.state.get(CLIENT) == State.SHARED:
+            self.state[CLIENT] = State.INVALID
+        if not self._holders() and not self.data_lost:
+            self.lost_reason = reason
+        self._check()
+
     def mark_modified(self, party: str) -> None:
         """``party`` wrote the object: it becomes Modified, everyone else
         Invalid (kernel wrote a buffer / host overwrote the stub)."""
         party = self._known(party)
         for p in self.state:
             self.state[p] = State.MODIFIED if p == party else State.INVALID
+        # A whole-object overwrite defines every byte anew: previously
+        # lost data is well-defined again.
+        self.lost_reason = None
         self._check()
 
     def host_overwrite(self) -> None:
@@ -247,7 +307,7 @@ class MSIDirectory:
                 others = [q for q in self.state if q != p and self.state[q] != State.INVALID]
                 if others:
                     raise CoherenceError(f"{p} is Modified but {others} are not Invalid")
-        if not self._holders():
+        if not self._holders() and not self.data_lost:
             raise CoherenceError("no valid copy exists anywhere")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

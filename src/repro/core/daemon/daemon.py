@@ -60,6 +60,7 @@ from repro.ocl.queue import CommandQueue
 from repro.clc import LocalMemory
 from repro.core.daemon.registry import Registry
 from repro.clc.types import PointerType
+from repro.sim.errors import CommunicationError
 
 
 #: Bound on the buffered status-before-create entries **per client**.
@@ -80,6 +81,16 @@ from repro.clc.types import PointerType
 #: client keeps one runaway client from consuming another client's
 #: budget.
 PENDING_EVENT_STATUS_LIMIT = 4096
+
+#: Immediate re-send budget for event-completion notifications.  A
+#: notification is fired from inside an OpenCL event callback, where an
+#: exception would unwind the daemon's completion machinery instead of
+#: reaching any client — so a failed send is retried a few times and
+#: then *dropped and counted* (``NetStats.lost_notifications``).  A
+#: notification lost for good leaves the client-side event stub
+#: unresolved, which a later ``wait`` surfaces as the deterministic
+#: unresolvable-event error — degraded, never silent corruption.
+NOTIFY_RETRY_LIMIT = 3
 
 
 class Daemon:
@@ -126,6 +137,8 @@ class Daemon:
         #: :data:`PENDING_EVENT_STATUS_LIMIT`); a second status for the
         #: same replica keeps the *later* causality floor.
         self._pending_event_status: Dict[str, "OrderedDict[int, Tuple[int, float]]"] = {}
+        #: Bumped by :meth:`crash`: which "life" of the process this is.
+        self.incarnation = 0
         self._install_handlers()
 
     # ------------------------------------------------------------------
@@ -208,6 +221,36 @@ class Daemon:
     def name(self) -> str:
         """The daemon's GCF process name."""
         return self.gcf.name
+
+    def crash(self) -> None:
+        """Simulate a hard daemon failure (process killed, host still up).
+
+        All volatile state dies with the process: the object registry
+        (every buffer, program, kernel, queue, event — and their data),
+        the status-before-create buffers, the client sessions and their
+        auth mappings, and the GCF peer table.  Clearing ``gcf.peers``
+        is what the client driver's liveness probe observes
+        (``DOpenCLDriver._daemon_gone``), so a crash is detected as an
+        immediate connection reset rather than a timeout.  The
+        incarnation counter lets tests distinguish pre- and post-crash
+        state after a :meth:`restart`."""
+        self.registry = Registry()
+        self._pending_event_status.clear()
+        self.client_auth.clear()
+        self.auth_devices.clear()
+        self.gcf.peers.clear()
+        self.incarnation += 1
+
+    def restart(self, t: float = 0.0) -> float:
+        """Bring a crashed daemon back up with empty state.
+
+        The registry and sessions were already wiped by :meth:`crash`;
+        a restart merely re-runs managed-mode registration (a fresh
+        process re-announcing its devices).  Clients must reconnect —
+        their old sessions died with the process, and a reconnecting
+        driver bumps its connection ``epoch`` so replayed batches from
+        the previous life can never dedupe against the new one."""
+        return self.start(t)
 
     def start(self, t: float = 0.0) -> float:
         """Register with the device manager when in managed mode; returns
@@ -910,24 +953,45 @@ class Daemon:
         have no replicas and pass nothing."""
 
         def on_complete(_event, status, t_complete):
-            self.gcf.notify(
-                client,
-                P.EventCompleteNotification(
-                    event_id=event_id, status=status, completed_at=t_complete
-                ),
-                t_complete,
+            self._send_from_callback(
+                lambda: self.gcf.notify(
+                    client,
+                    P.EventCompleteNotification(
+                        event_id=event_id, status=status, completed_at=t_complete
+                    ),
+                    t_complete,
+                )
             )
             if self.direct_event_broadcast and replica_servers:
                 for name in replica_servers:
                     peer = self.peer_daemons.get(name)
                     if peer is None:
                         continue
-                    arrival = self.network.transfer(
-                        self.host, peer.host, t_complete, 96, tag="s2s-event"
-                    )
-                    peer.deliver_event_status(client.name, event_id, 0, arrival)
+
+                    def broadcast(peer=peer):
+                        arrival = self.network.transfer(
+                            self.host, peer.host, t_complete, 96, tag="s2s-event"
+                        )
+                        peer.deliver_event_status(client.name, event_id, 0, arrival)
+
+                    self._send_from_callback(broadcast)
 
         event.set_callback(on_complete)
+
+    def _send_from_callback(self, send) -> bool:
+        """Run one notification ``send`` with the bounded retry policy of
+        :data:`NOTIFY_RETRY_LIMIT`.  Event callbacks must never raise
+        (see there), so a send still failing after the budget is dropped
+        and counted in ``NetStats.lost_notifications``; returns whether
+        the send eventually went through."""
+        for _ in range(NOTIFY_RETRY_LIMIT):
+            try:
+                send()
+                return True
+            except CommunicationError:
+                continue
+        self.gcf.stats.lost_notifications += 1
+        return False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         mode = "managed" if self.managed else "open"

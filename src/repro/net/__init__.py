@@ -20,7 +20,17 @@ The stack, bottom-up:
 
 from repro.net.codec import CodecError, decode, encode, encoded_size
 from repro.net.frames import transfer_duration
-from repro.net.link import NetworkError
+from repro.net.link import (
+    ConnectionRefused,
+    ConnectionReset,
+    HostUnreachable,
+    LinkSevered,
+    MessageDropped,
+    NetworkError,
+    StreamTruncated,
+)
+from repro.sim.channel import ChannelClosed
+from repro.sim.errors import CommunicationError
 from repro.net.messages import (
     CommandBatch,
     CommandBatchResponse,
@@ -38,16 +48,24 @@ from repro.net.iperf import IperfResult, run_iperf
 
 __all__ = [
     "BatchOutcome",
+    "ChannelClosed",
     "CodecError",
     "CommandBatch",
     "CommandBatchResponse",
+    "CommunicationError",
+    "ConnectionRefused",
+    "ConnectionReset",
     "GCFProcess",
+    "HostUnreachable",
     "IperfResult",
+    "LinkSevered",
     "Message",
+    "MessageDropped",
     "NIC",
     "NetStats",
     "Network",
     "NetworkError",
+    "StreamTruncated",
     "Notification",
     "Request",
     "RequestOutcome",

@@ -26,7 +26,7 @@ batching benchmarks.
 
 from __future__ import annotations
 
-from collections import deque
+from collections import OrderedDict, deque
 from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple, Type
 
 from repro.hw.node import Host
@@ -148,6 +148,34 @@ class NetStats:
         client's status-before-create buffer was full (the bounded
         overflow policy — an error reply on the request path, a counted
         drop on the broadcast-callback path).
+    ``timeouts``
+        Client-side: transport attempts that failed with a
+        :class:`~repro.sim.errors.CommunicationError` and were charged
+        the retry policy's timeout penalty (see
+        :mod:`repro.core.client.resilience`).
+    ``retries``
+        Client-side: re-attempts actually dispatched after a timeout
+        (``retries <= timeouts``; the last timeout of an exhausted
+        budget has no retry).
+    ``replayed_batches``
+        Client-side: :class:`CommandBatch` envelopes re-sent with the
+        same (epoch, seq) replay identity after a lost attempt.
+    ``deduped_batches``
+        Daemon-side: replayed batches answered from the dispatch
+        dedupe cache *without* re-running any handler — the
+        exactly-once half of at-least-once delivery.  Structurally,
+        the sum of ``deduped_batches`` over daemons never exceeds the
+        sum of ``replayed_batches`` over clients.
+    ``evicted_replicas``
+        Client-side: coherence-directory replicas discarded because
+        the daemon holding them was declared dead.
+    ``dead_daemons``
+        Client-side: daemons this process declared dead after
+        exhausting the retry budget (or on a connection reset).
+    ``lost_notifications``
+        Daemon-side: one-way event notifications abandoned after the
+        bounded notification retry gave up — the client will observe
+        the event state at its next synchronous exchange instead.
 
     ``round_trips`` (a property) is ``requests + batches + bulk_fetches``:
     every synchronous client<->server exchange the process blocked on.
@@ -181,6 +209,13 @@ class NetStats:
         "coalesced_peer_transfer_sections",
         "prefix_flushes",
         "dropped_event_statuses",
+        "timeouts",
+        "retries",
+        "replayed_batches",
+        "deduped_batches",
+        "evicted_replicas",
+        "dead_daemons",
+        "lost_notifications",
     )
 
     def __init__(self) -> None:
@@ -346,6 +381,7 @@ class GCFProcess:
         reply_cache_size: int = 256,
         guard: Optional[Callable[[Message, "GCFProcess"], Optional[Response]]] = None,
         observe: Optional[Callable[[Message, Response, "GCFProcess"], None]] = None,
+        replay_cache_size: int = 512,
     ) -> None:
         """Make this process accept :class:`CommandBatch` envelopes.
 
@@ -390,8 +426,19 @@ class GCFProcess:
         undispatchable — bumps ``stats.batched_commands_received``
         exactly once; cache hits surface as ``stats.decode_cache_hits``
         and ``stats.reply_cache_hits``.
+
+        **Replay dedupe** (exactly-once effect): a batch carrying a
+        replay identity (``msg.seq >= 0``) is looked up in a bounded
+        cache keyed ``(sender name, epoch, seq)`` *before* any handler
+        runs.  A hit re-answers the replayed batch from the cached
+        :class:`CommandBatchResponse` — no handler re-executes, no
+        kernel runs twice, no transfer double-applies — and bumps
+        ``stats.deduped_batches`` (the batch's sub-commands are *not*
+        re-counted in ``batched_commands_received``).  Identity-less
+        batches (``seq < 0``, the happy path) skip the lookup entirely.
         """
         reply_cache = ReplyCache(maxsize=reply_cache_size)
+        replay_cache: "OrderedDict[Tuple[str, int, int], CommandBatchResponse]" = OrderedDict()
 
         def encode_reply(raw: bytes, response: Response) -> bytes:
             reply_hits = reply_cache.hits
@@ -406,6 +453,14 @@ class GCFProcess:
 
         @self.on_request(CommandBatch)
         def dispatch_batch(msg: CommandBatch, t: float, sender: "GCFProcess"):
+            replay_key = None
+            if msg.seq >= 0:
+                replay_key = (sender.name, msg.epoch, msg.seq)
+                cached = replay_cache.get(replay_key)
+                if cached is not None:
+                    replay_cache.move_to_end(replay_key)
+                    self.stats.deduped_batches += 1
+                    return cached, t
             per_cmd = self.host.spec.batch_command_overhead
             results: List[bytes] = []
             tcur = t
@@ -454,7 +509,12 @@ class GCFProcess:
                 if observe is not None:
                     observe(sub, response, sender)
                 results.append(encode_reply(raw, response))
-            return CommandBatchResponse(results=results), tcur
+            reply = CommandBatchResponse(results=results)
+            if replay_key is not None and replay_cache_size > 0:
+                replay_cache[replay_key] = reply
+                if len(replay_cache) > replay_cache_size:
+                    replay_cache.popitem(last=False)
+            return reply, tcur
 
     def on_disconnect(self, fn: Callable[[str, float], None]) -> Callable[[str, float], None]:
         """Register the handler observing peer disconnects."""
@@ -515,7 +575,12 @@ class GCFProcess:
         return RequestOutcome(response, t, arrival, t_done, reply_arrival)
 
     def request_batch(
-        self, target: "GCFProcess", msgs: Sequence[Request], t: float
+        self,
+        target: "GCFProcess",
+        msgs: Sequence[Request],
+        t: float,
+        epoch: int = 0,
+        seq: int = -1,
     ) -> BatchOutcome:
         """Forward a whole send window in ONE round trip.
 
@@ -533,6 +598,11 @@ class GCFProcess:
         :class:`~repro.net.messages.WireDecodeCache`, so byte-identical
         replies — overwhelmingly the success ``Ack`` — are decoded once
         (``stats.decode_cache_hits``).
+
+        ``epoch``/``seq`` stamp the batch's replay identity for the
+        receiver's dispatch dedupe (see :meth:`install_batch_dispatch`);
+        the defaults leave the batch identity-less and its wire bytes
+        unchanged.
         """
         if not msgs:
             raise ValueError("request_batch needs at least one command")
@@ -546,7 +616,7 @@ class GCFProcess:
             if "_cached_wire" in m.__dict__:
                 self.stats.encode_cache_hits += 1
             commands.append(m.cached_wire())
-        batch = CommandBatch(commands=commands)
+        batch = CommandBatch(commands=commands, epoch=epoch, seq=seq)
         arrival = self.network.transfer(
             self.host, target.host, t, batch.wire_size, tag="CommandBatch"
         )

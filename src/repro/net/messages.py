@@ -212,9 +212,30 @@ class CommandBatch(Request):
     one :data:`MESSAGE_HEADER_BYTES` header and one network round trip;
     the receiver decodes each sub-command once and dispatches it to the
     handler registered for its type, in order.
+
+    ``epoch``/``seq`` form the batch's *replay identity* (together with
+    the sending process name): when the client dispatches with a retry
+    policy it stamps each batch with its connection epoch and a
+    monotonically increasing sequence number, and the daemon's dispatch
+    dedupe re-answers an already-executed (epoch, seq) from its cached
+    reply instead of re-running the handlers — at-least-once on the wire,
+    exactly-once in effect.  ``seq < 0`` (the default) means "no replay
+    identity": the two fields are omitted from the payload entirely so
+    the happy-path wire encoding is byte-identical to the pre-resilience
+    format.
     """
 
     commands: List[bytes]
+    epoch: int = 0
+    seq: int = -1
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Payload dict; drops the replay identity when it is unset."""
+        payload = super().to_payload()
+        if self.seq < 0:
+            del payload["epoch"]
+            del payload["seq"]
+        return payload
 
 
 @message_type

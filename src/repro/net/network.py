@@ -24,6 +24,11 @@ class Network:
         self.spec = spec
         self.name = name
         self.hosts: Dict[str, Host] = {}
+        #: Optional :class:`repro.sim.faults.FaultInjector`.  ``None`` (the
+        #: default) keeps the happy path byte-for-byte identical: the
+        #: injection check is a single attribute test per transfer and no
+        #: timeline charge changes.
+        self.fault_injector = None
 
     def add_host(self, host: Host) -> Host:
         """Attach ``host``; creates and installs its NIC."""
@@ -48,10 +53,15 @@ class Network:
     def transfer(self, src: Host, dst: Host, ready: float, nbytes: int, tag: object = None) -> float:
         """Move ``nbytes`` from ``src`` to ``dst``; returns arrival time.
 
-        Loopback (src is dst) is charged as a host-internal copy.
+        Loopback (src is dst) is charged as a host-internal copy.  When a
+        fault injector is installed, every non-loopback transfer consults
+        it first — the injector may raise (drop/sever/truncate/reset) or
+        return an extra holding delay before the NIC is charged.
         """
         if src is dst:
             return ready + nbytes / 8e9
+        if self.fault_injector is not None:
+            ready += self.fault_injector.on_transfer(src.name, dst.name, tag, nbytes)
         src_nic, dst_nic = self._nic(src), self._nic(dst)
         tx = src_nic.send(ready, nbytes, tag)
         rx = dst_nic.receive(tx.start + self.spec.latency, nbytes, tag)

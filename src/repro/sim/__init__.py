@@ -18,17 +18,43 @@ Both models share one unit of time: seconds, as ``float``.
 """
 
 from repro.sim.clock import VirtualClock
-from repro.sim.errors import SimulationError, ProcessKilled
+from repro.sim.errors import (
+    CommunicationError,
+    ProcessKilled,
+    SimulationError,
+    WatchdogTimeout,
+)
 from repro.sim.eventqueue import EventQueue
 from repro.sim.timeline import Interval, Timeline
 from repro.sim.process import Environment, Process, SimEvent, Timeout
 from repro.sim.channel import Channel, ChannelClosed
+from repro.sim.watchdog import drain_within, get_within, guarded
+
+#: Names served lazily from :mod:`repro.sim.faults` (PEP 562): the fault
+#: module raises :mod:`repro.net.link` error classes, and ``repro.net``
+#: imports the hardware layer, which imports this package — eagerly
+#: importing faults here would close that cycle at import time.
+_FAULT_EXPORTS = ("FaultAction", "FaultInjector", "FaultPlan", "install_fault_injector")
+
+
+def __getattr__(name: str):
+    """Lazy re-export of the fault-injection API (see ``_FAULT_EXPORTS``)."""
+    if name in _FAULT_EXPORTS:
+        from repro.sim import faults
+
+        return getattr(faults, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "Channel",
     "ChannelClosed",
+    "CommunicationError",
     "Environment",
     "EventQueue",
+    "FaultAction",
+    "FaultInjector",
+    "FaultPlan",
     "Interval",
     "Process",
     "ProcessKilled",
@@ -37,4 +63,9 @@ __all__ = [
     "Timeline",
     "Timeout",
     "VirtualClock",
+    "WatchdogTimeout",
+    "drain_within",
+    "get_within",
+    "guarded",
+    "install_fault_injector",
 ]

@@ -5,13 +5,18 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, Optional
 
-from repro.sim.errors import SimulationError
+from repro.sim.errors import CommunicationError, SimulationError
 from repro.sim.process import Environment, SimEvent
 
 
-class ChannelClosed(SimulationError):
+class ChannelClosed(SimulationError, CommunicationError):
     """Raised on ``get`` from a closed, empty channel or ``put`` to a closed
-    channel."""
+    channel.
+
+    Inherits :class:`CommunicationError` too, so resilience code that
+    handles "the message did not make it" catches channel closure alongside
+    the :mod:`repro.net.link` failures with a single except clause.
+    """
 
 
 class Channel:

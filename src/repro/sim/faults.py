@@ -1,0 +1,279 @@
+"""Deterministic fault injection for the simulated network.
+
+The unit of injection is a *transfer*: every non-loopback
+:meth:`repro.net.network.Network.transfer` consults the network's
+installed :class:`FaultInjector` before charging any timeline.  A
+:class:`FaultPlan` is a list of :class:`FaultAction` rows, each of which
+fires on the *nth* transfer matching its ``src``/``dst``/``tag_prefix``
+filters — occurrence counting makes plans exactly replayable: the same
+program plus the same plan faults the same message every run, because
+the simulation itself is deterministic.
+
+Supported action kinds:
+
+``drop``
+    Discard one matching message (:class:`~repro.net.link.MessageDropped`).
+``delay``
+    Hold one matching message back by ``delay`` simulated seconds.
+``truncate``
+    Cut one matching bulk payload short
+    (:class:`~repro.net.link.StreamTruncated`).
+``sever``
+    Take the link between two hosts down
+    (:class:`~repro.net.link.LinkSevered`); ``heal_after`` blocked
+    transfers later the link comes back, or never if ``heal_after`` is
+    ``None``.
+``crash``
+    Kill the process on ``host``: its registered crash hook runs (wiping
+    daemon state, see :meth:`repro.core.daemon.daemon.Daemon.crash`) and
+    every transfer touching the host raises
+    :class:`~repro.net.link.ConnectionReset` until the host is
+    :meth:`restarted <FaultInjector.restart>`.
+
+The injector doubles as the suite's hang watchdog: ``max_transfers``
+bounds the total number of transfers a run may attempt, so a retry loop
+that stops converging fails fast with
+:class:`~repro.sim.errors.WatchdogTimeout` instead of spinning.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.net.link import (
+    ConnectionReset,
+    LinkSevered,
+    MessageDropped,
+    StreamTruncated,
+)
+from repro.sim.errors import WatchdogTimeout
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One scheduled fault: *kind* fired on the *nth* matching transfer.
+
+    ``src``/``dst``/``tag``/``tag_prefix`` are optional filters (``None``
+    matches anything); ``tag`` matches the transfer tag exactly —
+    crucial when one tag is a prefix of another (``CommandBatch`` vs
+    ``CommandBatchResponse``) — while ``tag_prefix`` matches families
+    like ``bulk:``.  ``nth`` is 1-based among the transfers that pass
+    the filters.  ``delay`` is used by ``delay`` actions, ``heal_after``
+    by ``sever`` actions, ``host`` by ``crash`` actions (defaulting to
+    the matched transfer's destination).
+    """
+
+    kind: str
+    nth: int = 1
+    src: Optional[str] = None
+    dst: Optional[str] = None
+    tag: Optional[str] = None
+    tag_prefix: Optional[str] = None
+    delay: float = 0.0
+    heal_after: Optional[int] = None
+    host: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("drop", "delay", "truncate", "sever", "crash"):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.nth < 1:
+            raise ValueError(f"nth must be >= 1, got {self.nth}")
+
+    def matches(self, src: str, dst: str, tag: str) -> bool:
+        """True if a transfer ``src -> dst`` with ``tag`` passes the filters."""
+        if self.src is not None and self.src != src:
+            return False
+        if self.dst is not None and self.dst != dst:
+            return False
+        if self.tag is not None and tag != self.tag:
+            return False
+        if self.tag_prefix is not None and not tag.startswith(self.tag_prefix):
+            return False
+        return True
+
+
+@dataclass
+class FaultPlan:
+    """An ordered set of :class:`FaultAction` rows plus the run's watchdog.
+
+    Plans are plain data — build them explicitly for targeted schedules
+    or derive one from a seed with :meth:`from_seed` for soak runs.
+    """
+
+    actions: List[FaultAction] = field(default_factory=list)
+    max_transfers: Optional[int] = None
+
+    @classmethod
+    def from_seed(
+        cls,
+        seed: int,
+        n_faults: int = 3,
+        tags: Tuple[str, ...] = ("CommandBatch", "CommandBatchResponse", "bulk:"),
+        max_transfers: Optional[int] = 200_000,
+    ) -> "FaultPlan":
+        """A replayable random plan of transient (recoverable) faults.
+
+        Draws ``n_faults`` drop/delay actions against the given tag
+        prefixes with occurrence indices spread over the early part of a
+        run.  The same seed always yields the same plan.
+        """
+        rng = random.Random(seed)
+        actions = []
+        for _ in range(n_faults):
+            kind = rng.choice(("drop", "drop", "delay"))
+            actions.append(
+                FaultAction(
+                    kind=kind,
+                    nth=rng.randint(1, 12),
+                    tag_prefix=rng.choice(tags),
+                    delay=rng.uniform(0.001, 0.05) if kind == "delay" else 0.0,
+                )
+            )
+        return cls(actions=actions, max_transfers=max_transfers)
+
+
+class FaultInjector:
+    """Evaluates a :class:`FaultPlan` against the stream of transfers.
+
+    Install one on a network with
+    :func:`install_fault_injector`; every non-loopback transfer calls
+    :meth:`on_transfer`, which either returns an extra delay (possibly
+    zero) or raises the scheduled :class:`~repro.net.link.NetworkError`.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._match_counts: List[int] = [0] * len(plan.actions)
+        self._fired: List[bool] = [False] * len(plan.actions)
+        self._severed: Dict[FrozenSet[str], Optional[int]] = {}
+        self._crashed: set = set()
+        self._crash_hooks: Dict[str, Callable[[], None]] = {}
+        self.total_transfers = 0
+        self.injected_drops = 0
+        self.injected_delays = 0
+        self.injected_truncations = 0
+        self.links_severed = 0
+        self.links_healed = 0
+        self.blocked_by_sever = 0
+        self.crashes = 0
+        self.reset_rejections = 0
+
+    # ------------------------------------------------------------------
+    def register_crash_hook(self, host_name: str, hook: Callable[[], None]) -> None:
+        """Run ``hook`` (e.g. ``daemon.crash``) when ``host_name`` is crashed."""
+        self._crash_hooks[host_name] = hook
+
+    def restart(self, host_name: str) -> None:
+        """Bring a crashed host back; transfers to it flow again."""
+        self._crashed.discard(host_name)
+
+    def heal(self, a: str, b: str) -> None:
+        """Explicitly repair a severed link between hosts ``a`` and ``b``."""
+        pair = frozenset((a, b))
+        if pair in self._severed:
+            del self._severed[pair]
+            self.links_healed += 1
+
+    @property
+    def fired_count(self) -> int:
+        """How many plan actions have fired so far."""
+        return sum(self._fired)
+
+    def snapshot(self) -> Dict[str, int]:
+        """The injector's counters as a plain dict (for test assertions)."""
+        return {
+            "total_transfers": self.total_transfers,
+            "injected_drops": self.injected_drops,
+            "injected_delays": self.injected_delays,
+            "injected_truncations": self.injected_truncations,
+            "links_severed": self.links_severed,
+            "links_healed": self.links_healed,
+            "blocked_by_sever": self.blocked_by_sever,
+            "crashes": self.crashes,
+            "reset_rejections": self.reset_rejections,
+            "fired_actions": self.fired_count,
+        }
+
+    # ------------------------------------------------------------------
+    def on_transfer(self, src: str, dst: str, tag: object, nbytes: int) -> float:
+        """Gate one transfer; returns extra delay or raises a fault.
+
+        Evaluation order: watchdog budget, crashed endpoints, severed
+        links, then the first not-yet-fired plan action whose occurrence
+        count reaches ``nth``.
+        """
+        self.total_transfers += 1
+        budget = self.plan.max_transfers
+        if budget is not None and self.total_transfers > budget:
+            raise WatchdogTimeout(
+                f"fault watchdog: run exceeded {budget} transfers "
+                f"(last: {src} -> {dst} tag={tag!r}) — retry livelock?"
+            )
+        if src in self._crashed or dst in self._crashed:
+            self.reset_rejections += 1
+            down = src if src in self._crashed else dst
+            raise ConnectionReset(f"host {down!r} crashed (transfer {src} -> {dst})")
+        pair = frozenset((src, dst))
+        if pair in self._severed:
+            self.blocked_by_sever += 1
+            remaining = self._severed[pair]
+            if remaining is not None:
+                remaining -= 1
+                if remaining <= 0:
+                    del self._severed[pair]
+                    self.links_healed += 1
+                else:
+                    self._severed[pair] = remaining
+            raise LinkSevered(f"link {src} <-> {dst} is severed (tag={tag!r})")
+
+        tag_str = "" if tag is None else str(tag)
+        for i, action in enumerate(self.plan.actions):
+            if self._fired[i] or not action.matches(src, dst, tag_str):
+                continue
+            self._match_counts[i] += 1
+            if self._match_counts[i] < action.nth:
+                continue
+            self._fired[i] = True
+            if action.kind == "drop":
+                self.injected_drops += 1
+                raise MessageDropped(
+                    f"injected drop: {src} -> {dst} tag={tag!r} ({nbytes} B)"
+                )
+            if action.kind == "delay":
+                self.injected_delays += 1
+                return action.delay
+            if action.kind == "truncate":
+                self.injected_truncations += 1
+                raise StreamTruncated(
+                    f"injected truncation: {src} -> {dst} tag={tag!r} ({nbytes} B)"
+                )
+            if action.kind == "sever":
+                a = action.src if action.src is not None else src
+                b = action.dst if action.dst is not None else dst
+                self._severed[frozenset((a, b))] = action.heal_after
+                self.links_severed += 1
+                self.blocked_by_sever += 1
+                raise LinkSevered(f"injected sever: link {a} <-> {b} is down")
+            # crash
+            host = action.host if action.host is not None else dst
+            self._crashed.add(host)
+            self.crashes += 1
+            hook = self._crash_hooks.get(host)
+            if hook is not None:
+                hook()
+            self.reset_rejections += 1
+            raise ConnectionReset(f"injected crash of host {host!r}")
+        return 0.0
+
+
+def install_fault_injector(network, plan: FaultPlan) -> FaultInjector:
+    """Attach a fresh :class:`FaultInjector` for ``plan`` to ``network``.
+
+    Returns the injector so callers can register crash hooks and read
+    its counters afterwards.
+    """
+    injector = FaultInjector(plan)
+    network.fault_injector = injector
+    return injector

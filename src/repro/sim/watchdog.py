@@ -1,0 +1,82 @@
+"""Sim-clock watchdog helpers: bounded waits that fail fast.
+
+A test that waits on a :class:`~repro.sim.channel.Channel` which never
+delivers hangs pytest (or trips the environment's generic
+``max_steps`` limit with no context).  These helpers bound the wait in
+*simulated* time and raise :class:`~repro.sim.errors.WatchdogTimeout`
+with a diagnostic naming what was being waited for, so a future
+deadlock is a red test with a message instead of a stuck process.
+
+Two call styles are supported:
+
+* From test code that owns the event loop —
+  :func:`get_within` / :func:`drain_within` drive ``env.run`` themselves.
+* From inside a process generator —
+  ``value = yield from guarded(env, event, deadline, "label")``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.sim.channel import Channel
+from repro.sim.errors import WatchdogTimeout
+from repro.sim.process import Environment, SimEvent
+
+
+def get_within(env: Environment, channel: Channel, deadline: float, label: str = "") -> Any:
+    """One bounded ``channel.get()``: drive the environment until the item
+    arrives or ``deadline`` simulated seconds elapse (then raise
+    :class:`WatchdogTimeout` naming ``label``)."""
+    ev = channel.get()
+    guard = env.timeout(deadline)
+    env.run(until=env.any_of([ev, guard]))
+    if ev.triggered:
+        if ev.ok:
+            return ev.value
+        raise ev.value
+    raise WatchdogTimeout(
+        f"watchdog: no item on channel {channel.name or label!r} "
+        f"within {deadline} simulated seconds ({label or 'get'})"
+    )
+
+
+def drain_within(
+    env: Environment, channel: Channel, n_items: int, deadline: float, label: str = ""
+) -> List[Any]:
+    """Collect ``n_items`` from ``channel`` under one shared deadline.
+
+    The deadline covers the whole drain (it is *not* per item); on expiry
+    the raised :class:`WatchdogTimeout` reports how many items made it.
+    """
+    items: List[Any] = []
+    guard = env.timeout(deadline)
+    while len(items) < n_items:
+        ev = channel.get()
+        env.run(until=env.any_of([ev, guard]))
+        if not ev.triggered:
+            raise WatchdogTimeout(
+                f"watchdog: drained {len(items)}/{n_items} items from channel "
+                f"{channel.name or label!r} before the {deadline}s deadline "
+                f"({label or 'drain'})"
+            )
+        if not ev.ok:
+            raise ev.value
+        items.append(ev.value)
+    return items
+
+
+def guarded(env: Environment, event: SimEvent, deadline: float, label: str = ""):
+    """Process-side bounded wait: ``value = yield from guarded(...)``.
+
+    Yields an ``any_of`` over the event and a deadline timeout; if the
+    deadline wins, raises :class:`WatchdogTimeout` inside the process.
+    """
+    guard = env.timeout(deadline)
+    yield env.any_of([event, guard])
+    if event.triggered:
+        return event.value
+    raise WatchdogTimeout(
+        f"watchdog: event not triggered within {deadline} simulated seconds "
+        f"({label or 'guarded wait'})"
+    )

@@ -12,6 +12,7 @@ from typing import Dict, List, Optional
 from repro.core.client.api import DOpenCLAPI
 from repro.core.client.connection import DaemonDirectory
 from repro.core.client.driver import DOpenCLDriver
+from repro.core.client.resilience import RetryPolicy
 from repro.core.daemon.daemon import Daemon
 from repro.core.devmgr.manager import DeviceManager
 from repro.hw.cluster import Cluster
@@ -67,6 +68,7 @@ def deploy_dopencl(
     defer_creations: bool = True,
     coalesce_transfers: bool = True,
     coalesce_reads: bool = True,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> Deployment:
     """Install daemons on every server and client drivers on the client
     host(s).
@@ -85,6 +87,10 @@ def deploy_dopencl(
     forwarding behaviour — the benchmark baseline: synchronous creation
     fan-outs, synchronous relays, per-transfer streams in every
     direction, one fetch per blocking read).
+
+    ``retry_policy`` installs client-side transport resilience (a
+    :class:`~repro.core.client.resilience.RetryPolicy`) on every driver;
+    the default ``None`` keeps the exact pre-resilience transport path.
     """
     manager = None
     if managed:
@@ -111,6 +117,7 @@ def deploy_dopencl(
             "defer_creations": defer_creations,
             "coalesce_transfers": coalesce_transfers,
             "coalesce_reads": coalesce_reads,
+            "retry_policy": retry_policy,
         }
         if batch_window is not None:
             kwargs["batch_window"] = batch_window

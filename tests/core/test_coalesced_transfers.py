@@ -271,7 +271,7 @@ def test_rejected_coalesced_download_registers_nothing():
         nbytes_list=[16, 16],
     )
     with pytest.raises(CLError):
-        driver._fetch_bulk_prefixed(conn, request, [])
+        driver._fetch_bulk_prefixed(conn, lambda: request, [])
     for event_id in bad_event_ids:
         assert daemon.registry.peek(client, event_id) is None
 

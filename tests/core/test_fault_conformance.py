@@ -1,0 +1,60 @@
+"""Conformance under fire: the (seed x schedule) fault matrix (tier 1).
+
+Each combination runs the randomized conformance program three ways —
+fault-free, faulted, and (for unrecoverable schedules) faulted again —
+and asserts the resilience contract from ISSUE 6:
+
+* recoverable faults (drops, delays, truncation, healed severs) leave
+  the run bit-identical to the fault-free run;
+* unrecoverable faults (daemon crash, permanent sever) surface only
+  deterministic daemon-loss errors and reproduce exactly on replay;
+* the resilience counters obey their structural invariants and the
+  transfer-count watchdog bounds every run (no deadlocks).
+
+``run_seed_with_faults`` carries the assertions; this file pins the
+tier-1 matrix.  For a wider soak, use the CLI knob::
+
+    python -m repro.bench.conformance --faults --seeds 50
+"""
+
+import pytest
+
+from repro.bench.conformance import (
+    RECOVERABLE_SCHEDULES,
+    UNRECOVERABLE_SCHEDULES,
+    fault_plan,
+    run_seed_with_faults,
+)
+
+MATRIX_SEEDS = (0, 1, 2, 3)
+ALL_SCHEDULES = RECOVERABLE_SCHEDULES + UNRECOVERABLE_SCHEDULES
+
+
+@pytest.mark.parametrize("seed", MATRIX_SEEDS)
+@pytest.mark.parametrize("schedule", ALL_SCHEDULES)
+def test_fault_matrix(seed, schedule):
+    summary = run_seed_with_faults(seed, schedule)
+    # A schedule that never fires tests nothing: every row of the tier-1
+    # matrix must actually inject its fault.
+    assert summary["fired"] >= 1, f"{schedule} never fired for seed {seed}"
+
+
+@pytest.mark.parametrize("schedule", ALL_SCHEDULES)
+def test_every_schedule_has_a_bounded_plan(schedule):
+    plan = fault_plan(schedule)
+    assert plan.actions, f"{schedule} resolves to an empty plan"
+    assert plan.max_transfers is not None, f"{schedule} runs without a watchdog"
+
+
+@pytest.mark.parametrize("schedule", UNRECOVERABLE_SCHEDULES)
+def test_unrecoverable_schedules_kill_exactly_one_daemon(schedule):
+    summary = run_seed_with_faults(0, schedule)
+    assert summary["dead_daemons"] == 1
+    assert summary["errors"] >= 1
+
+
+def test_recoverable_schedules_keep_every_daemon_alive():
+    for schedule in RECOVERABLE_SCHEDULES:
+        summary = run_seed_with_faults(1, schedule)
+        assert summary["dead_daemons"] == 0
+        assert summary["errors"] == 0
