@@ -39,11 +39,23 @@ the same ops observe the same ``CL_DEVICE_NOT_AVAILABLE``-class errors
 on every run — and never hang (the injector's transfer budget is the
 watchdog).
 
+The harness also scales **out**: ``--clients N`` generates
+*programs-of-programs* — N independent client programs on disjoint and
+overlapping daemon subsets of one shared deployment, interleaved at op
+granularity by a seed-replayable schedule.  The multi-tenant
+differential oracle asserts every client's observables (mid-run reads,
+final buffer bytes, coherence-directory state, errors) are
+**bit-identical to its solo run**: contention may reorder wire traffic
+between clients, but a daemon serving N tenants must never change any
+one tenant's semantics (per-client registry namespaces, status-buffer
+bounds and reply/replay-cache keying are what this locks down).
+
 Runnable outside tier-1 for soak testing::
 
     PYTHONPATH=src python -m repro.bench.conformance --seeds 200
     PYTHONPATH=src python -m repro.bench.conformance --seed 1234567
     PYTHONPATH=src python -m repro.bench.conformance --faults --seeds 50
+    PYTHONPATH=src python -m repro.bench.conformance --clients 4 --seeds 500
 
 (pocl's approach: a reproducible, seed-driven conformance suite is what
 lets an OpenCL runtime refactor aggressively without regressing
@@ -381,6 +393,290 @@ def run_program(spec: Dict[str, object], flags: Dict[str, object]) -> Dict[str, 
         "directories": directories,
         "errors": errors,
         "stats": deployment.driver.stats.snapshot(),
+    }
+
+
+# ----------------------------------------------------------------------
+# multi-client programs-of-programs (the multi-tenant testbed)
+# ----------------------------------------------------------------------
+
+#: Sub-seed derivation stride: client ``ci`` of a ``(seed, n_clients)``
+#: multi-program runs :func:`generate_program` on
+#: ``seed * MULTI_SEED_STRIDE + MULTI_SEED_CLIENTS * n_clients + ci``.
+#: Pure integer arithmetic on the seed — never a shared RNG across
+#: seeds — so replays are bit-identical regardless of ``--start`` /
+#: ``--seeds`` paging (the same determinism contract as the
+#: single-client harness).
+MULTI_SEED_STRIDE = 1_000_003
+MULTI_SEED_CLIENTS = 7_919
+
+#: Transfer budget for multi-client runs — the no-hang watchdog: an
+#: action-less :class:`FaultPlan` whose ``max_transfers`` budget turns
+#: any livelock into a ``WatchdogTimeout`` naming the stuck edge.
+MULTI_WATCHDOG_TRANSFERS = 250_000
+
+
+def generate_multi_program(
+    seed: int,
+    n_clients: int,
+    n_ops: Optional[int] = None,
+    n_servers: Optional[int] = None,
+) -> Dict[str, object]:
+    """Generate a *program-of-programs*: ``n_clients`` independent
+    client programs plus the cluster topology and interleave schedule
+    they run under.
+
+    Everything is a pure function of ``(seed, n_clients)``:
+
+    * the topology RNG (server count, coherence protocol, per-client
+      daemon subsets, interleave order) is seeded with an integer
+      derived only from ``(seed, n_clients)``;
+    * each client's program comes from :func:`generate_program` on its
+      own derived sub-seed (see :data:`MULTI_SEED_STRIDE`), with the
+      shared protocol substituted so all drivers run one coherence
+      configuration.
+
+    Clients get *daemon subsets* — a sorted sample of the cluster's
+    servers, so some pairs are disjoint and some overlap — and the
+    schedule interleaves the clients' ops at op granularity while
+    preserving each client's own program order (concurrency may reorder
+    wire traffic between clients, never within one).
+    """
+    rng = random.Random(seed * MULTI_SEED_STRIDE + MULTI_SEED_CLIENTS * n_clients)
+    total = n_servers if n_servers is not None else rng.choice([2, 3])
+    protocol = rng.choice(["msi", "mosi"])
+    subsets: List[List[int]] = []
+    for _ in range(n_clients):
+        k = rng.randint(1, total)
+        subsets.append(sorted(rng.sample(range(total), k)))
+    clients: List[Dict[str, object]] = []
+    for ci in range(n_clients):
+        sub_seed = seed * MULTI_SEED_STRIDE + MULTI_SEED_CLIENTS * n_clients + ci + 1
+        spec = generate_program(sub_seed, n_ops=n_ops, n_servers=len(subsets[ci]))
+        spec["protocol"] = protocol
+        clients.append(spec)
+    schedule: List[int] = []
+    for ci, spec in enumerate(clients):
+        schedule.extend([ci] * len(spec["ops"]))
+    rng.shuffle(schedule)
+    return {
+        "seed": seed,
+        "n_clients": n_clients,
+        "n_servers": total,
+        "protocol": protocol,
+        "subsets": subsets,
+        "clients": clients,
+        "schedule": schedule,
+    }
+
+
+class _ClientRun:
+    """Per-client interpreter state inside one shared deployment (the
+    arguments :func:`_apply_op` threads through, bundled per tenant)."""
+
+    def __init__(self, cl) -> None:
+        self.cl = cl
+        self.ctx = None
+        self.program = None
+        self.queues: List[object] = []
+        self.buffers: List[object] = []
+        self.events: Dict[int, object] = {}
+        self.reads: Dict[int, bytes] = {}
+        self.errors: List[int] = []
+
+    def setup(self, spec: Dict[str, object]) -> None:
+        """The per-client setup phase (same shape as :func:`run_program`:
+        context, queues, program build, initialised buffers)."""
+        cl = self.cl
+        devices = cl.clGetDeviceIDs(cl.clGetPlatformIDs()[0])
+        self.ctx = cl.clCreateContext(devices)
+        self.queues = [
+            cl.clCreateCommandQueue(self.ctx, devices[d]) for d in spec["queue_devices"]
+        ]
+        self.program = cl.clCreateProgramWithSource(self.ctx, PROGRAM_SOURCE)
+        cl.clBuildProgram(self.program)
+        for init in spec["buffer_inits"]:
+            data = np.array(init, dtype=np.float32)
+            self.buffers.append(
+                cl.clCreateBuffer(
+                    self.ctx, CL_MEM_READ_WRITE | CL_MEM_COPY_HOST_PTR, data.nbytes, data
+                )
+            )
+
+    def apply(self, op_index: int, op: Tuple) -> None:
+        """Interpret one of this client's ops via the shared interpreter."""
+        _apply_op(
+            self.cl, self.ctx, self.program, self.queues, self.buffers,
+            self.events, self.reads, self.errors, op_index, op,
+        )
+
+    def finalize(self, stats: Dict[str, int]) -> Dict[str, object]:
+        """Drain every queue, read back every buffer and snapshot the
+        observables (the same outcome dict :func:`run_program` returns)."""
+        cl = self.cl
+        for queue in self.queues:
+            cl.clFinish(queue)
+        final: Dict[int, bytes] = {}
+        for bi, buffer in enumerate(self.buffers):
+            data, _ev = cl.clEnqueueReadBuffer(self.queues[0], buffer)
+            final[bi] = data.tobytes()
+        directories = {
+            bi: {party: state.value for party, state in buffer.coherence.state.items()}
+            for bi, buffer in enumerate(self.buffers)
+        }
+        return {
+            "reads": self.reads,
+            "final": final,
+            "directories": directories,
+            "errors": self.errors,
+            "stats": stats,
+        }
+
+
+def run_multi_program(
+    mspec: Dict[str, object], flags: Dict[str, object]
+) -> Tuple[List[Dict[str, object]], object]:
+    """Interpret a program-of-programs on **one shared deployment**.
+
+    Every client is its own driver/API instance pinned to its daemon
+    subset (``client_server_lists``); the interleave schedule dictates
+    which client executes its next op at each step.  A transfer-budget
+    watchdog (an action-less fault plan) bounds the whole run, so a
+    cross-client deadlock fails fast instead of hanging tier-1.
+
+    Returns ``(outcomes, deployment)`` — one outcome dict per client
+    (same shape as :func:`run_program`) plus the deployment for
+    daemon-side isolation audits.
+    """
+    n_clients = mspec["n_clients"]
+    cluster = make_ib_cpu_cluster(mspec["n_servers"], n_clients=n_clients)
+    server_names = [server.name for server in cluster.servers]
+    deployment = deploy_dopencl(
+        cluster,
+        coherence_protocol=mspec["protocol"],
+        n_clients=n_clients,
+        client_server_lists=[
+            [server_names[i] for i in subset] for subset in mspec["subsets"]
+        ],
+        **flags,
+    )
+    install_fault_injector(
+        cluster.network, FaultPlan(actions=[], max_transfers=MULTI_WATCHDOG_TRANSFERS)
+    )
+    runs = [_ClientRun(deployment.apis[ci]) for ci in range(n_clients)]
+    for ci in range(n_clients):
+        runs[ci].setup(mspec["clients"][ci])
+    cursors = [0] * n_clients
+    for ci in mspec["schedule"]:
+        op_index = cursors[ci]
+        cursors[ci] += 1
+        runs[ci].apply(op_index, mspec["clients"][ci]["ops"][op_index])
+    outcomes = [
+        runs[ci].finalize(deployment.drivers[ci].stats.snapshot())
+        for ci in range(n_clients)
+    ]
+    return outcomes, deployment
+
+
+def run_client_solo(
+    mspec: Dict[str, object], ci: int, flags: Dict[str, object]
+) -> Dict[str, object]:
+    """The differential oracle for one tenant: client ``ci``'s program
+    run *alone* — same total cluster (so daemon names and hence
+    directory parties are identical), same daemon subset, ops in
+    program order — on a fresh deployment."""
+    spec = mspec["clients"][ci]
+    solo = {
+        "seed": mspec["seed"],
+        "n_clients": 1,
+        "n_servers": mspec["n_servers"],
+        "protocol": mspec["protocol"],
+        "subsets": [mspec["subsets"][ci]],
+        "clients": [spec],
+        "schedule": [0] * len(spec["ops"]),
+    }
+    outcomes, _deployment = run_multi_program(solo, flags)
+    return outcomes[0]
+
+
+def _audit_isolation(tag: str, mspec: Dict[str, object], deployment) -> None:
+    """Daemon-side per-client isolation audits after a multi run:
+    registry namespaces match exactly the clients that own objects
+    there, no status-before-create drop or admission event fired, and
+    every send window fully drained."""
+    client_names = {driver.gcf.name for driver in deployment.drivers}
+    for daemon in deployment.daemons:
+        namespaces = set(daemon.registry.client_names())
+        assert namespaces <= client_names, (
+            f"{tag}: daemon {daemon.name} registry holds foreign namespaces "
+            f"{namespaces - client_names}"
+        )
+        stats = daemon.gcf.stats
+        assert stats.dropped_event_statuses == 0, (
+            f"{tag}: daemon {daemon.name} dropped event statuses under a "
+            f"workload that never fills the buffer"
+        )
+        assert stats.refused_connections == 0 and stats.quota_rejections == 0, (
+            f"{tag}: daemon {daemon.name} admission control fired without a policy"
+        )
+    for driver in deployment.drivers:
+        for conn in driver.connections():
+            assert len(conn.window) == 0, (
+                f"{tag}: client {driver.gcf.name} left commands windowed for "
+                f"{conn.name} after the final drain"
+            )
+
+
+def run_multi_seed(
+    seed: int,
+    n_clients: int,
+    n_ops: Optional[int] = None,
+    n_servers: Optional[int] = None,
+    config: str = "coalesced_on",
+) -> Dict[str, object]:
+    """Run one multi-client seed and assert the tenant-isolation
+    differential: every client's observables (mid-run reads, final
+    buffer bytes, coherence-directory state, observed errors) must be
+    **bit-identical** to its solo run — concurrency may reorder wire
+    traffic between clients but never change any client's semantics.
+
+    Every assertion message carries the seed and client count, so a
+    failure replays exactly with ``python -m repro.bench.conformance
+    --seed <seed> --clients <n>``."""
+    mspec = generate_multi_program(seed, n_clients, n_ops=n_ops, n_servers=n_servers)
+    flags = dict(CONFIGS[config])
+    outcomes, deployment = run_multi_program(mspec, flags)
+    tag = f"seed {seed} clients {n_clients}"
+    _audit_isolation(tag, mspec, deployment)
+    for ci in range(n_clients):
+        solo = run_client_solo(mspec, ci, flags)
+        shared = outcomes[ci]
+        ctag = f"{tag} client {ci}"
+        assert shared["errors"] == solo["errors"], (
+            f"{ctag}: contention changed observed errors: "
+            f"{shared['errors']} vs solo {solo['errors']}"
+        )
+        assert shared["reads"].keys() == solo["reads"].keys(), (
+            f"{ctag}: contention changed which reads happened"
+        )
+        for op_index, payload in solo["reads"].items():
+            assert shared["reads"][op_index] == payload, (
+                f"{ctag}: read at op {op_index} diverged from the solo run"
+            )
+        assert shared["final"] == solo["final"], (
+            f"{ctag}: final buffer contents diverged from the solo run"
+        )
+        assert shared["directories"] == solo["directories"], (
+            f"{ctag}: directory state diverged: "
+            f"{shared['directories']} vs solo {solo['directories']}"
+        )
+    return {
+        "seed": seed,
+        "n_clients": n_clients,
+        "n_servers": mspec["n_servers"],
+        "protocol": mspec["protocol"],
+        "n_ops": sum(len(spec["ops"]) for spec in mspec["clients"]),
+        "round_trips": sum(o["stats"]["round_trips"] for o in outcomes),
     }
 
 
@@ -737,6 +1033,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--servers", type=int, default=None, help="override the server count"
     )
     parser.add_argument(
+        "--clients", type=int, default=1,
+        help="run each seed as a multi-client program-of-programs with "
+        "this many tenants (differential: every client vs its solo run)",
+    )
+    parser.add_argument(
         "--faults", action="store_true",
         help="run the fault-schedule matrix (every schedule per seed) "
         "instead of the configuration differential",
@@ -752,6 +1053,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     if args.faults:
         return _main_faults(seeds, args.schedule)
+    if args.clients > 1:
+        return _main_multi(seeds, args.clients, args.ops, args.servers)
     failures = 0
     for seed in seeds:
         try:
@@ -772,6 +1075,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"{failures}/{len(seeds)} seeds diverged")
         return 1
     print(f"all {len(seeds)} seeds conform")
+    return 0
+
+
+def _main_multi(
+    seeds: List[int], n_clients: int, n_ops: Optional[int], n_servers: Optional[int]
+) -> int:
+    """The ``--clients N`` soak loop: every seed as a multi-tenant
+    program-of-programs, each client diffed against its solo run."""
+    failures = 0
+    for seed in seeds:
+        try:
+            summary = run_multi_seed(seed, n_clients, n_ops=n_ops, n_servers=n_servers)
+        except AssertionError as exc:
+            failures += 1
+            print(f"seed {seed} clients {n_clients}: FAIL — {exc}")
+        else:
+            print(
+                f"seed {seed} clients {n_clients}: ok ({summary['protocol']}, "
+                f"{summary['n_servers']} servers, {summary['n_ops']} ops, "
+                f"{summary['round_trips']} aggregate round trips)"
+            )
+    if failures:
+        print(f"{failures}/{len(seeds)} multi-client seeds diverged")
+        return 1
+    print(f"all {len(seeds)} multi-client seeds conform ({n_clients} clients each)")
     return 0
 
 

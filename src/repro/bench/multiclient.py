@@ -1,0 +1,249 @@
+"""Multi-client contention benchmark: one GPU server, 1..256 tenants.
+
+The Section V-C testbed scaled past the paper's four desktops: ``N``
+client applications (one driver per client host) share the *same* GPU
+server, each running a small fixed kernel-and-sync workload on the GPU
+``N mod 4``.  Because daemon CPU time is a shared
+:class:`~repro.sim.timeline.Timeline`, contention is real in virtual
+time: every client's sync points queue behind its neighbours' command
+handling, so the run measures exactly the multi-tenancy properties the
+daemon refactor claims —
+
+* **aggregate throughput** (kernel launches per virtual second across
+  all clients, at the slowest client's makespan);
+* **p99 sync-point latency** (each round ends in one blocking
+  ``clFinish`` per client; the distribution's tail is where unfair
+  scheduling would show first);
+* **max/min fairness ratio** across the four GPU tenant groups (each
+  group's makespan is its slowest tenant's finish time; the groups are
+  symmetric, so a ratio far from 1 means the daemon systematically
+  serves one device's tenants ahead of another's — per-*client*
+  makespans inside a group are expected to spread, because
+  simultaneously-arriving requests are served in order and someone is
+  necessarily last);
+* **shared decode-cache hits** (all clients submit the byte-identical
+  program source, so ``N`` tenants pay for ~one decode — the shared
+  :class:`~repro.net.messages.WireDecodeCache` payoff under contention).
+
+The simulation is deterministic, so every headline number is an exact
+property of the code: ``BENCH_multiclient.json`` is gated *exactly* (no
+tolerance) by :mod:`repro.tools.benchdiff` in tier-1.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.bench.harness import REPO_ROOT, ExperimentRecord
+from repro.hw.cluster import make_multi_client_gpu_server
+from repro.ocl.constants import CL_DEVICE_TYPE_GPU, CL_MEM_WRITE_ONLY
+from repro.testbed import deploy_dopencl
+
+#: Client counts the contention sweep runs at (the paper's Fig. 6 stops
+#: at 4 desktops; the tail shows whether fairness and the shared caches
+#: survive two orders of magnitude more tenants).
+SCALES = (1, 8, 64, 256)
+
+#: Rounds per client; every round is one kernel launch plus one blocking
+#: sync point (``clFinish``), so each client contributes ``ROUNDS``
+#: latency samples.
+ROUNDS = 3
+
+#: Elements in each client's private work buffer.
+BUFFER_ELEMS = 32
+
+#: Every client submits this byte-identical source, so the daemon's
+#: shared decode cache answers all but the first build's decode.
+MULTI_SOURCE = """
+__kernel void fill(__global float *x, const float f, const int n) {
+    int i = (int)get_global_id(0);
+    if (i < n) x[i] = f + i;
+}
+"""
+
+#: Acceptance ceiling on the device-group fairness ratio: the slowest
+#: tenant of every GPU must finish within this factor of the slowest
+#: tenant of every other GPU, at every scale.
+MAX_FAIRNESS_RATIO = 1.5
+
+
+def p99(samples: List[float]) -> float:
+    """Deterministic 99th percentile (nearest-rank) of ``samples``."""
+    ordered = sorted(samples)
+    rank = max(math.ceil(0.99 * len(ordered)), 1)
+    return ordered[rank - 1]
+
+
+def _run_scale(n_clients: int) -> Dict[str, object]:
+    """One contention run at ``n_clients`` tenants; returns the row."""
+    deployment = deploy_dopencl(
+        make_multi_client_gpu_server(n_clients), n_clients=n_clients
+    )
+    clients = []
+    for ci in range(n_clients):
+        cl = deployment.apis[ci]
+        platform = cl.clGetPlatformIDs()[0]
+        gpus = cl.clGetDeviceIDs(platform, CL_DEVICE_TYPE_GPU)
+        device = gpus[ci % len(gpus)]
+        ctx = cl.clCreateContext([device])
+        queue = cl.clCreateCommandQueue(ctx, device)
+        program = cl.clCreateProgramWithSource(ctx, MULTI_SOURCE)
+        cl.clBuildProgram(program)
+        buf = cl.clCreateBuffer(ctx, CL_MEM_WRITE_ONLY, BUFFER_ELEMS * 4)
+        clients.append(
+            {
+                "cl": cl,
+                "ctx": ctx,
+                "queue": queue,
+                "program": program,
+                "buf": buf,
+                "group": ci % len(gpus),
+            }
+        )
+    latencies: List[float] = []
+    for _ in range(ROUNDS):
+        # Round-robin interleave: all launches land before any client
+        # syncs, so the sync points genuinely contend on the daemon.
+        for state in clients:
+            cl = state["cl"]
+            kernel = cl.clCreateKernel(state["program"], "fill")
+            cl.clSetKernelArg(kernel, 0, state["buf"])
+            cl.clSetKernelArg(kernel, 1, np.float32(1.0))
+            cl.clSetKernelArg(kernel, 2, BUFFER_ELEMS)
+            cl.clEnqueueNDRangeKernel(state["queue"], kernel, (BUFFER_ELEMS,))
+        for state in clients:
+            cl = state["cl"]
+            start = cl.now
+            cl.clFinish(state["queue"])
+            latencies.append(cl.now - start)
+    for state in clients:
+        # Result gather: one blocking read per tenant ends its run.
+        state["cl"].clEnqueueReadBuffer(state["queue"], state["buf"])
+    makespans = [state["cl"].now for state in clients]
+    group_makespans: Dict[int, float] = {}
+    for state, makespan in zip(clients, makespans):
+        group = state["group"]
+        group_makespans[group] = max(group_makespans.get(group, 0.0), makespan)
+    launches = n_clients * ROUNDS
+    makespan_max, makespan_min = max(makespans), min(makespans)
+    daemons = deployment.daemons
+    return {
+        "n_clients": n_clients,
+        "launches": launches,
+        "makespan_max": makespan_max,
+        "makespan_min": makespan_min,
+        "fairness_ratio": max(group_makespans.values()) / min(group_makespans.values()),
+        "throughput": launches / makespan_max,
+        "p99_sync_latency": p99(latencies),
+        "decode_cache_hits": sum(d.gcf.stats.decode_cache_hits for d in daemons),
+        "reply_cache_hits": sum(d.gcf.stats.reply_cache_hits for d in daemons),
+        "dropped_event_statuses": sum(
+            d.gcf.stats.dropped_event_statuses for d in daemons
+        ),
+        "refused_connections": sum(d.gcf.stats.refused_connections for d in daemons),
+        "quota_rejections": sum(d.gcf.stats.quota_rejections for d in daemons),
+    }
+
+
+def bench_multiclient(scales=SCALES) -> ExperimentRecord:
+    """Run the contention sweep at every scale (one row per client
+    count)."""
+    record = ExperimentRecord(
+        experiment="bench_multiclient",
+        title="Multi-tenant contention: throughput, p99 sync latency, fairness",
+        columns=[
+            "n_clients",
+            "launches",
+            "makespan_max",
+            "makespan_min",
+            "fairness_ratio",
+            "throughput",
+            "p99_sync_latency",
+            "decode_cache_hits",
+            "reply_cache_hits",
+            "dropped_event_statuses",
+            "refused_connections",
+            "quota_rejections",
+        ],
+        notes=(
+            f"{ROUNDS} kernel+clFinish rounds per client on one shared GPU "
+            f"server, clients round-robin over its 4 GPUs; acceptance: "
+            f"device-group fairness ratio <= {MAX_FAIRNESS_RATIO} at every "
+            "scale, no dropped statuses / refusals, shared decode cache "
+            "engages from 8 tenants on"
+        ),
+    )
+    for n_clients in scales:
+        record.add(**_run_scale(n_clients))
+    return record
+
+
+def assert_multiclient_record(record: ExperimentRecord) -> None:
+    """The multi-tenancy gate, shared by the tier-1 test and the
+    benchmark target: symmetric tenants stay fair, the latency tail and
+    throughput are well-formed, the shared decode cache genuinely pays
+    once more than one tenant submits the identical source, and no
+    multi-tenant pathology (dropped statuses, refused connections, quota
+    rejections) occurred."""
+    assert [row["n_clients"] for row in record.rows] == sorted(
+        row["n_clients"] for row in record.rows
+    )
+    for row in record.rows:
+        assert row["launches"] == row["n_clients"] * ROUNDS
+        assert 0.0 < row["makespan_min"] <= row["makespan_max"]
+        assert 1.0 <= row["fairness_ratio"] <= MAX_FAIRNESS_RATIO, (
+            f"{row['n_clients']} clients: unfair device-group makespans "
+            f"(ratio {row['fairness_ratio']:.3f})"
+        )
+        assert row["throughput"] > 0.0
+        assert row["p99_sync_latency"] > 0.0
+        assert row["dropped_event_statuses"] == 0
+        assert row["refused_connections"] == 0
+        assert row["quota_rejections"] == 0
+    rows = {row["n_clients"]: row for row in record.rows}
+    multi = [row for n, row in rows.items() if n > 1]
+    for row in multi:
+        # N identical tenants pay ~one decode for the shared source.
+        assert row["decode_cache_hits"] > rows[min(rows)]["decode_cache_hits"]
+    # Contention is real: the latency tail grows with tenant count.
+    scales = sorted(rows)
+    for lighter, heavier in zip(scales, scales[1:]):
+        assert rows[heavier]["p99_sync_latency"] >= rows[lighter]["p99_sync_latency"]
+
+
+def multiclient_payload(record: ExperimentRecord) -> dict:
+    """The headline numbers of a contention sweep as the flat dict
+    committed to ``BENCH_multiclient.json`` — shared by
+    :func:`save_multiclient_json` and the benchdiff regression checker,
+    so the recorded snapshot and the comparison can never drift apart.
+    Every per-scale key is gated exactly (the simulation is
+    deterministic)."""
+    rows = {row["n_clients"]: row for row in record.rows}
+    payload: Dict[str, object] = {
+        "experiment": record.experiment,
+        "rounds": ROUNDS,
+        "scales": list(rows),
+        "max_fairness_ratio": MAX_FAIRNESS_RATIO,
+    }
+    for n_clients, row in rows.items():
+        payload[f"throughput_{n_clients}"] = row["throughput"]
+        payload[f"p99_sync_latency_{n_clients}"] = row["p99_sync_latency"]
+        payload[f"fairness_ratio_{n_clients}"] = row["fairness_ratio"]
+        payload[f"decode_cache_hits_{n_clients}"] = row["decode_cache_hits"]
+    return payload
+
+
+def save_multiclient_json(record: ExperimentRecord, directory: Optional[str] = None) -> str:
+    """Write the headline numbers to ``BENCH_multiclient.json`` (repo
+    root by default); returns the path."""
+    if directory is None:
+        directory = REPO_ROOT
+    path = os.path.join(directory, "BENCH_multiclient.json")
+    with open(path, "w") as fh:
+        json.dump(multiclient_payload(record), fh, indent=2)
+    return path

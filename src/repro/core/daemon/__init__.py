@@ -1,6 +1,7 @@
 """The dOpenCL daemon (server side)."""
 
+from repro.core.daemon.admission import AdmissionControl, AdmissionPolicy
 from repro.core.daemon.daemon import Daemon
 from repro.core.daemon.registry import Registry
 
-__all__ = ["Daemon", "Registry"]
+__all__ = ["AdmissionControl", "AdmissionPolicy", "Daemon", "Registry"]

@@ -58,6 +58,7 @@ from repro.ocl.platform import Platform
 from repro.ocl.program import Program
 from repro.ocl.queue import CommandQueue
 from repro.clc import LocalMemory
+from repro.core.daemon.admission import AdmissionControl, AdmissionPolicy
 from repro.core.daemon.registry import Registry
 from repro.clc.types import PointerType
 from repro.sim.errors import CommunicationError
@@ -102,10 +103,15 @@ class Daemon:
         network: Network,
         name: Optional[str] = None,
         device_manager: Optional[object] = None,
+        admission: Optional[AdmissionPolicy] = None,
     ) -> None:
         self.host = host
         self.network = network
         self.gcf = GCFProcess(name or host.name, host, network)
+        #: Multi-tenant resource bounds (session cap, per-client registry
+        #: quota, status-buffer bound); the default policy is fully
+        #: permissive.  See :mod:`repro.core.daemon.admission`.
+        self.admission = AdmissionControl(admission)
         # Accepting a client costs real session setup on the server (GCF
         # process objects, per-client state) — part of the init overhead
         # the paper attributes to message-based communication (Fig. 4).
@@ -193,7 +199,7 @@ class Daemon:
             status_buffered, t_buffered = buffered
             pending[event_id] = (status_buffered, max(t_buffered, t))
             return True
-        if len(pending) >= PENDING_EVENT_STATUS_LIMIT:
+        if len(pending) >= self.admission.status_limit(PENDING_EVENT_STATUS_LIMIT):
             self.gcf.stats.dropped_event_statuses += 1
             return False
         pending[event_id] = (status, t)
@@ -215,6 +221,19 @@ class Daemon:
         """How many statuses are buffered ahead of their replica
         creations for ``client`` (introspection for tests/debugging)."""
         return len(self._pending_event_status.get(client, ()))
+
+    def _admit_object(self, client: str) -> None:
+        """Admission gate for every explicit creation handler: raises
+        ``CL_OUT_OF_RESOURCES`` (counted in
+        ``NetStats.quota_rejections``) when ``client`` is at its
+        registry quota.  Raising inside the handler's ``try`` turns the
+        rejection into an ordinary error reply, which the deferred-
+        creation machinery poisons like any other failed creation."""
+        try:
+            self.admission.check_create(client, self.registry.count(client))
+        except CLError:
+            self.gcf.stats.quota_rejections += 1
+            raise
 
     # ------------------------------------------------------------------
     @property
@@ -386,6 +405,14 @@ class Daemon:
 
         @gcf.on_connect
         def on_connect(client_name: str, payload, t: float) -> None:
+            # Admission control runs first: the session cap protects the
+            # daemon regardless of auth mode, and refusing at the
+            # handshake means no per-client state was allocated yet.
+            try:
+                self.admission.check_connect(len(self.gcf.peers))
+            except CLError as exc:
+                self.gcf.stats.refused_connections += 1
+                raise ConnectionRefused(exc.message) from exc
             if self.managed:
                 auth = (payload or {}).get("auth_id") if isinstance(payload, dict) else None
                 if auth is None or auth not in self.auth_devices:
@@ -451,6 +478,7 @@ class Daemon:
                             ErrorCode.CL_DEVICE_NOT_ASSIGNED_WWU,
                             f"device {i} is not assigned to this client",
                         )
+                self._admit_object(sender.name)
                 devices = [self.platform.devices[i] for i in msg.device_ids]
                 self.registry.put(sender.name, msg.context_id, Context(devices))
                 return P.Ack(), t
@@ -468,6 +496,7 @@ class Daemon:
         @gcf.on_request(P.CreateQueueRequest)
         def create_queue(msg: P.CreateQueueRequest, t: float, sender: GCFProcess):
             try:
+                self._admit_object(sender.name)
                 ctx = self._ctx(sender.name, msg.context_id)
                 device = self.platform.devices[msg.device_id]
                 queue = CommandQueue(ctx, device, msg.properties)
@@ -514,6 +543,7 @@ class Daemon:
         @gcf.on_request(P.CreateBufferRequest)
         def create_buffer(msg: P.CreateBufferRequest, t: float, sender: GCFProcess):
             try:
+                self._admit_object(sender.name)
                 ctx = self._ctx(sender.name, msg.context_id)
                 self.registry.put(sender.name, msg.buffer_id, Buffer(ctx, msg.flags, msg.size))
                 return P.Ack(), t
@@ -731,6 +761,7 @@ class Daemon:
         @gcf.on_request(P.CreateProgramRequest)
         def create_program_init(msg: P.CreateProgramRequest, t: float, sender: GCFProcess):
             try:
+                self._admit_object(sender.name)
                 self._ctx(sender.name, msg.context_id)
                 return P.Ack(), t
             except CLError as exc:
@@ -753,6 +784,7 @@ class Daemon:
             # the batch, so program registration is an ordinary replayed
             # sub-command (no stream, no round trip of its own).
             try:
+                self._admit_object(sender.name)
                 ctx = self._ctx(sender.name, msg.context_id)
                 self.registry.put(sender.name, msg.program_id, Program(ctx, msg.source))
                 return P.Ack(), t
@@ -802,6 +834,7 @@ class Daemon:
             # Fire-and-forget: the metadata already travelled with the
             # build reply, so creation answers a plain Ack.
             try:
+                self._admit_object(sender.name)
                 program = self.registry.get(sender.name, msg.program_id, Program)
                 self.registry.put(sender.name, msg.kernel_id, Kernel(program, msg.name))
                 return P.Ack(), t
@@ -857,6 +890,7 @@ class Daemon:
         @gcf.on_request(P.CreateUserEventRequest)
         def create_user_event(msg: P.CreateUserEventRequest, t: float, sender: GCFProcess):
             try:
+                self._admit_object(sender.name)
                 ctx = self._ctx(sender.name, msg.context_id)
                 event = UserEvent(ctx, t)
                 self.registry.put(sender.name, msg.event_id, event)

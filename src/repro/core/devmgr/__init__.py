@@ -2,7 +2,7 @@
 
 from repro.core.devmgr.config import DeviceRequirement, parse_devmgr_config
 from repro.core.devmgr.lease import FreeDevice, Lease
-from repro.core.devmgr.manager import DeviceManager
+from repro.core.devmgr.manager import DeviceManager, Waiter
 from repro.core.devmgr.scheduling import (
     BestFit,
     FirstFit,
@@ -21,6 +21,7 @@ __all__ = [
     "Lease",
     "RoundRobin",
     "SchedulingStrategy",
+    "Waiter",
     "device_matches",
     "make_strategy",
     "parse_devmgr_config",

@@ -6,20 +6,44 @@ application at a time."  It keeps two device sets — free and assigned —
 and hands out *leases* (auth ID + device set + server set).  Managed-mode
 daemons register their devices at startup; assignment requests match
 device properties against the free set via a scheduling strategy.
+
+Under oversubscription (more concurrent applications than devices) a
+plain error would force every client into its own retry loop.  Instead,
+an :class:`~repro.core.protocol.messages.AssignmentRequest` with
+``wait=True`` whose requirements the *inventory* could satisfy — just
+not the current free set — is parked in a FIFO **waiter queue**: the
+client gets ``queued=True`` plus a ticket, and when a lease revocation
+frees matching devices the manager grants waiters strictly in arrival
+order (no waiter ever overtakes an earlier one, the starvation-freedom
+bound Fig. 6's flat multi-application times rely on) and delivers the
+lease by :class:`~repro.core.protocol.messages.LeaseGrantedNotification`.
+Requests no inventory permutation can ever satisfy still fail fast with
+``CL_DEVICE_NOT_FOUND``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.devmgr.config import DeviceRequirement
 from repro.core.devmgr.lease import FreeDevice, Lease
-from repro.core.devmgr.scheduling import SchedulingStrategy, make_strategy
+from repro.core.devmgr.scheduling import SchedulingStrategy, device_matches, make_strategy
 from repro.core.protocol import messages as P
 from repro.hw.node import Host
 from repro.net.gcf import GCFProcess
 from repro.net.network import Network
 from repro.ocl.constants import ErrorCode
+
+
+@dataclass
+class Waiter:
+    """One parked assignment request (FIFO entry in the waiter queue)."""
+
+    ticket: str
+    requirements: List[DeviceRequirement]
+    client: GCFProcess
+    enqueued_at: float = 0.0
 
 
 class DeviceManager:
@@ -40,7 +64,10 @@ class DeviceManager:
         self.leases: Dict[str, Lease] = {}
         #: daemon name -> daemon GCF endpoint (filled at registration)
         self.daemons: Dict[str, GCFProcess] = {}
+        #: FIFO queue of feasible-but-currently-unsatisfiable requests.
+        self.waiters: List[Waiter] = []
         self._auth_counter = 0
+        self._ticket_counter = 0
         self._install_handlers()
 
     # ------------------------------------------------------------------
@@ -65,6 +92,102 @@ class DeviceManager:
         self._auth_counter += 1
         return f"auth-{self._auth_counter:08d}"
 
+    def _new_ticket(self) -> str:
+        self._ticket_counter += 1
+        return f"ticket-{self._ticket_counter:08d}"
+
+    # ------------------------------------------------------------------
+    # allocation core (shared by the request path and the waiter drain)
+    # ------------------------------------------------------------------
+    def _try_allocate(
+        self, requirements: List[DeviceRequirement]
+    ) -> Optional[List[FreeDevice]]:
+        """Pick devices for every requirement from the current free set
+        via the scheduling strategy, or ``None`` when it cannot be fully
+        satisfied right now.  Pure trial: nothing is removed from
+        ``self.free`` until the caller commits the lease."""
+        picked: List[FreeDevice] = []
+        pool = list(self.free)
+        load = self.server_load()
+        for requirement in requirements:
+            for _ in range(requirement.count):
+                choice = self.strategy.select(pool, requirement, load)
+                if choice is None:
+                    return None
+                picked.append(choice)
+                pool.remove(choice)
+                load[choice.server_name] = load.get(choice.server_name, 0) + 1
+        return picked
+
+    def _feasible(self, requirements: List[DeviceRequirement]) -> bool:
+        """Could the *total inventory* (free plus leased) ever satisfy
+        the request?  Greedy first-match over the inventory — exact for
+        the attribute model in use (matching is monotone in the device's
+        capabilities); a ``False`` means no sequence of revocations can
+        help, so the request must fail fast instead of queueing."""
+        inventory = list(self.free)
+        for lease in self.leases.values():
+            inventory.extend(lease.devices)
+        for requirement in requirements:
+            for _ in range(requirement.count):
+                match = next(
+                    (d for d in inventory if device_matches(d.info, requirement.attributes)),
+                    None,
+                )
+                if match is None:
+                    return False
+                inventory.remove(match)
+        return True
+
+    def _commit_lease(self, picked: List[FreeDevice], t: float) -> Tuple[Lease, float]:
+        """Turn a successful trial allocation into a lease: remove the
+        devices from the free set, record the lease and notify every
+        involved daemon of its device subset (step 3b).  Returns the
+        lease and the time the last daemon notification arrived."""
+        lease = Lease(auth_id=self._new_auth_id(), devices=picked)
+        for dev in picked:
+            self.free.remove(dev)
+        self.leases[lease.auth_id] = lease
+        done = t
+        for server_name in lease.server_names:
+            daemon_gcf = self.daemons.get(server_name)
+            if daemon_gcf is not None:
+                arrival = self.gcf.notify(
+                    daemon_gcf,
+                    P.LeaseAssignNotification(
+                        auth_id=lease.auth_id,
+                        device_ids=lease.devices_on(server_name),
+                    ),
+                    t,
+                )
+                done = max(done, arrival)
+        return lease, done
+
+    def _drain_waiters(self, t: float) -> None:
+        """Re-admit parked requests in strict arrival order.
+
+        The head waiter is granted for as long as the free set satisfies
+        it; the first unsatisfiable head stops the drain (head-of-line
+        discipline — a later, smaller request never overtakes an earlier
+        one, so arrival order is the fairness bound and no waiter can
+        starve behind a stream of late arrivals)."""
+        while self.waiters:
+            head = self.waiters[0]
+            picked = self._try_allocate(head.requirements)
+            if picked is None:
+                return
+            self.waiters.pop(0)
+            lease, done = self._commit_lease(picked, t)
+            self.gcf.notify(
+                head.client,
+                P.LeaseGrantedNotification(
+                    ticket=head.ticket,
+                    auth_id=lease.auth_id,
+                    server_names=lease.server_names,
+                ),
+                done,
+            )
+
     # ------------------------------------------------------------------
     def _install_handlers(self) -> None:
         gcf = self.gcf
@@ -76,48 +199,40 @@ class DeviceManager:
                 free = FreeDevice(server_name=sender.name, device_id=device_id, info=info)
                 if all(f.key != free.key for f in self.free):
                     self.free.append(free)
+            # Fresh inventory may unblock parked requests (a daemon
+            # restarting after a crash re-registers its devices).
+            self._drain_waiters(t)
             return P.Ack(), t
 
         @gcf.on_request(P.AssignmentRequest)
         def assign(msg: P.AssignmentRequest, t: float, sender: GCFProcess):
             requirements = [DeviceRequirement.from_wire(r) for r in msg.requirements]
-            picked: List[FreeDevice] = []
-            pool = list(self.free)
-            load = self.server_load()
-            for requirement in requirements:
-                for _ in range(requirement.count):
-                    choice = self.strategy.select(pool, requirement, load)
-                    if choice is None:
-                        # "An error code is sent to the client if the device
-                        # manager was not able to find an appropriate device"
-                        return (
-                            P.AssignmentResponse(
-                                error=ErrorCode.CL_DEVICE_NOT_FOUND.value,
-                                detail=f"no free device matches {requirement.attributes}",
-                            ),
-                            t,
-                        )
-                    picked.append(choice)
-                    pool.remove(choice)
-                    load[choice.server_name] = load.get(choice.server_name, 0) + 1
-            lease = Lease(auth_id=self._new_auth_id(), devices=picked)
-            for dev in picked:
-                self.free.remove(dev)
-            self.leases[lease.auth_id] = lease
-            # 3b: send each involved daemon its subset of the device set.
-            done = t
-            for server_name in lease.server_names:
-                daemon_gcf = self.daemons.get(server_name)
-                if daemon_gcf is not None:
-                    arrival = self.gcf.notify(
-                        daemon_gcf,
-                        P.LeaseAssignNotification(
-                            auth_id=lease.auth_id,
-                            device_ids=lease.devices_on(server_name),
-                        ),
-                        t,
+            # Arrivals behind parked waiters must not overtake them —
+            # a wait=True request joins the queue whenever the queue is
+            # non-empty, even if the free set could satisfy it now.
+            picked = None
+            if not (msg.wait and self.waiters):
+                picked = self._try_allocate(requirements)
+            if picked is None:
+                if msg.wait and self._feasible(requirements):
+                    waiter = Waiter(
+                        ticket=self._new_ticket(),
+                        requirements=requirements,
+                        client=sender,
+                        enqueued_at=t,
                     )
-                    done = max(done, arrival)
+                    self.waiters.append(waiter)
+                    return P.AssignmentResponse(queued=True, ticket=waiter.ticket), t
+                # "An error code is sent to the client if the device
+                # manager was not able to find an appropriate device"
+                return (
+                    P.AssignmentResponse(
+                        error=ErrorCode.CL_DEVICE_NOT_FOUND.value,
+                        detail=f"no free device matches {[r.attributes for r in requirements]}",
+                    ),
+                    t,
+                )
+            lease, done = self._commit_lease(picked, t)
             # 3a: the client gets the auth ID and the lease's server set.
             return (
                 P.AssignmentResponse(auth_id=lease.auth_id, server_names=lease.server_names),
@@ -152,10 +267,13 @@ class DeviceManager:
             if daemon_gcf is not None:
                 self.gcf.notify(daemon_gcf, P.LeaseRevokeNotification(auth_id=auth_id), t)
         self.free.extend(lease.devices)
+        # Revoked devices re-admit parked requests in arrival order.
+        self._drain_waiters(t)
         return True
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<DeviceManager {self.name!r} free={len(self.free)} "
-            f"leases={len(self.leases)} strategy={self.strategy.name}>"
+            f"leases={len(self.leases)} waiters={len(self.waiters)} "
+            f"strategy={self.strategy.name}>"
         )

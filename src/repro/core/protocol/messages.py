@@ -469,19 +469,32 @@ class RegisterDaemonRequest(Request):
 
 @message_type
 class AssignmentRequest(Request):
-    """Client driver -> device manager: the XML config's device list."""
+    """Client driver -> device manager: the XML config's device list.
+
+    ``wait=True`` opts into the oversubscription waiter queue: a request
+    the inventory *could* satisfy but the free set currently cannot is
+    parked (FIFO) instead of failing, and the lease arrives later as a
+    :class:`LeaseGrantedNotification`."""
 
     requirements: List[Dict[str, object]]
+    wait: bool = False
 
 
 @message_type
 class AssignmentResponse(Response):
-    """The granted lease: auth ID plus the servers to connect to."""
+    """The granted lease: auth ID plus the servers to connect to.
+
+    With ``queued=True`` no lease was granted yet — the request was
+    parked in the manager's waiter queue under ``ticket`` and the
+    eventual grant arrives as a :class:`LeaseGrantedNotification`
+    carrying the same ticket."""
 
     auth_id: str = ""
     server_names: List[str] = None
     error: int = 0
     detail: str = ""
+    queued: bool = False
+    ticket: str = ""
 
 
 @message_type
@@ -490,6 +503,17 @@ class LeaseAssignNotification(Notification):
 
     auth_id: str
     device_ids: List[int]
+
+
+@message_type
+class LeaseGrantedNotification(Notification):
+    """Device manager -> waiting client: a queued assignment request
+    (identified by its ``ticket``) was satisfied by a lease revocation;
+    connect with ``auth_id`` exactly as for a synchronous grant."""
+
+    ticket: str
+    auth_id: str
+    server_names: List[str]
 
 
 @message_type

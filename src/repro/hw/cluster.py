@@ -40,13 +40,23 @@ def make_ib_cpu_cluster(
     n_servers: int,
     link: LinkSpec = INFINIBAND_QDR,
     node_spec: HostSpec = WESTMERE_NODE,
+    n_clients: int = 1,
 ) -> Cluster:
     """The Section V-A Mandelbrot testbed: ``n_servers`` Westmere nodes on
-    Infiniband plus a head node acting as the client."""
+    Infiniband plus a head node acting as the client.
+
+    ``n_clients > 1`` adds further head-side nodes (``client01``,
+    ``client02``, …) as extra client hosts — the multi-tenant variant the
+    multi-client conformance testbed deploys on (one application per
+    client host, all sharing the same daemons)."""
     net = Network(link, name="ib-cluster")
     client = net.add_host(Host(node_spec, name="head"))
+    extra = [
+        net.add_host(Host(node_spec, name=f"client{i:02d}"))
+        for i in range(1, max(n_clients, 1))
+    ]
     servers = [net.add_host(Host(node_spec, name=f"node{i:02d}")) for i in range(n_servers)]
-    return Cluster(network=net, client=client, servers=servers)
+    return Cluster(network=net, client=client, servers=servers, extra_clients=extra)
 
 
 def make_desktop_and_gpu_server(link: LinkSpec = GIGABIT_ETHERNET) -> Cluster:

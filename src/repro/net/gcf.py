@@ -176,6 +176,18 @@ class NetStats:
         Daemon-side: one-way event notifications abandoned after the
         bounded notification retry gave up — the client will observe
         the event state at its next synchronous exchange instead.
+    ``refused_connections``
+        Daemon-side: connection attempts turned away by admission
+        control (the per-daemon client cap, see
+        :mod:`repro.core.daemon.admission`) — counted on the *refusing*
+        process, distinct from managed-mode auth failures.
+    ``quota_rejections``
+        Daemon-side: creation commands rejected because the sending
+        client hit its per-client registry-object quota
+        (``CL_OUT_OF_RESOURCES``); under deferred creations the
+        rejected provisional ID poisons exactly like any other failed
+        creation, so the backpressure composes with the handle-promise
+        machinery instead of bypassing it.
 
     ``round_trips`` (a property) is ``requests + batches + bulk_fetches``:
     every synchronous client<->server exchange the process blocked on.
@@ -216,6 +228,8 @@ class NetStats:
         "evicted_replicas",
         "dead_daemons",
         "lost_notifications",
+        "refused_connections",
+        "quota_rejections",
     )
 
     def __init__(self) -> None:

@@ -13,6 +13,7 @@ from repro.core.client.api import DOpenCLAPI
 from repro.core.client.connection import DaemonDirectory
 from repro.core.client.driver import DOpenCLDriver
 from repro.core.client.resilience import RetryPolicy
+from repro.core.daemon.admission import AdmissionPolicy
 from repro.core.daemon.daemon import Daemon
 from repro.core.devmgr.manager import DeviceManager
 from repro.hw.cluster import Cluster
@@ -69,6 +70,8 @@ def deploy_dopencl(
     coalesce_transfers: bool = True,
     coalesce_reads: bool = True,
     retry_policy: Optional[RetryPolicy] = None,
+    client_server_lists: Optional[List[List[str]]] = None,
+    admission: Optional[AdmissionPolicy] = None,
 ) -> Deployment:
     """Install daemons on every server and client drivers on the client
     host(s).
@@ -91,6 +94,15 @@ def deploy_dopencl(
     ``retry_policy`` installs client-side transport resilience (a
     :class:`~repro.core.client.resilience.RetryPolicy`) on every driver;
     the default ``None`` keeps the exact pre-resilience transport path.
+
+    ``client_server_lists`` gives each (non-managed) client its *own*
+    server list — entry ``i`` is the list of server host names client
+    ``i`` connects to, so multi-tenant deployments can pin clients to
+    disjoint or overlapping daemon subsets.  The default ``None`` keeps
+    every client on the full server set.  ``admission`` installs a
+    per-daemon :class:`~repro.core.daemon.admission.AdmissionPolicy`
+    (session cap, per-client registry quota, status-buffer bound) on
+    every daemon.
     """
     manager = None
     if managed:
@@ -99,7 +111,7 @@ def deploy_dopencl(
         )
     daemons = []
     for server in cluster.servers:
-        daemon = Daemon(server, cluster.network, device_manager=manager)
+        daemon = Daemon(server, cluster.network, device_manager=manager, admission=admission)
         daemon.workload_scale = workload_scale
         daemon.start(0.0)
         daemons.append(daemon)
@@ -124,6 +136,8 @@ def deploy_dopencl(
         if managed:
             kwargs["devmgr_config_text"] = (devmgr_config_texts or [])[i]
             kwargs["device_manager"] = manager
+        elif client_server_lists is not None:
+            kwargs["config_text"] = "\n".join(client_server_lists[i])
         else:
             kwargs["config_text"] = server_config_text(cluster)
         driver = DOpenCLDriver(

@@ -1,8 +1,9 @@
 """Benchmark regression checker: fresh smoke runs vs committed snapshots.
 
-``BENCH_smoke.json`` and ``BENCH_osem.json`` (repo root) record the
-forwarding pipeline's headline counters — round trips, wire bytes and
-cache hits per benchmark variant/iteration.  The simulation is
+``BENCH_smoke.json``, ``BENCH_osem.json`` and ``BENCH_multiclient.json``
+(repo root) record the forwarding pipeline's headline counters — round
+trips, wire bytes, cache hits and the multi-tenant
+throughput/latency/fairness numbers.  The simulation is
 deterministic, so those counters are exact properties of the code: any
 drift is a real change, not noise.  This tool re-runs the smoke
 benchmarks and *diffs* the fresh counters against the committed
@@ -16,7 +17,8 @@ legitimately move a few header bytes).  Both directions are violations:
 *worse* means a regression, *better* means the committed snapshot is
 stale and must be re-recorded
 (``PYTHONPATH=src python -m pytest benchmarks/bench_smoke.py
-benchmarks/bench_osem.py`` rewrites both).
+benchmarks/bench_osem.py benchmarks/bench_multiclient.py`` rewrites all
+three).
 
 Used two ways:
 
@@ -75,8 +77,29 @@ OSEM_TOLERANCES: Dict[str, float] = {
     "iteration_decode_cache_hits": 0.0,
 }
 
+
+def _multiclient_tolerances() -> Dict[str, float]:
+    """Multiclient-snapshot keys -> tolerance: every per-scale headline
+    number (throughput, p99 sync latency, device-group fairness ratio,
+    shared decode-cache hits at 1/8/64/256 tenants) is an exact property
+    of the deterministic simulation, so all keys gate at 0.0."""
+    from repro.bench.multiclient import SCALES
+
+    keys = {}
+    for n in SCALES:
+        keys[f"throughput_{n}"] = 0.0
+        keys[f"p99_sync_latency_{n}"] = 0.0
+        keys[f"fairness_ratio_{n}"] = 0.0
+        keys[f"decode_cache_hits_{n}"] = 0.0
+    return keys
+
+
+#: See :func:`_multiclient_tolerances` (``BENCH_multiclient.json``).
+MULTICLIENT_TOLERANCES: Dict[str, float] = _multiclient_tolerances()
+
 COMMITTED_PATH = os.path.join(REPO_ROOT, "BENCH_smoke.json")
 OSEM_COMMITTED_PATH = os.path.join(REPO_ROOT, "BENCH_osem.json")
+MULTICLIENT_COMMITTED_PATH = os.path.join(REPO_ROOT, "BENCH_multiclient.json")
 
 
 def load_committed(path: Optional[str] = None) -> Dict[str, object]:
@@ -143,6 +166,15 @@ def run_fresh_osem() -> Dict[str, object]:
     return osem_payload(bench_osem())
 
 
+def run_fresh_multiclient() -> Dict[str, object]:
+    """Run the multi-tenant contention sweep and return its headline
+    payload (the dict :func:`repro.bench.multiclient.save_multiclient_json`
+    would write)."""
+    from repro.bench.multiclient import bench_multiclient, multiclient_payload
+
+    return multiclient_payload(bench_multiclient())
+
+
 def format_report(
     fresh: Dict[str, object],
     committed: Dict[str, object],
@@ -181,11 +213,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=OSEM_COMMITTED_PATH,
         help="path of the committed OSEM snapshot (default: repo-root BENCH_osem.json)",
     )
+    parser.add_argument(
+        "--committed-multiclient",
+        default=MULTICLIENT_COMMITTED_PATH,
+        help=(
+            "path of the committed multi-tenant snapshot "
+            "(default: repo-root BENCH_multiclient.json)"
+        ),
+    )
     args = parser.parse_args(argv)
     failed = False
     for title, path, tolerances, runner in (
         ("BENCH_smoke.json", args.committed, DEFAULT_TOLERANCES, run_fresh),
         ("BENCH_osem.json", args.committed_osem, OSEM_TOLERANCES, run_fresh_osem),
+        (
+            "BENCH_multiclient.json",
+            args.committed_multiclient,
+            MULTICLIENT_TOLERANCES,
+            run_fresh_multiclient,
+        ),
     ):
         committed = load_committed(path)
         fresh = runner()

@@ -1,10 +1,11 @@
 """Shared tier-1 fixtures.
 
-The benchmark workloads are deterministic, so the smoke/OSEM records are
-computed once per session and shared between the gate tests
-(``test_bench_smoke.py`` / ``test_bench_osem.py``) and the benchdiff
-regression tests (``test_bench_regression.py``) — running the most
-expensive workloads in the suite twice would buy nothing.
+The benchmark workloads are deterministic, so the smoke/OSEM/multiclient
+records are computed once per session and shared between the gate tests
+(``test_bench_smoke.py`` / ``test_bench_osem.py`` /
+``test_bench_multiclient.py``) and the benchdiff regression tests
+(``test_bench_regression.py``) — running the most expensive workloads in
+the suite twice would buy nothing.
 """
 
 import pytest
@@ -24,3 +25,11 @@ def osem_record():
     from repro.bench.osem import bench_osem
 
     return bench_osem()
+
+
+@pytest.fixture(scope="session")
+def multiclient_record():
+    """One shared run of the 1/8/64/256-tenant contention sweep."""
+    from repro.bench.multiclient import bench_multiclient
+
+    return bench_multiclient()

@@ -1,0 +1,212 @@
+"""Device-manager scheduling under oversubscription (Section IV).
+
+Message-level tests of the three fairness properties the multi-tenant
+daemon relies on:
+
+* **RoundRobin** hands consecutive single-device requests to the
+  least-loaded server first, so tenants spread instead of piling onto
+  one node;
+* **BestFit** never strands a big device on a small request — the
+  minimal-excess pick keeps high-capability devices free for the
+  requests that actually need them;
+* the **waiter queue** re-admits parked ``wait=True`` requests in
+  strict arrival order on every lease release and daemon registration
+  (head-of-line, no overtaking — the starvation-freedom bound), while
+  requests no inventory permutation can satisfy still fail fast.
+"""
+
+import pytest
+
+from repro.core.devmgr import DeviceManager, DeviceRequirement
+from repro.core.protocol import messages as P
+from repro.hw import Host
+from repro.hw.specs import GIGABIT_ETHERNET, GPU_SERVER, WESTMERE_NODE
+from repro.net import GCFProcess, Network
+from repro.ocl.constants import ErrorCode
+
+
+def _info(i, cu=30):
+    return {
+        "TYPE": 4,  # CL_DEVICE_TYPE_GPU bits
+        "VENDOR": "NVIDIA",
+        "NAME": f"gpu{i}",
+        "MAX_COMPUTE_UNITS": cu,
+        "GLOBAL_MEM_SIZE": 4 << 30,
+    }
+
+
+def make_manager(strategy="round_robin", servers=(("a", (30, 30)), ("b", (30, 30)))):
+    """A manager plus registered daemon endpoints; ``servers`` maps each
+    daemon name to the compute-unit sizes of its GPUs."""
+    net = Network(GIGABIT_ETHERNET)
+    manager = DeviceManager(
+        net.add_host(Host(GPU_SERVER, name="mgrhost")), net, strategy=strategy
+    )
+    for name, cus in servers:
+        register_daemon(net, manager, name, cus)
+    return net, manager
+
+
+def register_daemon(net, manager, name, cus):
+    """Register a (fake) daemon announcing one GPU per entry of ``cus``."""
+    host = net.add_host(Host(WESTMERE_NODE, name=name))
+    proc = GCFProcess(name, host, net)
+    proc.request(
+        manager.gcf,
+        P.RegisterDaemonRequest(
+            device_ids=list(range(len(cus))),
+            infos=[_info(i, cu) for i, cu in enumerate(cus)],
+        ),
+        0.0,
+    )
+    return proc
+
+
+def make_client(net, manager, name):
+    """A client endpoint capturing its LeaseGrantedNotifications."""
+    host = net.add_host(Host(WESTMERE_NODE, name=f"{name}-host"))
+    proc = GCFProcess(name, host, net)
+    grants = []
+
+    @proc.on_notification(P.LeaseGrantedNotification)
+    def _grant(msg, t, sender):
+        grants.append(msg)
+
+    return proc, grants
+
+
+def request_gpus(proc, manager, count=1, wait=False, min_cu=None, t=0.0):
+    attrs = {"TYPE": "GPU"}
+    if min_cu is not None:
+        attrs["MAX_COMPUTE_UNITS"] = str(min_cu)
+    req = DeviceRequirement(count=count, attributes=attrs)
+    return proc.request(
+        manager.gcf, P.AssignmentRequest(requirements=[req.to_wire()], wait=wait), t
+    ).response
+
+
+# ----------------------------------------------------------------------
+# strategy properties at the manager level
+# ----------------------------------------------------------------------
+def test_round_robin_spreads_tenants_least_loaded_first():
+    net, manager = make_manager(strategy="round_robin")
+    picks = []
+    for i in range(4):
+        client, _ = make_client(net, manager, f"c{i}")
+        resp = request_gpus(client, manager)
+        assert not resp.error and not resp.queued
+        picks.append(resp.server_names[0])
+    # Two tenants land on each server, alternating: no server reaches
+    # load 2 while the other still sits at 0.
+    assert sorted(picks) == ["a", "a", "b", "b"]
+    assert picks[0] != picks[1] and picks[2] != picks[3]
+    assert manager.server_load() == {"a": 2, "b": 2}
+
+
+def test_best_fit_never_strands_the_big_device():
+    # Big GPU registered first: a naive first-match would hand it to the
+    # small request and leave the later big request unsatisfiable.
+    net, manager = make_manager(strategy="best_fit", servers=(("a", (30, 4)),))
+    small_client, _ = make_client(net, manager, "small")
+    resp = request_gpus(small_client, manager, min_cu=4)
+    assert not resp.error
+    leased = manager.leases[resp.auth_id].devices
+    assert [d.info["MAX_COMPUTE_UNITS"] for d in leased] == [4]
+    big_client, _ = make_client(net, manager, "big")
+    resp = request_gpus(big_client, manager, min_cu=16)
+    assert not resp.error  # the 30-CU device is still free
+    assert manager.free == []
+
+
+def test_first_fit_strands_the_big_device_on_the_same_workload():
+    """The contrast case proving the BestFit test is not vacuous."""
+    net, manager = make_manager(strategy="first_fit", servers=(("a", (30, 4)),))
+    small_client, _ = make_client(net, manager, "small")
+    assert not request_gpus(small_client, manager, min_cu=4).error  # takes the 30
+    big_client, _ = make_client(net, manager, "big")
+    resp = request_gpus(big_client, manager, min_cu=16)
+    assert resp.error == ErrorCode.CL_DEVICE_NOT_FOUND.value
+
+
+# ----------------------------------------------------------------------
+# waiter queue: FIFO re-admission, no overtake, fail-fast infeasible
+# ----------------------------------------------------------------------
+def test_revoked_lease_re_admits_waiters_in_arrival_order():
+    net, manager = make_manager(servers=(("a", (30,)),))
+    first, _ = make_client(net, manager, "first")
+    holder = request_gpus(first, manager)
+    assert not holder.error
+    second, second_grants = make_client(net, manager, "second")
+    third, third_grants = make_client(net, manager, "third")
+    queued2 = request_gpus(second, manager, wait=True, t=1.0)
+    queued3 = request_gpus(third, manager, wait=True, t=2.0)
+    assert queued2.queued and queued3.queued
+    assert queued2.ticket != queued3.ticket
+    assert [w.ticket for w in manager.waiters] == [queued2.ticket, queued3.ticket]
+    # First release: the earliest waiter (and only it) gets the lease.
+    first.request(manager.gcf, P.LeaseReleaseRequest(auth_id=holder.auth_id), 3.0)
+    assert [g.ticket for g in second_grants] == [queued2.ticket]
+    assert third_grants == []
+    assert second_grants[0].server_names == ["a"]
+    # Second release: the remaining waiter follows, in order.
+    second.request(
+        manager.gcf, P.LeaseReleaseRequest(auth_id=second_grants[0].auth_id), 4.0
+    )
+    assert [g.ticket for g in third_grants] == [queued3.ticket]
+    assert manager.waiters == []
+
+
+def test_late_small_request_never_overtakes_a_parked_big_one():
+    net, manager = make_manager(servers=(("a", (30, 30)),))
+    holder, _ = make_client(net, manager, "holder")
+    held = request_gpus(holder, manager)  # 1 of 2 GPUs leased
+    assert not held.error
+    big, big_grants = make_client(net, manager, "big")
+    queued_big = request_gpus(big, manager, count=2, wait=True, t=1.0)
+    assert queued_big.queued  # 1 free < 2 needed, but inventory has 2
+    late, late_grants = make_client(net, manager, "late")
+    queued_late = request_gpus(late, manager, wait=True, t=2.0)
+    # The free set could satisfy the late single-GPU request right now,
+    # but granting it would starve the parked two-GPU head.
+    assert queued_late.queued
+    assert late_grants == []
+    holder.request(manager.gcf, P.LeaseReleaseRequest(auth_id=held.auth_id), 3.0)
+    # Head first: the two-GPU waiter drains, the late one keeps waiting.
+    assert [g.ticket for g in big_grants] == [queued_big.ticket]
+    assert late_grants == []
+    big.request(manager.gcf, P.LeaseReleaseRequest(auth_id=big_grants[0].auth_id), 4.0)
+    assert [g.ticket for g in late_grants] == [queued_late.ticket]
+
+
+def test_infeasible_request_fails_fast_even_with_wait():
+    net, manager = make_manager(servers=(("a", (30, 30)),))
+    client, grants = make_client(net, manager, "greedy")
+    resp = request_gpus(client, manager, count=3, wait=True)
+    assert resp.error == ErrorCode.CL_DEVICE_NOT_FOUND.value
+    assert not resp.queued
+    assert manager.waiters == [] and grants == []
+
+
+def test_unsatisfiable_request_without_wait_still_errors():
+    net, manager = make_manager(servers=(("a", (30,)),))
+    holder, _ = make_client(net, manager, "holder")
+    assert not request_gpus(holder, manager).error
+    impatient, _ = make_client(net, manager, "impatient")
+    resp = request_gpus(impatient, manager, wait=False)
+    assert resp.error == ErrorCode.CL_DEVICE_NOT_FOUND.value
+    assert manager.waiters == []
+
+
+def test_daemon_registration_drains_waiters():
+    """Fresh inventory (a daemon starting late, or restarting after a
+    crash) re-admits parked requests exactly like a lease release."""
+    net, manager = make_manager(servers=(("a", (30,)),))
+    holder, _ = make_client(net, manager, "holder")
+    assert not request_gpus(holder, manager).error
+    waiter, grants = make_client(net, manager, "waiter")
+    queued = request_gpus(waiter, manager, wait=True, t=1.0)
+    assert queued.queued
+    register_daemon(net, manager, "b", (30,))
+    assert [g.ticket for g in grants] == [queued.ticket]
+    assert grants[0].server_names == ["b"]
+    assert manager.waiters == []

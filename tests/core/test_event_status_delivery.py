@@ -149,3 +149,51 @@ def test_buffered_statuses_still_apply_after_a_drop(setup, monkeypatch):
     replica = daemon.registry.get("client", 1000, UserEvent)
     assert replica.resolved and replica.end == 1.0
     assert daemon.pending_event_statuses("client") == 3
+
+
+def test_concurrent_hog_is_bounded_while_siblings_keep_delivering(setup, monkeypatch):
+    """Multi-tenant regression: a hog client pinned at its bound and a
+    sibling delivering normally, *interleaved* — every hog status is
+    dropped and counted, every sibling status is buffered, and the
+    sibling's replica creations still consume their entries.  The
+    interleaving matters: the pre-fix daemon-global bound would have
+    charged the sibling for the hog's overflow mid-stream."""
+    net, daemon, _client = setup
+    other_host = net.add_host(Host(WESTMERE_NODE, name="cli2"))
+    other = GCFProcess("client2", other_host, net)
+    other.connect(daemon.gcf, 0.0)
+    other.request(daemon.gcf, P.CreateContextRequest(context_id=1, device_ids=[0]), 0.0)
+    limit = _fill_buffer(daemon, "client", monkeypatch)
+    for i in range(3):
+        assert daemon.deliver_event_status("client", 9000 + i, CL_COMPLETE, 2.0) is False
+        assert daemon.deliver_event_status("client2", 2000 + i, CL_COMPLETE, 1.0)
+    assert daemon.gcf.stats.dropped_event_statuses == 3
+    assert daemon.pending_event_statuses("client") == limit
+    assert daemon.pending_event_statuses("client2") == 3
+    other.request_batch(
+        daemon.gcf, [P.CreateUserEventRequest(event_id=2001, context_id=1)], 0.0
+    )
+    replica = daemon.registry.get("client2", 2001, UserEvent)
+    assert replica.resolved and replica.end == 1.0
+
+
+def test_admission_policy_bound_applies_concurrently_without_monkeypatch():
+    """The same hog-vs-sibling interleave driven purely through an
+    :class:`~repro.core.daemon.admission.AdmissionPolicy` override of
+    the buffer bound — the production configuration path."""
+    from repro.core.daemon.admission import AdmissionPolicy
+
+    net = Network(GIGABIT_ETHERNET)
+    server = net.add_host(Host(GPU_SERVER, name="srv2"))
+    daemon = Daemon(server, net, admission=AdmissionPolicy(max_pending_statuses=2))
+    for name in ("hog", "sibling"):
+        host = net.add_host(Host(WESTMERE_NODE, name=f"{name}-host"))
+        GCFProcess(name, host, net).connect(daemon.gcf, 0.0)
+    assert daemon.deliver_event_status("hog", 1, CL_COMPLETE, 1.0)
+    assert daemon.deliver_event_status("sibling", 1, CL_COMPLETE, 1.0)
+    assert daemon.deliver_event_status("hog", 2, CL_COMPLETE, 1.0)
+    assert daemon.deliver_event_status("hog", 3, CL_COMPLETE, 1.0) is False
+    assert daemon.deliver_event_status("sibling", 2, CL_COMPLETE, 1.0)
+    assert daemon.gcf.stats.dropped_event_statuses == 1
+    assert daemon.pending_event_statuses("hog") == 2
+    assert daemon.pending_event_statuses("sibling") == 2

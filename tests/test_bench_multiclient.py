@@ -1,0 +1,13 @@
+"""Tier-1 wrapper for the multi-tenant contention sweep.
+
+Keeps the multi-tenancy properties (``repro.bench.multiclient``) from
+rotting: at 1/8/64/256 tenants on one GPU server the device groups must
+stay fair, the latency tail well-formed, the shared decode cache
+engaged, and no client may see drops, refusals or quota rejections.
+"""
+
+from repro.bench.multiclient import assert_multiclient_record
+
+
+def test_multiclient_contention_stays_fair(multiclient_record):
+    assert_multiclient_record(multiclient_record)

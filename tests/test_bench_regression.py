@@ -8,15 +8,19 @@ quietly costs round trips or bytes — or quietly improves them without
 re-recording the snapshot — fails here instead of rotting the floor.
 
 Re-record with ``PYTHONPATH=src python -m pytest benchmarks/bench_smoke.py
-benchmarks/bench_osem.py``.  The fresh records come from the shared
+benchmarks/bench_osem.py benchmarks/bench_multiclient.py``.  The fresh
+records come from the shared
 session fixtures (``tests/conftest.py``) — the same runs the gate tests
 validate — so the expensive workloads execute once per suite.
 """
 
+from repro.bench.multiclient import multiclient_payload
 from repro.bench.osem import osem_payload
 from repro.bench.smoke import smoke_payload
 from repro.tools.benchdiff import (
     DEFAULT_TOLERANCES,
+    MULTICLIENT_COMMITTED_PATH,
+    MULTICLIENT_TOLERANCES,
     OSEM_COMMITTED_PATH,
     OSEM_TOLERANCES,
     compare,
@@ -39,6 +43,19 @@ def test_fresh_osem_counters_match_committed_snapshot(osem_record):
     )
     assert not problems, "bench counters drifted from BENCH_osem.json:\n" + "\n".join(
         problems
+    )
+
+
+def test_fresh_multiclient_counters_match_committed_snapshot(multiclient_record):
+    committed = load_committed(MULTICLIENT_COMMITTED_PATH)
+    problems = compare(
+        multiclient_payload(multiclient_record),
+        committed,
+        MULTICLIENT_TOLERANCES,
+        snapshot="BENCH_multiclient.json",
+    )
+    assert not problems, (
+        "bench counters drifted from BENCH_multiclient.json:\n" + "\n".join(problems)
     )
 
 
