@@ -7,16 +7,20 @@ coalesced result reads.  Each optimisation is unit-tested in isolation;
 what this harness locks down is their *composition*: a seeded generator
 builds small workload DAGs (multi-queue kernels, user-event gating,
 blocking and non-blocking transfers, ``clFlush``/``clFinish``, mid-run
-creation failures) and runs each program under four pipeline
-configurations:
+creation failures, duplicate and failing program builds) and runs each
+program under five pipeline configurations:
 
-* ``sync`` — batching fully disabled, every extension off (one round
-  trip per forwarded call: the semantics oracle);
+* ``sync`` — batching fully disabled, every extension off including
+  the program build cache (one round trip per forwarded call: the
+  semantics oracle);
 * ``batched`` — send windows, deferred relays and handle promises on,
   every coalescing knob off;
 * ``coalesced_off`` — the full pipeline with ``coalesce_reads=False``
   (the read-coalescing ablation mirror);
-* ``coalesced_on`` — everything on (the shipping default).
+* ``coalesced_on`` — everything on (the shipping default);
+* ``cache_off`` — the full pipeline with ``program_cache=False`` (the
+  content-addressed build-cache ablation mirror: every build pays the
+  synchronous per-server fan-out and no daemon may touch its cache).
 
 The paper's headline property is that dOpenCL preserves *unmodified
 OpenCL semantics*; the pipeline being "just" a communication
@@ -85,7 +89,7 @@ from repro.testbed import deploy_dopencl
 #: run of many seeds stays inside the time budget.
 BUFFER_ELEMS = 64
 
-#: The four pipeline configurations every generated program runs under
+#: The five pipeline configurations every generated program runs under
 #: (see the module docstring).  ``sync`` is the oracle.
 CONFIGS: Dict[str, Dict[str, object]] = {
     "sync": dict(
@@ -95,6 +99,7 @@ CONFIGS: Dict[str, Dict[str, object]] = {
         defer_creations=False,
         coalesce_transfers=False,
         coalesce_reads=False,
+        program_cache=False,
     ),
     "batched": dict(
         coalesce_uploads=False,
@@ -103,7 +108,13 @@ CONFIGS: Dict[str, Dict[str, object]] = {
     ),
     "coalesced_off": dict(coalesce_reads=False),
     "coalesced_on": {},
+    "cache_off": dict(program_cache=False),
 }
+
+#: The configurations that run with the program build cache enabled —
+#: their daemon-side build counters must agree exactly (the same builds
+#: resolve through the same cache regardless of coalescing machinery).
+CACHED_CONFIGS = ("batched", "coalesced_off", "coalesced_on")
 
 #: Kernels the generator draws from: one pure producer, one
 #: read-modify-write, one two-input combiner (the shapes that exercise
@@ -127,6 +138,63 @@ __kernel void sum2(__global float *out, __global const float *a,
 #: Kernel name -> (arg layout tag).  ``fill``/``scale`` take
 #: ``(buffer, float, n)``; ``sum2`` takes ``(out, a, b, n)``.
 KERNELS = ("fill", "scale", "sum2")
+
+#: Second translation unit the build-path ops draw on.  ``CONF_BIAS``
+#: is settable through build options, so the *same source* built under
+#: *different options* yields different kernels — a build cache that
+#: wrongly keyed on the digest alone (ignoring options) would hand the
+#: wrong binary to one of the two builds and diverge from the sync
+#: oracle in the buffer bytes themselves.
+EXTRA_PROGRAM_SOURCE = """
+#ifndef CONF_BIAS
+#define CONF_BIAS 0.25f
+#endif
+__kernel void bias(__global float *x, const int n) {
+    int i = (int)get_global_id(0);
+    if (i < n) x[i] = x[i] + CONF_BIAS;
+}
+"""
+
+#: Build options of the ``build_dup`` variant that must NOT share a
+#: cache entry with the optionless build of the same source.
+EXTRA_BUILD_OPTIONS = "-DCONF_BIAS=1.5f"
+
+#: A translation unit that fails to compile (missing semicolon).  The
+#: deterministic compiler produces the identical build log every time,
+#: so a negatively-cached replay must be bit-identical to the fresh
+#: failure — same error code, same ``clGetProgramBuildInfo`` log.
+BROKEN_PROGRAM_SOURCE = """
+__kernel void broken(__global float *x, const int n) {
+    int i = (int)get_global_id(0)
+    if (i < n) x[i] = 0.0f;
+}
+"""
+
+#: ``(source, options)`` pair each ``build_dup`` variant builds.
+#: Variant 0 re-builds the main program (a duplicate key), variants
+#: 1 and 2 build the extra source under differing options (distinct
+#: keys despite the shared digest).
+BUILD_DUP_VARIANTS = (
+    (PROGRAM_SOURCE, "", "scale"),
+    (EXTRA_PROGRAM_SOURCE, EXTRA_BUILD_OPTIONS, "bias"),
+    (EXTRA_PROGRAM_SOURCE, "", "bias"),
+)
+
+
+def build_pairs(spec: Dict[str, object]) -> set:
+    """The unique ``(source, options)`` build keys a program spec
+    attempts (the setup build plus every build op — failed builds count
+    too: negatives are cached and shipped exactly like binaries).
+    Under the program cache the size of this set is precisely the
+    number of compiles the whole cluster may run."""
+    pairs = {(PROGRAM_SOURCE, "")}
+    for op in spec["ops"]:
+        if op[0] == "build_dup":
+            source, options, _kernel = BUILD_DUP_VARIANTS[op[1]]
+            pairs.add((source, options))
+        elif op[0] == "build_bad":
+            pairs.add((BROKEN_PROGRAM_SOURCE, ""))
+    return pairs
 
 
 def generate_program(
@@ -174,8 +242,8 @@ def generate_program(
     for _ in range(count):
         kind = rng.choices(
             ["kernel", "write", "read", "read_nb", "flush", "finish",
-             "user_event", "bad_create", "churn"],
-            weights=[5, 2, 2, 1, 2, 1, 2, 1, 2],
+             "user_event", "bad_create", "churn", "build_dup", "build_bad"],
+            weights=[5, 2, 2, 1, 2, 1, 2, 1, 2, 1, 1],
         )[0]
         qi = rng.randrange(len(queue_devices))
         if kind == "kernel":
@@ -232,6 +300,21 @@ def generate_program(
             # data is touched, so churn is observable only through the
             # NetStats invariants.
             ops.append(("churn", rng.randrange(3), rng.choice(KERNELS)))
+        elif kind == "build_dup":
+            # An extra program build mid-run (see BUILD_DUP_VARIANTS):
+            # variant 0 duplicates the setup build's (source, options)
+            # key, variants 1/2 build one source under two option sets.
+            # The built kernel is launched on a live buffer, so a cache
+            # handing back the wrong binary corrupts observable bytes.
+            ops.append((
+                "build_dup", rng.randrange(len(BUILD_DUP_VARIANTS)), qi,
+                rng.randrange(n_buffers), round(rng.uniform(0.5, 2.0), 3),
+            ))
+        elif kind == "build_bad":
+            # A build that fails deterministically; repeats replay the
+            # negative cache entry, which must surface the identical
+            # error and build log as the fresh compile.
+            ops.append(("build_bad",))
     set_pending_events()
     return {
         "seed": seed,
@@ -243,9 +326,12 @@ def generate_program(
     }
 
 
-def _apply_op(cl, ctx, program, queues, buffers, events, reads, errors, op_index, op) -> None:
+def _apply_op(
+    cl, ctx, program, queues, buffers, events, reads, errors, build_logs, op_index, op
+) -> None:
     """Interpret one program-spec op (shared by the fault-free and
-    faulted runners).  Mutates ``events``/``reads``/``errors`` in place.
+    faulted runners).  Mutates ``events``/``reads``/``errors``/
+    ``build_logs`` in place.
 
     A gate or set target referencing a user event that failed to be
     created (possible only under an unrecoverable fault schedule, where
@@ -320,6 +406,35 @@ def _apply_op(cl, ctx, program, queues, buffers, events, reads, errors, op_index
             cl.clRetainKernel(kernel)
             cl.clReleaseKernel(kernel)
             cl.clReleaseKernel(kernel)
+    elif kind == "build_dup":
+        _, variant, qi, bi, scalar = op
+        source, options, kernel_name = BUILD_DUP_VARIANTS[variant]
+        extra = cl.clCreateProgramWithSource(ctx, source)
+        cl.clBuildProgram(extra, options)
+        build_logs[op_index] = cl.clGetProgramBuildInfo(extra, None, "LOG")
+        kernel = cl.clCreateKernel(extra, kernel_name)
+        cl.clSetKernelArg(kernel, 0, require(buffers[bi]))
+        if kernel_name == "scale":
+            cl.clSetKernelArg(kernel, 1, np.float32(scalar))
+            cl.clSetKernelArg(kernel, 2, BUFFER_ELEMS)
+        else:
+            cl.clSetKernelArg(kernel, 1, BUFFER_ELEMS)
+        cl.clEnqueueNDRangeKernel(require(queues[qi]), kernel, (BUFFER_ELEMS,))
+        cl.clReleaseKernel(kernel)
+        cl.clReleaseProgram(extra)
+    elif kind == "build_bad":
+        # The failure is part of the program's expected behaviour, so
+        # it is recorded positionally like bad_create (not re-raised):
+        # under fault schedules the op must not trip the daemon-loss
+        # error audit, and on repeats the negatively-cached replay must
+        # produce the identical log captured below.
+        bad_program = cl.clCreateProgramWithSource(ctx, BROKEN_PROGRAM_SOURCE)
+        try:
+            cl.clBuildProgram(bad_program)
+        except CLError:
+            errors.append(op_index)
+        build_logs[op_index] = cl.clGetProgramBuildInfo(bad_program, None, "LOG")
+        cl.clReleaseProgram(bad_program)
     elif kind == "bad_create":
         # Mid-run creation failure: conflicting access flags pass
         # the client-side checks but fail daemon-side, so the
@@ -341,6 +456,21 @@ def _apply_op(cl, ctx, program, queues, buffers, events, reads, errors, op_index
             except CLError:
                 errors.append(op_index)
             cl.clReleaseMemObject(bad)
+        else:
+            # The creation raised eagerly.  Under deferred creations
+            # that means a window-overflow flush surfaced one server's
+            # failure mid-call — replicas of the doomed creation may
+            # still sit in other servers' windows with no handle left
+            # to release.  Drain them here so the poison is fully
+            # observed at this op: the only deferred failure possible
+            # at this point is the same creation's (already recorded
+            # once above), so the swallow cannot hide anything else.
+            queue = next((q for q in queues if q is not None), None)
+            if queue is not None:
+                try:
+                    cl.clFinish(queue)
+                except CLError:
+                    pass
 
 
 def run_program(spec: Dict[str, object], flags: Dict[str, object]) -> Dict[str, object]:
@@ -351,7 +481,10 @@ def run_program(spec: Dict[str, object], flags: Dict[str, object]) -> Dict[str, 
     read), ``final`` (buffer index -> bytes after the closing
     full-drain readback), ``directories`` (buffer index -> coherence
     state map), ``errors`` (op indices where a ``CLError`` was
-    observed) and the client's ``NetStats`` snapshot.
+    observed), ``build_logs`` (op index -> ``clGetProgramBuildInfo``
+    log of every build op, which a negatively-cached failure must
+    replay bit-identically), the client's ``NetStats`` snapshot and
+    ``build_stats`` (the daemon-aggregate build-cache counters).
     """
     deployment = deploy_dopencl(
         make_ib_cpu_cluster(spec["n_servers"]),
@@ -375,8 +508,12 @@ def run_program(spec: Dict[str, object], flags: Dict[str, object]) -> Dict[str, 
     events: Dict[int, object] = {}
     reads: Dict[int, bytes] = {}
     errors: List[int] = []
+    build_logs: Dict[int, str] = {}
     for op_index, op in enumerate(spec["ops"]):
-        _apply_op(cl, ctx, program, queues, buffers, events, reads, errors, op_index, op)
+        _apply_op(
+            cl, ctx, program, queues, buffers, events, reads, errors,
+            build_logs, op_index, op,
+        )
     for queue in queues:
         cl.clFinish(queue)
     final: Dict[int, bytes] = {}
@@ -392,7 +529,22 @@ def run_program(spec: Dict[str, object], flags: Dict[str, object]) -> Dict[str, 
         "final": final,
         "directories": directories,
         "errors": errors,
+        "build_logs": build_logs,
         "stats": deployment.driver.stats.snapshot(),
+        "build_stats": _daemon_build_stats(deployment),
+    }
+
+
+def _daemon_build_stats(deployment) -> Dict[str, object]:
+    """Deployment-aggregate build-cache counters (summed over daemons)
+    — the structural observables of the content-addressed cache."""
+    daemons = deployment.daemons
+    return {
+        "programs_built": sum(d.gcf.stats.programs_built for d in daemons),
+        "build_cache_hits": sum(d.gcf.stats.build_cache_hits for d in daemons),
+        "negative_build_hits": sum(d.gcf.stats.negative_build_hits for d in daemons),
+        "binaries_shipped": sum(d.gcf.stats.binaries_shipped for d in daemons),
+        "build_seconds_saved": sum(d.gcf.stats.build_seconds_saved for d in daemons),
     }
 
 
@@ -483,6 +635,7 @@ class _ClientRun:
         self.events: Dict[int, object] = {}
         self.reads: Dict[int, bytes] = {}
         self.errors: List[int] = []
+        self.build_logs: Dict[int, str] = {}
 
     def setup(self, spec: Dict[str, object]) -> None:
         """The per-client setup phase (same shape as :func:`run_program`:
@@ -507,7 +660,7 @@ class _ClientRun:
         """Interpret one of this client's ops via the shared interpreter."""
         _apply_op(
             self.cl, self.ctx, self.program, self.queues, self.buffers,
-            self.events, self.reads, self.errors, op_index, op,
+            self.events, self.reads, self.errors, self.build_logs, op_index, op,
         )
 
     def finalize(self, stats: Dict[str, int]) -> Dict[str, object]:
@@ -529,6 +682,7 @@ class _ClientRun:
             "final": final,
             "directories": directories,
             "errors": self.errors,
+            "build_logs": self.build_logs,
             "stats": stats,
         }
 
@@ -627,6 +781,28 @@ def _audit_isolation(tag: str, mspec: Dict[str, object], deployment) -> None:
             )
 
 
+def _audit_multi_build_cache(
+    tag: str, mspec: Dict[str, object], deployment, flags: Dict[str, object]
+) -> None:
+    """Shared-deployment build-cache audit: with the cache on, N
+    tenants' builds compile exactly once per unique ``(source,
+    options)`` key *cluster-wide* (cross-tenant and cross-daemon
+    sharing both engage); with ``program_cache=False`` no build-cache
+    counter may move at all."""
+    stats = _daemon_build_stats(deployment)
+    if flags.get("program_cache", True):
+        unique = len(set().union(*(build_pairs(spec) for spec in mspec["clients"])))
+        assert stats["programs_built"] == unique, (
+            f"{tag}: {stats['programs_built']} compiles for {unique} unique "
+            f"(source, options) keys across all tenants"
+        )
+    else:
+        for key, value in stats.items():
+            assert value == 0, (
+                f"{tag}: cache-off deployment moved build counter {key}={value}"
+            )
+
+
 def run_multi_seed(
     seed: int,
     n_clients: int,
@@ -648,6 +824,7 @@ def run_multi_seed(
     outcomes, deployment = run_multi_program(mspec, flags)
     tag = f"seed {seed} clients {n_clients}"
     _audit_isolation(tag, mspec, deployment)
+    _audit_multi_build_cache(tag, mspec, deployment, flags)
     for ci in range(n_clients):
         solo = run_client_solo(mspec, ci, flags)
         shared = outcomes[ci]
@@ -655,6 +832,10 @@ def run_multi_seed(
         assert shared["errors"] == solo["errors"], (
             f"{ctag}: contention changed observed errors: "
             f"{shared['errors']} vs solo {solo['errors']}"
+        )
+        assert shared["build_logs"] == solo["build_logs"], (
+            f"{ctag}: cross-tenant build-cache sharing changed a build "
+            f"log: {shared['build_logs']} vs solo {solo['build_logs']}"
         )
         assert shared["reads"].keys() == solo["reads"].keys(), (
             f"{ctag}: contention changed which reads happened"
@@ -801,10 +982,12 @@ def run_program_resilient(
         )
     events: Dict[int, object] = {}
     reads: Dict[int, bytes] = {}
+    build_logs: Dict[int, str] = {}
     for op_index, op in enumerate(spec["ops"]):
         try:
             _apply_op(
-                cl, ctx, program, queues, buffers, events, reads, errors, op_index, op
+                cl, ctx, program, queues, buffers, events, reads, errors,
+                build_logs, op_index, op,
             )
         except CLError as exc:
             errors.append((op_index, int(exc.code)))
@@ -843,6 +1026,7 @@ def run_program_resilient(
         "final": final,
         "directories": directories,
         "errors": errors,
+        "build_logs": build_logs,
         "lost": lost,
         "stats": deployment.driver.stats.snapshot(),
         "injector": injector.snapshot() if injector is not None else None,
@@ -854,7 +1038,8 @@ def _semantics(outcome: Dict[str, object]) -> Dict[str, object]:
     counters, which legitimately differ between runs with and without
     faults)."""
     return {
-        key: outcome[key] for key in ("reads", "final", "directories", "errors", "lost")
+        key: outcome[key]
+        for key in ("reads", "final", "directories", "errors", "build_logs", "lost")
     }
 
 
@@ -922,12 +1107,15 @@ def run_seed_with_faults(
         "config": config,
         "fired": (faulted["injector"] or {}).get("fired_actions", 0),
         "errors": len(faulted["errors"]),
+        "baseline_errors": len(baseline["errors"]),
         "retries": faulted["stats"]["retries"],
         "dead_daemons": faulted["stats"]["dead_daemons"],
     }
 
 
-def _check_stats_invariants(seed: int, outcomes: Dict[str, Dict[str, object]]) -> None:
+def _check_stats_invariants(
+    seed: int, spec: Dict[str, object], outcomes: Dict[str, Dict[str, object]]
+) -> None:
     """The per-configuration ``NetStats`` structural invariants (seed in
     every message so a violation is replayable)."""
     tag = f"seed {seed}"
@@ -946,6 +1134,47 @@ def _check_stats_invariants(seed: int, outcomes: Dict[str, Dict[str, object]]) -
         for key in ("coalesced_uploads", "coalesced_downloads",
                     "coalesced_peer_transfers"):
             assert stats[key] == 0, f"{tag}: {name} config has {key} != 0"
+    # Build-cache structural invariants.  With the cache disabled no
+    # counter may move on either side of the wire; with it enabled the
+    # daemon aggregates are an exact function of the program's build
+    # keys, independent of every coalescing knob.
+    for name in ("sync", "cache_off"):
+        stats = outcomes[name]["stats"]
+        for key in ("build_cache_hits", "negative_build_hits"):
+            assert stats[key] == 0, (
+                f"{tag}: {name} config moved client build counter {key}"
+            )
+        for key, value in outcomes[name]["build_stats"].items():
+            assert value == 0, (
+                f"{tag}: {name} config moved daemon build counter {key}={value}"
+            )
+    unique = len(build_pairs(spec))
+    servers = spec["n_servers"]
+    reference = outcomes[CACHED_CONFIGS[0]]["build_stats"]
+    for name in CACHED_CONFIGS:
+        build = outcomes[name]["build_stats"]
+        assert build == reference, (
+            f"{tag}: cached configs disagree on build counters: "
+            f"{name}={build} vs {CACHED_CONFIGS[0]}={reference}"
+        )
+        # One compile per unique (source, options) key cluster-wide;
+        # the compiling daemon ships every outcome (binaries and
+        # negatives alike) to each of its siblings, and every other
+        # resolution is a hit of one kind or the other.
+        assert build["programs_built"] == unique, (
+            f"{tag}: {name} compiled {build['programs_built']} times for "
+            f"{unique} unique build keys"
+        )
+        assert build["binaries_shipped"] == unique * (servers - 1), (
+            f"{tag}: {name} shipped {build['binaries_shipped']} entries, "
+            f"expected {unique} keys x {servers - 1} siblings"
+        )
+        total_builds = _build_resolutions(spec)
+        hits = build["build_cache_hits"] + build["negative_build_hits"]
+        assert build["programs_built"] + hits == total_builds, (
+            f"{tag}: {name} resolved {build['programs_built']} + {hits} "
+            f"builds, expected {total_builds}"
+        )
     # The pipeline is a communication optimisation: no deferred
     # configuration may ever spend as much as the synchronous oracle.
     # (The *intra*-pipeline ordering is deliberately not asserted
@@ -955,10 +1184,24 @@ def _check_stats_invariants(seed: int, outcomes: Dict[str, Dict[str, object]]) -
     # fusing fetches — observed at seed 307.  The deterministic
     # coalescing floors are gated by the smoke benchmark instead.)
     rt = {name: outcomes[name]["stats"]["round_trips"] for name in outcomes}
-    for name in ("batched", "coalesced_off", "coalesced_on"):
+    for name in ("batched", "coalesced_off", "coalesced_on", "cache_off"):
         assert rt[name] < rt["sync"], (
             f"{tag}: {name} config did not beat the synchronous oracle ({rt})"
         )
+    # The build cache only ever removes round trips from the full
+    # pipeline (every generated program builds at least once, so the
+    # saving is strict).
+    assert rt["coalesced_on"] < rt["cache_off"], (
+        f"{tag}: program cache did not save round trips ({rt})"
+    )
+
+
+def _build_resolutions(spec: Dict[str, object]) -> int:
+    """Total daemon-side build resolutions a spec causes under the
+    program cache: every ``clBuildProgram`` fans one cached-build
+    request out to each of the context's servers."""
+    builds = 1 + sum(op[0] in ("build_dup", "build_bad") for op in spec["ops"])
+    return builds * spec["n_servers"]
 
 
 def run_seed(
@@ -995,7 +1238,14 @@ def run_seed(
             f"{tag}: {name} directory state diverged: "
             f"{outcome['directories']} vs {oracle['directories']}"
         )
-    _check_stats_invariants(seed, outcomes)
+        # Build logs are part of the oracle: a negatively-cached replay
+        # (or a cross-daemon shipped binary) must reproduce the same
+        # clGetProgramBuildInfo text as the fresh synchronous compile.
+        assert outcome["build_logs"] == oracle["build_logs"], (
+            f"{tag}: {name} build logs diverged: "
+            f"{outcome['build_logs']} vs {oracle['build_logs']}"
+        )
+    _check_stats_invariants(seed, spec, outcomes)
     return {
         "seed": seed,
         "n_servers": spec["n_servers"],
@@ -1069,7 +1319,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"{summary['n_servers']} servers, {summary['n_ops']} ops; "
                 f"round trips sync={rt['sync']} batched={rt['batched']} "
                 f"coalesced_off={rt['coalesced_off']} "
-                f"coalesced_on={rt['coalesced_on']})"
+                f"coalesced_on={rt['coalesced_on']} cache_off={rt['cache_off']})"
             )
     if failures:
         print(f"{failures}/{len(seeds)} seeds diverged")

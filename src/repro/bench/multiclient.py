@@ -95,6 +95,11 @@ def _run_scale(n_clients: int) -> Dict[str, object]:
         program = cl.clCreateProgramWithSource(ctx, MULTI_SOURCE)
         cl.clBuildProgram(program)
         buf = cl.clCreateBuffer(ctx, CL_MEM_WRITE_ONLY, BUFFER_ELEMS * 4)
+        # Settle the (deferred) build inside setup: the measured rounds
+        # are steady-state contention, and the one compile the whole
+        # tenant fleet pays — every later tenant is a daemon build-cache
+        # hit — must not land in some tenant's round-1 latency sample.
+        cl.clFinish(queue)
         clients.append(
             {
                 "cl": cl,
@@ -142,6 +147,9 @@ def _run_scale(n_clients: int) -> Dict[str, object]:
         "p99_sync_latency": p99(latencies),
         "decode_cache_hits": sum(d.gcf.stats.decode_cache_hits for d in daemons),
         "reply_cache_hits": sum(d.gcf.stats.reply_cache_hits for d in daemons),
+        "programs_built": sum(d.gcf.stats.programs_built for d in daemons),
+        "build_cache_hits": sum(d.gcf.stats.build_cache_hits for d in daemons),
+        "build_seconds_saved": sum(d.gcf.stats.build_seconds_saved for d in daemons),
         "dropped_event_statuses": sum(
             d.gcf.stats.dropped_event_statuses for d in daemons
         ),
@@ -166,6 +174,9 @@ def bench_multiclient(scales=SCALES) -> ExperimentRecord:
             "p99_sync_latency",
             "decode_cache_hits",
             "reply_cache_hits",
+            "programs_built",
+            "build_cache_hits",
+            "build_seconds_saved",
             "dropped_event_statuses",
             "refused_connections",
             "quota_rejections",
@@ -175,7 +186,8 @@ def bench_multiclient(scales=SCALES) -> ExperimentRecord:
             f"server, clients round-robin over its 4 GPUs; acceptance: "
             f"device-group fairness ratio <= {MAX_FAIRNESS_RATIO} at every "
             "scale, no dropped statuses / refusals, shared decode cache "
-            "engages from 8 tenants on"
+            "engages from 8 tenants on, and the whole fleet pays exactly "
+            "one program compile (every later tenant is a build-cache hit)"
         ),
     )
     for n_clients in scales:
@@ -205,6 +217,12 @@ def assert_multiclient_record(record: ExperimentRecord) -> None:
         assert row["dropped_event_statuses"] == 0
         assert row["refused_connections"] == 0
         assert row["quota_rejections"] == 0
+        # The content-addressed build cache holds at every scale: the
+        # shared source compiles exactly once, every other tenant hits.
+        assert row["programs_built"] == 1
+        assert row["build_cache_hits"] == row["n_clients"] - 1
+        if row["n_clients"] > 1:
+            assert row["build_seconds_saved"] > 0.0
     rows = {row["n_clients"]: row for row in record.rows}
     multi = [row for n, row in rows.items() if n > 1]
     for row in multi:
@@ -235,6 +253,8 @@ def multiclient_payload(record: ExperimentRecord) -> dict:
         payload[f"p99_sync_latency_{n_clients}"] = row["p99_sync_latency"]
         payload[f"fairness_ratio_{n_clients}"] = row["fairness_ratio"]
         payload[f"decode_cache_hits_{n_clients}"] = row["decode_cache_hits"]
+        payload[f"programs_built_{n_clients}"] = row["programs_built"]
+        payload[f"build_cache_hits_{n_clients}"] = row["build_cache_hits"]
     return payload
 
 

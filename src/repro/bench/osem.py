@@ -26,7 +26,7 @@ from typing import Optional
 
 from repro.apps.osem import ListModeOSEM, disk_phantom, generate_events
 from repro.bench.harness import REPO_ROOT, ExperimentRecord
-from repro.hw.cluster import make_desktop_and_gpu_server
+from repro.hw.cluster import make_desktop_and_gpu_server, make_ib_cpu_cluster
 from repro.ocl.constants import CL_DEVICE_TYPE_GPU
 from repro.testbed import deploy_dopencl
 
@@ -42,11 +42,68 @@ OSEM_ITERATIONS = 3
 #: reply cache (in practice it is ~100%: the arg values repeat exactly).
 MIN_STEADY_STATE_HIT_RATIO = 0.5
 
+#: Servers in the repeat-setup cluster phase (the program-cache floor:
+#: two tenants building the identical source on this many daemons must
+#: compile exactly once cluster-wide).
+CLUSTER_SERVERS = 3
+
+#: The shared source of the cluster repeat-setup phase.
+CLUSTER_SOURCE = """
+__kernel void saxpy(__global float *y, __global const float *x,
+                    const float a, const int n) {
+    int i = (int)get_global_id(0);
+    if (i < n) y[i] = a * x[i] + y[i];
+}
+"""
+
+
+def _setup_round_trips(program_cache: bool) -> int:
+    """Round trips one OSEM setup costs on a fresh Fig. 5 deployment
+    with the program cache on or off — the ablation pair the snapshot
+    gates (cache-on drops the synchronous build fan-out)."""
+    deployment = deploy_dopencl(make_desktop_and_gpu_server(), program_cache=program_cache)
+    api = deployment.api
+    gpus = api.clGetDeviceIDs(api.clGetPlatformIDs()[0], CL_DEVICE_TYPE_GPU)
+    osem = ListModeOSEM(
+        api, gpus, image_size=OSEM_IMAGE_SIZE, n_subsets=OSEM_SUBSETS, n_samples=OSEM_SAMPLES
+    )
+    events = generate_events(disk_phantom(OSEM_IMAGE_SIZE), OSEM_EVENTS, seed=7)
+    before = deployment.driver.stats.round_trips
+    osem.setup(events)
+    return deployment.driver.stats.round_trips - before
+
+
+def _cluster_repeat_setup() -> dict:
+    """The cluster-wide build floor: two tenants build the identical
+    source on a :data:`CLUSTER_SERVERS`-daemon cluster.  The first
+    tenant's build compiles on one daemon and ships the binary to the
+    siblings; every other resolution — the first tenant's other two
+    daemons and all three of the second tenant's — is a build-cache
+    hit.  Returns the cluster-aggregate build counters."""
+    deployment = deploy_dopencl(
+        make_ib_cpu_cluster(CLUSTER_SERVERS, n_clients=2), n_clients=2
+    )
+    for api in deployment.apis:
+        devices = api.clGetDeviceIDs(api.clGetPlatformIDs()[0])
+        ctx = api.clCreateContext(devices)
+        queue = api.clCreateCommandQueue(ctx, devices[0])
+        program = api.clCreateProgramWithSource(ctx, CLUSTER_SOURCE)
+        api.clBuildProgram(program)
+        api.clFinish(queue)
+    daemons = deployment.daemons
+    return {
+        "programs_built": sum(d.gcf.stats.programs_built for d in daemons),
+        "binaries_shipped": sum(d.gcf.stats.binaries_shipped for d in daemons),
+        "build_cache_hits": sum(d.gcf.stats.build_cache_hits for d in daemons),
+        "build_seconds_saved": sum(d.gcf.stats.build_seconds_saved for d in daemons),
+    }
+
 
 def bench_osem() -> ExperimentRecord:
     """Run the mini Fig. 5 OSEM offload and record per-iteration
     round-trip and cache-hit counters (one row per iteration, plus the
-    setup row)."""
+    setup row, the cache-off ablation setup and the cluster repeat-setup
+    build-floor phase)."""
     record = ExperimentRecord(
         experiment="bench_osem",
         title="OSEM iterations: daemon reply-cache payoff on repeated kernel args",
@@ -58,13 +115,17 @@ def bench_osem() -> ExperimentRecord:
             "decode_cache_hits",
             "hit_ratio",
             "bytes_sent",
+            "programs_built",
         ],
         notes=(
             f"{OSEM_IMAGE_SIZE}x{OSEM_IMAGE_SIZE} image, {OSEM_SUBSETS} subsets, "
             f"{OSEM_EVENTS} events, {OSEM_ITERATIONS} iterations on the Fig. 5 "
             "desktop->GPU-server offload; acceptance: steady-state iterations "
             f"answer >= {MIN_STEADY_STATE_HIT_RATIO:.0%} of batched sub-commands "
-            "from the daemon reply cache, at constant round trips"
+            "from the daemon reply cache, at constant round trips; the "
+            "program build cache drops setup round trips vs the cache-off "
+            f"ablation, and two tenants on {CLUSTER_SERVERS} daemons compile "
+            "the shared source exactly once cluster-wide"
         ),
     )
     deployment = deploy_dopencl(make_desktop_and_gpu_server())
@@ -84,6 +145,7 @@ def bench_osem() -> ExperimentRecord:
             "reply_cache_hits": sum(d.gcf.stats.reply_cache_hits for d in daemons),
             "decode_cache_hits": sum(d.gcf.stats.decode_cache_hits for d in daemons),
             "bytes_sent": driver.stats.bytes_sent,
+            "programs_built": sum(d.gcf.stats.programs_built for d in daemons),
         }
 
     def add_row(phase: str, before, after) -> None:
@@ -102,12 +164,18 @@ def bench_osem() -> ExperimentRecord:
         before = counters()
         osem.iterate()
         add_row(f"iteration_{i + 1}", before, counters())
+    # Ablation pair + cluster floor, on their own fresh deployments so
+    # the iteration rows above stay untouched by the extra phases.
+    record.add(phase="setup_cache_off", round_trips=_setup_round_trips(False))
+    record.add(phase="cluster_repeat_setup", **_cluster_repeat_setup())
     return record
 
 
 def assert_osem_record(record: ExperimentRecord) -> None:
     """The OSEM smoke gate: the reply cache pays off outside synthetic
-    tests, and iterations are steady-state."""
+    tests, iterations are steady-state, and the program build cache
+    holds its floors (setup round trips drop vs the ablation; one
+    compile per unique source cluster-wide)."""
     iterations = [row for row in record.rows if row["phase"].startswith("iteration")]
     assert len(iterations) == OSEM_ITERATIONS
     steady = iterations[1:]
@@ -122,6 +190,20 @@ def assert_osem_record(record: ExperimentRecord) -> None:
     # And the cache engaged already during the first iteration (the
     # subsets within one iteration repeat arguments too).
     assert iterations[0]["reply_cache_hits"] > 0
+    rows = {row["phase"]: row for row in record.rows}
+    # The deferred cached build removes the synchronous build fan-out
+    # from setup; the ablation pays it.
+    assert rows["setup"]["round_trips"] < rows["setup_cache_off"]["round_trips"]
+    # OSEM builds one program; the offload daemon compiles it once.
+    assert rows["setup"]["programs_built"] == 1
+    # The hard cluster floor: 2 tenants x CLUSTER_SERVERS daemons, one
+    # unique (source, options) pair -> exactly one compile, the binary
+    # shipped to every sibling, everything else a cache hit.
+    cluster = rows["cluster_repeat_setup"]
+    assert cluster["programs_built"] == 1
+    assert cluster["binaries_shipped"] == CLUSTER_SERVERS - 1
+    assert cluster["build_cache_hits"] == 2 * CLUSTER_SERVERS - 1
+    assert cluster["build_seconds_saved"] > 0.0
 
 
 def osem_payload(record: ExperimentRecord) -> dict:
@@ -138,12 +220,17 @@ def osem_payload(record: ExperimentRecord) -> dict:
         "n_events": OSEM_EVENTS,
         "n_iterations": OSEM_ITERATIONS,
         "setup_round_trips": rows["setup"]["round_trips"],
+        "setup_round_trips_cache_off": rows["setup_cache_off"]["round_trips"],
+        "programs_built": rows["setup"]["programs_built"],
         "iteration_round_trips": steady["round_trips"],
         "iteration_batched_commands": steady["batched_commands"],
         "iteration_reply_cache_hits": steady["reply_cache_hits"],
         "iteration_decode_cache_hits": steady["decode_cache_hits"],
         "iteration_hit_ratio": steady["hit_ratio"],
         "min_steady_state_hit_ratio": MIN_STEADY_STATE_HIT_RATIO,
+        "cluster_programs_built": rows["cluster_repeat_setup"]["programs_built"],
+        "cluster_binaries_shipped": rows["cluster_repeat_setup"]["binaries_shipped"],
+        "cluster_build_cache_hits": rows["cluster_repeat_setup"]["build_cache_hits"],
     }
 
 

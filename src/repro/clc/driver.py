@@ -1,7 +1,19 @@
-"""Compiler driver: source + options -> compiled kernels."""
+"""Compiler driver: source + options -> compiled kernels.
+
+Also the home of the *program binary* format: a built
+:class:`CompiledProgram` round-trips through
+:func:`serialize_program` / :func:`deserialize_program`, carrying the
+generated Python module plus the kernels' parameter symbols — enough to
+re-create dispatchable kernels without running the compiler front-end
+(preprocess / parse / analyze / codegen).  This is what the daemon
+build cache ships between cluster nodes and what
+``clGetProgramInfo(CL_PROGRAM_BINARIES)`` hands to applications.
+"""
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
@@ -9,7 +21,8 @@ from repro.clc.codegen import compile_module
 from repro.clc.errors import CLCompileError
 from repro.clc.parser import parse
 from repro.clc.preprocess import preprocess
-from repro.clc.sema import AnalyzedProgram, FunctionInfo, analyze
+from repro.clc.sema import AnalyzedProgram, FunctionInfo, Symbol, analyze
+from repro.clc.types import VOID, PointerType, ScalarType
 
 #: Macros every OpenCL C translation unit sees.
 PREDEFINED_MACROS = {
@@ -92,6 +105,181 @@ def compile_program(source: str, options: str = "") -> CompiledProgram:
         build_log="",
     )
     for name, info in analyzed.kernels.items():
+        program.kernels[name] = CompiledKernel(
+            name=name,
+            info=info,
+            vector_fn=namespace[f"_fn_{name}"],
+            program=program,
+        )
+    return program
+
+
+# ----------------------------------------------------------------------
+# content addressing + binary round-trip
+# ----------------------------------------------------------------------
+#: Format tag of the serialized-program container; bumped whenever the
+#: payload layout changes so stale binaries fail loudly instead of
+#: executing garbage.
+BINARY_MAGIC = "CLCB1"
+
+
+def program_digest(source: str) -> str:
+    """Content address of a translation unit: ``sha256(source)`` hex.
+
+    The compiler is deterministic, so ``(program_digest(source),
+    options)`` fully determines the build outcome — the key of every
+    level of the build cache."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def kernel_arg_metadata(program: CompiledProgram) -> Dict[str, Dict[str, object]]:
+    """Argument metadata for every kernel of a built program.
+
+    This is the payload of ``BuildProgramResponse.kernels`` *and* what a
+    client resolves locally on a build-cache hit: ``num_args`` /
+    ``arg_kinds`` / ``arg_types`` per kernel, plus the indexes of
+    writable global-buffer arguments (coherence planning)."""
+    out: Dict[str, Dict[str, object]] = {}
+    for name, compiled in program.kernels.items():
+        writable = [
+            i
+            for i, sym in enumerate(compiled.info.param_symbols)
+            if isinstance(sym.type, PointerType)
+            and sym.type.address_space == "global"
+            and not sym.is_const
+        ]
+        out[name] = {
+            "num_args": compiled.num_args,
+            "arg_kinds": list(compiled.arg_kinds),
+            "arg_types": [str(sym.type) for sym in compiled.info.param_symbols],
+            "writable_buffer_args": writable,
+        }
+    return out
+
+
+def _encode_type(t: object) -> Dict[str, object]:
+    if isinstance(t, PointerType):
+        return {
+            "kind": "pointer",
+            "address_space": t.address_space,
+            "pointee": _encode_type(t.pointee),
+        }
+    if isinstance(t, ScalarType):
+        return {
+            "kind": "scalar",
+            "name": t.name,
+            "dtype": t.dtype,
+            "rank": t.rank,
+            "is_float": t.is_float,
+            "signed": t.signed,
+        }
+    return {"kind": "void"}
+
+
+def _decode_type(doc: Dict[str, object]) -> object:
+    kind = doc.get("kind")
+    if kind == "pointer":
+        return PointerType(_decode_type(doc["pointee"]), str(doc["address_space"]))
+    if kind == "scalar":
+        return ScalarType(
+            str(doc["name"]),
+            str(doc["dtype"]),
+            int(doc["rank"]),
+            bool(doc["is_float"]),
+            bool(doc["signed"]),
+        )
+    return VOID
+
+
+def _encode_symbol(sym: Symbol) -> Dict[str, object]:
+    return {
+        "name": sym.name,
+        "slot": sym.slot,
+        "kind": sym.kind,
+        "address_space": sym.address_space,
+        "is_const": sym.is_const,
+        "array_size": sym.array_size,
+        "type": _encode_type(sym.type),
+    }
+
+
+def _decode_symbol(doc: Dict[str, object]) -> Symbol:
+    return Symbol(
+        name=str(doc["name"]),
+        slot=str(doc["slot"]),
+        type=_decode_type(doc["type"]),
+        kind=str(doc["kind"]),
+        address_space=str(doc["address_space"]),
+        is_const=bool(doc["is_const"]),
+        array_size=doc["array_size"],
+    )
+
+
+def serialize_program(program: CompiledProgram) -> bytes:
+    """A built program as a self-contained binary blob.
+
+    Carries the original source (the content address), build options,
+    the *generated Python module* and the per-kernel parameter symbols —
+    everything :func:`deserialize_program` needs to rebuild dispatchable
+    kernels without the compiler front-end.  The blob is deterministic
+    (sorted keys), so identical builds serialize identically on every
+    daemon."""
+    kernels = [
+        {
+            "name": kernel.name,
+            "params": [_encode_symbol(sym) for sym in kernel.info.param_symbols],
+        }
+        for _, kernel in sorted(program.kernels.items())
+    ]
+    doc = {
+        "magic": BINARY_MAGIC,
+        "source": program.source,
+        "options": program.options,
+        "python_source": program.python_source,
+        "build_log": program.build_log,
+        "kernels": kernels,
+    }
+    return json.dumps(doc, sort_keys=True).encode("utf-8")
+
+
+def deserialize_program(blob: bytes) -> CompiledProgram:
+    """Rebuild a :class:`CompiledProgram` from :func:`serialize_program`
+    output, skipping the compiler front-end entirely: the generated
+    Python module is ``exec``'d (it is self-contained, see
+    :data:`repro.clc.codegen.MODULE_PRELUDE`) and the kernels are
+    re-assembled from the serialized parameter symbols.
+
+    The rebuilt kernels carry no AST (``info.node is None`` and
+    ``analyzed is None``), so they dispatch through the vector backend
+    only — the interpreter backend needs the source and can recompile
+    from ``program.source`` if ever required.  Raises
+    :class:`CLCompileError` on a malformed or wrong-format blob."""
+    try:
+        doc = json.loads(bytes(blob).decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise CLCompileError(f"invalid program binary: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("magic") != BINARY_MAGIC:
+        raise CLCompileError("invalid program binary: bad magic")
+    namespace: Dict[str, object] = {}
+    code = compile(doc["python_source"], "<clc-binary>", "exec")
+    exec(code, namespace)
+    program = CompiledProgram(
+        source=doc["source"],
+        options=doc.get("options", ""),
+        analyzed=None,
+        python_source=doc["python_source"],
+        build_log=doc.get("build_log", ""),
+    )
+    for entry in doc["kernels"]:
+        name = str(entry["name"])
+        params = [_decode_symbol(p) for p in entry["params"]]
+        info = FunctionInfo(
+            name=name,
+            node=None,
+            return_type=VOID,
+            param_symbols=params,
+            is_kernel=True,
+        )
         program.kernels[name] = CompiledKernel(
             name=name,
             info=info,

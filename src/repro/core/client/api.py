@@ -34,8 +34,13 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.clc import LocalMemory
-from repro.core.client.driver import DOpenCLDriver
+from repro.clc import CLCompileError, LocalMemory
+from repro.clc.driver import (
+    compile_program,
+    deserialize_program,
+    kernel_arg_metadata,
+)
+from repro.core.client.driver import DOpenCLDriver, ProgramBuildRecord
 from repro.core.client.stubs import (
     BufferStub,
     ContextStub,
@@ -519,12 +524,25 @@ class DOpenCLAPI:
         require(bool(source.strip()), ErrorCode.CL_INVALID_VALUE, "empty program source")
         program = ProgramStub(context, self.driver.new_id(), source)
         if self.driver.creations_deferred:
-            self.driver.forward_creation(
-                context.unique_servers,
-                lambda conn: P.CreateProgramWithSourceRequest(
+            # Content-addressed creation (the client-stub cache): a
+            # server this connection epoch already windowed a build of
+            # this source to retains it in its daemon build cache, so
+            # the creation rides as a digest reference instead of
+            # re-shipping the inline source.
+            def make_create(conn):
+                if self.driver.program_cache and self.driver.server_has_digest(
+                    conn, program.digest
+                ):
+                    return P.CreateProgramCachedRequest(
+                        program_id=program.id,
+                        context_id=context.id,
+                        digest=program.digest,
+                    )
+                return P.CreateProgramWithSourceRequest(
                     program_id=program.id, context_id=context.id, source=source
-                ),
-            )
+                )
+
+            self.driver.forward_creation(context.unique_servers, make_create)
             return program
         payload = source.encode("utf-8")
         self.driver.flush_connections(context.unique_servers)
@@ -545,15 +563,28 @@ class DOpenCLAPI:
     def clBuildProgram(self, program: ProgramStub, options: str = "") -> None:
         """Build on every server; failures merge into one CLError.
 
-        Synchronous (the client needs the per-server status), which also
+        With the program cache enabled (the default) the build is fully
+        asynchronous: the client resolves kernel-argument metadata from
+        its own build-record cache — running the deterministic compiler
+        front-end locally on the first sighting of a ``(digest,
+        options)`` pair — and defers a digest-keyed
+        ``BuildProgramCachedRequest`` into each server's send window.
+        The daemon charges (or cache-skips) the build cost on its own
+        timeline when the batch dispatches, so ``clBuildProgram``
+        itself costs zero round trips.  Failed builds replay from the
+        client record with the identical log and error.
+
+        With the cache disabled the legacy synchronous fan-out runs:
+        one ``BuildProgramRequest`` round trip per server, which also
         makes it the sync point where any deferred program creation
-        lands: the flush below carries the windowed
-        ``CreateProgramWithSourceRequest`` ahead of the build.  The
-        build reply ships the program's kernel argument metadata, which
-        the program stub caches so ``clCreateKernel`` needs no reply
-        data of its own."""
+        lands.  Either way the kernel argument metadata ends up cached
+        on the stub so ``clCreateKernel`` needs no reply data of its
+        own."""
         self._tick()
         program.options = options
+        if self.driver.program_cache:
+            self._build_program_cached(program, options)
+            return
         outcomes = {}
         self.driver.flush_connections(program.context.unique_servers)
         t = self.clock.now
@@ -581,10 +612,135 @@ class DOpenCLAPI:
             )
         program.build_status = "SUCCESS"
 
+    def _build_program_cached(self, program: ProgramStub, options: str) -> None:
+        """Cache-on build path: local metadata, deferred daemon builds.
+
+        The compiler is deterministic, so the client can reproduce the
+        daemon's build outcome — kernel metadata on success, the exact
+        build log on failure — by running the front-end once per
+        ``(digest, options)`` pair and replaying the record afterwards.
+        The front-end pass is modeled as free client-side work; the
+        real build cost lands on each daemon's timeline when its
+        windowed ``BuildProgramCachedRequest`` dispatches."""
+        servers = program.context.unique_servers
+        record = self.driver.build_record(program.digest, options)
+        if record is None:
+            try:
+                compiled = compile_program(program.source, options)
+            except CLCompileError as exc:
+                record = ProgramBuildRecord(
+                    kind="failure", log=str(exc), detail=str(exc)
+                )
+            else:
+                record = ProgramBuildRecord(
+                    kind="success", kernel_meta=kernel_arg_metadata(compiled)
+                )
+            self.driver.remember_build(program.digest, options, record)
+        else:
+            record.hits += 1
+            if record.kind == "success":
+                self.driver.gcf.stats.build_cache_hits += 1
+            else:
+                self.driver.gcf.stats.negative_build_hits += 1
+        self.driver.fanout_deferred(
+            servers,
+            lambda conn: P.BuildProgramCachedRequest(
+                program_id=program.id, digest=program.digest, options=options
+            ),
+        )
+        for conn in servers:
+            self.driver.remember_server_digest(conn, program.digest)
+        if record.kind == "failure":
+            program.build_status = "ERROR"
+            for conn in servers:
+                program.build_logs[conn.name] = record.log
+            raise CLError(
+                ErrorCode.CL_BUILD_PROGRAM_FAILURE,
+                "; ".join(
+                    f"[{conn.name}] {record.detail or record.log}" for conn in servers
+                ),
+            )
+        for conn in servers:
+            program.build_logs[conn.name] = record.log
+        program.kernel_meta = dict(record.kernel_meta)
+        program.build_status = "SUCCESS"
+
     def clGetProgramBuildInfo(self, program: ProgramStub, device, key: str) -> object:
         """Build status/log/options from the program stub."""
         self._tick()
         return program.build_info(key)
+
+    def clGetProgramInfo(self, program: ProgramStub, key: str) -> object:
+        """Program queries: SOURCE, KERNEL_NAMES, or BINARIES.
+
+        ``BINARIES`` fetches the serialized ``CompiledProgram`` from
+        one context server (flush + one synchronous round trip); the
+        compiler is deterministic, so every server holds the identical
+        binary and the reply is replicated client-side per server."""
+        self._tick()
+        if key == "SOURCE":
+            return program.source
+        if key == "KERNEL_NAMES":
+            if program.build_status != "SUCCESS":
+                raise CLError(
+                    ErrorCode.CL_INVALID_PROGRAM_EXECUTABLE,
+                    "program has not been built successfully",
+                )
+            return sorted(program.kernel_meta)
+        if key == "BINARIES":
+            if program.build_status != "SUCCESS":
+                raise CLError(
+                    ErrorCode.CL_INVALID_PROGRAM_EXECUTABLE,
+                    "program has not been built successfully",
+                )
+            servers = program.context.unique_servers
+            conn = servers[0]
+            self.driver.flush_connections([conn])
+            t = self.clock.now
+            outcome = self.driver.gcf.request(
+                conn.daemon.gcf, P.GetProgramBinaryRequest(program_id=program.id), t
+            )
+            self.clock.advance_to(outcome.reply_arrival)
+            resp = outcome.response
+            if resp.error:
+                raise CLError(resp.error, resp.detail)
+            return [bytes(resp.binary)] * len(servers)
+        raise CLError(ErrorCode.CL_INVALID_VALUE, f"unknown program info key {key!r}")
+
+    def clCreateProgramWithBinary(self, context: ContextStub, binary: bytes) -> ProgramStub:
+        """Create a program from a serialized binary (binary install).
+
+        The blob is validated and decoded client-side — a corrupt blob
+        raises ``CL_INVALID_BINARY`` before anything ships — then the
+        binary rides the send windows to every context server, which
+        installs it straight into the daemon build cache, skipping the
+        compiler front-end.  The subsequent ``clBuildProgram`` (still
+        required, per OpenCL semantics) resolves as a cache hit on both
+        sides."""
+        self._tick()
+        try:
+            compiled = deserialize_program(bytes(binary))
+        except CLCompileError as exc:
+            raise CLError(ErrorCode.CL_INVALID_BINARY, str(exc))
+        program = ProgramStub(context, self.driver.new_id(), compiled.source)
+        program.binary = bytes(binary)
+        self.driver.forward_creation(
+            context.unique_servers,
+            lambda conn: P.CreateProgramWithBinaryRequest(
+                program_id=program.id, context_id=context.id, binary=program.binary
+            ),
+        )
+        if self.driver.program_cache:
+            self.driver.remember_build(
+                program.digest,
+                compiled.options,
+                ProgramBuildRecord(
+                    kind="success", kernel_meta=kernel_arg_metadata(compiled)
+                ),
+            )
+            for conn in context.unique_servers:
+                self.driver.remember_server_digest(conn, program.digest)
+        return program
 
     def clRetainProgram(self, program: ProgramStub) -> None:
         """Bump the program stub's reference count."""

@@ -61,8 +61,9 @@ ablation flag).
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from itertools import count
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.client.connection import (
     DaemonDirectory,
@@ -109,6 +110,24 @@ DEFAULT_BATCH_WINDOW = 32
 MAX_DRAIN_PASSES = 128
 
 
+@dataclass
+class ProgramBuildRecord:
+    """One client-stub build-cache entry: the locally-resolved outcome
+    of building ``(source digest, options)``.
+
+    ``kind == "success"`` carries the per-kernel argument metadata
+    (:func:`repro.clc.driver.kernel_arg_metadata`); ``kind ==
+    "failure"`` carries the deterministic compiler's diagnostics, so a
+    replayed failure raises the identical ``CL_BUILD_PROGRAM_FAILURE``
+    with the identical build log, without another front-end pass."""
+
+    kind: str  # "success" | "failure"
+    kernel_meta: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    log: str = ""
+    detail: str = ""
+    hits: int = 0
+
+
 class DOpenCLDriver:
     """Client driver instance for one application."""
 
@@ -130,6 +149,7 @@ class DOpenCLDriver:
         coalesce_transfers: bool = True,
         coalesce_reads: bool = True,
         retry_policy: Optional[RetryPolicy] = None,
+        program_cache: bool = True,
     ) -> None:
         self.host = host
         self.network = network
@@ -201,6 +221,28 @@ class DOpenCLDriver:
         #: daemon-side dedupe, and an exhausted budget declares the
         #: daemon dead (see :meth:`_declare_daemon_lost`).
         self.retry_policy = retry_policy
+        #: When True (default) the client participates in the
+        #: content-addressed program build cache: ``clBuildProgram``
+        #: resolves kernel-arg metadata locally (a stub-cache hit costs
+        #: nothing; a miss runs one local front-end pass) and rides the
+        #: send windows as a digest-keyed
+        #: ``BuildProgramCachedRequest`` instead of a synchronous
+        #: per-server round trip, and a re-created already-built source
+        #: rides as a ``CreateProgramCachedRequest`` digest reference
+        #: instead of re-shipping inline source.  False restores the
+        #: synchronous build fan-out — the ``program_cache`` ablation
+        #: flag (deployment-wide: ``deploy_dopencl`` threads the same
+        #: value to every daemon).
+        self.program_cache = bool(program_cache)
+        #: Client-stub build cache: ``(source digest, options) ->``
+        #: :class:`ProgramBuildRecord` (the locally-resolved outcome).
+        self._program_builds: Dict[Tuple[str, str], ProgramBuildRecord] = {}
+        #: digest -> {(server name, connection epoch)} known to hold the
+        #: source in their daemon build cache — the safety record behind
+        #: digest-reference creations (an epoch bump on reconnect
+        #: invalidates the record, because a crashed daemon's cache died
+        #: with its process).
+        self._digest_servers: Dict[str, Set[Tuple[str, int]]] = {}
         #: Every context created through this driver (registered by the
         #: API layer) — the walk list for replica eviction on daemon
         #: loss.
@@ -218,6 +260,34 @@ class DOpenCLDriver:
     def new_id(self) -> int:
         """Allocate the next client-unique stub ID."""
         return next(self._ids)
+
+    # ------------------------------------------------------------------
+    # client-stub program build cache
+    # ------------------------------------------------------------------
+    def build_record(self, digest: str, options: str) -> Optional[ProgramBuildRecord]:
+        """The locally-cached build outcome for ``(digest, options)``,
+        or ``None`` (including when the cache flag is off)."""
+        if not self.program_cache:
+            return None
+        return self._program_builds.get((digest, options))
+
+    def remember_build(self, digest: str, options: str, record: ProgramBuildRecord) -> None:
+        """Seed the client-stub cache with a locally-resolved outcome."""
+        self._program_builds[(digest, options)] = record
+
+    def server_has_digest(self, conn: ServerConnection, digest: str) -> bool:
+        """Whether ``conn``'s daemon is known (this connection epoch) to
+        retain ``digest``'s source in its build cache — the guard for
+        digest-reference creations.  An epoch bump on reconnect
+        invalidates the record (the old process's cache is gone)."""
+        return (conn.name, conn.epoch) in self._digest_servers.get(digest, ())
+
+    def remember_server_digest(self, conn: ServerConnection, digest: str) -> None:
+        """Record that ``conn``'s daemon holds ``digest`` (after a
+        build or binary install was windowed to it: per-daemon program
+        order guarantees the entry exists before any later
+        digest-reference creation replays)."""
+        self._digest_servers.setdefault(digest, set()).add((conn.name, conn.epoch))
 
     def connections(self) -> List[ServerConnection]:
         """Every live server connection."""

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.clc.driver import program_digest
 from repro.core.coherence.directory import MOSIDirectory, MSIDirectory
 from repro.ocl.constants import (
     CL_COMMAND_USER,
@@ -241,6 +242,19 @@ class ProgramStub:
         self.build_logs: Dict[str, str] = {}
         self.kernel_meta: Dict[str, Dict[str, object]] = {}
         self.refcount = 1
+        #: The serialized program blob this stub was created from
+        #: (``clCreateProgramWithBinary``), or ``None`` for
+        #: source-created programs.
+        self.binary: Optional[bytes] = None
+        self._digest: Optional[str] = None
+
+    @property
+    def digest(self) -> str:
+        """Content address of the source (``sha256`` hex, computed
+        lazily once) — the key the build-cache pipeline rides on."""
+        if self._digest is None:
+            self._digest = program_digest(self.source)
+        return self._digest
 
     def build_info(self, key: str) -> object:
         """``clGetProgramBuildInfo``: STATUS / LOG / OPTIONS."""

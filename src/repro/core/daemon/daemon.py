@@ -55,12 +55,14 @@ from repro.ocl.event import Event, UserEvent
 from repro.ocl.kernel import Kernel
 from repro.ocl.memory import Buffer
 from repro.ocl.platform import Platform
-from repro.ocl.program import Program
+from repro.ocl.program import Program, build_duration
 from repro.ocl.queue import CommandQueue
 from repro.clc import LocalMemory
+from repro.clc.driver import deserialize_program, kernel_arg_metadata, serialize_program
+from repro.clc.errors import CLCompileError
 from repro.core.daemon.admission import AdmissionControl, AdmissionPolicy
+from repro.core.daemon.buildcache import ProgramBuildCache
 from repro.core.daemon.registry import Registry
-from repro.clc.types import PointerType
 from repro.sim.errors import CommunicationError
 
 
@@ -104,6 +106,7 @@ class Daemon:
         name: Optional[str] = None,
         device_manager: Optional[object] = None,
         admission: Optional[AdmissionPolicy] = None,
+        program_cache: bool = True,
     ) -> None:
         self.host = host
         self.network = network
@@ -143,6 +146,16 @@ class Daemon:
         #: :data:`PENDING_EVENT_STATUS_LIMIT`); a second status for the
         #: same replica keeps the *later* causality floor.
         self._pending_event_status: Dict[str, "OrderedDict[int, Tuple[int, float]]"] = {}
+        #: Content-addressed program build cache (``None`` when the
+        #: deployment-wide ``program_cache`` ablation flag is off): one
+        #: compile per unique ``(source digest, options)`` per daemon,
+        #: with binaries shipped to :attr:`peer_daemons` so steady-state
+        #: builds drop to one per *cluster*.  See
+        #: :mod:`repro.core.daemon.buildcache`.
+        self.program_cache = bool(program_cache)
+        self.buildcache: Optional[ProgramBuildCache] = (
+            ProgramBuildCache() if program_cache else None
+        )
         #: Bumped by :meth:`crash`: which "life" of the process this is.
         self.incarnation = 0
         self._install_handlers()
@@ -258,6 +271,11 @@ class Daemon:
         self.client_auth.clear()
         self.auth_devices.clear()
         self.gcf.peers.clear()
+        if self.program_cache:
+            # The build cache dies with the process (it is in-memory
+            # state); reconnecting clients re-ship inline source because
+            # their per-(server, epoch) stub records no longer match.
+            self.buildcache = ProgramBuildCache()
         self.incarnation += 1
 
     def restart(self, t: float = 0.0) -> float:
@@ -290,23 +308,104 @@ class Daemon:
     @staticmethod
     def _kernel_metadata(program: Program) -> Dict[str, Dict[str, object]]:
         """Argument metadata for every kernel of a built program — the
-        payload of ``BuildProgramResponse.kernels`` (see there)."""
-        out: Dict[str, Dict[str, object]] = {}
-        for name, compiled in program.require_built().kernels.items():
-            writable = [
-                i
-                for i, sym in enumerate(compiled.info.param_symbols)
-                if isinstance(sym.type, PointerType)
-                and sym.type.address_space == "global"
-                and not sym.is_const
-            ]
-            out[name] = {
-                "num_args": compiled.num_args,
-                "arg_kinds": list(compiled.arg_kinds),
-                "arg_types": [str(sym.type) for sym in compiled.info.param_symbols],
-                "writable_buffer_args": writable,
-            }
-        return out
+        payload of ``BuildProgramResponse.kernels`` (see
+        :func:`repro.clc.driver.kernel_arg_metadata`, shared with the
+        client's local cache-hit resolution so the two can never
+        drift)."""
+        return kernel_arg_metadata(program.require_built())
+
+    # ------------------------------------------------------------------
+    # program build cache (see repro.core.daemon.buildcache)
+    # ------------------------------------------------------------------
+    def _ship_build_entry(self, entry, t: float) -> None:
+        """Push a freshly-resolved build outcome into every sibling
+        daemon's build cache (the cluster binary registry): one
+        ``s2s-binary`` transfer per peer that lacks the key, counted in
+        ``binaries_shipped``.  Negative entries ship too, so a failing
+        source is also compiled once per cluster.  Best-effort — a
+        partitioned peer simply compiles for itself later."""
+        for peer in self.peer_daemons.values():
+            if peer is self or peer.buildcache is None:
+                continue
+            try:
+                self.network.transfer(self.host, peer.host, t, entry.nbytes, tag="s2s-binary")
+            except CommunicationError:
+                continue
+            if peer.buildcache.install_entry(entry):
+                self.gcf.stats.binaries_shipped += 1
+
+    def _resolve_build(
+        self, program: Program, options: str, t: float
+    ) -> Tuple[P.BuildProgramResponse, float]:
+        """Build ``program`` through the content-addressed cache.
+
+        Cache hit (binary or shipped): adopt the compiled program, zero
+        compile time.  Negative hit: replay the identical failure, zero
+        compile time.  Miss (or cache disabled): invoke the compiler,
+        charge ``build_duration`` on this daemon's timeline, and — when
+        caching — store the outcome and ship it to the sibling daemons.
+        Every path answers a complete :class:`BuildProgramResponse`;
+        the cached-build handler collapses it to an Ack."""
+        stats = self.gcf.stats
+        cache = self.buildcache
+        if cache is not None:
+            entry = cache.lookup(program.digest, options)
+            if entry is not None:
+                stats.build_seconds_saved += build_duration(program.source)
+                if entry.kind == "binary":
+                    stats.build_cache_hits += 1
+                    program.adopt(entry.compiled, options)
+                    return (
+                        P.BuildProgramResponse(
+                            status="SUCCESS", log="", kernels=self._kernel_metadata(program)
+                        ),
+                        t,
+                    )
+                stats.negative_build_hits += 1
+                program.adopt_failure(entry.log, options)
+                return (
+                    P.BuildProgramResponse(
+                        status="ERROR",
+                        log=entry.log,
+                        error=entry.error,
+                        detail=entry.detail,
+                    ),
+                    t,
+                )
+            stats.programs_built += 1
+        # Reserve the compile on the daemon CPU timeline (first-fit
+        # allocation would otherwise let later batches slide into the
+        # gap and run dependent commands before the build completes —
+        # the legacy path never hit this because the client blocked on
+        # the build reply).
+        duration = build_duration(program.source)
+        iv = self.gcf.cpu.allocate(t, duration, "ProgramBuild")
+        done = iv.end
+        try:
+            program.build(options, t)
+        except CLError as exc:
+            if cache is not None:
+                failure = cache.store_failure(
+                    program.source, options, program.build_log, exc.code.value, exc.message
+                )
+                self._ship_build_entry(failure, done)
+            return (
+                P.BuildProgramResponse(
+                    status="ERROR",
+                    log=program.build_log,
+                    error=exc.code.value,
+                    detail=exc.message,
+                ),
+                done,
+            )
+        if cache is not None:
+            self._ship_build_entry(cache.store_success(program.compiled), done)
+        return (
+            P.BuildProgramResponse(
+                status="SUCCESS", log="", kernels=self._kernel_metadata(program)
+            ),
+            done,
+        )
 
     # ------------------------------------------------------------------
     # registry helpers
@@ -791,35 +890,107 @@ class Daemon:
             except CLError as exc:
                 return P.Ack(error=exc.code.value, detail=exc.message), t
 
+        @gcf.on_request(P.CreateProgramCachedRequest)
+        def create_program_cached(
+            msg: P.CreateProgramCachedRequest, t: float, sender: GCFProcess
+        ):
+            # The content-addressed creation path: the client's stub
+            # cache saw this source build on this daemon (same epoch),
+            # so only the digest rides the window and the source is
+            # re-materialised from the build cache.  A miss is only
+            # possible after eviction; it poisons the provisional ID
+            # like any failed creation.
+            try:
+                self._admit_object(sender.name)
+                ctx = self._ctx(sender.name, msg.context_id)
+                source = (
+                    self.buildcache.source_for(msg.digest)
+                    if self.buildcache is not None
+                    else None
+                )
+                if source is None:
+                    raise CLError(
+                        ErrorCode.CL_INVALID_PROGRAM,
+                        f"no cached source for digest {msg.digest[:12]}…",
+                    )
+                self.registry.put(sender.name, msg.program_id, Program(ctx, source))
+                return P.Ack(), t
+            except CLError as exc:
+                return P.Ack(error=exc.code.value, detail=exc.message), t
+
+        @gcf.on_request(P.CreateProgramWithBinaryRequest)
+        def create_program_with_binary(
+            msg: P.CreateProgramWithBinaryRequest, t: float, sender: GCFProcess
+        ):
+            # clCreateProgramWithBinary: install the serialized program
+            # into the build cache (when enabled) and register the
+            # handle.  The program still requires clBuildProgram before
+            # kernel creation (OpenCL semantics); that build resolves as
+            # a cache hit against the entry installed here.
+            try:
+                self._admit_object(sender.name)
+                ctx = self._ctx(sender.name, msg.context_id)
+                try:
+                    if self.buildcache is not None:
+                        entry, _ = self.buildcache.install_binary(msg.binary)
+                        compiled = entry.compiled
+                    else:
+                        compiled = deserialize_program(msg.binary)
+                except CLCompileError as exc:
+                    raise CLError(ErrorCode.CL_INVALID_BINARY, str(exc)) from exc
+                self.registry.put(
+                    sender.name, msg.program_id, Program(ctx, compiled.source)
+                )
+                return P.Ack(), t
+            except CLError as exc:
+                return P.Ack(error=exc.code.value, detail=exc.message), t
+
         @gcf.on_request(P.BuildProgramRequest)
         def build_program(msg: P.BuildProgramRequest, t: float, sender: GCFProcess):
             try:
                 program = self.registry.get(sender.name, msg.program_id, Program)
             except CLError as exc:
                 return P.BuildProgramResponse(error=exc.code.value, detail=exc.message), t
-            try:
-                done = program.build(msg.options, t)
-                # Ship every kernel's argument metadata with the build
-                # status: this is what lets clCreateKernel defer (the
-                # client fills kernel stubs from the cached table).
-                return (
-                    P.BuildProgramResponse(
-                        status="SUCCESS", log="", kernels=self._kernel_metadata(program)
-                    ),
-                    done,
-                )
-            except CLError as exc:
-                from repro.ocl.program import build_duration
+            # Ship every kernel's argument metadata with the build
+            # status: this is what lets clCreateKernel defer (the
+            # client fills kernel stubs from the cached table).
+            return self._resolve_build(program, msg.options, t)
 
-                return (
-                    P.BuildProgramResponse(
-                        status="ERROR",
-                        log=program.build_log,
-                        error=exc.code.value,
-                        detail=exc.message,
-                    ),
-                    t + build_duration(program.source),
-                )
+        @gcf.on_request(P.BuildProgramCachedRequest)
+        def build_program_cached(
+            msg: P.BuildProgramCachedRequest, t: float, sender: GCFProcess
+        ):
+            # The deferred build of cache-enabled clients: the client
+            # already resolved the outcome locally, so no reply data is
+            # needed and a *negatively-cached* failure answers a success
+            # Ack — the error surfaced at the clBuildProgram call site
+            # and the daemon program enters the identical ERROR state
+            # here (nothing is left to report, and a batch poison would
+            # re-raise an already-surfaced failure).
+            try:
+                program = self.registry.get(sender.name, msg.program_id, Program)
+                if program.digest != msg.digest:
+                    raise CLError(
+                        ErrorCode.CL_INVALID_PROGRAM,
+                        "cached build digest does not match program source",
+                    )
+            except CLError as exc:
+                return P.Ack(error=exc.code.value, detail=exc.message), t
+            _, done = self._resolve_build(program, msg.options, t)
+            return P.Ack(), done
+
+        @gcf.on_request(P.GetProgramBinaryRequest)
+        def get_program_binary(msg: P.GetProgramBinaryRequest, t: float, sender: GCFProcess):
+            try:
+                program = self.registry.get(sender.name, msg.program_id, Program)
+                compiled = program.require_built()
+                if self.buildcache is not None:
+                    entry = self.buildcache.lookup(program.digest, program.options)
+                    if entry is not None and entry.kind == "binary":
+                        return P.GetProgramBinaryResponse(binary=entry.blob), t
+                return P.GetProgramBinaryResponse(binary=serialize_program(compiled)), t
+            except CLError as exc:
+                return P.GetProgramBinaryResponse(error=exc.code.value, detail=exc.message), t
 
         @gcf.on_request(P.ReleaseProgramRequest)
         def release_program(msg, t, sender):

@@ -310,12 +310,77 @@ class CreateProgramWithSourceRequest(Request):
 
 
 @message_type
+class CreateProgramCachedRequest(Request):
+    """Deferrable ``clCreateProgramWithSource`` by *content address*:
+    the client-stub cache already saw this source build on this daemon
+    (same connection epoch), so the creation rides the send window as a
+    digest reference instead of re-shipping the inline source.  The
+    daemon re-materialises the program from its build cache's retained
+    source (:meth:`~repro.core.daemon.buildcache.ProgramBuildCache.
+    source_for`); an unknown digest — only possible after eviction —
+    poisons the provisional ID like any failed creation."""
+
+    program_id: int
+    context_id: int
+    digest: str
+
+
+@message_type
 class BuildProgramRequest(Request):
     """``clBuildProgram`` on one server (synchronous: the client needs
     the per-server build status)."""
 
     program_id: int
     options: str = ""
+
+
+@message_type
+class BuildProgramCachedRequest(Request):
+    """Deferrable ``clBuildProgram`` for cache-enabled clients: the
+    client resolved the build outcome locally (client-stub cache hit,
+    or a local front-end pass on a miss), so no reply data is needed —
+    the command rides the send window and the daemon resolves it
+    against its own build cache (compile miss / adopt hit / replay
+    negative).  A negatively-cached failure answers a *success* Ack:
+    the client already surfaced the ``CL_BUILD_PROGRAM_FAILURE`` at the
+    ``clBuildProgram`` call site, and the daemon's program object enters
+    the identical ``ERROR`` state, so there is nothing left to report
+    at the next sync point."""
+
+    program_id: int
+    digest: str
+    options: str = ""
+
+
+@message_type
+class CreateProgramWithBinaryRequest(Request):
+    """Deferrable ``clCreateProgramWithBinary``: the serialized
+    :class:`~repro.clc.driver.CompiledProgram` blob rides the send
+    window; the daemon installs it into its build cache (skipping the
+    compiler front-end) and registers the program handle."""
+
+    program_id: int
+    context_id: int
+    binary: bytes = b""
+
+
+@message_type
+class GetProgramBinaryRequest(Request):
+    """``clGetProgramInfo(CL_PROGRAM_BINARIES)``: fetch the serialized
+    program binary of a built program (synchronous — the client blocks
+    on the blob)."""
+
+    program_id: int
+
+
+@message_type
+class GetProgramBinaryResponse(Response):
+    """The serialized program binary (see
+    :func:`repro.clc.driver.serialize_program`)."""
+
+    binary: bytes = b""
+    error: int = 0
+    detail: str = ""
 
 
 @message_type
@@ -585,6 +650,9 @@ DEFERRABLE = frozenset(
         CreateQueueRequest,
         CreateBufferRequest,
         CreateProgramWithSourceRequest,
+        CreateProgramCachedRequest,
+        CreateProgramWithBinaryRequest,
+        BuildProgramCachedRequest,
         CreateKernelRequest,
         SetKernelArgRequest,
         EnqueueKernelRequest,
@@ -621,6 +689,15 @@ _HANDLE_EXTRACTORS: Dict[type, Callable[[Request], Tuple[FrozenSet[int], FrozenS
         frozenset({m.context_id}),
         frozenset({m.program_id}),
     ),
+    CreateProgramCachedRequest: lambda m: (
+        frozenset({m.context_id}),
+        frozenset({m.program_id}),
+    ),
+    CreateProgramWithBinaryRequest: lambda m: (
+        frozenset({m.context_id}),
+        frozenset({m.program_id}),
+    ),
+    BuildProgramCachedRequest: lambda m: (frozenset({m.program_id}), _EMPTY),
     ReleaseProgramRequest: lambda m: (frozenset({m.program_id}), _EMPTY),
     CreateKernelRequest: lambda m: (frozenset({m.program_id}), frozenset({m.kernel_id})),
     ReleaseKernelRequest: lambda m: (frozenset({m.kernel_id}), _EMPTY),
@@ -650,6 +727,10 @@ _HANDLE_EXTRACTORS: Dict[type, Callable[[Request], Tuple[FrozenSet[int], FrozenS
 #: binding and silently writing the wrong buffer).
 _MUTATION_EXTRACTORS: Dict[type, Callable[[Request], FrozenSet[int]]] = {
     SetKernelArgRequest: lambda m: frozenset({m.kernel_id}),
+    # A cached build mutates the program into its built state; if the
+    # daemon cannot resolve it (the client observed the outcome locally
+    # and will not re-check), the divergent handle must not be used.
+    BuildProgramCachedRequest: lambda m: frozenset({m.program_id}),
 }
 
 #: Release-class requests and the handle they dispose of.  Releasing a

@@ -189,6 +189,39 @@ class NetStats:
         creation, so the backpressure composes with the handle-promise
         machinery instead of bypassing it.
 
+    ``programs_built``
+        Daemon-side: program builds that actually invoked the compiler
+        (``repro.clc.compile_program``) and charged ``build_duration``
+        on this daemon's timeline — successful *and* failed compiles
+        alike.  With the build cache on, every build-class request
+        (``BuildProgramRequest`` or ``BuildProgramCachedRequest``)
+        resolves to exactly one of ``programs_built``,
+        ``build_cache_hits`` or ``negative_build_hits``, so the
+        triple's sum equals the build requests handled — and is
+        invariant under the ``program_cache`` ablation flag.
+    ``build_cache_hits``
+        Daemon-side: builds answered from the content-addressed build
+        cache (adopting a cached ``CompiledProgram`` — compiled here
+        earlier, by any tenant, or installed as a shipped cluster
+        binary) without invoking the compiler or charging
+        ``build_duration``.
+    ``negative_build_hits``
+        Daemon-side: builds answered from a *negative* cache entry —
+        the same ``CL_BUILD_PROGRAM_FAILURE`` and bit-identical build
+        log as the original failed compile, replayed without running
+        the compiler.
+    ``binaries_shipped``
+        Daemon-side: serialized program binaries (and negative
+        entries) this daemon pushed into sibling daemons' build caches
+        after resolving a build miss — the cluster-registry traffic
+        that makes steady-state compiles one per unique
+        ``(source digest, options)`` per cluster.
+    ``build_seconds_saved``
+        Daemon-side: the cumulative ``build_duration`` the cache
+        refunded (a float — the one non-integer counter): incremented
+        by the skipped compile's duration on every ``build_cache_hits``
+        / ``negative_build_hits`` event.
+
     ``round_trips`` (a property) is ``requests + batches + bulk_fetches``:
     every synchronous client<->server exchange the process blocked on.
     """
@@ -230,6 +263,11 @@ class NetStats:
         "lost_notifications",
         "refused_connections",
         "quota_rejections",
+        "programs_built",
+        "build_cache_hits",
+        "negative_build_hits",
+        "binaries_shipped",
+        "build_seconds_saved",
     )
 
     def __init__(self) -> None:

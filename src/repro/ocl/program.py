@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.clc import CLCompileError, compile_program
-from repro.clc.driver import CompiledProgram
+from repro.clc.driver import CompiledProgram, program_digest
 from repro.ocl.constants import ErrorCode
 from repro.ocl.context import Context
 from repro.ocl.errors import CLError, require
@@ -32,6 +32,33 @@ class Program:
         self.build_status: str = "NONE"  # NONE | SUCCESS | ERROR
         self.build_log: str = ""
         self.refcount = 1
+        self._digest: Optional[str] = None
+
+    @property
+    def digest(self) -> str:
+        """Content address of the source (``sha256`` hex, computed
+        lazily once): the first half of every build-cache key."""
+        if self._digest is None:
+            self._digest = program_digest(self.source)
+        return self._digest
+
+    def adopt(self, compiled: CompiledProgram, options: str = "") -> None:
+        """Install an already-compiled build outcome (a build-cache hit
+        or a shipped cluster binary): the program becomes built without
+        invoking the compiler or charging ``build_duration``."""
+        self.options = options
+        self.compiled = compiled
+        self.build_status = "SUCCESS"
+        self.build_log = ""
+
+    def adopt_failure(self, log: str, options: str = "") -> None:
+        """Install a negatively-cached build failure: the program enters
+        the same ``ERROR`` state (identical ``build_log``) a real
+        compile of this source would have produced."""
+        self.options = options
+        self.compiled = None
+        self.build_status = "ERROR"
+        self.build_log = log
 
     def build(self, options: str = "", t: float = 0.0) -> float:
         """``clBuildProgram``; returns build completion time.

@@ -72,6 +72,7 @@ def deploy_dopencl(
     retry_policy: Optional[RetryPolicy] = None,
     client_server_lists: Optional[List[List[str]]] = None,
     admission: Optional[AdmissionPolicy] = None,
+    program_cache: bool = True,
 ) -> Deployment:
     """Install daemons on every server and client drivers on the client
     host(s).
@@ -103,6 +104,11 @@ def deploy_dopencl(
     per-daemon :class:`~repro.core.daemon.admission.AdmissionPolicy`
     (session cap, per-client registry quota, status-buffer bound) on
     every daemon.
+
+    ``program_cache`` toggles the cluster-wide content-addressed build
+    cache (client build records, daemon build caches, sibling binary
+    shipping) on every daemon and driver; ``False`` is the ablation
+    baseline that rebuilds from source everywhere.
     """
     manager = None
     if managed:
@@ -111,10 +117,25 @@ def deploy_dopencl(
         )
     daemons = []
     for server in cluster.servers:
-        daemon = Daemon(server, cluster.network, device_manager=manager, admission=admission)
+        daemon = Daemon(
+            server,
+            cluster.network,
+            device_manager=manager,
+            admission=admission,
+            program_cache=program_cache,
+        )
         daemon.workload_scale = workload_scale
         daemon.start(0.0)
         daemons.append(daemon)
+    # Daemons know their cluster siblings from startup (dOpenCL's node
+    # file): the full peer mesh is wired here so the binary registry
+    # ships builds cluster-wide even when no single client's context
+    # spans two daemons (clients wire the same links incrementally as
+    # they connect, which is too late for disjoint single-node tenants).
+    for daemon in daemons:
+        for peer in daemons:
+            if peer is not daemon:
+                daemon.peer_daemons[peer.name] = peer
     directory = DaemonDirectory.of(daemons)
     deployment = Deployment(
         cluster=cluster, daemons=daemons, directory=directory, device_manager=manager
@@ -130,6 +151,7 @@ def deploy_dopencl(
             "coalesce_transfers": coalesce_transfers,
             "coalesce_reads": coalesce_reads,
             "retry_policy": retry_policy,
+            "program_cache": program_cache,
         }
         if batch_window is not None:
             kwargs["batch_window"] = batch_window

@@ -1,5 +1,6 @@
 """Operator utilities for inspecting simulated deployments."""
 
+from repro.tools.cachestat import cachestat_text
 from repro.tools.clinfo import clinfo_text
 
-__all__ = ["clinfo_text"]
+__all__ = ["cachestat_text", "clinfo_text"]

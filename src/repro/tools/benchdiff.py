@@ -68,21 +68,30 @@ DEFAULT_TOLERANCES: Dict[str, float] = {
 }
 
 #: OSEM-snapshot keys -> relative tolerance (``BENCH_osem.json``): the
-#: reply-cache payoff counters of the repeated-arg workload.
+#: reply-cache payoff counters of the repeated-arg workload, plus the
+#: program-build-cache floors (the cache-on/cache-off setup ablation
+#: pair and the one-compile-per-cluster repeat-setup phase) — all exact
+#: properties of the deterministic simulation.
 OSEM_TOLERANCES: Dict[str, float] = {
     "setup_round_trips": 0.0,
+    "setup_round_trips_cache_off": 0.0,
+    "programs_built": 0.0,
     "iteration_round_trips": 0.0,
     "iteration_batched_commands": 0.0,
     "iteration_reply_cache_hits": 0.0,
     "iteration_decode_cache_hits": 0.0,
+    "cluster_programs_built": 0.0,
+    "cluster_binaries_shipped": 0.0,
+    "cluster_build_cache_hits": 0.0,
 }
 
 
 def _multiclient_tolerances() -> Dict[str, float]:
     """Multiclient-snapshot keys -> tolerance: every per-scale headline
     number (throughput, p99 sync latency, device-group fairness ratio,
-    shared decode-cache hits at 1/8/64/256 tenants) is an exact property
-    of the deterministic simulation, so all keys gate at 0.0."""
+    shared decode-cache hits and the one-compile-per-fleet build-cache
+    counters at 1/8/64/256 tenants) is an exact property of the
+    deterministic simulation, so all keys gate at 0.0."""
     from repro.bench.multiclient import SCALES
 
     keys = {}
@@ -91,6 +100,8 @@ def _multiclient_tolerances() -> Dict[str, float]:
         keys[f"p99_sync_latency_{n}"] = 0.0
         keys[f"fairness_ratio_{n}"] = 0.0
         keys[f"decode_cache_hits_{n}"] = 0.0
+        keys[f"programs_built_{n}"] = 0.0
+        keys[f"build_cache_hits_{n}"] = 0.0
     return keys
 
 

@@ -1,0 +1,97 @@
+"""A ``cachestat`` inspector for the per-daemon program build caches.
+
+Renders, for every daemon of a deployment, the content-addressed build
+cache (:mod:`repro.core.daemon.buildcache`): each entry's short source
+digest, build options, kind (``binary`` / ``negative``), shipping size
+and hit count, plus the daemon's build counters and the resulting
+cache-hit ratio.  The first thing an operator runs when asking "is the
+cluster really compiling each program once?".
+
+Works against any object exposing ``daemons`` (a
+:class:`~repro.testbed.Deployment`) or directly against an iterable of
+daemons.  Run the demo CLI with ``python -m repro.tools.cachestat``: it
+stands up a small cluster, has two tenants build the same source, and
+dumps the caches.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+
+def _hit_ratio(stats) -> float:
+    """Cache answers per build resolution: ``(positive + negative hits)
+    / (compiles + hits)``; 0.0 before any build was resolved."""
+    hits = stats.build_cache_hits + stats.negative_build_hits
+    total = stats.programs_built + hits
+    return (hits / total) if total else 0.0
+
+
+def _entry_line(entry) -> str:
+    options = entry.options if entry.options else "(none)"
+    return (
+        f"    {entry.digest[:12]}  {entry.kind:<8} options={options:<16} "
+        f"{entry.nbytes:>6} B  hits={entry.hits}"
+    )
+
+
+def cachestat_text(deployment) -> str:
+    """Render the build-cache state of every daemon in ``deployment``
+    (a testbed ``Deployment`` or any iterable of daemons)."""
+    daemons: Iterable = getattr(deployment, "daemons", deployment)
+    lines: List[str] = []
+    for daemon in daemons:
+        stats = daemon.gcf.stats
+        lines.append(f"Daemon {daemon.name}:")
+        cache = daemon.buildcache
+        if cache is None:
+            lines.append("  build cache: disabled (program_cache=False)")
+            lines.append("")
+            continue
+        lines.append(
+            f"  build cache: {len(cache)}/{cache.capacity} entries, "
+            f"{cache.evictions} evictions"
+        )
+        lines.append(
+            f"  builds: compiled={stats.programs_built} "
+            f"cache_hits={stats.build_cache_hits} "
+            f"negative_hits={stats.negative_build_hits} "
+            f"binaries_shipped={stats.binaries_shipped}"
+        )
+        lines.append(
+            f"  hit ratio: {_hit_ratio(stats):.2f}  "
+            f"build seconds saved: {stats.build_seconds_saved:.3f}"
+        )
+        entries = cache.entries()
+        if entries:
+            lines.append("  entries (LRU -> MRU):")
+            lines.extend(_entry_line(entry) for entry in entries)
+        else:
+            lines.append("  entries: (empty)")
+        lines.append("")
+    return "\n".join(lines).rstrip("\n")
+
+
+def _main() -> None:  # pragma: no cover - exercised via cachestat_text tests
+    from repro.hw.cluster import make_ib_cpu_cluster
+    from repro.testbed import deploy_dopencl
+
+    source = """
+    __kernel void scale(__global float *x, const float f, const int n) {
+        int i = (int)get_global_id(0);
+        if (i < n) x[i] = x[i] * f;
+    }
+    """
+    deployment = deploy_dopencl(make_ib_cpu_cluster(2, n_clients=2), n_clients=2)
+    for api in deployment.apis:
+        devices = api.clGetDeviceIDs(api.clGetPlatformIDs()[0])
+        ctx = api.clCreateContext(devices)
+        queue = api.clCreateCommandQueue(ctx, devices[0])
+        program = api.clCreateProgramWithSource(ctx, source)
+        api.clBuildProgram(program)
+        api.clFinish(queue)
+    print(cachestat_text(deployment))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    _main()

@@ -78,12 +78,34 @@ def test_more_devices_reduce_execution_time():
 def test_dopencl_overhead_is_fixed_not_proportional():
     """Fig. 4: 'the dOpenCL program introduces only a moderate and fixed
     overhead ... only introduced by program initialization and data
-    transfer'."""
+    transfer'.
+
+    Pinned to ``program_cache=False``: the figure models the paper's
+    dOpenCL, where every daemon compiles during initialization.  With
+    the build cache the compile is deferred onto the daemon timeline
+    (and amortised cluster-wide), so the init segment no longer carries
+    it — covered by ``test_program_cache_shrinks_init_overhead``."""
     cluster = make_ib_cpu_cluster(4)
     mpi = render_mpi_opencl(cluster.network, cluster.servers, CONFIG, workload_scale=SCALE)
-    deployment = deploy_dopencl(make_ib_cpu_cluster(4), workload_scale=SCALE)
+    deployment = deploy_dopencl(make_ib_cpu_cluster(4), workload_scale=SCALE, program_cache=False)
     dcl = render_dopencl(deployment.api, CONFIG)
     # Execution segments are close (same kernels, same devices)...
     assert dcl.timings.execution == pytest.approx(mpi.timings.execution, rel=0.3)
     # ...while dOpenCL pays extra in init (source shipping, object setup).
     assert dcl.timings.initialization > mpi.timings.initialization
+
+
+def test_program_cache_shrinks_init_overhead():
+    """The content-addressed build cache moves the one-time compile out
+    of the init segment (deferred, one compile per cluster) without
+    changing the rendered image or the total-work story: only one
+    daemon compiles, the rest adopt the shipped binary."""
+    cached = deploy_dopencl(make_ib_cpu_cluster(4), workload_scale=SCALE)
+    baseline = deploy_dopencl(make_ib_cpu_cluster(4), workload_scale=SCALE, program_cache=False)
+    r_cached = render_dopencl(cached.api, CONFIG)
+    r_base = render_dopencl(baseline.api, CONFIG)
+    np.testing.assert_array_equal(r_cached.image, r_base.image)
+    assert r_cached.timings.initialization < r_base.timings.initialization
+    assert sum(d.gcf.stats.programs_built for d in cached.daemons) == 1
+    assert sum(d.gcf.stats.binaries_shipped for d in cached.daemons) == 3
+    assert all(d.gcf.stats.programs_built == 0 for d in baseline.daemons)

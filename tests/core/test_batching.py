@@ -27,6 +27,10 @@ __kernel void scale(__global float *x, const float f, const int n) {
 
 
 def _prepared(n_servers=2, **kwargs):
+    # Window mechanics are measured around the program build; pin the
+    # build cache off so the compile stays a synchronous round trip and
+    # the latency splits below isolate the enqueue pipeline.
+    kwargs.setdefault("program_cache", False)
     deployment = deploy_dopencl(make_ib_cpu_cluster(n_servers), **kwargs)
     api = deployment.api
     devices = api.clGetDeviceIDs(api.clGetPlatformIDs()[0])

@@ -1,0 +1,135 @@
+"""Unit tests for the daemon's content-addressed program build cache.
+
+The cluster-wide sharing semantics (one compile per unique ``(source,
+options)`` pair, binary shipping, bit-identical negative replays) are
+locked down end-to-end by the conformance suite and the benchmarks;
+this file pins the cache data structure itself: LRU bounding with an
+eviction counter, key composition, sibling-entry adoption and the
+crash lifetime.
+"""
+
+import pytest
+
+from repro.clc.driver import compile_program, program_digest, serialize_program
+from repro.core.daemon.buildcache import DEFAULT_CAPACITY, ProgramBuildCache
+from repro.hw.cluster import make_ib_cpu_cluster
+from repro.testbed import deploy_dopencl
+
+
+def _source(i: int) -> str:
+    return f"""
+__kernel void k{i}(__global float *x, const int n) {{
+    int i = (int)get_global_id(0);
+    if (i < n) x[i] = x[i] + {i}.0f;
+}}
+"""
+
+
+def _compiled(i: int, options: str = ""):
+    return compile_program(_source(i), options)
+
+
+def test_lru_bound_and_eviction_counter():
+    cache = ProgramBuildCache(capacity=4)
+    entries = [cache.store_success(_compiled(i)) for i in range(6)]
+    assert len(cache) == 4
+    assert cache.evictions == 2
+    # The two least-recently-used entries are gone, the rest remain.
+    assert cache.lookup(entries[0].digest, "") is None
+    assert cache.lookup(entries[1].digest, "") is None
+    assert cache.lookup(entries[5].digest, "") is entries[5]
+
+
+def test_lookup_refreshes_lru_order():
+    cache = ProgramBuildCache(capacity=2)
+    first = cache.store_success(_compiled(0))
+    cache.store_success(_compiled(1))
+    # Touch the older entry, then overflow: the *untouched* one goes.
+    assert cache.lookup(first.digest, "") is first
+    cache.store_success(_compiled(2))
+    assert cache.lookup(first.digest, "") is first
+    assert cache.lookup(program_digest(_source(1)), "") is None
+
+
+def test_options_are_part_of_the_key():
+    cache = ProgramBuildCache()
+    plain = cache.store_success(_compiled(0))
+    defined = cache.store_success(_compiled(0, "-DBIAS=2.0f"))
+    assert plain is not defined
+    assert plain.digest == defined.digest  # same source...
+    assert len(cache) == 2  # ...distinct outcomes
+    assert cache.lookup(plain.digest, "") is plain
+    assert cache.lookup(plain.digest, "-DBIAS=2.0f") is defined
+
+
+def test_negative_entries_replay_the_stored_failure():
+    cache = ProgramBuildCache()
+    entry = cache.store_failure(
+        "__kernel void broken(", "", "syntax error: line 1", -11, "missing ')'"
+    )
+    hit = cache.lookup(entry.digest, "")
+    assert hit is entry
+    assert hit.kind == "negative"
+    assert (hit.log, hit.error, hit.detail) == (
+        "syntax error: line 1", -11, "missing ')'"
+    )
+    # Idempotent: a racing second failure keeps the original entry.
+    assert cache.store_failure("__kernel void broken(", "", "other log", -11) is entry
+
+
+def test_install_binary_dedupes():
+    cache = ProgramBuildCache()
+    blob = serialize_program(_compiled(3))
+    entry, installed = cache.install_binary(blob)
+    assert installed and entry.kind == "binary"
+    again, installed_again = cache.install_binary(blob)
+    assert again is entry and not installed_again
+    assert len(cache) == 1
+
+
+def test_install_entry_copies_sibling_entries_including_negatives():
+    builder, sibling = ProgramBuildCache(), ProgramBuildCache()
+    binary = builder.store_success(_compiled(0))
+    negative = builder.store_failure("__kernel void broken(", "", "log", -11)
+    assert sibling.install_entry(binary)
+    assert sibling.install_entry(negative)
+    assert not sibling.install_entry(binary)  # already adopted
+    adopted = sibling.lookup(binary.digest, "")
+    assert adopted is not binary and adopted.blob == binary.blob
+    # Per-cache hit counters stay independent (the lookup above touched
+    # only the sibling's copy).
+    assert adopted.hits == 1 and binary.hits == 0
+    assert sibling.lookup(negative.digest, "").kind == "negative"
+
+
+def test_source_for_matches_any_options_and_kind():
+    cache = ProgramBuildCache()
+    assert cache.source_for(program_digest(_source(0))) is None
+    cache.store_success(_compiled(0, "-DBIAS=1.0f"))
+    assert cache.source_for(program_digest(_source(0))) == _source(0)
+    cache.store_failure("bad source", "", "log", -11)
+    assert cache.source_for(program_digest("bad source")) == "bad source"
+
+
+def test_default_capacity_is_generous_but_bounded():
+    cache = ProgramBuildCache()
+    assert cache.capacity == DEFAULT_CAPACITY >= 64
+    assert ProgramBuildCache(capacity=0).capacity == 1  # never unbounded-below
+
+
+def test_daemon_crash_drops_the_build_cache():
+    deployment = deploy_dopencl(make_ib_cpu_cluster(1))
+    api = deployment.api
+    devices = api.clGetDeviceIDs(api.clGetPlatformIDs()[0])
+    ctx = api.clCreateContext(devices)
+    queue = api.clCreateCommandQueue(ctx, devices[0])
+    program = api.clCreateProgramWithSource(ctx, _source(0))
+    api.clBuildProgram(program)
+    api.clFinish(queue)
+    daemon = deployment.daemons[0]
+    assert len(daemon.buildcache) == 1
+    before = daemon.buildcache
+    daemon.crash()
+    # A fresh, empty cache: binaries are volatile in-memory state.
+    assert daemon.buildcache is not before
+    assert len(daemon.buildcache) == 0

@@ -2,11 +2,13 @@
 
 Each seed generates a small workload DAG (multi-queue kernels,
 user-event gating, blocking/non-blocking transfers, ``clFlush`` /
-``clFinish``, a mid-run creation failure) and runs it under the four
-pipeline configurations (sync oracle / batched / coalesced-off /
-coalesced-on), asserting bit-identical buffer contents, identical
-directory state, identical error behaviour and the ``NetStats``
-structural invariants — see :mod:`repro.bench.conformance`.  Every
+``clFinish``, a mid-run creation failure, duplicate-source and failing
+program builds) and runs it under the five pipeline configurations
+(sync oracle / batched / coalesced-off / coalesced-on / cache-off
+ablation), asserting bit-identical buffer contents, identical
+directory state, identical error behaviour, identical build logs and
+the ``NetStats`` structural invariants (including the exact
+build-cache algebra) — see :mod:`repro.bench.conformance`.  Every
 assertion message carries the seed; reproduce a failure outside pytest
 with ``PYTHONPATH=src python -m repro.bench.conformance --seed <n>``.
 """
@@ -22,7 +24,7 @@ TIER1_SEEDS = 24
 
 @pytest.mark.parametrize("seed", range(TIER1_SEEDS))
 def test_differential_conformance(seed):
-    """All four configurations produce identical observable results."""
+    """All five configurations produce identical observable results."""
     summary = run_seed(seed)
     # The summary is the replay recipe: the harness really ran every
     # configuration of a non-trivial program.
@@ -40,8 +42,9 @@ def test_generator_is_deterministic():
 def test_generator_covers_the_op_vocabulary():
     """Across the tier-1 seed range the generator exercises every op
     kind it advertises (kernels with user-event gates, both transfer
-    directions, flushes, finishes, creation failures) — a guard against
-    the weights silently starving a path the suite claims to cover."""
+    directions, flushes, finishes, creation failures, duplicate-source
+    builds, failing builds) — a guard against the weights silently
+    starving a path the suite claims to cover."""
     kinds = set()
     gated = False
     for seed in range(TIER1_SEEDS):
@@ -51,6 +54,6 @@ def test_generator_covers_the_op_vocabulary():
                 gated = True
     assert {
         "kernel", "write", "read", "read_nb", "flush", "finish",
-        "user_event", "set_event", "bad_create",
+        "user_event", "set_event", "bad_create", "build_dup", "build_bad",
     } <= kinds
     assert gated

@@ -57,4 +57,7 @@ def test_recoverable_schedules_keep_every_daemon_alive():
     for schedule in RECOVERABLE_SCHEDULES:
         summary = run_seed_with_faults(1, schedule)
         assert summary["dead_daemons"] == 0
-        assert summary["errors"] == 0
+        # The program's own intentional failures (bad_create/build_bad
+        # ops) surface identically with or without faults; a recoverable
+        # schedule must never *add* errors on top of them.
+        assert summary["errors"] == summary["baseline_errors"]

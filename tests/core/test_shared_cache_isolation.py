@@ -1,6 +1,6 @@
 """Cross-client isolation of the daemon's shared caches.
 
-One daemon serves many tenants through three shared, bounded caches:
+One daemon serves many tenants through four shared, bounded caches:
 
 * the :class:`~repro.net.messages.WireDecodeCache` — keyed by raw wire
   bytes, so N clients submitting the byte-identical command pay for one
@@ -12,12 +12,18 @@ One daemon serves many tenants through three shared, bounded caches:
 * the batch **replay-dedupe** cache — keyed ``(sender name, epoch,
   seq)``; a replayed batch from client A must be re-answered with A's
   cached response and never with B's, even when both stamped the same
-  ``(epoch, seq)``.
+  ``(epoch, seq)``;
+* the :class:`~repro.core.daemon.buildcache.ProgramBuildCache` — keyed
+  by ``(source digest, build options)``; build outcomes are shared
+  across tenants (one compile per cluster) and outlive any tenant's
+  program objects, but never count against a tenant's registry quota
+  and never leak registry state between namespaces.
 """
 
 import pytest
 
 from repro.core.daemon import Daemon
+from repro.core.daemon.admission import AdmissionPolicy
 from repro.core.protocol import messages as P
 from repro.hw import Host
 from repro.hw.specs import GIGABIT_ETHERNET, GPU_SERVER, WESTMERE_NODE
@@ -25,6 +31,7 @@ from repro.net import GCFProcess, Network
 from repro.ocl import CLError
 from repro.ocl.context import Context
 from repro.ocl.event import UserEvent
+from repro.ocl.program import Program
 
 
 @pytest.fixture
@@ -108,6 +115,79 @@ def test_replay_identity_includes_the_epoch(daemon_and_net):
     # The handler genuinely re-ran: the second creation of the same ID
     # is a real (failed) execution, not a replayed success.
     assert fresh.responses[0].error
+
+
+_SHARED_SOURCE = """
+__kernel void scale(__global float *x, const float f, const int n) {
+    int i = (int)get_global_id(0);
+    if (i < n) x[i] = x[i] * f;
+}
+"""
+
+_BUILD_SEQUENCE = [
+    P.CreateContextRequest(context_id=1, device_ids=[0]),
+    P.CreateProgramWithSourceRequest(
+        program_id=2, context_id=1, source=_SHARED_SOURCE
+    ),
+    P.BuildProgramRequest(program_id=2),
+]
+
+
+def test_cross_client_build_shares_the_compile_but_not_the_program(daemon_and_net):
+    """Tenant A builds, then *releases* its program; tenant B builds the
+    same source.  The daemon compiles once — the cache entry outlives
+    A's program object — yet each tenant only ever held a program in its
+    own registry namespace."""
+    daemon, net = daemon_and_net
+    a = connect_client(net, daemon, "a")
+    b = connect_client(net, daemon, "b")
+    out_a = a.request_batch(daemon.gcf, list(_BUILD_SEQUENCE), 0.0)
+    assert all(not r.error for r in out_a.responses)
+    a.request_batch(daemon.gcf, [P.ReleaseProgramRequest(program_id=2)], 1.0)
+    out_b = b.request_batch(daemon.gcf, list(_BUILD_SEQUENCE), 2.0)
+    assert all(not r.error for r in out_b.responses)
+    assert daemon.gcf.stats.programs_built == 1
+    assert daemon.gcf.stats.build_cache_hits == 1
+    # The shared entry never blurred the namespaces: B holds its own
+    # program, A's is gone.
+    assert daemon.registry.get("b", 2, Program) is not None
+    with pytest.raises(CLError):
+        daemon.registry.get("a", 2, Program)
+
+
+def test_build_cache_entries_do_not_consume_registry_quota():
+    """Quota accounting: cached build outcomes are daemon infrastructure,
+    not client objects — they neither block a tenant at its registry
+    quota nor charge other tenants who hit them."""
+    net = Network(GIGABIT_ETHERNET)
+    server = net.add_host(Host(GPU_SERVER, name="srv"))
+    daemon = Daemon(server, net, admission=AdmissionPolicy(max_objects_per_client=2))
+    a = connect_client(net, daemon, "a")
+    out = a.request_batch(daemon.gcf, list(_BUILD_SEQUENCE), 0.0)
+    assert all(not r.error for r in out.responses)
+    # A is at quota (context + program); one more creation is rejected.
+    rejected = a.request_batch(
+        daemon.gcf, [P.CreateUserEventRequest(event_id=3, context_id=1)], 1.0
+    )
+    assert rejected.responses[0].error
+    assert daemon.gcf.stats.quota_rejections == 1
+    # Releasing the program frees quota even though the build outcome
+    # stays cached: the entry belongs to the daemon, not to A.
+    a.request_batch(daemon.gcf, [P.ReleaseProgramRequest(program_id=2)], 2.0)
+    assert len(daemon.buildcache) == 1
+    # (A fresh ID: the rejected creation above poisoned ID 3.)
+    ok = a.request_batch(
+        daemon.gcf, [P.CreateUserEventRequest(event_id=4, context_id=1)], 3.0
+    )
+    assert not ok.responses[0].error
+    # A second tenant at the same quota builds the shared source: the
+    # cache answers the build without charging anyone's namespace.
+    b = connect_client(net, daemon, "b")
+    out_b = b.request_batch(daemon.gcf, list(_BUILD_SEQUENCE), 4.0)
+    assert all(not r.error for r in out_b.responses)
+    assert daemon.gcf.stats.programs_built == 1
+    assert daemon.gcf.stats.build_cache_hits == 1
+    assert daemon.gcf.stats.quota_rejections == 1  # unchanged
 
 
 def test_unstamped_batches_skip_the_replay_cache(daemon_and_net):

@@ -1,12 +1,13 @@
-"""clinfo tool tests against all three API flavours."""
+"""Operator-tool tests: clinfo (all three API flavours) and cachestat."""
 
 import pytest
 
 from repro.hw import GPU_SERVER, Host
 from repro.hw.cluster import make_desktop_and_gpu_server, make_ib_cpu_cluster
 from repro.ocl import ICDLoader, NativeAPI
+from repro.ocl.errors import CLError
 from repro.testbed import deploy_dopencl
-from repro.tools import clinfo_text
+from repro.tools import cachestat_text, clinfo_text
 
 
 def test_clinfo_native():
@@ -36,3 +37,57 @@ def test_clinfo_icd_combined():
     assert "Number of platforms: 2" in text
     assert "NVS" in text  # the desktop's own GPU via the native platform
     assert "Tesla" in text  # the remote GPUs via dOpenCL
+
+
+_GOOD_SOURCE = """
+__kernel void scale(__global float *x, const float f, const int n) {
+    int i = (int)get_global_id(0);
+    if (i < n) x[i] = x[i] * f;
+}
+"""
+
+_BROKEN_SOURCE = """
+__kernel void broken(__global float *x, const int n) {
+    int i = (int)get_global_id(0)
+    if (i < n) x[i] = 0.0f;
+}
+"""
+
+
+def _build_on(api, source, options=""):
+    devices = api.clGetDeviceIDs(api.clGetPlatformIDs()[0])
+    ctx = api.clCreateContext(devices)
+    queue = api.clCreateCommandQueue(ctx, devices[0])
+    program = api.clCreateProgramWithSource(ctx, source)
+    api.clBuildProgram(program, options)
+    api.clFinish(queue)
+
+
+def test_cachestat_shows_cluster_build_cache_state():
+    deployment = deploy_dopencl(make_ib_cpu_cluster(2, n_clients=2), n_clients=2)
+    for api in deployment.apis:
+        _build_on(api, _GOOD_SOURCE)
+    with pytest.raises(CLError):
+        _build_on(deployment.apis[0], _BROKEN_SOURCE)
+    text = cachestat_text(deployment)
+    # One section per daemon, every daemon holds both entry kinds (the
+    # binary and the negative outcome ship to siblings).
+    for daemon in deployment.daemons:
+        assert f"Daemon {daemon.name}:" in text
+    assert text.count("binary") == 2
+    assert text.count("negative") >= 1
+    assert "compiled=1" in text  # exactly one daemon compiled the source
+    assert "binaries_shipped=1" in text
+    # The second tenant's resolutions were answered from the cache.
+    assert "cache_hits=" in text and "hit ratio:" in text
+    total_hits = sum(d.gcf.stats.build_cache_hits for d in deployment.daemons)
+    assert total_hits > 0
+    assert "entries (LRU -> MRU):" in text
+
+
+def test_cachestat_reports_disabled_cache():
+    deployment = deploy_dopencl(make_ib_cpu_cluster(1), program_cache=False)
+    _build_on(deployment.api, _GOOD_SOURCE)
+    text = cachestat_text(deployment)
+    assert "disabled (program_cache=False)" in text
+    assert "entries" not in text
