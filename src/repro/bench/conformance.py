@@ -7,20 +7,25 @@ coalesced result reads.  Each optimisation is unit-tested in isolation;
 what this harness locks down is their *composition*: a seeded generator
 builds small workload DAGs (multi-queue kernels, user-event gating,
 blocking and non-blocking transfers, ``clFlush``/``clFinish``, mid-run
-creation failures, duplicate and failing program builds) and runs each
-program under five pipeline configurations:
+creation failures, duplicate and failing program builds, iterative
+producer->consumer loops) and runs each program under six pipeline
+configurations:
 
 * ``sync`` — batching fully disabled, every extension off including
-  the program build cache (one round trip per forwarded call: the
-  semantics oracle);
+  the program build cache and predictive pushes (one round trip per
+  forwarded call: the semantics oracle);
 * ``batched`` — send windows, deferred relays and handle promises on,
-  every coalescing knob off;
+  every coalescing knob off, pushes off;
 * ``coalesced_off`` — the full pipeline with ``coalesce_reads=False``
   (the read-coalescing ablation mirror);
 * ``coalesced_on`` — everything on (the shipping default);
 * ``cache_off`` — the full pipeline with ``program_cache=False`` (the
   content-addressed build-cache ablation mirror: every build pays the
-  synchronous per-server fan-out and no daemon may touch its cache).
+  synchronous per-server fan-out and no daemon may touch its cache);
+* ``push_off`` — the full pipeline with ``push_transfers=False`` (the
+  PR-9 ablation mirror: pure demand-driven coherence).  Diffing this
+  cell against ``coalesced_on`` is what proves speculative pushes
+  never change buffer bytes, directory state or error behaviour.
 
 The paper's headline property is that dOpenCL preserves *unmodified
 OpenCL semantics*; the pipeline being "just" a communication
@@ -89,7 +94,7 @@ from repro.testbed import deploy_dopencl
 #: run of many seeds stays inside the time budget.
 BUFFER_ELEMS = 64
 
-#: The five pipeline configurations every generated program runs under
+#: The six pipeline configurations every generated program runs under
 #: (see the module docstring).  ``sync`` is the oracle.
 CONFIGS: Dict[str, Dict[str, object]] = {
     "sync": dict(
@@ -99,22 +104,31 @@ CONFIGS: Dict[str, Dict[str, object]] = {
         defer_creations=False,
         coalesce_transfers=False,
         coalesce_reads=False,
+        push_transfers=False,
         program_cache=False,
     ),
     "batched": dict(
         coalesce_uploads=False,
         coalesce_transfers=False,
         coalesce_reads=False,
+        push_transfers=False,
     ),
     "coalesced_off": dict(coalesce_reads=False),
     "coalesced_on": {},
     "cache_off": dict(program_cache=False),
+    "push_off": dict(push_transfers=False),
 }
 
 #: The configurations that run with the program build cache enabled —
 #: their daemon-side build counters must agree exactly (the same builds
 #: resolve through the same cache regardless of coalescing machinery).
-CACHED_CONFIGS = ("batched", "coalesced_off", "coalesced_on")
+CACHED_CONFIGS = ("batched", "coalesced_off", "coalesced_on", "push_off")
+
+#: The configurations that must never plan, execute, commit or waste a
+#: speculative push (client- and daemon-side counters all zero); every
+#: other configuration runs with ``push_transfers=True`` and is held to
+#: the push-counter algebra instead.
+PUSH_OFF_CONFIGS = ("sync", "batched", "push_off")
 
 #: Kernels the generator draws from: one pure producer, one
 #: read-modify-write, one two-input combiner (the shapes that exercise
@@ -242,8 +256,9 @@ def generate_program(
     for _ in range(count):
         kind = rng.choices(
             ["kernel", "write", "read", "read_nb", "flush", "finish",
-             "user_event", "bad_create", "churn", "build_dup", "build_bad"],
-            weights=[5, 2, 2, 1, 2, 1, 2, 1, 2, 1, 1],
+             "user_event", "bad_create", "churn", "build_dup", "build_bad",
+             "loop"],
+            weights=[5, 2, 2, 1, 2, 1, 2, 1, 2, 1, 1, 2],
         )[0]
         qi = rng.randrange(len(queue_devices))
         if kind == "kernel":
@@ -315,6 +330,26 @@ def generate_program(
             # negative cache entry, which must surface the identical
             # error and build log as the fresh compile.
             ops.append(("build_bad",))
+        elif kind == "loop":
+            # Iterative producer->consumer loop (the OSEM shape): one
+            # queue's kernel rewrites a buffer every round, another
+            # queue's kernel consumes it, with a finish between so the
+            # producer's completion notification (and any staged push)
+            # lands before the consumer plans its transfer.  From round
+            # 3 on the planner sees a stable edge and speculative
+            # pushes engage — under random schedules, which is exactly
+            # what the push-on vs push-off differential must survive.
+            # Contains blocking finishes, so pending user events must
+            # be set first (the same rule as a read).
+            set_pending_events()
+            bi = rng.randrange(n_buffers)
+            out_bi = (bi + 1 + rng.randrange(n_buffers - 1)) % n_buffers
+            qa = rng.randrange(len(queue_devices))
+            qb = rng.randrange(len(queue_devices))
+            ops.append((
+                "loop", bi, out_bi, qa, qb,
+                round(rng.uniform(0.5, 2.0), 3), rng.randint(3, 4),
+            ))
     set_pending_events()
     return {
         "seed": seed,
@@ -406,6 +441,27 @@ def _apply_op(
             cl.clRetainKernel(kernel)
             cl.clReleaseKernel(kernel)
             cl.clReleaseKernel(kernel)
+    elif kind == "loop":
+        _, bi, out_bi, qa, qb, scalar, rounds = op
+        buf = require(buffers[bi])
+        out = require(buffers[out_bi])
+        for r in range(rounds):
+            producer = cl.clCreateKernel(require(program), "fill")
+            cl.clSetKernelArg(producer, 0, buf)
+            cl.clSetKernelArg(producer, 1, np.float32(scalar + r))
+            cl.clSetKernelArg(producer, 2, BUFFER_ELEMS)
+            cl.clEnqueueNDRangeKernel(require(queues[qa]), producer, (BUFFER_ELEMS,))
+            # The producer's sync point: its completion notification
+            # (carrying any staged push) arrives here, before the
+            # consumer's transfer plan is made — the OSEM ordering.
+            cl.clFinish(require(queues[qa]))
+            consumer = cl.clCreateKernel(require(program), "sum2")
+            cl.clSetKernelArg(consumer, 0, out)
+            cl.clSetKernelArg(consumer, 1, buf)
+            cl.clSetKernelArg(consumer, 2, buf)
+            cl.clSetKernelArg(consumer, 3, BUFFER_ELEMS)
+            cl.clEnqueueNDRangeKernel(require(queues[qb]), consumer, (BUFFER_ELEMS,))
+        cl.clFinish(require(queues[qb]))
     elif kind == "build_dup":
         _, variant, qi, bi, scalar = op
         source, options, kernel_name = BUILD_DUP_VARIANTS[variant]
@@ -532,6 +588,17 @@ def run_program(spec: Dict[str, object], flags: Dict[str, object]) -> Dict[str, 
         "build_logs": build_logs,
         "stats": deployment.driver.stats.snapshot(),
         "build_stats": _daemon_build_stats(deployment),
+        "push_stats": _daemon_push_stats(deployment),
+    }
+
+
+def _daemon_push_stats(deployment) -> Dict[str, int]:
+    """Deployment-aggregate push-execution counters (summed over
+    daemons) — the daemon side of the push-counter algebra."""
+    daemons = deployment.daemons
+    return {
+        "daemon_pushes": sum(d.gcf.stats.daemon_pushes for d in daemons),
+        "push_bytes": sum(d.gcf.stats.push_bytes for d in daemons),
     }
 
 
@@ -880,6 +947,13 @@ RECOVERABLE_SCHEDULES = (
 #: deterministic ``CL_DEVICE_NOT_AVAILABLE``-class errors every time.
 UNRECOVERABLE_SCHEDULES = ("crash", "sever-permanent")
 
+#: Schedules that target the daemon-initiated push path.  Kept out of
+#: the generic matrix above because a randomly generated program is not
+#: guaranteed to emit any ``s2s-push`` traffic (MSI protocol, or no
+#: producer->consumer loop drawn) and the matrix asserts every schedule
+#: fires; :func:`run_push_fault_seed` forces the push path instead.
+PUSH_SCHEDULES = ("sever-push",)
+
 #: Error codes an unrecoverable schedule may surface (daemon-loss class).
 DAEMON_LOSS_CODES = frozenset(
     {int(ErrorCode.CL_DEVICE_NOT_AVAILABLE), int(ErrorCode.CL_CONNECTION_ERROR_WWU)}
@@ -905,8 +979,55 @@ def fault_plan(schedule: str) -> FaultPlan:
         "sever-permanent": [
             FaultAction("sever", nth=2, tag="CommandBatch", heal_after=None)
         ],
+        "sever-push": [FaultAction("sever", nth=1, tag="s2s-push", heal_after=1)],
     }[schedule]
     return FaultPlan(actions=actions, max_transfers=FAULT_WATCHDOG_TRANSFERS)
+
+
+def push_fault_spec(seed: int) -> Dict[str, object]:
+    """The program :func:`run_push_fault_seed` replays: the generated
+    program for ``seed`` forced onto MOSI with a deterministic
+    cross-daemon producer->consumer loop appended, so the s2s push path
+    engages regardless of what the seed happened to draw."""
+    spec = generate_program(seed)
+    spec["protocol"] = "mosi"
+    spec["ops"] = list(spec["ops"]) + [("loop", 0, 1, 0, 1, 1.25, 4)]
+    return spec
+
+
+def run_push_fault_seed(seed: int) -> Dict[str, object]:
+    """The severed-push-link contract: cutting the s2s mesh under a
+    speculative push must *degrade to demand fetch* — the owning daemon
+    abandons the push, the consumer pays the ordinary client-mediated
+    transfer, and every observable stays bit-identical to the
+    fault-free run.  The schedule severs the peer link at the first
+    ``s2s-push`` transfer and heals it one blocked transfer later, so
+    both the abandoned push and the retried demand path are exercised.
+    """
+    spec = push_fault_spec(seed)
+    flags = dict(CONFIGS["coalesced_on"])
+    tag = f"seed {seed} schedule sever-push"
+    baseline = run_program_resilient(spec, flags, None)
+    assert baseline["stats"]["push_commits"] > 0, (
+        f"{tag}: fault-free run never committed a push — the schedule "
+        f"would be vacuous"
+    )
+    faulted = run_program_resilient(spec, flags, fault_plan("sever-push"))
+    _check_resilience_stats(tag, faulted["stats"])
+    assert _semantics(faulted) == _semantics(baseline), (
+        f"{tag}: severed push link changed observable behaviour: "
+        f"{_semantics(faulted)} vs {_semantics(baseline)}"
+    )
+    assert faulted["stats"]["dead_daemons"] == 0, (
+        f"{tag}: severed push link killed a daemon"
+    )
+    return {
+        "seed": seed,
+        "schedule": "sever-push",
+        "fired": (faulted["injector"] or {}).get("fired_actions", 0),
+        "baseline_commits": baseline["stats"]["push_commits"],
+        "faulted_commits": faulted["stats"]["push_commits"],
+    }
 
 
 def run_program_resilient(
@@ -1148,6 +1269,36 @@ def _check_stats_invariants(
             assert value == 0, (
                 f"{tag}: {name} config moved daemon build counter {key}={value}"
             )
+    # Push-transfer structural invariants.  A push-off configuration
+    # never plans, executes, commits or wastes a push on either side of
+    # the wire; a push-on configuration obeys the algebra
+    # ``push_commits + wasted_pushes <= daemon_pushes <=
+    # speculative_pushes`` (a discarded push is only ever *counted*,
+    # never observed — the byte/directory equality above is the proof).
+    for name in PUSH_OFF_CONFIGS:
+        stats = outcomes[name]["stats"]
+        for key in ("speculative_pushes", "push_commits", "wasted_pushes"):
+            assert stats[key] == 0, (
+                f"{tag}: {name} config moved push counter {key}={stats[key]}"
+            )
+        for key, value in outcomes[name]["push_stats"].items():
+            assert value == 0, (
+                f"{tag}: {name} config moved daemon push counter {key}={value}"
+            )
+    for name in outcomes:
+        if name in PUSH_OFF_CONFIGS:
+            continue
+        stats = outcomes[name]["stats"]
+        executed = outcomes[name]["push_stats"]["daemon_pushes"]
+        assert (
+            stats["push_commits"] + stats["wasted_pushes"]
+            <= executed
+            <= stats["speculative_pushes"]
+        ), (
+            f"{tag}: {name} config broke the push algebra: "
+            f"commits={stats['push_commits']} wasted={stats['wasted_pushes']} "
+            f"executed={executed} hints={stats['speculative_pushes']}"
+        )
     unique = len(build_pairs(spec))
     servers = spec["n_servers"]
     reference = outcomes[CACHED_CONFIGS[0]]["build_stats"]
@@ -1184,7 +1335,7 @@ def _check_stats_invariants(
     # fusing fetches — observed at seed 307.  The deterministic
     # coalescing floors are gated by the smoke benchmark instead.)
     rt = {name: outcomes[name]["stats"]["round_trips"] for name in outcomes}
-    for name in ("batched", "coalesced_off", "coalesced_on", "cache_off"):
+    for name in ("batched", "coalesced_off", "coalesced_on", "cache_off", "push_off"):
         assert rt[name] < rt["sync"], (
             f"{tag}: {name} config did not beat the synchronous oracle ({rt})"
         )
@@ -1294,7 +1445,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--schedule", default=None,
-        choices=RECOVERABLE_SCHEDULES + UNRECOVERABLE_SCHEDULES,
+        choices=RECOVERABLE_SCHEDULES + UNRECOVERABLE_SCHEDULES + PUSH_SCHEDULES,
         help="with --faults: run only this schedule",
     )
     args = parser.parse_args(argv)
@@ -1319,7 +1470,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"{summary['n_servers']} servers, {summary['n_ops']} ops; "
                 f"round trips sync={rt['sync']} batched={rt['batched']} "
                 f"coalesced_off={rt['coalesced_off']} "
-                f"coalesced_on={rt['coalesced_on']} cache_off={rt['cache_off']})"
+                f"coalesced_on={rt['coalesced_on']} cache_off={rt['cache_off']} "
+                f"push_off={rt['push_off']})"
             )
     if failures:
         print(f"{failures}/{len(seeds)} seeds diverged")
@@ -1356,7 +1508,9 @@ def _main_multi(
 def _main_faults(seeds: List[int], schedule: Optional[str]) -> int:
     """The ``--faults`` soak loop: every (seed, schedule) combination."""
     schedules = (
-        (schedule,) if schedule else RECOVERABLE_SCHEDULES + UNRECOVERABLE_SCHEDULES
+        (schedule,)
+        if schedule
+        else RECOVERABLE_SCHEDULES + UNRECOVERABLE_SCHEDULES + PUSH_SCHEDULES
     )
     failures = 0
     combos = 0
@@ -1364,6 +1518,15 @@ def _main_faults(seeds: List[int], schedule: Optional[str]) -> int:
         for name in schedules:
             combos += 1
             try:
+                if name in PUSH_SCHEDULES:
+                    summary = run_push_fault_seed(seed)
+                    print(
+                        f"seed {seed} schedule {name}: ok "
+                        f"(fired={summary['fired']} "
+                        f"commits {summary['baseline_commits']}->"
+                        f"{summary['faulted_commits']})"
+                    )
+                    continue
                 summary = run_seed_with_faults(seed, name)
             except AssertionError as exc:
                 failures += 1

@@ -73,6 +73,28 @@ def _setup_round_trips(program_cache: bool) -> int:
     return deployment.driver.stats.round_trips - before
 
 
+def _iteration_round_trips_push_off() -> int:
+    """Steady-state iteration round trips with ``push_transfers=False``
+    on a fresh Fig. 5 deployment — the PR-9 ablation cell: demand-driven
+    coherence pays one gang fetch per subset that predictive pushes move
+    off the client's critical path."""
+    deployment = deploy_dopencl(
+        make_desktop_and_gpu_server(), push_transfers=False
+    )
+    api = deployment.api
+    gpus = api.clGetDeviceIDs(api.clGetPlatformIDs()[0], CL_DEVICE_TYPE_GPU)
+    osem = ListModeOSEM(
+        api, gpus, image_size=OSEM_IMAGE_SIZE, n_subsets=OSEM_SUBSETS, n_samples=OSEM_SAMPLES
+    )
+    events = generate_events(disk_phantom(OSEM_IMAGE_SIZE), OSEM_EVENTS, seed=7)
+    osem.setup(events)
+    before = 0
+    for _ in range(OSEM_ITERATIONS):
+        before = deployment.driver.stats.round_trips
+        osem.iterate()
+    return deployment.driver.stats.round_trips - before
+
+
 def _cluster_repeat_setup() -> dict:
     """The cluster-wide build floor: two tenants build the identical
     source on a :data:`CLUSTER_SERVERS`-daemon cluster.  The first
@@ -124,8 +146,10 @@ def bench_osem() -> ExperimentRecord:
             f"answer >= {MIN_STEADY_STATE_HIT_RATIO:.0%} of batched sub-commands "
             "from the daemon reply cache, at constant round trips; the "
             "program build cache drops setup round trips vs the cache-off "
-            f"ablation, and two tenants on {CLUSTER_SERVERS} daemons compile "
-            "the shared source exactly once cluster-wide"
+            f"ablation, two tenants on {CLUSTER_SERVERS} daemons compile "
+            "the shared source exactly once cluster-wide, and predictive "
+            "pushes (push_transfers) hold steady-state iteration round "
+            "trips strictly below the push-off ablation"
         ),
     )
     deployment = deploy_dopencl(make_desktop_and_gpu_server())
@@ -164,9 +188,21 @@ def bench_osem() -> ExperimentRecord:
         before = counters()
         osem.iterate()
         add_row(f"iteration_{i + 1}", before, counters())
-    # Ablation pair + cluster floor, on their own fresh deployments so
+    # Push-protocol verdict for the whole run (counters are cumulative,
+    # so they are read once after the last iteration): the client's
+    # hint/commit/waste tally plus the daemons' aggregate executions.
+    record.add(
+        phase="push_counters",
+        speculative_pushes=driver.stats.speculative_pushes,
+        daemon_pushes=sum(d.gcf.stats.daemon_pushes for d in daemons),
+        push_bytes=sum(d.gcf.stats.push_bytes for d in daemons),
+        push_commits=driver.stats.push_commits,
+        wasted_pushes=driver.stats.wasted_pushes,
+    )
+    # Ablation cells + cluster floor, on their own fresh deployments so
     # the iteration rows above stay untouched by the extra phases.
     record.add(phase="setup_cache_off", round_trips=_setup_round_trips(False))
+    record.add(phase="iteration_push_off", round_trips=_iteration_round_trips_push_off())
     record.add(phase="cluster_repeat_setup", **_cluster_repeat_setup())
     return record
 
@@ -176,7 +212,11 @@ def assert_osem_record(record: ExperimentRecord) -> None:
     tests, iterations are steady-state, and the program build cache
     holds its floors (setup round trips drop vs the ablation; one
     compile per unique source cluster-wide)."""
-    iterations = [row for row in record.rows if row["phase"].startswith("iteration")]
+    iterations = [
+        row
+        for row in record.rows
+        if row["phase"].startswith("iteration_") and row["phase"][10:].isdigit()
+    ]
     assert len(iterations) == OSEM_ITERATIONS
     steady = iterations[1:]
     for row in steady:
@@ -191,6 +231,21 @@ def assert_osem_record(record: ExperimentRecord) -> None:
     # subsets within one iteration repeat arguments too).
     assert iterations[0]["reply_cache_hits"] > 0
     rows = {row["phase"]: row for row in record.rows}
+    # PR-9 gate: predictive pushes take the steady-state gang fetch off
+    # the client's critical path — every iteration costs strictly fewer
+    # round trips than the push-off ablation, the pushes genuinely
+    # commit, and the structural invariant
+    # ``push_commits + wasted_pushes <= daemon_pushes <=
+    # speculative_pushes`` holds for the whole run.
+    push = rows["push_counters"]
+    for row in steady:
+        assert row["round_trips"] < rows["iteration_push_off"]["round_trips"]
+    assert push["push_commits"] > 0
+    assert (
+        push["push_commits"] + push["wasted_pushes"]
+        <= push["daemon_pushes"]
+        <= push["speculative_pushes"]
+    )
     # The deferred cached build removes the synchronous build fan-out
     # from setup; the ablation pays it.
     assert rows["setup"]["round_trips"] < rows["setup_cache_off"]["round_trips"]
@@ -223,6 +278,9 @@ def osem_payload(record: ExperimentRecord) -> dict:
         "setup_round_trips_cache_off": rows["setup_cache_off"]["round_trips"],
         "programs_built": rows["setup"]["programs_built"],
         "iteration_round_trips": steady["round_trips"],
+        "iteration_round_trips_push_off": rows["iteration_push_off"]["round_trips"],
+        "push_commits": rows["push_counters"]["push_commits"],
+        "wasted_pushes": rows["push_counters"]["wasted_pushes"],
         "iteration_batched_commands": steady["batched_commands"],
         "iteration_reply_cache_hits": steady["reply_cache_hits"],
         "iteration_decode_cache_hits": steady["decode_cache_hits"],

@@ -324,9 +324,10 @@ class DOpenCLAPI:
         self._check_queue_buffer(queue, buffer)
         raw = np.ascontiguousarray(data).view(np.uint8).ravel()
         partial = offset != 0 or raw.size != buffer.size
-        if partial and not buffer.coherence.is_valid("client"):
+        if partial and not buffer.planner.is_valid("client"):
             # Read-modify-write: fetch a valid copy before a partial update.
-            plan = buffer.coherence.acquire_read("client")
+            buffer.planner.note_client_demand()
+            plan = buffer.planner.acquire_read("client")
             self.driver.run_transfer_plan(buffer, plan, queue)
         buffer.write_host(offset, raw)
         event = self.driver.new_event_stub(queue.context, queue.server.name, CL_COMMAND_WRITE_BUFFER)
@@ -335,7 +336,7 @@ class DOpenCLAPI:
         # *server's* copy is the modified one and the client stub (like all
         # other copies) is invalid — which is why a subsequent read streams
         # the data back over the network (the Fig. 7 measurement).
-        buffer.coherence.mark_modified(queue.server.name)
+        self.driver.note_host_write(buffer, queue.server.name)
         if blocking and event.resolved:
             self.clock.advance_to(event.completion_arrival)
         return event
@@ -421,7 +422,7 @@ class DOpenCLAPI:
         # transfer that never happened.
         siblings: List[BufferStub] = []
         if blocking and self.driver.coalesce_reads:
-            source = buffer.coherence.client_download_source()
+            source = buffer.planner.client_download_source()
             if source is not None:
                 siblings = self.driver.read_gang_candidates(buffer, source)
                 if siblings:
@@ -429,11 +430,12 @@ class DOpenCLAPI:
                     for sibling in siblings:
                         handles.extend(self.driver.buffer_sync_handles(sibling))
                     self.driver.flush_for_handles(handles)
-        plan = buffer.coherence.acquire_read("client")
+        buffer.planner.note_client_demand()
+        plan = buffer.planner.acquire_read("client")
         if plan:
             items = [(buffer, plan)]
             items.extend(
-                (sibling, sibling.coherence.acquire_read("client"))
+                (sibling, sibling.planner.acquire_read("client"))
                 for sibling in siblings
             )
             self.driver.run_transfer_plans(items, queue, read_group=bool(siblings))
@@ -459,14 +461,16 @@ class DOpenCLAPI:
             nbytes = src.size - src_offset
         # Client-mediated copy: validate the client's copy of src, update
         # dst on the client, push dst to the queue's server.
-        plan = src.coherence.acquire_read("client")
+        src.planner.note_client_demand()
+        plan = src.planner.acquire_read("client")
         self.driver.run_transfer_plan(src, plan, queue)
-        if not dst.coherence.is_valid("client") and (dst_offset != 0 or nbytes != dst.size):
-            self.driver.run_transfer_plan(dst, dst.coherence.acquire_read("client"), queue)
+        if not dst.planner.is_valid("client") and (dst_offset != 0 or nbytes != dst.size):
+            dst.planner.note_client_demand()
+            self.driver.run_transfer_plan(dst, dst.planner.acquire_read("client"), queue)
         dst.write_host(dst_offset, src.read_host(src_offset, nbytes))
         event = self.driver.new_event_stub(queue.context, queue.server.name, CL_COMMAND_WRITE_BUFFER)
         self._upload_with_event(dst, queue, event, wait_for)
-        dst.coherence.mark_modified(queue.server.name)
+        self.driver.note_host_write(dst, queue.server.name)
         return event
 
     def _check_queue_buffer(self, queue: QueueStub, buffer: BufferStub) -> None:
@@ -889,7 +893,7 @@ class DOpenCLAPI:
         for buffer in kernel.buffer_args():
             if buffer.flags & CL_MEM_WRITE_ONLY and buffer.pristine:
                 continue
-            plans.append((buffer, buffer.coherence.acquire_read(server.name)))
+            plans.append((buffer, buffer.planner.acquire_read(server.name)))
         self.driver.run_transfer_plans(plans, queue)
         event = self.driver.new_event_stub(queue.context, server.name, CL_COMMAND_NDRANGE_KERNEL)
         # Recorded on the stubs (not just the windowed command) so the
@@ -906,11 +910,16 @@ class DOpenCLAPI:
         # arguments, and *writes* its event plus the buffers the kernel
         # may modify — which is how targeted sync points (event waits,
         # blocking reads of an output buffer) find this command.
-        written = [
-            kernel.args[i].id
+        written_buffers = [
+            kernel.args[i]
             for i in kernel.writable_buffer_args
             if isinstance(kernel.args[i], BufferStub)
         ]
+        # Push hints ride the launch (planned *before* the write below
+        # bumps the epochs, labeled with the epoch the write creates):
+        # buffers whose access history shows a stable producer->consumer
+        # edge ask the daemon to stream the replica at completion.
+        push_hints = self.driver.plan_push_hints(written_buffers, server.name)
         self.driver.defer(
             server,
             P.EnqueueKernelRequest(
@@ -922,24 +931,23 @@ class DOpenCLAPI:
                 global_offset=[int(v) for v in global_offset] if global_offset else [],
                 wait_event_ids=[e.id for e in (wait_for or [])],
                 replica_servers=self.driver.replica_broadcast_targets(event),
+                push_hints=push_hints,
             ),
             reads=(
                 [queue.id, kernel.id]
                 + [e.id for e in (wait_for or [])]
                 + [b.id for b in kernel.buffer_args()]
             ),
-            writes=[event.id] + written,
+            writes=[event.id] + [b.id for b in written_buffers],
         )
         # The kernel (may have) modified its writable buffer arguments:
         # that server's copies become Modified, everything else Invalid.
         # (Client-side directory state — updated eagerly; the data effect
         # happens when the window flushes, before anything re-reads it.)
-        for index in kernel.writable_buffer_args:
-            value = kernel.args[index]
-            if isinstance(value, BufferStub):
-                value.coherence.mark_modified(server.name)
-                value.pristine = False
-                value.last_write_event = event.id
+        for value in written_buffers:
+            self.driver.note_kernel_write(value, server.name)
+            value.pristine = False
+            value.last_write_event = event.id
         return event
 
     # -- events -------------------------------------------------------------------------

@@ -85,7 +85,8 @@ from repro.core.client.stubs import (
     UserEventStub,
 )
 from repro.core.client.resilience import RetryPolicy, cl_error_for
-from repro.core.coherence.directory import CLIENT, Transfer, split_transfer_plan
+from repro.core.coherence.directory import CLIENT, Transfer
+from repro.core.coherence.planner import split_transfer_plan
 from repro.core.devmgr.config import parse_devmgr_config
 from repro.core.protocol import messages as P
 from repro.hw.node import Host
@@ -148,6 +149,7 @@ class DOpenCLDriver:
         defer_creations: bool = True,
         coalesce_transfers: bool = True,
         coalesce_reads: bool = True,
+        push_transfers: bool = True,
         retry_policy: Optional[RetryPolicy] = None,
         program_cache: bool = True,
     ) -> None:
@@ -193,6 +195,27 @@ class DOpenCLDriver:
         #: restores one fetch per read — the ablation flag mirroring
         #: ``coalesce_transfers``.
         self.coalesce_reads = bool(coalesce_reads)
+        #: When True (default) the coherence layer is *push-capable*
+        #: (PR 9): kernel launches carry the
+        #: :class:`~repro.core.coherence.planner.TransferPlanner`'s push
+        #: hints, the owning daemon streams predicted replicas at kernel
+        #: completion (client-destined copies ride the completion
+        #: notification, peer-destined ones the s2s mesh), and the sync
+        #: points here *consume* staged pushes — validating the epoch —
+        #: instead of orchestrating demand transfers.  False restores
+        #: pure demand-driven coherence: no hints, no staging, byte- and
+        #: plan-identical to the pre-push directory (the ablation flag
+        #: mirroring ``coalesce_transfers``).
+        self.push_transfers = bool(push_transfers)
+        #: ``buffer id -> (epoch, payload, arrival)``: client-destined
+        #: replica bytes that arrived on a completion notification,
+        #: awaiting an epoch-validated apply at a sync point.
+        self._staged_pushes: Dict[int, Tuple[int, object, float]] = {}
+        #: ``buffer id -> (epoch, daemon name)``: commit records for
+        #: replicas staged *at a peer daemon*, awaiting the deferred
+        #: :class:`~repro.core.protocol.messages.PushCommit` a planned
+        #: server-to-server leg converts them into.
+        self._peer_commits: Dict[int, Tuple[int, str]] = {}
         #: When True (default) creation calls are *handle promises*:
         #: they join the send windows like any enqueue-class command and
         #: daemon-side failures surface at the next sync point touching
@@ -403,9 +426,15 @@ class DOpenCLDriver:
             for buffer in context.live_buffers:
                 if buffer.released:
                     continue
-                self.stats.evicted_replicas += buffer.coherence.evict(
+                self.stats.evicted_replicas += buffer.planner.evict(
                     conn.name, reason=f"daemon {conn.name!r} died: {detail}"
                 )
+        # Commit records destined for the dead daemon can never be
+        # applied (the staged bytes died with its process).
+        for buffer_id, (_epoch, target) in list(self._peer_commits.items()):
+            if target == conn.name:
+                del self._peer_commits[buffer_id]
+                self.stats.wasted_pushes += 1
         if self._deferred_failure is None:
             response = P.Ack(error=int(code), detail=poison[1])
             self._deferred_failure = (None, response, self.clock.now)
@@ -1055,6 +1084,11 @@ class DOpenCLDriver:
     def _install_notification_handlers(self) -> None:
         @self.gcf.on_notification(P.EventCompleteNotification)
         def on_event_complete(msg: P.EventCompleteNotification, arrival: float, sender: GCFProcess):
+            # Push piggybacks stage before anything else — even when the
+            # event stub is already gone (an internal transfer event the
+            # client stopped tracking still carries valid staged bytes).
+            if msg.push_buffer_ids:
+                self._record_pushes(msg, arrival)
             stub = self._events.get(msg.event_id)
             if stub is None:
                 return
@@ -1187,6 +1221,150 @@ class DOpenCLDriver:
         return stub
 
     # ------------------------------------------------------------------
+    # daemon-initiated pushes (PR 9)
+    # ------------------------------------------------------------------
+    def note_kernel_write(self, buffer: BufferStub, party: str) -> None:
+        """Record a kernel's whole-object write of ``buffer`` on
+        ``party`` with the buffer's planner (directory ``mark_modified``
+        plus epoch/history bookkeeping) and eagerly discard any staged
+        push the new epoch just invalidated."""
+        buffer.planner.note_kernel_write(party)
+        self._discard_stale_pushes(buffer)
+
+    def note_host_write(self, buffer: BufferStub, party: str) -> None:
+        """Like :meth:`note_kernel_write` for host-supplied writes
+        (``clEnqueueWriteBuffer`` / copy destinations): bumps the epoch
+        without entering the prediction history."""
+        buffer.planner.note_host_write(party)
+        self._discard_stale_pushes(buffer)
+
+    def _discard_stale_pushes(self, buffer: BufferStub) -> None:
+        """A new write epoch makes any staged push for ``buffer``
+        unconsumable (its epoch can never match again): drop it now and
+        count the speculation as wasted."""
+        if self._staged_pushes.pop(buffer.id, None) is not None:
+            self.stats.wasted_pushes += 1
+        if self._peer_commits.pop(buffer.id, None) is not None:
+            self.stats.wasted_pushes += 1
+
+    def plan_push_hints(
+        self, buffers: Sequence[BufferStub], server_name: str
+    ) -> Optional[List[Dict[str, object]]]:
+        """The push hints riding a kernel launch on ``server_name``
+        whose writable arguments are ``buffers``: one hint per buffer
+        with a stable producer->consumer edge
+        (:meth:`~repro.core.coherence.planner.TransferPlanner.
+        predict_push_target`), labeled with the epoch the kernel's
+        write is about to create.  ``None`` (field omitted from the
+        wire) when pushes are off or nothing predicts — the launch
+        encoding is then byte-identical to the pre-push format."""
+        if not self.push_transfers:
+            return None
+        hints: List[Dict[str, object]] = []
+        seen: Set[int] = set()
+        for buffer in buffers:
+            if buffer.id in seen or buffer.size <= 0:
+                continue
+            seen.add(buffer.id)
+            target = buffer.planner.predict_push_target(server_name)
+            if target is None:
+                continue
+            if target != CLIENT:
+                dst = self._connections.get(target)
+                if dst is None or not dst.connected or dst.dead:
+                    continue
+            hints.append(
+                {
+                    "buffer_id": buffer.id,
+                    "epoch": buffer.planner.epoch + 1,
+                    "target": target,
+                }
+            )
+            self.stats.speculative_pushes += 1
+        return hints or None
+
+    def _record_pushes(self, msg: P.EventCompleteNotification, arrival: float) -> None:
+        """Stage the push piggyback of a completion notification.
+
+        Client-destined payloads park in :attr:`_staged_pushes`;
+        peer-destined commit records in :attr:`_peer_commits`.  Nothing
+        is applied here — a notification handler must not touch buffer
+        bytes or directory state; sync points consume the staging under
+        the epoch check.  Overwriting an unconsumed entry counts it
+        wasted (a newer push exists only because a newer epoch does,
+        so the old entry could never have been applied)."""
+        if not self.push_transfers:
+            return
+        for buffer_id, epoch, target, payload in zip(
+            msg.push_buffer_ids, msg.push_epochs, msg.push_targets, msg.push_payloads
+        ):
+            if target == CLIENT:
+                if self._staged_pushes.pop(buffer_id, None) is not None:
+                    self.stats.wasted_pushes += 1
+                self._staged_pushes[buffer_id] = (epoch, payload, arrival)
+            else:
+                dst = self._connections.get(target)
+                if dst is None or not dst.connected or dst.dead:
+                    # Staged at a daemon this client can no longer
+                    # commit to: the speculation is lost.
+                    self.stats.wasted_pushes += 1
+                    continue
+                if self._peer_commits.pop(buffer_id, None) is not None:
+                    self.stats.wasted_pushes += 1
+                self._peer_commits[buffer_id] = (epoch, target)
+
+    def _apply_staged_push(self, buffer: BufferStub) -> bool:
+        """Consume a staged client-destined push for ``buffer``: apply
+        the bytes and return True iff the staged epoch matches the
+        buffer's *current* epoch (no write was enqueued since the push
+        was hinted — the bytes are provably the current version).  A
+        stale entry is dropped and counted wasted.  Pure check-and-
+        apply: never flushes, so the caller's (single) flush is the
+        same one the demand path performs."""
+        staged = self._staged_pushes.pop(buffer.id, None)
+        if staged is None:
+            return False
+        epoch, payload, arrival = staged
+        if epoch != buffer.planner.epoch:
+            self.stats.wasted_pushes += 1
+            return False
+        buffer.data[:] = as_uint8_array(payload)
+        self.clock.advance_to(arrival)
+        self.stats.push_commits += 1
+        return True
+
+    def _apply_peer_push(self, buffer: BufferStub, dst_name: str) -> bool:
+        """Convert a staged peer push into its deferred
+        :class:`~repro.core.protocol.messages.PushCommit`, replacing a
+        planned ``src -> dst_name`` demand hop.  The commit joins
+        ``dst``'s send window (zero round trips now) annotated as
+        writing the buffer handle: per-daemon program order lands the
+        apply before any deferred command that reads the replica, so —
+        unlike the demand path — no destination flush is needed.
+        Returns True iff the epoch check passed and the commit was
+        deferred; a stale or undeliverable record is dropped and
+        counted wasted."""
+        record = self._peer_commits.get(buffer.id)
+        if record is None or record[1] != dst_name:
+            return False
+        del self._peer_commits[buffer.id]
+        epoch, _target = record
+        if epoch != buffer.planner.epoch:
+            self.stats.wasted_pushes += 1
+            return False
+        dst = self._connections.get(dst_name)
+        if dst is None or not dst.connected or dst.dead:
+            self.stats.wasted_pushes += 1
+            return False
+        self.defer(
+            dst,
+            P.PushCommit(buffer_id=buffer.id, epoch=epoch),
+            writes=[buffer.id],
+        )
+        self.stats.push_commits += 1
+        return True
+
+    # ------------------------------------------------------------------
     # coherence transfer execution (Section III-D / III-F)
     # ------------------------------------------------------------------
     def internal_queue(self, context: ContextStub, server_name: str) -> QueueStub:
@@ -1236,15 +1414,26 @@ class DOpenCLDriver:
         writer has already *resolved* — an unresolved producer may be
         gated on an event the application controls (a pending user
         event), and fusing it would fail the whole fetch for data the
-        caller never asked about.  Released buffers are pruned from the
-        context's registry on the way through."""
+        caller never asked about.  When ``push_transfers`` is on,
+        candidacy is also access-pattern gated
+        (:meth:`~repro.core.coherence.planner.TransferPlanner.
+        gang_candidate`): a sibling with write history the client never
+        demand-reads is server-side working state, not a pending result
+        — revalidating it buys nothing.  The gate rides the ablation
+        flag because it is the access-pattern half of the PR-9
+        replication schedule: with pushes off the gang is computed
+        exactly as before the refactor (the planner-equivalence
+        property).  Released buffers are pruned from the context's
+        registry on the way through."""
         context = buffer.context
         context.live_buffers = [b for b in context.live_buffers if not b.released]
         candidates: List[BufferStub] = []
         for sibling in context.live_buffers:
             if sibling is buffer or sibling.size <= 0:
                 continue
-            if sibling.coherence.client_download_source() != source:
+            if sibling.planner.client_download_source() != source:
+                continue
+            if self.push_transfers and not sibling.planner.gang_candidate():
                 continue
             if sibling.last_write_event is not None:
                 stub = self._events.get(sibling.last_write_event)
@@ -1435,6 +1624,12 @@ class DOpenCLDriver:
             self.buffer_sync_handles(buffer) + self.queue_sync_handles(queue),
             raise_errors=False,
         )
+        # A staged push with the current epoch already carries exactly
+        # the bytes this fetch would download: consume it and skip the
+        # round trip (the flush above is the same one the demand path
+        # performs, so push-off behaviour is untouched).
+        if self.push_transfers and self._apply_staged_push(buffer):
+            return
         def make_request():
             # Fresh transfer event per attempt: the daemon registers the
             # event ID before streaming data back, so a retried fetch
@@ -1454,7 +1649,10 @@ class DOpenCLDriver:
         except CLError as exc:
             # The directory already marked the client copy valid
             # (acquire_read is optimistic); the bytes never arrived.
-            buffer.coherence.abort_client_fetch(
+            # A push staged meanwhile stays parked: the rollback must
+            # not resurrect the optimistic acquire — only a *planned*
+            # retry read may consume it.
+            buffer.planner.abort_client_fetch(
                 f"download from {server_name!r} failed: {exc}"
             )
             raise
@@ -1477,31 +1675,40 @@ class DOpenCLDriver:
         for buffer in buffers:
             handles.extend(self.buffer_sync_handles(buffer))
         seen = self.flush_for_handles(handles, raise_errors=False)
+        # Sections already staged by a current-epoch push drop out of
+        # the fetch; with every section staged the round trip vanishes
+        # entirely.  Push-off leaves ``remaining == buffers`` and the
+        # path below byte-identical to before.
+        remaining = list(buffers)
+        if self.push_transfers:
+            remaining = [b for b in buffers if not self._apply_staged_push(b)]
+            if not remaining:
+                return
         def make_request():
             # Fresh transfer events per attempt (see _download_from_server).
             event_ids = [
                 self._new_transfer_event(buffer.context, server_name).id
-                for buffer in buffers
+                for buffer in remaining
             ]
             return P.CoalescedBufferDownload(
                 queue_id=queue.id,
-                buffer_ids=[b.id for b in buffers],
+                buffer_ids=[b.id for b in remaining],
                 event_ids=event_ids,
-                nbytes_list=[b.size for b in buffers],
+                nbytes_list=[b.size for b in remaining],
             )
 
         self.stats.coalesced_downloads += 1
-        self.stats.coalesced_download_sections += len(buffers)
+        self.stats.coalesced_download_sections += len(remaining)
         try:
             _response, payload, _arrival = self._fetch_bulk_prefixed(conn, make_request, seen)
         except CLError as exc:
-            for buffer in buffers:  # optimistic acquire_read: see above
-                buffer.coherence.abort_client_fetch(
+            for buffer in remaining:  # optimistic acquire_read: see above
+                buffer.planner.abort_client_fetch(
                     f"download from {server_name!r} failed: {exc}"
                 )
             raise
-        sections = split_sections(payload, [b.size for b in buffers])
-        for buffer, data in zip(buffers, sections):
+        sections = split_sections(payload, [b.size for b in remaining])
+        for buffer, data in zip(remaining, sections):
             buffer.data[:] = data
 
     def _server_to_server(self, buffer: BufferStub, src_name: str, dst_name: str) -> None:
@@ -1511,6 +1718,10 @@ class DOpenCLDriver:
         # produced elsewhere) — drain the buffer's dependency closure so
         # the peer copy ships the completed state.
         self.flush_for_handles(self.buffer_sync_handles(buffer), raise_errors=False)
+        # A replica already staged at the destination by a current-epoch
+        # push replaces the whole demand hop with one deferred commit.
+        if self.push_transfers and self._apply_peer_push(buffer, dst_name):
+            return
         src = self.connection(src_name)
         # The destination's window may hold commands that must precede the
         # incoming copy (buffer-state order is per-daemon).
@@ -1535,18 +1746,26 @@ class DOpenCLDriver:
         for buffer in buffers:
             handles.extend(self.buffer_sync_handles(buffer))
         self.flush_for_handles(handles, raise_errors=False)
+        # Sections already staged at the destination commit via their
+        # deferred PushCommit and drop out of the batch (see
+        # :meth:`_apply_peer_push`); push-off leaves the batch whole.
+        remaining = list(buffers)
+        if self.push_transfers:
+            remaining = [b for b in buffers if not self._apply_peer_push(b, dst_name)]
+            if not remaining:
+                return
         src = self.connection(src_name)
         dst = self._connections.get(dst_name)
         if dst is not None and dst.connected:
             self.flush_connection(dst)
         self.stats.coalesced_peer_transfers += 1
-        self.stats.coalesced_peer_transfer_sections += len(buffers)
+        self.stats.coalesced_peer_transfer_sections += len(remaining)
         self.roundtrip(
             src,
             P.BufferPeerTransferBatch(
                 peer_name=dst_name,
-                buffer_ids=[b.id for b in buffers],
-                nbytes_list=[b.size for b in buffers],
+                buffer_ids=[b.id for b in remaining],
+                nbytes_list=[b.size for b in remaining],
             ),
         )
 

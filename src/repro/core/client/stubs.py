@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.clc.driver import program_digest
 from repro.core.coherence.directory import MOSIDirectory, MSIDirectory
+from repro.core.coherence.planner import TransferPlanner
 from repro.ocl.constants import (
     CL_COMMAND_USER,
     CL_COMPLETE,
@@ -174,6 +175,10 @@ class BufferStub:
         if directory_cls is None:
             raise CLError(ErrorCode.CL_INVALID_VALUE, f"unknown coherence protocol {protocol!r}")
         self.coherence = directory_cls(context.server_names)
+        #: The planning facade every coherence operation routes through
+        #: (PR 9): delegates state to ``self.coherence``, records the
+        #: per-epoch access history and emits push hints.
+        self.planner = TransferPlanner(self.coherence)
         #: ID of the event produced by the last forwarded command that
         #: writes this buffer — a kernel launch or a gated upload (None
         #: before any).  Sync points that target the buffer (blocking

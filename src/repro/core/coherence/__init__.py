@@ -1,4 +1,11 @@
-"""Memory-object coherence protocols (Section III-D / III-F)."""
+"""Memory-object coherence protocols (Section III-D / III-F).
+
+Split in two layers since PR 9: :mod:`repro.core.coherence.directory`
+holds the pure protocol state machines, and
+:mod:`repro.core.coherence.planner` the :class:`TransferPlanner` facade
+that records per-buffer access history and emits the push hints behind
+daemon-initiated replication.
+"""
 
 from repro.core.coherence.directory import (
     CoherenceError,
@@ -7,5 +14,14 @@ from repro.core.coherence.directory import (
     State,
     Transfer,
 )
+from repro.core.coherence.planner import TransferPlanner, split_transfer_plan
 
-__all__ = ["CoherenceError", "MOSIDirectory", "MSIDirectory", "State", "Transfer"]
+__all__ = [
+    "CoherenceError",
+    "MOSIDirectory",
+    "MSIDirectory",
+    "State",
+    "Transfer",
+    "TransferPlanner",
+    "split_transfer_plan",
+]

@@ -132,6 +132,15 @@ class Daemon:
         #: Peer daemons by name, for server-to-server transfers
         #: (Section III-F).  Wired by the client driver on connect.
         self.peer_daemons: Dict[str, "Daemon"] = {}
+        #: ``(client name, buffer id) -> (epoch, bytes, available_at)``:
+        #: replica bytes pushed here speculatively by the owning daemon
+        #: (:class:`~repro.core.protocol.messages.PeerPushRequest`),
+        #: parked until the client's deferred
+        #: :class:`~repro.core.protocol.messages.PushCommit` validates
+        #: the epoch and applies them.  A newer push for the same key
+        #: overwrites (the commit for the older one would fail its epoch
+        #: check anyway); volatile — dies with :meth:`crash`.
+        self._push_staging: Dict[Tuple[str, int], Tuple[int, bytes, float]] = {}
         #: Section III-F extension: when True, this daemon broadcasts event
         #: completions directly to the peer daemons holding the user-event
         #: replicas ("event status can be broadcasted directly by the
@@ -268,6 +277,7 @@ class Daemon:
         state after a :meth:`restart`."""
         self.registry = Registry()
         self._pending_event_status.clear()
+        self._push_staging.clear()
         self.client_auth.clear()
         self.auth_devices.clear()
         self.gcf.peers.clear()
@@ -282,12 +292,17 @@ class Daemon:
         """Bring a crashed daemon back up with empty state.
 
         The registry and sessions were already wiped by :meth:`crash`;
-        a restart merely re-runs managed-mode registration (a fresh
-        process re-announcing its devices).  Clients must reconnect —
+        a restart re-runs managed-mode registration (a fresh process
+        re-announcing its devices) and then **rehydrates the program
+        build cache** from one sibling daemon over the s2s mesh
+        (:meth:`_rehydrate_build_cache`) — the cluster binary registry
+        outlives any single daemon, so reconnecting clients hit warm
+        builds instead of recompiling.  Clients must still reconnect —
         their old sessions died with the process, and a reconnecting
         driver bumps its connection ``epoch`` so replayed batches from
         the previous life can never dedupe against the new one."""
-        return self.start(t)
+        t = self.start(t)
+        return self._rehydrate_build_cache(t)
 
     def start(self, t: float = 0.0) -> float:
         """Register with the device manager when in managed mode; returns
@@ -333,6 +348,37 @@ class Daemon:
                 continue
             if peer.buildcache.install_entry(entry):
                 self.gcf.stats.binaries_shipped += 1
+
+    def _rehydrate_build_cache(self, t: float) -> float:
+        """Repopulate an empty (post-:meth:`crash`) build cache from the
+        first reachable sibling daemon that has entries: one
+        ``s2s-binary`` transfer per adopted entry, counted in
+        ``NetStats.cache_entries_rehydrated``.  Siblings are tried in
+        name order for determinism; a partitioned sibling is skipped
+        (best-effort, like :meth:`_ship_build_entry`).  Returns the time
+        the rehydration traffic lands."""
+        if self.buildcache is None:
+            return t
+        for peer in sorted(self.peer_daemons.values(), key=lambda d: d.name):
+            if peer is self or peer.buildcache is None:
+                continue
+            entries = peer.buildcache.entries()
+            if not entries:
+                continue
+            adopted = 0
+            try:
+                for entry in entries:
+                    t = self.network.transfer(
+                        peer.host, self.host, t, entry.nbytes, tag="s2s-binary"
+                    )
+                    if self.buildcache.install_entry(entry):
+                        self.gcf.stats.cache_entries_rehydrated += 1
+                        adopted += 1
+            except CommunicationError:
+                continue  # partitioned mid-pull: try the next sibling
+            if adopted:
+                return t
+        return t
 
     def _resolve_build(
         self, program: Program, options: str, t: float
@@ -856,6 +902,34 @@ class Daemon:
             except CLError as exc:
                 return P.Ack(error=exc.code.value, detail=exc.message), t
 
+        @gcf.on_request(P.PushCommit)
+        def push_commit(msg: P.PushCommit, t: float, sender: GCFProcess):
+            # The client-authorised apply of a speculative peer push
+            # (PR 9): pop the staged bytes this daemon parked in
+            # ``receive_peer_push`` and, if their epoch matches the one
+            # the client's sync point validated, write them into the
+            # replica.  Riding the destination's send window in program
+            # order guarantees the apply lands before any deferred
+            # command that reads the replica.  Missing or stale staging
+            # (only reachable after a crash wiped the staging table, or
+            # a replayed commit) answers a deterministic error; the
+            # commit's mutation extractor then poisons the buffer, so
+            # the stale replica can never be silently read.
+            try:
+                buffer = self.registry.get(sender.name, msg.buffer_id, Buffer)
+                staged = self._push_staging.pop((sender.name, msg.buffer_id), None)
+                if staged is None or staged[0] != msg.epoch:
+                    raise CLError(
+                        ErrorCode.CL_INVALID_OPERATION,
+                        f"daemon {self.name!r}: no staged push for buffer "
+                        f"{msg.buffer_id} at epoch {msg.epoch}",
+                    )
+                _epoch, data, available_at = staged
+                buffer.write(0, as_uint8_array(data))
+                return P.Ack(), max(t, available_at)
+            except CLError as exc:
+                return P.Ack(error=exc.code.value, detail=exc.message), t
+
         # -- programs / kernels ----------------------------------------------
         @gcf.on_request(P.CreateProgramRequest)
         def create_program_init(msg: P.CreateProgramRequest, t: float, sender: GCFProcess):
@@ -1051,7 +1125,11 @@ class Daemon:
                 )
                 self.registry.put(sender.name, msg.event_id, event)
                 self._arm_completion_callback(
-                    event, msg.event_id, sender, replica_servers=msg.replica_servers
+                    event,
+                    msg.event_id,
+                    sender,
+                    replica_servers=msg.replica_servers,
+                    push_hints=msg.push_hints,
                 )
                 return P.EnqueueKernelResponse(), t
             except CLError as exc:
@@ -1135,12 +1213,101 @@ class Daemon:
                 del self.client_auth[client]
 
     # ------------------------------------------------------------------
+    # daemon-initiated pushes (PR 9)
+    # ------------------------------------------------------------------
+    def receive_peer_push(
+        self, client_name: str, buffer_id: int, epoch: int, data: bytes, available_at: float
+    ) -> None:
+        """Park replica bytes pushed here by the owning daemon until the
+        client's deferred :class:`~repro.core.protocol.messages.
+        PushCommit` validates the epoch and applies them.  Never touches
+        the registry buffer — deferred commands already in this daemon's
+        window may legitimately read the pre-push version."""
+        self._push_staging[(client_name, buffer_id)] = (epoch, data, available_at)
+
+    def staged_pushes(self, client_name: str) -> int:
+        """How many pushed replicas are staged for ``client_name``
+        awaiting their commit (introspection for tests/``cachestat``)."""
+        return sum(1 for key in self._push_staging if key[0] == client_name)
+
+    def _execute_pushes(
+        self, push_hints: List[Dict[str, object]], client: GCFProcess, t_complete: float
+    ) -> Dict[str, list]:
+        """Execute the client's push hints at kernel completion: snapshot
+        each hinted buffer's post-kernel bytes and stream them toward the
+        predicted consumer, off the client's critical path.
+
+        A client-destined replica rides the completion notification
+        itself (``push_payloads``); a peer-destined one moves over the
+        s2s mesh as a :class:`~repro.core.protocol.messages.
+        PeerPushRequest` charged at ``s2s-push``, with only the commit
+        record (empty payload) riding the notification.  Either way the
+        notification's hint piggyback tells the client what was staged,
+        at which epoch — consumption and the epoch race are resolved
+        entirely client-side.  A severed push link or a missing replica
+        skips the hint (no counters, no commit record): the consumer
+        simply demand-fetches, bit-identically.  Returns the
+        ``EventCompleteNotification`` push fields (empty when nothing
+        executed)."""
+        ids: List[int] = []
+        epochs: List[int] = []
+        targets: List[str] = []
+        payloads: List[bytes] = []
+        for hint in push_hints:
+            buffer_id = int(hint["buffer_id"])
+            buffer = self.registry.peek(client.name, buffer_id)
+            if not isinstance(buffer, Buffer):
+                continue
+            target = str(hint["target"])
+            epoch = int(hint["epoch"])
+            data = bytes(buffer.array)
+            if target == "client":
+                payload = data
+            else:
+                peer = self.peer_daemons.get(target)
+                if peer is None or peer is self:
+                    continue
+                request = P.PeerPushRequest(
+                    buffer_id=buffer_id,
+                    client_name=client.name,
+                    epoch=epoch,
+                    nbytes=len(data),
+                )
+                try:
+                    arrival = self.network.transfer(
+                        self.host,
+                        peer.host,
+                        t_complete,
+                        request.wire_size + len(data),
+                        tag="s2s-push",
+                    )
+                except CommunicationError:
+                    continue  # degraded to demand fetch, never half-pushed
+                peer.receive_peer_push(client.name, buffer_id, epoch, data, arrival)
+                payload = b""
+            self.gcf.stats.daemon_pushes += 1
+            self.gcf.stats.push_bytes += len(data)
+            ids.append(buffer_id)
+            epochs.append(epoch)
+            targets.append(target)
+            payloads.append(payload)
+        if not ids:
+            return {}
+        return {
+            "push_buffer_ids": ids,
+            "push_epochs": epochs,
+            "push_targets": targets,
+            "push_payloads": payloads,
+        }
+
+    # ------------------------------------------------------------------
     def _arm_completion_callback(
         self,
         event: Event,
         event_id: int,
         client: GCFProcess,
         replica_servers: Optional[List[str]] = None,
+        push_hints: Optional[List[Dict[str, object]]] = None,
     ) -> None:
         """clSetEventCallback on the original event: notify the client on
         completion so it can replicate the status to user-event replicas
@@ -1158,11 +1325,22 @@ class Daemon:
         have no replicas and pass nothing."""
 
         def on_complete(_event, status, t_complete):
+            # Speculative pushes run first, at the kernel's completion
+            # time: the staged transfer overlaps the next iteration's
+            # compute instead of gating a later sync point.  A failed
+            # kernel pushes nothing — there are no post-kernel bytes to
+            # speculate on.
+            push_fields: Dict[str, list] = {}
+            if push_hints and status == 0:
+                push_fields = self._execute_pushes(push_hints, client, t_complete)
             self._send_from_callback(
                 lambda: self.gcf.notify(
                     client,
                     P.EventCompleteNotification(
-                        event_id=event_id, status=status, completed_at=t_complete
+                        event_id=event_id,
+                        status=status,
+                        completed_at=t_complete,
+                        **push_fields,
                     ),
                     t_complete,
                 )

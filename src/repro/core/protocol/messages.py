@@ -283,6 +283,46 @@ class BufferPeerTransferBatch(Request):
     nbytes_list: List[int]
 
 
+@message_type
+class PeerPushRequest(Request):
+    """Daemon-initiated server-to-server replica push (PR 9).
+
+    Sent by the daemon that just completed a kernel write, directly to
+    the predicted consumer daemon over the s2s peer mesh — no client
+    round trip anywhere on the path.  The receiver *stages* the pushed
+    bytes keyed ``(client_name, buffer_id)`` instead of writing its
+    registry copy: commands already deferred in the receiver's send
+    window may legitimately read the pre-push version, so the staged
+    bytes only land when the owning client's :class:`PushCommit`
+    arrives in program order.  ``epoch`` is the buffer's sync epoch the
+    push belongs to (see
+    :class:`~repro.core.coherence.planner.TransferPlanner`): a push
+    that lost a race with a newer write is discarded by epoch check,
+    never observed."""
+
+    buffer_id: int
+    client_name: str
+    epoch: int
+    nbytes: int
+
+
+@message_type
+class PushCommit(Request):
+    """Client -> consumer daemon: land a staged speculative push.
+
+    Deferrable (rides the consumer daemon's send window, zero round
+    trips): the client's sync point validated the push's commit record
+    against the buffer's current epoch, and program order lands the
+    apply before the consuming command.  The handler pops the staged
+    bytes into the registry copy; a missing or epoch-mismatched staging
+    entry (possible only after the consumer daemon crashed) is answered
+    with a deterministic error that surfaces at the next sync point —
+    it never writes stale bytes."""
+
+    buffer_id: int
+    epoch: int
+
+
 # ----------------------------------------------------------------------
 # programs / kernels
 # ----------------------------------------------------------------------
@@ -447,7 +487,16 @@ class EnqueueKernelRequest(Request):
 
     ``replica_servers`` names the peer daemons holding user-event
     replicas of ``event_id`` (see :class:`BufferDataUpload`); only
-    populated when the owning daemon runs the direct broadcast."""
+    populated when the owning daemon runs the direct broadcast.
+
+    ``push_hints`` piggybacks the client planner's directory hints
+    (PR 9): one dict per writable buffer argument whose access history
+    shows a stable producer->consumer edge, carrying ``buffer_id``,
+    the ``epoch`` this launch's write creates and the ``target`` party
+    (``"client"`` or a peer daemon name).  At kernel completion the
+    daemon streams the written replica toward the target speculatively
+    (see :class:`PeerPushRequest`); absent under the ``push_transfers``
+    ablation flag."""
 
     queue_id: int
     kernel_id: int
@@ -457,6 +506,7 @@ class EnqueueKernelRequest(Request):
     global_offset: List[int] = None
     wait_event_ids: List[int] = None
     replica_servers: List[str] = None
+    push_hints: List[Dict[str, object]] = None
 
 
 @message_type
@@ -514,11 +564,24 @@ class ReleaseEventRequest(Request):
 @message_type
 class EventCompleteNotification(Notification):
     """Sent by the daemon owning the original event when its status
-    changes to CL_COMPLETE (registered via ``clSetEventCallback``)."""
+    changes to CL_COMPLETE (registered via ``clSetEventCallback``).
+
+    The push protocol's commit records ride this notification (PR 9):
+    when the completed kernel carried ``push_hints``, the parallel
+    ``push_*`` lists describe each push the daemon executed —
+    ``push_targets[i]`` is ``"client"`` or a peer daemon name,
+    ``push_payloads[i]`` carries the replica bytes for client-destined
+    pushes (empty for peer pushes, whose bytes moved daemon-to-daemon),
+    and ``push_epochs[i]`` the sync epoch the client validates before
+    consuming.  One notification, zero extra round trips."""
 
     event_id: int
     status: int
     completed_at: float
+    push_buffer_ids: List[int] = None
+    push_epochs: List[int] = None
+    push_targets: List[str] = None
+    push_payloads: List[bytes] = None
 
 
 # ----------------------------------------------------------------------
@@ -656,6 +719,7 @@ DEFERRABLE = frozenset(
         CreateKernelRequest,
         SetKernelArgRequest,
         EnqueueKernelRequest,
+        PushCommit,
         CreateUserEventRequest,
         SetUserEventStatusRequest,
         FlushRequest,
@@ -709,6 +773,10 @@ _HANDLE_EXTRACTORS: Dict[type, Callable[[Request], Tuple[FrozenSet[int], FrozenS
         frozenset({m.queue_id, m.kernel_id} | set(m.wait_event_ids or [])),
         frozenset({m.event_id}),
     ),
+    # A push commit both reads and rewrites the buffer's daemon copy:
+    # reads for the window graph (the consuming command's closure must
+    # drain it), mutation for poisoning (see _MUTATION_EXTRACTORS).
+    PushCommit: lambda m: (frozenset({m.buffer_id}), _EMPTY),
     CreateUserEventRequest: lambda m: (
         frozenset({m.context_id}),
         frozenset({m.event_id}),
@@ -727,6 +795,11 @@ _HANDLE_EXTRACTORS: Dict[type, Callable[[Request], Tuple[FrozenSet[int], FrozenS
 #: binding and silently writing the wrong buffer).
 _MUTATION_EXTRACTORS: Dict[type, Callable[[Request], FrozenSet[int]]] = {
     SetKernelArgRequest: lambda m: frozenset({m.kernel_id}),
+    # A failed (or poison-skipped) push commit leaves the daemon's
+    # buffer copy at the pre-push version while the client's directory
+    # believes the current one landed — poison the buffer so nothing
+    # executes against the stale bytes.
+    PushCommit: lambda m: frozenset({m.buffer_id}),
     # A cached build mutates the program into its built state; if the
     # daemon cannot resolve it (the client observed the outcome locally
     # and will not re-check), the divergent handle must not be used.

@@ -221,6 +221,38 @@ class NetStats:
         refunded (a float — the one non-integer counter): incremented
         by the skipped compile's duration on every ``build_cache_hits``
         / ``negative_build_hits`` event.
+    ``cache_entries_rehydrated``
+        Daemon-side: build-cache entries re-installed from a sibling
+        daemon's cache during ``Daemon.restart()`` — the crashed
+        daemon pulls the cluster registry back over the s2s mesh
+        instead of recompiling.
+
+    ``speculative_pushes``
+        Client-side: push hints the transfer planner attached to
+        kernel launches (one per writable buffer argument with a
+        stable producer->consumer edge).  Zero under
+        ``push_transfers=False``.
+    ``daemon_pushes`` / ``push_bytes``
+        Daemon-side: speculative replica pushes this daemon executed
+        at kernel completion (client-destined payloads riding the
+        completion notification, or direct s2s pushes to a peer
+        daemon), and the payload bytes they carried.  A push whose
+        transfer failed (severed link) is not counted — the consumer
+        demand-fetches instead.  Without faults, the sum over daemons
+        equals the clients' ``speculative_pushes``.
+    ``push_commits``
+        Client-side: staged pushes whose epoch matched the buffer's
+        current epoch at a sync point and therefore replaced a demand
+        transfer (a client download served from staged bytes, or a
+        deferred :class:`~repro.core.protocol.messages.PushCommit`
+        replacing a peer-transfer round trip).
+    ``wasted_pushes``
+        Client-side: staged pushes / commit records discarded without
+        being consumed — a newer write bumped the buffer's epoch, or
+        the target daemon was declared dead.  Structurally
+        ``push_commits + wasted_pushes <= sum(daemon_pushes) <=
+        speculative_pushes``, and a discarded push is *never* observed
+        by application reads.
 
     ``round_trips`` (a property) is ``requests + batches + bulk_fetches``:
     every synchronous client<->server exchange the process blocked on.
@@ -268,6 +300,12 @@ class NetStats:
         "negative_build_hits",
         "binaries_shipped",
         "build_seconds_saved",
+        "cache_entries_rehydrated",
+        "speculative_pushes",
+        "daemon_pushes",
+        "push_bytes",
+        "push_commits",
+        "wasted_pushes",
     )
 
     def __init__(self) -> None:

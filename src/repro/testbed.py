@@ -69,6 +69,7 @@ def deploy_dopencl(
     defer_creations: bool = True,
     coalesce_transfers: bool = True,
     coalesce_reads: bool = True,
+    push_transfers: bool = True,
     retry_policy: Optional[RetryPolicy] = None,
     client_server_lists: Optional[List[List[str]]] = None,
     admission: Optional[AdmissionPolicy] = None,
@@ -90,7 +91,9 @@ def deploy_dopencl(
     extensions (all default on; turning all off reproduces the PR-1
     forwarding behaviour — the benchmark baseline: synchronous creation
     fan-outs, synchronous relays, per-transfer streams in every
-    direction, one fetch per blocking read).
+    direction, one fetch per blocking read).  ``push_transfers`` toggles
+    daemon-initiated predictive replication (PR 9) on every driver;
+    ``False`` restores pure demand-driven coherence.
 
     ``retry_policy`` installs client-side transport resilience (a
     :class:`~repro.core.client.resilience.RetryPolicy`) on every driver;
@@ -150,6 +153,7 @@ def deploy_dopencl(
             "defer_creations": defer_creations,
             "coalesce_transfers": coalesce_transfers,
             "coalesce_reads": coalesce_reads,
+            "push_transfers": push_transfers,
             "retry_policy": retry_policy,
             "program_cache": program_cache,
         }

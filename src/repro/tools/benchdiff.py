@@ -68,15 +68,21 @@ DEFAULT_TOLERANCES: Dict[str, float] = {
 }
 
 #: OSEM-snapshot keys -> relative tolerance (``BENCH_osem.json``): the
-#: reply-cache payoff counters of the repeated-arg workload, plus the
+#: reply-cache payoff counters of the repeated-arg workload, the
 #: program-build-cache floors (the cache-on/cache-off setup ablation
-#: pair and the one-compile-per-cluster repeat-setup phase) — all exact
-#: properties of the deterministic simulation.
+#: pair and the one-compile-per-cluster repeat-setup phase) and the
+#: push-transfer floor (steady-state iteration round trips with
+#: predictive pushes on vs the ``push_transfers=False`` ablation cell,
+#: plus the commit/waste tally) — all exact properties of the
+#: deterministic simulation.
 OSEM_TOLERANCES: Dict[str, float] = {
     "setup_round_trips": 0.0,
     "setup_round_trips_cache_off": 0.0,
     "programs_built": 0.0,
     "iteration_round_trips": 0.0,
+    "iteration_round_trips_push_off": 0.0,
+    "push_commits": 0.0,
+    "wasted_pushes": 0.0,
     "iteration_batched_commands": 0.0,
     "iteration_reply_cache_hits": 0.0,
     "iteration_decode_cache_hits": 0.0,

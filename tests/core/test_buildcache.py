@@ -133,3 +133,34 @@ def test_daemon_crash_drops_the_build_cache():
     # A fresh, empty cache: binaries are volatile in-memory state.
     assert daemon.buildcache is not before
     assert len(daemon.buildcache) == 0
+
+
+def test_daemon_restart_rehydrates_the_build_cache_from_a_sibling():
+    """ISSUE-9 satellite: the cluster binary registry outlives any one
+    daemon.  A build lands an entry on every sibling (binary shipping);
+    after a crash wipes one daemon's cache, ``restart()`` pulls the
+    entries back over the s2s mesh, counted in
+    ``NetStats.cache_entries_rehydrated``, and a lookup on the adopted
+    entry works."""
+    deployment = deploy_dopencl(make_ib_cpu_cluster(3))
+    api = deployment.api
+    devices = api.clGetDeviceIDs(api.clGetPlatformIDs()[0])
+    ctx = api.clCreateContext(devices)
+    queue = api.clCreateCommandQueue(ctx, devices[0])
+    program = api.clCreateProgramWithSource(ctx, _source(0))
+    api.clBuildProgram(program)
+    api.clFinish(queue)
+    victim = deployment.daemons[1]
+    assert len(victim.buildcache) == 1  # shipped by the building daemon
+    victim.crash()
+    assert len(victim.buildcache) == 0
+    victim.restart()
+    assert len(victim.buildcache) == 1
+    assert victim.gcf.stats.cache_entries_rehydrated == 1
+    adopted = victim.buildcache.lookup(program_digest(_source(0)), "")
+    assert adopted is not None and adopted.kind == "binary"
+    # A second crash/restart cycle rehydrates again — the counter is
+    # cumulative across incarnations.
+    victim.crash()
+    victim.restart()
+    assert victim.gcf.stats.cache_entries_rehydrated == 2

@@ -53,6 +53,38 @@ def test_multi_client_differential_holds_with_cache_off(seed, n_clients):
     assert summary["seed"] == seed
 
 
+#: Cells re-run with ``push_transfers=False``: daemon-initiated pushes
+#: are a pure transport optimisation too, so the solo differential must
+#: hold — and the ablation below must be observably identical — under
+#: multi-tenant interleaving, where a push staged for one client must
+#: never satisfy (or corrupt) another tenant's fetch.
+PUSH_OFF_CELLS = ((1, 2), (6, 3), (10, 4))
+
+
+@pytest.mark.parametrize("seed,n_clients", PUSH_OFF_CELLS)
+def test_multi_client_differential_holds_with_push_off(seed, n_clients):
+    summary = run_multi_seed(seed, n_clients, config="push_off")
+    assert summary["seed"] == seed
+
+
+@pytest.mark.parametrize("seed,n_clients", PUSH_OFF_CELLS)
+def test_push_ablation_is_observably_identical(seed, n_clients):
+    """ISSUE-9 satellite: speculative pushes never change observables
+    under contention.  The same program-of-programs runs once with
+    predictive pushes on and once with ``push_transfers=False``; every
+    client's reads, final buffer bytes, directory state, errors and
+    build logs must be bit-identical between the two deployments."""
+    mspec = generate_multi_program(seed, n_clients)
+    pushed, _ = run_multi_program(mspec, dict(CONFIGS["coalesced_on"]))
+    ablated, _ = run_multi_program(mspec, dict(CONFIGS["push_off"]))
+    for ci, (on, off) in enumerate(zip(pushed, ablated)):
+        for key in ("reads", "final", "directories", "errors", "build_logs"):
+            assert on[key] == off[key], (
+                f"seed {seed} clients {n_clients} client {ci}: push "
+                f"ablation changed {key}"
+            )
+
+
 @pytest.mark.parametrize("seed,n_clients", CACHE_OFF_CELLS)
 def test_program_cache_ablation_is_observably_identical(seed, n_clients):
     """Satellite: the build cache is a pure transport optimisation.

@@ -1,10 +1,11 @@
 """Tier-1 slice of the randomized differential conformance harness.
 
 Each seed generates a small workload DAG (multi-queue kernels,
-user-event gating, blocking/non-blocking transfers, ``clFlush`` /
-``clFinish``, a mid-run creation failure, duplicate-source and failing
-program builds) and runs it under the five pipeline configurations
-(sync oracle / batched / coalesced-off / coalesced-on / cache-off
+user-event gating, blocking/non-blocking transfers, producer->consumer
+iteration loops, ``clFlush`` / ``clFinish``, a mid-run creation
+failure, duplicate-source and failing program builds) and runs it
+under the six pipeline configurations (sync oracle / batched /
+coalesced-off / coalesced-on / cache-off ablation / push-off
 ablation), asserting bit-identical buffer contents, identical
 directory state, identical error behaviour, identical build logs and
 the ``NetStats`` structural invariants (including the exact
@@ -24,7 +25,11 @@ TIER1_SEEDS = 24
 
 @pytest.mark.parametrize("seed", range(TIER1_SEEDS))
 def test_differential_conformance(seed):
-    """All five configurations produce identical observable results."""
+    """All six configurations produce identical observable results.
+
+    The ``push_off`` cell rides the same all-configs-vs-sync diff, so
+    every seed here doubles as the ISSUE-9 proof that speculative
+    pushes never change buffer bytes, directory state or errors."""
     summary = run_seed(seed)
     # The summary is the replay recipe: the harness really ran every
     # configuration of a non-trivial program.
@@ -42,9 +47,10 @@ def test_generator_is_deterministic():
 def test_generator_covers_the_op_vocabulary():
     """Across the tier-1 seed range the generator exercises every op
     kind it advertises (kernels with user-event gates, both transfer
-    directions, flushes, finishes, creation failures, duplicate-source
-    builds, failing builds) — a guard against the weights silently
-    starving a path the suite claims to cover."""
+    directions, producer->consumer loops, flushes, finishes, creation
+    failures, duplicate-source builds, failing builds) — a guard
+    against the weights silently starving a path the suite claims to
+    cover."""
     kinds = set()
     gated = False
     for seed in range(TIER1_SEEDS):
@@ -55,5 +61,6 @@ def test_generator_covers_the_op_vocabulary():
     assert {
         "kernel", "write", "read", "read_nb", "flush", "finish",
         "user_event", "set_event", "bad_create", "build_dup", "build_bad",
+        "loop",
     } <= kinds
     assert gated

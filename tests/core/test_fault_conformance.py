@@ -20,9 +20,11 @@ tier-1 matrix.  For a wider soak, use the CLI knob::
 import pytest
 
 from repro.bench.conformance import (
+    PUSH_SCHEDULES,
     RECOVERABLE_SCHEDULES,
     UNRECOVERABLE_SCHEDULES,
     fault_plan,
+    run_push_fault_seed,
     run_seed_with_faults,
 )
 
@@ -39,7 +41,21 @@ def test_fault_matrix(seed, schedule):
     assert summary["fired"] >= 1, f"{schedule} never fired for seed {seed}"
 
 
-@pytest.mark.parametrize("schedule", ALL_SCHEDULES)
+@pytest.mark.parametrize("seed", MATRIX_SEEDS)
+def test_severed_push_link_degrades_to_demand_fetch(seed):
+    """ISSUE-9 fault cell: cutting the s2s mesh under a speculative
+    push must fall back to the ordinary demand fetch with bit-identical
+    observables (``run_push_fault_seed`` carries the differential
+    assertions; the seed's program is forced onto MOSI with a
+    cross-daemon producer->consumer loop so the push path engages)."""
+    summary = run_push_fault_seed(seed)
+    assert summary["fired"] >= 1, f"sever-push never fired for seed {seed}"
+    # The baseline run really pushed and the sever really cost commits —
+    # otherwise the degradation claim is untested.
+    assert summary["baseline_commits"] > summary["faulted_commits"]
+
+
+@pytest.mark.parametrize("schedule", ALL_SCHEDULES + PUSH_SCHEDULES)
 def test_every_schedule_has_a_bounded_plan(schedule):
     plan = fault_plan(schedule)
     assert plan.actions, f"{schedule} resolves to an empty plan"
