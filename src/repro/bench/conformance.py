@@ -255,10 +255,10 @@ def generate_program(
     emitted_bad_create = False
     for _ in range(count):
         kind = rng.choices(
-            ["kernel", "write", "read", "read_nb", "flush", "finish",
-             "user_event", "bad_create", "churn", "build_dup", "build_bad",
-             "loop"],
-            weights=[5, 2, 2, 1, 2, 1, 2, 1, 2, 1, 1, 2],
+            ["kernel", "write", "read", "read_nb", "read_async", "flush",
+             "finish", "user_event", "bad_create", "churn", "build_dup",
+             "build_bad", "loop"],
+            weights=[5, 2, 2, 1, 2, 2, 1, 2, 1, 2, 1, 1, 2],
         )[0]
         qi = rng.randrange(len(queue_devices))
         if kind == "kernel":
@@ -293,6 +293,19 @@ def generate_program(
         elif kind == "read_nb":
             set_pending_events()
             ops.append(("read_nb", rng.randrange(n_buffers), qi))
+        elif kind == "read_async":
+            # Deferred non-blocking read: enqueued with an optional
+            # event gate, its bytes checked at the event wait, at a
+            # queue finish, or only at the end of the program ("later"
+            # — the longest deferral window, crossing every subsequent
+            # op).  All user events are set first, so the read's
+            # dependency chain can always resolve.
+            set_pending_events()
+            gate = None
+            if n_events and rng.random() < 0.3:
+                gate = rng.randrange(n_events)
+            via = rng.choice(["event", "finish", "later"])
+            ops.append(("read_async", rng.randrange(n_buffers), qi, gate, via))
         elif kind == "flush":
             ops.append(("flush", qi))
         elif kind == "finish":
@@ -362,11 +375,13 @@ def generate_program(
 
 
 def _apply_op(
-    cl, ctx, program, queues, buffers, events, reads, errors, build_logs, op_index, op
+    cl, ctx, program, queues, buffers, events, reads, errors, build_logs,
+    op_index, op, pending_reads=None,
 ) -> None:
     """Interpret one program-spec op (shared by the fault-free and
     faulted runners).  Mutates ``events``/``reads``/``errors``/
-    ``build_logs`` in place.
+    ``build_logs`` (and, for ``read_async ... later`` ops,
+    ``pending_reads``) in place.
 
     A gate or set target referencing a user event that failed to be
     created (possible only under an unrecoverable fault schedule, where
@@ -415,10 +430,33 @@ def _apply_op(
         )
     elif kind in ("read", "read_nb"):
         _, bi, qi = op
-        data, _ev = cl.clEnqueueReadBuffer(
+        data, ev = cl.clEnqueueReadBuffer(
             require(queues[qi]), require(buffers[bi]), blocking=(kind == "read")
         )
+        if kind == "read_nb":
+            # Deferred fetch: the array fills when the event resolves —
+            # recording the bytes before the wait would capture the
+            # placeholder, not the read.
+            cl.clWaitForEvents([ev])
         reads[op_index] = data.tobytes()
+    elif kind == "read_async":
+        _, bi, qi, gate, via = op
+        gate_event = events.get(gate) if gate is not None else None
+        wait_for = [gate_event] if gate_event is not None else None
+        data, ev = cl.clEnqueueReadBuffer(
+            require(queues[qi]), require(buffers[bi]), blocking=False,
+            wait_for=wait_for,
+        )
+        if via == "later" and pending_reads is not None:
+            # Longest deferral window: checked by the runner's
+            # end-of-program sweep, after the closing finishes.
+            pending_reads[op_index] = (data, ev)
+        else:
+            if via == "finish":
+                cl.clFinish(require(queues[qi]))
+            else:
+                cl.clWaitForEvents([ev])
+            reads[op_index] = data.tobytes()
     elif kind == "flush":
         cl.clFlush(require(queues[op[1]]))
     elif kind == "finish":
@@ -529,6 +567,17 @@ def _apply_op(
                     pass
 
 
+def _sweep_pending_reads(cl, pending_reads, reads) -> None:
+    """Record the bytes of every ``read_async ... later`` op: the
+    closing finishes already resolved the deferred fetches, so each wait
+    is a no-op confirmation that the event did resolve before the bytes
+    are trusted."""
+    for op_index in sorted(pending_reads):
+        data, ev = pending_reads.pop(op_index)
+        cl.clWaitForEvents([ev])
+        reads[op_index] = data.tobytes()
+
+
 def run_program(spec: Dict[str, object], flags: Dict[str, object]) -> Dict[str, object]:
     """Interpret a program spec under one pipeline configuration.
 
@@ -565,13 +614,15 @@ def run_program(spec: Dict[str, object], flags: Dict[str, object]) -> Dict[str, 
     reads: Dict[int, bytes] = {}
     errors: List[int] = []
     build_logs: Dict[int, str] = {}
+    pending_reads: Dict[int, Tuple] = {}
     for op_index, op in enumerate(spec["ops"]):
         _apply_op(
             cl, ctx, program, queues, buffers, events, reads, errors,
-            build_logs, op_index, op,
+            build_logs, op_index, op, pending_reads,
         )
     for queue in queues:
         cl.clFinish(queue)
+    _sweep_pending_reads(cl, pending_reads, reads)
     final: Dict[int, bytes] = {}
     for bi, buffer in enumerate(buffers):
         data, _ev = cl.clEnqueueReadBuffer(queues[0], buffer)
@@ -703,6 +754,7 @@ class _ClientRun:
         self.reads: Dict[int, bytes] = {}
         self.errors: List[int] = []
         self.build_logs: Dict[int, str] = {}
+        self.pending_reads: Dict[int, Tuple] = {}
 
     def setup(self, spec: Dict[str, object]) -> None:
         """The per-client setup phase (same shape as :func:`run_program`:
@@ -728,6 +780,7 @@ class _ClientRun:
         _apply_op(
             self.cl, self.ctx, self.program, self.queues, self.buffers,
             self.events, self.reads, self.errors, self.build_logs, op_index, op,
+            self.pending_reads,
         )
 
     def finalize(self, stats: Dict[str, int]) -> Dict[str, object]:
@@ -736,6 +789,7 @@ class _ClientRun:
         cl = self.cl
         for queue in self.queues:
             cl.clFinish(queue)
+        _sweep_pending_reads(cl, self.pending_reads, self.reads)
         final: Dict[int, bytes] = {}
         for bi, buffer in enumerate(self.buffers):
             data, _ev = cl.clEnqueueReadBuffer(self.queues[0], buffer)
@@ -954,6 +1008,14 @@ UNRECOVERABLE_SCHEDULES = ("crash", "sever-permanent")
 #: fires; :func:`run_push_fault_seed` forces the push path instead.
 PUSH_SCHEDULES = ("sever-push",)
 
+#: Schedules that target the deferred-read fetch path.  Also kept out
+#: of the generic matrix: a random program may resolve every deferred
+#: read off a staged push (no demand fetch at all), so the matrix
+#: cannot assert the schedule fires.  :func:`run_deferred_read_fault_seed`
+#: replays a deterministic program whose *first* bulk download is a
+#: deferred fetch instead.
+DEFERRED_READ_SCHEDULES = ("sever-fetch",)
+
 #: Error codes an unrecoverable schedule may surface (daemon-loss class).
 DAEMON_LOSS_CODES = frozenset(
     {int(ErrorCode.CL_DEVICE_NOT_AVAILABLE), int(ErrorCode.CL_CONNECTION_ERROR_WWU)}
@@ -980,6 +1042,11 @@ def fault_plan(schedule: str) -> FaultPlan:
             FaultAction("sever", nth=2, tag="CommandBatch", heal_after=None)
         ],
         "sever-push": [FaultAction("sever", nth=1, tag="s2s-push", heal_after=1)],
+        "sever-fetch": [
+            FaultAction(
+                "sever", nth=1, tag="bulk:BufferDataDownload", heal_after=1
+            )
+        ],
     }[schedule]
     return FaultPlan(actions=actions, max_transfers=FAULT_WATCHDOG_TRANSFERS)
 
@@ -1027,6 +1094,72 @@ def run_push_fault_seed(seed: int) -> Dict[str, object]:
         "fired": (faulted["injector"] or {}).get("fired_actions", 0),
         "baseline_commits": baseline["stats"]["push_commits"],
         "faulted_commits": faulted["stats"]["push_commits"],
+    }
+
+
+def deferred_read_fault_spec(seed: int) -> Dict[str, object]:
+    """The program :func:`run_deferred_read_fault_seed` replays: a
+    fixed shape (kernel -> deferred read, twice, on two daemons) whose
+    scalars and initial data are drawn from ``seed``.  The buffers are
+    created from host pointers, so the kernels only ever *upload* —
+    the first bulk download on the wire is guaranteed to be the
+    deferred fetch the ``sever-fetch`` schedule targets."""
+    rng = random.Random(seed)
+    inits = [
+        [round(rng.uniform(-4.0, 4.0), 3) for _ in range(BUFFER_ELEMS)]
+        for _ in range(2)
+    ]
+    s0 = round(rng.uniform(0.5, 2.0), 3)
+    s1 = round(rng.uniform(0.5, 2.0), 3)
+    return {
+        "seed": seed,
+        "n_servers": 2,
+        "protocol": "msi",
+        "queue_devices": [0, 1],
+        "buffer_inits": inits,
+        "ops": [
+            ("kernel", "fill", 0, (0,), s0, None),
+            ("read_async", 0, 0, None, "event"),
+            ("kernel", "scale", 1, (1,), s1, None),
+            ("read_async", 1, 1, None, "finish"),
+        ],
+    }
+
+
+def run_deferred_read_fault_seed(seed: int) -> Dict[str, object]:
+    """The severed-fetch contract: cutting the client<->daemon link at
+    the exact transfer that carries a deferred read's fetch must
+    degrade deterministically — the retry policy replays the fetch
+    over the healed link, the waited event still resolves, and every
+    observable byte stays identical to the fault-free run.  The
+    schedule severs the link at the first ``bulk:BufferDataDownload``
+    (which :func:`deferred_read_fault_spec` pins to the deferred
+    fetch) and heals it one blocked transfer later."""
+    spec = deferred_read_fault_spec(seed)
+    flags = dict(CONFIGS["coalesced_on"])
+    tag = f"seed {seed} schedule sever-fetch"
+    baseline = run_program_resilient(spec, flags, None)
+    assert baseline["stats"]["deferred_reads"] > 0, (
+        f"{tag}: fault-free run never deferred a read — the schedule "
+        f"would be vacuous"
+    )
+    faulted = run_program_resilient(spec, flags, fault_plan("sever-fetch"))
+    _check_resilience_stats(tag, faulted["stats"])
+    fired = (faulted["injector"] or {}).get("fired_actions", 0)
+    assert fired > 0, f"{tag}: the sever-fetch schedule never fired"
+    assert _semantics(faulted) == _semantics(baseline), (
+        f"{tag}: severed deferred fetch changed observable behaviour: "
+        f"{_semantics(faulted)} vs {_semantics(baseline)}"
+    )
+    assert faulted["stats"]["dead_daemons"] == 0, (
+        f"{tag}: severed deferred fetch killed a daemon"
+    )
+    return {
+        "seed": seed,
+        "schedule": "sever-fetch",
+        "fired": fired,
+        "baseline_deferred": baseline["stats"]["deferred_reads"],
+        "faulted_deferred": faulted["stats"]["deferred_reads"],
     }
 
 
@@ -1104,11 +1237,12 @@ def run_program_resilient(
     events: Dict[int, object] = {}
     reads: Dict[int, bytes] = {}
     build_logs: Dict[int, str] = {}
+    pending_reads: Dict[int, Tuple] = {}
     for op_index, op in enumerate(spec["ops"]):
         try:
             _apply_op(
                 cl, ctx, program, queues, buffers, events, reads, errors,
-                build_logs, op_index, op,
+                build_logs, op_index, op, pending_reads,
             )
         except CLError as exc:
             errors.append((op_index, int(exc.code)))
@@ -1120,6 +1254,16 @@ def run_program_resilient(
             cl.clFinish(queue)
         except CLError as exc:
             errors.append(("finish", qi, int(exc.code)))
+    # Pending ``later`` reads sweep individually guarded: a read whose
+    # deferred fetch was poisoned by a daemon loss records its error
+    # positionally (deterministic on replay) instead of aborting.
+    for op_index in sorted(pending_reads):
+        data, ev = pending_reads.pop(op_index)
+        try:
+            cl.clWaitForEvents([ev])
+            reads[op_index] = data.tobytes()
+        except CLError as exc:
+            errors.append((op_index, int(exc.code)))
     final: Dict[int, object] = {}
     for bi, buffer in enumerate(buffers):
         try:
@@ -1445,7 +1589,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--schedule", default=None,
-        choices=RECOVERABLE_SCHEDULES + UNRECOVERABLE_SCHEDULES + PUSH_SCHEDULES,
+        choices=RECOVERABLE_SCHEDULES + UNRECOVERABLE_SCHEDULES
+        + PUSH_SCHEDULES + DEFERRED_READ_SCHEDULES,
         help="with --faults: run only this schedule",
     )
     args = parser.parse_args(argv)
@@ -1510,7 +1655,8 @@ def _main_faults(seeds: List[int], schedule: Optional[str]) -> int:
     schedules = (
         (schedule,)
         if schedule
-        else RECOVERABLE_SCHEDULES + UNRECOVERABLE_SCHEDULES + PUSH_SCHEDULES
+        else RECOVERABLE_SCHEDULES + UNRECOVERABLE_SCHEDULES
+        + PUSH_SCHEDULES + DEFERRED_READ_SCHEDULES
     )
     failures = 0
     combos = 0
@@ -1525,6 +1671,15 @@ def _main_faults(seeds: List[int], schedule: Optional[str]) -> int:
                         f"(fired={summary['fired']} "
                         f"commits {summary['baseline_commits']}->"
                         f"{summary['faulted_commits']})"
+                    )
+                    continue
+                if name in DEFERRED_READ_SCHEDULES:
+                    summary = run_deferred_read_fault_seed(seed)
+                    print(
+                        f"seed {seed} schedule {name}: ok "
+                        f"(fired={summary['fired']} "
+                        f"deferred {summary['baseline_deferred']}->"
+                        f"{summary['faulted_deferred']})"
                     )
                     continue
                 summary = run_seed_with_faults(seed, name)

@@ -294,6 +294,12 @@ class DOpenCLAPI:
 
     def clReleaseMemObject(self, buffer: BufferStub) -> None:
         """Drop a reference; the last one defers the remote releases."""
+        if buffer.refcount == 1:
+            # Real OpenCL's enqueued read retains the mem object until it
+            # completes; here the pending deferred fetch must run before
+            # the release forwards, or the resolution would fetch a
+            # buffer the daemon already freed.
+            self.driver.resolve_deferred_reads(buffers=[buffer])
         buffer.release()
         if buffer.released:
             # Drop it from the read-coalescing candidate pool eagerly —
@@ -323,6 +329,13 @@ class DOpenCLAPI:
         t = self._tick()
         self._check_queue_buffer(queue, buffer)
         raw = np.ascontiguousarray(data).view(np.uint8).ravel()
+        # Bounds validated before the read-modify-write fetch below can
+        # mutate planner/directory state (mirror of the read-side rule).
+        buffer.check_range(offset, raw.size)
+        # WAR hazard: a pending deferred read of this buffer must
+        # observe the *pre-write* bytes — resolve it before the write
+        # mutates anything.
+        self.driver.resolve_deferred_reads(buffers=[buffer], events=wait_for)
         partial = offset != 0 or raw.size != buffer.size
         if partial and not buffer.planner.is_valid("client"):
             # Read-modify-write: fetch a valid copy before a partial update.
@@ -362,7 +375,7 @@ class DOpenCLAPI:
             event_id=event.id,
             offset=0,
             nbytes=buffer.size,
-            wait_event_ids=[e.id for e in (wait_for or [])],
+            wait_event_ids=self.driver.daemon_wait_ids(wait_for),
             replica_servers=self.driver.replica_broadcast_targets(event),
         )
         # Ordered + zero-copy: flushes the window, then streams the
@@ -385,29 +398,58 @@ class DOpenCLAPI:
         modified owner).  A blocking read that must download also
         gang-revalidates the sibling dirty buffers stranded on the same
         daemon in one fused fetch (``coalesce_reads``), so back-to-back
-        result reads cost one round trip per source daemon."""
+        result reads cost one round trip per source daemon.
+
+        A non-blocking read (with ``defer_reads`` on, the default) is a
+        *deferred fetch*: the enqueue records a read-dep on the buffer's
+        writers plus the ``wait_for`` list on the window graph and
+        returns immediately — zero network traffic, zero virtual-time
+        advance beyond the call overhead.  The returned array fills (and
+        the event resolves, with the transfer's real completion
+        timestamps) when the fetch rides the next relevant flush —
+        ``event.wait()``, a sync point touching the buffer, or
+        ``clFinish``.  With ``defer_reads=False`` the read is eager:
+        fetched synchronously at enqueue, like a blocking read."""
         t = self._tick()
         self._check_queue_buffer(queue, buffer)
-        if blocking:
-            # A blocking read is a *targeted* sync point: only the
-            # windows in the dependency closure drain — the buffer's
-            # writers (windowed or dispatched-but-pending, transitively
-            # through their wait lists) plus, on an in-order queue, the
-            # queue's own command chain (real OpenCL completes a
-            # blocking read after every prior command of that queue).
-            # Windows of causally unrelated daemons stay queued, and
-            # any stashed deferred-command failure surfaces here.
-            self.driver.flush_for_handles(
-                self.driver.buffer_sync_handles(buffer)
-                + self.driver.queue_sync_handles(queue)
+        if nbytes is None:
+            nbytes = buffer.size - offset
+        # Bounds are validated *before* any planner or directory state
+        # mutates (note_client_demand / acquire_read below): a rejected
+        # read must leave the coherence machinery untouched.
+        buffer.check_range(offset, nbytes)
+        if not blocking and self.driver.defer_reads:
+            event = self.driver.new_deferred_read_event(
+                queue.context, queue.server.name
             )
+            # The wait list becomes event-deps of the deferred fetch
+            # (plus the in-order queue predecessor) instead of blocking
+            # the enqueue — resolution waits them out when the fetch
+            # actually runs.
+            self._record_command_deps(queue, event, wait_for)
+            out = np.zeros(nbytes, dtype=np.uint8)
+            self.driver.record_deferred_read(buffer, queue, event, offset, nbytes, out)
+            return out, event
+        # Eager path: blocking reads, and every read under the
+        # ``defer_reads=False`` ablation.  An eager read is a *targeted*
+        # sync point: only the windows in the dependency closure drain —
+        # the buffer's writers (windowed or dispatched-but-pending,
+        # transitively through their wait lists) plus, on an in-order
+        # queue, the queue's own command chain (real OpenCL completes a
+        # blocking read after every prior command of that queue).
+        # Windows of causally unrelated daemons stay queued, and any
+        # stashed deferred-command failure surfaces here.  (The ablation
+        # drains too: a non-blocking read that skipped its writers could
+        # return pre-write bytes — the stale-read hazard.)
+        self.driver.flush_for_handles(
+            self.driver.buffer_sync_handles(buffer)
+            + self.driver.queue_sync_handles(queue)
+        )
         if wait_for:
             for ev in wait_for:
                 # ev.wait drains the relevant send windows (flush hook)
                 # before resolving.
                 self.clock.advance_to(ev.wait(self.clock.now))
-        if nbytes is None:
-            nbytes = buffer.size - offset
         event = EventStub(queue.context, self.driver.new_id(), queue.server.name, CL_COMMAND_READ_BUFFER)
         self.driver._events[event.id] = event
         # Read coalescing (coalesce_reads): when this blocking read must
@@ -430,6 +472,10 @@ class DOpenCLAPI:
                     for sibling in siblings:
                         handles.extend(self.driver.buffer_sync_handles(sibling))
                     self.driver.flush_for_handles(handles)
+        # Discard any stale completion record for this buffer so the pop
+        # below observes only what *this* read's fetch (or staged-push
+        # apply) actually did.
+        self.driver.pop_fetch_completion(buffer.id)
         buffer.planner.note_client_demand()
         plan = buffer.planner.acquire_read("client")
         if plan:
@@ -439,7 +485,14 @@ class DOpenCLAPI:
                 for sibling in siblings
             )
             self.driver.run_transfer_plans(items, queue, read_group=bool(siblings))
-        event.mark_complete(self.clock.now, self.clock.now)
+        # Profiling truth: a read that downloaded (or consumed a staged
+        # push) completes at the transfer's daemon-side completion time
+        # and resolves at the data's client arrival; a read satisfied
+        # from a valid client copy completes locally, now.
+        completion = self.driver.pop_fetch_completion(buffer.id)
+        if completion is None:
+            completion = (self.clock.now, self.clock.now)
+        event.mark_complete(*completion)
         data = buffer.read_host(offset, nbytes)
         return data, event
 
@@ -459,6 +512,12 @@ class DOpenCLAPI:
         self._check_queue_buffer(queue, dst)
         if nbytes is None:
             nbytes = src.size - src_offset
+        # Bounds of both ranges validated before any coherence traffic
+        # or directory mutation (validate-before-mutate).
+        src.check_range(src_offset, nbytes)
+        dst.check_range(dst_offset, nbytes)
+        # WAR hazard: pending deferred reads of dst see pre-copy bytes.
+        self.driver.resolve_deferred_reads(buffers=[dst], events=wait_for)
         # Client-mediated copy: validate the client's copy of src, update
         # dst on the client, push dst to the queue's server.
         src.planner.note_client_demand()
@@ -889,6 +948,16 @@ class DOpenCLAPI:
         # plan runs, preserving contents outside partial kernel writes.
         # All buffer args are planned together so uploads to the same
         # daemon coalesce into one bulk stream (run_transfer_plans).
+        # WAR hazard: buffers this launch may write can carry pending
+        # deferred reads that must observe the *pre-kernel* bytes (an
+        # in-order queue completes the read before the launch) —
+        # resolve them before the directory records the kernel write.
+        war_buffers = [
+            kernel.args[i]
+            for i in kernel.writable_buffer_args
+            if isinstance(kernel.args[i], BufferStub)
+        ]
+        self.driver.resolve_deferred_reads(buffers=war_buffers, events=wait_for)
         plans = []
         for buffer in kernel.buffer_args():
             if buffer.flags & CL_MEM_WRITE_ONLY and buffer.pristine:
@@ -910,11 +979,7 @@ class DOpenCLAPI:
         # arguments, and *writes* its event plus the buffers the kernel
         # may modify — which is how targeted sync points (event waits,
         # blocking reads of an output buffer) find this command.
-        written_buffers = [
-            kernel.args[i]
-            for i in kernel.writable_buffer_args
-            if isinstance(kernel.args[i], BufferStub)
-        ]
+        written_buffers = war_buffers
         # Push hints ride the launch (planned *before* the write below
         # bumps the epochs, labeled with the epoch the write creates):
         # buffers whose access history shows a stable producer->consumer
@@ -929,7 +994,7 @@ class DOpenCLAPI:
                 global_size=[int(g) for g in global_size],
                 local_size=[int(v) for v in local_size] if local_size else [],
                 global_offset=[int(v) for v in global_offset] if global_offset else [],
-                wait_event_ids=[e.id for e in (wait_for or [])],
+                wait_event_ids=self.driver.daemon_wait_ids(wait_for),
                 replica_servers=self.driver.replica_broadcast_targets(event),
                 push_hints=push_hints,
             ),

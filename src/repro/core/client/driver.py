@@ -94,7 +94,12 @@ from repro.net.gcf import GCFProcess, RequestOutcome
 from repro.net.link import ConnectionRefused, ConnectionReset
 from repro.net.network import Network
 from repro.net.streams import as_uint8_array, split_sections
-from repro.ocl.constants import CL_COMPLETE, CL_DEVICE_TYPE_ALL, ErrorCode
+from repro.ocl.constants import (
+    CL_COMMAND_READ_BUFFER,
+    CL_COMPLETE,
+    CL_DEVICE_TYPE_ALL,
+    ErrorCode,
+)
 from repro.ocl.errors import CLError
 from repro.sim.clock import VirtualClock
 from repro.sim.errors import CommunicationError
@@ -129,6 +134,24 @@ class ProgramBuildRecord:
     hits: int = 0
 
 
+@dataclass
+class _DeferredRead:
+    """One pending non-blocking read: a deferred-fetch command recorded
+    on the window graph by ``clEnqueueReadBuffer(blocking=False)``.
+
+    ``event`` is the stub handed back to the application (its
+    ``depends_on`` carries the ``wait_for`` list plus the in-order queue
+    predecessor); ``out`` is the caller-visible destination array the
+    resolved bytes are written into when the fetch lands."""
+
+    buffer: BufferStub
+    queue: QueueStub
+    event: EventStub
+    offset: int
+    nbytes: int
+    out: object  # np.ndarray handed back to the caller at enqueue
+
+
 class DOpenCLDriver:
     """Client driver instance for one application."""
 
@@ -150,6 +173,7 @@ class DOpenCLDriver:
         coalesce_transfers: bool = True,
         coalesce_reads: bool = True,
         push_transfers: bool = True,
+        defer_reads: bool = True,
         retry_policy: Optional[RetryPolicy] = None,
         program_cache: bool = True,
     ) -> None:
@@ -207,6 +231,34 @@ class DOpenCLDriver:
         #: plan-identical to the pre-push directory (the ablation flag
         #: mirroring ``coalesce_transfers``).
         self.push_transfers = bool(push_transfers)
+        #: When True (default) non-blocking ``clEnqueueReadBuffer``
+        #: calls are *deferred fetches*: the enqueue records a read-dep
+        #: on the buffer's writers (plus any ``wait_for`` events) on the
+        #: window graph and returns immediately — zero network traffic,
+        #: zero virtual-time advance — and the bytes ride the next
+        #: relevant flush as/alongside a ``CoalescedBufferDownload``,
+        #: resolving the returned event with the fetch's real
+        #: transfer-completion timestamps.  False restores the eager
+        #: fetch-at-enqueue behaviour (the streaming-bench ablation,
+        #: which serialises compute and readback).
+        self.defer_reads = bool(defer_reads)
+        #: Pending :class:`_DeferredRead` records, in enqueue (program)
+        #: order.  Drained by :meth:`resolve_deferred_reads`.
+        self._deferred_reads: List["_DeferredRead"] = []
+        #: IDs of *client-local* events (deferred-read events): no daemon
+        #: ever registered them, so daemon-bound wait lists must resolve
+        #: and drop them (see :meth:`daemon_wait_ids`).
+        self._local_event_ids: Set[int] = set()
+        # Re-entrancy guard for resolve_deferred_reads: resolution runs
+        # flushes and event waits whose hooks would otherwise recurse
+        # back into resolution.
+        self._resolving_reads = False
+        #: ``buffer id -> (completed_at, arrival)``: the daemon-side
+        #: completion timestamp and client-side data arrival of the most
+        #: recent client-bound download (or staged-push apply) of that
+        #: buffer — the profiling truth deferred/blocking read events
+        #: are resolved with (see :meth:`pop_fetch_completion`).
+        self._fetch_completions: Dict[int, Tuple[float, float]] = {}
         #: ``buffer id -> (epoch, payload, arrival)``: client-destined
         #: replica bytes that arrived on a completion notification,
         #: awaiting an epoch-validated apply at a sync point.
@@ -699,6 +751,10 @@ class DOpenCLDriver:
                 f"send windows failed to quiesce after {MAX_DRAIN_PASSES} "
                 "flush passes (deferred-command feedback loop)",
             )
+        # Full sync point: every pending deferred read resolves here —
+        # ``clFinish`` promises all forwarded work (fetches included)
+        # has completed.
+        self.resolve_deferred_reads(everything=True)
         self._surface_deferred_failure()
 
     def closure_connections(self, handles: Iterable[int]) -> List[ServerConnection]:
@@ -760,6 +816,11 @@ class DOpenCLDriver:
                 f"{MAX_DRAIN_PASSES} flush passes (deferred-command feedback loop)",
             )
         if raise_errors:
+            # App-level targeted sync point: deferred reads whose event
+            # or buffer the closure walk visited ride this flush (the
+            # "next relevant flush" of the deferred-fetch contract).
+            # Internal drains (raise_errors=False) stay resolution-free.
+            self.resolve_deferred_reads(relevant=seen)
             self._surface_deferred_failure()
         return seen
 
@@ -815,6 +876,241 @@ class DOpenCLDriver:
         program order (introspection for tests and debugging)."""
         conn = self._connections.get(name)
         return conn.window.messages() if conn is not None else []
+
+    # ------------------------------------------------------------------
+    # deferred (non-blocking) reads
+    # ------------------------------------------------------------------
+    def _record_fetch_completion(
+        self, buffer: BufferStub, stub: EventStub, arrival: float
+    ) -> None:
+        """Remember the profiling truth of a just-landed client-bound
+        download of ``buffer``: the daemon-side completion timestamp of
+        its registered transfer event (delivered synchronously on the
+        completion notification that rode the fetch) and the client-side
+        data arrival.  Deferred/blocking read events are resolved with
+        these instead of a fabricated ``clock.now`` pair."""
+        completed = stub.completed_at if stub.resolved else arrival
+        self._fetch_completions[buffer.id] = (completed, arrival)
+
+    def pop_fetch_completion(self, buffer_id: int) -> Optional[Tuple[float, float]]:
+        """Consume the recorded ``(completed_at, arrival)`` of the most
+        recent download of ``buffer_id``, if any (see
+        :meth:`_record_fetch_completion`)."""
+        return self._fetch_completions.pop(buffer_id, None)
+
+    def new_deferred_read_event(
+        self, context: ContextStub, owner_server: str
+    ) -> EventStub:
+        """The event stub handed back by a deferred non-blocking read.
+        Client-local (no replica fan-out — daemons never gate on it) and
+        wired so that ``wait()`` resolves the pending fetch instead of
+        merely draining windows."""
+        stub = EventStub(context, self.new_id(), owner_server, CL_COMMAND_READ_BUFFER)
+        stub.attach_flush_hook(self._flush_for_deferred_read)
+        self._events[stub.id] = stub
+        self._local_event_ids.add(stub.id)
+        return stub
+
+    def daemon_wait_ids(
+        self, wait_for: Optional[Sequence[EventStub]]
+    ) -> List[int]:
+        """The wait-list ids a daemon-bound command may gate on.  A
+        pending deferred-read event in the list is client-local — no
+        daemon registered it, so shipping its id would gate the command
+        on an event that can never resolve daemon-side.  It is a true
+        dependency (the command must run after the read completes), so
+        the read resolves here and the id is dropped from the shipped
+        list."""
+        ids: List[int] = []
+        for ev in wait_for or ():
+            if ev.id in self._local_event_ids:
+                if not ev.resolved:
+                    self.resolve_deferred_reads(event=ev)
+                continue
+            ids.append(ev.id)
+        return ids
+
+    def _flush_for_deferred_read(self, stub: EventStub) -> None:
+        """Flush hook of a deferred-read event: resolve its fetch (which
+        drains the read's dependency closure on the way)."""
+        if stub.resolved:
+            return
+        self.resolve_deferred_reads(event=stub)
+
+    def record_deferred_read(
+        self,
+        buffer: BufferStub,
+        queue: QueueStub,
+        event: EventStub,
+        offset: int,
+        nbytes: int,
+        out,
+    ) -> None:
+        """Record one pending non-blocking read (the enqueue half of the
+        deferred-fetch command).  Costs zero network traffic and zero
+        virtual-time advance; counted in ``NetStats.deferred_reads``."""
+        self._deferred_reads.append(
+            _DeferredRead(buffer, queue, event, offset, nbytes, out)
+        )
+        self.stats.deferred_reads += 1
+
+    def has_deferred_read(self, event: EventStub) -> bool:
+        """True iff ``event`` belongs to a still-pending deferred read."""
+        return any(d.event is event for d in self._deferred_reads)
+
+    def resolve_deferred_reads(
+        self,
+        event: Optional[EventStub] = None,
+        buffers: Optional[Iterable[BufferStub]] = None,
+        events: Optional[Iterable[EventStub]] = None,
+        relevant: Optional[FrozenSet[int]] = None,
+        everything: bool = False,
+    ) -> None:
+        """Resolve pending deferred reads selected by any of the given
+        criteria (a specific read ``event`` — or any of ``events`` —,
+        reads of the given ``buffers``, reads whose event or buffer
+        handle appears in a flush's ``relevant`` set, or ``everything``
+        for a full sync point).  The selection is closed transitively over event
+        dependencies — a read whose ``wait_for`` names another pending
+        read pulls that one into the same group — and the whole group
+        resolves in enqueue order, fusing its downloads per source
+        daemon exactly like a blocking read's ``coalesce_reads`` gang.
+
+        Re-entrant calls (resolution drains windows and waits on events,
+        whose hooks land back here) are no-ops."""
+        if self._resolving_reads or not self._deferred_reads:
+            return
+        buffer_ids = {b.id for b in buffers} if buffers is not None else None
+        event_ids = {e.id for e in events} if events is not None else set()
+        if event is not None:
+            event_ids.add(event.id)
+        selected: List[_DeferredRead] = []
+        for d in self._deferred_reads:
+            if everything:
+                selected.append(d)
+            elif d.event.id in event_ids:
+                selected.append(d)
+            elif buffer_ids is not None and d.buffer.id in buffer_ids:
+                selected.append(d)
+            elif relevant is not None and (
+                d.event.id in relevant or d.buffer.id in relevant
+            ):
+                selected.append(d)
+        if not selected:
+            return
+        # Transitive closure over event deps: if a selected read's
+        # dependency chain reaches another pending read's event, that
+        # read joins the group (waiting on it from inside the group
+        # would deadlock against the re-entrancy guard).
+        by_event = {d.event.id: d for d in self._deferred_reads}
+        group = list(selected)
+        member_ids = {d.event.id for d in group}
+        frontier = list(group)
+        while frontier:
+            d = frontier.pop()
+            for dep_id in self._dep_closure_ids(d.event):
+                other = by_event.get(dep_id)
+                if other is not None and other.event.id not in member_ids:
+                    member_ids.add(other.event.id)
+                    group.append(other)
+                    frontier.append(other)
+        group.sort(key=lambda d: self._deferred_reads.index(d))
+        self._resolve_deferred_group(group, member_ids)
+
+    def _dep_closure_ids(self, stub: EventStub) -> Set[int]:
+        """All event ids reachable through ``depends_on`` from ``stub``."""
+        seen: Set[int] = set()
+        frontier = list(stub.depends_on)
+        while frontier:
+            eid = frontier.pop()
+            if eid in seen:
+                continue
+            seen.add(eid)
+            dep = self._events.get(eid)
+            if dep is not None:
+                frontier.extend(dep.depends_on)
+        return seen
+
+    def _resolve_deferred_group(
+        self, group: List[_DeferredRead], member_ids: Set[int]
+    ) -> None:
+        """Resolve one dependency-closed group of deferred reads: drain
+        the reads' window closures, wait out their non-member event
+        deps, run the fused coherence fetch, then complete each event
+        with the real transfer timestamps and fill the caller-visible
+        arrays."""
+        # Daemon-loss poisoning: a read whose event was poisoned can
+        # never be satisfied — drop it; its wait() raises the poison.
+        live = [d for d in group if d.event.poisoned is None]
+        for d in group:
+            if d.event.poisoned is not None:
+                self._deferred_reads.remove(d)
+        if not live:
+            return
+        self._resolving_reads = True
+        try:
+            seeds: List[int] = []
+            for d in live:
+                seeds.append(d.event.id)
+                seeds.extend(self.buffer_sync_handles(d.buffer))
+            self.flush_for_handles(seeds, raise_errors=False)
+            # Event deps (wait_for list + in-order queue predecessor):
+            # group members are exempt — they complete together below.
+            try:
+                for d in live:
+                    for dep_id in d.event.depends_on:
+                        if dep_id in member_ids:
+                            continue
+                        dep = self._events.get(dep_id)
+                        if dep is not None:
+                            self.clock.advance_to(dep.wait(self.clock.now))
+            except CLError as exc:
+                self._poison_deferred_group(live, exc)
+                raise
+            unique: List[BufferStub] = []
+            for d in live:
+                if all(b is not d.buffer for b in unique):
+                    unique.append(d.buffer)
+            for buffer in unique:
+                self._fetch_completions.pop(buffer.id, None)
+                buffer.planner.note_client_demand()
+            items = []
+            for buffer in unique:
+                plan = buffer.planner.acquire_read("client")
+                if plan:
+                    items.append((buffer, plan))
+            try:
+                if items:
+                    self.run_transfer_plans(
+                        items,
+                        preferred_queue=None,
+                        read_group=self.coalesce_reads and len(items) > 1,
+                    )
+            except CLError as exc:
+                self._poison_deferred_group(live, exc)
+                raise
+            self.stats.deferred_read_batches += 1
+            for d in live:
+                d.out[:] = d.buffer.data[d.offset : d.offset + d.nbytes]
+                completed, arrival = self._fetch_completions.get(
+                    d.buffer.id, (self.clock.now, self.clock.now)
+                )
+                d.event.mark_complete(completed, arrival)
+                self._deferred_reads.remove(d)
+        finally:
+            self._resolving_reads = False
+
+    def _poison_deferred_group(
+        self, live: List[_DeferredRead], exc: CLError
+    ) -> None:
+        """A group resolution failed terminally: poison every member
+        event (later waits re-raise deterministically) and drop the
+        entries — the fetch cannot be replayed from here."""
+        for d in live:
+            if d.event.poisoned is None and not d.event.resolved:
+                d.event.poisoned = (int(exc.code), str(exc))
+            if d in self._deferred_reads:
+                self._deferred_reads.remove(d)
 
     def _surface_transport_loss(self, conn: ServerConnection) -> None:
         """A sync-path transport call came back ``None`` (daemon declared
@@ -1330,6 +1626,9 @@ class DOpenCLDriver:
             return False
         buffer.data[:] = as_uint8_array(payload)
         self.clock.advance_to(arrival)
+        # The push's arrival is the transfer-completion truth for any
+        # deferred-read event this apply satisfies.
+        self._fetch_completions[buffer.id] = (arrival, arrival)
         self.stats.push_commits += 1
         return True
 
@@ -1630,11 +1929,14 @@ class DOpenCLDriver:
         # performs, so push-off behaviour is untouched).
         if self.push_transfers and self._apply_staged_push(buffer):
             return
+        attempt_stubs: List[EventStub] = []
+
         def make_request():
             # Fresh transfer event per attempt: the daemon registers the
             # event ID before streaming data back, so a retried fetch
             # must not replay an already-registered ID.
             stub = self._new_transfer_event(buffer.context, server_name)
+            attempt_stubs[:] = [stub]
             return P.BufferDataDownload(
                 buffer_id=buffer.id,
                 queue_id=queue.id,
@@ -1645,7 +1947,7 @@ class DOpenCLDriver:
             )
 
         try:
-            _response, payload, _arrival = self._fetch_bulk_prefixed(conn, make_request, seen)
+            _response, payload, arrival = self._fetch_bulk_prefixed(conn, make_request, seen)
         except CLError as exc:
             # The directory already marked the client copy valid
             # (acquire_read is optimistic); the bytes never arrived.
@@ -1657,6 +1959,7 @@ class DOpenCLDriver:
             )
             raise
         buffer.data[:] = as_uint8_array(payload)
+        self._record_fetch_completion(buffer, attempt_stubs[-1], arrival)
 
     def _download_many_from_server(
         self,
@@ -1684,23 +1987,25 @@ class DOpenCLDriver:
             remaining = [b for b in buffers if not self._apply_staged_push(b)]
             if not remaining:
                 return
+        attempt_stubs: List[EventStub] = []
+
         def make_request():
             # Fresh transfer events per attempt (see _download_from_server).
-            event_ids = [
-                self._new_transfer_event(buffer.context, server_name).id
+            attempt_stubs[:] = [
+                self._new_transfer_event(buffer.context, server_name)
                 for buffer in remaining
             ]
             return P.CoalescedBufferDownload(
                 queue_id=queue.id,
                 buffer_ids=[b.id for b in remaining],
-                event_ids=event_ids,
+                event_ids=[stub.id for stub in attempt_stubs],
                 nbytes_list=[b.size for b in remaining],
             )
 
         self.stats.coalesced_downloads += 1
         self.stats.coalesced_download_sections += len(remaining)
         try:
-            _response, payload, _arrival = self._fetch_bulk_prefixed(conn, make_request, seen)
+            _response, payload, arrival = self._fetch_bulk_prefixed(conn, make_request, seen)
         except CLError as exc:
             for buffer in remaining:  # optimistic acquire_read: see above
                 buffer.planner.abort_client_fetch(
@@ -1708,8 +2013,9 @@ class DOpenCLDriver:
                 )
             raise
         sections = split_sections(payload, [b.size for b in remaining])
-        for buffer, data in zip(remaining, sections):
+        for buffer, data, stub in zip(remaining, sections, attempt_stubs):
             buffer.data[:] = data
+            self._record_fetch_completion(buffer, stub, arrival)
 
     def _server_to_server(self, buffer: BufferStub, src_name: str, dst_name: str) -> None:
         """Section III-F: direct daemon-to-daemon synchronisation."""

@@ -193,20 +193,11 @@ class BufferStub:
         self.refcount = 1
         self.released = False
 
-    def write_host(self, offset: int, raw: np.ndarray) -> None:
-        """Overwrite ``raw.size`` bytes of the client's copy at ``offset``."""
-        if self.released:
-            raise CLError(ErrorCode.CL_INVALID_MEM_OBJECT, "buffer was released")
-        if offset < 0 or offset + raw.size > self.size:
-            raise CLError(
-                ErrorCode.CL_INVALID_VALUE,
-                f"range [{offset}, {offset + raw.size}) outside buffer of {self.size} bytes",
-            )
-        self.pristine = False
-        self.data[offset : offset + raw.size] = raw
-
-    def read_host(self, offset: int, nbytes: int) -> np.ndarray:
-        """Copy ``nbytes`` bytes out of the client's copy at ``offset``."""
+    def check_range(self, offset: int, nbytes: int) -> None:
+        """Validate a host access range against the buffer, raising
+        ``CL_INVALID_VALUE`` for out-of-range ``offset``/``nbytes``.
+        Transfer enqueues call this *before* touching planner or
+        directory state, so a rejected call leaves nothing mutated."""
         if self.released:
             raise CLError(ErrorCode.CL_INVALID_MEM_OBJECT, "buffer was released")
         if offset < 0 or nbytes < 0 or offset + nbytes > self.size:
@@ -214,6 +205,16 @@ class BufferStub:
                 ErrorCode.CL_INVALID_VALUE,
                 f"range [{offset}, {offset + nbytes}) outside buffer of {self.size} bytes",
             )
+
+    def write_host(self, offset: int, raw: np.ndarray) -> None:
+        """Overwrite ``raw.size`` bytes of the client's copy at ``offset``."""
+        self.check_range(offset, raw.size)
+        self.pristine = False
+        self.data[offset : offset + raw.size] = raw
+
+    def read_host(self, offset: int, nbytes: int) -> np.ndarray:
+        """Copy ``nbytes`` bytes out of the client's copy at ``offset``."""
+        self.check_range(offset, nbytes)
         return self.data[offset : offset + nbytes].copy()
 
     def retain(self) -> None:

@@ -254,6 +254,17 @@ class NetStats:
         speculative_pushes``, and a discarded push is *never* observed
         by application reads.
 
+    ``deferred_reads``
+        Client-side: non-blocking ``clEnqueueReadBuffer`` calls recorded
+        as *deferred fetches* on the window graph (``defer_reads=True``)
+        — zero network traffic and zero virtual-time advance at enqueue;
+        the bytes ride a later relevant flush.
+    ``deferred_read_batches``
+        Client-side: deferred-read resolution groups that actually ran
+        a sync point (one group may cover several pending reads, whose
+        downloads fuse under ``coalesce_reads`` exactly like a blocking
+        read's gang).
+
     ``round_trips`` (a property) is ``requests + batches + bulk_fetches``:
     every synchronous client<->server exchange the process blocked on.
     """
@@ -306,6 +317,8 @@ class NetStats:
         "push_bytes",
         "push_commits",
         "wasted_pushes",
+        "deferred_reads",
+        "deferred_read_batches",
     )
 
     def __init__(self) -> None:

@@ -70,6 +70,7 @@ def deploy_dopencl(
     coalesce_transfers: bool = True,
     coalesce_reads: bool = True,
     push_transfers: bool = True,
+    defer_reads: bool = True,
     retry_policy: Optional[RetryPolicy] = None,
     client_server_lists: Optional[List[List[str]]] = None,
     admission: Optional[AdmissionPolicy] = None,
@@ -93,7 +94,11 @@ def deploy_dopencl(
     fan-outs, synchronous relays, per-transfer streams in every
     direction, one fetch per blocking read).  ``push_transfers`` toggles
     daemon-initiated predictive replication (PR 9) on every driver;
-    ``False`` restores pure demand-driven coherence.
+    ``False`` restores pure demand-driven coherence.  ``defer_reads``
+    toggles window-deferred non-blocking reads on every driver (on, the
+    default, a ``blocking=False`` read records a deferred fetch that
+    rides the next relevant flush; ``False`` is the streaming-bench
+    ablation that fetches eagerly at enqueue).
 
     ``retry_policy`` installs client-side transport resilience (a
     :class:`~repro.core.client.resilience.RetryPolicy`) on every driver;
@@ -154,6 +159,7 @@ def deploy_dopencl(
             "coalesce_transfers": coalesce_transfers,
             "coalesce_reads": coalesce_reads,
             "push_transfers": push_transfers,
+            "defer_reads": defer_reads,
             "retry_policy": retry_policy,
             "program_cache": program_cache,
         }

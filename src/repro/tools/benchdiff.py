@@ -1,9 +1,10 @@
 """Benchmark regression checker: fresh smoke runs vs committed snapshots.
 
-``BENCH_smoke.json``, ``BENCH_osem.json`` and ``BENCH_multiclient.json``
-(repo root) record the forwarding pipeline's headline counters — round
-trips, wire bytes, cache hits and the multi-tenant
-throughput/latency/fairness numbers.  The simulation is
+``BENCH_smoke.json``, ``BENCH_osem.json``, ``BENCH_multiclient.json``
+and ``BENCH_stream.json`` (repo root) record the forwarding pipeline's
+headline counters — round trips, wire bytes, cache hits, the
+multi-tenant throughput/latency/fairness numbers and the
+double-buffered streaming overlap periods.  The simulation is
 deterministic, so those counters are exact properties of the code: any
 drift is a real change, not noise.  This tool re-runs the smoke
 benchmarks and *diffs* the fresh counters against the committed
@@ -17,8 +18,8 @@ legitimately move a few header bytes).  Both directions are violations:
 *worse* means a regression, *better* means the committed snapshot is
 stale and must be re-recorded
 (``PYTHONPATH=src python -m pytest benchmarks/bench_smoke.py
-benchmarks/bench_osem.py benchmarks/bench_multiclient.py`` rewrites all
-three).
+benchmarks/bench_osem.py benchmarks/bench_multiclient.py
+benchmarks/bench_stream.py`` rewrites all four).
 
 Used two ways:
 
@@ -114,9 +115,30 @@ def _multiclient_tolerances() -> Dict[str, float]:
 #: See :func:`_multiclient_tolerances` (``BENCH_multiclient.json``).
 MULTICLIENT_TOLERANCES: Dict[str, float] = _multiclient_tolerances()
 
+#: Stream-snapshot keys -> relative tolerance (``BENCH_stream.json``):
+#: the double-buffered deferred-read overlap numbers.  The round-trip
+#: and deferred-read counters are exact; the virtual-time periods get a
+#: small relative tolerance (legitimate codec/header-size changes move
+#: wire durations by fractions of a percent) and the derived
+#: pipelined:serial ratio a slightly wider one.
+STREAM_TOLERANCES: Dict[str, float] = {
+    "steady_period_pipelined": 0.02,
+    "steady_period_serial": 0.02,
+    "steady_period_compute_only": 0.02,
+    "transfer_period": 0.05,
+    "makespan_pipelined": 0.02,
+    "makespan_serial": 0.02,
+    "pipelined_ratio": 0.05,
+    "round_trips_pipelined": 0.0,
+    "round_trips_serial": 0.0,
+    "deferred_reads": 0.0,
+    "deferred_read_batches": 0.0,
+}
+
 COMMITTED_PATH = os.path.join(REPO_ROOT, "BENCH_smoke.json")
 OSEM_COMMITTED_PATH = os.path.join(REPO_ROOT, "BENCH_osem.json")
 MULTICLIENT_COMMITTED_PATH = os.path.join(REPO_ROOT, "BENCH_multiclient.json")
+STREAM_COMMITTED_PATH = os.path.join(REPO_ROOT, "BENCH_stream.json")
 
 
 def load_committed(path: Optional[str] = None) -> Dict[str, object]:
@@ -192,6 +214,15 @@ def run_fresh_multiclient() -> Dict[str, object]:
     return multiclient_payload(bench_multiclient())
 
 
+def run_fresh_stream() -> Dict[str, object]:
+    """Run the streaming overlap benchmark and return its headline
+    payload (the dict :func:`repro.bench.stream.save_stream_json`
+    would write)."""
+    from repro.bench.stream import bench_stream, stream_payload
+
+    return stream_payload(bench_stream())
+
+
 def format_report(
     fresh: Dict[str, object],
     committed: Dict[str, object],
@@ -238,6 +269,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             "(default: repo-root BENCH_multiclient.json)"
         ),
     )
+    parser.add_argument(
+        "--committed-stream",
+        default=STREAM_COMMITTED_PATH,
+        help=(
+            "path of the committed streaming-overlap snapshot "
+            "(default: repo-root BENCH_stream.json)"
+        ),
+    )
     args = parser.parse_args(argv)
     failed = False
     for title, path, tolerances, runner in (
@@ -248,6 +287,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.committed_multiclient,
             MULTICLIENT_TOLERANCES,
             run_fresh_multiclient,
+        ),
+        (
+            "BENCH_stream.json",
+            args.committed_stream,
+            STREAM_TOLERANCES,
+            run_fresh_stream,
         ),
     ):
         committed = load_committed(path)

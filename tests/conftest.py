@@ -1,9 +1,10 @@
 """Shared tier-1 fixtures.
 
-The benchmark workloads are deterministic, so the smoke/OSEM/multiclient
-records are computed once per session and shared between the gate tests
-(``test_bench_smoke.py`` / ``test_bench_osem.py`` /
-``test_bench_multiclient.py``) and the benchdiff regression tests
+The benchmark workloads are deterministic, so the
+smoke/OSEM/multiclient/stream records are computed once per session and
+shared between the gate tests (``test_bench_smoke.py`` /
+``test_bench_osem.py`` / ``test_bench_multiclient.py`` /
+``test_bench_stream.py``) and the benchdiff regression tests
 (``test_bench_regression.py``) — running the most expensive workloads in
 the suite twice would buy nothing.
 """
@@ -33,3 +34,11 @@ def multiclient_record():
     from repro.bench.multiclient import bench_multiclient
 
     return bench_multiclient()
+
+
+@pytest.fixture(scope="session")
+def stream_record():
+    """One shared run of the double-buffered Mandelbrot-zoom stream."""
+    from repro.bench.stream import bench_stream
+
+    return bench_stream()

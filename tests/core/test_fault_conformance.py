@@ -20,10 +20,12 @@ tier-1 matrix.  For a wider soak, use the CLI knob::
 import pytest
 
 from repro.bench.conformance import (
+    DEFERRED_READ_SCHEDULES,
     PUSH_SCHEDULES,
     RECOVERABLE_SCHEDULES,
     UNRECOVERABLE_SCHEDULES,
     fault_plan,
+    run_deferred_read_fault_seed,
     run_push_fault_seed,
     run_seed_with_faults,
 )
@@ -55,7 +57,25 @@ def test_severed_push_link_degrades_to_demand_fetch(seed):
     assert summary["baseline_commits"] > summary["faulted_commits"]
 
 
-@pytest.mark.parametrize("schedule", ALL_SCHEDULES + PUSH_SCHEDULES)
+@pytest.mark.parametrize("seed", MATRIX_SEEDS)
+def test_severed_deferred_fetch_degrades_deterministically(seed):
+    """ISSUE-10 fault cell: severing the client<->daemon link at the
+    exact bulk transfer that carries a deferred read's fetch must
+    degrade deterministically — the retry replays the fetch over the
+    healed link, the waited event resolves, and observables stay
+    bit-identical (``run_deferred_read_fault_seed`` carries the
+    differential assertions; its fixed program shape guarantees the
+    first bulk download on the wire *is* the deferred fetch)."""
+    summary = run_deferred_read_fault_seed(seed)
+    assert summary["fired"] >= 1, f"sever-fetch never fired for seed {seed}"
+    # The fault must not change how many reads deferred — only when the
+    # fetch lands.
+    assert summary["baseline_deferred"] == summary["faulted_deferred"]
+
+
+@pytest.mark.parametrize(
+    "schedule", ALL_SCHEDULES + PUSH_SCHEDULES + DEFERRED_READ_SCHEDULES
+)
 def test_every_schedule_has_a_bounded_plan(schedule):
     plan = fault_plan(schedule)
     assert plan.actions, f"{schedule} resolves to an empty plan"

@@ -606,10 +606,13 @@ def test_coherence_download_drains_the_transfer_queues_pending_chain():
     driver.flush_connection(driver.connection(devices[0].server.name))
     # Completing the gate is *deferred* — the status relay is windowed.
     api.clSetUserEventStatus(gate, 0)
-    # A non-blocking read of b0 plans a coherence download on q0: its
-    # closure must drain the queue chain (gated launch -> user event ->
-    # windowed status relay) or the daemon rejects the gated fetch.
-    data, _ = api.clEnqueueReadBuffer(q0, b0, blocking=False)
+    # A non-blocking read of b0 defers its fetch; waiting the event
+    # resolves it, and the resolution's coherence download enqueues on
+    # q0: its closure must drain the queue chain (gated launch -> user
+    # event -> windowed status relay) or the daemon rejects the gated
+    # fetch.
+    data, ev = api.clEnqueueReadBuffer(q0, b0, blocking=False)
+    api.clWaitForEvents([ev])
     np.testing.assert_allclose(data.view(np.float32), 2.0)
 
 
